@@ -1,0 +1,38 @@
+"""Shared benchmark fixtures (built once per session)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.biology.scenarios import build_scenario
+from repro.core.graph import ProbabilisticEntityGraph, QueryGraph
+
+
+@pytest.fixture(scope="session")
+def scenario1_cases():
+    """The first five scenario-1 query graphs (ABCC8 ... ATP7A)."""
+    return build_scenario(1, seed=0, limit=5)
+
+
+@pytest.fixture(scope="session")
+def abcc8(scenario1_cases):
+    """The paper's running example graph (97 answers)."""
+    return scenario1_cases[0]
+
+
+@pytest.fixture(scope="session")
+def scenario3_cases():
+    return build_scenario(3, seed=0, limit=4)
+
+
+@pytest.fixture(scope="session")
+def wheatstone_graph() -> QueryGraph:
+    graph = ProbabilisticEntityGraph()
+    for node in ("s", "a", "b", "u"):
+        graph.add_node(node)
+    graph.add_edge("s", "a", q=0.5)
+    graph.add_edge("s", "b", q=0.5)
+    graph.add_edge("a", "b", q=0.5)
+    graph.add_edge("a", "u", q=0.5)
+    graph.add_edge("b", "u", q=0.5)
+    return QueryGraph(graph, "s", ["u"])

@@ -1,0 +1,47 @@
+"""Benchmarks for the extension features.
+
+Adaptive top-k (how much cheaper than a fixed 10k-trial run), evidence
+path enumeration, schema reducibility checking, and the correlation
+diagnostics — the per-query tools layered on top of the ranking core.
+"""
+
+import pytest
+
+from repro.core.adaptive import topk_reliability
+from repro.core.diagnostics import correlation_report
+from repro.core.paths import enumerate_paths
+from repro.schema.biorank_schema import biorank_query_schema
+from repro.schema.reducibility import check_reducibility
+
+
+@pytest.mark.benchmark(group="ext-adaptive-topk")
+class TestAdaptiveTopK:
+    def test_topk_wide_boundary(self, benchmark, scenario3_cases):
+        qg = scenario3_cases[0].query_graph
+        benchmark.pedantic(
+            lambda: topk_reliability(qg, k=3, epsilon=0.05, rng=1),
+            rounds=3,
+            iterations=1,
+        )
+
+
+@pytest.mark.benchmark(group="ext-paths")
+class TestPathEnumeration:
+    def test_enumerate_strongest_paths(self, benchmark, abcc8):
+        qg = abcc8.query_graph
+        target = qg.targets[0]
+        benchmark(lambda: enumerate_paths(qg, target, max_paths=50))
+
+
+@pytest.mark.benchmark(group="ext-diagnostics")
+class TestDiagnostics:
+    def test_correlation_report(self, benchmark, scenario3_cases):
+        qg = scenario3_cases[0].query_graph
+        benchmark.pedantic(lambda: correlation_report(qg), rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="ext-schema")
+class TestSchemaChecking:
+    def test_reducibility_full_schema(self, benchmark):
+        schema = biorank_query_schema()
+        benchmark(lambda: check_reducibility(schema))

@@ -1,0 +1,35 @@
+"""Fig 4: the five relevance semantics on the toy topologies.
+
+Micro-benchmarks of each scoring function on the Wheatstone bridge —
+the smallest graph on which all five semantics genuinely differ.
+"""
+
+import pytest
+
+from repro.core.deterministic import in_edge_scores, path_count_scores
+from repro.core.diffusion import diffusion_scores
+from repro.core.exact import exact_reliability
+from repro.core.propagation import propagation_scores
+
+
+@pytest.mark.benchmark(group="fig4-toy-topologies")
+class TestFig4:
+    def test_reliability_exact(self, benchmark, wheatstone_graph):
+        result = benchmark(lambda: exact_reliability(wheatstone_graph))
+        assert result["u"] == pytest.approx(0.46875)
+
+    def test_propagation(self, benchmark, wheatstone_graph):
+        result = benchmark(lambda: propagation_scores(wheatstone_graph))
+        assert result["u"] == pytest.approx(0.484375)
+
+    def test_diffusion(self, benchmark, wheatstone_graph):
+        result = benchmark(lambda: diffusion_scores(wheatstone_graph))
+        assert result["u"] == pytest.approx(1 / 6, abs=1e-9)
+
+    def test_in_edge(self, benchmark, wheatstone_graph):
+        result = benchmark(lambda: in_edge_scores(wheatstone_graph))
+        assert result["u"] == 2.0
+
+    def test_path_count(self, benchmark, wheatstone_graph):
+        result = benchmark(lambda: path_count_scores(wheatstone_graph))
+        assert result["u"] == 3.0

@@ -1,0 +1,32 @@
+"""Fig 5: the scenario AP evaluations as benchmarks.
+
+Each benchmark runs a full ranking + tie-aware AP evaluation of one
+method over a scenario subset — the unit of work behind each bar of
+Fig 5a/5c.
+"""
+
+import pytest
+
+from repro.experiments.runner import evaluate_scenario_ap
+
+
+@pytest.mark.benchmark(group="fig5-scenario-evaluation")
+class TestScenarioEvaluation:
+    @pytest.mark.parametrize(
+        "method", ["reliability", "propagation", "diffusion", "in_edge", "path_count"]
+    )
+    def test_scenario1_method(self, benchmark, scenario1_cases, method):
+        benchmark.pedantic(
+            lambda: evaluate_scenario_ap(
+                scenario1_cases, methods=(method,), include_random=False
+            ),
+            rounds=1,
+            iterations=1,
+        )
+
+    def test_scenario3_all_methods(self, benchmark, scenario3_cases):
+        benchmark.pedantic(
+            lambda: evaluate_scenario_ap(scenario3_cases),
+            rounds=1,
+            iterations=1,
+        )

@@ -1,0 +1,29 @@
+"""Fig 6: cost of one sensitivity-sweep cell.
+
+One repetition = perturb every probability of every case graph, re-rank,
+re-evaluate AP. The full figure is 3 scenarios x 3 methods x 4 sigmas x
+m repetitions of this unit.
+"""
+
+import pytest
+
+from repro.sensitivity.analysis import sensitivity_sweep
+
+
+@pytest.mark.benchmark(group="fig6-sensitivity")
+class TestSensitivityUnit:
+    @pytest.mark.parametrize("method", ["propagation", "diffusion"])
+    def test_one_sigma_cell(self, benchmark, scenario3_cases, method):
+        pairs = [(case.query_graph, case.relevant) for case in scenario3_cases]
+        benchmark.pedantic(
+            lambda: sensitivity_sweep(
+                pairs,
+                method=method,
+                sigmas=(1.0,),
+                repetitions=3,
+                include_random=False,
+                rng=0,
+            ),
+            rounds=1,
+            iterations=1,
+        )

@@ -1,0 +1,45 @@
+"""Fig 7: Monte Carlo cost as a function of the trial count.
+
+The per-trial cost is linear, so the ladder of benchmarks doubles as the
+timing backdrop of the convergence experiment (the AP side of Fig 7 is
+computed by ``python -m repro.experiments fig7``).
+"""
+
+import pytest
+
+from repro.core.montecarlo import naive_reliability, traversal_reliability
+from repro.core.reduction import reduce_graph
+
+
+@pytest.mark.benchmark(group="fig7-mc-trials")
+class TestTrialLadder:
+    @pytest.mark.parametrize("trials", [10, 100, 1000])
+    def test_traversal_mc(self, benchmark, abcc8, trials):
+        reduced, _ = reduce_graph(abcc8.query_graph)
+        benchmark.pedantic(
+            lambda: traversal_reliability(reduced, trials=trials, rng=1),
+            rounds=3,
+            iterations=1,
+        )
+
+
+@pytest.mark.benchmark(group="fig7-traversal-speedup")
+class TestTraversalSpeedup:
+    """§3.1's claim: the traversal estimator beats the naive one
+    (paper: 3.4x on the raw graphs)."""
+
+    def test_naive_1k(self, benchmark, abcc8):
+        qg = abcc8.query_graph
+        benchmark.pedantic(
+            lambda: naive_reliability(qg, trials=1000, rng=1),
+            rounds=2,
+            iterations=1,
+        )
+
+    def test_traversal_1k(self, benchmark, abcc8):
+        qg = abcc8.query_graph
+        benchmark.pedantic(
+            lambda: traversal_reliability(qg, trials=1000, rng=1),
+            rounds=2,
+            iterations=1,
+        )

@@ -1,0 +1,36 @@
+"""Fig 8b: cost of the five ranking methods on the ABCC8 graph.
+
+The paper's shape: InEdge and PathCount are 1-2 orders of magnitude
+cheaper than the probabilistic methods, with reliability (reduction +
+1,000 Monte Carlo trials) the most expensive, yet everything stays
+interactive.
+"""
+
+import pytest
+
+from repro.core.ranker import rank
+
+
+@pytest.mark.benchmark(group="fig8b-ranking-methods")
+class TestFig8b:
+    def test_reliability_r_m2(self, benchmark, abcc8):
+        qg = abcc8.query_graph
+        benchmark(
+            lambda: rank(qg, "reliability", strategy="mc", trials=1000, rng=1)
+        )
+
+    def test_propagation(self, benchmark, abcc8):
+        qg = abcc8.query_graph
+        benchmark(lambda: rank(qg, "propagation"))
+
+    def test_diffusion(self, benchmark, abcc8):
+        qg = abcc8.query_graph
+        benchmark(lambda: rank(qg, "diffusion"))
+
+    def test_in_edge(self, benchmark, abcc8):
+        qg = abcc8.query_graph
+        benchmark(lambda: rank(qg, "in_edge"))
+
+    def test_path_count(self, benchmark, abcc8):
+        qg = abcc8.query_graph
+        benchmark(lambda: rank(qg, "path_count"))

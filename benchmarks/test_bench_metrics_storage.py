@@ -1,0 +1,75 @@
+"""Substrate benchmarks: tie-aware AP and the storage engine.
+
+Not a paper figure, but the cost floors under every experiment: the
+tie-aware expected AP over a large partially-tied answer list, and the
+storage engine's insert/lookup throughput (what the mediator pays during
+link-following).
+"""
+
+import pytest
+
+from repro.metrics.average_precision import expected_average_precision
+from repro.storage import Column, ColumnType, Database
+
+
+@pytest.mark.benchmark(group="metrics")
+class TestMetrics:
+    def test_expected_ap_large_tied_list(self, benchmark):
+        # 1000 items in 10 tie groups, 50 relevant — a worst-case InEdge
+        # result list
+        scores = {f"i{k}": float(k % 10) for k in range(1000)}
+        relevant = {f"i{k}" for k in range(0, 1000, 20)}
+        value = benchmark(lambda: expected_average_precision(scores, relevant))
+        assert 0.0 <= value <= 1.0
+
+    def test_expected_ap_fully_ordered(self, benchmark):
+        scores = {f"i{k}": float(k) for k in range(1000)}
+        relevant = {f"i{k}" for k in range(900, 1000)}
+        benchmark(lambda: expected_average_precision(scores, relevant))
+
+
+@pytest.mark.benchmark(group="storage")
+class TestStorage:
+    def test_bulk_insert_with_fk_checks(self, benchmark):
+        def build():
+            db = Database("bench")
+            db.create_table(
+                "genes",
+                columns=[Column("gid", ColumnType.TEXT)],
+                primary_key=["gid"],
+            )
+            db.create_table(
+                "annotations",
+                columns=[
+                    Column("gid", ColumnType.TEXT),
+                    Column("term", ColumnType.TEXT),
+                ],
+            )
+            db.table("annotations").create_index("by_gid", ["gid"])
+            for i in range(200):
+                db.insert("genes", {"gid": f"G{i}"})
+            for i in range(1000):
+                db.insert(
+                    "annotations", {"gid": f"G{i % 200}", "term": f"GO:{i}"}
+                )
+            return db
+
+        benchmark.pedantic(build, rounds=3, iterations=1)
+
+    def test_indexed_lookup(self, benchmark):
+        db = Database("bench")
+        db.create_table(
+            "annotations",
+            columns=[
+                Column("gid", ColumnType.TEXT),
+                Column("term", ColumnType.TEXT),
+            ],
+        )
+        db.table("annotations").create_index("by_gid", ["gid"])
+        for i in range(5000):
+            db.table("annotations").insert(
+                {"gid": f"G{i % 500}", "term": f"GO:{i}"}
+            )
+        table = db.table("annotations")
+        result = benchmark(lambda: table.lookup(("gid",), ("G250",)))
+        assert len(result) == 10

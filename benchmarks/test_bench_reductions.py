@@ -1,0 +1,28 @@
+"""§3.1 graph reductions: cost and effectiveness.
+
+Benchmarks the reduction pass on real scenario graphs; the tests also
+assert the paper's effectiveness headline (the reductions remove most of
+the workflow graph — paper: 78 % of nodes+edges).
+"""
+
+import pytest
+
+from repro.core.reduction import reduce_graph
+
+
+@pytest.mark.benchmark(group="reductions")
+class TestReductions:
+    def test_reduce_abcc8(self, benchmark, abcc8):
+        qg = abcc8.query_graph
+        _, stats = reduce_graph(qg)
+        assert stats.combined_reduction > 0.5
+        benchmark(lambda: reduce_graph(qg))
+
+    def test_reduce_small_scenario3(self, benchmark, scenario3_cases):
+        qg = scenario3_cases[0].query_graph
+        benchmark(lambda: reduce_graph(qg))
+
+    def test_per_target_subgraph_extraction(self, benchmark, abcc8):
+        qg = abcc8.query_graph
+        target = qg.targets[0]
+        benchmark(lambda: qg.between_subgraph(target))

@@ -1,0 +1,45 @@
+"""Scaling ablation: ranking cost vs graph size on synthetic workloads.
+
+Not a paper figure — an ablation of the complexity claims: propagation
+and the deterministic methods scale linearly in edges; reduced Monte
+Carlo reliability scales with the trial count times the reduced size.
+"""
+
+import pytest
+
+from repro.core.ranker import rank
+from repro.workloads import WorkloadSpec, layered_dag
+
+SIZES = {
+    "small": WorkloadSpec(layers=3, width=10),
+    "medium": WorkloadSpec(layers=4, width=40),
+    "large": WorkloadSpec(layers=5, width=100),
+}
+
+
+@pytest.mark.benchmark(group="scaling-propagation")
+class TestPropagationScaling:
+    @pytest.mark.parametrize("size", list(SIZES))
+    def test_propagation(self, benchmark, size):
+        qg = layered_dag(SIZES[size], rng=0)
+        benchmark.pedantic(lambda: rank(qg, "propagation"), rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="scaling-reliability")
+class TestReliabilityScaling:
+    @pytest.mark.parametrize("size", ["small", "medium"])
+    def test_reliability_mc(self, benchmark, size):
+        qg = layered_dag(SIZES[size], rng=0)
+        benchmark.pedantic(
+            lambda: rank(qg, "reliability", strategy="mc", trials=500, rng=1),
+            rounds=3,
+            iterations=1,
+        )
+
+
+@pytest.mark.benchmark(group="scaling-deterministic")
+class TestDeterministicScaling:
+    @pytest.mark.parametrize("size", list(SIZES))
+    def test_path_count(self, benchmark, size):
+        qg = layered_dag(SIZES[size], rng=0)
+        benchmark(lambda: rank(qg, "path_count"))

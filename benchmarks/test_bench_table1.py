@@ -1,0 +1,43 @@
+"""Table 1: cost of dataset reconstruction and query execution.
+
+Benchmarks the two halves of producing one Table 1 row: generating the
+synthetic sources for a protein case, and executing the exploratory
+query through the mediator (the integration step the paper's system
+performs per query).
+"""
+
+import pytest
+
+from repro.biology.generator import CaseSpec, ProteinCaseGenerator
+from repro.integration.query import ExploratoryQuery
+
+
+@pytest.mark.benchmark(group="table1-generation")
+class TestCaseGeneration:
+    def test_generate_abcc8_case(self, benchmark):
+        def build():
+            generator = ProteinCaseGenerator(rng=0)
+            return generator.generate(
+                CaseSpec(protein="ABCC8", n_gold=13, n_total=97)
+            )
+
+        benchmark.pedantic(build, rounds=3, iterations=1)
+
+    def test_generate_small_case(self, benchmark):
+        def build():
+            generator = ProteinCaseGenerator(rng=0)
+            return generator.generate(
+                CaseSpec(protein="GALT", n_gold=8, n_total=15)
+            )
+
+        benchmark.pedantic(build, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="table1-query-execution")
+class TestQueryExecution:
+    def test_exploratory_query(self, benchmark, abcc8):
+        mediator = abcc8.case.mediator
+        query = ExploratoryQuery(
+            "EntrezProtein", "name", "ABCC8", outputs=("GOTerm",)
+        )
+        benchmark(lambda: query.execute(mediator))

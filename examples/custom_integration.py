@@ -1,0 +1,150 @@
+"""Build your own uncertain data integration from scratch.
+
+This example uses only the public API — no synthetic-biology helpers —
+to integrate two home-made sources, turn their uncertainty attributes
+into probabilities, run an exploratory query, and rank the answers. It
+is the template to follow when pointing the library at your own data.
+
+The toy domain: ranking candidate *authors* of an anonymous manuscript
+by integrating (a) a citation database with curated confidence levels
+and (b) a stylometry tool that reports match scores.
+
+Run:  python examples/custom_integration.py
+"""
+
+from repro.core.ranker import rank
+from repro.integration import (
+    ConfidenceRegistry,
+    DataSource,
+    EntityBinding,
+    ExploratoryQuery,
+    Mediator,
+    RelationshipBinding,
+)
+from repro.storage import Column, ColumnType, Database
+
+#: curated confidence levels of the citation database, as probabilities
+CITATION_CONFIDENCE = {"confirmed": 0.95, "likely": 0.7, "disputed": 0.3}
+
+
+def build_citation_source() -> DataSource:
+    """Source 1: manuscripts, authors, and curated attribution links."""
+    db = Database("citations")
+    db.create_table(
+        "manuscripts",
+        columns=[Column("ms_id", ColumnType.TEXT), Column("title", ColumnType.TEXT)],
+        primary_key=["ms_id"],
+    )
+    db.create_table(
+        "authors",
+        columns=[Column("author_id", ColumnType.TEXT), Column("name", ColumnType.TEXT)],
+        primary_key=["author_id"],
+    )
+    db.create_table(
+        "attributions",
+        columns=[
+            Column("ms_id", ColumnType.TEXT),
+            Column("author_id", ColumnType.TEXT),
+            Column("status", ColumnType.TEXT),
+        ],
+    )
+    db.table("attributions").create_index("by_ms", ["ms_id"])
+
+    db.insert("manuscripts", {"ms_id": "MS1", "title": "On Uncertain Things"})
+    for author_id, name in [("A1", "Asha"), ("A2", "Bela"), ("A3", "Chen")]:
+        db.insert("authors", {"author_id": author_id, "name": name})
+    db.insert("attributions", {"ms_id": "MS1", "author_id": "A1", "status": "likely"})
+    db.insert("attributions", {"ms_id": "MS1", "author_id": "A2", "status": "disputed"})
+
+    return DataSource(
+        name="CitationDB",
+        database=db,
+        entities=(
+            EntityBinding("Manuscript", "manuscripts", "ms_id"),
+            EntityBinding(
+                "Author", "authors", "author_id", label=lambda row: row["name"]
+            ),
+        ),
+        relationships=(
+            RelationshipBinding(
+                relationship="attributed_to",
+                table="attributions",
+                source_entity="Manuscript",
+                source_column="ms_id",
+                target_entity="Author",
+                target_column="author_id",
+                qr=lambda row: CITATION_CONFIDENCE[row["status"]],
+            ),
+        ),
+    )
+
+
+def build_stylometry_source() -> DataSource:
+    """Source 2: computed style-similarity scores (already in [0, 1])."""
+    db = Database("stylometry")
+    db.create_table(
+        "style_matches",
+        columns=[
+            Column("ms_id", ColumnType.TEXT),
+            Column("author_id", ColumnType.TEXT),
+            Column("match_score", ColumnType.FLOAT),
+        ],
+    )
+    db.table("style_matches").create_index("by_ms", ["ms_id"])
+    db.insert("style_matches", {"ms_id": "MS1", "author_id": "A2", "match_score": 0.8})
+    db.insert("style_matches", {"ms_id": "MS1", "author_id": "A3", "match_score": 0.6})
+
+    return DataSource(
+        name="StyloTool",
+        database=db,
+        relationships=(
+            RelationshipBinding(
+                relationship="style_match",
+                table="style_matches",
+                source_entity="Manuscript",
+                source_column="ms_id",
+                target_entity="Author",
+                target_column="author_id",
+                qr=lambda row: row["match_score"],
+            ),
+        ),
+    )
+
+
+def main() -> None:
+    # expert judgement: trust the curated links as a class slightly more
+    # than the stylometry tool's computed ones
+    confidences = ConfidenceRegistry()
+    confidences.set_relationship_confidence("attributed_to", 1.0)
+    confidences.set_relationship_confidence("style_match", 0.85)
+
+    mediator = Mediator(confidences=confidences)
+    mediator.register(build_citation_source())
+    mediator.register(build_stylometry_source())
+
+    query = ExploratoryQuery("Manuscript", "ms_id", "MS1", outputs=("Author",))
+    query_graph, stats = query.execute(mediator)
+    print(
+        f"integrated graph: {query_graph.graph.num_nodes} nodes, "
+        f"{query_graph.graph.num_edges} edges "
+        f"({stats.dangling_links} dangling links dropped)"
+    )
+
+    for method in ("reliability", "propagation", "in_edge"):
+        result = rank(query_graph, method)
+        ordered = ", ".join(
+            f"{query_graph.graph.data(node).label}={score:.3f}"
+            for node, score in result.ordered()
+        )
+        print(f"{method:12s} {ordered}")
+
+    print(
+        "\nBela is supported by two independent medium-strength links and "
+        "overtakes Asha's single curated 'likely' link under every "
+        "evidence-combining semantics; InEdge agrees here because the "
+        "redundancy and the probability signals coincide."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Evidence diagnostics: explanations, correlation, and adaptive top-k.
+
+Three tools a curator would use on top of the ranked list:
+
+1. ``explain_answer`` — why is this function ranked where it is? (the
+   strongest supporting paths, with per-hop probabilities);
+2. ``correlation_report`` — which functions have evidence that is less
+   independent than it looks (propagation - reliability divergence)?
+3. ``topk_reliability`` — Monte Carlo that stops as soon as the top-k
+   boundary is statistically settled (Theorem 3.1 as a stopping rule).
+
+Run:  python examples/evidence_diagnostics.py
+"""
+
+from repro.biology.scenarios import ABCC8_NAMED_GOLD, SCENARIO2_FUNCTIONS
+from repro.biology.generator import CaseSpec, ProteinCaseGenerator
+from repro.core.diagnostics import correlation_report
+from repro.core.paths import explain_answer
+from repro.core.adaptive import topk_reliability
+
+
+def main() -> None:
+    generator = ProteinCaseGenerator(rng=0)
+    case = generator.generate(
+        CaseSpec(
+            protein="ABCC8",
+            n_gold=13,
+            n_total=97,
+            novel_go_ids=tuple(go for go, _, _ in SCENARIO2_FUNCTIONS["ABCC8"]),
+            named_gold_ids=ABCC8_NAMED_GOLD,
+        )
+    )
+    qg = case.query_graph
+
+    print("=== 1. why is the novel function ranked high? ===")
+    novel = case.go_node("GO:0006855")
+    print(explain_answer(qg, novel, top=3))
+
+    gold = case.go_node("GO:0008281")
+    print("\n=== ... versus a redundantly supported gold function ===")
+    print(explain_answer(qg, gold, top=3))
+
+    print("\n=== 2. where is the evidence correlated? ===")
+    report = correlation_report(qg)
+    print(
+        f"answers with tree-like (independent) support: "
+        f"{report.tree_like_fraction:.0%}; "
+        f"mean divergence {report.mean_divergence:.4f}"
+    )
+    for answer in report.most_correlated(3):
+        label = qg.graph.data(answer.node).label
+        print(
+            f"  {label:45s} rel={answer.reliability:.3f} "
+            f"prop={answer.propagation:.3f} (+{answer.divergence:.3f})"
+        )
+
+    print("\n=== 3. adaptive top-10 (stop when the boundary is settled) ===")
+    result = topk_reliability(qg, k=10, epsilon=0.02, rng=1)
+    print(
+        f"used {result.trials_used} trials "
+        f"(boundary gap {result.boundary_gap:.3f}, "
+        f"separated={result.separated})"
+    )
+    for node, score in result.top[:5]:
+        print(f"  {qg.graph.data(node).label:45s} {score:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Annotating a hypothetical protein: comparing the five rankings.
+
+The paper's scenario 3: a bacterial protein of unknown function with
+sparse evidence. This example generates one such case, ranks its
+candidate functions under all five semantics, and shows where each
+method places the expert-assigned true function — the situation where
+probabilistic ranking earns its keep.
+
+Run:  python examples/protein_annotation.py
+"""
+
+from repro.biology.scenarios import build_scenario
+from repro.core.ranker import rank
+from repro.metrics import expected_average_precision, random_average_precision
+from repro.metrics.ranking import format_rank_interval
+
+METHODS = ("reliability", "propagation", "diffusion", "in_edge", "path_count")
+
+
+def main() -> None:
+    # DP0843, a Desulfotalea psychrophila hypothetical protein (Table 3)
+    case = build_scenario(3, seed=0, limit=1)[0]
+    qg = case.query_graph
+    (true_node,) = case.relevant
+    go_id = true_node[1]
+
+    print(f"protein {case.name}: {len(qg.targets)} candidate functions, "
+          f"expert-assigned true function {go_id}")
+    print(f"graph: {qg.graph.num_nodes} nodes, {qg.graph.num_edges} edges\n")
+
+    print(f"{'method':12s} {'rank of true fn':>16s} {'score':>8s} {'AP':>6s}")
+    for method in METHODS:
+        options = {"strategy": "closed"} if method == "reliability" else {}
+        result = rank(qg, method, **options)
+        interval = result.rank_interval(true_node)
+        ap = expected_average_precision(result.scores, case.relevant)
+        print(
+            f"{method:12s} {format_rank_interval(interval):>16s} "
+            f"{result.scores[true_node]:8.3f} {ap:6.3f}"
+        )
+    print(
+        f"{'random':12s} {format_rank_interval((1, case.n_total)):>16s} "
+        f"{'-':>8s} {random_average_precision(1, case.n_total):6.3f}"
+    )
+
+    # peek at the evidence: the strongest paths supporting the true function
+    print("\nevidence paths into the true function:")
+    for edge in qg.graph.in_edges(true_node):
+        parent = qg.graph.data(edge.source)
+        print(
+            f"  from {parent.entity_set:14s} {parent.label:28s} "
+            f"q = {qg.graph.q(edge.key):.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

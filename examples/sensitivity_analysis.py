@@ -1,0 +1,43 @@
+"""How robust are rankings to mis-estimated probabilities?
+
+The BioRank default probabilities came from domain experts, so §4 asks:
+what happens to ranking quality if they are all wrong by a little — or a
+lot? This example perturbs every node and edge probability of a few
+scenario-1 query graphs with Gaussian log-odds noise and watches the
+average precision (the paper's Fig 6 protocol, on a small budget).
+
+Run:  python examples/sensitivity_analysis.py
+"""
+
+from repro.biology.scenarios import build_scenario
+from repro.sensitivity.analysis import sensitivity_sweep
+
+
+def main() -> None:
+    cases = build_scenario(1, seed=0, limit=5)
+    pairs = [(case.query_graph, case.relevant) for case in cases]
+    print(f"{len(pairs)} scenario-1 query graphs, method = propagation\n")
+
+    points = sensitivity_sweep(
+        pairs,
+        method="propagation",
+        sigmas=(0.5, 1.0, 2.0, 3.0),
+        repetitions=10,
+        rng=0,
+    )
+    for point in points:
+        print(point.as_row())
+
+    default = points[0].mean_ap
+    worst_noise = points[-2].mean_ap  # sigma = 3
+    random_cond = points[-1].mean_ap
+    print(
+        f"\nAt three standard deviations of log-odds noise the AP only "
+        f"drops from {default:.2f} to {worst_noise:.2f}; discarding the "
+        f"expert probabilities entirely drops it to {random_cond:.2f}. "
+        f"Probabilistic integration is robust to imprecise expert estimates."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""BioRank — integrating and ranking uncertain scientific data.
+
+A faithful reproduction of Detwiler, Gatterbauer, Louie, Suciu and
+Tarczy-Hornoch, *"Integrating and Ranking Uncertain Scientific Data"*
+(ICDE 2009 / UW-CSE-08-06-03): a mediator-based data-integration system
+that models the uncertainty of sources, records and links as
+probabilities and ranks integrated answers by probabilistic and
+deterministic relevance semantics.
+
+Quick taste::
+
+    from repro import ProbabilisticEntityGraph, QueryGraph, rank
+
+    g = ProbabilisticEntityGraph()
+    g.add_node("s"); g.add_node("x", p=0.9); g.add_node("t", p=0.8)
+    g.add_edge("s", "x", q=0.5); g.add_edge("x", "t", q=1.0)
+    result = rank(QueryGraph(g, "s", ["t"]), method="reliability")
+    print(result.ordered())
+
+See :mod:`repro.integration` for the mediator and exploratory queries,
+:mod:`repro.biology` for the synthetic data sources and the paper's
+three experimental scenarios, and :mod:`repro.experiments` for the
+regenerators of every table and figure.
+"""
+
+from repro.core import (
+    Edge,
+    ProbabilisticEntityGraph,
+    QueryGraph,
+    RankedResult,
+    closed_form_reliability,
+    diffusion_scores,
+    exact_reliability,
+    in_edge_scores,
+    naive_reliability,
+    path_count_scores,
+    propagation_scores,
+    rank,
+    reduce_graph,
+    reliability_scores,
+    required_trials,
+    traversal_reliability,
+)
+from repro.errors import ReproError
+from repro.integration import ExploratoryQuery, Mediator
+from repro.metrics import (
+    average_precision,
+    expected_average_precision,
+    random_average_precision,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Edge",
+    "ProbabilisticEntityGraph",
+    "QueryGraph",
+    "RankedResult",
+    "ReproError",
+    "Mediator",
+    "ExploratoryQuery",
+    "rank",
+    "reliability_scores",
+    "propagation_scores",
+    "diffusion_scores",
+    "in_edge_scores",
+    "path_count_scores",
+    "naive_reliability",
+    "traversal_reliability",
+    "exact_reliability",
+    "closed_form_reliability",
+    "reduce_graph",
+    "required_trials",
+    "average_precision",
+    "expected_average_precision",
+    "random_average_precision",
+]

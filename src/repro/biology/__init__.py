@@ -1,0 +1,66 @@
+"""Synthetic biological substrate.
+
+The paper's evaluation ran against June-2007 snapshots of public
+databases (EntrezProtein, EntrezGene, AmiGO, NCBIBlast, Pfam, TIGRFAM)
+plus the iProClass gold standard. Those snapshots are not reproducible
+offline, so this package rebuilds them *synthetically but structurally
+faithfully*: a Gene Ontology term registry, a protein universe with
+sequences, one generator per source emitting records with the paper's
+actual uncertainty attributes (curation status codes, GO evidence codes,
+BLAST e-values), and a scenario builder that reconstructs the three
+experimental datasets with Table 1's per-protein answer-set sizes.
+
+What is preserved is what the evaluation depends on: the *topology* of
+the integrated query graphs (convergent workflow graphs per Fig 1) and
+the *evidence regimes* — redundant medium-confidence paths for
+well-known functions, single strong paths for newly published ones,
+sparse moderate evidence for hypothetical proteins.
+"""
+
+from repro.biology.ontology import GeneOntology, GoTerm
+from repro.biology.sequences import (
+    mutate_sequence,
+    random_protein_sequence,
+    sequence_identity,
+)
+from repro.biology.evidence import (
+    EvidenceProfile,
+    DECOY_SHORT_STRONG,
+    DECOY_WEAK,
+    HYPOTHETICAL_DECOY,
+    HYPOTHETICAL_TRUE,
+    NOVEL_SINGLE_STRONG,
+    WELL_KNOWN,
+)
+from repro.biology.generator import ProteinCaseGenerator, GeneratedCase
+from repro.biology.scenarios import (
+    SCENARIO1_PROTEINS,
+    SCENARIO2_FUNCTIONS,
+    SCENARIO3_PROTEINS,
+    Scenario,
+    ScenarioCase,
+    build_scenario,
+)
+
+__all__ = [
+    "GeneOntology",
+    "GoTerm",
+    "random_protein_sequence",
+    "mutate_sequence",
+    "sequence_identity",
+    "EvidenceProfile",
+    "WELL_KNOWN",
+    "DECOY_WEAK",
+    "DECOY_SHORT_STRONG",
+    "NOVEL_SINGLE_STRONG",
+    "HYPOTHETICAL_TRUE",
+    "HYPOTHETICAL_DECOY",
+    "ProteinCaseGenerator",
+    "GeneratedCase",
+    "Scenario",
+    "ScenarioCase",
+    "build_scenario",
+    "SCENARIO1_PROTEINS",
+    "SCENARIO2_FUNCTIONS",
+    "SCENARIO3_PROTEINS",
+]

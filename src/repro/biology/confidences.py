@@ -1,0 +1,38 @@
+"""The expert-set default confidences (``ps``/``qs``) for BioRank.
+
+These mirror the judgements described in §2: curated vocabularies get
+full confidence; HMM-based family matchers (Pfam, TIGRFAM) are trusted
+more than BLAST because they model amino-acid adjacency; TIGRFAM's
+equivalog families are trusted slightly more than Pfam's for *function*
+assignment; foreign-key cross-references are certain.
+"""
+
+from __future__ import annotations
+
+from repro.integration.probability import ConfidenceRegistry
+
+__all__ = ["biorank_confidences"]
+
+
+def biorank_confidences() -> ConfidenceRegistry:
+    """A fresh registry loaded with the BioRank expert defaults."""
+    registry = ConfidenceRegistry()
+
+    # entity-set confidences (ps)
+    registry.set_entity_confidence("EntrezProtein", 1.0)
+    registry.set_entity_confidence("EntrezGene", 0.95)
+    registry.set_entity_confidence("GOTerm", 1.0)
+    registry.set_entity_confidence("BlastHit", 0.9)
+    registry.set_entity_confidence("PfamFamily", 0.9)
+    registry.set_entity_confidence("TigrFamFamily", 0.95)
+
+    # relationship confidences (qs)
+    registry.set_relationship_confidence("protein_gene", 1.0)
+    registry.set_relationship_confidence("gene_go", 1.0)
+    registry.set_relationship_confidence("NCBIBlast1", 0.9)
+    registry.set_relationship_confidence("NCBIBlast2", 1.0)
+    registry.set_relationship_confidence("pfam_match", 1.0)
+    registry.set_relationship_confidence("pfam_go", 0.9)
+    registry.set_relationship_confidence("tigrfam_match", 1.0)
+    registry.set_relationship_confidence("tigrfam_go", 1.0)
+    return registry

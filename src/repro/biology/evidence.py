@@ -1,0 +1,232 @@
+"""Evidence profiles: the uncertainty regimes of the three scenarios.
+
+The paper's core observation (Fig 9 / Fig 10) is about the *shape* of
+evidence, not its biology:
+
+* well-known functions have **many medium-confidence converging paths**
+  (curated annotation + several BLAST homolog chains + family matches);
+* newly published functions have **one short strong path** (a single
+  high-scoring family match, not yet echoed by curated sources);
+* hypothetical-protein functions have **sparse moderate evidence**;
+* incorrect candidates ("decoys") ride in on **few weak paths** — plus
+  the occasional short, fairly strong family hit that fools
+  length-sensitive semantics.
+
+An :class:`EvidenceProfile` encodes one such regime as path-count ranges
+and strength ranges; the generator samples concrete records from it.
+Strength values are target probabilities; the generator encodes them
+back into realistic source attributes (status codes, evidence codes,
+e-values) that the integration layer then decodes — exercising the full
+uncertainty-transformation pipeline end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ValidationError
+from repro.utils.rng import RngLike, ensure_rng
+
+__all__ = [
+    "EvidenceProfile",
+    "WELL_KNOWN",
+    "DECOY_WEAK",
+    "DECOY_MEDIUM",
+    "DECOY_SHORT_STRONG",
+    "NOVEL_SINGLE_STRONG",
+    "HYPOTHETICAL_TRUE",
+    "HYPOTHETICAL_DECOY",
+    "HYPOTHETICAL_SHORT",
+    "STAR_TRUE",
+    "STAR_DECOY",
+]
+
+Range = Tuple[float, float]
+CountRange = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class EvidenceProfile:
+    """A sampled evidence regime for one candidate function.
+
+    All ``*_strength`` fields are inclusive probability ranges; count
+    fields are inclusive integer ranges. ``direct_annotation`` attaches
+    the function to the query protein's own EntrezGene record (the
+    curated-knowledge path); homolog paths run through BLAST; family
+    paths run through Pfam/TIGRFAM matches.
+    """
+
+    name: str
+    #: (evidence-code strength range) for the protein's own gene, or None
+    direct_annotation: Optional[Range]
+    #: how many BLAST homolog genes annotate this function
+    n_homolog_paths: CountRange
+    #: evidence-code strength of those homolog annotations
+    homolog_evidence: Range
+    #: how many protein-family (Pfam/TIGRFAM) paths carry this function
+    n_family_paths: CountRange
+    #: e-value-derived strength of the family match edge
+    family_match_strength: Range
+    #: which family source carries the paths: "pfam", "tigrfam" or "any"
+    family_kind: str = "any"
+    #: chance that the direct annotation actually exists (curated
+    #: databases lag behind the literature, so even validated functions
+    #: are not always annotated on the protein's own gene record)
+    direct_probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        for label, range_ in (
+            ("homolog_evidence", self.homolog_evidence),
+            ("family_match_strength", self.family_match_strength),
+        ):
+            lo, hi = range_
+            if not 0.0 <= lo <= hi <= 1.0:
+                raise ValidationError(f"{self.name}: bad {label} range {range_}")
+        if self.direct_annotation is not None:
+            lo, hi = self.direct_annotation
+            if not 0.0 <= lo <= hi <= 1.0:
+                raise ValidationError(
+                    f"{self.name}: bad direct_annotation range"
+                )
+        if not 0.0 <= self.direct_probability <= 1.0:
+            raise ValidationError(
+                f"{self.name}: direct_probability must be in [0, 1]"
+            )
+        for label, counts in (
+            ("n_homolog_paths", self.n_homolog_paths),
+            ("n_family_paths", self.n_family_paths),
+        ):
+            lo, hi = counts
+            if not 0 <= lo <= hi:
+                raise ValidationError(f"{self.name}: bad {label} range {counts}")
+        if self.family_kind not in ("pfam", "tigrfam", "any"):
+            raise ValidationError(
+                f"{self.name}: family_kind must be pfam/tigrfam/any"
+            )
+
+    # -- sampling helpers ------------------------------------------------ #
+
+    def sample_strength(self, range_: Range, rng: RngLike = None) -> float:
+        lo, hi = range_
+        return lo if lo == hi else ensure_rng(rng).uniform(lo, hi)
+
+    def sample_count(self, counts: CountRange, rng: RngLike = None) -> int:
+        lo, hi = counts
+        return lo if lo == hi else ensure_rng(rng).randint(lo, hi)
+
+
+#: gold-standard functions of well-studied proteins (scenario 1 relevant):
+#: a curated annotation plus several medium homolog chains and the odd
+#: family match — heavy redundancy, no single dominant path.
+WELL_KNOWN = EvidenceProfile(
+    name="well_known",
+    direct_annotation=(0.35, 0.7),
+    direct_probability=0.6,
+    n_homolog_paths=(2, 4),
+    homolog_evidence=(0.35, 0.65),
+    n_family_paths=(0, 2),
+    family_match_strength=(0.25, 0.5),
+)
+
+#: ordinary incorrect candidates: one or two weak, long paths.
+DECOY_WEAK = EvidenceProfile(
+    name="decoy_weak",
+    direct_annotation=None,
+    n_homolog_paths=(1, 2),
+    homolog_evidence=(0.2, 0.4),
+    n_family_paths=(0, 1),
+    family_match_strength=(0.15, 0.3),
+)
+
+#: mildly redundant incorrect candidates: several medium homolog chains.
+#: These are what occasionally outrank a newly published function under
+#: semantics that over-credit redundancy (propagation most of all).
+DECOY_MEDIUM = EvidenceProfile(
+    name="decoy_medium",
+    direct_annotation=(0.25, 0.4),  # electronic (IEA-grade) own-gene hits
+    direct_probability=0.3,
+    n_homolog_paths=(2, 3),
+    homolog_evidence=(0.4, 0.8),
+    n_family_paths=(0, 1),
+    family_match_strength=(0.3, 0.5),
+)
+
+#: the decoys that fool path-length-sensitive semantics: a single short
+#: family path of middling strength and nothing else.
+DECOY_SHORT_STRONG = EvidenceProfile(
+    name="decoy_short_strong",
+    direct_annotation=None,
+    n_homolog_paths=(0, 0),
+    homolog_evidence=(0.0, 0.0),
+    n_family_paths=(1, 1),
+    family_match_strength=(0.55, 0.75),
+)
+
+#: newly published functions (scenario 2 relevant): exactly one short,
+#: strong family path — the "single but strong evidence" of §1.
+NOVEL_SINGLE_STRONG = EvidenceProfile(
+    name="novel_single_strong",
+    direct_annotation=None,
+    n_homolog_paths=(0, 0),
+    homolog_evidence=(0.0, 0.0),
+    n_family_paths=(1, 1),
+    family_match_strength=(0.92, 0.99),
+    family_kind="tigrfam",
+)
+
+#: the expert-assigned function of a hypothetical protein (scenario 3
+#: relevant): sparse but clearly-above-noise evidence.
+HYPOTHETICAL_TRUE = EvidenceProfile(
+    name="hypothetical_true",
+    direct_annotation=None,
+    n_homolog_paths=(1, 2),
+    homolog_evidence=(0.45, 0.65),
+    n_family_paths=(1, 1),
+    family_match_strength=(0.5, 0.65),
+)
+
+#: the scenario-3 analogue of the short-path decoy: a single family hit
+#: whose strength overlaps the true function's, blurring length-sensitive
+#: and probability-blind rankings alike.
+HYPOTHETICAL_SHORT = EvidenceProfile(
+    name="hypothetical_short",
+    direct_annotation=None,
+    n_homolog_paths=(0, 0),
+    homolog_evidence=(0.0, 0.0),
+    n_family_paths=(1, 1),
+    family_match_strength=(0.5, 0.7),
+)
+
+#: candidate noise around hypothetical proteins.
+HYPOTHETICAL_DECOY = EvidenceProfile(
+    name="hypothetical_decoy",
+    direct_annotation=None,
+    n_homolog_paths=(1, 2),
+    homolog_evidence=(0.35, 0.65),
+    n_family_paths=(0, 1),
+    family_match_strength=(0.3, 0.5),
+)
+
+
+#: the §5 "divergent star schema" regime: every candidate function hangs
+#: off exactly one source path (no shared vocabulary to converge on).
+#: The true function's single path is stronger than the decoys'.
+STAR_TRUE = EvidenceProfile(
+    name="star_true",
+    direct_annotation=None,
+    n_homolog_paths=(0, 0),
+    homolog_evidence=(0.0, 0.0),
+    n_family_paths=(1, 1),
+    family_match_strength=(0.65, 0.85),
+)
+
+#: star-schema decoys: one path of widely varying, mostly lower strength.
+STAR_DECOY = EvidenceProfile(
+    name="star_decoy",
+    direct_annotation=None,
+    n_homolog_paths=(0, 0),
+    homolog_evidence=(0.0, 0.0),
+    n_family_paths=(1, 1),
+    family_match_strength=(0.1, 0.6),
+)

@@ -1,0 +1,405 @@
+"""The per-protein case generator: synthetic sources -> query graph.
+
+Given a :class:`CaseSpec` (protein name, gold/novel/true function
+counts, decoy mixture, homolog pool size), the generator
+
+1. populates fresh source databases (EntrezProtein, EntrezGene, AmiGO,
+   NCBIBlast, Pfam, TIGRFAM, iProClass) with records whose uncertainty
+   attributes *encode* the evidence strengths drawn from each function's
+   :class:`~repro.biology.evidence.EvidenceProfile` — status codes,
+   evidence codes and e-values that the integration layer will decode
+   back into probabilities;
+2. registers the sources with a mediator under the BioRank expert
+   confidences; and
+3. executes the paper's exploratory query
+   ``(EntrezProtein.name = protein, {GOTerm})``, returning the resulting
+   query graph together with the gold/novel/true answer-node sets.
+
+BLAST homologs are drawn from a shared per-protein pool, so different
+functions annotated by the same homolog gene share evidence sub-paths —
+the correlated-evidence topology of Fig 9 that separates reliability
+from propagation. Pool members that end up annotating nothing stay in
+the graph as unproductive chains; they are what the §3.1 reductions
+prune (the paper's −78 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from repro.biology import evidence as profiles
+from repro.biology.confidences import biorank_confidences
+from repro.biology.evidence import EvidenceProfile
+from repro.biology.ontology import GeneOntology
+from repro.biology.sequences import mutate_sequence, random_protein_sequence
+from repro.biology.sources import (
+    amigo,
+    entrez_gene,
+    entrez_protein,
+    iproclass,
+    ncbi_blast,
+    pfam,
+    tigrfam,
+)
+from repro.core.graph import QueryGraph
+from repro.errors import ValidationError
+from repro.integration.builder import BuildStats, entity_node_id
+from repro.integration.mediator import Mediator
+from repro.integration.probability import (
+    AMIGO_EVIDENCE_PR,
+    ENTREZ_GENE_STATUS_PR,
+    probability_to_evalue,
+)
+from repro.integration.query import ExploratoryQuery
+from repro.storage import Database
+from repro.utils.rng import RngLike, ensure_rng
+
+import itertools
+import random
+
+__all__ = ["CaseSpec", "GeneratedCase", "ProteinCaseGenerator"]
+
+#: default decoy mixture for well-studied proteins (scenarios 1 and 2)
+DEFAULT_DECOY_MIXTURE: Tuple[Tuple[EvidenceProfile, float], ...] = (
+    (profiles.DECOY_WEAK, 0.60),
+    (profiles.DECOY_MEDIUM, 0.25),
+    (profiles.DECOY_SHORT_STRONG, 0.15),
+)
+
+#: homolog gene curation statuses and their sampling weights
+_HOMOLOG_STATUS_CHOICES: Tuple[Tuple[str, float], ...] = (
+    ("Validated", 0.30),
+    ("Provisional", 0.40),
+    ("Predicted", 0.30),
+)
+
+#: per-homolog BLAST strength range (qr of the blast1 edge)
+_HOMOLOG_BLAST_STRENGTH = (0.45, 0.75)
+
+#: chance a BLAST hit resolves to an *already seen* homolog gene (splice
+#: isoforms / paralogs hitting the same gene record). These shared genes
+#: give answers converging evidence paths — the topology on which
+#: reliability and propagation genuinely differ (Proposition 3.1 says
+#: they coincide on trees).
+_SHARED_GENE_PROBABILITY = 0.18
+
+#: chance a BLAST hit is the query protein itself (self-hit); its gene is
+#: then the protein's own gene, already reachable via the direct xref.
+_SELF_HIT_PROBABILITY = 0.05
+
+#: chance a BLAST hit resolves *ambiguously* to two gene records (alias
+#: and keyword matching during integration produce such double xrefs).
+#: When a function is annotated via such a hit, both genes carry the
+#: annotation: the evidence paths share the uncertain BLAST edge, then
+#: diverge and re-converge on the answer — the Fig 4a topology on which
+#: propagation over-counts and reliability does not.
+_AMBIGUOUS_HIT_PROBABILITY = 0.5
+
+_PROTEIN_SEQUENCE_LENGTH = 120
+
+
+@dataclass(frozen=True)
+class CaseSpec:
+    """What to generate for one protein."""
+
+    protein: str
+    n_gold: int
+    n_total: int
+    novel_go_ids: Tuple[str, ...] = ()
+    true_go_ids: Tuple[str, ...] = ()
+    #: paper-named GO ids to include among the gold functions
+    named_gold_ids: Tuple[str, ...] = ()
+    #: BLAST hit pool size; ~140 hits reproduces the paper's average raw
+    #: graph size (520 nodes, 695 edges) across the scenario-1 queries
+    homolog_pool: int = 140
+    decoy_mixture: Tuple[Tuple[EvidenceProfile, float], ...] = DEFAULT_DECOY_MIXTURE
+    gold_profile: EvidenceProfile = profiles.WELL_KNOWN
+    true_profile: EvidenceProfile = profiles.HYPOTHETICAL_TRUE
+    novel_profile: EvidenceProfile = profiles.NOVEL_SINGLE_STRONG
+
+    def __post_init__(self) -> None:
+        reserved = self.n_gold + len(self.novel_go_ids) + len(self.true_go_ids)
+        if reserved > self.n_total:
+            raise ValidationError(
+                f"{self.protein}: gold+novel+true ({reserved}) exceeds answer "
+                f"set size {self.n_total}"
+            )
+        if len(self.named_gold_ids) > self.n_gold:
+            raise ValidationError(
+                f"{self.protein}: more named gold ids than gold slots"
+            )
+
+
+@dataclass
+class GeneratedCase:
+    """Everything produced for one protein case."""
+
+    spec: CaseSpec
+    mediator: Mediator
+    query_graph: QueryGraph
+    build_stats: BuildStats
+    iproclass_db: Database
+    gold_nodes: FrozenSet
+    novel_nodes: FrozenSet
+    true_nodes: FrozenSet
+    go_ids: Dict[str, FrozenSet] = field(default_factory=dict)
+
+    @property
+    def protein(self) -> str:
+        return self.spec.protein
+
+    def go_node(self, go_id: str):
+        """The graph node id of a GO term."""
+        return entity_node_id("GOTerm", go_id)
+
+
+class ProteinCaseGenerator:
+    """Deterministic generator of protein cases from an ontology + seed."""
+
+    def __init__(
+        self,
+        ontology: Optional[GeneOntology] = None,
+        rng: RngLike = None,
+    ):
+        # when no shared ontology is supplied, each case mints decoy
+        # terms from its own fresh registry — term ids then depend only
+        # on (seed, protein), never on how many cases were generated
+        # before. Passing a shared ontology keeps one global registry at
+        # the cost of that order-independence.
+        self._shared_ontology = ontology
+        # a fixed token (not a live generator) keys the per-case streams,
+        # so a case's graph depends only on (seed, protein) — never on how
+        # many other cases were generated first. Scenario 2 therefore
+        # reuses scenario 1's graphs exactly, as the paper does.
+        self._seed_token = ensure_rng(rng).getrandbits(64)
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+
+    def generate(self, spec: CaseSpec) -> GeneratedCase:
+        """Build sources, register them, run the exploratory query."""
+        rng = random.Random()
+        rng.seed(f"{self._seed_token}:case:{spec.protein}", version=2)
+        family_ids = itertools.count(1)
+        ontology = self._shared_ontology or GeneOntology()
+
+        dbs = {
+            "entrez_protein": entrez_protein.create_database(),
+            "entrez_gene": entrez_gene.create_database(),
+            "amigo": amigo.create_database(),
+            "ncbi_blast": ncbi_blast.create_database(),
+            "pfam": pfam.create_database(),
+            "tigrfam": tigrfam.create_database(),
+            "iproclass": iproclass.create_database(),
+        }
+
+        sequence = random_protein_sequence(_PROTEIN_SEQUENCE_LENGTH, rng)
+        entrez_protein.add_protein(dbs["entrez_protein"], spec.protein, sequence)
+        own_gene = f"EG:{spec.protein}"
+        entrez_gene.add_gene(dbs["entrez_gene"], own_gene, "Reviewed")
+        entrez_protein.add_gene_xref(dbs["entrez_protein"], spec.protein, own_gene)
+
+        homolog_groups = self._build_homolog_pool(dbs, spec, sequence, rng)
+        # self-hit groups stay in the graph as structural noise but are
+        # never annotation targets — annotating through them would
+        # silently drop a path (the own gene is already handled by the
+        # direct-annotation channel)
+        annotatable_groups = [
+            group
+            for group in homolog_groups
+            if any(gene != own_gene for gene in group)
+        ]
+        assignments = self._assign_functions(spec, ontology, rng)
+
+        used_terms: List[str] = []
+        for go_id, profile in assignments:
+            self._attach_evidence(
+                dbs, spec, go_id, profile, own_gene, annotatable_groups, family_ids, rng
+            )
+            used_terms.append(go_id)
+
+        for go_id in used_terms:
+            term = ontology.ensure_term(go_id)
+            amigo.add_term(dbs["amigo"], term.term_id, term.name, term.namespace)
+
+        gold_ids = [go for go, prof in assignments if prof is spec.gold_profile]
+        for go_id in gold_ids:
+            iproclass.add_gold_function(dbs["iproclass"], spec.protein, go_id)
+
+        mediator = Mediator(confidences=biorank_confidences())
+        mediator.register(entrez_protein.make_source(dbs["entrez_protein"]))
+        mediator.register(entrez_gene.make_source(dbs["entrez_gene"]))
+        mediator.register(amigo.make_source(dbs["amigo"]))
+        mediator.register(ncbi_blast.make_source(dbs["ncbi_blast"]))
+        mediator.register(pfam.make_source(dbs["pfam"]))
+        mediator.register(tigrfam.make_source(dbs["tigrfam"]))
+
+        query = ExploratoryQuery(
+            "EntrezProtein", "name", spec.protein, outputs=("GOTerm",)
+        )
+        query_graph, stats = query.execute(mediator)
+
+        answer_count = len(query_graph.targets)
+        if answer_count != spec.n_total:
+            raise ValidationError(
+                f"{spec.protein}: generated answer set has {answer_count} "
+                f"functions, expected {spec.n_total}"
+            )
+
+        as_nodes = lambda ids: frozenset(entity_node_id("GOTerm", g) for g in ids)
+        return GeneratedCase(
+            spec=spec,
+            mediator=mediator,
+            query_graph=query_graph,
+            build_stats=stats,
+            iproclass_db=dbs["iproclass"],
+            gold_nodes=as_nodes(gold_ids),
+            novel_nodes=as_nodes(spec.novel_go_ids),
+            true_nodes=as_nodes(spec.true_go_ids),
+        )
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _build_homolog_pool(
+        self,
+        dbs: Mapping[str, Database],
+        spec: CaseSpec,
+        sequence: str,
+        rng,
+    ) -> List[str]:
+        """Create the BLAST hit pool; returns the homolog gene ids."""
+        own_gene = f"EG:{spec.protein}"
+        groups: List[List[str]] = []
+        all_genes: List[str] = []
+        statuses, weights = zip(*_HOMOLOG_STATUS_CHOICES)
+
+        def new_gene(suffix: str) -> str:
+            gene_id = f"EG:{spec.protein}|{suffix}"
+            status = rng.choices(statuses, weights=weights, k=1)[0]
+            entrez_gene.add_gene(dbs["entrez_gene"], gene_id, status)
+            all_genes.append(gene_id)
+            return gene_id
+
+        for i in range(spec.homolog_pool):
+            strength = rng.uniform(*_HOMOLOG_BLAST_STRENGTH)
+            hit_id = f"{spec.protein}|hit{i:03d}"
+            draw = rng.random()
+            if draw < _SELF_HIT_PROBABILITY:
+                genes = [own_gene]  # self-hit; gene record already exists
+            elif draw < _SELF_HIT_PROBABILITY + _SHARED_GENE_PROBABILITY and all_genes:
+                genes = [rng.choice(all_genes)]  # paralog/isoform, shared gene
+            elif draw < (
+                _SELF_HIT_PROBABILITY
+                + _SHARED_GENE_PROBABILITY
+                + _AMBIGUOUS_HIT_PROBABILITY
+            ):
+                genes = [new_gene(f"h{i:03d}a"), new_gene(f"h{i:03d}b")]
+            else:
+                genes = [new_gene(f"h{i:03d}")]
+            ncbi_blast.add_hit(
+                dbs["ncbi_blast"],
+                protein=spec.protein,
+                hit_id=hit_id,
+                e_value=probability_to_evalue(strength),
+                gene_id=genes[0],
+                sequence=mutate_sequence(sequence, 1.0 - strength, rng),
+            )
+            for extra_gene in genes[1:]:
+                dbs["ncbi_blast"].insert(
+                    "blast2", {"seq2": hit_id, "idEG": extra_gene}
+                )
+            groups.append(genes)
+        return groups
+
+    def _assign_functions(
+        self, spec: CaseSpec, ontology: GeneOntology, rng
+    ) -> List[Tuple[str, EvidenceProfile]]:
+        """Decide the full answer set: (GO id, profile) pairs."""
+        assignments: List[Tuple[str, EvidenceProfile]] = []
+
+        gold_ids = list(spec.named_gold_ids)
+        while len(gold_ids) < spec.n_gold:
+            gold_ids.append(ontology.new_term(rng).term_id)
+        assignments.extend((go, spec.gold_profile) for go in gold_ids)
+
+        assignments.extend((go, spec.novel_profile) for go in spec.novel_go_ids)
+        assignments.extend((go, spec.true_profile) for go in spec.true_go_ids)
+
+        n_decoys = spec.n_total - len(assignments)
+        mixture_profiles, weights = zip(*spec.decoy_mixture)
+        for _ in range(n_decoys):
+            profile = rng.choices(mixture_profiles, weights=weights, k=1)[0]
+            assignments.append((ontology.new_term(rng).term_id, profile))
+        return assignments
+
+    def _attach_evidence(
+        self,
+        dbs: Mapping[str, Database],
+        spec: CaseSpec,
+        go_id: str,
+        profile: EvidenceProfile,
+        own_gene: str,
+        homolog_groups: Sequence[Sequence[str]],
+        family_ids,
+        rng,
+    ) -> None:
+        """Materialise one function's evidence as source records."""
+        has_direct = (
+            profile.direct_annotation is not None
+            and rng.random() < profile.direct_probability
+        )
+        if has_direct:
+            strength = profile.sample_strength(profile.direct_annotation, rng)
+            entrez_gene.add_annotation(
+                dbs["entrez_gene"], own_gene, go_id, _nearest_evidence_code(strength)
+            )
+
+        n_homolog = profile.sample_count(profile.n_homolog_paths, rng)
+        n_homolog = min(n_homolog, len(homolog_groups))
+        annotated: set = set()
+        for group in rng.sample(list(homolog_groups), n_homolog):
+            # an ambiguous hit annotates the function through both of its
+            # gene records (shared-prefix/diverging evidence, Fig 4a)
+            for gene_id in group:
+                if gene_id in annotated or gene_id == own_gene:
+                    continue
+                annotated.add(gene_id)
+                strength = profile.sample_strength(profile.homolog_evidence, rng)
+                entrez_gene.add_annotation(
+                    dbs["entrez_gene"],
+                    gene_id,
+                    go_id,
+                    _nearest_evidence_code(strength),
+                )
+
+        n_family = profile.sample_count(profile.n_family_paths, rng)
+        for _ in range(n_family):
+            kind = profile.family_kind
+            if kind == "any":
+                kind = rng.choice(("pfam", "tigrfam"))
+            strength = profile.sample_strength(profile.family_match_strength, rng)
+            counter = next(family_ids)
+            if kind == "pfam":
+                family_id = f"PF{counter:05d}"
+                db = dbs["pfam"]
+                module = pfam
+            else:
+                family_id = f"TIGR{counter:05d}"
+                db = dbs["tigrfam"]
+                module = tigrfam
+            module.add_family(db, family_id)
+            module.add_match(
+                db, spec.protein, family_id, probability_to_evalue(strength)
+            )
+            module.add_family_go(db, family_id, go_id)
+
+
+def _nearest_evidence_code(strength: float) -> str:
+    """The GO evidence code whose pr is closest to ``strength``."""
+    return min(
+        AMIGO_EVIDENCE_PR, key=lambda code: abs(AMIGO_EVIDENCE_PR[code] - strength)
+    )

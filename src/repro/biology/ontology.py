@@ -1,0 +1,176 @@
+"""A synthetic Gene Ontology.
+
+Provides the shared vocabulary of protein functions the sources annotate
+against: a registry of GO terms with identifiers, names and namespaces,
+an ``is_a`` parent DAG for realism, and a generator for filler terms.
+Terms that actually appear in the paper (the §2 example ranking, Tables
+2 and 3) are included verbatim so the reproduced tables read like the
+originals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ValidationError
+from repro.utils.rng import RngLike, ensure_rng
+
+__all__ = ["GoTerm", "GeneOntology", "PAPER_TERMS"]
+
+#: GO terms named in the paper, id -> (name, namespace)
+PAPER_TERMS: Dict[str, Tuple[str, str]] = {
+    # §2 example ranking for ABCC8
+    "GO:0008281": ("sulfonylurea receptor activity", "molecular_function"),
+    "GO:0006813": ("potassium ion transport", "biological_process"),
+    "GO:0005524": ("ATP binding", "molecular_function"),
+    "GO:0005886": ("plasma membrane", "cellular_component"),
+    "GO:0005215": ("transporter activity", "molecular_function"),
+    # Table 2: newly published functions
+    "GO:0006855": ("drug transmembrane transport", "biological_process"),
+    "GO:0015559": ("multidrug efflux transporter activity", "molecular_function"),
+    "GO:0042493": ("response to drug", "biological_process"),
+    "GO:0030321": ("transepithelial chloride transport", "biological_process"),
+    "GO:0007501": ("mesodermal cell fate specification", "biological_process"),
+    "GO:0042472": ("inner ear morphogenesis", "biological_process"),
+    # Table 3: hypothetical protein functions
+    "GO:0003973": ("(S)-2-hydroxy-acid oxidase activity", "molecular_function"),
+    "GO:0019175": ("nicotinamidase activity", "molecular_function"),
+    "GO:0016226": ("iron-sulfur cluster assembly", "biological_process"),
+    "GO:0050518": ("2-C-methyl-D-erythritol 4-phosphate cytidylyltransferase activity", "molecular_function"),
+    "GO:0019143": ("3-deoxy-manno-octulosonate-8-phosphatase activity", "molecular_function"),
+    "GO:0004729": ("oxygen-dependent protoporphyrinogen oxidase activity", "molecular_function"),
+    "GO:0008990": ("rRNA (guanine-N2-)-methyltransferase activity", "molecular_function"),
+    "GO:0047632": ("agmatine deiminase activity", "molecular_function"),
+    "GO:0003951": ("NAD+ kinase activity", "molecular_function"),
+    "GO:0004017": ("adenylate kinase activity", "molecular_function"),
+}
+
+_NAMESPACES = ("molecular_function", "biological_process", "cellular_component")
+
+_NAME_PARTS_A = (
+    "putative", "probable", "predicted", "conserved", "bacterial",
+    "membrane", "cytosolic", "nuclear", "mitochondrial", "periplasmic",
+)
+_NAME_PARTS_B = (
+    "kinase", "transferase", "hydrolase", "oxidoreductase", "ligase",
+    "transporter", "receptor", "binding", "channel", "isomerase",
+    "synthase", "phosphatase", "reductase", "permease", "regulator",
+)
+_NAME_PARTS_C = ("activity", "complex", "process", "assembly", "pathway")
+
+
+@dataclass(frozen=True)
+class GoTerm:
+    """One Gene Ontology term."""
+
+    term_id: str
+    name: str
+    namespace: str
+    parents: Tuple[str, ...] = ()
+
+
+class GeneOntology:
+    """A registry of GO terms with an ``is_a`` DAG.
+
+    Construction is deterministic given a seed. Terms from
+    :data:`PAPER_TERMS` are always present; filler terms use synthetic
+    ids from GO:0900000 upward (far from real id ranges, so they can
+    never collide with a paper term).
+    """
+
+    def __init__(self) -> None:
+        self._terms: Dict[str, GoTerm] = {}
+        self._next_synthetic = 900_000
+        for term_id, (name, namespace) in PAPER_TERMS.items():
+            self._terms[term_id] = GoTerm(term_id, name, namespace)
+
+    # ------------------------------------------------------------------ #
+    # registry
+    # ------------------------------------------------------------------ #
+
+    def term(self, term_id: str) -> GoTerm:
+        term = self._terms.get(term_id)
+        if term is None:
+            raise ValidationError(f"unknown GO term {term_id!r}")
+        return term
+
+    def has_term(self, term_id: str) -> bool:
+        return term_id in self._terms
+
+    def ensure_term(
+        self,
+        term_id: str,
+        name: Optional[str] = None,
+        namespace: str = "molecular_function",
+    ) -> GoTerm:
+        """Return the term, registering a placeholder if it is unknown.
+
+        Scenario builders refer to functions by externally chosen GO ids
+        (paper tables, user data); this lets them do so without
+        pre-populating the registry.
+        """
+        existing = self._terms.get(term_id)
+        if existing is not None:
+            return existing
+        if not term_id.startswith("GO:"):
+            raise ValidationError(f"GO ids must start with 'GO:', got {term_id!r}")
+        term = GoTerm(term_id, name or f"uncharacterised function {term_id}", namespace)
+        self._terms[term_id] = term
+        return term
+
+    def terms(self) -> Iterator[GoTerm]:
+        return iter(self._terms.values())
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    # ------------------------------------------------------------------ #
+    # generation
+    # ------------------------------------------------------------------ #
+
+    def new_term(
+        self,
+        rng: RngLike = None,
+        namespace: Optional[str] = None,
+        max_parents: int = 2,
+    ) -> GoTerm:
+        """Mint a fresh synthetic term, optionally wired into the DAG.
+
+        Parents are sampled from existing terms of the same namespace;
+        because parents always predate children, the ``is_a`` graph is a
+        DAG by construction.
+        """
+        random = ensure_rng(rng)
+        term_id = f"GO:{self._next_synthetic:07d}"
+        self._next_synthetic += 1
+        namespace = namespace or random.choice(_NAMESPACES)
+        name = " ".join(
+            (
+                random.choice(_NAME_PARTS_A),
+                random.choice(_NAME_PARTS_B),
+                random.choice(_NAME_PARTS_C),
+            )
+        )
+        candidates = [
+            t.term_id for t in self._terms.values() if t.namespace == namespace
+        ]
+        n_parents = random.randint(0, max_parents) if candidates else 0
+        parents = tuple(
+            random.sample(candidates, min(n_parents, len(candidates)))
+        )
+        term = GoTerm(term_id, name, namespace, parents)
+        self._terms[term_id] = term
+        return term
+
+    def ancestors(self, term_id: str) -> List[str]:
+        """All transitive ``is_a`` ancestors of ``term_id``."""
+        seen: List[str] = []
+        frontier = list(self.term(term_id).parents)
+        while frontier:
+            parent = frontier.pop()
+            if parent in seen:
+                continue
+            seen.append(parent)
+            frontier.extend(self.term(parent).parents)
+        return seen

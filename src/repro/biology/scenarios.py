@@ -1,0 +1,208 @@
+"""The three experimental scenarios of §4, reconstructed.
+
+* **Scenario 1** — well-known functions of 20 well-studied proteins.
+  The protein list and the per-protein (#iProClass, #BioRank) function
+  counts are Table 1's, verbatim. Relevant = the iProClass gold set.
+* **Scenario 2** — 7 recently published functions of 3 of those proteins
+  (Table 2, with the original GO ids and PubMed ids). The query graphs
+  are the *same* as scenario 1's for ABCC8 / CFTR / EYA1; only the
+  relevant set changes to the novel functions.
+* **Scenario 3** — 11 hypothetical bacterial proteins with one
+  expert-assigned function each (Table 3, original protein names, GO
+  ids, and answer-set sizes taken from the table's Random columns).
+
+``build_scenario(n, seed)`` deterministically regenerates a scenario's
+evaluation cases; the same seed reproduces byte-identical graphs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.biology import evidence as profiles
+from repro.biology.generator import CaseSpec, GeneratedCase, ProteinCaseGenerator
+from repro.biology.ontology import GeneOntology
+from repro.core.graph import QueryGraph
+from repro.errors import ValidationError
+from repro.utils.rng import RngLike
+
+__all__ = [
+    "SCENARIO1_PROTEINS",
+    "SCENARIO2_FUNCTIONS",
+    "SCENARIO3_PROTEINS",
+    "Scenario",
+    "ScenarioCase",
+    "build_scenario",
+]
+
+#: Table 1: protein, #iProClass (gold) functions, #BioRank answer set
+SCENARIO1_PROTEINS: Tuple[Tuple[str, int, int], ...] = (
+    ("ABCC8", 13, 97),
+    ("ABCD1", 15, 79),
+    ("AGPAT2", 10, 16),
+    ("ATP1A2", 31, 108),
+    ("ATP7A", 35, 130),
+    ("CFTR", 19, 90),
+    ("CNTS", 8, 15),
+    ("DARE", 18, 39),
+    ("EIF2B1", 15, 35),
+    ("EYA1", 12, 38),
+    ("FGFR3", 16, 65),
+    ("GALT", 8, 15),
+    ("GCH1", 10, 21),
+    ("GLDC", 7, 17),
+    ("GNE", 13, 24),
+    ("LPL", 13, 36),
+    ("MLH1", 19, 52),
+    ("MUTL", 13, 28),
+    ("RYR2", 18, 66),
+    ("SLC17A5", 13, 66),
+)
+
+#: Table 2: protein -> ((GO id, PubMed id, year), ...)
+SCENARIO2_FUNCTIONS: Dict[str, Tuple[Tuple[str, str, int], ...]] = {
+    "ABCC8": (
+        ("GO:0006855", "18025464", 2007),
+        ("GO:0015559", "18025464", 2007),
+        ("GO:0042493", "18025464", 2007),
+    ),
+    "CFTR": (
+        ("GO:0030321", "17869070", 2007),
+        ("GO:0042493", "18045536", 2007),
+    ),
+    "EYA1": (
+        ("GO:0007501", "17637804", 2007),
+        ("GO:0042472", "17637804", 2007),
+    ),
+}
+
+#: Table 3: protein, expert-assigned GO function, answer-set size
+SCENARIO3_PROTEINS: Tuple[Tuple[str, str, int], ...] = (
+    ("DP0843", "GO:0003973", 47),
+    ("DP1954", "GO:0019175", 18),
+    ("NMC0498", "GO:0016226", 5),
+    ("NMC1442", "GO:0050518", 17),
+    ("NMC1815", "GO:0019143", 14),
+    ("SO_0025", "GO:0004729", 5),
+    ("SO_0599", "GO:0005524", 19),
+    ("SO_0828", "GO:0008990", 4),
+    ("SO_0887", "GO:0047632", 6),
+    ("SO_1523", "GO:0003951", 24),
+    ("WGLp528", "GO:0004017", 9),
+)
+
+#: the §2 example ranking's terms, seeded among ABCC8's gold functions
+ABCC8_NAMED_GOLD: Tuple[str, ...] = (
+    "GO:0008281",
+    "GO:0006813",
+    "GO:0005524",
+    "GO:0005886",
+    "GO:0005215",
+)
+
+#: decoy mixture around hypothetical proteins (scenario 3)
+SCENARIO3_DECOY_MIXTURE: Tuple[Tuple[profiles.EvidenceProfile, float], ...] = (
+    (profiles.HYPOTHETICAL_DECOY, 0.75),
+    (profiles.HYPOTHETICAL_SHORT, 0.25),
+)
+
+SCENARIO3_HOMOLOG_POOL = 25
+
+
+class Scenario(enum.IntEnum):
+    """The paper's three evaluation scenarios."""
+
+    WELL_KNOWN = 1
+    LESS_KNOWN = 2
+    UNKNOWN = 3
+
+
+@dataclass
+class ScenarioCase:
+    """One evaluation unit: a query graph plus its relevant answers."""
+
+    name: str
+    case: GeneratedCase
+    relevant: FrozenSet
+
+    @property
+    def query_graph(self) -> QueryGraph:
+        return self.case.query_graph
+
+    @property
+    def n_total(self) -> int:
+        return len(self.case.query_graph.targets)
+
+    @property
+    def n_relevant(self) -> int:
+        return len(self.relevant)
+
+
+def _scenario1_spec(protein: str, n_gold: int, n_total: int) -> CaseSpec:
+    novel = tuple(go for go, _, _ in SCENARIO2_FUNCTIONS.get(protein, ()))
+    named = ABCC8_NAMED_GOLD if protein == "ABCC8" else ()
+    return CaseSpec(
+        protein=protein,
+        n_gold=n_gold,
+        n_total=n_total,
+        novel_go_ids=novel,
+        named_gold_ids=named,
+    )
+
+
+def _scenario3_spec(protein: str, go_id: str, n_total: int) -> CaseSpec:
+    return CaseSpec(
+        protein=protein,
+        n_gold=0,
+        n_total=n_total,
+        true_go_ids=(go_id,),
+        homolog_pool=SCENARIO3_HOMOLOG_POOL,
+        decoy_mixture=SCENARIO3_DECOY_MIXTURE,
+    )
+
+
+def build_scenario(
+    scenario: int,
+    seed: RngLike = 0,
+    ontology: Optional[GeneOntology] = None,
+    limit: Optional[int] = None,
+) -> List[ScenarioCase]:
+    """Regenerate a scenario's evaluation cases deterministically.
+
+    ``limit`` truncates the protein list (handy for fast tests); the
+    generated graphs for a given (protein, seed) pair are identical
+    across scenarios — scenario 2 reuses scenario 1's graphs with a
+    different relevant set, exactly as in the paper.
+    """
+    scenario = Scenario(scenario)
+    generator = ProteinCaseGenerator(ontology=ontology, rng=seed)
+    cases: List[ScenarioCase] = []
+
+    if scenario is Scenario.WELL_KNOWN:
+        rows = SCENARIO1_PROTEINS[:limit]
+        for protein, n_gold, n_total in rows:
+            generated = generator.generate(_scenario1_spec(protein, n_gold, n_total))
+            cases.append(
+                ScenarioCase(protein, generated, relevant=generated.gold_nodes)
+            )
+    elif scenario is Scenario.LESS_KNOWN:
+        rows = [
+            row for row in SCENARIO1_PROTEINS if row[0] in SCENARIO2_FUNCTIONS
+        ][:limit]
+        for protein, n_gold, n_total in rows:
+            generated = generator.generate(_scenario1_spec(protein, n_gold, n_total))
+            if not generated.novel_nodes:
+                raise ValidationError(f"{protein}: no novel functions generated")
+            cases.append(
+                ScenarioCase(protein, generated, relevant=generated.novel_nodes)
+            )
+    else:
+        rows = SCENARIO3_PROTEINS[:limit]
+        for protein, go_id, n_total in rows:
+            generated = generator.generate(_scenario3_spec(protein, go_id, n_total))
+            cases.append(
+                ScenarioCase(protein, generated, relevant=generated.true_nodes)
+            )
+    return cases

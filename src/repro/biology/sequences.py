@@ -1,0 +1,87 @@
+"""Protein sequences and a toy homology model.
+
+Real BLAST e-values depend on alignment scores; here a homolog is
+produced by point-mutating the query sequence, its identity fraction is
+measured, and the e-value a search tool would report is derived from the
+identity. The scenario generator usually works the other way around —
+it decides the evidence *strength* it wants and emits the corresponding
+e-value via
+:func:`repro.integration.probability.probability_to_evalue` — but the
+forward model keeps the substrate honest and is exercised by the
+examples and tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.errors import ValidationError
+from repro.utils.rng import RngLike, ensure_rng
+
+__all__ = [
+    "AMINO_ACIDS",
+    "random_protein_sequence",
+    "mutate_sequence",
+    "sequence_identity",
+    "identity_to_evalue",
+]
+
+#: the 20 standard amino acids, one-letter codes
+AMINO_ACIDS = "ACDEFGHIKLMNPQRSTVWY"
+
+#: log10 e-value per unit identity*length (toy Karlin-Altschul slope)
+_EVALUE_SLOPE = 0.75
+
+
+def random_protein_sequence(length: int, rng: RngLike = None) -> str:
+    """A uniformly random amino-acid string of the given length."""
+    if length < 1:
+        raise ValidationError(f"sequence length must be >= 1, got {length}")
+    random = ensure_rng(rng)
+    return "".join(random.choice(AMINO_ACIDS) for _ in range(length))
+
+
+def mutate_sequence(sequence: str, rate: float, rng: RngLike = None) -> str:
+    """Point-mutate each position independently with probability ``rate``."""
+    if not 0.0 <= rate <= 1.0:
+        raise ValidationError(f"mutation rate must be in [0, 1], got {rate}")
+    random = ensure_rng(rng)
+    residues: List[str] = []
+    for residue in sequence:
+        if random.random() < rate:
+            replacement = random.choice(AMINO_ACIDS)
+            while replacement == residue:
+                replacement = random.choice(AMINO_ACIDS)
+            residues.append(replacement)
+        else:
+            residues.append(residue)
+    return "".join(residues)
+
+
+def sequence_identity(a: str, b: str) -> float:
+    """Fraction of matching positions (ungapped; compared over the
+    shorter length, mismatching any overhang)."""
+    if not a or not b:
+        raise ValidationError("sequences must be non-empty")
+    overlap = min(len(a), len(b))
+    matches = sum(1 for x, y in zip(a, b) if x == y)
+    return matches / max(len(a), len(b))
+
+
+def identity_to_evalue(identity: float, length: int) -> float:
+    """Toy e-value model: stronger/longer matches give smaller e-values.
+
+    ``E = 10 ** (-slope * identity * length)``, floored at 1e-300 (the
+    smallest value real BLAST reports before printing 0.0). Random-level
+    identity (~5 % for 20 letters) over short lengths gives e-values
+    near 1, i.e. no signal — matching intuition, not statistics.
+    """
+    if not 0.0 <= identity <= 1.0:
+        raise ValidationError(f"identity must be in [0, 1], got {identity}")
+    if length < 1:
+        raise ValidationError(f"length must be >= 1, got {length}")
+    exponent = -_EVALUE_SLOPE * identity * length
+    if exponent < -300.0:
+        return 1e-300
+    return min(1.0, 10.0**exponent)

@@ -1,0 +1,47 @@
+"""Synthetic reconstructions of the biological data sources.
+
+One module per source used in the paper's evaluation. Each module
+defines the source's own database schema (sources are autonomous — they
+enforce *their own* referential integrity but cross-source links may
+dangle, exactly as in real integration) and its export bindings into the
+mediated schema:
+
+================  ==========================  ================================
+module            entity sets                 relationships
+================  ==========================  ================================
+entrez_protein    EntrezProtein               protein_gene (-> EntrezGene)
+entrez_gene       EntrezGene (status pr)      gene_go (evidence-code qr)
+amigo             GOTerm                      —
+ncbi_blast        BlastHit                    NCBIBlast1 (e-value qr), NCBIBlast2
+pfam              PfamFamily                  pfam_match (e-value qr), pfam_go
+tigrfam           TigrFamFamily               tigrfam_match, tigrfam_go
+iproclass         — (gold standard only)      —
+================  ==========================  ================================
+
+Modelling note: the paper attaches GO-evidence-code confidence to the
+AmiGO entity records (``pr``); we attach it to the annotation *edges*
+(``qr`` of ``gene_go``). A GO term node can be annotated by several
+genes with different evidence codes, so the edge is the only place the
+per-annotation confidence is well-defined; probability mass along every
+path is unchanged.
+"""
+
+from repro.biology.sources import (
+    amigo,
+    entrez_gene,
+    entrez_protein,
+    iproclass,
+    ncbi_blast,
+    pfam,
+    tigrfam,
+)
+
+__all__ = [
+    "amigo",
+    "entrez_gene",
+    "entrez_protein",
+    "iproclass",
+    "ncbi_blast",
+    "pfam",
+    "tigrfam",
+]

@@ -1,0 +1,60 @@
+"""Synthetic AmiGO: the Gene Ontology term vocabulary.
+
+Exports the ``GOTerm`` entity set — the answer entity set of the
+paper's exploratory queries. Term records themselves are vocabulary
+entries and carry full confidence; annotation confidence lives on the
+annotation edges (see the package docstring).
+"""
+
+from __future__ import annotations
+
+from repro.biology.ontology import GeneOntology
+from repro.integration.sources import DataSource, EntityBinding
+from repro.storage import Column, ColumnType, Database
+
+__all__ = ["create_database", "make_source", "add_term", "load_ontology"]
+
+SOURCE_NAME = "AmiGO"
+
+
+def create_database() -> Database:
+    db = Database("amigo")
+    db.create_table(
+        "terms",
+        columns=[
+            Column("idGO", ColumnType.TEXT),
+            Column("name", ColumnType.TEXT),
+            Column("namespace", ColumnType.TEXT),
+        ],
+        primary_key=["idGO"],
+    )
+    return db
+
+
+def add_term(db: Database, go_id: str, name: str, namespace: str) -> None:
+    db.insert("terms", {"idGO": go_id, "name": name, "namespace": namespace})
+
+
+def load_ontology(db: Database, ontology: GeneOntology) -> int:
+    """Materialise every ontology term into the terms table (idempotent
+    per term id would violate the PK, so callers load once)."""
+    count = 0
+    for term in ontology.terms():
+        add_term(db, term.term_id, term.name, term.namespace)
+        count += 1
+    return count
+
+
+def make_source(db: Database) -> DataSource:
+    return DataSource(
+        name=SOURCE_NAME,
+        database=db,
+        entities=(
+            EntityBinding(
+                entity_set="GOTerm",
+                table="terms",
+                key_column="idGO",
+                label=lambda row: f"{row['idGO']} {row['name']}",
+            ),
+        ),
+    )

@@ -1,0 +1,80 @@
+"""Synthetic EntrezGene: curated gene records and GO annotations.
+
+Gene records carry the curation ``StatusCode`` that the §2 table maps to
+a record probability (Reviewed = 1.0 ... Inferred = 0.2); GO annotation
+links carry the evidence code mapped by the AmiGO table (IDA/TAS = 1.0
+... ND/NR = 0.2).
+"""
+
+from __future__ import annotations
+
+from repro.integration.probability import amigo_evidence_pr, entrez_gene_status_pr
+from repro.integration.sources import DataSource, EntityBinding, RelationshipBinding
+from repro.storage import Column, ColumnType, Database, ForeignKey
+
+__all__ = ["create_database", "make_source", "add_gene", "add_annotation"]
+
+SOURCE_NAME = "EntrezGene"
+
+
+def create_database() -> Database:
+    db = Database("entrez_gene")
+    db.create_table(
+        "genes",
+        columns=[
+            Column("idEG", ColumnType.TEXT),
+            Column("status_code", ColumnType.TEXT),
+        ],
+        primary_key=["idEG"],
+    )
+    db.create_table(
+        "gene_go",
+        columns=[
+            Column("idEG", ColumnType.TEXT),
+            Column("idGO", ColumnType.TEXT),
+            Column("evidence_code", ColumnType.TEXT),
+        ],
+        foreign_keys=[ForeignKey(("idEG",), "genes", ("idEG",))],
+    )
+    db.table("gene_go").create_index("by_gene", ["idEG"])
+    return db
+
+
+def add_gene(db: Database, gene_id: str, status_code: str) -> None:
+    entrez_gene_status_pr(status_code)  # validate eagerly
+    db.insert("genes", {"idEG": gene_id, "status_code": status_code})
+
+
+def add_annotation(db: Database, gene_id: str, go_id: str, evidence_code: str) -> None:
+    amigo_evidence_pr(evidence_code)  # validate eagerly
+    db.insert(
+        "gene_go",
+        {"idEG": gene_id, "idGO": go_id, "evidence_code": evidence_code},
+    )
+
+
+def make_source(db: Database) -> DataSource:
+    return DataSource(
+        name=SOURCE_NAME,
+        database=db,
+        entities=(
+            EntityBinding(
+                entity_set="EntrezGene",
+                table="genes",
+                key_column="idEG",
+                pr=lambda row: entrez_gene_status_pr(row["status_code"]),
+                label=lambda row: row["idEG"],
+            ),
+        ),
+        relationships=(
+            RelationshipBinding(
+                relationship="gene_go",
+                table="gene_go",
+                source_entity="EntrezGene",
+                source_column="idEG",
+                target_entity="GOTerm",
+                target_column="idGO",
+                qr=lambda row: amigo_evidence_pr(row["evidence_code"]),
+            ),
+        ),
+    )

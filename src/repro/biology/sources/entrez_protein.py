@@ -1,0 +1,70 @@
+"""Synthetic EntrezProtein: protein records plus gene cross-references.
+
+Exports the ``EntrezProtein(name, seq)`` entity set of §2 and the
+``protein_gene`` cross-reference into EntrezGene (a foreign-key link,
+hence ``qr = 1``).
+"""
+
+from __future__ import annotations
+
+from repro.integration.sources import DataSource, EntityBinding, RelationshipBinding
+from repro.storage import Column, ColumnType, Database, ForeignKey
+
+__all__ = ["create_database", "make_source", "add_protein", "add_gene_xref"]
+
+SOURCE_NAME = "EntrezProtein"
+
+
+def create_database() -> Database:
+    db = Database("entrez_protein")
+    db.create_table(
+        "proteins",
+        columns=[
+            Column("name", ColumnType.TEXT),
+            Column("seq", ColumnType.TEXT),
+        ],
+        primary_key=["name"],
+    )
+    db.create_table(
+        "gene_xref",
+        columns=[
+            Column("name", ColumnType.TEXT),
+            Column("idEG", ColumnType.TEXT),
+        ],
+        foreign_keys=[ForeignKey(("name",), "proteins", ("name",))],
+    )
+    db.table("gene_xref").create_index("by_name", ["name"])
+    return db
+
+
+def add_protein(db: Database, name: str, seq: str) -> None:
+    db.insert("proteins", {"name": name, "seq": seq})
+
+
+def add_gene_xref(db: Database, name: str, gene_id: str) -> None:
+    db.insert("gene_xref", {"name": name, "idEG": gene_id})
+
+
+def make_source(db: Database) -> DataSource:
+    return DataSource(
+        name=SOURCE_NAME,
+        database=db,
+        entities=(
+            EntityBinding(
+                entity_set="EntrezProtein",
+                table="proteins",
+                key_column="name",
+                label=lambda row: row["name"],
+            ),
+        ),
+        relationships=(
+            RelationshipBinding(
+                relationship="protein_gene",
+                table="gene_xref",
+                source_entity="EntrezProtein",
+                source_column="name",
+                target_entity="EntrezGene",
+                target_column="idEG",
+            ),
+        ),
+    )

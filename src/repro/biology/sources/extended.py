@@ -1,0 +1,205 @@
+"""The remaining catalogue sources: CDD, PIRSF, SuperFamily, UniProt, PDB.
+
+The paper's system connects to 11 sources (§2 table); its evaluation
+exercises six of them. These five complete the catalogue so the full
+mediated deployment can be assembled and experimented with:
+
+* **CDD**, **PIRSF**, **SuperFamily** — domain/family classification
+  databases with the same relational shape as Pfam (match table with
+  e-values, curated family-to-GO mappings). PIRSF is the source the
+  paper's experts trust *more* than Pfam, which the default confidences
+  below encode.
+* **UniProt** — curated protein records with a review status, plus
+  cross-references into EntrezGene.
+* **PDB** — structure records; per the catalogue it exports one entity
+  set and no relationships (structures are reached, never followed).
+"""
+
+from __future__ import annotations
+
+from repro.integration.probability import evalue_to_probability
+from repro.integration.sources import DataSource, EntityBinding, RelationshipBinding
+from repro.storage import Column, ColumnType, Database, ForeignKey
+
+from repro.biology.sources import pfam as _pfam
+
+__all__ = [
+    "create_family_style_database",
+    "make_cdd_source",
+    "make_pirsf_source",
+    "make_superfamily_source",
+    "create_uniprot_database",
+    "make_uniprot_source",
+    "create_pdb_database",
+    "make_pdb_source",
+    "extended_confidences",
+]
+
+#: UniProt review statuses and their record probabilities (reviewed
+#: Swiss-Prot entries vs unreviewed TrEMBL ones)
+UNIPROT_STATUS_PR = {"reviewed": 1.0, "unreviewed": 0.5}
+
+
+def create_family_style_database(db_name: str) -> Database:
+    """A Pfam-shaped database (families / matches / family_go)."""
+    return _pfam.create_database(db_name=db_name)
+
+
+def _family_source(
+    source_name: str,
+    entity_set: str,
+    match_relationship: str,
+    go_relationship: str,
+    db: Database,
+) -> DataSource:
+    return DataSource(
+        name=source_name,
+        database=db,
+        entities=(
+            EntityBinding(
+                entity_set=entity_set,
+                table="families",
+                key_column="family",
+                label=lambda row: row["family"],
+            ),
+        ),
+        relationships=(
+            RelationshipBinding(
+                relationship=match_relationship,
+                table="matches",
+                source_entity="EntrezProtein",
+                source_column="protein",
+                target_entity=entity_set,
+                target_column="family",
+                qr=lambda row: evalue_to_probability(row["e_value"]),
+            ),
+            RelationshipBinding(
+                relationship=go_relationship,
+                table="family_go",
+                source_entity=entity_set,
+                source_column="family",
+                target_entity="GOTerm",
+                target_column="idGO",
+            ),
+        ),
+    )
+
+
+def make_cdd_source(db: Database) -> DataSource:
+    """NCBI Conserved Domain Database."""
+    return _family_source("CDD", "CddDomain", "cdd_match", "cdd_go", db)
+
+
+def make_pirsf_source(db: Database) -> DataSource:
+    """PIR SuperFamily — the classifier the paper's experts trust most."""
+    return _family_source("PIRSF", "PirsfFamily", "pirsf_match", "pirsf_go", db)
+
+
+def make_superfamily_source(db: Database) -> DataSource:
+    """SUPERFAMILY structural-domain assignments."""
+    return _family_source(
+        "SuperFamily", "SuperFamilyDomain", "superfamily_match", "superfamily_go", db
+    )
+
+
+def create_uniprot_database() -> Database:
+    db = Database("uniprot")
+    db.create_table(
+        "entries",
+        columns=[
+            Column("accession", ColumnType.TEXT),
+            Column("status", ColumnType.TEXT),
+        ],
+        primary_key=["accession"],
+    )
+    db.create_table(
+        "gene_xref",
+        columns=[
+            Column("accession", ColumnType.TEXT),
+            Column("idEG", ColumnType.TEXT),
+        ],
+        foreign_keys=[ForeignKey(("accession",), "entries", ("accession",))],
+    )
+    db.table("gene_xref").create_index("by_accession", ["accession"])
+    return db
+
+
+def make_uniprot_source(db: Database) -> DataSource:
+    def status_pr(row) -> float:
+        try:
+            return UNIPROT_STATUS_PR[row["status"]]
+        except KeyError:
+            raise ValueError(f"unknown UniProt status {row['status']!r}") from None
+
+    return DataSource(
+        name="UniProt",
+        database=db,
+        entities=(
+            EntityBinding(
+                entity_set="UniProtEntry",
+                table="entries",
+                key_column="accession",
+                pr=status_pr,
+            ),
+        ),
+        relationships=(
+            RelationshipBinding(
+                relationship="uniprot_gene",
+                table="gene_xref",
+                source_entity="UniProtEntry",
+                source_column="accession",
+                target_entity="EntrezGene",
+                target_column="idEG",
+            ),
+        ),
+    )
+
+
+def create_pdb_database() -> Database:
+    db = Database("pdb")
+    db.create_table(
+        "structures",
+        columns=[
+            Column("pdb_id", ColumnType.TEXT),
+            Column("resolution", ColumnType.FLOAT, nullable=True),
+        ],
+        primary_key=["pdb_id"],
+    )
+    return db
+
+
+def make_pdb_source(db: Database) -> DataSource:
+    """PDB exports one entity set and no relationships (§2 catalogue)."""
+    return DataSource(
+        name="PDB",
+        database=db,
+        entities=(
+            EntityBinding(
+                entity_set="PdbStructure",
+                table="structures",
+                key_column="pdb_id",
+            ),
+        ),
+    )
+
+
+def extended_confidences():
+    """The full-deployment confidence defaults: the six evaluation
+    sources' values plus the experts' judgements about the other five
+    (§2: "results from PIRSF are more accurate than Pfam")."""
+    from repro.biology.confidences import biorank_confidences
+
+    registry = biorank_confidences()
+    registry.set_entity_confidence("PirsfFamily", 0.97)
+    registry.set_entity_confidence("CddDomain", 0.9)
+    registry.set_entity_confidence("SuperFamilyDomain", 0.9)
+    registry.set_entity_confidence("UniProtEntry", 1.0)
+    registry.set_entity_confidence("PdbStructure", 1.0)
+    registry.set_relationship_confidence("pirsf_go", 0.97)
+    registry.set_relationship_confidence("cdd_go", 0.85)
+    registry.set_relationship_confidence("superfamily_go", 0.85)
+    registry.set_relationship_confidence("pirsf_match", 1.0)
+    registry.set_relationship_confidence("cdd_match", 1.0)
+    registry.set_relationship_confidence("superfamily_match", 1.0)
+    registry.set_relationship_confidence("uniprot_gene", 1.0)
+    return registry

@@ -1,0 +1,42 @@
+"""Synthetic iProClass: the gold-standard reference database.
+
+iProClass supplies the experimentally validated function assignments
+that scenario 1 scores against. Exactly as in the paper, it is *not*
+registered with the mediator ("the iProClass database was not considered
+because it was the source of the test set") — it only answers
+gold-standard lookups.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.storage import Column, ColumnType, Database
+
+__all__ = ["create_database", "add_gold_function", "gold_functions"]
+
+SOURCE_NAME = "iProClass"
+
+
+def create_database() -> Database:
+    db = Database("iproclass")
+    db.create_table(
+        "functions",
+        columns=[
+            Column("protein", ColumnType.TEXT),
+            Column("idGO", ColumnType.TEXT),
+        ],
+        primary_key=["protein", "idGO"],
+    )
+    db.table("functions").create_index("by_protein", ["protein"])
+    return db
+
+
+def add_gold_function(db: Database, protein: str, go_id: str) -> None:
+    db.insert("functions", {"protein": protein, "idGO": go_id})
+
+
+def gold_functions(db: Database, protein: str) -> Set[str]:
+    """The validated GO ids of ``protein`` (empty set if unknown)."""
+    rows = db.table("functions").lookup(("protein",), (protein,))
+    return {row["idGO"] for row in rows}

@@ -1,0 +1,102 @@
+"""Synthetic NCBIBlast: sequence-similarity hits with e-values.
+
+Reproduces the paper's split of the ternary BLAST relationship into two
+binary ones: ``NCBIBlast1(seq1, seq2, e-value)`` from the query protein
+to a similar-sequence hit (``qr = -log10(e)/300``), and
+``NCBIBlast2(seq2, idEG)`` from the hit to its EntrezGene record (a
+foreign key, ``qr = 1``).
+
+The wrapper submits the protein's sequence and records results against
+the protein's accession, so the link table is keyed by protein name.
+"""
+
+from __future__ import annotations
+
+from repro.integration.probability import evalue_to_probability
+from repro.integration.sources import DataSource, EntityBinding, RelationshipBinding
+from repro.storage import Column, ColumnType, Database, ForeignKey
+
+__all__ = ["create_database", "make_source", "add_hit"]
+
+SOURCE_NAME = "NCBIBlast"
+
+
+def create_database() -> Database:
+    db = Database("ncbi_blast")
+    db.create_table(
+        "hits",
+        columns=[
+            Column("seq2", ColumnType.TEXT),
+            Column("sequence", ColumnType.TEXT, nullable=True),
+        ],
+        primary_key=["seq2"],
+    )
+    db.create_table(
+        "blast1",
+        columns=[
+            Column("protein", ColumnType.TEXT),
+            Column("seq2", ColumnType.TEXT),
+            Column("e_value", ColumnType.FLOAT),
+        ],
+        foreign_keys=[ForeignKey(("seq2",), "hits", ("seq2",))],
+    )
+    db.table("blast1").create_index("by_protein", ["protein"])
+    db.create_table(
+        "blast2",
+        columns=[
+            Column("seq2", ColumnType.TEXT),
+            Column("idEG", ColumnType.TEXT),
+        ],
+        foreign_keys=[ForeignKey(("seq2",), "hits", ("seq2",))],
+    )
+    db.table("blast2").create_index("by_seq2", ["seq2"])
+    return db
+
+
+def add_hit(
+    db: Database,
+    protein: str,
+    hit_id: str,
+    e_value: float,
+    gene_id: str,
+    sequence: str = None,
+) -> None:
+    """Record one BLAST hit: the hit entity, its score link from the
+    query protein, and its gene cross-reference."""
+    db.insert("hits", {"seq2": hit_id, "sequence": sequence})
+    db.insert("blast1", {"protein": protein, "seq2": hit_id, "e_value": e_value})
+    db.insert("blast2", {"seq2": hit_id, "idEG": gene_id})
+
+
+def make_source(db: Database) -> DataSource:
+    return DataSource(
+        name=SOURCE_NAME,
+        database=db,
+        entities=(
+            EntityBinding(
+                entity_set="BlastHit",
+                table="hits",
+                key_column="seq2",
+                label=lambda row: row["seq2"],
+            ),
+        ),
+        relationships=(
+            RelationshipBinding(
+                relationship="NCBIBlast1",
+                table="blast1",
+                source_entity="EntrezProtein",
+                source_column="protein",
+                target_entity="BlastHit",
+                target_column="seq2",
+                qr=lambda row: evalue_to_probability(row["e_value"]),
+            ),
+            RelationshipBinding(
+                relationship="NCBIBlast2",
+                table="blast2",
+                source_entity="BlastHit",
+                source_column="seq2",
+                target_entity="EntrezGene",
+                target_column="idEG",
+            ),
+        ),
+    )

@@ -1,0 +1,95 @@
+"""Synthetic Pfam: HMM protein-family matches with e-values.
+
+A protein matches a family with an e-value (``qr = -log10(e)/300``);
+curated family-to-GO mappings are identifier cross-references
+(``qr = 1``). Pfam's HMM matching considers amino-acid adjacency, which
+the paper's experts reward at the *set* level (``qs``), not per record.
+"""
+
+from __future__ import annotations
+
+from repro.integration.probability import evalue_to_probability
+from repro.integration.sources import DataSource, EntityBinding, RelationshipBinding
+from repro.storage import Column, ColumnType, Database, ForeignKey
+
+__all__ = ["create_database", "make_source", "add_family", "add_match", "add_family_go"]
+
+SOURCE_NAME = "Pfam"
+
+
+def create_database(db_name: str = "pfam") -> Database:
+    db = Database(db_name)
+    db.create_table(
+        "families",
+        columns=[
+            Column("family", ColumnType.TEXT),
+            Column("name", ColumnType.TEXT, nullable=True),
+        ],
+        primary_key=["family"],
+    )
+    db.create_table(
+        "matches",
+        columns=[
+            Column("protein", ColumnType.TEXT),
+            Column("family", ColumnType.TEXT),
+            Column("e_value", ColumnType.FLOAT),
+        ],
+        foreign_keys=[ForeignKey(("family",), "families", ("family",))],
+    )
+    db.table("matches").create_index("by_protein", ["protein"])
+    db.create_table(
+        "family_go",
+        columns=[
+            Column("family", ColumnType.TEXT),
+            Column("idGO", ColumnType.TEXT),
+        ],
+        foreign_keys=[ForeignKey(("family",), "families", ("family",))],
+    )
+    db.table("family_go").create_index("by_family", ["family"])
+    return db
+
+
+def add_family(db: Database, family: str, name: str = None) -> None:
+    db.insert("families", {"family": family, "name": name})
+
+
+def add_match(db: Database, protein: str, family: str, e_value: float) -> None:
+    db.insert("matches", {"protein": protein, "family": family, "e_value": e_value})
+
+
+def add_family_go(db: Database, family: str, go_id: str) -> None:
+    db.insert("family_go", {"family": family, "idGO": go_id})
+
+
+def make_source(db: Database) -> DataSource:
+    return DataSource(
+        name=SOURCE_NAME,
+        database=db,
+        entities=(
+            EntityBinding(
+                entity_set="PfamFamily",
+                table="families",
+                key_column="family",
+                label=lambda row: row["family"],
+            ),
+        ),
+        relationships=(
+            RelationshipBinding(
+                relationship="pfam_match",
+                table="matches",
+                source_entity="EntrezProtein",
+                source_column="protein",
+                target_entity="PfamFamily",
+                target_column="family",
+                qr=lambda row: evalue_to_probability(row["e_value"]),
+            ),
+            RelationshipBinding(
+                relationship="pfam_go",
+                table="family_go",
+                source_entity="PfamFamily",
+                source_column="family",
+                target_entity="GOTerm",
+                target_column="idGO",
+            ),
+        ),
+    )

@@ -1,0 +1,62 @@
+"""Synthetic TIGRFAM: HMM family matches, same shape as Pfam.
+
+TIGRFAM models are built for functional (equivalog) assignment, so the
+expert defaults trust its family-to-GO mappings slightly more than
+Pfam's — expressed at the set level (``qs``), see
+:func:`repro.biology.confidences.biorank_confidences`.
+"""
+
+from __future__ import annotations
+
+from repro.integration.probability import evalue_to_probability
+from repro.integration.sources import DataSource, EntityBinding, RelationshipBinding
+from repro.storage import Database
+
+from repro.biology.sources import pfam as _pfam
+
+__all__ = ["create_database", "make_source", "add_family", "add_match", "add_family_go"]
+
+SOURCE_NAME = "TIGRFAM"
+
+#: same relational shape as Pfam — reuse the schema and insert helpers
+add_family = _pfam.add_family
+add_match = _pfam.add_match
+add_family_go = _pfam.add_family_go
+
+
+def create_database() -> Database:
+    return _pfam.create_database(db_name="tigrfam")
+
+
+def make_source(db: Database) -> DataSource:
+    return DataSource(
+        name=SOURCE_NAME,
+        database=db,
+        entities=(
+            EntityBinding(
+                entity_set="TigrFamFamily",
+                table="families",
+                key_column="family",
+                label=lambda row: row["family"],
+            ),
+        ),
+        relationships=(
+            RelationshipBinding(
+                relationship="tigrfam_match",
+                table="matches",
+                source_entity="EntrezProtein",
+                source_column="protein",
+                target_entity="TigrFamFamily",
+                target_column="family",
+                qr=lambda row: evalue_to_probability(row["e_value"]),
+            ),
+            RelationshipBinding(
+                relationship="tigrfam_go",
+                table="family_go",
+                source_entity="TigrFamFamily",
+                source_column="family",
+                target_entity="GOTerm",
+                target_column="idGO",
+            ),
+        ),
+    )

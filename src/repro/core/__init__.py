@@ -1,0 +1,69 @@
+"""The paper's primary contribution: ranking uncertain integrated data.
+
+This package provides the probabilistic query-graph model (§2) and the
+five relevance semantics of §3 together with the evaluation machinery
+that makes reliability tractable (Monte Carlo simulation, graph
+reductions, closed-form solving, exact factoring).
+
+The one-stop entry point is :func:`repro.core.ranker.rank`.
+"""
+
+from repro.core.graph import Edge, ProbabilisticEntityGraph, QueryGraph
+from repro.core.bounds import rank_error_bound, required_trials
+from repro.core.montecarlo import (
+    estimate_interval,
+    naive_reliability,
+    traversal_reliability,
+)
+from repro.core.exact import exact_reliability
+from repro.core.reduction import ReductionStats, reduce_graph
+from repro.core.closed_form import ClosedFormResult, closed_form_reliability
+from repro.core.reliability import reliability_scores
+from repro.core.propagation import propagation_scores
+from repro.core.diffusion import diffusion_scores
+from repro.core.deterministic import in_edge_scores, path_count_scores
+from repro.core.adaptive import (
+    IncrementalReliabilityEstimator,
+    TopKResult,
+    topk_reliability,
+)
+from repro.core.diagnostics import (
+    AnswerDivergence,
+    CorrelationReport,
+    correlation_report,
+)
+from repro.core.paths import EvidencePath, enumerate_paths, explain_answer
+from repro.core.ranker import METHODS, RankedResult, rank
+
+__all__ = [
+    "Edge",
+    "ProbabilisticEntityGraph",
+    "QueryGraph",
+    "rank",
+    "RankedResult",
+    "EvidencePath",
+    "enumerate_paths",
+    "explain_answer",
+    "IncrementalReliabilityEstimator",
+    "TopKResult",
+    "topk_reliability",
+    "AnswerDivergence",
+    "CorrelationReport",
+    "correlation_report",
+    "METHODS",
+    "reliability_scores",
+    "propagation_scores",
+    "diffusion_scores",
+    "in_edge_scores",
+    "path_count_scores",
+    "naive_reliability",
+    "traversal_reliability",
+    "estimate_interval",
+    "exact_reliability",
+    "reduce_graph",
+    "ReductionStats",
+    "closed_form_reliability",
+    "ClosedFormResult",
+    "required_trials",
+    "rank_error_bound",
+]

@@ -1,0 +1,88 @@
+"""Tractable closed-form reliability (§3.1, item 3).
+
+Theorem 3.2 predicts that for reducible schemas — and, crucially, for
+each *individual* source-to-answer subquery of the BioRank schema — the
+reduction rules collapse the whole subgraph to a single edge
+``s -> t``, at which point the reliability is simply
+
+    r(t) = p(s) * q(s, t) * p(t).
+
+:func:`closed_form_reliability` runs that pipeline per answer node and
+reports which targets actually closed. Residues that stay irreducible
+(e.g. Wheatstone bridges) are handed to the exact factoring solver or
+rejected, per the ``fallback`` policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Literal
+
+from repro.core.exact import exact_reliability
+from repro.core.graph import QueryGraph
+from repro.core.reduction import reduce_graph
+from repro.errors import RankingError
+
+__all__ = ["ClosedFormResult", "closed_form_reliability"]
+
+NodeId = Hashable
+
+Fallback = Literal["exact", "error", "skip"]
+
+
+@dataclass
+class ClosedFormResult:
+    """Scores plus bookkeeping about which targets reduced completely."""
+
+    scores: Dict[NodeId, float] = field(default_factory=dict)
+    closed: Dict[NodeId, bool] = field(default_factory=dict)
+
+    @property
+    def fully_closed(self) -> bool:
+        """True if every answer node admitted a pure closed-form solution."""
+        return all(self.closed.values())
+
+
+def closed_form_reliability(
+    qg: QueryGraph, fallback: Fallback = "exact"
+) -> ClosedFormResult:
+    """Compute reliability per answer node via reduction to closed form.
+
+    ``fallback`` controls irreducible targets: ``"exact"`` solves them by
+    factoring (default), ``"error"`` raises :class:`RankingError`, and
+    ``"skip"`` omits them from the result.
+    """
+    result = ClosedFormResult()
+    for target in qg.targets:
+        sub = qg.between_subgraph(target)
+        reduced, _ = reduce_graph(sub)
+        graph = reduced.graph
+        source = reduced.source
+
+        if source == target:
+            result.scores[target] = graph.p(source)
+            result.closed[target] = True
+            continue
+        if graph.num_nodes == 2 and graph.num_edges == 1:
+            (edge,) = graph.edges()
+            result.scores[target] = (
+                graph.p(source) * graph.q(edge.key) * graph.p(target)
+            )
+            result.closed[target] = True
+            continue
+        if target not in graph.reachable_from(source):
+            result.scores[target] = 0.0
+            result.closed[target] = True
+            continue
+
+        # irreducible residue (the schema was not reducible for this target)
+        if fallback == "error":
+            raise RankingError(
+                f"target {target!r} did not reduce to closed form "
+                f"({graph.num_nodes} nodes, {graph.num_edges} edges remain)"
+            )
+        if fallback == "skip":
+            continue
+        result.scores[target] = exact_reliability(reduced, target)[target]
+        result.closed[target] = False
+    return result

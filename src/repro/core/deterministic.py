@@ -1,0 +1,58 @@
+"""The deterministic benchmark rankings: InEdge (§3.4) and PathCount (§3.5).
+
+* **InEdge** — the number of incoming edges of an answer node (Lacroix
+  et al.'s "cardinality"). Fast, but blind to probabilities and to any
+  part of the query graph not adjacent to the answer.
+* **PathCount** — the number of distinct paths from the query node to
+  the answer node, measuring connectivity of the whole intermediate
+  subgraph. Only defined on DAGs: a cycle makes the count infinite, and
+  we raise :class:`CycleError` rather than return a misleading number.
+
+Both ignore ``p`` and ``q`` entirely; parallel edges count separately
+(they are genuinely distinct pieces of linking evidence).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable
+
+from repro.core.graph import QueryGraph
+from repro.errors import CycleError
+
+__all__ = ["in_edge_scores", "path_count_scores"]
+
+NodeId = Hashable
+
+
+def in_edge_scores(qg: QueryGraph, all_nodes: bool = False) -> Dict[NodeId, float]:
+    """Relevance = total number of incoming edges (as a float, so the
+    result type is uniform across all five ranking methods)."""
+    graph = qg.graph
+    nodes = graph.nodes() if all_nodes else qg.targets
+    return {node: float(graph.in_degree(node)) for node in nodes}
+
+
+def path_count_scores(qg: QueryGraph, all_nodes: bool = False) -> Dict[NodeId, float]:
+    """Relevance = number of distinct source-to-node paths (DAG only).
+
+    Counted by a single dynamic-programming sweep in topological order;
+    parallel edges multiply the count, matching the definition of a path
+    as a sequence of *edges*.
+    """
+    graph = qg.graph
+    try:
+        order = graph.topological_order()
+    except CycleError as exc:
+        raise CycleError(
+            "PathCount is undefined on cyclic graphs (infinitely many paths)"
+        ) from exc
+
+    counts: Dict[NodeId, int] = {node: 0 for node in graph.nodes()}
+    counts[qg.source] = 1
+    for node in order:
+        if counts[node] == 0:
+            continue
+        for edge in graph.out_edges(node):
+            counts[edge.target] += counts[node]
+    nodes = graph.nodes() if all_nodes else qg.targets
+    return {node: float(counts[node]) for node in nodes}

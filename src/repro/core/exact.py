@@ -1,0 +1,194 @@
+"""Exact source-target reliability by factoring.
+
+Network reliability is #P-hard in general (Valiant 1979), but the test
+and evaluation graphs in this project are small enough for the classic
+*factoring* algorithm: pick an uncertain component (an edge with
+``q < 1`` or a node with ``p < 1``), condition on its presence,
+
+    R = q * R[component certain] + (1 - q) * R[component removed],
+
+and recurse, applying the §3.1 reduction rules between steps so each
+branch shrinks quickly. The module also offers a brute-force
+state-enumeration solver used to validate the factoring algorithm in
+tests.
+
+These exact solvers serve as ground truth for the Monte Carlo estimators
+and as the fallback of the closed-form pipeline on irreducible residues
+(e.g. Wheatstone bridges).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.core.graph import ProbabilisticEntityGraph, QueryGraph
+from repro.core.reduction import reduce_graph
+from repro.errors import GraphError
+
+__all__ = ["exact_reliability", "brute_force_reliability"]
+
+NodeId = Hashable
+
+#: factoring explores up to 2^k branches over k uncertain components;
+#: beyond this many components we refuse rather than hang.
+MAX_UNCERTAIN_COMPONENTS = 64
+
+
+def exact_reliability(qg: QueryGraph, target: Optional[NodeId] = None) -> Dict[NodeId, float]:
+    """Exact reliability ``r(t)`` for each answer node (or just ``target``).
+
+    ``r(t)`` is the probability, over independent node/edge presence
+    draws, that ``t`` is present and connected to the query node (whose
+    own presence is also required, matching the reified reliability
+    problem).
+    """
+    targets = [target] if target is not None else list(qg.targets)
+    result: Dict[NodeId, float] = {}
+    for t in targets:
+        if not qg.graph.has_node(t):
+            raise GraphError(f"unknown target {t!r}")
+        sub = QueryGraph(qg.graph, qg.source, [t]).between_subgraph(t)
+        _check_budget(sub)
+        result[t] = _factor(sub)
+    return result
+
+
+def _check_budget(qg: QueryGraph) -> None:
+    uncertain = sum(1 for n in qg.graph.nodes() if qg.graph.p(n) < 1.0)
+    uncertain += sum(1 for e in qg.graph.edges() if qg.graph.q(e.key) < 1.0)
+    if uncertain > MAX_UNCERTAIN_COMPONENTS:
+        raise GraphError(
+            f"exact factoring refused: {uncertain} uncertain components "
+            f"(> {MAX_UNCERTAIN_COMPONENTS}); use Monte Carlo instead"
+        )
+
+
+def _factor(qg: QueryGraph) -> float:
+    """Recursive factoring on a single-target query graph."""
+    reduced, _ = reduce_graph(qg)
+    graph, source, target = reduced.graph, reduced.source, reduced.targets[0]
+
+    if source == target:
+        return graph.p(source)
+    if target not in graph.reachable_from(source):
+        return 0.0
+
+    # fully reduced base case: a single uncertain edge s -> t
+    if graph.num_nodes == 2 and graph.num_edges == 1:
+        (edge,) = graph.edges()
+        return graph.p(source) * graph.q(edge.key) * graph.p(target)
+
+    component = _pick_uncertain(graph, source, target)
+    if component is None:
+        # everything is certain and t is reachable
+        return 1.0
+
+    kind, key = component
+    if kind == "edge":
+        q = graph.q(key)
+        present = reduced.copy()
+        present.graph.set_q(key, 1.0)
+        absent = reduced.copy()
+        absent.graph.remove_edge(key)
+        return q * _factor(present) + (1.0 - q) * _factor(absent)
+
+    p = graph.p(key)
+    present = reduced.copy()
+    present.graph.set_p(key, 1.0)
+    if key == target:
+        # the target must itself be present; absence contributes zero
+        return p * _factor(present)
+    absent = reduced.copy()
+    absent.graph.remove_node(key)
+    if key == source:
+        return p * _factor(present)
+    return p * _factor(present) + (1.0 - p) * _factor(absent)
+
+
+def _pick_uncertain(
+    graph: ProbabilisticEntityGraph, source: NodeId, target: NodeId
+) -> Optional[Tuple[str, Hashable]]:
+    """Choose the next component to condition on.
+
+    Preference order: an uncertain edge leaving the source (conditioning
+    near the source lets the reductions bite hardest), then any uncertain
+    edge, then an uncertain node.
+    """
+    fallback_edge = None
+    for edge in graph.edges():
+        if graph.q(edge.key) < 1.0:
+            if edge.source == source:
+                return ("edge", edge.key)
+            if fallback_edge is None:
+                fallback_edge = edge.key
+    if fallback_edge is not None:
+        return ("edge", fallback_edge)
+    for node in graph.nodes():
+        if graph.p(node) < 1.0:
+            return ("node", node)
+    return None
+
+
+def brute_force_reliability(
+    qg: QueryGraph, target: Optional[NodeId] = None, max_components: int = 20
+) -> Dict[NodeId, float]:
+    """Reliability by enumerating all presence states (tests only).
+
+    Enumerates every joint assignment of the uncertain nodes and edges,
+    weighting each world by its probability and checking reachability.
+    Exponential — guarded by ``max_components``.
+    """
+    graph = qg.graph
+    uncertain_nodes = [n for n in graph.nodes() if graph.p(n) < 1.0]
+    uncertain_edges = [e.key for e in graph.edges() if graph.q(e.key) < 1.0]
+    k = len(uncertain_nodes) + len(uncertain_edges)
+    if k > max_components:
+        raise GraphError(
+            f"brute force refused: {k} uncertain components (> {max_components})"
+        )
+
+    targets = [target] if target is not None else list(qg.targets)
+    totals = {t: 0.0 for t in targets}
+
+    for bits in itertools.product((True, False), repeat=k):
+        node_state = dict(zip(uncertain_nodes, bits[: len(uncertain_nodes)]))
+        edge_state = dict(zip(uncertain_edges, bits[len(uncertain_nodes):]))
+        weight = 1.0
+        for node, present in node_state.items():
+            weight *= graph.p(node) if present else 1.0 - graph.p(node)
+        for key, present in edge_state.items():
+            weight *= graph.q(key) if present else 1.0 - graph.q(key)
+        if weight == 0.0:
+            continue
+        reached = _world_reachable(graph, qg.source, node_state, edge_state)
+        for t in targets:
+            if t in reached:
+                totals[t] += weight
+    return totals
+
+
+def _world_reachable(
+    graph: ProbabilisticEntityGraph,
+    source: NodeId,
+    node_state: Dict[NodeId, bool],
+    edge_state: Dict[int, bool],
+) -> set:
+    """Nodes present *and* reachable from the source in one world."""
+    def present(node: NodeId) -> bool:
+        return node_state.get(node, True)
+
+    if not present(source):
+        return set()
+    reached = {source}
+    frontier = [source]
+    while frontier:
+        u = frontier.pop()
+        for edge in graph.out_edges(u):
+            if not edge_state.get(edge.key, True):
+                continue
+            v = edge.target
+            if v not in reached and present(v):
+                reached.add(v)
+                frontier.append(v)
+    return reached

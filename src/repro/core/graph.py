@@ -1,0 +1,383 @@
+"""Probabilistic entity graphs and query graphs (Definitions 2.1–2.3).
+
+A :class:`ProbabilisticEntityGraph` is a labelled directed *multigraph*
+``G = (N, E, p, q)`` where ``p : N -> [0, 1]`` and ``q : E -> [0, 1]``
+give the probability that a node or edge is present. Multi-edges matter:
+two records can be linked by two different relationships (say, a foreign
+key and a computed similarity), and the parallel-path reduction rule
+explicitly creates and then merges parallel edges.
+
+A :class:`QueryGraph` adds the query node ``s`` and the answer set ``A``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.errors import CycleError, GraphError
+from repro.utils.validation import check_probability
+
+__all__ = ["Edge", "ProbabilisticEntityGraph", "QueryGraph"]
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed edge with a unique key (to support multi-edges)."""
+
+    key: int
+    source: NodeId
+    target: NodeId
+
+
+class ProbabilisticEntityGraph:
+    """Directed multigraph with node probabilities ``p`` and edge
+    probabilities ``q``.
+
+    Nodes are arbitrary hashable ids; each may carry an opaque ``data``
+    payload (the integration layer stores the underlying record and its
+    entity set there). Edge keys are small integers assigned at insertion
+    and stable for the graph's lifetime.
+    """
+
+    def __init__(self) -> None:
+        self._p: Dict[NodeId, float] = {}
+        self._data: Dict[NodeId, Any] = {}
+        self._out: Dict[NodeId, List[Edge]] = {}
+        self._in: Dict[NodeId, List[Edge]] = {}
+        self._edges: Dict[int, Edge] = {}
+        self._q: Dict[int, float] = {}
+        self._edge_counter = itertools.count()
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    def add_node(self, node: NodeId, p: float = 1.0, data: Any = None) -> NodeId:
+        """Add a node with presence probability ``p``.
+
+        Re-adding an existing node raises — silent probability overwrites
+        have bitten us during integration, so they are explicit via
+        :meth:`set_p`.
+        """
+        if node in self._p:
+            raise GraphError(f"node {node!r} already exists")
+        self._p[node] = check_probability(p, f"p({node!r})")
+        self._data[node] = data
+        self._out[node] = []
+        self._in[node] = []
+        return node
+
+    def add_edge(self, source: NodeId, target: NodeId, q: float = 1.0) -> int:
+        """Add a directed edge; parallel edges are allowed. Returns its key."""
+        for endpoint in (source, target):
+            if endpoint not in self._p:
+                raise GraphError(f"edge endpoint {endpoint!r} is not a node")
+        key = next(self._edge_counter)
+        edge = Edge(key, source, target)
+        self._edges[key] = edge
+        self._q[key] = check_probability(q, f"q({source!r} -> {target!r})")
+        self._out[source].append(edge)
+        self._in[target].append(edge)
+        return key
+
+    def remove_edge(self, key: int) -> None:
+        edge = self._edges.pop(key, None)
+        if edge is None:
+            raise GraphError(f"no edge with key {key}")
+        del self._q[key]
+        self._out[edge.source].remove(edge)
+        self._in[edge.target].remove(edge)
+
+    def remove_node(self, node: NodeId) -> None:
+        """Remove ``node`` and all incident edges."""
+        self._require_node(node)
+        for edge in list(self._out[node]):
+            self.remove_edge(edge.key)
+        for edge in list(self._in[node]):
+            self.remove_edge(edge.key)
+        del self._p[node], self._data[node], self._out[node], self._in[node]
+
+    # ------------------------------------------------------------------ #
+    # probabilities
+    # ------------------------------------------------------------------ #
+
+    def p(self, node: NodeId) -> float:
+        self._require_node(node)
+        return self._p[node]
+
+    def set_p(self, node: NodeId, p: float) -> None:
+        self._require_node(node)
+        self._p[node] = check_probability(p, f"p({node!r})")
+
+    def q(self, key: int) -> float:
+        if key not in self._q:
+            raise GraphError(f"no edge with key {key}")
+        return self._q[key]
+
+    def set_q(self, key: int, q: float) -> None:
+        if key not in self._q:
+            raise GraphError(f"no edge with key {key}")
+        self._q[key] = check_probability(q, f"q(edge {key})")
+
+    def data(self, node: NodeId) -> Any:
+        self._require_node(node)
+        return self._data[node]
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+
+    def _require_node(self, node: NodeId) -> None:
+        if node not in self._p:
+            raise GraphError(f"unknown node {node!r}")
+
+    def has_node(self, node: NodeId) -> bool:
+        return node in self._p
+
+    def nodes(self) -> Iterator[NodeId]:
+        return iter(self._p.keys())
+
+    def edges(self) -> Iterator[Edge]:
+        return iter(self._edges.values())
+
+    def out_edges(self, node: NodeId) -> List[Edge]:
+        self._require_node(node)
+        return list(self._out[node])
+
+    def in_edges(self, node: NodeId) -> List[Edge]:
+        self._require_node(node)
+        return list(self._in[node])
+
+    def out_degree(self, node: NodeId) -> int:
+        self._require_node(node)
+        return len(self._out[node])
+
+    def in_degree(self, node: NodeId) -> int:
+        self._require_node(node)
+        return len(self._in[node])
+
+    def successors(self, node: NodeId) -> List[NodeId]:
+        """Distinct successor nodes (parallel edges collapse to one)."""
+        self._require_node(node)
+        seen: Dict[NodeId, None] = {}
+        for edge in self._out[node]:
+            seen.setdefault(edge.target)
+        return list(seen)
+
+    def predecessors(self, node: NodeId) -> List[NodeId]:
+        self._require_node(node)
+        seen: Dict[NodeId, None] = {}
+        for edge in self._in[node]:
+            seen.setdefault(edge.source)
+        return list(seen)
+
+    def merged_out(self, node: NodeId) -> Dict[NodeId, float]:
+        """Successors with parallel edges merged: ``1 - prod(1 - q_i)``.
+
+        Because parallel edges fail independently, merging is exact for
+        every connectivity-based semantics (reliability, propagation,
+        diffusion); only the counting semantics must see raw multi-edges.
+        """
+        self._require_node(node)
+        merged: Dict[NodeId, float] = {}
+        for edge in self._out[node]:
+            q = self._q[edge.key]
+            if edge.target in merged:
+                merged[edge.target] = 1.0 - (1.0 - merged[edge.target]) * (1.0 - q)
+            else:
+                merged[edge.target] = q
+        return merged
+
+    def merged_in(self, node: NodeId) -> Dict[NodeId, float]:
+        """Predecessors with parallel edges merged (see :meth:`merged_out`)."""
+        self._require_node(node)
+        merged: Dict[NodeId, float] = {}
+        for edge in self._in[node]:
+            q = self._q[edge.key]
+            if edge.source in merged:
+                merged[edge.source] = 1.0 - (1.0 - merged[edge.source]) * (1.0 - q)
+            else:
+                merged[edge.source] = q
+        return merged
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._p)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    # ------------------------------------------------------------------ #
+    # traversal / structure
+    # ------------------------------------------------------------------ #
+
+    def reachable_from(self, start: NodeId) -> Set[NodeId]:
+        """All nodes reachable from ``start`` (including ``start``)."""
+        self._require_node(start)
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            current = frontier.pop()
+            for edge in self._out[current]:
+                if edge.target not in seen:
+                    seen.add(edge.target)
+                    frontier.append(edge.target)
+        return seen
+
+    def co_reachable_to(self, goal: NodeId) -> Set[NodeId]:
+        """All nodes from which ``goal`` is reachable (including it)."""
+        self._require_node(goal)
+        seen = {goal}
+        frontier = [goal]
+        while frontier:
+            current = frontier.pop()
+            for edge in self._in[current]:
+                if edge.source not in seen:
+                    seen.add(edge.source)
+                    frontier.append(edge.source)
+        return seen
+
+    def topological_order(self) -> List[NodeId]:
+        """Kahn's algorithm; raises :class:`CycleError` on cycles."""
+        in_degree = {node: len(self._in[node]) for node in self._p}
+        ready = [node for node, degree in in_degree.items() if degree == 0]
+        order: List[NodeId] = []
+        while ready:
+            node = ready.pop()
+            order.append(node)
+            for edge in self._out[node]:
+                in_degree[edge.target] -= 1
+                if in_degree[edge.target] == 0:
+                    ready.append(edge.target)
+        if len(order) != len(self._p):
+            raise CycleError("graph contains a cycle")
+        return order
+
+    def is_dag(self) -> bool:
+        try:
+            self.topological_order()
+        except CycleError:
+            return False
+        return True
+
+    def longest_path_length_from(self, start: NodeId) -> int:
+        """Number of edges on the longest simple path from ``start``
+        (DAG only); used to bound propagation iteration counts."""
+        order = self.topological_order()
+        dist: Dict[NodeId, int] = {start: 0}
+        for node in order:
+            if node not in dist:
+                continue
+            for edge in self._out[node]:
+                candidate = dist[node] + 1
+                if candidate > dist.get(edge.target, -1):
+                    dist[edge.target] = candidate
+        return max(dist.values())
+
+    # ------------------------------------------------------------------ #
+    # copying / subgraphs
+    # ------------------------------------------------------------------ #
+
+    def copy(self) -> "ProbabilisticEntityGraph":
+        """Deep copy preserving node ids *and* edge keys.
+
+        Key stability matters: the factoring solver conditions on an edge
+        key and then recurses on copies, so a copy that renumbered edges
+        would condition on the wrong component.
+        """
+        clone = ProbabilisticEntityGraph()
+        clone._p = dict(self._p)
+        clone._data = dict(self._data)
+        clone._q = dict(self._q)
+        clone._edges = dict(self._edges)  # Edge objects are frozen; share
+        clone._out = {node: list(edges) for node, edges in self._out.items()}
+        clone._in = {node: list(edges) for node, edges in self._in.items()}
+        next_key = max(self._edges, default=-1) + 1
+        clone._edge_counter = itertools.count(next_key)
+        return clone
+
+    def subgraph(self, keep: Iterable[NodeId]) -> "ProbabilisticEntityGraph":
+        """Induced subgraph on ``keep`` (edges with both endpoints kept)."""
+        keep_set = set(keep)
+        result = ProbabilisticEntityGraph()
+        for node in self._p:
+            if node in keep_set:
+                result.add_node(node, p=self._p[node], data=self._data[node])
+        for edge in self._edges.values():
+            if edge.source in keep_set and edge.target in keep_set:
+                result.add_edge(edge.source, edge.target, q=self._q[edge.key])
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProbabilisticEntityGraph({self.num_nodes} nodes, {self.num_edges} edges)"
+
+
+class QueryGraph:
+    """A probabilistic entity graph plus query node ``s`` and answers ``A``.
+
+    This is the object every ranking semantics consumes (Definition 2.3).
+    """
+
+    def __init__(
+        self,
+        graph: ProbabilisticEntityGraph,
+        source: NodeId,
+        targets: Sequence[NodeId],
+    ):
+        if not graph.has_node(source):
+            raise GraphError(f"query source {source!r} is not in the graph")
+        for target in targets:
+            if not graph.has_node(target):
+                raise GraphError(f"answer node {target!r} is not in the graph")
+        if not targets:
+            raise GraphError("a query graph needs at least one answer node")
+        if len(set(targets)) != len(targets):
+            raise GraphError("answer set contains duplicates")
+        self.graph = graph
+        self.source = source
+        self.targets: Tuple[NodeId, ...] = tuple(targets)
+        self._target_set: Set[NodeId] = set(targets)
+
+    def is_target(self, node: NodeId) -> bool:
+        return node in self._target_set
+
+    @property
+    def target_set(self) -> Set[NodeId]:
+        return set(self._target_set)
+
+    def between_subgraph(self, target: NodeId) -> "QueryGraph":
+        """The subquery used by the closed-form solver: the induced
+        subgraph on nodes lying on some path from ``s`` to ``target``."""
+        if target not in self._target_set:
+            raise GraphError(f"{target!r} is not an answer node")
+        on_path = self.graph.reachable_from(self.source) & self.graph.co_reachable_to(
+            target
+        )
+        # the target (and source) always survive, even if disconnected
+        on_path |= {self.source, target}
+        return QueryGraph(self.graph.subgraph(on_path), self.source, [target])
+
+    def copy(self) -> "QueryGraph":
+        return QueryGraph(self.graph.copy(), self.source, self.targets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QueryGraph(source={self.source!r}, |A|={len(self.targets)}, "
+            f"{self.graph.num_nodes} nodes, {self.graph.num_edges} edges)"
+        )

@@ -1,0 +1,220 @@
+"""Monte Carlo estimation of network reliability (§3.1, Algorithm 3.1).
+
+Two estimators are provided:
+
+* :func:`naive_reliability` — the textbook method: each trial samples the
+  presence of *every* node and *every* edge up front, then checks
+  reachability in the sampled subgraph.
+* :func:`traversal_reliability` — the paper's improvement (Algorithm
+  3.1): a depth-first traversal from the query node that only flips the
+  coins it actually reaches, so excluded subgraphs are never simulated.
+  The estimators are statistically identical; the traversal version is
+  simply faster (the paper reports an average 3.4x speed-up).
+
+Both compile the query graph into flat integer-indexed arrays once and
+then run trials over those arrays — the per-trial cost is what the
+paper's Fig 8a measures, so the inner loops are kept allocation-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.graph import QueryGraph
+from repro.errors import GraphError
+from repro.utils.rng import RngLike, ensure_rng
+
+__all__ = [
+    "naive_reliability",
+    "traversal_reliability",
+    "CompiledGraph",
+    "estimate_interval",
+]
+
+NodeId = Hashable
+
+
+@dataclass
+class CompiledGraph:
+    """A query graph flattened to integer indexes for fast simulation."""
+
+    node_ids: List[NodeId]
+    index: Dict[NodeId, int]
+    p: List[float]
+    #: adjacency with parallel edges merged: out[u] = [(v, q), ...]
+    out: List[List[Tuple[int, float]]]
+    source: int
+    targets: List[int]
+
+    @classmethod
+    def from_query_graph(cls, qg: QueryGraph) -> "CompiledGraph":
+        graph = qg.graph
+        node_ids = list(graph.nodes())
+        index = {node: i for i, node in enumerate(node_ids)}
+        p = [graph.p(node) for node in node_ids]
+        out: List[List[Tuple[int, float]]] = []
+        for node in node_ids:
+            out.append(
+                [(index[succ], q) for succ, q in graph.merged_out(node).items()]
+            )
+        return cls(
+            node_ids=node_ids,
+            index=index,
+            p=p,
+            out=out,
+            source=index[qg.source],
+            targets=[index[t] for t in qg.targets],
+        )
+
+
+def naive_reliability(
+    qg: QueryGraph,
+    trials: int = 1000,
+    rng: RngLike = None,
+    all_nodes: bool = False,
+) -> Dict[NodeId, float]:
+    """Estimate reliability by full-graph sampling per trial.
+
+    Each trial draws the presence of every node and every (merged) edge,
+    then breadth-first-searches the surviving subgraph from the query
+    node. ``r(t)`` is the fraction of trials in which ``t`` was present
+    and reachable.
+    """
+    _check_trials(trials)
+    random = ensure_rng(rng).random
+    compiled = CompiledGraph.from_query_graph(qg)
+    n = len(compiled.node_ids)
+    reach_count = [0] * n
+    p = compiled.p
+    out = compiled.out
+    source = compiled.source
+
+    for _ in range(trials):
+        node_present = [random() <= pi for pi in p]
+        # sample every edge up front — this is what "naive" means
+        edge_present = [[random() <= q for (_, q) in edges] for edges in out]
+        if not node_present[source]:
+            continue
+        reach_count[source] += 1
+        seen = [False] * n
+        seen[source] = True
+        frontier = [source]
+        while frontier:
+            u = frontier.pop()
+            edges = out[u]
+            present = edge_present[u]
+            for k in range(len(edges)):
+                if not present[k]:
+                    continue
+                v = edges[k][0]
+                if not seen[v]:
+                    seen[v] = True
+                    if node_present[v]:
+                        reach_count[v] += 1
+                        frontier.append(v)
+        # note: an absent node blocks traversal through it, which is the
+        # correct semantics — a failed record cannot relay connectivity
+    return _collect(compiled, reach_count, trials, all_nodes)
+
+
+def traversal_reliability(
+    qg: QueryGraph,
+    trials: int = 1000,
+    rng: RngLike = None,
+    all_nodes: bool = False,
+) -> Dict[NodeId, float]:
+    """Algorithm 3.1: Reliability Traversal Monte Carlo Simulation.
+
+    Coins are only flipped along the depth-first frontier actually
+    reached from the query node, so subgraphs cut off by an early failure
+    are never simulated. Node coins are flipped at most once per trial
+    (``last_sim`` plays the role of the paper's ``lastSim`` marker), edge
+    coins at most once because their tail is processed at most once.
+    """
+    _check_trials(trials)
+    random = ensure_rng(rng).random
+    compiled = CompiledGraph.from_query_graph(qg)
+    n = len(compiled.node_ids)
+    reach_count = [0] * n
+    last_sim = [0] * n
+    p = compiled.p
+    out = compiled.out
+    source = compiled.source
+
+    for trial in range(1, trials + 1):
+        stack = [source]
+        while stack:
+            x = stack.pop()
+            if last_sim[x] == trial:
+                continue
+            last_sim[x] = trial
+            if random() <= p[x]:
+                reach_count[x] += 1
+                for v, q in out[x]:
+                    if last_sim[v] != trial and random() <= q:
+                        stack.append(v)
+    return _collect(compiled, reach_count, trials, all_nodes)
+
+
+def estimate_interval(
+    estimate: float, trials: int, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Wilson score interval for a Monte Carlo reliability estimate.
+
+    The Wilson interval behaves sensibly even at the extremes (an
+    estimate of exactly 0 or 1 still gets a non-degenerate interval),
+    which matters here because integration graphs routinely contain
+    answers whose estimated reliability saturates.
+    """
+    if not 0.0 <= estimate <= 1.0:
+        raise GraphError(f"estimate must be in [0, 1], got {estimate}")
+    _check_trials(trials)
+    if not 0.0 < confidence < 1.0:
+        raise GraphError(f"confidence must be in (0, 1), got {confidence}")
+    # two-sided normal quantile via the rational approximation of
+    # Beasley-Springer/Moro would be overkill; the common confidences
+    # cover every caller and anything else interpolates acceptably
+    quantiles = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+    z = quantiles.get(round(confidence, 2))
+    if z is None:
+        # linear interpolation over the supported range
+        points = sorted(quantiles.items())
+        z = None
+        for (c_lo, z_lo), (c_hi, z_hi) in zip(points, points[1:]):
+            if c_lo <= confidence <= c_hi:
+                fraction = (confidence - c_lo) / (c_hi - c_lo)
+                z = z_lo + fraction * (z_hi - z_lo)
+                break
+        if z is None:
+            raise GraphError(
+                f"confidence {confidence} outside supported range [0.90, 0.99]"
+            )
+    denominator = 1.0 + z * z / trials
+    centre = (estimate + z * z / (2 * trials)) / denominator
+    margin = (
+        z
+        * ((estimate * (1 - estimate) + z * z / (4 * trials)) / trials) ** 0.5
+        / denominator
+    )
+    return (max(0.0, centre - margin), min(1.0, centre + margin))
+
+
+def _check_trials(trials: int) -> None:
+    if trials < 1:
+        raise GraphError(f"trials must be >= 1, got {trials}")
+
+
+def _collect(
+    compiled: CompiledGraph,
+    reach_count: Sequence[int],
+    trials: int,
+    all_nodes: bool,
+) -> Dict[NodeId, float]:
+    if all_nodes:
+        wanted = range(len(compiled.node_ids))
+    else:
+        wanted = compiled.targets
+    return {
+        compiled.node_ids[i]: reach_count[i] / trials for i in wanted
+    }

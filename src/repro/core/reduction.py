@@ -1,0 +1,197 @@
+"""Graph reduction rules for network reliability (§3.1, item 2).
+
+Three transformation rules preserve the source-target reliability of
+every answer node while shrinking the graph:
+
+* **Delete inaccessible nodes** — a sink that is not an answer node can
+  never lie on a path to an answer, so it (and its incident edges) can
+  go. We additionally delete nodes unreachable from the query node and
+  self-loop edges: both are sound for s-t reliability (an unreachable
+  node never participates in any s→t path; a path through a self-loop
+  revisits its endpoint and is never the shortest witness) and both arise
+  in real integration graphs.
+* **Collapse serial paths** — an interior node with exactly one incoming
+  and one outgoing edge is replaced by a single edge with
+  ``q = q_in * p(x) * q_out``.
+* **Collapse parallel paths** — parallel edges merge into one with
+  ``q = 1 - prod(1 - q_i)``.
+
+Applied to a fixpoint. On the paper's scientific-workflow graphs this
+removes ~78 % of nodes and edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Set, Tuple
+
+from repro.core.graph import ProbabilisticEntityGraph, QueryGraph
+
+__all__ = ["ReductionStats", "reduce_graph"]
+
+NodeId = Hashable
+
+
+@dataclass
+class ReductionStats:
+    """Before/after sizes and per-rule application counts."""
+
+    nodes_before: int = 0
+    edges_before: int = 0
+    nodes_after: int = 0
+    edges_after: int = 0
+    sinks_deleted: int = 0
+    unreachable_deleted: int = 0
+    serial_collapses: int = 0
+    parallel_merges: int = 0
+    self_loops_deleted: int = 0
+
+    @property
+    def node_reduction(self) -> float:
+        """Fraction of nodes removed (the paper reports ~0.78)."""
+        if self.nodes_before == 0:
+            return 0.0
+        return 1.0 - self.nodes_after / self.nodes_before
+
+    @property
+    def edge_reduction(self) -> float:
+        if self.edges_before == 0:
+            return 0.0
+        return 1.0 - self.edges_after / self.edges_before
+
+    @property
+    def combined_reduction(self) -> float:
+        """Fraction of nodes+edges removed, the paper's headline number."""
+        before = self.nodes_before + self.edges_before
+        if before == 0:
+            return 0.0
+        return 1.0 - (self.nodes_after + self.edges_after) / before
+
+
+def reduce_graph(
+    qg: QueryGraph, remove_unreachable: bool = True
+) -> Tuple[QueryGraph, ReductionStats]:
+    """Apply the reduction rules to a fixpoint.
+
+    Returns a *new* query graph (the input is never mutated) whose
+    reliability scores ``r(t)`` equal the input's for every answer node
+    ``t``, plus the reduction statistics.
+    """
+    graph = qg.graph.copy()
+    source = qg.source
+    protected: Set[NodeId] = set(qg.targets) | {source}
+    stats = ReductionStats(
+        nodes_before=graph.num_nodes, edges_before=graph.num_edges
+    )
+
+    changed = True
+    while changed:
+        changed = False
+        changed |= _drop_self_loops(graph, stats)
+        changed |= _merge_parallel(graph, stats)
+        changed |= _delete_sinks(graph, protected, stats)
+        if remove_unreachable:
+            changed |= _delete_unreachable(graph, source, qg.target_set, stats)
+        changed |= _collapse_serial(graph, protected, stats)
+
+    stats.nodes_after = graph.num_nodes
+    stats.edges_after = graph.num_edges
+    # targets may have become unreachable and deleted; re-add them isolated
+    # so the result is still a valid QueryGraph with the same answer set
+    for target in qg.targets:
+        if not graph.has_node(target):
+            graph.add_node(target, p=qg.graph.p(target), data=qg.graph.data(target))
+    return QueryGraph(graph, source, qg.targets), stats
+
+
+def _drop_self_loops(graph: ProbabilisticEntityGraph, stats: ReductionStats) -> bool:
+    doomed = [edge.key for edge in graph.edges() if edge.source == edge.target]
+    for key in doomed:
+        graph.remove_edge(key)
+    stats.self_loops_deleted += len(doomed)
+    return bool(doomed)
+
+
+def _merge_parallel(graph: ProbabilisticEntityGraph, stats: ReductionStats) -> bool:
+    changed = False
+    for node in list(graph.nodes()):
+        by_target: Dict[NodeId, List[int]] = {}
+        for edge in graph.out_edges(node):
+            by_target.setdefault(edge.target, []).append(edge.key)
+        for target, keys in by_target.items():
+            if len(keys) < 2:
+                continue
+            survive = 1.0
+            for key in keys:
+                survive *= 1.0 - graph.q(key)
+            for key in keys:
+                graph.remove_edge(key)
+            graph.add_edge(node, target, q=1.0 - survive)
+            stats.parallel_merges += 1
+            changed = True
+    return changed
+
+
+def _delete_sinks(
+    graph: ProbabilisticEntityGraph, protected: Set[NodeId], stats: ReductionStats
+) -> bool:
+    changed = False
+    # deleting one sink can expose another, so drain a worklist
+    worklist = [
+        node
+        for node in graph.nodes()
+        if node not in protected and graph.out_degree(node) == 0
+    ]
+    while worklist:
+        node = worklist.pop()
+        if not graph.has_node(node) or graph.out_degree(node) != 0:
+            continue
+        parents = graph.predecessors(node)
+        graph.remove_node(node)
+        stats.sinks_deleted += 1
+        changed = True
+        for parent in parents:
+            if parent not in protected and graph.out_degree(parent) == 0:
+                worklist.append(parent)
+    return changed
+
+
+def _delete_unreachable(
+    graph: ProbabilisticEntityGraph,
+    source: NodeId,
+    targets: Set[NodeId],
+    stats: ReductionStats,
+) -> bool:
+    reachable = graph.reachable_from(source)
+    doomed = [
+        node for node in graph.nodes() if node not in reachable and node not in targets
+    ]
+    for node in doomed:
+        graph.remove_node(node)
+    stats.unreachable_deleted += len(doomed)
+    return bool(doomed)
+
+
+def _collapse_serial(
+    graph: ProbabilisticEntityGraph, protected: Set[NodeId], stats: ReductionStats
+) -> bool:
+    changed = False
+    for node in list(graph.nodes()):
+        if node in protected or not graph.has_node(node):
+            continue
+        if graph.in_degree(node) != 1 or graph.out_degree(node) != 1:
+            continue
+        (in_edge,) = graph.in_edges(node)
+        (out_edge,) = graph.out_edges(node)
+        upstream, downstream = in_edge.source, out_edge.target
+        if upstream == node or downstream == node:
+            continue  # self-loop; handled by _drop_self_loops
+        q = graph.q(in_edge.key) * graph.p(node) * graph.q(out_edge.key)
+        graph.remove_node(node)
+        if upstream != downstream:
+            graph.add_edge(upstream, downstream, q=q)
+        # upstream == downstream would create a self-loop, which is
+        # irrelevant to s-t reliability, so we simply drop it
+        stats.serial_collapses += 1
+        changed = True
+    return changed

@@ -1,0 +1,59 @@
+"""The reliability relevance function (§3.1) — front door.
+
+``reliability_scores`` wraps the evaluation strategies behind one
+``strategy`` keyword:
+
+* ``"mc"``        — traversal Monte Carlo (Algorithm 3.1),
+* ``"naive-mc"``  — textbook Monte Carlo (baseline for the speed-up),
+* ``"closed"``    — per-target reduction to closed form, exact fallback,
+* ``"exact"``     — factoring on every target (ground truth),
+* ``"auto"``      — the paper's best recipe: reduce the graph once, then
+  run traversal Monte Carlo on the residue (the "R&M2" configuration of
+  Fig 8a, which the paper found fastest overall).
+
+``reduce=True`` applies the §3.1 graph reductions before simulation; it
+changes no score, only the runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Literal
+
+from repro.core.closed_form import closed_form_reliability
+from repro.core.exact import exact_reliability
+from repro.core.graph import QueryGraph
+from repro.core.montecarlo import naive_reliability, traversal_reliability
+from repro.core.reduction import reduce_graph
+from repro.errors import RankingError
+from repro.utils.rng import RngLike
+
+__all__ = ["reliability_scores"]
+
+NodeId = Hashable
+
+Strategy = Literal["auto", "mc", "naive-mc", "closed", "exact"]
+
+#: Fig 7 shows 1,000 trials already rank reliably on the paper's graphs.
+DEFAULT_TRIALS = 1000
+
+
+def reliability_scores(
+    qg: QueryGraph,
+    strategy: Strategy = "auto",
+    trials: int = DEFAULT_TRIALS,
+    reduce: bool = True,
+    rng: RngLike = None,
+) -> Dict[NodeId, float]:
+    """Reliability score ``r(t)`` for every answer node of ``qg``."""
+    if strategy == "exact":
+        return exact_reliability(qg)
+    if strategy == "closed":
+        return closed_form_reliability(qg, fallback="exact").scores
+    if strategy in ("mc", "auto", "naive-mc"):
+        working = qg
+        if reduce or strategy == "auto":
+            working, _ = reduce_graph(qg)
+        if strategy == "naive-mc":
+            return naive_reliability(working, trials=trials, rng=rng)
+        return traversal_reliability(working, trials=trials, rng=rng)
+    raise RankingError(f"unknown reliability strategy {strategy!r}")

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class. Subsystems raise the more specific
+subclasses below; the exception messages always name the offending object
+(table, node, schema element) to make integration failures debuggable.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "StorageError",
+    "IntegrityError",
+    "SchemaError",
+    "GraphError",
+    "CycleError",
+    "QueryError",
+    "RankingError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (e.g. probability outside [0, 1])."""
+
+
+class StorageError(ReproError):
+    """Generic storage-engine failure (unknown table, bad column, ...)."""
+
+
+class IntegrityError(StorageError):
+    """A constraint (primary key, foreign key, type) was violated."""
+
+
+class SchemaError(ReproError):
+    """An E/R schema is malformed or an operation on it is undefined."""
+
+
+class GraphError(ReproError):
+    """A graph operation failed (unknown node, missing source, ...)."""
+
+
+class CycleError(GraphError):
+    """A DAG-only algorithm was applied to a cyclic graph."""
+
+
+class QueryError(ReproError):
+    """An exploratory query could not be executed against the mediator."""
+
+
+class RankingError(ReproError):
+    """A ranking method failed or was configured inconsistently."""

@@ -1,0 +1,43 @@
+"""Regenerators for every table and figure of the paper's evaluation.
+
+Each module reproduces one artefact and exposes two call points:
+
+* ``compute(...)`` — returns the underlying data (used by tests and the
+  pytest-benchmark suite);
+* ``main(...)`` — prints the same rows/series the paper reports.
+
+Run everything with ``python -m repro.experiments``, or one artefact
+with e.g. ``python -m repro.experiments fig5``.
+
+===========================  ==================================================
+module                       paper artefact
+===========================  ==================================================
+``fig1_schema``              Fig 1 query source graph + §2 source catalogue
+``fig2_reducibility``        Fig 2/3 reducible vs irreducible schemas (Thm 3.2)
+``fig4_topologies``          Fig 4 five scores on the two toy topologies
+``table1_scenario1``         Table 1 protein/function counts + graph sizes
+``fig5_scenarios``           Fig 5a/5b/5c average precision per method
+``table2_scenario2``         Table 2 per-function ranks, scenario 2
+``table3_scenario3``         Table 3 per-function ranks, scenario 3
+``fig6_sensitivity``         Fig 6 robustness to input-probability noise
+``fig7_convergence``         Fig 7 Monte Carlo convergence
+``fig8a_reliability_methods``  Fig 8a reliability evaluation strategies
+``fig8b_ranking_methods``    Fig 8b cost of the five ranking methods
+``thm31_bounds``             Theorem 3.1 trial bounds (analytic + empirical)
+``star_schema``              §5 divergent star schema ablation (extension)
+===========================  ==================================================
+"""
+
+from repro.experiments.runner import (
+    DEFAULT_SEED,
+    MethodScore,
+    evaluate_scenario_ap,
+    format_table,
+)
+
+__all__ = [
+    "DEFAULT_SEED",
+    "MethodScore",
+    "evaluate_scenario_ap",
+    "format_table",
+]

@@ -1,0 +1,85 @@
+"""Command line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments            # run everything
+    python -m repro.experiments fig5       # one artefact
+    python -m repro.experiments --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.experiments import (
+    fig9_evidence_shape,
+    sensitivity_oneway,
+    star_schema,
+    fig1_schema,
+    fig2_reducibility,
+    fig4_topologies,
+    fig5_scenarios,
+    fig6_sensitivity,
+    fig7_convergence,
+    fig8a_reliability_methods,
+    fig8b_ranking_methods,
+    table1_scenario1,
+    table2_scenario2,
+    table3_scenario3,
+    thm31_bounds,
+)
+
+ARTEFACTS: Dict[str, Callable[[], object]] = {
+    "fig1": fig1_schema.main,
+    "fig2": fig2_reducibility.main,
+    "fig4": fig4_topologies.main,
+    "table1": table1_scenario1.main,
+    "fig5": fig5_scenarios.main,
+    "table2": table2_scenario2.main,
+    "table3": table3_scenario3.main,
+    "fig6": fig6_sensitivity.main,
+    "fig7": fig7_convergence.main,
+    "fig8a": fig8a_reliability_methods.main,
+    "fig8b": fig8b_ranking_methods.main,
+    "fig9": fig9_evidence_shape.main,
+    "thm31": thm31_bounds.main,
+    "star": star_schema.main,
+    "oneway": sensitivity_oneway.main,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments", description=__doc__
+    )
+    parser.add_argument(
+        "artefact",
+        nargs="?",
+        default="all",
+        help=f"one of {', '.join(ARTEFACTS)} or 'all' (default)",
+    )
+    parser.add_argument("--list", action="store_true", help="list artefacts")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in ARTEFACTS:
+            print(name)
+        return 0
+    if args.artefact == "all":
+        for name, runner in ARTEFACTS.items():
+            print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
+            runner()
+        return 0
+    runner = ARTEFACTS.get(args.artefact)
+    if runner is None:
+        parser.error(
+            f"unknown artefact {args.artefact!r}; choose from {', '.join(ARTEFACTS)}"
+        )
+    runner()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,161 @@
+"""Fig 2 / Fig 3 / Theorem 3.2: schema reducibility checks.
+
+Builds the paper's example schema chains and runs the Theorem 3.2
+checker on each, plus the BioRank query schema itself. The expected
+verdicts reproduce the paper's discussion:
+
+* Fig 2a (``[1:n][n:m][n:1]``) — **not** reducible: instances can
+  contain Wheatstone bridges;
+* Fig 2b (``[1:n][1:n][n:1][n:1]``) — **not** reducible even without an
+  ``[n:m]``: the inner composition is unknown at the type level;
+* Fig 2d — the same chain *with domain knowledge* pinning the inner
+  compositions down (Fig 3a's argument) — reducible;
+* the full BioRank query schema — **not** reducible as a whole (the
+  final ``[n:m]`` annotation relationships), but each per-answer-node
+  subquery *is* reducible once the ``[n:m]`` into the answer entity is
+  viewed as ``[n:1]`` — the §4 closed-solution observation, checked via
+  :func:`check_reducibility_per_target` on the BLAST source path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.experiments.runner import format_table
+from repro.schema.biorank_schema import biorank_query_schema
+from repro.schema.cardinality import Cardinality
+from repro.schema.composition import CompositionOracle
+from repro.schema.er import ERSchema
+from repro.schema.reducibility import (
+    check_reducibility,
+    check_reducibility_per_target,
+)
+
+__all__ = ["example_schemas", "blast_path_schema", "compute", "main"]
+
+
+def _chain(name: str, cardinalities: List[str]) -> ERSchema:
+    """A linear schema 0 -> 1 -> ... with the given relationship types."""
+    schema = ERSchema(name)
+    for i in range(len(cardinalities) + 1):
+        schema.entity(f"P{i}")
+    for i, cardinality in enumerate(cardinalities):
+        schema.relate(f"Q{i}", f"P{i}", f"P{i + 1}", cardinality)
+    return schema
+
+
+def blast_path_schema() -> ERSchema:
+    """One source path of Fig 1: query -> protein -> BLAST hit -> gene
+    -> GO annotation (the final relationship is the [n:m] into AmiGO)."""
+    schema = ERSchema("blast-path")
+    for name in ("Query", "EntrezProtein", "BlastHit", "EntrezGene", "GOTerm"):
+        schema.entity(name)
+    schema.relate("matches", "Query", "EntrezProtein", "1:n")
+    schema.relate("blast1", "EntrezProtein", "BlastHit", "1:n")
+    schema.relate("blast2", "BlastHit", "EntrezGene", "n:1")
+    schema.relate("gene_go", "EntrezGene", "GOTerm", "n:m")
+    return schema
+
+
+def example_schemas() -> List[Tuple[str, ERSchema, CompositionOracle, bool]]:
+    """(label, schema, oracle, expected_reducible) tuples."""
+    examples: List[Tuple[str, ERSchema, CompositionOracle, bool]] = []
+
+    examples.append(
+        (
+            "fig2a [1:n][n:m][n:1]",
+            _chain("fig2a", ["1:n", "n:m", "n:1"]),
+            CompositionOracle(),
+            False,
+        )
+    )
+    examples.append(
+        (
+            "fig2b [1:n][1:n][n:1][n:1]",
+            _chain("fig2b", ["1:n", "1:n", "n:1", "n:1"]),
+            CompositionOracle(),
+            False,
+        )
+    )
+
+    # Fig 2d / Fig 3a: domain knowledge resolves the inner compositions,
+    # innermost first, keeping every intermediate [1:n] or [n:1]
+    oracle = CompositionOracle()
+    oracle.declare("Q1", "Q2", Cardinality.ONE_TO_MANY)
+    oracle.declare("Q1∘Q2", "Q3", Cardinality.MANY_TO_ONE)
+    examples.append(
+        (
+            "fig2d [1:n][1:n][n:1][n:1] + oracle",
+            _chain("fig2d", ["1:n", "1:n", "n:1", "n:1"]),
+            oracle,
+            True,
+        )
+    )
+
+    tree = ERSchema("tree")
+    for name in ("root", "a", "b", "c"):
+        tree.entity(name)
+    tree.relate("ra", "root", "a", "1:n")
+    tree.relate("rb", "root", "b", "1:n")
+    tree.relate("rc", "a", "c", "1:n")
+    examples.append(("Thm 3.2A [1:n] tree", tree, CompositionOracle(), True))
+
+    examples.append(
+        (
+            "chain [1:n][n:1]",
+            _chain("chain2", ["1:n", "n:1"]),
+            CompositionOracle(),
+            True,
+        )
+    )
+    return examples
+
+
+def compute() -> List[Tuple[str, bool, bool, int]]:
+    """(label, observed, expected, #contractions) for every check."""
+    results: List[Tuple[str, bool, bool, int]] = []
+    for label, schema, oracle, expected in example_schemas():
+        report = check_reducibility(schema, oracle)
+        results.append((label, report.reducible, expected, len(report.steps)))
+
+    full = biorank_query_schema()
+    report = check_reducibility(full)
+    results.append(("BioRank full query schema", report.reducible, False, len(report.steps)))
+
+    # §4: the per-answer-node view of one source path — irreducible at
+    # the type level, reducible with the blast1∘blast2 domain knowledge
+    path = blast_path_schema()
+    blind = check_reducibility_per_target(path, "GOTerm")
+    results.append(
+        ("BLAST path, per-target, no oracle", blind.reducible, False, len(blind.steps))
+    )
+    oracle = CompositionOracle()
+    oracle.declare("blast1", "blast2", Cardinality.ONE_TO_MANY)
+    informed = check_reducibility_per_target(path, "GOTerm", oracle)
+    results.append(
+        ("BLAST path, per-target, with oracle", informed.reducible, True, len(informed.steps))
+    )
+    return results
+
+
+def main() -> str:
+    rows = [
+        (
+            label,
+            "reducible" if observed else "NOT reducible",
+            "reducible" if expected else "NOT reducible",
+            steps,
+        )
+        for label, observed, expected, steps in compute()
+    ]
+    table = format_table(
+        ("schema", "verdict", "expected", "contractions"),
+        rows,
+        title="Theorem 3.2: schema reducibility",
+    )
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

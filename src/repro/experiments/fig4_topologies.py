@@ -1,0 +1,102 @@
+"""Fig 4: the five relevance functions on two toy topologies.
+
+(a) a serial-parallel graph — one 0.5 edge feeding two certain parallel
+paths; (b) a Wheatstone bridge with all edge probabilities 0.5. The
+paper's reference values:
+
+=============  =====  =====
+semantics      (a)    (b)
+=============  =====  =====
+Reliability    0.5    0.469
+Propagation    0.75   0.484
+Diffusion      0.11   0.11*
+InEdge         2      2
+PathCount      2      3
+=============  =====  =====
+
+(*) The printed value for diffusion on the bridge disagrees with the
+fixed point of the §3.3 equations, which is 1/6 ≈ 0.167; we verified
+(a)'s 0.11 = 1/9 analytically, so our reading of the semantics is
+correct and we report the fixed point. See EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.graph import ProbabilisticEntityGraph, QueryGraph
+from repro.core.ranker import rank
+from repro.experiments.runner import format_table
+
+__all__ = ["serial_parallel_graph", "wheatstone_bridge", "compute", "main"]
+
+
+def serial_parallel_graph() -> QueryGraph:
+    """Fig 4a: s -(0.5)-> a, then two certain two-edge paths to u."""
+    graph = ProbabilisticEntityGraph()
+    for node in ("s", "a", "b", "c", "u"):
+        graph.add_node(node)
+    graph.add_edge("s", "a", q=0.5)
+    graph.add_edge("a", "b", q=1.0)
+    graph.add_edge("a", "c", q=1.0)
+    graph.add_edge("b", "u", q=1.0)
+    graph.add_edge("c", "u", q=1.0)
+    return QueryGraph(graph, "s", ["u"])
+
+
+def wheatstone_bridge() -> QueryGraph:
+    """Fig 4b: the bridge graph, every edge probability 0.5."""
+    graph = ProbabilisticEntityGraph()
+    for node in ("s", "a", "b", "u"):
+        graph.add_node(node)
+    graph.add_edge("s", "a", q=0.5)
+    graph.add_edge("s", "b", q=0.5)
+    graph.add_edge("a", "b", q=0.5)
+    graph.add_edge("a", "u", q=0.5)
+    graph.add_edge("b", "u", q=0.5)
+    return QueryGraph(graph, "s", ["u"])
+
+
+def compute() -> Dict[str, Dict[str, float]]:
+    """Scores of all five methods on both topologies."""
+    results: Dict[str, Dict[str, float]] = {}
+    for name, qg in (
+        ("serial_parallel", serial_parallel_graph()),
+        ("wheatstone", wheatstone_bridge()),
+    ):
+        scores: Dict[str, float] = {}
+        for method in ("reliability", "propagation", "diffusion", "in_edge", "path_count"):
+            options = {"strategy": "exact"} if method == "reliability" else {}
+            scores[method] = rank(qg, method, **options).scores["u"]
+        results[name] = scores
+    return results
+
+
+def main() -> str:
+    data = compute()
+    paper = {
+        "serial_parallel": {
+            "reliability": 0.5, "propagation": 0.75, "diffusion": 0.11,
+            "in_edge": 2, "path_count": 2,
+        },
+        "wheatstone": {
+            "reliability": 0.469, "propagation": 0.484, "diffusion": 0.11,
+            "in_edge": 2, "path_count": 3,
+        },
+    }
+    rows = []
+    for topology, scores in data.items():
+        for method, value in scores.items():
+            rows.append(
+                (topology, method, f"{value:.4f}", paper[topology][method])
+            )
+    table = format_table(
+        ("topology", "method", "ours", "paper"), rows,
+        title="Fig 4: relevance scores on the toy topologies",
+    )
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

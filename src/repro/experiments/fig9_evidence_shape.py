@@ -1,0 +1,104 @@
+"""Fig 9 / Fig 10: the *shape* of evidence, quantified.
+
+The paper's Fig 9 is a conceptual sketch: well-known answers are backed
+by **many** supporting paths, less-known ones by **few but strong**
+paths — and that is why counting works for the former while only
+probability-aware ranking finds the latter. This artefact measures the
+sketch on the reconstructed data: for each scenario it reports, for
+relevant vs non-relevant answers, the mean number of supporting paths
+and the mean strength of the *strongest* path.
+
+Expected shape: scenario 1 relevant answers dominate on path **count**;
+scenario 2 relevant answers have fewer paths than typical decoys but a
+far stronger best path; scenario 3 sits in between — the Fig 10
+applicability matrix in numbers.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.biology.scenarios import build_scenario
+from repro.core.paths import enumerate_paths
+from repro.experiments.runner import DEFAULT_SEED, format_table
+
+__all__ = ["EvidenceShape", "compute", "main"]
+
+
+@dataclass
+class EvidenceShape:
+    """Mean evidence statistics for one group of answers."""
+
+    group: str
+    n_answers: int
+    mean_paths: float
+    mean_best_path: float
+
+
+def _shape(group: str, samples: List[tuple]) -> EvidenceShape:
+    return EvidenceShape(
+        group=group,
+        n_answers=len(samples),
+        mean_paths=statistics.mean(count for count, _ in samples),
+        mean_best_path=statistics.mean(best for _, best in samples),
+    )
+
+
+def compute(
+    scenario: int, seed: int = DEFAULT_SEED, limit: Optional[int] = None
+) -> Dict[str, EvidenceShape]:
+    """Evidence-shape statistics of one scenario.
+
+    Returns shapes keyed ``"relevant"`` and ``"other"``; path counts are
+    capped at 200 per answer (well above anything the generator emits).
+    """
+    relevant_samples: List[tuple] = []
+    other_samples: List[tuple] = []
+    for case in build_scenario(scenario, seed=seed, limit=limit):
+        qg = case.query_graph
+        for target in qg.targets:
+            paths = enumerate_paths(qg, target, max_paths=200)
+            best = paths[0].probability if paths else 0.0
+            sample = (len(paths), best)
+            if target in case.relevant:
+                relevant_samples.append(sample)
+            else:
+                other_samples.append(sample)
+    return {
+        "relevant": _shape("relevant", relevant_samples),
+        "other": _shape("other", other_samples),
+    }
+
+
+def main(seed: int = DEFAULT_SEED) -> str:
+    rows = []
+    for scenario in (1, 2, 3):
+        shapes = compute(scenario, seed=seed)
+        for key in ("relevant", "other"):
+            shape = shapes[key]
+            rows.append(
+                (
+                    scenario,
+                    shape.group,
+                    shape.n_answers,
+                    f"{shape.mean_paths:.1f}",
+                    f"{shape.mean_best_path:.3f}",
+                )
+            )
+    table = format_table(
+        ("scenario", "answers", "n", "mean #paths", "mean best-path strength"),
+        rows,
+        title=(
+            "Fig 9/10 quantified: evidence shape of relevant vs other answers\n"
+            "(scenario 1: relevant wins on redundancy; scenario 2: relevant\n"
+            "has FEWER paths but a much stronger best path)"
+        ),
+    )
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

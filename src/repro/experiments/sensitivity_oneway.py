@@ -1,0 +1,80 @@
+"""One-way sensitivity ablation (extension of Fig 6).
+
+Fig 6's multi-way analysis perturbs everything at once; this ablation
+asks *which* probability class the ranking quality actually depends on,
+by perturbing only node probabilities (record/source confidence) or
+only edge probabilities (link confidence) at a fixed sigma. Expected
+shape on the BioRank graphs: edge-only noise costs nearly as much AP as
+full noise, node-only noise costs much less — the evidence codes and
+e-values on the links carry the discriminating signal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.biology.scenarios import build_scenario
+from repro.experiments.runner import DEFAULT_SEED, RANK_OPTIONS, format_table
+from repro.sensitivity.analysis import SensitivityPoint
+from repro.sensitivity.oneway import oneway_sweep
+
+__all__ = ["compute", "main"]
+
+
+def compute(
+    scenario: int = 3,
+    method: str = "reliability",
+    sigma: float = 2.0,
+    repetitions: int = 20,
+    seed: int = DEFAULT_SEED,
+    limit: Optional[int] = None,
+) -> Dict[str, List[SensitivityPoint]]:
+    cases = build_scenario(scenario, seed=seed, limit=limit)
+    pairs = [(case.query_graph, case.relevant) for case in cases]
+    return oneway_sweep(
+        pairs,
+        method=method,
+        sigma=sigma,
+        repetitions=repetitions,
+        rng=seed,
+        rank_options=RANK_OPTIONS.get(method, {}),
+    )
+
+
+def main(
+    sigma: float = 2.0, repetitions: int = 20, seed: int = DEFAULT_SEED
+) -> str:
+    sections: List[str] = []
+    for scenario in (1, 3):
+        results = compute(
+            scenario=scenario, sigma=sigma, repetitions=repetitions, seed=seed
+        )
+        default_ap = results["all"][0].mean_ap
+        rows = []
+        for component in ("nodes", "edges", "all"):
+            noised = results[component][1]
+            rows.append(
+                (
+                    component,
+                    f"{default_ap:.2f}",
+                    f"{noised.mean_ap:.2f}",
+                    f"{default_ap - noised.mean_ap:+.2f}",
+                )
+            )
+        sections.append(
+            format_table(
+                ("perturbed", "default AP", f"AP @ sigma={sigma:g}", "cost"),
+                rows,
+                title=(
+                    f"One-way sensitivity — scenario {scenario}, reliability, "
+                    f"m={repetitions}"
+                ),
+            )
+        )
+    output = "\n\n".join(sections)
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

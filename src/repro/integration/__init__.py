@@ -1,0 +1,47 @@
+"""The mediator-based integration layer (§2).
+
+This package turns heterogeneous source databases into one probabilistic
+entity graph:
+
+* :mod:`~repro.integration.probability` — the four probabilistic metrics
+  ``ps, qs, pr, qr`` and the paper's concrete transformation functions
+  (EntrezGene status codes, AmiGO evidence codes, BLAST e-values);
+* :mod:`~repro.integration.sources` — bindings describing which tables
+  of a source database export which entity sets and relationships;
+* :mod:`~repro.integration.mediator` — source registry plus the
+  link-following machinery;
+* :mod:`~repro.integration.builder` — materialises the probabilistic
+  entity graph (``p = ps * pr``, ``q = qs * qr``);
+* :mod:`~repro.integration.query` — exploratory queries (Definition 2.2)
+  returning a ready-to-rank :class:`~repro.core.graph.QueryGraph`.
+"""
+
+from repro.integration.probability import (
+    AMIGO_EVIDENCE_PR,
+    ENTREZ_GENE_STATUS_PR,
+    ConfidenceRegistry,
+    amigo_evidence_pr,
+    entrez_gene_status_pr,
+    evalue_to_probability,
+    probability_to_evalue,
+)
+from repro.integration.sources import DataSource, EntityBinding, RelationshipBinding
+from repro.integration.mediator import Mediator
+from repro.integration.builder import BuildStats
+from repro.integration.query import ExploratoryQuery
+
+__all__ = [
+    "AMIGO_EVIDENCE_PR",
+    "ENTREZ_GENE_STATUS_PR",
+    "ConfidenceRegistry",
+    "amigo_evidence_pr",
+    "entrez_gene_status_pr",
+    "evalue_to_probability",
+    "probability_to_evalue",
+    "DataSource",
+    "EntityBinding",
+    "RelationshipBinding",
+    "Mediator",
+    "BuildStats",
+    "ExploratoryQuery",
+]

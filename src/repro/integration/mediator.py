@@ -1,0 +1,97 @@
+"""The mediator: source registry plus link-following.
+
+The mediator knows, for every entity set of the mediated schema, which
+source table holds its records, and for every entity set, which
+relationship bindings lead *out* of it. Exploratory query execution is a
+breadth-first expansion over those bindings starting from the records
+that match the query predicate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import QueryError, SchemaError
+from repro.integration.probability import ConfidenceRegistry
+from repro.integration.sources import DataSource, EntityBinding, RelationshipBinding
+from repro.storage.table import Row, Table
+
+__all__ = ["Mediator"]
+
+
+class Mediator:
+    """Registry of data sources behind one mediated schema.
+
+    ``confidences`` carries the set-level ``ps``/``qs`` scores; it
+    defaults to full confidence everywhere and can be tuned per
+    deployment (the paper's expert-set parameters).
+    """
+
+    def __init__(self, confidences: Optional[ConfidenceRegistry] = None):
+        self.confidences = confidences or ConfidenceRegistry()
+        self._sources: Dict[str, DataSource] = {}
+        self._entity_bindings: Dict[str, Tuple[DataSource, EntityBinding]] = {}
+        self._outgoing: Dict[str, List[Tuple[DataSource, RelationshipBinding]]] = {}
+
+    def register(self, source: DataSource) -> None:
+        """Add a source; entity sets may only have one providing source."""
+        if source.name in self._sources:
+            raise SchemaError(f"source {source.name!r} already registered")
+        for binding in source.entities:
+            if binding.entity_set in self._entity_bindings:
+                other = self._entity_bindings[binding.entity_set][0].name
+                raise SchemaError(
+                    f"entity set {binding.entity_set!r} already provided by "
+                    f"source {other!r}"
+                )
+        self._sources[source.name] = source
+        for binding in source.entities:
+            self._entity_bindings[binding.entity_set] = (source, binding)
+        for rel in source.relationships:
+            self._outgoing.setdefault(rel.source_entity, []).append((source, rel))
+
+    # ------------------------------------------------------------------ #
+    # lookups used by the graph builder
+    # ------------------------------------------------------------------ #
+
+    @property
+    def sources(self) -> List[DataSource]:
+        return list(self._sources.values())
+
+    def entity_binding(self, entity_set: str) -> Tuple[DataSource, EntityBinding]:
+        try:
+            return self._entity_bindings[entity_set]
+        except KeyError:
+            raise QueryError(f"no source provides entity set {entity_set!r}") from None
+
+    def entity_table(self, entity_set: str) -> Table:
+        source, binding = self.entity_binding(entity_set)
+        return source.database.table(binding.table)
+
+    def entity_record(self, entity_set: str, key: object) -> Optional[Row]:
+        """The record of entity ``key`` in ``entity_set`` (None if absent)."""
+        _, binding = self.entity_binding(entity_set)
+        table = self.entity_table(entity_set)
+        matches = table.lookup((binding.key_column,), (key,))
+        return matches[0] if matches else None
+
+    def outgoing_bindings(
+        self, entity_set: str
+    ) -> List[Tuple[DataSource, RelationshipBinding]]:
+        """Relationship bindings whose source endpoint is ``entity_set``."""
+        return list(self._outgoing.get(entity_set, ()))
+
+    def find_records(self, entity_set: str, attribute: str, value: object) -> List[Row]:
+        """All records of ``entity_set`` whose ``attribute`` equals ``value``.
+
+        Uses the key index when the attribute is the key column, a
+        secondary index when one exists, and a scan otherwise — matching
+        how a wrapper would push the predicate down to the source.
+        """
+        _, binding = self.entity_binding(entity_set)
+        table = self.entity_table(entity_set)
+        if attribute not in table.column_names:
+            raise QueryError(
+                f"entity set {entity_set!r} has no attribute {attribute!r}"
+            )
+        return table.lookup((attribute,), (value,))

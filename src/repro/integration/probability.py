@@ -1,0 +1,155 @@
+"""Transforming uncertainties into probabilities (§2).
+
+BioRank populates four probabilistic metrics:
+
+==============  =======================  =====================================
+metric          granularity              meaning
+==============  =======================  =====================================
+``ps``          entity set               confidence in a data source as a whole
+``qs``          relationship             confidence in a link-computation method
+``pr(a1,...)``  entity record            record-level confidence from attributes
+``qr(b1,...)``  relationship record      link-level confidence from attributes
+==============  =======================  =====================================
+
+Node and edge probabilities of the entity graph are the products
+``p(i) = ps(i) * pr(i)`` and ``q(i,j) = qs(i,j) * qr(i,j)``.
+
+The concrete transformation functions below are the paper's own tables:
+EntrezGene status codes, AmiGO/GO evidence codes, and the e-value
+mapping ``qr = -log10(e) / 300``.
+"""
+
+from __future__ import annotations
+
+import math
+from types import MappingProxyType
+from typing import Dict, Mapping
+
+from repro.errors import ValidationError
+from repro.utils.validation import check_probability
+
+__all__ = [
+    "ENTREZ_GENE_STATUS_PR",
+    "AMIGO_EVIDENCE_PR",
+    "entrez_gene_status_pr",
+    "amigo_evidence_pr",
+    "evalue_to_probability",
+    "probability_to_evalue",
+    "ConfidenceRegistry",
+]
+
+#: EntrezGene record confidence by curation status (§2, left table).
+ENTREZ_GENE_STATUS_PR: Mapping[str, float] = MappingProxyType(
+    {
+        "Reviewed": 1.0,
+        "Validated": 0.8,
+        "Provisional": 0.7,
+        "Predicted": 0.4,
+        "Model": 0.3,
+        "Inferred": 0.2,
+    }
+)
+
+#: GO annotation confidence by evidence code (§2, right table).
+AMIGO_EVIDENCE_PR: Mapping[str, float] = MappingProxyType(
+    {
+        "IDA": 1.0,
+        "TAS": 1.0,
+        "IGI": 0.9,
+        "IMP": 0.9,
+        "IPI": 0.9,
+        "IEP": 0.7,
+        "ISS": 0.7,
+        "RCA": 0.7,
+        "IC": 0.6,
+        "NAS": 0.5,
+        "IEA": 0.3,
+        "ND": 0.2,
+        "NR": 0.2,
+    }
+)
+
+#: scale constant of the paper's e-value transformation
+EVALUE_LOG_SCALE = 300.0
+
+
+def entrez_gene_status_pr(status_code: str) -> float:
+    """Record probability of an EntrezGene entry from its status code."""
+    try:
+        return ENTREZ_GENE_STATUS_PR[status_code]
+    except KeyError:
+        raise ValidationError(
+            f"unknown EntrezGene status code {status_code!r}; expected one of "
+            f"{sorted(ENTREZ_GENE_STATUS_PR)}"
+        ) from None
+
+
+def amigo_evidence_pr(evidence_code: str) -> float:
+    """Annotation probability of a GO link from its evidence code."""
+    try:
+        return AMIGO_EVIDENCE_PR[evidence_code]
+    except KeyError:
+        raise ValidationError(
+            f"unknown GO evidence code {evidence_code!r}; expected one of "
+            f"{sorted(AMIGO_EVIDENCE_PR)}"
+        ) from None
+
+
+def evalue_to_probability(e_value: float) -> float:
+    """The paper's e-value transformation ``qr = -log10(e) / 300``.
+
+    E-values measure the expected number of chance hits; smaller is
+    stronger. The transform is clamped into [0, 1]: ``e >= 1`` gives 0,
+    ``e <= 1e-300`` (including exact 0, which BLAST reports for perfect
+    matches) gives 1.
+    """
+    if e_value < 0:
+        raise ValidationError(f"e-value must be >= 0, got {e_value!r}")
+    if e_value == 0.0:
+        return 1.0
+    score = -math.log10(e_value) / EVALUE_LOG_SCALE
+    return min(1.0, max(0.0, score))
+
+
+def probability_to_evalue(probability: float) -> float:
+    """Inverse of :func:`evalue_to_probability` on (0, 1].
+
+    Used by the synthetic source generators: a generator that wants a
+    link of strength ``qr`` emits the e-value a real search tool would
+    have had to report, keeping the whole pipeline round-trippable.
+    """
+    probability = check_probability(probability, "probability")
+    if probability == 0.0:
+        return 1.0
+    return 10.0 ** (-EVALUE_LOG_SCALE * probability)
+
+
+class ConfidenceRegistry:
+    """Set-level confidences: ``ps`` per entity set, ``qs`` per relationship.
+
+    Both default to 1.0 (full confidence) and are user-tunable, mirroring
+    the paper's description of ``ps``/``qs`` as expert-set parameters
+    (e.g. trusting PIRSF over Pfam, or Pfam's HMM matching over BLAST).
+    """
+
+    def __init__(self) -> None:
+        self._ps: Dict[str, float] = {}
+        self._qs: Dict[str, float] = {}
+
+    def set_entity_confidence(self, entity_set: str, ps: float) -> None:
+        self._ps[entity_set] = check_probability(ps, f"ps({entity_set!r})")
+
+    def set_relationship_confidence(self, relationship: str, qs: float) -> None:
+        self._qs[relationship] = check_probability(qs, f"qs({relationship!r})")
+
+    def ps(self, entity_set: str) -> float:
+        return self._ps.get(entity_set, 1.0)
+
+    def qs(self, relationship: str) -> float:
+        return self._qs.get(relationship, 1.0)
+
+    def copy(self) -> "ConfidenceRegistry":
+        clone = ConfidenceRegistry()
+        clone._ps = dict(self._ps)
+        clone._qs = dict(self._qs)
+        return clone

@@ -1,0 +1,99 @@
+"""Exploratory queries (Definition 2.2).
+
+An exploratory query ``(P.attr = "value", {P1, ..., Pn})`` selects the
+records of entity set ``P`` matching the predicate, follows all links
+recursively, and returns the reachable records belonging to the output
+entity sets as a rankable answer set. Execution yields a
+:class:`~repro.core.graph.QueryGraph` whose source is a synthetic query
+node (``p = 1``) linked to each matching seed record with ``q = 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Hashable, Iterable, List, Tuple
+
+from repro.core.graph import QueryGraph
+from repro.errors import QueryError
+from repro.integration.builder import (
+    QUERY_ENTITY_SET,
+    BuildStats,
+    EntityGraphBuilder,
+    NodePayload,
+    entity_node_id,
+)
+from repro.integration.mediator import Mediator
+
+__all__ = ["ExploratoryQuery"]
+
+
+@dataclass(frozen=True)
+class ExploratoryQuery:
+    """``(P.attr = "value", {P1, ..., Pn})``."""
+
+    entity_set: str
+    attribute: str
+    value: Hashable
+    outputs: FrozenSet[str]
+
+    def __init__(
+        self,
+        entity_set: str,
+        attribute: str,
+        value: Hashable,
+        outputs: Iterable[str],
+    ):
+        object.__setattr__(self, "entity_set", entity_set)
+        object.__setattr__(self, "attribute", attribute)
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "outputs", frozenset(outputs))
+        if not self.outputs:
+            raise QueryError("an exploratory query needs at least one output set")
+
+    def execute(self, mediator: Mediator) -> Tuple[QueryGraph, BuildStats]:
+        """Run the query, returning the query graph and build statistics."""
+        _, binding = mediator.entity_binding(self.entity_set)
+        seeds = mediator.find_records(self.entity_set, self.attribute, self.value)
+        if not seeds:
+            raise QueryError(
+                f"no {self.entity_set!r} record has "
+                f"{self.attribute} = {self.value!r}"
+            )
+
+        builder = EntityGraphBuilder(mediator)
+        query_node = entity_node_id(QUERY_ENTITY_SET, self.value)
+        builder.graph.add_node(
+            query_node,
+            p=1.0,
+            data=NodePayload(
+                QUERY_ENTITY_SET, self.value, None, f"query:{self.value!r}"
+            ),
+        )
+
+        seed_ids: List = []
+        for record in seeds:
+            seed_id = builder.add_entity_node(
+                self.entity_set, record[binding.key_column]
+            )
+            if seed_id is None:
+                continue
+            builder.graph.add_edge(query_node, seed_id, q=1.0)
+            builder.stats.edges += 1
+            seed_ids.append(seed_id)
+        if not seed_ids:
+            raise QueryError(
+                f"all seed records of {self.entity_set!r} were dangling"
+            )
+
+        builder.expand_from(seed_ids)
+
+        answers = [
+            node
+            for node in builder.graph.nodes()
+            if builder.graph.data(node).entity_set in self.outputs
+        ]
+        if not answers:
+            raise QueryError(
+                f"query reached no records in output sets {sorted(self.outputs)}"
+            )
+        return QueryGraph(builder.graph, query_node, answers), builder.stats

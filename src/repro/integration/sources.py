@@ -1,0 +1,92 @@
+"""Source descriptions: how a source database exports schema elements.
+
+A :class:`DataSource` owns a storage :class:`~repro.storage.Database` and
+declares, via bindings, which of its tables populate which entity sets
+and relationships of the mediated schema:
+
+* an :class:`EntityBinding` names the table holding an entity set's
+  records, the key column, and the record-probability transformation
+  ``pr`` over a row's attributes;
+* a :class:`RelationshipBinding` names the table holding relationship
+  records, the key columns identifying the two endpoints, and the
+  link-probability transformation ``qr``.
+
+These bindings are the (much simplified) analogue of the wrappers and
+mappings of the BioMediator lineage the paper builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.storage.database import Database
+from repro.storage.table import Row
+
+__all__ = ["EntityBinding", "RelationshipBinding", "DataSource"]
+
+
+def _always_one(_: Row) -> float:
+    return 1.0
+
+
+@dataclass(frozen=True)
+class EntityBinding:
+    """Binds a mediated entity set to a table of the source database."""
+
+    entity_set: str
+    table: str
+    key_column: str
+    #: record-probability transformation pr(a1, a2, ...) over the row
+    pr: Callable[[Row], float] = _always_one
+    #: optional human-readable label extractor (used in ranked output)
+    label: Optional[Callable[[Row], str]] = None
+
+
+@dataclass(frozen=True)
+class RelationshipBinding:
+    """Binds a mediated relationship to a link table of the source.
+
+    ``source_column`` / ``target_column`` hold the key values of the two
+    endpoint records; the endpoint entity sets say which entity bindings
+    resolve those keys.
+    """
+
+    relationship: str
+    table: str
+    source_entity: str
+    source_column: str
+    target_entity: str
+    target_column: str
+    #: link-probability transformation qr(b1, b2, ...) over the row
+    qr: Callable[[Row], float] = _always_one
+
+
+@dataclass
+class DataSource:
+    """A named source: its database plus its export bindings."""
+
+    name: str
+    database: Database
+    entities: Tuple[EntityBinding, ...] = ()
+    relationships: Tuple[RelationshipBinding, ...] = ()
+
+    def __post_init__(self) -> None:
+        for binding in self.entities:
+            table = self.database.table(binding.table)
+            if binding.key_column not in table.column_names:
+                raise SchemaError(
+                    f"source {self.name!r}: entity binding {binding.entity_set!r} "
+                    f"key column {binding.key_column!r} missing from table "
+                    f"{binding.table!r}"
+                )
+        for binding in self.relationships:
+            table = self.database.table(binding.table)
+            for column in (binding.source_column, binding.target_column):
+                if column not in table.column_names:
+                    raise SchemaError(
+                        f"source {self.name!r}: relationship binding "
+                        f"{binding.relationship!r} column {column!r} missing "
+                        f"from table {binding.table!r}"
+                    )

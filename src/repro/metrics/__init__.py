@@ -1,0 +1,31 @@
+"""Information-retrieval evaluation metrics (§4, "Measuring Ranking
+Performance").
+
+Average precision at 100 % recall is the paper's uniform quality
+measure; because scoring functions produce ties (especially the
+deterministic ones), the tie-aware *expected* AP of McSherry & Najork
+(ECIR 2008) is used throughout, with the analytic random-permutation AP
+(Definition 4.1) as the no-ranking baseline.
+"""
+
+from repro.metrics.average_precision import (
+    average_precision,
+    average_precision_at,
+    expected_average_precision,
+    interpolated_average_precision,
+    random_average_precision,
+)
+from repro.metrics.precision import precision_at, recall_at
+from repro.metrics.ranking import format_rank_interval, rank_intervals
+
+__all__ = [
+    "average_precision",
+    "average_precision_at",
+    "interpolated_average_precision",
+    "expected_average_precision",
+    "random_average_precision",
+    "precision_at",
+    "recall_at",
+    "rank_intervals",
+    "format_rank_interval",
+]

@@ -1,0 +1,180 @@
+"""Average precision, tie-aware expected AP, and the random baseline.
+
+``average_precision`` is the textbook AP at 100 % recall over a fully
+ordered binary relevance vector.
+
+``expected_average_precision`` handles *partial* orders: scoring
+functions (InEdge especially) produce ties, and the paper follows
+McSherry & Najork (ECIR 2008) in reporting the mean AP over all
+permutations of tied items. We compute that expectation analytically:
+inside a tie group of size ``m`` containing ``r`` relevant items, a
+relevant item lands on within-group position ``j`` uniformly, and the
+expected number of *other* relevant group members placed before it is
+``(j - 1)(r - 1)/(m - 1)``; summing the resulting expected precision
+contributions is linear in the list length.
+
+``random_average_precision`` is Definition 4.1 — the expected AP of an
+arbitrarily ordered list with ``k`` relevant among ``n`` — and equals
+``expected_average_precision`` with all scores tied (a property the test
+suite checks, and which the paper uses as its "Random" baseline).
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Hashable, Mapping, Sequence
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "average_precision",
+    "average_precision_at",
+    "interpolated_average_precision",
+    "expected_average_precision",
+    "random_average_precision",
+]
+
+NodeId = Hashable
+
+
+def average_precision(relevances: Sequence[int]) -> float:
+    """AP at 100 % recall of a fully ordered 0/1 relevance vector."""
+    k = 0
+    for value in relevances:
+        if value not in (0, 1, True, False):
+            raise ValidationError(f"relevance labels must be 0/1, got {value!r}")
+        k += bool(value)
+    if k == 0:
+        raise ValidationError("AP undefined: no relevant items in the list")
+    hits = 0
+    total = 0.0
+    for i, value in enumerate(relevances, start=1):
+        if value:
+            hits += 1
+            total += hits / i
+    return total / k
+
+
+def average_precision_at(relevances: Sequence[int], k: int) -> float:
+    """AP@k: average precision over the first ``k`` ranks only.
+
+    The paper notes AP "can be calculated at a specified number of
+    results (e.g. AP@20)"; relevant items below the cut-off still count
+    in the normaliser, so AP@n equals plain AP.
+    """
+    if not 1 <= k <= len(relevances):
+        raise ValidationError(f"cut-off must be in [1, {len(relevances)}], got {k}")
+    total_relevant = 0
+    for value in relevances:
+        if value not in (0, 1, True, False):
+            raise ValidationError(f"relevance labels must be 0/1, got {value!r}")
+        total_relevant += bool(value)
+    if total_relevant == 0:
+        raise ValidationError("AP undefined: no relevant items in the list")
+    hits = 0
+    total = 0.0
+    for i, value in enumerate(relevances[:k], start=1):
+        if value:
+            hits += 1
+            total += hits / i
+    return total / total_relevant
+
+
+def interpolated_average_precision(
+    relevances: Sequence[int], points: int = 11
+) -> float:
+    """N-point interpolated AP (the classic 11-point TREC measure).
+
+    Precision at each recall point ``r`` is the *maximum* precision at
+    any rank whose recall is at least ``r``; the measure averages those
+    interpolated precisions over ``points`` evenly spaced recall levels
+    including 0 and 1.
+    """
+    if points < 2:
+        raise ValidationError(f"need at least 2 recall points, got {points}")
+    k = 0
+    for value in relevances:
+        if value not in (0, 1, True, False):
+            raise ValidationError(f"relevance labels must be 0/1, got {value!r}")
+        k += bool(value)
+    if k == 0:
+        raise ValidationError("AP undefined: no relevant items in the list")
+
+    # precision/recall after each rank
+    precisions = []
+    recalls = []
+    hits = 0
+    for i, value in enumerate(relevances, start=1):
+        if value:
+            hits += 1
+        precisions.append(hits / i)
+        recalls.append(hits / k)
+
+    total = 0.0
+    for j in range(points):
+        level = j / (points - 1)
+        attainable = [
+            p for p, r in zip(precisions, recalls) if r >= level - 1e-12
+        ]
+        total += max(attainable) if attainable else 0.0
+    return total / points
+
+
+def expected_average_precision(
+    scores: Mapping[NodeId, float], relevant: AbstractSet[NodeId]
+) -> float:
+    """Expected AP over all permutations of tied items.
+
+    ``scores`` maps each ranked item to its relevance score (higher is
+    better); ``relevant`` is the gold-standard set. Items in
+    ``relevant`` that are missing from ``scores`` are ignored (they were
+    not retrieved; the paper evaluates AP on the retrieved answer set).
+    """
+    if not scores:
+        raise ValidationError("AP undefined: empty ranking")
+    k_total = sum(1 for item in scores if item in relevant)
+    if k_total == 0:
+        raise ValidationError("AP undefined: no relevant items were retrieved")
+
+    # build tie groups in descending score order
+    by_score: dict = {}
+    for item, score in scores.items():
+        by_score.setdefault(score, []).append(item)
+
+    total = 0.0
+    preceding = 0          # items in strictly better groups
+    relevant_before = 0    # relevant items in strictly better groups
+    for score in sorted(by_score, reverse=True):
+        group = by_score[score]
+        m = len(group)
+        r = sum(1 for item in group if item in relevant)
+        if r > 0:
+            # each relevant member sits at within-group position j with
+            # probability 1/m; the expected count of other relevant group
+            # members before it is (j-1)(r-1)/(m-1)
+            pair_density = (r - 1) / (m - 1) if m > 1 else 0.0
+            expectation = 0.0
+            for j in range(1, m + 1):
+                expected_hits = relevant_before + 1 + (j - 1) * pair_density
+                expectation += expected_hits / (preceding + j)
+            total += r * (expectation / m)
+        preceding += m
+        relevant_before += r
+    return total / k_total
+
+
+def random_average_precision(k: int, n: int) -> float:
+    """Definition 4.1: expected AP of a randomly ordered list.
+
+    ``k`` relevant items among ``n`` total:
+
+        APrand(k, n) = sum_{i=1}^{n} ((k-1)(i-1) + (n-1)) / (i (n-1) n)
+    """
+    if n < 1:
+        raise ValidationError(f"list length must be >= 1, got {n}")
+    if not 1 <= k <= n:
+        raise ValidationError(f"relevant count must be in [1, {n}], got {k}")
+    if n == 1:
+        return 1.0
+    return sum(
+        ((k - 1) * (i - 1) + (n - 1)) / (i * (n - 1) * n) for i in range(1, n + 1)
+    )

@@ -1,0 +1,34 @@
+"""Precision and recall at a cut-off."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ValidationError
+
+__all__ = ["precision_at", "recall_at"]
+
+
+def _check_cutoff(relevances: Sequence[int], i: int) -> None:
+    if not 1 <= i <= len(relevances):
+        raise ValidationError(
+            f"cut-off must be in [1, {len(relevances)}], got {i}"
+        )
+    for value in relevances:
+        if value not in (0, 1, True, False):
+            raise ValidationError(f"relevance labels must be 0/1, got {value!r}")
+
+
+def precision_at(relevances: Sequence[int], i: int) -> float:
+    """P@i: fraction of the first ``i`` ranked items that are relevant."""
+    _check_cutoff(relevances, i)
+    return sum(1 for value in relevances[:i] if value) / i
+
+
+def recall_at(relevances: Sequence[int], i: int) -> float:
+    """R@i: fraction of all relevant items found in the first ``i``."""
+    _check_cutoff(relevances, i)
+    total = sum(1 for value in relevances if value)
+    if total == 0:
+        raise ValidationError("recall undefined: no relevant items in the list")
+    return sum(1 for value in relevances[:i] if value) / total

@@ -1,0 +1,55 @@
+"""Tie-aware rank intervals and their presentation.
+
+Tables 2 and 3 of the paper report the rank each method assigns to a
+gold function, with ties shown as intervals (``34-97`` means the
+function could land anywhere between rank 34 and rank 97 depending on
+tie-breaking). These helpers compute and format such intervals from a
+raw score mapping without needing a full :class:`RankedResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Tuple
+
+__all__ = ["rank_intervals", "format_rank_interval", "interval_midpoint"]
+
+NodeId = Hashable
+
+
+def rank_intervals(scores: Mapping[NodeId, float]) -> Dict[NodeId, Tuple[int, int]]:
+    """Best/worst possible 1-based rank of every item under ties.
+
+    Computed in one sort: items are grouped by score descending; a group
+    covering positions ``c+1 .. c+m`` gives every member the interval
+    ``(c+1, c+m)``.
+    """
+    ordered = sorted(scores.items(), key=lambda item: -item[1])
+    intervals: Dict[NodeId, Tuple[int, int]] = {}
+    position = 0
+    index = 0
+    items = ordered
+    while index < len(items):
+        score = items[index][1]
+        group = [items[index][0]]
+        index += 1
+        while index < len(items) and items[index][1] == score:
+            group.append(items[index][0])
+            index += 1
+        lo, hi = position + 1, position + len(group)
+        for node in group:
+            intervals[node] = (lo, hi)
+        position += len(group)
+    return intervals
+
+
+def format_rank_interval(interval: Tuple[int, int]) -> str:
+    """Render ``(5, 5)`` as ``"5"`` and ``(34, 97)`` as ``"34-97"``."""
+    lo, hi = interval
+    return str(lo) if lo == hi else f"{lo}-{hi}"
+
+
+def interval_midpoint(interval: Tuple[int, int]) -> float:
+    """Expected rank under random tie-breaking (what the paper's per-table
+    Mean rows average)."""
+    lo, hi = interval
+    return (lo + hi) / 2.0

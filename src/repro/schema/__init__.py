@@ -1,0 +1,30 @@
+"""The mediated E/R schema layer.
+
+Implements the paper's schema formalism (§2) and its reducibility theory
+(§3.1, Theorem 3.2): entity sets, binary relationships with cardinality
+classes, a composition algebra over cardinalities, and the checker that
+decides whether every data-graph instance of a schema can be fully
+collapsed by the serial/parallel graph reduction rules.
+"""
+
+from repro.schema.cardinality import Cardinality
+from repro.schema.composition import CompositionOracle, compose_cardinalities
+from repro.schema.er import EntitySet, ERSchema, Relationship
+from repro.schema.reducibility import ReducibilityReport, check_reducibility
+from repro.schema.biorank_schema import (
+    biorank_query_schema,
+    full_source_catalog,
+)
+
+__all__ = [
+    "Cardinality",
+    "CompositionOracle",
+    "compose_cardinalities",
+    "EntitySet",
+    "ERSchema",
+    "Relationship",
+    "ReducibilityReport",
+    "check_reducibility",
+    "biorank_query_schema",
+    "full_source_catalog",
+]

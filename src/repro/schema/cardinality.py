@@ -1,0 +1,67 @@
+"""Cardinality classes of binary relationships.
+
+The paper annotates each relationship in the mediated schema with a type
+``[1:n]``, ``[n:1]`` or ``[m:n]`` (folding ``[1:1]`` into one of the first
+two when convenient). These classes drive the reducibility analysis of
+Theorem 3.2.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import SchemaError
+
+__all__ = ["Cardinality"]
+
+
+class Cardinality(enum.Enum):
+    """Cardinality class of a directed binary relationship P -> P'."""
+
+    ONE_TO_ONE = "1:1"
+    ONE_TO_MANY = "1:n"
+    MANY_TO_ONE = "n:1"
+    MANY_TO_MANY = "n:m"
+
+    @classmethod
+    def parse(cls, text: str) -> "Cardinality":
+        """Parse ``"1:n"``-style notation (also accepts ``"m:n"``)."""
+        normalised = text.strip().lower().replace("m:n", "n:m")
+        for member in cls:
+            if member.value == normalised:
+                return member
+        raise SchemaError(f"unknown cardinality {text!r}")
+
+    @property
+    def inverse(self) -> "Cardinality":
+        """Cardinality of the relationship read in the opposite direction."""
+        if self is Cardinality.ONE_TO_MANY:
+            return Cardinality.MANY_TO_ONE
+        if self is Cardinality.MANY_TO_ONE:
+            return Cardinality.ONE_TO_MANY
+        return self
+
+    @property
+    def functional(self) -> bool:
+        """True if each source entity maps to at most one target entity."""
+        return self in (Cardinality.ONE_TO_ONE, Cardinality.MANY_TO_ONE)
+
+    @property
+    def injective(self) -> bool:
+        """True if each target entity is reached by at most one source."""
+        return self in (Cardinality.ONE_TO_ONE, Cardinality.ONE_TO_MANY)
+
+    def folded(self) -> "Cardinality":
+        """Fold ``[1:1]`` into ``[n:1]`` per the paper's convention.
+
+        Theorem 3.2 only distinguishes ``[1:n]``, ``[n:1]`` and ``[m:n]``;
+        a ``[1:1]`` relationship satisfies both functional and injective
+        constraints, and treating it as ``[n:1]`` is the safe direction
+        for the serial-collapse argument.
+        """
+        if self is Cardinality.ONE_TO_ONE:
+            return Cardinality.MANY_TO_ONE
+        return self
+
+    def __str__(self) -> str:
+        return self.value

@@ -1,0 +1,92 @@
+"""The composition algebra over relationship cardinalities.
+
+Composing two relationships ``Q : P0 -> P1`` and ``Q' : P1 -> P2`` yields
+a relationship ``Q ∘ Q' : P0 -> P2``. At the type level the paper notes:
+
+* ``[1:n] ∘ [1:n] = [1:n]`` and ``[n:1] ∘ [n:1] = [n:1]``;
+* ``[1:n] ∘ [n:1]`` can be any of ``[1:n]``, ``[n:1]`` or ``[m:n]`` —
+  only *domain knowledge* can pin it down;
+* anything involving ``[m:n]`` is ``[m:n]`` in general.
+
+:func:`compose_cardinalities` returns the set of possible outcomes;
+:class:`CompositionOracle` lets callers register the domain knowledge
+that disambiguates specific relationship pairs (as the paper's authors
+did for the BioRank sources, e.g. the final ``[n:m]`` relationship that
+is ``[n:1]`` from the point of view of each answer node).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.errors import SchemaError
+from repro.schema.cardinality import Cardinality
+
+__all__ = ["compose_cardinalities", "CompositionOracle"]
+
+_C = Cardinality
+
+
+def compose_cardinalities(first: Cardinality, second: Cardinality) -> FrozenSet[Cardinality]:
+    """Possible cardinality classes of ``first ∘ second``.
+
+    Works on folded classes (``[1:1]`` treated as ``[n:1]``); the result
+    is a frozen set because composition is not always determined at the
+    type level.
+    """
+    a, b = first.folded(), second.folded()
+    if a is _C.ONE_TO_MANY and b is _C.ONE_TO_MANY:
+        return frozenset({_C.ONE_TO_MANY})
+    if a is _C.MANY_TO_ONE and b is _C.MANY_TO_ONE:
+        return frozenset({_C.MANY_TO_ONE})
+    if a is _C.ONE_TO_MANY and b is _C.MANY_TO_ONE:
+        # the ambiguous case Theorem 3.2 hinges on
+        return frozenset({_C.ONE_TO_MANY, _C.MANY_TO_ONE, _C.MANY_TO_MANY})
+    if a is _C.MANY_TO_ONE and b is _C.ONE_TO_MANY:
+        return frozenset({_C.MANY_TO_MANY})
+    # any composition through an [m:n] leg is [m:n] in general
+    return frozenset({_C.MANY_TO_MANY})
+
+
+class CompositionOracle:
+    """Domain knowledge resolving ambiguous relationship compositions.
+
+    Maps an ordered pair of relationship names to the cardinality class
+    their composition is *known* to have for the data at hand. The
+    reducibility checker consults the oracle before falling back to the
+    type-level algebra; an oracle answer outside the algebra's possible
+    set is rejected, so domain knowledge can narrow but never contradict
+    the algebra.
+    """
+
+    def __init__(self) -> None:
+        self._known: Dict[Tuple[str, str], Cardinality] = {}
+
+    def declare(self, first: str, second: str, result: Cardinality) -> None:
+        """Record that ``first ∘ second`` has cardinality ``result``."""
+        self._known[(first, second)] = result
+
+    def resolve(
+        self,
+        first_name: str,
+        second_name: str,
+        first_card: Cardinality,
+        second_card: Cardinality,
+    ) -> Optional[Cardinality]:
+        """Return the composed cardinality if it is uniquely determined.
+
+        Order of resolution: (1) exact oracle entry, validated against the
+        algebra; (2) algebra, if it admits a single outcome; (3) ``None``.
+        """
+        possible = compose_cardinalities(first_card, second_card)
+        declared = self._known.get((first_name, second_name))
+        if declared is not None:
+            if declared.folded() not in possible:
+                raise SchemaError(
+                    f"oracle claims {first_name} ∘ {second_name} = {declared}, "
+                    f"but the algebra only allows {sorted(c.value for c in possible)}"
+                )
+            return declared.folded()
+        if len(possible) == 1:
+            return next(iter(possible))
+        return None

@@ -1,0 +1,184 @@
+"""Entity sets, relationships and the mediated E/R schema."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import SchemaError
+from repro.schema.cardinality import Cardinality
+
+__all__ = ["EntitySet", "Relationship", "ERSchema"]
+
+
+@dataclass(frozen=True)
+class EntitySet:
+    """An entity set ``P(id, a1, a2, ...)`` exported by a data source.
+
+    ``source`` names the data source that exports the entity set (used by
+    the mediator and for per-source confidence ``ps``); ``key`` is the
+    name of the identifying attribute.
+    """
+
+    name: str
+    key: str = "id"
+    attributes: Tuple[str, ...] = ()
+    source: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("entity set needs a non-empty name")
+
+
+@dataclass(frozen=True)
+class Relationship:
+    """A directed binary relationship ``Q(id, id', b1, ...)`` between two
+    entity sets, annotated with its cardinality class."""
+
+    name: str
+    source: str
+    target: str
+    cardinality: Cardinality
+    attributes: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("relationship needs a non-empty name")
+
+
+class ERSchema:
+    """A mediated schema: entity sets plus directed relationships.
+
+    The schema is a directed multigraph at the type level — two entity
+    sets may be connected by several distinct relationships (e.g. two
+    different link-computation methods between the same sources).
+    """
+
+    def __init__(self, name: str = "schema"):
+        self.name = name
+        self._entities: Dict[str, EntitySet] = {}
+        self._relationships: Dict[str, Relationship] = {}
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    def add_entity(self, entity: EntitySet) -> EntitySet:
+        if entity.name in self._entities:
+            raise SchemaError(f"schema already has entity set {entity.name!r}")
+        self._entities[entity.name] = entity
+        return entity
+
+    def add_relationship(self, relationship: Relationship) -> Relationship:
+        if relationship.name in self._relationships:
+            raise SchemaError(
+                f"schema already has relationship {relationship.name!r}"
+            )
+        for endpoint in (relationship.source, relationship.target):
+            if endpoint not in self._entities:
+                raise SchemaError(
+                    f"relationship {relationship.name!r} references unknown "
+                    f"entity set {endpoint!r}"
+                )
+        self._relationships[relationship.name] = relationship
+        return relationship
+
+    def entity(self, name: str, *, key: str = "id", attributes: Iterable[str] = (),
+               source: Optional[str] = None) -> EntitySet:
+        """Convenience: create and add an :class:`EntitySet`."""
+        return self.add_entity(
+            EntitySet(name, key=key, attributes=tuple(attributes), source=source)
+        )
+
+    def relate(
+        self,
+        name: str,
+        source: str,
+        target: str,
+        cardinality: str,
+        attributes: Iterable[str] = (),
+    ) -> Relationship:
+        """Convenience: create and add a :class:`Relationship`."""
+        return self.add_relationship(
+            Relationship(
+                name,
+                source,
+                target,
+                Cardinality.parse(cardinality),
+                attributes=tuple(attributes),
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def entities(self) -> List[EntitySet]:
+        return list(self._entities.values())
+
+    @property
+    def relationships(self) -> List[Relationship]:
+        return list(self._relationships.values())
+
+    def get_entity(self, name: str) -> EntitySet:
+        entity = self._entities.get(name)
+        if entity is None:
+            raise SchemaError(f"schema has no entity set {name!r}")
+        return entity
+
+    def get_relationship(self, name: str) -> Relationship:
+        relationship = self._relationships.get(name)
+        if relationship is None:
+            raise SchemaError(f"schema has no relationship {name!r}")
+        return relationship
+
+    def incoming(self, entity_name: str) -> List[Relationship]:
+        """Relationships whose target is ``entity_name``."""
+        self.get_entity(entity_name)
+        return [r for r in self._relationships.values() if r.target == entity_name]
+
+    def outgoing(self, entity_name: str) -> List[Relationship]:
+        """Relationships whose source is ``entity_name``."""
+        self.get_entity(entity_name)
+        return [r for r in self._relationships.values() if r.source == entity_name]
+
+    def roots(self) -> List[EntitySet]:
+        """Entity sets with no incoming relationship."""
+        targets = {r.target for r in self._relationships.values()}
+        return [e for e in self._entities.values() if e.name not in targets]
+
+    def is_tree(self) -> bool:
+        """True if the schema digraph is a rooted tree (one root, every
+        other node has exactly one incoming relationship, connected)."""
+        roots = self.roots()
+        if len(roots) != 1:
+            return False
+        in_degree: Dict[str, int] = {name: 0 for name in self._entities}
+        for relationship in self._relationships.values():
+            in_degree[relationship.target] += 1
+        non_root = [n for n in self._entities if n != roots[0].name]
+        if any(in_degree[n] != 1 for n in non_root):
+            return False
+        # connectivity: walk from the root
+        seen = {roots[0].name}
+        frontier = [roots[0].name]
+        while frontier:
+            current = frontier.pop()
+            for relationship in self.outgoing(current):
+                if relationship.target not in seen:
+                    seen.add(relationship.target)
+                    frontier.append(relationship.target)
+        return seen == set(self._entities)
+
+    def copy(self) -> "ERSchema":
+        clone = ERSchema(self.name)
+        clone._entities = dict(self._entities)
+        clone._relationships = dict(self._relationships)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ERSchema({self.name!r}, {len(self._entities)} entities, "
+            f"{len(self._relationships)} relationships)"
+        )

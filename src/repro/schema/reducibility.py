@@ -1,0 +1,234 @@
+"""Theorem 3.2: deciding whether an E/R schema is *reducible*.
+
+A schema is reducible when every data-graph instance of it can be fully
+collapsed by the serial-path / parallel-path graph reduction rules
+(:mod:`repro.core.reduction`), which is exactly when reliability admits a
+tractable closed-form solution.
+
+The checker implements the theorem constructively, with two sound
+extensions the paper uses implicitly:
+
+* **Part A** — a schema that is a rooted tree of only injective
+  (``[1:n]``/``[1:1]``) relationships is reducible.
+* **Star base case** — a schema whose relationships all leave one root
+  entity is reducible: in any instance, each intermediate record has one
+  incoming edge (from the query node) and, once sinks are pruned and
+  parallels merged, one outgoing edge — serial collapse finishes it.
+* **Part B** — if some entity set ``P`` has exactly one incoming
+  *injective* relationship ``Q`` and exactly one outgoing *functional*
+  relationship ``Q'``, then every instance record of ``P`` has in- and
+  out-degree at most one, so it can always be serially collapsed; ``P``
+  is contracted and ``Q ∘ Q'`` spliced in. The composed cardinality is
+  taken from the :class:`CompositionOracle`/algebra when known and
+  conservatively assumed ``[m:n]`` otherwise (the theorem's condition
+  (a) exists to keep *later* contractions possible, not to license this
+  one).
+* **Per-target view** — §4's observation: an ``[n:m]`` relationship into
+  the answer entity set behaves as ``[n:1]`` from the point of view of a
+  single answer node. :func:`check_reducibility_per_target` applies that
+  transformation before checking, which is how the BioRank schema's
+  individual queries admit closed solutions even though the full schema
+  does not.
+
+Because several entity sets may be contractible at once and the order
+can matter, the checker searches over contraction orders (with
+memoisation on a canonical schema signature); schemas are tiny, so this
+is cheap. A negative verdict means *not provably reducible* by these
+rules — e.g. Wheatstone-bridge-capable schemas like Fig 2a/2b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.errors import SchemaError
+from repro.schema.cardinality import Cardinality
+from repro.schema.composition import CompositionOracle
+from repro.schema.er import ERSchema, Relationship
+
+__all__ = [
+    "ReducibilityReport",
+    "check_reducibility",
+    "check_reducibility_per_target",
+]
+
+_C = Cardinality
+
+
+@dataclass
+class ReducibilityReport:
+    """Outcome of a reducibility check.
+
+    ``steps`` records the successful contraction sequence (empty when a
+    base case applied immediately); ``reason`` explains a negative
+    verdict.
+    """
+
+    reducible: bool
+    steps: List[str] = field(default_factory=list)
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.reducible
+
+
+def check_reducibility(
+    schema: ERSchema, oracle: Optional[CompositionOracle] = None
+) -> ReducibilityReport:
+    """Decide reducibility of ``schema`` per (extended) Theorem 3.2."""
+    oracle = oracle or CompositionOracle()
+    memo: Dict[FrozenSet[Tuple[str, str, str, str]], Optional[List[str]]] = {}
+    steps = _search(schema, oracle, memo)
+    if steps is not None:
+        return ReducibilityReport(True, steps=steps)
+    return ReducibilityReport(
+        False,
+        reason=(
+            "no contraction order reaches a base case; some instance may "
+            "contain a Wheatstone bridge"
+        ),
+    )
+
+
+def check_reducibility_per_target(
+    schema: ERSchema,
+    target_entity: str,
+    oracle: Optional[CompositionOracle] = None,
+) -> ReducibilityReport:
+    """Reducibility from the point of view of one answer node (§4).
+
+    Every ``[n:m]`` relationship whose target is ``target_entity`` is
+    re-typed ``[n:1]`` — all of its instance edges point at the single
+    answer node under consideration — and the ordinary check runs on the
+    transformed schema.
+    """
+    schema.get_entity(target_entity)
+    viewed = ERSchema(f"{schema.name}@{target_entity}")
+    for entity in schema.entities:
+        viewed.add_entity(entity)
+    for relationship in schema.relationships:
+        cardinality = relationship.cardinality
+        if (
+            relationship.target == target_entity
+            and cardinality is _C.MANY_TO_MANY
+        ):
+            cardinality = _C.MANY_TO_ONE
+        viewed.add_relationship(
+            Relationship(
+                relationship.name,
+                relationship.source,
+                relationship.target,
+                cardinality,
+                attributes=relationship.attributes,
+            )
+        )
+    return check_reducibility(viewed, oracle)
+
+
+def _signature(schema: ERSchema) -> FrozenSet[Tuple[str, str, str, str]]:
+    return frozenset(
+        (r.name, r.source, r.target, r.cardinality.folded().value)
+        for r in schema.relationships
+    )
+
+
+def _is_injective_interior_tree(schema: ERSchema) -> bool:
+    """Part A, generalised soundly: a rooted tree whose *interior*
+    relationships are injective.
+
+    In any instance, injective interior relationships give every
+    intermediate record in-degree at most one, so the per-target
+    subgraph is a tree over the intermediates that collapses bottom-up
+    (serial rule on the layer adjacent to the target, parallel merge,
+    repeat). Relationships into leaf entity sets may have any
+    cardinality — all their instance edges end at answer records. The
+    paper's pure-[1:n] tree is the special case with injective leaf
+    relationships too.
+    """
+    if not schema.is_tree():
+        return False
+    for relationship in schema.relationships:
+        target_is_interior = bool(schema.outgoing(relationship.target))
+        if target_is_interior and not relationship.cardinality.injective:
+            return False
+    return True
+
+
+def _is_root_star(schema: ERSchema) -> bool:
+    """All relationships leave a single root entity (includes the
+    zero- and one-relationship schemas)."""
+    sources = {r.source for r in schema.relationships}
+    return len(sources) <= 1
+
+
+def _search(
+    schema: ERSchema,
+    oracle: CompositionOracle,
+    memo: Dict[FrozenSet[Tuple[str, str, str, str]], Optional[List[str]]],
+) -> Optional[List[str]]:
+    """DFS over contraction orders; returns the step log on success."""
+    key = _signature(schema)
+    if key in memo:
+        return memo[key]
+    if _is_root_star(schema) or _is_injective_interior_tree(schema):
+        memo[key] = []
+        return []
+    memo[key] = None  # guard against revisiting while exploring
+
+    for entity in schema.entities:
+        incoming = schema.incoming(entity.name)
+        outgoing = schema.outgoing(entity.name)
+        if len(incoming) != 1 or len(outgoing) != 1:
+            continue
+        q, q_prime = incoming[0], outgoing[0]
+        if not q.cardinality.injective:
+            continue  # instance in-degree could exceed one
+        if not q_prime.cardinality.functional:
+            continue  # instance out-degree could exceed one
+        if q.source == entity.name or q_prime.target == entity.name:
+            continue  # self-loop relationship; contraction undefined
+        composed = oracle.resolve(
+            q.name, q_prime.name, q.cardinality, q_prime.cardinality
+        )
+        if composed is None:
+            composed = _C.MANY_TO_MANY  # conservative worst case
+        contracted = _contract(schema, entity.name, q, q_prime, composed)
+        sub_steps = _search(contracted, oracle, memo)
+        if sub_steps is not None:
+            step = (
+                f"contract {entity.name!r}: {q.name} [{q.cardinality}] ∘ "
+                f"{q_prime.name} [{q_prime.cardinality}] = [{composed}]"
+            )
+            memo[key] = [step] + sub_steps
+            return memo[key]
+
+    memo[key] = None
+    return None
+
+
+def _contract(
+    schema: ERSchema,
+    entity_name: str,
+    q: Relationship,
+    q_prime: Relationship,
+    composed: Cardinality,
+) -> ERSchema:
+    """Remove ``entity_name`` and splice ``q ∘ q_prime`` into the schema."""
+    result = ERSchema(schema.name)
+    for entity in schema.entities:
+        if entity.name != entity_name:
+            result.add_entity(entity)
+    for relationship in schema.relationships:
+        if relationship.name in (q.name, q_prime.name):
+            continue
+        result.add_relationship(relationship)
+    result.add_relationship(
+        Relationship(
+            name=f"{q.name}∘{q_prime.name}",
+            source=q.source,
+            target=q_prime.target,
+            cardinality=composed,
+        )
+    )
+    return result

@@ -1,0 +1,36 @@
+"""A small in-memory relational storage engine.
+
+This is the substrate the BioRank mediator materialises source data into:
+typed tables with primary keys, secondary hash indexes, foreign keys and
+the handful of relational operations (selection, projection, equijoin)
+the integration layer needs for link-following.
+
+The engine is deliberately simple — rows are immutable dictionaries, all
+indexes are hash-based — but it enforces real constraints (types, key
+uniqueness, referential integrity), so the synthetic biological sources
+built on top of it behave like actual curated databases rather than
+ad-hoc dictionaries.
+"""
+
+from repro.storage.column import Column, ColumnType
+from repro.storage.csv_io import dump_database, dump_table, load_table_rows
+from repro.storage.database import Database
+from repro.storage.index import HashIndex
+from repro.storage.ops import equijoin, project, select
+from repro.storage.table import ForeignKey, Row, Table
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "dump_table",
+    "dump_database",
+    "load_table_rows",
+    "Database",
+    "ForeignKey",
+    "HashIndex",
+    "Row",
+    "Table",
+    "equijoin",
+    "project",
+    "select",
+]

@@ -1,0 +1,73 @@
+"""Column definitions and the column type system."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import IntegrityError
+
+__all__ = ["ColumnType", "Column"]
+
+
+class ColumnType(enum.Enum):
+    """Supported column types.
+
+    ``FLOAT`` accepts ints and coerces them; everything else requires an
+    exact Python type match, so a table never silently stores the wrong
+    representation.
+    """
+
+    INT = "int"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOL = "bool"
+
+    def coerce(self, value: Any, column_name: str) -> Any:
+        """Validate ``value`` against this type, returning the stored form.
+
+        Raises :class:`IntegrityError` on mismatch. ``None`` is handled by
+        the caller (nullability is a property of the column, not the type).
+        """
+        if self is ColumnType.INT:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise _type_error(column_name, self, value)
+            return value
+        if self is ColumnType.FLOAT:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise _type_error(column_name, self, value)
+            return float(value)
+        if self is ColumnType.TEXT:
+            if not isinstance(value, str):
+                raise _type_error(column_name, self, value)
+            return value
+        if self is ColumnType.BOOL:
+            if not isinstance(value, bool):
+                raise _type_error(column_name, self, value)
+            return value
+        raise AssertionError(f"unhandled column type {self!r}")
+
+
+def _type_error(column_name: str, expected: ColumnType, value: Any) -> IntegrityError:
+    return IntegrityError(
+        f"column {column_name!r} expects {expected.value}, "
+        f"got {type(value).__name__}: {value!r}"
+    )
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed, optionally nullable column."""
+
+    name: str
+    type: ColumnType
+    nullable: bool = False
+
+    def validate(self, value: Any) -> Any:
+        """Return the stored form of ``value`` or raise IntegrityError."""
+        if value is None:
+            if not self.nullable:
+                raise IntegrityError(f"column {self.name!r} is not nullable")
+            return None
+        return self.type.coerce(value, self.name)

@@ -1,0 +1,112 @@
+r"""CSV import/export for tables and databases.
+
+Lets the reconstructed datasets be shipped as plain files (one CSV per
+table, one directory per source database) so downstream users can
+inspect them, diff them across seeds, or load them into other tools.
+``None`` is serialised as the ``\N`` sentinel (Postgres COPY style) so
+empty strings stay distinguishable from NULLs; text values beginning
+with a backslash are escaped with one extra backslash. Types are
+restored from the table schema on load, so a dump/load round trip is
+lossless.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+from repro.errors import StorageError
+from repro.storage.column import ColumnType
+from repro.storage.database import Database
+from repro.storage.table import Table
+
+__all__ = ["dump_table", "load_table_rows", "dump_database"]
+
+#: NULL sentinel in CSV cells
+NULL_SENTINEL = "\\N"
+
+
+def _encode(value):
+    if value is None:
+        return NULL_SENTINEL
+    if isinstance(value, str) and value.startswith("\\"):
+        return "\\" + value
+    return value
+
+
+def _decode_text(cell: str):
+    if cell.startswith("\\\\"):
+        return cell[1:]
+    return cell
+
+PathLike = Union[str, Path]
+
+
+def dump_table(table: Table, path: PathLike) -> int:
+    """Write ``table`` to ``path`` as CSV (header + rows); returns the
+    number of data rows written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.column_names)
+        for row in table.rows():
+            writer.writerow([_encode(row[name]) for name in table.column_names])
+            count += 1
+    return count
+
+
+def _parse(value: str, column_type: ColumnType, nullable: bool):
+    if value == NULL_SENTINEL:
+        if nullable:
+            return None
+        raise StorageError("NULL cell in non-nullable column")
+    if column_type is ColumnType.TEXT:
+        return _decode_text(value)
+    if column_type is ColumnType.INT:
+        return int(value)
+    if column_type is ColumnType.FLOAT:
+        return float(value)
+    if column_type is ColumnType.BOOL:
+        if value in ("True", "true", "1"):
+            return True
+        if value in ("False", "false", "0"):
+            return False
+        raise StorageError(f"cannot parse boolean {value!r}")
+    raise AssertionError(f"unhandled column type {column_type!r}")
+
+
+def load_table_rows(table: Table, path: PathLike) -> int:
+    """Insert the rows of a CSV dump into ``table`` (types restored from
+    the table schema); returns the number inserted."""
+    path = Path(path)
+    columns = {column.name: column for column in table.columns}
+    count = 0
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            raise StorageError(f"{path}: empty CSV")
+        unknown = set(header) - set(columns)
+        if unknown:
+            raise StorageError(f"{path}: unknown columns {sorted(unknown)}")
+        for cells in reader:
+            row = {}
+            for name, value in zip(header, cells):
+                column = columns[name]
+                row[name] = _parse(value, column.type, column.nullable)
+            table.insert(row)
+            count += 1
+    return count
+
+
+def dump_database(db: Database, directory: PathLike) -> int:
+    """Write every table of ``db`` as ``<directory>/<table>.csv``;
+    returns the total number of data rows written."""
+    directory = Path(directory)
+    total = 0
+    for table in db.tables():
+        total += dump_table(table, directory / f"{table.name}.csv")
+    return total

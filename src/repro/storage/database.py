@@ -1,0 +1,92 @@
+"""The database object: a namespace of tables with referential integrity."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence
+
+from repro.errors import IntegrityError, StorageError
+from repro.storage.column import Column
+from repro.storage.table import ForeignKey, Table
+
+__all__ = ["Database"]
+
+
+class Database:
+    """A collection of named tables with cross-table foreign key checks.
+
+    Inserts must go through :meth:`insert` (not ``table.insert``) for the
+    foreign keys to be enforced — the table alone cannot see its
+    referenced tables.
+    """
+
+    def __init__(self, name: str = "db"):
+        self.name = name
+        self._tables: Dict[str, Table] = {}
+
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        primary_key: Optional[Sequence[str]] = None,
+        foreign_keys: Sequence[ForeignKey] = (),
+    ) -> Table:
+        """Create a table; referenced tables must already exist."""
+        if name in self._tables:
+            raise StorageError(f"database {self.name!r} already has table {name!r}")
+        for fk in foreign_keys:
+            ref = self._tables.get(fk.ref_table)
+            if ref is None:
+                raise StorageError(
+                    f"table {name!r}: foreign key references unknown table "
+                    f"{fk.ref_table!r}"
+                )
+            for column in fk.ref_columns:
+                if column not in ref.column_names:
+                    raise StorageError(
+                        f"table {name!r}: foreign key references unknown column "
+                        f"{fk.ref_table}.{column}"
+                    )
+        table = Table(name, columns, primary_key=primary_key, foreign_keys=foreign_keys)
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        table = self._tables.get(name)
+        if table is None:
+            raise StorageError(f"database {self.name!r} has no table {name!r}")
+        return table
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def tables(self) -> Iterable[Table]:
+        return self._tables.values()
+
+    def insert(self, table_name: str, row: Mapping[str, Any]) -> int:
+        """Insert ``row`` into ``table_name`` after checking foreign keys."""
+        table = self.table(table_name)
+        for fk in table.foreign_keys:
+            values = [row.get(column) for column in fk.columns]
+            if any(value is None for value in values):
+                continue  # null FK components opt out of the check
+            ref = self.table(fk.ref_table)
+            if not ref.lookup(fk.ref_columns, values):
+                raise IntegrityError(
+                    f"table {table_name!r}: foreign key {fk.columns!r} = "
+                    f"{tuple(values)!r} has no match in {fk.ref_table!r}"
+                )
+        return table.insert(row)
+
+    def insert_many(
+        self, table_name: str, rows: Iterable[Mapping[str, Any]]
+    ) -> int:
+        """Insert a batch of rows; returns the number inserted."""
+        count = 0
+        for row in rows:
+            self.insert(table_name, row)
+            count += 1
+        return count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sizes = ", ".join(f"{t.name}={len(t)}" for t in self._tables.values())
+        return f"Database({self.name!r}: {sizes})"

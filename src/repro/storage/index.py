@@ -1,0 +1,61 @@
+"""Hash indexes over table columns."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Tuple
+
+from repro.errors import IntegrityError
+
+__all__ = ["HashIndex"]
+
+
+class HashIndex:
+    """A hash index mapping a tuple of column values to row ids.
+
+    Unique indexes reject duplicate keys at insert time; non-unique
+    indexes keep the list of matching row ids in insertion order.
+    """
+
+    def __init__(self, name: str, columns: Tuple[str, ...], unique: bool = False):
+        if not columns:
+            raise ValueError("an index needs at least one column")
+        self.name = name
+        self.columns = tuple(columns)
+        self.unique = unique
+        self._entries: Dict[Hashable, List[int]] = {}
+
+    def key_for(self, row: Dict[str, Any]) -> Hashable:
+        """Extract this index's key tuple from a row dictionary."""
+        if len(self.columns) == 1:
+            return row[self.columns[0]]
+        return tuple(row[column] for column in self.columns)
+
+    def add(self, key: Hashable, row_id: int) -> None:
+        """Register ``row_id`` under ``key``; enforce uniqueness if set."""
+        bucket = self._entries.setdefault(key, [])
+        if self.unique and bucket:
+            raise IntegrityError(
+                f"unique index {self.name!r} already holds key {key!r}"
+            )
+        bucket.append(row_id)
+
+    def remove(self, key: Hashable, row_id: int) -> None:
+        """Unregister ``row_id`` from ``key`` (used on delete)."""
+        bucket = self._entries.get(key)
+        if bucket is None or row_id not in bucket:
+            raise IntegrityError(
+                f"index {self.name!r} has no entry for key {key!r} row {row_id}"
+            )
+        bucket.remove(row_id)
+        if not bucket:
+            del self._entries[key]
+
+    def lookup(self, key: Hashable) -> List[int]:
+        """Return row ids stored under ``key`` (empty list if none)."""
+        return list(self._entries.get(key, ()))
+
+    def contains(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._entries.values())

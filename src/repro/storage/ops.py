@@ -1,0 +1,62 @@
+"""Relational operations over tables: selection, projection, equijoin.
+
+These operate on any iterable of row mappings, so they compose with each
+other and with :meth:`Table.rows` / :meth:`Table.lookup` results alike.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence
+
+from repro.errors import StorageError
+from repro.storage.table import Row, Table
+
+__all__ = ["select", "project", "equijoin"]
+
+
+def select(rows: Iterable[Row], predicate: Callable[[Row], bool]) -> List[Row]:
+    """Filter ``rows`` by ``predicate``."""
+    return [row for row in rows if predicate(row)]
+
+
+def project(rows: Iterable[Row], columns: Sequence[str]) -> List[Dict[str, Any]]:
+    """Keep only ``columns`` of each row (raises on unknown columns)."""
+    columns = list(columns)
+    result = []
+    for row in rows:
+        missing = [c for c in columns if c not in row]
+        if missing:
+            raise StorageError(f"projection references unknown columns {missing!r}")
+        result.append({c: row[c] for c in columns})
+    return result
+
+
+def equijoin(
+    left: Iterable[Row],
+    right_table: Table,
+    left_column: str,
+    right_column: str,
+    prefix: str = "",
+) -> List[Dict[str, Any]]:
+    """Hash-join ``left`` rows against ``right_table`` on equality.
+
+    Uses the right table's index on ``right_column`` when available, so
+    the common mediator pattern (join a record batch against a keyed
+    source table) stays linear. Right-side columns can be prefixed to
+    avoid name collisions; colliding unprefixed names raise.
+    """
+    joined: List[Dict[str, Any]] = []
+    for row in left:
+        if left_column not in row:
+            raise StorageError(f"join: left rows lack column {left_column!r}")
+        for match in right_table.lookup((right_column,), (row[left_column],)):
+            merged = dict(row)
+            for name, value in match.items():
+                out_name = prefix + name
+                if out_name in merged and not prefix:
+                    raise StorageError(
+                        f"join: column collision on {name!r}; pass a prefix"
+                    )
+                merged[out_name] = value
+            joined.append(merged)
+    return joined

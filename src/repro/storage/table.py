@@ -1,0 +1,206 @@
+"""Tables: typed rows, primary keys, secondary indexes, foreign keys."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import IntegrityError, StorageError
+from repro.storage.column import Column
+from repro.storage.index import HashIndex
+
+__all__ = ["ForeignKey", "Row", "Table"]
+
+#: Rows are exposed to callers as read-only mappings.
+Row = Mapping[str, Any]
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """Declares that ``columns`` of this table reference ``ref_columns`` of
+    table ``ref_table``. Enforced on insert by :class:`~repro.storage.database.Database`."""
+
+    columns: Tuple[str, ...]
+    ref_table: str
+    ref_columns: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.columns) != len(self.ref_columns):
+            raise StorageError(
+                f"foreign key column count mismatch: {self.columns} -> {self.ref_columns}"
+            )
+
+
+class Table:
+    """An in-memory table with constraint checking and hash indexes.
+
+    Rows are stored as dictionaries and handed out wrapped in
+    :class:`types.MappingProxyType`, so callers cannot mutate stored data
+    behind the indexes' back.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        primary_key: Optional[Sequence[str]] = None,
+        foreign_keys: Sequence[ForeignKey] = (),
+    ):
+        if not columns:
+            raise StorageError(f"table {name!r} needs at least one column")
+        names = [column.name for column in columns]
+        if len(set(names)) != len(names):
+            raise StorageError(f"table {name!r} has duplicate column names")
+
+        self.name = name
+        self.columns: Tuple[Column, ...] = tuple(columns)
+        self._columns_by_name: Dict[str, Column] = {c.name: c for c in columns}
+        self.foreign_keys: Tuple[ForeignKey, ...] = tuple(foreign_keys)
+        self._rows: Dict[int, Dict[str, Any]] = {}
+        self._next_row_id = 0
+        self._indexes: Dict[str, HashIndex] = {}
+
+        self.primary_key: Optional[Tuple[str, ...]] = None
+        if primary_key:
+            self.primary_key = tuple(primary_key)
+            self._require_columns(self.primary_key, "primary key")
+            self.create_index("__pk__", self.primary_key, unique=True)
+        for fk in self.foreign_keys:
+            self._require_columns(fk.columns, f"foreign key to {fk.ref_table!r}")
+
+    # ------------------------------------------------------------------ #
+    # schema helpers
+    # ------------------------------------------------------------------ #
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        return tuple(column.name for column in self.columns)
+
+    def _require_columns(self, names: Sequence[str], context: str) -> None:
+        for name in names:
+            if name not in self._columns_by_name:
+                raise StorageError(
+                    f"table {self.name!r}: {context} references unknown column {name!r}"
+                )
+
+    def create_index(
+        self, name: str, columns: Sequence[str], unique: bool = False
+    ) -> HashIndex:
+        """Create (and backfill) a named hash index over ``columns``."""
+        if name in self._indexes:
+            raise StorageError(f"table {self.name!r} already has index {name!r}")
+        self._require_columns(columns, f"index {name!r}")
+        index = HashIndex(name, tuple(columns), unique=unique)
+        for row_id, row in self._rows.items():
+            index.add(index.key_for(row), row_id)
+        self._indexes[name] = index
+        return index
+
+    def _index_on(self, columns: Tuple[str, ...]) -> Optional[HashIndex]:
+        for index in self._indexes.values():
+            if index.columns == columns:
+                return index
+        return None
+
+    # ------------------------------------------------------------------ #
+    # data manipulation
+    # ------------------------------------------------------------------ #
+
+    def insert(self, row: Mapping[str, Any]) -> int:
+        """Validate and insert ``row``; returns its internal row id.
+
+        Unknown columns are rejected, missing nullable columns default to
+        ``None``, and all declared indexes are updated atomically (a
+        failing unique check leaves the table unchanged).
+        """
+        unknown = set(row) - set(self._columns_by_name)
+        if unknown:
+            raise StorageError(
+                f"table {self.name!r}: unknown columns {sorted(unknown)!r}"
+            )
+        stored: Dict[str, Any] = {}
+        for column in self.columns:
+            stored[column.name] = column.validate(row.get(column.name))
+
+        row_id = self._next_row_id
+        added: List[Tuple[HashIndex, Any]] = []
+        try:
+            for index in self._indexes.values():
+                key = index.key_for(stored)
+                index.add(key, row_id)
+                added.append((index, key))
+        except IntegrityError:
+            for index, key in added:
+                index.remove(key, row_id)
+            raise
+        self._rows[row_id] = stored
+        self._next_row_id += 1
+        return row_id
+
+    def delete(self, row_id: int) -> None:
+        """Remove the row with internal id ``row_id``."""
+        row = self._rows.pop(row_id, None)
+        if row is None:
+            raise StorageError(f"table {self.name!r} has no row id {row_id}")
+        for index in self._indexes.values():
+            index.remove(index.key_for(row), row_id)
+
+    # ------------------------------------------------------------------ #
+    # retrieval
+    # ------------------------------------------------------------------ #
+
+    def get(self, row_id: int) -> Row:
+        row = self._rows.get(row_id)
+        if row is None:
+            raise StorageError(f"table {self.name!r} has no row id {row_id}")
+        return MappingProxyType(row)
+
+    def rows(self) -> Iterator[Row]:
+        """Iterate all rows in insertion order."""
+        for row in self._rows.values():
+            yield MappingProxyType(row)
+
+    def row_ids(self) -> Iterator[int]:
+        return iter(self._rows.keys())
+
+    def lookup(self, columns: Sequence[str], values: Sequence[Any]) -> List[Row]:
+        """Find rows where ``columns`` equal ``values``.
+
+        Uses a matching hash index when one exists, otherwise scans.
+        """
+        columns = tuple(columns)
+        if len(columns) != len(values):
+            raise StorageError("lookup: columns and values length mismatch")
+        self._require_columns(columns, "lookup")
+        index = self._index_on(columns)
+        if index is not None:
+            key = values[0] if len(values) == 1 else tuple(values)
+            return [MappingProxyType(self._rows[rid]) for rid in index.lookup(key)]
+        wanted = dict(zip(columns, values))
+        return [
+            MappingProxyType(row)
+            for row in self._rows.values()
+            if all(row[c] == v for c, v in wanted.items())
+        ]
+
+    def scan(self, predicate: Callable[[Row], bool]) -> List[Row]:
+        """Full scan returning rows for which ``predicate`` is true."""
+        return [
+            MappingProxyType(row)
+            for row in self._rows.values()
+            if predicate(MappingProxyType(row))
+        ]
+
+    def pk_lookup(self, *values: Any) -> Optional[Row]:
+        """Look a row up by primary key; ``None`` if absent."""
+        if self.primary_key is None:
+            raise StorageError(f"table {self.name!r} has no primary key")
+        matches = self.lookup(self.primary_key, values)
+        return matches[0] if matches else None
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self.name!r}, {len(self)} rows)"

@@ -1,0 +1,16 @@
+"""Shared helpers: random number handling and argument validation."""
+
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rng",
+    "check_probability",
+    "check_fraction",
+    "check_positive",
+]

@@ -1,0 +1,42 @@
+"""Argument validation helpers used across the library."""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+from repro.errors import ValidationError
+
+__all__ = ["check_probability", "check_fraction", "check_positive"]
+
+Number = Union[int, float]
+
+
+def check_probability(value: Number, name: str = "probability") -> float:
+    """Validate that ``value`` is a finite number in the interval [0, 1]."""
+    try:
+        result = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be a number, got {value!r}") from exc
+    if math.isnan(result) or not 0.0 <= result <= 1.0:
+        raise ValidationError(f"{name} must be in [0, 1], got {value!r}")
+    return result
+
+
+def check_fraction(value: Number, name: str = "fraction") -> float:
+    """Validate a number in the open interval (0, 1)."""
+    result = check_probability(value, name)
+    if result in (0.0, 1.0):
+        raise ValidationError(f"{name} must be strictly inside (0, 1), got {value!r}")
+    return result
+
+
+def check_positive(value: Number, name: str = "value") -> float:
+    """Validate that ``value`` is a finite, strictly positive number."""
+    try:
+        result = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be a number, got {value!r}") from exc
+    if math.isnan(result) or math.isinf(result) or result <= 0:
+        raise ValidationError(f"{name} must be > 0, got {value!r}")
+    return result

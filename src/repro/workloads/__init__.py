@@ -1,0 +1,12 @@
+"""Synthetic query-graph workloads.
+
+The biology scenarios reproduce the paper's evaluation; this package
+generates *abstract* probabilistic query graphs for stress-testing and
+scaling studies — layered workflow DAGs of configurable depth, width and
+fan-out, with controllable probability ranges. Useful for benchmarking
+the ranking semantics on shapes the paper never measured.
+"""
+
+from repro.workloads.synthetic import WorkloadSpec, layered_dag
+
+__all__ = ["WorkloadSpec", "layered_dag"]

@@ -1,0 +1,81 @@
+"""Layered workflow DAG generator.
+
+Scientific-workflow query graphs (the paper's §5 characterisation) are
+layered: a query node, a few layers of intermediate records, an answer
+layer, with edges always pointing forward and multiple alternative
+paths converging on the same answers. :func:`layered_dag` generates
+exactly that shape at any scale:
+
+* ``layers`` intermediate layers of ``width`` nodes each;
+* each node receives ``fan_in`` edges from uniformly chosen nodes of
+  the previous layer (this is what creates converging paths);
+* node/edge probabilities drawn uniformly from the given ranges;
+* the last layer is the answer set.
+
+The output is an ordinary :class:`~repro.core.graph.QueryGraph`, so
+every ranking method, reduction and estimator applies unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.graph import ProbabilisticEntityGraph, QueryGraph
+from repro.errors import ValidationError
+from repro.utils.rng import RngLike, ensure_rng
+
+__all__ = ["WorkloadSpec", "layered_dag"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Shape parameters of a layered workflow DAG."""
+
+    layers: int = 3
+    width: int = 20
+    fan_in: int = 2
+    node_p: Tuple[float, float] = (0.5, 1.0)
+    edge_q: Tuple[float, float] = (0.3, 0.9)
+
+    def __post_init__(self) -> None:
+        if self.layers < 1:
+            raise ValidationError(f"layers must be >= 1, got {self.layers}")
+        if self.width < 1:
+            raise ValidationError(f"width must be >= 1, got {self.width}")
+        if self.fan_in < 1:
+            raise ValidationError(f"fan_in must be >= 1, got {self.fan_in}")
+        for label, (lo, hi) in (("node_p", self.node_p), ("edge_q", self.edge_q)):
+            if not 0.0 <= lo <= hi <= 1.0:
+                raise ValidationError(f"bad {label} range ({lo}, {hi})")
+
+    @property
+    def total_nodes(self) -> int:
+        return 1 + self.layers * self.width
+
+
+def layered_dag(spec: WorkloadSpec, rng: RngLike = None) -> QueryGraph:
+    """Generate one workload graph from ``spec``.
+
+    Every node is reachable from the query node by construction (each
+    node has at least one incoming edge from the previous layer), and
+    the graph is a DAG, so all five ranking semantics apply.
+    """
+    random = ensure_rng(rng)
+    graph = ProbabilisticEntityGraph()
+    graph.add_node("query")
+
+    previous: List[str] = ["query"]
+    last_layer: List[str] = []
+    for layer in range(spec.layers):
+        current: List[str] = []
+        for index in range(spec.width):
+            node = f"L{layer}N{index}"
+            graph.add_node(node, p=random.uniform(*spec.node_p))
+            fan_in = min(spec.fan_in, len(previous))
+            for parent in random.sample(previous, fan_in):
+                graph.add_edge(parent, node, q=random.uniform(*spec.edge_q))
+            current.append(node)
+        previous = current
+        last_layer = current
+    return QueryGraph(graph, "query", last_layer)

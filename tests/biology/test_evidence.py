@@ -1,0 +1,128 @@
+"""Tests for evidence profiles."""
+
+import pytest
+
+from repro.biology.evidence import (
+    DECOY_MEDIUM,
+    DECOY_SHORT_STRONG,
+    DECOY_WEAK,
+    HYPOTHETICAL_DECOY,
+    HYPOTHETICAL_SHORT,
+    HYPOTHETICAL_TRUE,
+    NOVEL_SINGLE_STRONG,
+    WELL_KNOWN,
+    EvidenceProfile,
+)
+from repro.errors import ValidationError
+from repro.utils.rng import ensure_rng
+
+ALL_PROFILES = (
+    WELL_KNOWN,
+    DECOY_WEAK,
+    DECOY_MEDIUM,
+    DECOY_SHORT_STRONG,
+    NOVEL_SINGLE_STRONG,
+    HYPOTHETICAL_TRUE,
+    HYPOTHETICAL_DECOY,
+    HYPOTHETICAL_SHORT,
+)
+
+
+class TestPresetInvariants:
+    @pytest.mark.parametrize("profile", ALL_PROFILES, ids=lambda p: p.name)
+    def test_every_profile_guarantees_a_path(self, profile):
+        """A function assigned any preset profile must always be
+        reachable: direct (certain), or min homolog paths >= 1, or min
+        family paths >= 1."""
+        certain_direct = (
+            profile.direct_annotation is not None
+            and profile.direct_probability >= 1.0
+        )
+        assert (
+            certain_direct
+            or profile.n_homolog_paths[0] >= 1
+            or profile.n_family_paths[0] >= 1
+        )
+
+    def test_novel_is_single_short_strong(self):
+        assert NOVEL_SINGLE_STRONG.n_homolog_paths == (0, 0)
+        assert NOVEL_SINGLE_STRONG.n_family_paths == (1, 1)
+        assert NOVEL_SINGLE_STRONG.family_match_strength[0] >= 0.85
+        assert NOVEL_SINGLE_STRONG.family_kind == "tigrfam"
+
+    def test_well_known_is_redundant(self):
+        assert WELL_KNOWN.n_homolog_paths[0] >= 2
+        assert WELL_KNOWN.direct_annotation is not None
+
+    def test_decoys_are_weaker_than_novel(self):
+        assert DECOY_SHORT_STRONG.family_match_strength[1] < (
+            NOVEL_SINGLE_STRONG.family_match_strength[0]
+        )
+
+
+class TestValidation:
+    def test_bad_strength_range(self):
+        with pytest.raises(ValidationError):
+            EvidenceProfile(
+                name="bad",
+                direct_annotation=None,
+                n_homolog_paths=(1, 1),
+                homolog_evidence=(0.9, 0.5),  # inverted
+                n_family_paths=(0, 0),
+                family_match_strength=(0.0, 0.0),
+            )
+
+    def test_bad_count_range(self):
+        with pytest.raises(ValidationError):
+            EvidenceProfile(
+                name="bad",
+                direct_annotation=None,
+                n_homolog_paths=(2, 1),
+                homolog_evidence=(0.1, 0.2),
+                n_family_paths=(0, 0),
+                family_match_strength=(0.0, 0.0),
+            )
+
+    def test_bad_family_kind(self):
+        with pytest.raises(ValidationError):
+            EvidenceProfile(
+                name="bad",
+                direct_annotation=None,
+                n_homolog_paths=(1, 1),
+                homolog_evidence=(0.1, 0.2),
+                n_family_paths=(0, 0),
+                family_match_strength=(0.0, 0.0),
+                family_kind="interpro",
+            )
+
+    def test_bad_direct_probability(self):
+        with pytest.raises(ValidationError):
+            EvidenceProfile(
+                name="bad",
+                direct_annotation=(0.1, 0.2),
+                n_homolog_paths=(1, 1),
+                homolog_evidence=(0.1, 0.2),
+                n_family_paths=(0, 0),
+                family_match_strength=(0.0, 0.0),
+                direct_probability=1.5,
+            )
+
+
+class TestSampling:
+    def test_sample_strength_within_range(self):
+        rng = ensure_rng(0)
+        for _ in range(100):
+            value = WELL_KNOWN.sample_strength(WELL_KNOWN.homolog_evidence, rng)
+            lo, hi = WELL_KNOWN.homolog_evidence
+            assert lo <= value <= hi
+
+    def test_sample_count_within_range(self):
+        rng = ensure_rng(1)
+        for _ in range(100):
+            count = WELL_KNOWN.sample_count(WELL_KNOWN.n_homolog_paths, rng)
+            lo, hi = WELL_KNOWN.n_homolog_paths
+            assert lo <= count <= hi
+
+    def test_degenerate_ranges_short_circuit(self):
+        assert NOVEL_SINGLE_STRONG.sample_count((1, 1), None) == 1
+        assert NOVEL_SINGLE_STRONG.sample_strength((0.5, 0.5), None) == 0.5

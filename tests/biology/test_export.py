@@ -1,0 +1,32 @@
+"""Tests for dataset export."""
+
+import csv
+
+from repro.biology.export import export_scenario
+
+
+class TestExportScenario:
+    def test_layout_and_manifest(self, tmp_path):
+        cases = export_scenario(3, tmp_path, seed=0, limit=2)
+        root = tmp_path / "scenario3"
+        assert (root / "manifest.csv").exists()
+        for case in cases:
+            case_dir = root / case.name
+            assert (case_dir / "EntrezGene" / "genes.csv").exists()
+            assert (case_dir / "EntrezGene" / "gene_go.csv").exists()
+            assert (case_dir / "AmiGO" / "terms.csv").exists()
+            assert (case_dir / "iProClass" / "functions.csv").exists()
+
+        with (root / "manifest.csv").open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert [row["protein"] for row in rows] == ["DP0843", "DP1954"]
+        assert rows[0]["relevant_go_ids"] == "GO:0003973"
+        assert int(rows[0]["n_answers"]) == 47
+
+    def test_term_counts_match_answer_sets(self, tmp_path):
+        cases = export_scenario(3, tmp_path, seed=0, limit=1)
+        case = cases[0]
+        terms_csv = tmp_path / "scenario3" / case.name / "AmiGO" / "terms.csv"
+        with terms_csv.open() as handle:
+            n_terms = sum(1 for _ in handle) - 1  # minus header
+        assert n_terms == case.n_total

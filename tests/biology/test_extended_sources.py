@@ -1,0 +1,123 @@
+"""Tests for the extended source catalogue (CDD/PIRSF/SuperFamily/
+UniProt/PDB) and the full 11-source deployment."""
+
+import pytest
+
+from repro.biology.sources import amigo, entrez_gene, entrez_protein, ncbi_blast, pfam, tigrfam
+from repro.biology.sources.extended import (
+    create_family_style_database,
+    create_pdb_database,
+    create_uniprot_database,
+    extended_confidences,
+    make_cdd_source,
+    make_pdb_source,
+    make_pirsf_source,
+    make_superfamily_source,
+    make_uniprot_source,
+)
+from repro.core.exact import exact_reliability
+from repro.integration.builder import entity_node_id
+from repro.integration.mediator import Mediator
+from repro.integration.query import ExploratoryQuery
+
+
+class TestFamilyStyleSources:
+    @pytest.mark.parametrize(
+        "maker,entity",
+        [
+            (make_cdd_source, "CddDomain"),
+            (make_pirsf_source, "PirsfFamily"),
+            (make_superfamily_source, "SuperFamilyDomain"),
+        ],
+    )
+    def test_bindings(self, maker, entity):
+        db = create_family_style_database(entity.lower())
+        source = maker(db)
+        assert source.entities[0].entity_set == entity
+        assert len(source.relationships) == 2
+
+    def test_pirsf_trusted_more_than_pfam(self):
+        confidences = extended_confidences()
+        assert confidences.ps("PirsfFamily") > confidences.ps("PfamFamily")
+        assert confidences.qs("pirsf_go") > confidences.qs("pfam_go")
+
+
+class TestUniProt:
+    def test_status_probability(self):
+        db = create_uniprot_database()
+        db.insert("entries", {"accession": "P1", "status": "reviewed"})
+        db.insert("entries", {"accession": "P2", "status": "unreviewed"})
+        source = make_uniprot_source(db)
+        (binding,) = source.entities
+        assert binding.pr(db.table("entries").pk_lookup("P1")) == 1.0
+        assert binding.pr(db.table("entries").pk_lookup("P2")) == 0.5
+
+    def test_unknown_status_raises(self):
+        db = create_uniprot_database()
+        db.insert("entries", {"accession": "P1", "status": "guessed"})
+        source = make_uniprot_source(db)
+        (binding,) = source.entities
+        with pytest.raises(ValueError):
+            binding.pr(db.table("entries").pk_lookup("P1"))
+
+
+class TestPdb:
+    def test_entity_only_no_relationships(self):
+        db = create_pdb_database()
+        source = make_pdb_source(db)
+        assert len(source.entities) == 1
+        assert source.relationships == ()
+
+
+class TestFullDeployment:
+    def test_eleven_sources_register_and_query(self):
+        """Assemble the full catalogue and run an exploratory query that
+        travels through a PIRSF path."""
+        mediator = Mediator(confidences=extended_confidences())
+
+        ep_db = entrez_protein.create_database()
+        entrez_protein.add_protein(ep_db, "PROT1", "ACDEFGHIKL")
+        eg_db = entrez_gene.create_database()
+        am_db = amigo.create_database()
+        amigo.add_term(am_db, "GO:0005524", "ATP binding", "molecular_function")
+        bl_db = ncbi_blast.create_database()
+        pf_db = pfam.create_database()
+        tf_db = tigrfam.create_database()
+
+        pirsf_db = create_family_style_database("pirsf")
+        make_pirsf = make_pirsf_source
+        from repro.biology.sources.pfam import add_family, add_family_go, add_match
+
+        add_family(pirsf_db, "PIRSF000001")
+        add_match(pirsf_db, "PROT1", "PIRSF000001", 1e-150)
+        add_family_go(pirsf_db, "PIRSF000001", "GO:0005524")
+
+        cdd_db = create_family_style_database("cdd")
+        sf_db = create_family_style_database("superfamily")
+        up_db = create_uniprot_database()
+        pdb_db = create_pdb_database()
+
+        for source in (
+            entrez_protein.make_source(ep_db),
+            entrez_gene.make_source(eg_db),
+            amigo.make_source(am_db),
+            ncbi_blast.make_source(bl_db),
+            pfam.make_source(pf_db),
+            tigrfam.make_source(tf_db),
+            make_pirsf(pirsf_db),
+            make_cdd_source(cdd_db),
+            make_superfamily_source(sf_db),
+            make_uniprot_source(up_db),
+            make_pdb_source(pdb_db),
+        ):
+            mediator.register(source)
+        assert len(mediator.sources) == 11
+
+        query = ExploratoryQuery("EntrezProtein", "name", "PROT1", outputs=("GOTerm",))
+        qg, _ = query.execute(mediator)
+        target = entity_node_id("GOTerm", "GO:0005524")
+        assert target in set(qg.targets)
+        # path: query -> protein -> PIRSF family (ps=0.97) -> GO
+        # (match qr=0.5, family_go qs=0.97)
+        score = exact_reliability(qg, target)[target]
+        assert score == pytest.approx(0.5 * 0.97 * 0.97, abs=1e-9)

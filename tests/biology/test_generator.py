@@ -1,0 +1,115 @@
+"""Tests for the protein case generator."""
+
+import pytest
+
+from repro.biology.generator import CaseSpec, ProteinCaseGenerator
+from repro.biology.sources import iproclass
+from repro.errors import ValidationError
+from repro.integration.builder import entity_node_id
+
+
+@pytest.fixture(scope="module")
+def small_case():
+    generator = ProteinCaseGenerator(rng=0)
+    spec = CaseSpec(
+        protein="TESTP",
+        n_gold=4,
+        n_total=12,
+        novel_go_ids=("GO:0042493",),
+        homolog_pool=20,
+    )
+    return generator.generate(spec)
+
+
+class TestSpecValidation:
+    def test_reserved_exceeding_total_rejected(self):
+        with pytest.raises(ValidationError):
+            CaseSpec(protein="X", n_gold=5, n_total=4)
+
+    def test_named_exceeding_gold_rejected(self):
+        with pytest.raises(ValidationError):
+            CaseSpec(
+                protein="X",
+                n_gold=1,
+                n_total=5,
+                named_gold_ids=("GO:0005524", "GO:0005886"),
+            )
+
+
+class TestGeneratedCase:
+    def test_answer_set_size_matches_spec(self, small_case):
+        assert len(small_case.query_graph.targets) == 12
+
+    def test_gold_and_novel_are_answer_nodes(self, small_case):
+        targets = set(small_case.query_graph.targets)
+        assert small_case.gold_nodes <= targets
+        assert small_case.novel_nodes <= targets
+        assert len(small_case.gold_nodes) == 4
+        assert len(small_case.novel_nodes) == 1
+
+    def test_gold_and_novel_disjoint(self, small_case):
+        assert not (small_case.gold_nodes & small_case.novel_nodes)
+
+    def test_iproclass_holds_exactly_the_gold(self, small_case):
+        gold_ids = iproclass.gold_functions(small_case.iproclass_db, "TESTP")
+        expected = {node[1] for node in small_case.gold_nodes}
+        assert gold_ids == expected
+
+    def test_graph_is_dag(self, small_case):
+        assert small_case.query_graph.graph.is_dag()
+
+    def test_no_dangling_links(self, small_case):
+        assert small_case.build_stats.dangling_links == 0
+
+    def test_query_node_has_full_probability(self, small_case):
+        qg = small_case.query_graph
+        assert qg.graph.p(qg.source) == 1.0
+
+    def test_all_probabilities_valid(self, small_case):
+        graph = small_case.query_graph.graph
+        assert all(0.0 <= graph.p(n) <= 1.0 for n in graph.nodes())
+        assert all(0.0 <= graph.q(e.key) <= 1.0 for e in graph.edges())
+
+    def test_go_node_helper(self, small_case):
+        node = small_case.go_node("GO:0042493")
+        assert node == entity_node_id("GOTerm", "GO:0042493")
+        assert node in small_case.novel_nodes
+
+
+class TestDeterminism:
+    def test_same_seed_same_graph(self):
+        spec = CaseSpec(protein="DET", n_gold=3, n_total=8, homolog_pool=15)
+        a = ProteinCaseGenerator(rng=5).generate(spec)
+        b = ProteinCaseGenerator(rng=5).generate(spec)
+        ga, gb = a.query_graph.graph, b.query_graph.graph
+        assert set(ga.nodes()) == set(gb.nodes())
+        assert {(e.source, e.target) for e in ga.edges()} == {
+            (e.source, e.target) for e in gb.edges()
+        }
+        assert [ga.p(n) for n in ga.nodes()] == [gb.p(n) for n in ga.nodes()]
+
+    def test_case_independent_of_generation_order(self):
+        """The scenario-2 guarantee: a protein's graph depends only on
+        (seed, protein), not on which cases were generated before it."""
+        spec_a = CaseSpec(protein="AAA", n_gold=2, n_total=6, homolog_pool=10)
+        spec_b = CaseSpec(protein="BBB", n_gold=2, n_total=6, homolog_pool=10)
+
+        gen1 = ProteinCaseGenerator(rng=3)
+        gen1.generate(spec_a)
+        b_after_a = gen1.generate(spec_b)
+
+        gen2 = ProteinCaseGenerator(rng=3)
+        b_alone = gen2.generate(spec_b)
+
+        ga, gb = b_after_a.query_graph.graph, b_alone.query_graph.graph
+        assert {(e.source, e.target) for e in ga.edges()} == {
+            (e.source, e.target) for e in gb.edges()
+        }
+
+    def test_different_seeds_differ(self):
+        spec = CaseSpec(protein="DET", n_gold=3, n_total=8, homolog_pool=15)
+        a = ProteinCaseGenerator(rng=1).generate(spec)
+        b = ProteinCaseGenerator(rng=2).generate(spec)
+        assert {(e.source, e.target) for e in a.query_graph.graph.edges()} != {
+            (e.source, e.target) for e in b.query_graph.graph.edges()
+        }

@@ -1,0 +1,66 @@
+"""Tests for the synthetic Gene Ontology."""
+
+import pytest
+
+from repro.biology.ontology import PAPER_TERMS, GeneOntology
+from repro.errors import ValidationError
+from repro.utils.rng import ensure_rng
+
+
+class TestPaperTerms:
+    def test_all_paper_terms_preloaded(self):
+        ontology = GeneOntology()
+        for term_id in PAPER_TERMS:
+            assert ontology.has_term(term_id)
+
+    def test_named_lookup(self):
+        ontology = GeneOntology()
+        term = ontology.term("GO:0008281")
+        assert "sulfonylurea" in term.name
+
+    def test_unknown_term_raises(self):
+        with pytest.raises(ValidationError):
+            GeneOntology().term("GO:0000000")
+
+
+class TestGeneration:
+    def test_new_terms_get_unique_ids(self):
+        ontology = GeneOntology()
+        ids = {ontology.new_term(rng=0).term_id for _ in range(50)}
+        assert len(ids) == 50
+
+    def test_synthetic_ids_avoid_real_ranges(self):
+        ontology = GeneOntology()
+        term = ontology.new_term(rng=0)
+        assert int(term.term_id.split(":")[1]) >= 900_000
+
+    def test_parents_form_a_dag(self):
+        ontology = GeneOntology()
+        rng = ensure_rng(1)
+        for _ in range(60):
+            ontology.new_term(rng=rng)
+        # ancestors terminates for every term (no cycles by construction)
+        for term in ontology.terms():
+            ancestors = ontology.ancestors(term.term_id)
+            assert term.term_id not in ancestors
+
+    def test_parents_share_namespace(self):
+        ontology = GeneOntology()
+        rng = ensure_rng(2)
+        for _ in range(40):
+            term = ontology.new_term(rng=rng)
+            for parent_id in term.parents:
+                assert ontology.term(parent_id).namespace == term.namespace
+
+    def test_deterministic_given_seed(self):
+        a = GeneOntology()
+        b = GeneOntology()
+        terms_a = [a.new_term(rng=ensure_rng(7)).term_id for _ in range(1)]
+        terms_b = [b.new_term(rng=ensure_rng(7)).term_id for _ in range(1)]
+        assert terms_a == terms_b
+
+    def test_len_counts_terms(self):
+        ontology = GeneOntology()
+        baseline = len(ontology)
+        ontology.new_term(rng=0)
+        assert len(ontology) == baseline + 1

@@ -1,0 +1,100 @@
+"""Tests for the scenario builders and the paper's dataset constants."""
+
+import pytest
+
+from repro.biology.scenarios import (
+    SCENARIO1_PROTEINS,
+    SCENARIO2_FUNCTIONS,
+    SCENARIO3_PROTEINS,
+    Scenario,
+    build_scenario,
+)
+
+
+class TestConstants:
+    def test_table1_shape(self):
+        assert len(SCENARIO1_PROTEINS) == 20
+        assert sum(row[1] for row in SCENARIO1_PROTEINS) == 306
+        # the printed paper total is 1036, the column actually sums to 1037
+        assert sum(row[2] for row in SCENARIO1_PROTEINS) == 1037
+
+    def test_table2_shape(self):
+        functions = [f for fns in SCENARIO2_FUNCTIONS.values() for f in fns]
+        assert len(functions) == 7
+        assert set(SCENARIO2_FUNCTIONS) == {"ABCC8", "CFTR", "EYA1"}
+
+    def test_table3_shape(self):
+        assert len(SCENARIO3_PROTEINS) == 11
+        assert all(go.startswith("GO:") for _, go, _ in SCENARIO3_PROTEINS)
+
+    def test_scenario2_proteins_are_scenario1_proteins(self):
+        names = {row[0] for row in SCENARIO1_PROTEINS}
+        assert set(SCENARIO2_FUNCTIONS) <= names
+
+
+class TestBuildScenario1:
+    def test_counts_match_table1(self, scenario1_small):
+        for case, (protein, n_gold, n_total) in zip(
+            scenario1_small, SCENARIO1_PROTEINS
+        ):
+            assert case.name == protein
+            assert case.n_relevant == n_gold
+            assert case.n_total == n_total
+
+    def test_relevant_is_gold(self, scenario1_small):
+        case = scenario1_small[0]
+        assert case.relevant == case.case.gold_nodes
+
+    def test_limit(self, scenario1_small):
+        assert len(scenario1_small) == 3
+
+
+class TestBuildScenario2:
+    def test_three_proteins(self, scenario2_cases):
+        assert [case.name for case in scenario2_cases] == ["ABCC8", "CFTR", "EYA1"]
+
+    def test_relevant_is_novel(self, scenario2_cases):
+        totals = {case.name: case.n_relevant for case in scenario2_cases}
+        assert totals == {"ABCC8": 3, "CFTR": 2, "EYA1": 2}
+
+    def test_graphs_identical_to_scenario1(self, scenario2_cases, scenario1_small):
+        """Scenario 2 reuses scenario 1's graphs (same seed)."""
+        abcc8_s2 = scenario2_cases[0].query_graph.graph
+        abcc8_s1 = scenario1_small[0].query_graph.graph
+        assert {(e.source, e.target) for e in abcc8_s2.edges()} == {
+            (e.source, e.target) for e in abcc8_s1.edges()
+        }
+        assert all(
+            abcc8_s2.p(node) == abcc8_s1.p(node) for node in abcc8_s2.nodes()
+        )
+
+    def test_novel_functions_have_paper_go_ids(self, scenario2_cases):
+        abcc8 = scenario2_cases[0]
+        go_ids = {node[1] for node in abcc8.relevant}
+        assert go_ids == {"GO:0006855", "GO:0015559", "GO:0042493"}
+
+
+class TestBuildScenario3:
+    def test_counts_match_table3(self, scenario3_small):
+        for case, (protein, _, n_total) in zip(scenario3_small, SCENARIO3_PROTEINS):
+            assert case.name == protein
+            assert case.n_total == n_total
+            assert case.n_relevant == 1
+
+    def test_true_function_is_paper_go_id(self, scenario3_small):
+        (node,) = scenario3_small[0].relevant
+        assert node[1] == "GO:0003973"
+
+    def test_no_gold_in_scenario3(self, scenario3_small):
+        assert all(not case.case.gold_nodes for case in scenario3_small)
+
+
+class TestScenarioEnum:
+    def test_values(self):
+        assert Scenario(1) is Scenario.WELL_KNOWN
+        assert Scenario(2) is Scenario.LESS_KNOWN
+        assert Scenario(3) is Scenario.UNKNOWN
+
+    def test_invalid_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            build_scenario(4)

@@ -1,0 +1,86 @@
+"""Tests for the sequence toolkit."""
+
+import pytest
+
+from repro.biology.sequences import (
+    AMINO_ACIDS,
+    identity_to_evalue,
+    mutate_sequence,
+    random_protein_sequence,
+    sequence_identity,
+)
+from repro.errors import ValidationError
+
+
+class TestRandomSequence:
+    def test_length_and_alphabet(self):
+        seq = random_protein_sequence(50, rng=0)
+        assert len(seq) == 50
+        assert set(seq) <= set(AMINO_ACIDS)
+
+    def test_deterministic(self):
+        assert random_protein_sequence(30, rng=1) == random_protein_sequence(30, rng=1)
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValidationError):
+            random_protein_sequence(0)
+
+
+class TestMutation:
+    def test_zero_rate_is_identity(self):
+        seq = random_protein_sequence(40, rng=2)
+        assert mutate_sequence(seq, 0.0, rng=3) == seq
+
+    def test_full_rate_changes_every_position(self):
+        seq = random_protein_sequence(40, rng=4)
+        mutated = mutate_sequence(seq, 1.0, rng=5)
+        assert all(a != b for a, b in zip(seq, mutated))
+
+    def test_rate_controls_identity(self):
+        seq = random_protein_sequence(500, rng=6)
+        light = mutate_sequence(seq, 0.1, rng=7)
+        heavy = mutate_sequence(seq, 0.6, rng=8)
+        assert sequence_identity(seq, light) > sequence_identity(seq, heavy)
+
+    def test_rate_validated(self):
+        with pytest.raises(ValidationError):
+            mutate_sequence("AC", 1.5)
+
+
+class TestIdentity:
+    def test_identical(self):
+        assert sequence_identity("ACDE", "ACDE") == 1.0
+
+    def test_disjoint(self):
+        assert sequence_identity("AAAA", "CCCC") == 0.0
+
+    def test_length_mismatch_penalised(self):
+        assert sequence_identity("ACDE", "AC") == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            sequence_identity("", "A")
+
+
+class TestEvalueModel:
+    def test_stronger_matches_give_smaller_evalues(self):
+        weak = identity_to_evalue(0.2, 100)
+        strong = identity_to_evalue(0.9, 100)
+        assert strong < weak
+
+    def test_longer_matches_give_smaller_evalues(self):
+        short = identity_to_evalue(0.5, 20)
+        long = identity_to_evalue(0.5, 200)
+        assert long < short
+
+    def test_floor_at_blast_minimum(self):
+        assert identity_to_evalue(1.0, 10_000) == 1e-300
+
+    def test_no_signal_gives_evalue_near_one(self):
+        assert identity_to_evalue(0.0, 100) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            identity_to_evalue(1.5, 100)
+        with pytest.raises(ValidationError):
+            identity_to_evalue(0.5, 0)

@@ -1,0 +1,133 @@
+"""Tests for the per-source schema modules."""
+
+import pytest
+
+from repro.biology.sources import (
+    amigo,
+    entrez_gene,
+    entrez_protein,
+    iproclass,
+    ncbi_blast,
+    pfam,
+    tigrfam,
+)
+from repro.biology.ontology import GeneOntology
+from repro.errors import IntegrityError, ValidationError
+
+
+class TestEntrezProtein:
+    def test_round_trip(self):
+        db = entrez_protein.create_database()
+        entrez_protein.add_protein(db, "P1", "ACDEF")
+        entrez_protein.add_gene_xref(db, "P1", "EG:1")
+        source = entrez_protein.make_source(db)
+        assert source.name == "EntrezProtein"
+        assert db.table("proteins").pk_lookup("P1")["seq"] == "ACDEF"
+
+    def test_xref_requires_protein(self):
+        db = entrez_protein.create_database()
+        with pytest.raises(IntegrityError):
+            entrez_protein.add_gene_xref(db, "GHOST", "EG:1")
+
+
+class TestEntrezGene:
+    def test_status_validated_eagerly(self):
+        db = entrez_gene.create_database()
+        with pytest.raises(ValidationError):
+            entrez_gene.add_gene(db, "EG:1", "MadeUp")
+
+    def test_annotation_requires_gene(self):
+        db = entrez_gene.create_database()
+        with pytest.raises(IntegrityError):
+            entrez_gene.add_annotation(db, "EG:1", "GO:1", "IDA")
+
+    def test_pr_binding_decodes_status(self):
+        db = entrez_gene.create_database()
+        entrez_gene.add_gene(db, "EG:1", "Validated")
+        source = entrez_gene.make_source(db)
+        (binding,) = source.entities
+        row = db.table("genes").pk_lookup("EG:1")
+        assert binding.pr(row) == 0.8
+
+    def test_qr_binding_decodes_evidence(self):
+        db = entrez_gene.create_database()
+        entrez_gene.add_gene(db, "EG:1", "Reviewed")
+        entrez_gene.add_annotation(db, "EG:1", "GO:1", "IEA")
+        source = entrez_gene.make_source(db)
+        (binding,) = source.relationships
+        (row,) = db.table("gene_go").rows()
+        assert binding.qr(row) == 0.3
+
+
+class TestAmigo:
+    def test_load_ontology(self):
+        db = amigo.create_database()
+        ontology = GeneOntology()
+        count = amigo.load_ontology(db, ontology)
+        assert count == len(ontology)
+        assert len(db.table("terms")) == count
+
+    def test_label_includes_name(self):
+        db = amigo.create_database()
+        amigo.add_term(db, "GO:1", "kinase activity", "molecular_function")
+        source = amigo.make_source(db)
+        (binding,) = source.entities
+        (row,) = db.table("terms").rows()
+        assert "kinase" in binding.label(row)
+
+
+class TestNcbiBlast:
+    def test_add_hit_populates_three_tables(self):
+        db = ncbi_blast.create_database()
+        ncbi_blast.add_hit(db, "P1", "H1", 1e-60, "EG:9", sequence="ACD")
+        assert len(db.table("hits")) == 1
+        assert len(db.table("blast1")) == 1
+        assert len(db.table("blast2")) == 1
+
+    def test_qr_decodes_evalue(self):
+        db = ncbi_blast.create_database()
+        ncbi_blast.add_hit(db, "P1", "H1", 1e-150, "EG:9")
+        source = ncbi_blast.make_source(db)
+        blast1 = next(
+            b for b in source.relationships if b.relationship == "NCBIBlast1"
+        )
+        (row,) = db.table("blast1").rows()
+        assert blast1.qr(row) == pytest.approx(0.5)
+
+
+class TestFamilySources:
+    @pytest.mark.parametrize("module", [pfam, tigrfam], ids=["pfam", "tigrfam"])
+    def test_schema_round_trip(self, module):
+        db = module.create_database()
+        module.add_family(db, "F1")
+        module.add_match(db, "P1", "F1", 1e-90)
+        module.add_family_go(db, "F1", "GO:1")
+        source = module.make_source(db)
+        assert len(source.relationships) == 2
+
+    def test_match_requires_family(self):
+        db = pfam.create_database()
+        with pytest.raises(IntegrityError):
+            pfam.add_match(db, "P1", "GHOST", 1e-10)
+
+    def test_tigrfam_entity_set_differs_from_pfam(self):
+        pfam_source = pfam.make_source(pfam.create_database())
+        tigr_source = tigrfam.make_source(tigrfam.create_database())
+        assert pfam_source.entities[0].entity_set == "PfamFamily"
+        assert tigr_source.entities[0].entity_set == "TigrFamFamily"
+
+
+class TestIproclass:
+    def test_gold_lookup(self):
+        db = iproclass.create_database()
+        iproclass.add_gold_function(db, "P1", "GO:1")
+        iproclass.add_gold_function(db, "P1", "GO:2")
+        iproclass.add_gold_function(db, "P2", "GO:3")
+        assert iproclass.gold_functions(db, "P1") == {"GO:1", "GO:2"}
+        assert iproclass.gold_functions(db, "PX") == set()
+
+    def test_duplicate_gold_rejected(self):
+        db = iproclass.create_database()
+        iproclass.add_gold_function(db, "P1", "GO:1")
+        with pytest.raises(IntegrityError):
+            iproclass.add_gold_function(db, "P1", "GO:1")

@@ -1,0 +1,69 @@
+"""Shared fixtures: toy graphs and (session-scoped) scenario cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.biology.scenarios import build_scenario
+from repro.core.graph import ProbabilisticEntityGraph, QueryGraph
+
+
+@pytest.fixture
+def serial_parallel() -> QueryGraph:
+    """Fig 4a: one 0.5 edge feeding two certain parallel 2-edge paths."""
+    graph = ProbabilisticEntityGraph()
+    for node in ("s", "a", "b", "c", "u"):
+        graph.add_node(node)
+    graph.add_edge("s", "a", q=0.5)
+    graph.add_edge("a", "b", q=1.0)
+    graph.add_edge("a", "c", q=1.0)
+    graph.add_edge("b", "u", q=1.0)
+    graph.add_edge("c", "u", q=1.0)
+    return QueryGraph(graph, "s", ["u"])
+
+
+@pytest.fixture
+def wheatstone() -> QueryGraph:
+    """Fig 4b: the Wheatstone bridge, every edge probability 0.5."""
+    graph = ProbabilisticEntityGraph()
+    for node in ("s", "a", "b", "u"):
+        graph.add_node(node)
+    graph.add_edge("s", "a", q=0.5)
+    graph.add_edge("s", "b", q=0.5)
+    graph.add_edge("a", "b", q=0.5)
+    graph.add_edge("a", "u", q=0.5)
+    graph.add_edge("b", "u", q=0.5)
+    return QueryGraph(graph, "s", ["u"])
+
+
+@pytest.fixture
+def two_target_dag() -> QueryGraph:
+    """A small DAG with two answer nodes and mixed node/edge probabilities."""
+    graph = ProbabilisticEntityGraph()
+    graph.add_node("s")
+    graph.add_node("m1", p=0.9)
+    graph.add_node("m2", p=0.8)
+    graph.add_node("t1", p=0.95)
+    graph.add_node("t2")
+    graph.add_edge("s", "m1", q=0.7)
+    graph.add_edge("s", "m2", q=0.6)
+    graph.add_edge("m1", "t1", q=0.9)
+    graph.add_edge("m2", "t1", q=0.5)
+    graph.add_edge("m2", "t2", q=0.4)
+    return QueryGraph(graph, "s", ["t1", "t2"])
+
+
+@pytest.fixture(scope="session")
+def scenario1_small():
+    """Three scenario-1 cases (ABCC8, ABCD1, AGPAT2), built once."""
+    return build_scenario(1, seed=0, limit=3)
+
+
+@pytest.fixture(scope="session")
+def scenario2_cases():
+    return build_scenario(2, seed=0)
+
+
+@pytest.fixture(scope="session")
+def scenario3_small():
+    return build_scenario(3, seed=0, limit=4)

@@ -1,0 +1,109 @@
+"""Tests for adaptive top-k Monte Carlo."""
+
+import pytest
+
+from repro.core.adaptive import (
+    IncrementalReliabilityEstimator,
+    topk_reliability,
+)
+from repro.core.exact import exact_reliability
+from repro.core.graph import ProbabilisticEntityGraph, QueryGraph
+from repro.errors import RankingError
+
+
+@pytest.fixture
+def spread_graph() -> QueryGraph:
+    """Three answers with well-separated reliabilities 0.9 / 0.5 / 0.1."""
+    graph = ProbabilisticEntityGraph()
+    graph.add_node("s")
+    for name, q in (("hi", 0.9), ("mid", 0.5), ("lo", 0.1)):
+        graph.add_node(name)
+        graph.add_edge("s", name, q=q)
+    return QueryGraph(graph, "s", ["hi", "mid", "lo"])
+
+
+@pytest.fixture
+def tie_graph() -> QueryGraph:
+    """Two answers with identical reliability 0.5 — unseparable."""
+    graph = ProbabilisticEntityGraph()
+    graph.add_node("s")
+    for name in ("a", "b"):
+        graph.add_node(name)
+        graph.add_edge("s", name, q=0.5)
+    return QueryGraph(graph, "s", ["a", "b"])
+
+
+class TestIncrementalEstimator:
+    def test_counts_accumulate(self, spread_graph):
+        estimator = IncrementalReliabilityEstimator(spread_graph, rng=1)
+        estimator.run(500)
+        first = estimator.estimates()
+        estimator.run(4500)
+        second = estimator.estimates()
+        assert estimator.trials == 5000
+        assert second["hi"] == pytest.approx(0.9, abs=0.03)
+        assert abs(second["hi"] - 0.9) <= abs(first["hi"] - 0.9) + 0.03
+
+    def test_incremental_equals_one_shot_in_distribution(self, spread_graph):
+        estimator = IncrementalReliabilityEstimator(spread_graph, rng=2)
+        for _ in range(10):
+            estimator.run(1000)
+        exact = exact_reliability(spread_graph)
+        for target, value in estimator.estimates().items():
+            assert value == pytest.approx(exact[target], abs=0.02)
+
+    def test_estimates_before_running_raise(self, spread_graph):
+        with pytest.raises(RankingError):
+            IncrementalReliabilityEstimator(spread_graph).estimates()
+
+    def test_bad_batch_raises(self, spread_graph):
+        estimator = IncrementalReliabilityEstimator(spread_graph)
+        with pytest.raises(RankingError):
+            estimator.run(0)
+
+
+class TestTopKReliability:
+    def test_wide_gap_stops_early(self, spread_graph):
+        result = topk_reliability(spread_graph, k=1, epsilon=0.02, rng=3)
+        assert result.separated
+        assert result.top[0][0] == "hi"
+        # the 0.4 boundary gap needs far fewer trials than eps = 0.02
+        assert result.trials_used < 2000
+
+    def test_top2_of_spread(self, spread_graph):
+        result = topk_reliability(spread_graph, k=2, epsilon=0.05, rng=4)
+        assert [node for node, _ in result.top] == ["hi", "mid"]
+        assert result.separated
+
+    def test_true_tie_reports_unseparated(self, tie_graph):
+        result = topk_reliability(
+            tie_graph, k=1, epsilon=0.05, delta=0.1, batch=200, rng=5
+        )
+        assert not result.separated
+        assert result.boundary_gap < 0.05
+
+    def test_budget_respected(self, tie_graph):
+        result = topk_reliability(
+            tie_graph, k=1, epsilon=0.001, max_trials=2000, batch=500, rng=6
+        )
+        assert result.trials_used <= 2000
+        assert not result.separated
+
+    def test_k_bounds_validated(self, spread_graph):
+        with pytest.raises(RankingError):
+            topk_reliability(spread_graph, k=0)
+        with pytest.raises(RankingError):
+            topk_reliability(spread_graph, k=3)  # k must leave a boundary
+
+    def test_scores_cover_answer_set(self, spread_graph):
+        result = topk_reliability(spread_graph, k=1, rng=7)
+        assert set(result.scores) == {"hi", "mid", "lo"}
+
+    def test_on_scenario_graph(self, scenario3_small):
+        qg = scenario3_small[0].query_graph  # 47 answers
+        result = topk_reliability(qg, k=5, epsilon=0.05, rng=8)
+        exact = exact_reliability(qg)
+        top_exact = sorted(exact.values(), reverse=True)[:5]
+        top_estimated = [score for _, score in result.top]
+        for estimated, truth in zip(top_estimated, top_exact):
+            assert estimated == pytest.approx(truth, abs=0.1)

@@ -1,0 +1,57 @@
+"""Tests for the Theorem 3.1 trial bounds."""
+
+import pytest
+
+from repro.core.bounds import rank_error_bound, required_trials
+from repro.errors import ValidationError
+
+
+class TestRequiredTrials:
+    def test_paper_headline_cell(self):
+        """eps = 0.02 at 95% confidence: the paper concludes 10,000
+        trials suffice; the exact bound is just under 8,000."""
+        n = required_trials(0.02, 0.05)
+        assert 7000 < n <= 10_000
+
+    def test_tighter_eps_needs_more_trials(self):
+        assert required_trials(0.01, 0.05) > required_trials(0.02, 0.05)
+
+    def test_higher_confidence_needs_more_trials(self):
+        assert required_trials(0.02, 0.01) > required_trials(0.02, 0.05)
+
+    def test_scales_inverse_quadratically_in_eps(self):
+        ratio = required_trials(0.01, 0.05) / required_trials(0.02, 0.05)
+        assert ratio == pytest.approx(4.0, rel=0.05)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValidationError):
+            required_trials(0.0, 0.05)
+        with pytest.raises(ValidationError):
+            required_trials(0.02, 0.0)
+        with pytest.raises(ValidationError):
+            required_trials(0.02, 1.0)
+
+
+class TestRankErrorBound:
+    def test_bound_at_required_trials_is_delta(self):
+        epsilon, delta = 0.02, 0.05
+        n = required_trials(epsilon, delta)
+        assert rank_error_bound(epsilon, n) <= delta
+
+    def test_bound_decreases_with_trials(self):
+        assert rank_error_bound(0.02, 2000) > rank_error_bound(0.02, 20_000)
+
+    def test_bound_never_exceeds_one(self):
+        assert rank_error_bound(0.001, 1) <= 1.0
+
+    def test_invalid_trials(self):
+        with pytest.raises(ValueError):
+            rank_error_bound(0.02, 0)
+
+    def test_inverse_consistency(self):
+        """required_trials is the smallest n whose bound is <= delta
+        (up to the ceiling)."""
+        epsilon, delta = 0.05, 0.1
+        n = required_trials(epsilon, delta)
+        assert rank_error_bound(epsilon, n) <= delta
+        assert rank_error_bound(epsilon, n - 2) > delta

@@ -1,0 +1,70 @@
+"""Tests for the per-target closed-form reliability pipeline."""
+
+import pytest
+
+from repro.core.closed_form import closed_form_reliability
+from repro.core.exact import exact_reliability
+from repro.core.graph import ProbabilisticEntityGraph, QueryGraph
+from repro.errors import RankingError
+
+
+class TestClosedTargets:
+    def test_series_parallel_closes(self, serial_parallel):
+        result = closed_form_reliability(serial_parallel)
+        assert result.fully_closed
+        assert result.scores["u"] == pytest.approx(0.5)
+
+    def test_multi_target_closure(self, two_target_dag):
+        result = closed_form_reliability(two_target_dag)
+        exact = exact_reliability(two_target_dag)
+        for target in two_target_dag.targets:
+            assert result.scores[target] == pytest.approx(exact[target])
+        # t2 hangs off a pure chain, so it must close
+        assert result.closed["t2"]
+
+    def test_unreachable_target_closes_to_zero(self):
+        graph = ProbabilisticEntityGraph()
+        graph.add_node("s")
+        graph.add_node("t", p=0.9)
+        result = closed_form_reliability(QueryGraph(graph, "s", ["t"]))
+        assert result.scores["t"] == 0.0
+        assert result.closed["t"]
+
+    def test_source_as_target(self):
+        graph = ProbabilisticEntityGraph()
+        graph.add_node("s", p=0.7)
+        result = closed_form_reliability(QueryGraph(graph, "s", ["s"]))
+        assert result.scores["s"] == pytest.approx(0.7)
+
+
+class TestFallbacks:
+    def test_wheatstone_falls_back_to_exact(self, wheatstone):
+        result = closed_form_reliability(wheatstone, fallback="exact")
+        assert not result.closed["u"]
+        assert result.scores["u"] == pytest.approx(0.46875)
+        assert not result.fully_closed
+
+    def test_error_fallback_raises(self, wheatstone):
+        with pytest.raises(RankingError):
+            closed_form_reliability(wheatstone, fallback="error")
+
+    def test_skip_fallback_omits(self, wheatstone):
+        result = closed_form_reliability(wheatstone, fallback="skip")
+        assert "u" not in result.scores
+
+
+class TestOnScenarioGraphs:
+    def test_matches_exact_on_real_case(self, scenario3_small):
+        case = scenario3_small[2]  # NMC0498, n_total = 5
+        qg = case.query_graph
+        result = closed_form_reliability(qg)
+        exact = exact_reliability(qg)
+        for target in qg.targets:
+            assert result.scores[target] == pytest.approx(exact[target], abs=1e-9)
+
+    def test_most_targets_close_on_workflow_graphs(self, scenario1_small):
+        case = scenario1_small[2]  # AGPAT2
+        result = closed_form_reliability(case.query_graph)
+        closed_fraction = sum(result.closed.values()) / len(result.closed)
+        # ambiguous BLAST xrefs make a minority of targets irreducible
+        assert closed_fraction > 0.5

@@ -1,0 +1,116 @@
+"""Tests for InEdge and PathCount."""
+
+import pytest
+
+from repro.core.deterministic import in_edge_scores, path_count_scores
+from repro.core.graph import ProbabilisticEntityGraph, QueryGraph
+from repro.errors import CycleError
+
+
+class TestInEdge:
+    def test_counts_incoming_edges(self, serial_parallel):
+        assert in_edge_scores(serial_parallel)["u"] == 2.0
+
+    def test_wheatstone(self, wheatstone):
+        assert in_edge_scores(wheatstone)["u"] == 2.0
+
+    def test_parallel_edges_count_separately(self):
+        graph = ProbabilisticEntityGraph()
+        graph.add_node("s")
+        graph.add_node("t")
+        graph.add_edge("s", "t", q=0.5)
+        graph.add_edge("s", "t", q=0.5)
+        qg = QueryGraph(graph, "s", ["t"])
+        assert in_edge_scores(qg)["t"] == 2.0
+
+    def test_ignores_probabilities(self, serial_parallel):
+        serial_parallel.graph.set_q(0, 0.0001)
+        assert in_edge_scores(serial_parallel)["u"] == 2.0
+
+    def test_blind_to_distant_structure(self):
+        """InEdge cannot see past the answer's immediate neighbourhood."""
+        graph = ProbabilisticEntityGraph()
+        graph.add_node("s")
+        graph.add_node("hub")
+        graph.add_node("t")
+        for i in range(5):
+            node = f"p{i}"
+            graph.add_node(node)
+            graph.add_edge("s", node)
+            graph.add_edge(node, "hub")
+        graph.add_edge("hub", "t")
+        qg = QueryGraph(graph, "s", ["t"])
+        assert in_edge_scores(qg)["t"] == 1.0  # despite 5 upstream paths
+
+
+class TestPathCount:
+    def test_serial_parallel(self, serial_parallel):
+        assert path_count_scores(serial_parallel)["u"] == 2.0
+
+    def test_wheatstone_counts_bridge_path(self, wheatstone):
+        assert path_count_scores(wheatstone)["u"] == 3.0
+
+    def test_sees_whole_subgraph(self):
+        graph = ProbabilisticEntityGraph()
+        graph.add_node("s")
+        graph.add_node("hub")
+        graph.add_node("t")
+        for i in range(5):
+            node = f"p{i}"
+            graph.add_node(node)
+            graph.add_edge("s", node)
+            graph.add_edge(node, "hub")
+        graph.add_edge("hub", "t")
+        qg = QueryGraph(graph, "s", ["t"])
+        assert path_count_scores(qg)["t"] == 5.0
+
+    def test_parallel_edges_multiply(self):
+        graph = ProbabilisticEntityGraph()
+        graph.add_node("s")
+        graph.add_node("m")
+        graph.add_node("t")
+        graph.add_edge("s", "m")
+        graph.add_edge("s", "m")
+        graph.add_edge("m", "t")
+        qg = QueryGraph(graph, "s", ["t"])
+        assert path_count_scores(qg)["t"] == 2.0
+
+    def test_unreachable_is_zero(self):
+        graph = ProbabilisticEntityGraph()
+        graph.add_node("s")
+        graph.add_node("t")
+        qg = QueryGraph(graph, "s", ["t"])
+        assert path_count_scores(qg)["t"] == 0.0
+
+    def test_cycles_raise(self):
+        graph = ProbabilisticEntityGraph()
+        graph.add_node("s")
+        graph.add_node("a")
+        graph.add_node("t")
+        graph.add_edge("s", "a")
+        graph.add_edge("a", "s")
+        graph.add_edge("a", "t")
+        qg = QueryGraph(graph, "s", ["t"])
+        with pytest.raises(CycleError):
+            path_count_scores(qg)
+
+    def test_combinatorial_growth(self):
+        """k diamond stages give 2^k paths — counted exactly."""
+        graph = ProbabilisticEntityGraph()
+        graph.add_node("n0")
+        previous = "n0"
+        for stage in range(6):
+            top, bottom, join = f"t{stage}", f"b{stage}", f"j{stage}"
+            for node in (top, bottom, join):
+                graph.add_node(node)
+            graph.add_edge(previous, top)
+            graph.add_edge(previous, bottom)
+            graph.add_edge(top, join)
+            graph.add_edge(bottom, join)
+            previous = join
+        qg = QueryGraph(graph, "n0", [previous])
+        assert path_count_scores(qg)[previous] == 2.0**6
+
+    def test_scores_are_floats(self, serial_parallel):
+        scores = path_count_scores(serial_parallel)
+        assert all(isinstance(value, float) for value in scores.values())

@@ -1,0 +1,59 @@
+"""Tests for the evidence-correlation diagnostics."""
+
+import pytest
+
+from repro.core.diagnostics import correlation_report
+from repro.core.graph import ProbabilisticEntityGraph, QueryGraph
+
+
+class TestCorrelationReport:
+    def test_tree_has_zero_divergence(self):
+        graph = ProbabilisticEntityGraph()
+        graph.add_node("s")
+        graph.add_node("a", p=0.9)
+        graph.add_node("t1")
+        graph.add_node("t2")
+        graph.add_edge("s", "a", q=0.8)
+        graph.add_edge("a", "t1", q=0.7)
+        graph.add_edge("a", "t2", q=0.6)
+        qg = QueryGraph(graph, "s", ["t1", "t2"])
+        report = correlation_report(qg)
+        assert report.tree_like_fraction == 1.0
+        assert report.max_divergence == pytest.approx(0.0, abs=1e-9)
+
+    def test_shared_prefix_detected(self, serial_parallel):
+        report = correlation_report(serial_parallel)
+        (answer,) = report.answers
+        assert answer.reliability == pytest.approx(0.5)
+        assert answer.propagation == pytest.approx(0.75)
+        assert answer.divergence == pytest.approx(0.25)
+        assert answer.relative_divergence == pytest.approx(0.5)
+        assert report.tree_like_fraction == 0.0
+
+    def test_divergence_is_nonnegative(self, two_target_dag):
+        report = correlation_report(two_target_dag)
+        for answer in report.answers:
+            assert answer.divergence >= -1e-9
+
+    def test_most_correlated_sorting(self, scenario3_small):
+        report = correlation_report(scenario3_small[0].query_graph)
+        top = report.most_correlated(3)
+        divergences = [a.divergence for a in top]
+        assert divergences == sorted(divergences, reverse=True)
+        assert report.mean_divergence >= 0.0
+
+    def test_scenario_graphs_have_correlated_answers(self, scenario1_small):
+        """The generator's ambiguous BLAST xrefs must show up here —
+        this is the structure that separates Rel from Prop in Fig 5."""
+        report = correlation_report(scenario1_small[2].query_graph)  # AGPAT2
+        assert report.max_divergence > 0.001
+        assert 0.0 < report.tree_like_fraction < 1.0
+
+    def test_empty_report_degenerates_gracefully(self):
+        from repro.core.diagnostics import CorrelationReport
+
+        report = CorrelationReport(answers=[])
+        assert report.max_divergence == 0.0
+        assert report.mean_divergence == 0.0
+        assert report.tree_like_fraction == 1.0
+        assert report.most_correlated() == []

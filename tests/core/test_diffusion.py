@@ -1,0 +1,118 @@
+"""Tests for the diffusion semantics (Algorithm 3.3)."""
+
+import pytest
+
+from repro.core.diffusion import diffusion_scores, solve_incoming_diffusion
+from repro.core.graph import ProbabilisticEntityGraph, QueryGraph
+from repro.errors import RankingError
+
+
+class TestInnerSolve:
+    def test_no_contributors(self):
+        assert solve_incoming_diffusion([]) == 0.0
+        assert solve_incoming_diffusion([(0.0, 0.5)]) == 0.0
+        assert solve_incoming_diffusion([(0.5, 0.0)]) == 0.0
+
+    def test_single_parent_closed_form(self):
+        # rbar = (r - rbar) q  ->  rbar = r q / (1 + q)
+        assert solve_incoming_diffusion([(1.0, 0.5)]) == pytest.approx(1 / 3)
+        assert solve_incoming_diffusion([(0.8, 1.0)]) == pytest.approx(0.4)
+
+    def test_two_equal_parents(self):
+        # rbar = 2 (r - rbar) q with r=1, q=1  ->  rbar = 2/3
+        assert solve_incoming_diffusion([(1.0, 1.0), (1.0, 1.0)]) == pytest.approx(2 / 3)
+
+    def test_weak_parent_excluded_from_active_set(self):
+        # strong parent alone gives rbar = 0.45/1.9 ≈ 0.2368 > 0.1, so the
+        # 0.1 parent contributes nothing
+        with_weak = solve_incoming_diffusion([(0.5, 0.9), (0.1, 0.9)])
+        without = solve_incoming_diffusion([(0.5, 0.9)])
+        assert with_weak == pytest.approx(without)
+
+    def test_fixed_point_property(self):
+        incoming = [(0.9, 0.8), (0.5, 0.3), (0.2, 0.9)]
+        rbar = solve_incoming_diffusion(incoming)
+        residual = sum(max((r - rbar) * q, 0.0) for r, q in incoming)
+        assert residual == pytest.approx(rbar, abs=1e-12)
+
+    def test_result_below_max_parent(self):
+        incoming = [(0.9, 1.0), (0.8, 1.0), (0.7, 1.0)]
+        assert solve_incoming_diffusion(incoming) < 0.9
+
+
+class TestReferenceValues:
+    def test_serial_parallel_is_one_ninth(self, serial_parallel):
+        assert diffusion_scores(serial_parallel)["u"] == pytest.approx(
+            1 / 9, abs=1e-9
+        )
+
+    def test_wheatstone_fixed_point_is_one_sixth(self, wheatstone):
+        # the paper prints 0.11 here but the §3.3 equations' fixed point
+        # is 1/6 (we verified 4a's 0.11 = 1/9 analytically)
+        assert diffusion_scores(wheatstone)["u"] == pytest.approx(1 / 6, abs=1e-9)
+
+    def test_source_pinned_to_one(self, serial_parallel):
+        scores = diffusion_scores(serial_parallel, all_nodes=True)
+        assert scores["s"] == 1.0
+
+
+class TestBehaviour:
+    def test_favours_short_strong_over_long_redundant(self):
+        """The defining behaviour: one short strong path beats many
+        longer medium ones (what makes diffusion win scenario 2)."""
+        graph = ProbabilisticEntityGraph()
+        graph.add_node("s")
+        graph.add_node("short", p=1.0)
+        graph.add_node("t_short", p=1.0)
+        graph.add_edge("s", "short", q=0.9)
+        graph.add_edge("short", "t_short", q=0.9)
+        # redundant target: three 3-hop chains of strength 0.6
+        graph.add_node("t_long")
+        for i in range(3):
+            a, b = f"a{i}", f"b{i}"
+            graph.add_node(a)
+            graph.add_node(b)
+            graph.add_edge("s", a, q=0.6)
+            graph.add_edge(a, b, q=0.6)
+            graph.add_edge(b, "t_long", q=0.6)
+        qg = QueryGraph(graph, "s", ["t_short", "t_long"])
+        scores = diffusion_scores(qg)
+        assert scores["t_short"] > scores["t_long"]
+
+    def test_path_length_attenuates(self):
+        graph = ProbabilisticEntityGraph()
+        graph.add_node("s")
+        previous = "s"
+        for i in range(4):
+            node = f"n{i}"
+            graph.add_node(node)
+            graph.add_edge(previous, node, q=1.0)
+            previous = node
+        qg = QueryGraph(graph, "s", [previous])
+        scores = diffusion_scores(qg, all_nodes=True)
+        values = [scores[f"n{i}"] for i in range(4)]
+        assert values == sorted(values, reverse=True)
+
+    def test_cycles_converge(self):
+        graph = ProbabilisticEntityGraph()
+        graph.add_node("s")
+        graph.add_node("a")
+        graph.add_node("b")
+        graph.add_edge("s", "a", q=0.9)
+        graph.add_edge("a", "b", q=0.9)
+        graph.add_edge("b", "a", q=0.9)
+        qg = QueryGraph(graph, "s", ["b"])
+        scores = diffusion_scores(qg)
+        assert 0.0 < scores["b"] < 1.0
+
+    def test_scores_bounded_by_one(self, scenario3_small):
+        scores = diffusion_scores(scenario3_small[0].query_graph)
+        assert all(0.0 <= value <= 1.0 for value in scores.values())
+
+    def test_non_convergence_raises(self, wheatstone):
+        with pytest.raises(RankingError):
+            diffusion_scores(wheatstone, max_iterations=1, tolerance=0.0)
+
+    def test_fixed_iterations_mode(self, serial_parallel):
+        partial = diffusion_scores(serial_parallel, iterations=1)
+        assert partial["u"] == 0.0

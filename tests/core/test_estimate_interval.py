@@ -1,0 +1,63 @@
+"""Tests for the Wilson confidence interval on MC estimates."""
+
+import pytest
+
+from repro.core.montecarlo import estimate_interval, traversal_reliability
+from repro.errors import GraphError
+
+
+class TestEstimateInterval:
+    def test_contains_estimate(self):
+        lo, hi = estimate_interval(0.4, 1000)
+        assert lo < 0.4 < hi
+
+    def test_narrows_with_trials(self):
+        lo1, hi1 = estimate_interval(0.5, 100)
+        lo2, hi2 = estimate_interval(0.5, 10_000)
+        assert hi2 - lo2 < hi1 - lo1
+
+    def test_widens_with_confidence(self):
+        lo95, hi95 = estimate_interval(0.5, 1000, confidence=0.95)
+        lo99, hi99 = estimate_interval(0.5, 1000, confidence=0.99)
+        assert hi99 - lo99 > hi95 - lo95
+
+    def test_saturated_estimates_get_nondegenerate_interval(self):
+        lo, hi = estimate_interval(1.0, 100)
+        assert lo < 1.0 - 1e-3
+        assert hi == pytest.approx(1.0)
+        lo0, hi0 = estimate_interval(0.0, 100)
+        assert lo0 == pytest.approx(0.0)
+        assert hi0 > 1e-3
+
+    def test_bounds_stay_in_unit_interval(self):
+        for estimate in (0.0, 0.01, 0.5, 0.99, 1.0):
+            lo, hi = estimate_interval(estimate, 37)
+            assert 0.0 <= lo <= hi <= 1.0
+
+    def test_interpolated_confidence(self):
+        lo, hi = estimate_interval(0.5, 1000, confidence=0.93)
+        lo90, hi90 = estimate_interval(0.5, 1000, confidence=0.90)
+        lo95, hi95 = estimate_interval(0.5, 1000, confidence=0.95)
+        assert hi90 - lo90 < hi - lo < hi95 - lo95
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            estimate_interval(1.5, 100)
+        with pytest.raises(GraphError):
+            estimate_interval(0.5, 0)
+        with pytest.raises(GraphError):
+            estimate_interval(0.5, 100, confidence=1.5)
+        with pytest.raises(GraphError):
+            estimate_interval(0.5, 100, confidence=0.5)
+
+    def test_coverage_empirically(self, wheatstone):
+        """~95% of seeded MC runs should bracket the true 0.46875."""
+        truth = 0.46875
+        trials = 500
+        covered = 0
+        runs = 100
+        for seed in range(runs):
+            estimate = traversal_reliability(wheatstone, trials=trials, rng=seed)["u"]
+            lo, hi = estimate_interval(estimate, trials)
+            covered += lo <= truth <= hi
+        assert covered >= 0.88 * runs

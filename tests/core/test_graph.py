@@ -1,0 +1,158 @@
+"""Tests for the probabilistic entity graph and query graph."""
+
+import pytest
+
+from repro.core.graph import ProbabilisticEntityGraph, QueryGraph
+from repro.errors import CycleError, GraphError, ValidationError
+
+
+@pytest.fixture
+def diamond() -> ProbabilisticEntityGraph:
+    graph = ProbabilisticEntityGraph()
+    graph.add_node("s")
+    graph.add_node("a", p=0.9)
+    graph.add_node("b", p=0.8)
+    graph.add_node("t", p=0.7)
+    graph.add_edge("s", "a", q=0.5)
+    graph.add_edge("s", "b", q=0.6)
+    graph.add_edge("a", "t", q=0.7)
+    graph.add_edge("b", "t", q=0.8)
+    return graph
+
+
+class TestNodes:
+    def test_duplicate_node_rejected(self, diamond):
+        with pytest.raises(GraphError):
+            diamond.add_node("a")
+
+    def test_probability_validated(self):
+        graph = ProbabilisticEntityGraph()
+        with pytest.raises(ValidationError):
+            graph.add_node("x", p=1.5)
+
+    def test_set_p(self, diamond):
+        diamond.set_p("a", 0.25)
+        assert diamond.p("a") == 0.25
+
+    def test_unknown_node_raises(self, diamond):
+        with pytest.raises(GraphError):
+            diamond.p("ghost")
+
+    def test_data_payload(self):
+        graph = ProbabilisticEntityGraph()
+        graph.add_node("x", data={"k": 1})
+        assert graph.data("x") == {"k": 1}
+
+    def test_remove_node_removes_incident_edges(self, diamond):
+        diamond.remove_node("a")
+        assert diamond.num_edges == 2
+        assert diamond.out_degree("s") == 1
+
+
+class TestEdges:
+    def test_edge_needs_existing_endpoints(self, diamond):
+        with pytest.raises(GraphError):
+            diamond.add_edge("s", "ghost")
+
+    def test_parallel_edges_supported(self, diamond):
+        diamond.add_edge("s", "a", q=0.1)
+        assert diamond.out_degree("s") == 3
+        assert len(diamond.successors("s")) == 2
+
+    def test_merged_out_combines_parallel(self, diamond):
+        diamond.add_edge("s", "a", q=0.5)
+        merged = diamond.merged_out("s")
+        assert merged["a"] == pytest.approx(1 - 0.5 * 0.5)
+        assert merged["b"] == pytest.approx(0.6)
+
+    def test_merged_in_combines_parallel(self, diamond):
+        diamond.add_edge("a", "t", q=0.5)
+        merged = diamond.merged_in("t")
+        assert merged["a"] == pytest.approx(1 - (1 - 0.7) * 0.5)
+
+    def test_set_q(self, diamond):
+        key = diamond.add_edge("a", "b", q=0.2)
+        diamond.set_q(key, 0.9)
+        assert diamond.q(key) == 0.9
+
+    def test_remove_edge(self, diamond):
+        (edge,) = [e for e in diamond.edges() if (e.source, e.target) == ("a", "t")]
+        diamond.remove_edge(edge.key)
+        assert diamond.num_edges == 3
+        with pytest.raises(GraphError):
+            diamond.q(edge.key)
+
+
+class TestTraversal:
+    def test_reachable_from(self, diamond):
+        assert diamond.reachable_from("s") == {"s", "a", "b", "t"}
+        assert diamond.reachable_from("a") == {"a", "t"}
+
+    def test_co_reachable_to(self, diamond):
+        assert diamond.co_reachable_to("t") == {"s", "a", "b", "t"}
+        assert diamond.co_reachable_to("a") == {"s", "a"}
+
+    def test_topological_order(self, diamond):
+        order = diamond.topological_order()
+        assert order.index("s") < order.index("a") < order.index("t")
+
+    def test_cycle_detection(self, diamond):
+        diamond.add_edge("t", "s")
+        assert not diamond.is_dag()
+        with pytest.raises(CycleError):
+            diamond.topological_order()
+
+    def test_longest_path_length(self, diamond):
+        assert diamond.longest_path_length_from("s") == 2
+
+
+class TestCopySubgraph:
+    def test_copy_preserves_edge_keys(self, diamond):
+        keys = sorted(e.key for e in diamond.edges())
+        clone = diamond.copy()
+        assert sorted(e.key for e in clone.edges()) == keys
+
+    def test_copy_is_independent(self, diamond):
+        clone = diamond.copy()
+        clone.set_p("a", 0.1)
+        assert diamond.p("a") == 0.9
+
+    def test_copy_continues_edge_numbering(self, diamond):
+        clone = diamond.copy()
+        new_key = clone.add_edge("s", "t")
+        assert new_key not in {e.key for e in diamond.edges()}
+
+    def test_subgraph_induces_edges(self, diamond):
+        sub = diamond.subgraph({"s", "a", "t"})
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 2
+
+
+class TestQueryGraph:
+    def test_requires_known_source_and_targets(self, diamond):
+        with pytest.raises(GraphError):
+            QueryGraph(diamond, "ghost", ["t"])
+        with pytest.raises(GraphError):
+            QueryGraph(diamond, "s", ["ghost"])
+
+    def test_requires_nonempty_answer_set(self, diamond):
+        with pytest.raises(GraphError):
+            QueryGraph(diamond, "s", [])
+
+    def test_rejects_duplicate_targets(self, diamond):
+        with pytest.raises(GraphError):
+            QueryGraph(diamond, "s", ["t", "t"])
+
+    def test_between_subgraph_restricts_to_paths(self, diamond):
+        diamond.add_node("offside")
+        diamond.add_edge("a", "offside")
+        qg = QueryGraph(diamond, "s", ["t"])
+        sub = qg.between_subgraph("t")
+        assert set(sub.graph.nodes()) == {"s", "a", "b", "t"}
+
+    def test_between_subgraph_keeps_unreachable_target(self, diamond):
+        diamond.add_node("island", p=0.5)
+        qg = QueryGraph(diamond, "s", ["island"])
+        sub = qg.between_subgraph("island")
+        assert sub.graph.has_node("island")
+        assert sub.graph.has_node("s")

@@ -1,0 +1,126 @@
+"""Tests for the Monte Carlo reliability estimators."""
+
+import pytest
+
+from repro.core.exact import exact_reliability
+from repro.core.graph import ProbabilisticEntityGraph, QueryGraph
+from repro.core.montecarlo import (
+    CompiledGraph,
+    naive_reliability,
+    traversal_reliability,
+)
+from repro.errors import GraphError
+
+TRIALS = 30_000
+TOLERANCE = 0.02
+
+
+class TestAgainstExact:
+    def test_serial_parallel(self, serial_parallel):
+        estimate = traversal_reliability(serial_parallel, trials=TRIALS, rng=1)
+        assert estimate["u"] == pytest.approx(0.5, abs=TOLERANCE)
+
+    def test_wheatstone(self, wheatstone):
+        estimate = traversal_reliability(wheatstone, trials=TRIALS, rng=2)
+        assert estimate["u"] == pytest.approx(0.46875, abs=TOLERANCE)
+
+    def test_naive_matches_exact(self, wheatstone):
+        estimate = naive_reliability(wheatstone, trials=TRIALS, rng=3)
+        assert estimate["u"] == pytest.approx(0.46875, abs=TOLERANCE)
+
+    def test_node_probabilities_respected(self, two_target_dag):
+        exact = exact_reliability(two_target_dag)
+        estimate = traversal_reliability(two_target_dag, trials=TRIALS, rng=4)
+        for target, value in exact.items():
+            assert estimate[target] == pytest.approx(value, abs=TOLERANCE)
+
+    def test_naive_and_traversal_agree(self, two_target_dag):
+        a = naive_reliability(two_target_dag, trials=TRIALS, rng=5)
+        b = traversal_reliability(two_target_dag, trials=TRIALS, rng=6)
+        for target in two_target_dag.targets:
+            assert a[target] == pytest.approx(b[target], abs=2 * TOLERANCE)
+
+
+class TestSemantics:
+    def test_source_failure_kills_everything(self):
+        graph = ProbabilisticEntityGraph()
+        graph.add_node("s", p=0.0)
+        graph.add_node("t")
+        graph.add_edge("s", "t", q=1.0)
+        qg = QueryGraph(graph, "s", ["t"])
+        assert traversal_reliability(qg, trials=500, rng=0)["t"] == 0.0
+
+    def test_absent_intermediate_blocks_relay(self):
+        graph = ProbabilisticEntityGraph()
+        graph.add_node("s")
+        graph.add_node("m", p=0.0)
+        graph.add_node("t")
+        graph.add_edge("s", "m", q=1.0)
+        graph.add_edge("m", "t", q=1.0)
+        qg = QueryGraph(graph, "s", ["t"])
+        assert naive_reliability(qg, trials=500, rng=0)["t"] == 0.0
+
+    def test_certain_graph_gives_exactly_one(self):
+        graph = ProbabilisticEntityGraph()
+        graph.add_node("s")
+        graph.add_node("t")
+        graph.add_edge("s", "t")
+        qg = QueryGraph(graph, "s", ["t"])
+        assert traversal_reliability(qg, trials=100, rng=0)["t"] == 1.0
+
+    def test_unreachable_target_is_zero(self):
+        graph = ProbabilisticEntityGraph()
+        graph.add_node("s")
+        graph.add_node("t")
+        qg = QueryGraph(graph, "s", ["t"])
+        assert traversal_reliability(qg, trials=100, rng=0)["t"] == 0.0
+
+    def test_cyclic_graphs_are_handled(self):
+        graph = ProbabilisticEntityGraph()
+        graph.add_node("s")
+        graph.add_node("a", p=0.9)
+        graph.add_node("t")
+        graph.add_edge("s", "a", q=0.8)
+        graph.add_edge("a", "s", q=0.8)  # cycle back
+        graph.add_edge("a", "t", q=0.5)
+        qg = QueryGraph(graph, "s", ["t"])
+        estimate = traversal_reliability(qg, trials=TRIALS, rng=7)
+        assert estimate["t"] == pytest.approx(0.8 * 0.9 * 0.5, abs=TOLERANCE)
+
+    def test_parallel_edges_merge_correctly(self):
+        graph = ProbabilisticEntityGraph()
+        graph.add_node("s")
+        graph.add_node("t")
+        graph.add_edge("s", "t", q=0.5)
+        graph.add_edge("s", "t", q=0.5)
+        qg = QueryGraph(graph, "s", ["t"])
+        estimate = traversal_reliability(qg, trials=TRIALS, rng=8)
+        assert estimate["t"] == pytest.approx(0.75, abs=TOLERANCE)
+
+
+class TestApi:
+    def test_trials_must_be_positive(self, serial_parallel):
+        with pytest.raises(GraphError):
+            traversal_reliability(serial_parallel, trials=0)
+
+    def test_all_nodes_flag(self, serial_parallel):
+        estimate = traversal_reliability(
+            serial_parallel, trials=100, rng=0, all_nodes=True
+        )
+        assert set(estimate) == {"s", "a", "b", "c", "u"}
+
+    def test_seeded_runs_reproduce(self, wheatstone):
+        a = traversal_reliability(wheatstone, trials=1000, rng=42)
+        b = traversal_reliability(wheatstone, trials=1000, rng=42)
+        assert a == b
+
+    def test_compiled_graph_merges_parallel_edges(self):
+        graph = ProbabilisticEntityGraph()
+        graph.add_node("s")
+        graph.add_node("t")
+        graph.add_edge("s", "t", q=0.5)
+        graph.add_edge("s", "t", q=0.5)
+        compiled = CompiledGraph.from_query_graph(QueryGraph(graph, "s", ["t"]))
+        (edges,) = [compiled.out[compiled.source]]
+        assert len(edges) == 1
+        assert edges[0][1] == pytest.approx(0.75)

@@ -1,0 +1,107 @@
+"""Tests for evidence-path enumeration and explanations."""
+
+import pytest
+
+from repro.core.graph import ProbabilisticEntityGraph, QueryGraph
+from repro.core.paths import enumerate_paths, explain_answer
+from repro.errors import GraphError
+
+
+class TestEnumeratePaths:
+    def test_serial_parallel_has_two_paths(self, serial_parallel):
+        paths = enumerate_paths(serial_parallel, "u")
+        assert len(paths) == 2
+        assert {p.nodes for p in paths} == {
+            ("s", "a", "b", "u"),
+            ("s", "a", "c", "u"),
+        }
+        assert all(p.probability == pytest.approx(0.5) for p in paths)
+
+    def test_wheatstone_has_three_paths(self, wheatstone):
+        paths = enumerate_paths(wheatstone, "u")
+        assert len(paths) == 3
+        lengths = sorted(p.length for p in paths)
+        assert lengths == [2, 2, 3]
+
+    def test_paths_sorted_strongest_first(self, two_target_dag):
+        paths = enumerate_paths(two_target_dag, "t1")
+        probabilities = [p.probability for p in paths]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_path_probability_is_product(self, two_target_dag):
+        paths = enumerate_paths(two_target_dag, "t1")
+        strongest = paths[0]
+        assert strongest.nodes == ("s", "m1", "t1")
+        # p(s)*q(s,m1)*p(m1)*q(m1,t1)*p(t1)
+        assert strongest.probability == pytest.approx(
+            1.0 * 0.7 * 0.9 * 0.9 * 0.95
+        )
+
+    def test_max_paths_truncates_keeping_strongest(self, wheatstone):
+        all_paths = enumerate_paths(wheatstone, "u")
+        truncated = enumerate_paths(wheatstone, "u", max_paths=1)
+        assert len(truncated) == 1
+        assert truncated[0].probability >= max(p.probability for p in all_paths) - 1e-12
+
+    def test_max_length_filters(self, wheatstone):
+        short_only = enumerate_paths(wheatstone, "u", max_length=2)
+        assert all(p.length <= 2 for p in short_only)
+        assert len(short_only) == 2
+
+    def test_cycles_do_not_hang(self):
+        graph = ProbabilisticEntityGraph()
+        graph.add_node("s")
+        graph.add_node("a")
+        graph.add_node("t")
+        graph.add_edge("s", "a", q=0.5)
+        graph.add_edge("a", "s", q=0.5)
+        graph.add_edge("a", "t", q=0.5)
+        qg = QueryGraph(graph, "s", ["t"])
+        paths = enumerate_paths(qg, "t")
+        assert len(paths) == 1
+
+    def test_unreachable_target_has_no_paths(self):
+        graph = ProbabilisticEntityGraph()
+        graph.add_node("s")
+        graph.add_node("t")
+        qg = QueryGraph(graph, "s", ["t"])
+        assert enumerate_paths(qg, "t") == []
+
+    def test_unknown_target_raises(self, wheatstone):
+        with pytest.raises(GraphError):
+            enumerate_paths(wheatstone, "ghost")
+
+    def test_bad_max_paths(self, wheatstone):
+        with pytest.raises(GraphError):
+            enumerate_paths(wheatstone, "u", max_paths=0)
+
+    def test_parallel_edges_merge_into_one_path(self):
+        graph = ProbabilisticEntityGraph()
+        graph.add_node("s")
+        graph.add_node("t")
+        graph.add_edge("s", "t", q=0.5)
+        graph.add_edge("s", "t", q=0.5)
+        qg = QueryGraph(graph, "s", ["t"])
+        paths = enumerate_paths(qg, "t")
+        assert len(paths) == 1
+        assert paths[0].probability == pytest.approx(0.75)
+
+
+class TestExplainAnswer:
+    def test_explanation_lists_paths(self, wheatstone):
+        text = explain_answer(wheatstone, "u", top=2)
+        assert "3 supporting path(s)" in text
+        assert text.count("->") >= 2
+
+    def test_no_path_message(self):
+        graph = ProbabilisticEntityGraph()
+        graph.add_node("s")
+        graph.add_node("t")
+        qg = QueryGraph(graph, "s", ["t"])
+        assert "no supporting path" in explain_answer(qg, "t")
+
+    def test_on_scenario_graph_uses_labels(self, scenario3_small):
+        case = scenario3_small[0]
+        (true_node,) = case.relevant
+        text = explain_answer(case.query_graph, true_node, top=2)
+        assert "GO:" in text

@@ -1,0 +1,92 @@
+"""Tests for the propagation semantics (Algorithm 3.2)."""
+
+import pytest
+
+from repro.core.exact import exact_reliability
+from repro.core.graph import ProbabilisticEntityGraph, QueryGraph
+from repro.core.propagation import propagation_scores
+from repro.errors import RankingError
+
+
+class TestReferenceValues:
+    def test_serial_parallel_is_three_quarters(self, serial_parallel):
+        assert propagation_scores(serial_parallel)["u"] == pytest.approx(0.75)
+
+    def test_wheatstone(self, wheatstone):
+        assert propagation_scores(wheatstone)["u"] == pytest.approx(0.484375)
+
+    def test_source_score_pinned_to_one(self, serial_parallel):
+        scores = propagation_scores(serial_parallel, all_nodes=True)
+        assert scores["s"] == 1.0
+
+
+class TestTreeProposition:
+    """Proposition 3.1: on trees, propagation equals reliability."""
+
+    def test_chain(self):
+        graph = ProbabilisticEntityGraph()
+        graph.add_node("s")
+        graph.add_node("a", p=0.9)
+        graph.add_node("t", p=0.8)
+        graph.add_edge("s", "a", q=0.7)
+        graph.add_edge("a", "t", q=0.6)
+        qg = QueryGraph(graph, "s", ["t"])
+        assert propagation_scores(qg)["t"] == pytest.approx(
+            exact_reliability(qg)["t"]
+        )
+
+    def test_branching_tree(self):
+        graph = ProbabilisticEntityGraph()
+        graph.add_node("s")
+        for name, p in (("a", 0.9), ("b", 0.7), ("t1", 0.8), ("t2", 0.6)):
+            graph.add_node(name, p=p)
+        graph.add_edge("s", "a", q=0.5)
+        graph.add_edge("s", "b", q=0.4)
+        graph.add_edge("a", "t1", q=0.9)
+        graph.add_edge("b", "t2", q=0.8)
+        qg = QueryGraph(graph, "s", ["t1", "t2"])
+        exact = exact_reliability(qg)
+        propagated = propagation_scores(qg)
+        for target in qg.targets:
+            assert propagated[target] == pytest.approx(exact[target])
+
+
+class TestDominance:
+    def test_propagation_upper_bounds_reliability(self, wheatstone, serial_parallel):
+        for qg in (wheatstone, serial_parallel):
+            exact = exact_reliability(qg)["u"]
+            assert propagation_scores(qg)["u"] >= exact - 1e-12
+
+
+class TestIteration:
+    def test_fixed_iterations_match_convergence_on_dag(self, serial_parallel):
+        depth = serial_parallel.graph.longest_path_length_from("s")
+        fixed = propagation_scores(serial_parallel, iterations=depth)
+        converged = propagation_scores(serial_parallel)
+        assert fixed["u"] == pytest.approx(converged["u"])
+
+    def test_too_few_iterations_underestimate(self, serial_parallel):
+        early = propagation_scores(serial_parallel, iterations=1)
+        assert early["u"] == 0.0  # relevance has not reached u yet
+
+    def test_cycles_converge(self):
+        graph = ProbabilisticEntityGraph()
+        graph.add_node("s")
+        graph.add_node("a", p=0.9)
+        graph.add_node("b", p=0.9)
+        graph.add_node("t")
+        graph.add_edge("s", "a", q=0.8)
+        graph.add_edge("a", "b", q=0.7)
+        graph.add_edge("b", "a", q=0.7)  # cycle
+        graph.add_edge("b", "t", q=0.6)
+        qg = QueryGraph(graph, "s", ["t"])
+        scores = propagation_scores(qg)
+        assert 0.0 < scores["t"] <= 1.0
+
+    def test_non_convergence_raises(self, wheatstone):
+        with pytest.raises(RankingError):
+            propagation_scores(wheatstone, max_iterations=1, tolerance=0.0)
+
+    def test_scores_bounded_by_one(self, scenario3_small):
+        scores = propagation_scores(scenario3_small[0].query_graph)
+        assert all(0.0 <= value <= 1.0 for value in scores.values())

@@ -1,0 +1,85 @@
+"""Tests for the unified ranker and RankedResult."""
+
+import pytest
+
+from repro.core.ranker import ALIASES, METHODS, RankedResult, rank, resolve_method
+from repro.errors import GraphError, RankingError
+
+
+class TestResolveMethod:
+    @pytest.mark.parametrize("alias,canonical", list(ALIASES.items()))
+    def test_aliases(self, alias, canonical):
+        assert resolve_method(alias) == canonical
+
+    def test_case_and_dash_insensitive(self):
+        assert resolve_method("In-Edge") == "in_edge"
+        assert resolve_method("RELIABILITY") == "reliability"
+
+    def test_unknown_raises(self):
+        with pytest.raises(RankingError):
+            resolve_method("pagerank")
+
+
+class TestRank:
+    @pytest.mark.parametrize("method", sorted(METHODS))
+    def test_all_methods_produce_target_scores(self, method, two_target_dag):
+        result = rank(two_target_dag, method)
+        assert set(result.scores) == set(two_target_dag.targets)
+
+    def test_options_forwarded(self, two_target_dag):
+        result = rank(two_target_dag, "reliability", strategy="exact")
+        from repro.core.exact import exact_reliability
+
+        assert result.scores == pytest.approx(exact_reliability(two_target_dag))
+
+    def test_random_method_ties_everything(self, two_target_dag):
+        result = rank(two_target_dag, "random")
+        assert len(result.tie_groups()) == 1
+
+    def test_seeded_mc_reproducible(self, two_target_dag):
+        a = rank(two_target_dag, "reliability", strategy="mc", trials=500, rng=3)
+        b = rank(two_target_dag, "reliability", strategy="mc", trials=500, rng=3)
+        assert a.scores == b.scores
+
+
+class TestRankedResult:
+    @pytest.fixture
+    def result(self) -> RankedResult:
+        return RankedResult(
+            method="test",
+            scores={"a": 0.9, "b": 0.5, "c": 0.5, "d": 0.1},
+        )
+
+    def test_ordered_descending(self, result):
+        assert [node for node, _ in result.ordered()] == ["a", "b", "c", "d"]
+
+    def test_top(self, result):
+        assert [node for node, _ in result.top(2)] == ["a", "b"]
+
+    def test_tie_groups(self, result):
+        assert result.tie_groups() == [["a"], ["b", "c"], ["d"]]
+
+    def test_rank_interval_unique(self, result):
+        assert result.rank_interval("a") == (1, 1)
+        assert result.rank_interval("d") == (4, 4)
+
+    def test_rank_interval_tied(self, result):
+        assert result.rank_interval("b") == (2, 3)
+        assert result.rank_interval("c") == (2, 3)
+
+    def test_expected_rank_is_midpoint(self, result):
+        assert result.expected_rank("b") == 2.5
+
+    def test_unknown_node_raises(self, result):
+        with pytest.raises(GraphError):
+            result.rank_interval("ghost")
+
+    def test_len(self, result):
+        assert len(result) == 4
+
+    def test_interval_consistency_with_metrics_module(self, result):
+        from repro.metrics.ranking import rank_intervals
+
+        independent = rank_intervals(result.scores)
+        for node in result.scores:
+            assert independent[node] == result.rank_interval(node)

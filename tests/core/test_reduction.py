@@ -1,0 +1,145 @@
+"""Tests for the graph reduction rules."""
+
+import pytest
+
+from repro.core.exact import brute_force_reliability, exact_reliability
+from repro.core.graph import ProbabilisticEntityGraph, QueryGraph
+from repro.core.reduction import reduce_graph
+
+
+class TestRules:
+    def test_serial_collapse(self):
+        graph = ProbabilisticEntityGraph()
+        graph.add_node("s")
+        graph.add_node("m", p=0.9)
+        graph.add_node("t")
+        graph.add_edge("s", "m", q=0.8)
+        graph.add_edge("m", "t", q=0.7)
+        reduced, stats = reduce_graph(QueryGraph(graph, "s", ["t"]))
+        assert reduced.graph.num_nodes == 2
+        (edge,) = reduced.graph.edges()
+        assert reduced.graph.q(edge.key) == pytest.approx(0.8 * 0.9 * 0.7)
+        assert stats.serial_collapses == 1
+
+    def test_parallel_merge(self):
+        graph = ProbabilisticEntityGraph()
+        graph.add_node("s")
+        graph.add_node("t")
+        graph.add_edge("s", "t", q=0.5)
+        graph.add_edge("s", "t", q=0.5)
+        reduced, stats = reduce_graph(QueryGraph(graph, "s", ["t"]))
+        (edge,) = reduced.graph.edges()
+        assert reduced.graph.q(edge.key) == pytest.approx(0.75)
+        assert stats.parallel_merges == 1
+
+    def test_sink_deletion_cascades(self):
+        graph = ProbabilisticEntityGraph()
+        for node in ("s", "t", "d1", "d2"):
+            graph.add_node(node)
+        graph.add_edge("s", "t")
+        graph.add_edge("s", "d1")
+        graph.add_edge("d1", "d2")  # chain of dead ends
+        reduced, stats = reduce_graph(QueryGraph(graph, "s", ["t"]))
+        assert set(reduced.graph.nodes()) == {"s", "t"}
+        assert stats.sinks_deleted == 2
+
+    def test_unreachable_deletion(self):
+        graph = ProbabilisticEntityGraph()
+        for node in ("s", "t", "island"):
+            graph.add_node(node)
+        graph.add_edge("s", "t")
+        graph.add_edge("island", "t")
+        reduced, stats = reduce_graph(QueryGraph(graph, "s", ["t"]))
+        assert not reduced.graph.has_node("island")
+        assert stats.unreachable_deleted == 1
+
+    def test_unreachable_kept_when_disabled(self):
+        graph = ProbabilisticEntityGraph()
+        for node in ("s", "t", "island"):
+            graph.add_node(node)
+        graph.add_edge("s", "t")
+        graph.add_edge("island", "t")
+        reduced, _ = reduce_graph(QueryGraph(graph, "s", ["t"]), remove_unreachable=False)
+        assert reduced.graph.has_node("island")
+
+    def test_self_loops_dropped(self):
+        graph = ProbabilisticEntityGraph()
+        graph.add_node("s")
+        graph.add_node("t")
+        graph.add_edge("s", "t")
+        graph.add_edge("s", "s", q=0.5)
+        reduced, stats = reduce_graph(QueryGraph(graph, "s", ["t"]))
+        assert stats.self_loops_deleted == 1
+        assert reduced.graph.num_edges == 1
+
+    def test_serial_collapse_skips_targets_and_source(self, serial_parallel):
+        reduced, _ = reduce_graph(serial_parallel)
+        assert reduced.graph.has_node("s")
+        assert reduced.graph.has_node("u")
+
+    def test_fully_reduces_series_parallel(self, serial_parallel):
+        reduced, _ = reduce_graph(serial_parallel)
+        # b and c collapse, the two parallel a->u edges merge, then a
+        # collapses: s -> u single edge of probability 0.5 * 1 = 0.5
+        assert reduced.graph.num_nodes == 2
+        (edge,) = reduced.graph.edges()
+        assert reduced.graph.q(edge.key) == pytest.approx(0.5)
+
+    def test_wheatstone_is_fixed_point(self, wheatstone):
+        reduced, stats = reduce_graph(wheatstone)
+        assert reduced.graph.num_nodes == 4
+        assert reduced.graph.num_edges == 5
+        assert stats.combined_reduction == 0.0
+
+    def test_unreachable_target_survives_isolated(self):
+        graph = ProbabilisticEntityGraph()
+        graph.add_node("s")
+        graph.add_node("t", p=0.4)
+        qg = QueryGraph(graph, "s", ["t"])
+        reduced, _ = reduce_graph(qg)
+        assert reduced.graph.has_node("t")
+        assert reduced.graph.p("t") == 0.4
+
+
+class TestPreservation:
+    def test_reduction_preserves_reliability(self, two_target_dag):
+        before = exact_reliability(two_target_dag)
+        reduced, _ = reduce_graph(two_target_dag)
+        after = exact_reliability(reduced)
+        for target in two_target_dag.targets:
+            assert after[target] == pytest.approx(before[target], abs=1e-12)
+
+    def test_reduction_preserves_on_scenario_graph(self, scenario1_small):
+        case = scenario1_small[2]  # AGPAT2: smallest of the three
+        qg = case.query_graph
+        reduced, stats = reduce_graph(qg)
+        assert stats.combined_reduction > 0.5
+        # spot-check three answers via brute force on their subgraphs
+        for target in list(qg.targets)[:3]:
+            before = exact_reliability(qg, target)[target]
+            after = exact_reliability(reduced, target)[target]
+            assert after == pytest.approx(before, abs=1e-9)
+
+    def test_input_graph_untouched(self, serial_parallel):
+        nodes_before = serial_parallel.graph.num_nodes
+        reduce_graph(serial_parallel)
+        assert serial_parallel.graph.num_nodes == nodes_before
+
+
+class TestStats:
+    def test_counts_and_ratios(self, serial_parallel):
+        _, stats = reduce_graph(serial_parallel)
+        assert stats.nodes_before == 5
+        assert stats.edges_before == 5
+        assert stats.nodes_after == 2
+        assert stats.edges_after == 1
+        assert stats.node_reduction == pytest.approx(0.6)
+        assert stats.combined_reduction == pytest.approx(1 - 3 / 10)
+
+    def test_empty_ratios_are_zero(self):
+        from repro.core.reduction import ReductionStats
+
+        stats = ReductionStats()
+        assert stats.node_reduction == 0.0
+        assert stats.edge_reduction == 0.0
+        assert stats.combined_reduction == 0.0

@@ -1,0 +1,58 @@
+"""Tests for the reliability front door (strategy dispatch)."""
+
+import pytest
+
+from repro.core.reliability import reliability_scores
+from repro.errors import RankingError
+
+
+class TestStrategies:
+    def test_exact_strategy(self, wheatstone):
+        scores = reliability_scores(wheatstone, strategy="exact")
+        assert scores["u"] == pytest.approx(0.46875)
+
+    def test_closed_strategy(self, wheatstone):
+        scores = reliability_scores(wheatstone, strategy="closed")
+        assert scores["u"] == pytest.approx(0.46875)
+
+    def test_mc_strategy_approximates(self, wheatstone):
+        scores = reliability_scores(
+            wheatstone, strategy="mc", trials=30_000, rng=1
+        )
+        assert scores["u"] == pytest.approx(0.46875, abs=0.02)
+
+    def test_naive_mc_strategy(self, serial_parallel):
+        scores = reliability_scores(
+            serial_parallel, strategy="naive-mc", trials=30_000, rng=2
+        )
+        assert scores["u"] == pytest.approx(0.5, abs=0.02)
+
+    def test_auto_reduces_then_simulates(self, serial_parallel):
+        # after reduction the graph is a single certain-or-not edge, so
+        # the MC estimate over it is exact in distribution; with the
+        # fixed seed we only check it is a valid probability near 0.5
+        scores = reliability_scores(serial_parallel, trials=10_000, rng=3)
+        assert scores["u"] == pytest.approx(0.5, abs=0.02)
+
+    def test_reduce_flag_does_not_change_estimates(self, two_target_dag):
+        reduced = reliability_scores(
+            two_target_dag, strategy="mc", trials=30_000, reduce=True, rng=4
+        )
+        raw = reliability_scores(
+            two_target_dag, strategy="mc", trials=30_000, reduce=False, rng=4
+        )
+        for target in two_target_dag.targets:
+            assert reduced[target] == pytest.approx(raw[target], abs=0.03)
+
+    def test_unknown_strategy_raises(self, wheatstone):
+        with pytest.raises(RankingError):
+            reliability_scores(wheatstone, strategy="magic")
+
+    def test_strategies_agree_on_scenario_case(self, scenario3_small):
+        qg = scenario3_small[2].query_graph  # NMC0498, tiny
+        closed = reliability_scores(qg, strategy="closed")
+        exact = reliability_scores(qg, strategy="exact")
+        mc = reliability_scores(qg, strategy="mc", trials=20_000, rng=5)
+        for target in qg.targets:
+            assert closed[target] == pytest.approx(exact[target], abs=1e-9)
+            assert mc[target] == pytest.approx(exact[target], abs=0.025)

@@ -1,0 +1,92 @@
+"""Integration tests: the experiment regenerators reproduce the paper's
+qualitative results (the 'shape' claims)."""
+
+import pytest
+
+from repro.experiments import fig4_topologies, table1_scenario1
+from repro.experiments.fig2_reducibility import compute as fig2_compute
+from repro.experiments.runner import evaluate_scenario_ap, format_table
+from repro.experiments.thm31_bounds import empirical_error
+from repro.core.bounds import required_trials
+
+
+class TestFig4:
+    def test_reference_values(self):
+        data = fig4_topologies.compute()
+        sp = data["serial_parallel"]
+        assert sp["reliability"] == pytest.approx(0.5)
+        assert sp["propagation"] == pytest.approx(0.75)
+        assert sp["diffusion"] == pytest.approx(1 / 9, abs=1e-6)
+        assert sp["in_edge"] == 2.0
+        assert sp["path_count"] == 2.0
+        wb = data["wheatstone"]
+        assert wb["reliability"] == pytest.approx(0.46875)
+        assert wb["propagation"] == pytest.approx(0.484375)
+        assert wb["in_edge"] == 2.0
+        assert wb["path_count"] == 3.0
+
+
+class TestFig2:
+    def test_all_verdicts_match_expectations(self):
+        for label, observed, expected, _ in fig2_compute():
+            assert observed == expected, label
+
+
+class TestTable1:
+    def test_counts_are_generation_invariants(self):
+        rows = table1_scenario1.compute(limit=3)
+        assert [(r.protein, r.n_gold, r.n_answers) for r in rows] == [
+            ("ABCC8", 13, 97),
+            ("ABCD1", 15, 79),
+            ("AGPAT2", 10, 16),
+        ]
+
+    def test_graph_sizes_in_paper_ballpark(self):
+        rows = table1_scenario1.compute(limit=3)
+        for row in rows:
+            assert 150 < row.nodes < 900
+            assert 200 < row.edges < 1300
+
+
+class TestFig5Shapes:
+    """The paper's three headline claims, on scenario subsets (fast)."""
+
+    def test_scenario2_probabilistic_beats_deterministic(self, scenario2_cases):
+        scores = {
+            s.method: s.mean_ap for s in evaluate_scenario_ap(scenario2_cases)
+        }
+        assert scores["diffusion"] > scores["in_edge"] + 0.2
+        assert scores["reliability"] > scores["in_edge"] + 0.15
+        assert scores["reliability"] >= scores["propagation"]
+        assert scores["in_edge"] == pytest.approx(scores["random"], abs=0.15)
+
+    def test_scenario3_reliability_leads(self, scenario3_small):
+        scores = {
+            s.method: s.mean_ap for s in evaluate_scenario_ap(scenario3_small)
+        }
+        assert scores["reliability"] > scores["random"] + 0.2
+        assert scores["reliability"] >= scores["in_edge"] - 0.05
+
+    def test_scenario1_everything_beats_random(self, scenario1_small):
+        scores = {
+            s.method: s.mean_ap for s in evaluate_scenario_ap(scenario1_small)
+        }
+        for method in ("reliability", "propagation", "in_edge", "path_count"):
+            assert scores[method] > scores["random"] + 0.25
+
+
+class TestThm31:
+    def test_empirical_error_within_bound(self):
+        epsilon, delta = 0.05, 0.1
+        trials = required_trials(epsilon, delta)
+        observed = empirical_error(epsilon, trials, repetitions=300, rng=0)
+        assert observed <= delta
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        table = format_table(("a", "bb"), [(1, 22), (333, 4)], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("a")
+        assert len(lines) == 5

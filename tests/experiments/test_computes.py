@@ -1,0 +1,114 @@
+"""Fast coverage of every experiment module's compute() entry point."""
+
+import pytest
+
+from repro.experiments import (
+    fig1_schema,
+    fig5_scenarios,
+    fig6_sensitivity,
+    fig7_convergence,
+    fig8a_reliability_methods,
+    fig8b_ranking_methods,
+    sensitivity_oneway,
+    table2_scenario2,
+    table3_scenario3,
+    thm31_bounds,
+)
+
+
+class TestFig1:
+    def test_schema_and_catalog(self):
+        schema, catalog = fig1_schema.compute()
+        assert len(schema.relationships) == 9
+        assert len(catalog) == 11
+        assert sum(entry.n_entities for entry in catalog) == 21
+        assert sum(entry.n_relationships for entry in catalog) == 31
+
+
+class TestFig5:
+    def test_scenario_scores_structure(self):
+        scores = fig5_scenarios.compute(3, limit=2)
+        assert [s.method for s in scores] == [
+            "reliability",
+            "propagation",
+            "diffusion",
+            "in_edge",
+            "path_count",
+            "random",
+        ]
+        assert all(0.0 <= s.mean_ap <= 1.0 for s in scores)
+        assert all(len(s.per_case) == 2 for s in scores)
+
+
+class TestFig6:
+    def test_one_cell(self):
+        points = fig6_sensitivity.compute(
+            3, "propagation", repetitions=2, limit=2
+        )
+        # default + 4 sigmas + random
+        assert len(points) == 6
+        assert points[0].condition == "default"
+
+
+class TestFig7:
+    def test_ladder(self):
+        points, closed_ap, random_ap = fig7_convergence.compute(
+            trial_ladder=(1, 10, 100), repetitions=2, limit=2
+        )
+        assert [p.trials for p in points] == [1, 10, 100]
+        assert 0.0 <= random_ap <= closed_ap <= 1.0
+        # convergence: AP at 100 trials closer to closed form than at 1
+        assert abs(points[-1].mean_ap - closed_ap) <= abs(
+            points[0].mean_ap - closed_ap
+        )
+
+
+class TestFig8:
+    def test_fig8a_timings(self):
+        data = fig8a_reliability_methods.compute(limit=1)
+        timings = data["timings"]
+        assert set(timings) == {"M1", "M2", "C", "R&M1", "R&M2", "R&C"}
+        assert all(t.mean_ms > 0 for t in timings.values())
+        assert 0.0 < data["combined_reduction"] < 1.0
+        # MC at 10k trials must cost more than at 1k on the same graph
+        assert timings["M1"].mean_ms > timings["M2"].mean_ms
+
+    def test_fig8b_timings(self):
+        timings = fig8b_ranking_methods.compute(limit=1)
+        by_method = {t.method: t.mean_ms for t in timings}
+        assert by_method["in_edge"] < by_method["reliability"]
+
+
+class TestTables:
+    def test_table2_rows(self):
+        rows = table2_scenario2.compute()
+        assert len(rows) == 7
+        for row in rows:
+            assert row.ranks["random"][0] == 1
+            for method in ("reliability", "diffusion"):
+                lo, hi = row.ranks[method]
+                assert 1 <= lo <= hi
+
+    def test_table3_rows(self):
+        rows = table3_scenario3.compute()
+        assert len(rows) == 11
+        assert rows[0].protein == "DP0843"
+        assert rows[0].ranks["random"] == (1, 47)
+
+
+class TestThm31:
+    def test_grid(self):
+        rows = thm31_bounds.compute(
+            grid=((0.05, 0.1),), repetitions=100, seed=0
+        )
+        (row,) = rows
+        assert row.trials > 0
+        assert row.empirical_error <= 0.1
+
+
+class TestOneway:
+    def test_components_present(self):
+        results = sensitivity_oneway.compute(
+            scenario=3, sigma=1.0, repetitions=2, limit=2
+        )
+        assert set(results) == {"nodes", "edges", "all"}

@@ -1,0 +1,52 @@
+"""Tests for the Fig 9 evidence-shape artefact and the experiments CLI."""
+
+import pytest
+
+from repro.experiments.__main__ import ARTEFACTS, main as cli_main
+from repro.experiments.fig9_evidence_shape import compute as fig9_compute
+
+
+class TestFig9:
+    def test_scenario2_inversion(self):
+        """The core of Fig 9: less-known relevant answers have *fewer*
+        paths than decoys but a far stronger best path."""
+        shapes = fig9_compute(2)
+        relevant, other = shapes["relevant"], shapes["other"]
+        assert relevant.mean_paths < other.mean_paths
+        assert relevant.mean_best_path > other.mean_best_path + 0.3
+
+    def test_scenario1_redundancy(self):
+        shapes = fig9_compute(1, limit=4)
+        relevant, other = shapes["relevant"], shapes["other"]
+        assert relevant.mean_paths > other.mean_paths
+
+    def test_counts_partition_answers(self):
+        shapes = fig9_compute(3, limit=3)
+        total = shapes["relevant"].n_answers + shapes["other"].n_answers
+        expected = 47 + 18 + 5  # Table 3 sizes of the first three cases
+        assert total == expected
+        assert shapes["relevant"].n_answers == 3
+
+
+class TestCli:
+    def test_list_flag(self, capsys):
+        assert cli_main(["--list"]) == 0
+        output = capsys.readouterr().out
+        for artefact in ("fig4", "fig5", "table2", "star", "fig9"):
+            assert artefact in output
+
+    def test_unknown_artefact_errors(self):
+        with pytest.raises(SystemExit):
+            cli_main(["figZZ"])
+
+    def test_single_artefact_runs(self, capsys):
+        assert cli_main(["fig4"]) == 0
+        output = capsys.readouterr().out
+        assert "wheatstone" in output
+
+    def test_registry_covers_paper_artefacts(self):
+        for artefact in (
+            "fig1", "fig2", "fig4", "table1", "fig5", "table2", "table3",
+            "fig6", "fig7", "fig8a", "fig8b", "thm31",
+        ):
+            assert artefact in ARTEFACTS

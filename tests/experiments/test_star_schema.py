@@ -1,0 +1,50 @@
+"""Tests for the §5 divergent star-schema extension."""
+
+import pytest
+
+from repro.experiments.star_schema import build_star_cases, compute
+
+
+@pytest.fixture(scope="module")
+def star_cases():
+    return build_star_cases(seed=0, limit=4)
+
+
+class TestStarStructure:
+    def test_every_answer_has_exactly_one_in_edge(self, star_cases):
+        for case in star_cases:
+            graph = case.query_graph.graph
+            for target in case.query_graph.targets:
+                assert graph.in_degree(target) == 1
+
+    def test_every_answer_has_exactly_one_path(self, star_cases):
+        from repro.core.deterministic import path_count_scores
+
+        for case in star_cases:
+            counts = path_count_scores(case.query_graph)
+            assert set(counts.values()) == {1.0}
+
+    def test_no_blast_pool(self, star_cases):
+        graph = star_cases[0].query_graph.graph
+        blast_nodes = [
+            node
+            for node in graph.nodes()
+            if graph.data(node).entity_set == "BlastHit"
+        ]
+        assert blast_nodes == []
+
+
+class TestStarShape:
+    def test_deterministic_methods_equal_random(self, star_cases):
+        from repro.experiments.runner import evaluate_scenario_ap
+
+        scores = {s.method: s.mean_ap for s in evaluate_scenario_ap(star_cases)}
+        assert scores["in_edge"] == pytest.approx(scores["random"], abs=1e-9)
+        assert scores["path_count"] == pytest.approx(scores["random"], abs=1e-9)
+
+    def test_probabilistic_methods_beat_random(self, star_cases):
+        from repro.experiments.runner import evaluate_scenario_ap
+
+        scores = {s.method: s.mean_ap for s in evaluate_scenario_ap(star_cases)}
+        for method in ("reliability", "propagation", "diffusion"):
+            assert scores[method] > scores["random"] + 0.3

@@ -1,0 +1,143 @@
+"""Failure injection: how the integration layer behaves on bad inputs.
+
+Real wrappers misbehave — transformation functions return garbage, link
+tables reference records that do not exist, cross-references form
+cycles. The builder must fail loudly on semantic garbage (probabilities
+outside [0, 1]) and degrade gracefully on structural noise (dangling
+links, cycles)."""
+
+import pytest
+
+from repro.core.ranker import rank
+from repro.errors import ValidationError
+from repro.integration import (
+    DataSource,
+    EntityBinding,
+    ExploratoryQuery,
+    Mediator,
+    RelationshipBinding,
+)
+from repro.storage import Column, ColumnType, Database
+
+
+def _make_source(pr=None, qr=None, rows=None):
+    db = Database("inject")
+    db.create_table(
+        "things",
+        columns=[
+            Column("tid", ColumnType.TEXT),
+            Column("score", ColumnType.FLOAT),
+        ],
+        primary_key=["tid"],
+    )
+    db.create_table(
+        "links",
+        columns=[
+            Column("src", ColumnType.TEXT),
+            Column("dst", ColumnType.TEXT),
+            Column("weight", ColumnType.FLOAT),
+        ],
+    )
+    db.table("links").create_index("by_src", ["src"])
+    db.insert("things", {"tid": "A", "score": 0.9})
+    db.insert("things", {"tid": "B", "score": 0.8})
+    for row in rows or [{"src": "A", "dst": "B", "weight": 0.5}]:
+        db.insert("links", row)
+    return DataSource(
+        name="Inject",
+        database=db,
+        entities=(
+            EntityBinding(
+                "Thing", "things", "tid", pr=pr or (lambda row: row["score"])
+            ),
+        ),
+        relationships=(
+            RelationshipBinding(
+                relationship="link",
+                table="links",
+                source_entity="Thing",
+                source_column="src",
+                target_entity="Thing",
+                target_column="dst",
+                qr=qr or (lambda row: row["weight"]),
+            ),
+        ),
+    )
+
+
+def _query(mediator):
+    return ExploratoryQuery("Thing", "tid", "A", outputs=("Thing",)).execute(
+        mediator
+    )
+
+
+class TestSemanticGarbage:
+    def test_pr_outside_unit_interval_raises(self):
+        mediator = Mediator()
+        mediator.register(_make_source(pr=lambda row: 1.5))
+        with pytest.raises(ValidationError):
+            _query(mediator)
+
+    def test_qr_outside_unit_interval_raises(self):
+        mediator = Mediator()
+        mediator.register(_make_source(qr=lambda row: -0.1))
+        with pytest.raises(ValidationError):
+            _query(mediator)
+
+    def test_pr_raising_propagates_with_context(self):
+        def broken(row):
+            raise KeyError("missing attribute")
+
+        mediator = Mediator()
+        mediator.register(_make_source(pr=broken))
+        with pytest.raises(KeyError):
+            _query(mediator)
+
+
+class TestStructuralNoise:
+    def test_dangling_links_are_counted_not_fatal(self):
+        mediator = Mediator()
+        mediator.register(
+            _make_source(
+                rows=[
+                    {"src": "A", "dst": "B", "weight": 0.5},
+                    {"src": "A", "dst": "GHOST", "weight": 0.9},
+                ]
+            )
+        )
+        qg, stats = _query(mediator)
+        assert stats.dangling_links == 1
+        assert len(qg.targets) == 2  # A (seed, also a Thing) and B
+
+    def test_cyclic_cross_references_terminate(self):
+        mediator = Mediator()
+        mediator.register(
+            _make_source(
+                rows=[
+                    {"src": "A", "dst": "B", "weight": 0.5},
+                    {"src": "B", "dst": "A", "weight": 0.5},
+                ]
+            )
+        )
+        qg, _ = _query(mediator)
+        # the graph has a cycle; connectivity-based rankers still work
+        scores = rank(qg, "reliability", strategy="mc", trials=2000, rng=0).scores
+        assert set(scores) == set(qg.targets)
+        propagation = rank(qg, "propagation").scores
+        assert all(0.0 <= v <= 1.0 for v in propagation.values())
+
+    def test_self_referencing_link_is_harmless(self):
+        mediator = Mediator()
+        mediator.register(
+            _make_source(
+                rows=[
+                    {"src": "A", "dst": "A", "weight": 0.9},
+                    {"src": "A", "dst": "B", "weight": 0.5},
+                ]
+            )
+        )
+        qg, _ = _query(mediator)
+        scores = rank(qg, "reliability", strategy="exact").scores
+        node_b = [t for t in qg.targets if t[1] == "B"][0]
+        # self-loop contributes nothing to reaching B
+        assert scores[node_b] == pytest.approx(0.9 * 0.5 * 0.8)

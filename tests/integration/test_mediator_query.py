@@ -1,0 +1,180 @@
+"""Tests for the mediator, the graph builder and exploratory queries,
+on a small hand-built two-source setup."""
+
+import pytest
+
+from repro.core.exact import exact_reliability
+from repro.errors import QueryError, SchemaError
+from repro.integration import (
+    ConfidenceRegistry,
+    DataSource,
+    EntityBinding,
+    ExploratoryQuery,
+    Mediator,
+    RelationshipBinding,
+)
+from repro.integration.builder import QUERY_ENTITY_SET, entity_node_id
+from repro.storage import Column, ColumnType, Database
+
+
+def make_left_source() -> DataSource:
+    """Items and their links to parts; one link dangles."""
+    db = Database("left")
+    db.create_table(
+        "items",
+        columns=[
+            Column("item_id", ColumnType.TEXT),
+            Column("grade", ColumnType.FLOAT),
+        ],
+        primary_key=["item_id"],
+    )
+    db.create_table(
+        "item_part",
+        columns=[
+            Column("item_id", ColumnType.TEXT),
+            Column("part_id", ColumnType.TEXT),
+            Column("weight", ColumnType.FLOAT),
+        ],
+    )
+    db.table("item_part").create_index("by_item", ["item_id"])
+    db.insert("items", {"item_id": "I1", "grade": 0.8})
+    db.insert("items", {"item_id": "I2", "grade": 0.6})
+    db.insert("item_part", {"item_id": "I1", "part_id": "P1", "weight": 0.9})
+    db.insert("item_part", {"item_id": "I1", "part_id": "P2", "weight": 0.5})
+    db.insert("item_part", {"item_id": "I1", "part_id": "GHOST", "weight": 0.5})
+    return DataSource(
+        name="Left",
+        database=db,
+        entities=(
+            EntityBinding(
+                "Item", "items", "item_id", pr=lambda row: row["grade"]
+            ),
+        ),
+        relationships=(
+            RelationshipBinding(
+                relationship="has_part",
+                table="item_part",
+                source_entity="Item",
+                source_column="item_id",
+                target_entity="Part",
+                target_column="part_id",
+                qr=lambda row: row["weight"],
+            ),
+        ),
+    )
+
+
+def make_right_source() -> DataSource:
+    db = Database("right")
+    db.create_table(
+        "parts",
+        columns=[Column("part_id", ColumnType.TEXT)],
+        primary_key=["part_id"],
+    )
+    db.insert("parts", {"part_id": "P1"})
+    db.insert("parts", {"part_id": "P2"})
+    return DataSource(
+        name="Right",
+        database=db,
+        entities=(EntityBinding("Part", "parts", "part_id"),),
+    )
+
+
+@pytest.fixture
+def mediator() -> Mediator:
+    confidences = ConfidenceRegistry()
+    confidences.set_entity_confidence("Item", 0.95)
+    confidences.set_relationship_confidence("has_part", 0.9)
+    m = Mediator(confidences=confidences)
+    m.register(make_left_source())
+    m.register(make_right_source())
+    return m
+
+
+class TestMediator:
+    def test_duplicate_source_rejected(self, mediator):
+        with pytest.raises(SchemaError):
+            mediator.register(make_left_source())
+
+    def test_duplicate_entity_provider_rejected(self, mediator):
+        other = DataSource(
+            name="Other",
+            database=make_right_source().database,
+            entities=(EntityBinding("Part", "parts", "part_id"),),
+        )
+        with pytest.raises(SchemaError):
+            mediator.register(other)
+
+    def test_entity_record_lookup(self, mediator):
+        record = mediator.entity_record("Item", "I1")
+        assert record["grade"] == 0.8
+        assert mediator.entity_record("Item", "IX") is None
+
+    def test_unprovided_entity_set_raises(self, mediator):
+        with pytest.raises(QueryError):
+            mediator.entity_binding("Mystery")
+
+    def test_find_records_by_attribute(self, mediator):
+        rows = mediator.find_records("Item", "grade", 0.6)
+        assert [row["item_id"] for row in rows] == ["I2"]
+
+    def test_find_records_unknown_attribute(self, mediator):
+        with pytest.raises(QueryError):
+            mediator.find_records("Item", "colour", "red")
+
+
+class TestExploratoryQuery:
+    def test_graph_probabilities_are_products(self, mediator):
+        query = ExploratoryQuery("Item", "item_id", "I1", outputs=("Part",))
+        qg, stats = query.execute(mediator)
+        item_node = entity_node_id("Item", "I1")
+        # p = ps * pr = 0.95 * 0.8
+        assert qg.graph.p(item_node) == pytest.approx(0.95 * 0.8)
+        # q = qs * qr = 0.9 * 0.9 on the strong link
+        part_node = entity_node_id("Part", "P1")
+        (edge,) = [
+            e for e in qg.graph.in_edges(part_node) if e.source == item_node
+        ]
+        assert qg.graph.q(edge.key) == pytest.approx(0.9 * 0.9)
+
+    def test_query_node_is_source(self, mediator):
+        query = ExploratoryQuery("Item", "item_id", "I1", outputs=("Part",))
+        qg, _ = query.execute(mediator)
+        assert qg.source == entity_node_id(QUERY_ENTITY_SET, "I1")
+        assert qg.graph.p(qg.source) == 1.0
+
+    def test_answer_set_is_output_entities(self, mediator):
+        query = ExploratoryQuery("Item", "item_id", "I1", outputs=("Part",))
+        qg, _ = query.execute(mediator)
+        assert set(qg.targets) == {
+            entity_node_id("Part", "P1"),
+            entity_node_id("Part", "P2"),
+        }
+
+    def test_dangling_links_counted_and_skipped(self, mediator):
+        query = ExploratoryQuery("Item", "item_id", "I1", outputs=("Part",))
+        qg, stats = query.execute(mediator)
+        assert stats.dangling_links == 1
+        assert not qg.graph.has_node(entity_node_id("Part", "GHOST"))
+
+    def test_no_match_raises(self, mediator):
+        query = ExploratoryQuery("Item", "item_id", "IX", outputs=("Part",))
+        with pytest.raises(QueryError):
+            query.execute(mediator)
+
+    def test_no_reachable_output_raises(self, mediator):
+        query = ExploratoryQuery("Item", "item_id", "I2", outputs=("Part",))
+        with pytest.raises(QueryError):
+            query.execute(mediator)
+
+    def test_empty_outputs_rejected(self):
+        with pytest.raises(QueryError):
+            ExploratoryQuery("Item", "item_id", "I1", outputs=())
+
+    def test_resulting_graph_is_rankable(self, mediator):
+        query = ExploratoryQuery("Item", "item_id", "I1", outputs=("Part",))
+        qg, _ = query.execute(mediator)
+        scores = exact_reliability(qg)
+        p1 = entity_node_id("Part", "P1")
+        # query -> item (q=1, p=.76) -> part (q=.81, p=1)
+        assert scores[p1] == pytest.approx(0.95 * 0.8 * 0.9 * 0.9)

@@ -1,0 +1,109 @@
+"""Tests for the uncertainty-to-probability transformations."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.integration.probability import (
+    AMIGO_EVIDENCE_PR,
+    ENTREZ_GENE_STATUS_PR,
+    ConfidenceRegistry,
+    amigo_evidence_pr,
+    entrez_gene_status_pr,
+    evalue_to_probability,
+    probability_to_evalue,
+)
+
+
+class TestStatusCodes:
+    def test_paper_table_values(self):
+        assert entrez_gene_status_pr("Reviewed") == 1.0
+        assert entrez_gene_status_pr("Validated") == 0.8
+        assert entrez_gene_status_pr("Provisional") == 0.7
+        assert entrez_gene_status_pr("Predicted") == 0.4
+        assert entrez_gene_status_pr("Model") == 0.3
+        assert entrez_gene_status_pr("Inferred") == 0.2
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(ValidationError):
+            entrez_gene_status_pr("Guessed")
+
+    def test_table_is_read_only(self):
+        with pytest.raises(TypeError):
+            ENTREZ_GENE_STATUS_PR["Reviewed"] = 0.5
+
+
+class TestEvidenceCodes:
+    @pytest.mark.parametrize(
+        "code,expected",
+        [
+            ("IDA", 1.0), ("TAS", 1.0), ("IGI", 0.9), ("IMP", 0.9),
+            ("IPI", 0.9), ("IEP", 0.7), ("ISS", 0.7), ("RCA", 0.7),
+            ("IC", 0.6), ("NAS", 0.5), ("IEA", 0.3), ("ND", 0.2), ("NR", 0.2),
+        ],
+    )
+    def test_paper_table_values(self, code, expected):
+        assert amigo_evidence_pr(code) == expected
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(ValidationError):
+            amigo_evidence_pr("XYZ")
+
+    def test_table_is_read_only(self):
+        with pytest.raises(TypeError):
+            AMIGO_EVIDENCE_PR["IEA"] = 0.9
+
+
+class TestEvalueTransform:
+    def test_formula(self):
+        # qr = -log10(e) / 300
+        assert evalue_to_probability(1e-30) == pytest.approx(0.1)
+        assert evalue_to_probability(1e-150) == pytest.approx(0.5)
+
+    def test_clamping(self):
+        assert evalue_to_probability(1.0) == 0.0
+        assert evalue_to_probability(10.0) == 0.0
+        assert evalue_to_probability(1e-400) == 1.0
+
+    def test_blast_zero_means_perfect(self):
+        assert evalue_to_probability(0.0) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            evalue_to_probability(-1.0)
+
+    @pytest.mark.parametrize("strength", [0.1, 0.37, 0.5, 0.93, 1.0])
+    def test_round_trip(self, strength):
+        assert evalue_to_probability(
+            probability_to_evalue(strength)
+        ) == pytest.approx(strength)
+
+    def test_monotone_decreasing_in_evalue(self):
+        evalues = [1e-300, 1e-200, 1e-100, 1e-10, 1e-1]
+        values = [evalue_to_probability(e) for e in evalues]
+        assert values == sorted(values, reverse=True)
+
+
+class TestConfidenceRegistry:
+    def test_defaults_to_full_confidence(self):
+        registry = ConfidenceRegistry()
+        assert registry.ps("anything") == 1.0
+        assert registry.qs("anything") == 1.0
+
+    def test_set_and_get(self):
+        registry = ConfidenceRegistry()
+        registry.set_entity_confidence("Pfam", 0.9)
+        registry.set_relationship_confidence("blast", 0.8)
+        assert registry.ps("Pfam") == 0.9
+        assert registry.qs("blast") == 0.8
+
+    def test_validation(self):
+        registry = ConfidenceRegistry()
+        with pytest.raises(ValidationError):
+            registry.set_entity_confidence("X", 1.5)
+
+    def test_copy_is_independent(self):
+        registry = ConfidenceRegistry()
+        registry.set_entity_confidence("X", 0.5)
+        clone = registry.copy()
+        clone.set_entity_confidence("X", 0.9)
+        assert registry.ps("X") == 0.5

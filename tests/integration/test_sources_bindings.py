@@ -1,0 +1,71 @@
+"""Tests for source binding validation."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.integration.sources import DataSource, EntityBinding, RelationshipBinding
+from repro.storage import Column, ColumnType, Database
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database("d")
+    database.create_table(
+        "things",
+        columns=[Column("tid", ColumnType.TEXT), Column("note", ColumnType.TEXT, nullable=True)],
+        primary_key=["tid"],
+    )
+    database.create_table(
+        "links",
+        columns=[Column("src", ColumnType.TEXT), Column("dst", ColumnType.TEXT)],
+    )
+    return database
+
+
+class TestBindings:
+    def test_valid_source(self, db):
+        source = DataSource(
+            name="S",
+            database=db,
+            entities=(EntityBinding("Thing", "things", "tid"),),
+            relationships=(
+                RelationshipBinding("link", "links", "Thing", "src", "Thing", "dst"),
+            ),
+        )
+        assert source.name == "S"
+
+    def test_entity_binding_unknown_key_column(self, db):
+        with pytest.raises(SchemaError):
+            DataSource(
+                name="S",
+                database=db,
+                entities=(EntityBinding("Thing", "things", "nope"),),
+            )
+
+    def test_entity_binding_unknown_table(self, db):
+        from repro.errors import StorageError
+
+        with pytest.raises(StorageError):
+            DataSource(
+                name="S",
+                database=db,
+                entities=(EntityBinding("Thing", "ghost_table", "tid"),),
+            )
+
+    def test_relationship_binding_unknown_column(self, db):
+        with pytest.raises(SchemaError):
+            DataSource(
+                name="S",
+                database=db,
+                relationships=(
+                    RelationshipBinding("link", "links", "Thing", "src", "Thing", "missing"),
+                ),
+            )
+
+    def test_default_pr_is_one(self, db):
+        binding = EntityBinding("Thing", "things", "tid")
+        assert binding.pr({"tid": "x"}) == 1.0
+
+    def test_default_qr_is_one(self, db):
+        binding = RelationshipBinding("link", "links", "Thing", "src", "Thing", "dst")
+        assert binding.qr({"src": "a", "dst": "b"}) == 1.0

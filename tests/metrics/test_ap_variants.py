@@ -1,0 +1,62 @@
+"""Tests for AP@k and interpolated AP."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.metrics import (
+    average_precision,
+    average_precision_at,
+    interpolated_average_precision,
+)
+
+
+class TestApAtK:
+    def test_full_cutoff_equals_plain_ap(self):
+        relevances = [1, 0, 1, 0, 1]
+        assert average_precision_at(relevances, 5) == pytest.approx(
+            average_precision(relevances)
+        )
+
+    def test_cutoff_drops_late_hits(self):
+        relevances = [1, 0, 0, 1]
+        # only the rank-1 hit counts at k=2, normalised by all 2 relevant
+        assert average_precision_at(relevances, 2) == pytest.approx(0.5)
+
+    def test_monotone_in_k(self):
+        relevances = [0, 1, 0, 1, 1]
+        values = [average_precision_at(relevances, k) for k in range(1, 6)]
+        assert values == sorted(values)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            average_precision_at([1, 0], 3)
+        with pytest.raises(ValidationError):
+            average_precision_at([0, 0], 1)
+
+
+class TestInterpolatedAp:
+    def test_perfect_ranking_is_one(self):
+        assert interpolated_average_precision([1, 1, 0, 0]) == pytest.approx(1.0)
+
+    def test_interpolation_uses_max_future_precision(self):
+        # hits at ranks 2 and 3: P@2 = 0.5, P@3 = 2/3; interpolated
+        # precision at every recall level <= 2/3's recall uses 2/3
+        relevances = [0, 1, 1]
+        value = interpolated_average_precision(relevances, points=11)
+        # recall levels 0..0.5 interpolate to max(0.5, 2/3) = 2/3;
+        # levels above 0.5 reach the 2/3 precision point as well
+        assert value == pytest.approx(2 / 3)
+
+    def test_interpolated_at_least_plain_ap(self):
+        for relevances in ([0, 1, 0, 1], [1, 0, 0, 1, 1], [0, 0, 1]):
+            assert interpolated_average_precision(
+                relevances
+            ) >= average_precision(relevances) - 1e-9
+
+    def test_point_count_validation(self):
+        with pytest.raises(ValidationError):
+            interpolated_average_precision([1], points=1)
+
+    def test_no_relevant_raises(self):
+        with pytest.raises(ValidationError):
+            interpolated_average_precision([0, 0])

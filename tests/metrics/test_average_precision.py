@@ -1,0 +1,146 @@
+"""Tests for AP, tie-aware expected AP, and the random baseline."""
+
+import itertools
+import statistics
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.metrics.average_precision import (
+    average_precision,
+    expected_average_precision,
+    random_average_precision,
+)
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        assert average_precision([1, 1, 0, 0]) == 1.0
+
+    def test_worst_ranking(self):
+        assert average_precision([0, 0, 1, 1]) == pytest.approx(
+            (1 / 3 + 2 / 4) / 2
+        )
+
+    def test_textbook_example(self):
+        assert average_precision([1, 0, 1]) == pytest.approx((1 + 2 / 3) / 2)
+
+    def test_single_relevant_at_rank_k(self):
+        assert average_precision([0, 0, 0, 1]) == pytest.approx(0.25)
+
+    def test_all_relevant(self):
+        assert average_precision([1, 1, 1]) == 1.0
+
+    def test_no_relevant_raises(self):
+        with pytest.raises(ValidationError):
+            average_precision([0, 0])
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValidationError):
+            average_precision([0.5, 1])
+
+
+class TestExpectedAveragePrecision:
+    def test_without_ties_equals_plain_ap(self):
+        scores = {"a": 0.9, "b": 0.7, "c": 0.5, "d": 0.3}
+        relevant = {"a", "c"}
+        expected = average_precision([1, 0, 1, 0])
+        assert expected_average_precision(scores, relevant) == pytest.approx(expected)
+
+    def test_matches_enumeration_over_permutations(self):
+        """Brute-force check of the analytic expectation: average AP over
+        every permutation of each tie group."""
+        scores = {"a": 0.9, "b": 0.5, "c": 0.5, "d": 0.5, "e": 0.1}
+        relevant = {"b", "e"}
+        tie_group = ["b", "c", "d"]
+        aps = []
+        for perm in itertools.permutations(tie_group):
+            order = ["a", *perm, "e"]
+            aps.append(average_precision([item in relevant for item in order]))
+        assert expected_average_precision(scores, relevant) == pytest.approx(
+            statistics.mean(aps)
+        )
+
+    def test_two_tie_groups_enumeration(self):
+        scores = {"a": 0.8, "b": 0.8, "c": 0.2, "d": 0.2}
+        relevant = {"a", "d"}
+        aps = []
+        for top in itertools.permutations(["a", "b"]):
+            for bottom in itertools.permutations(["c", "d"]):
+                order = [*top, *bottom]
+                aps.append(average_precision([x in relevant for x in order]))
+        assert expected_average_precision(scores, relevant) == pytest.approx(
+            statistics.mean(aps)
+        )
+
+    def test_all_tied_equals_random_ap(self):
+        scores = {i: 0.0 for i in range(30)}
+        relevant = set(range(7))
+        assert expected_average_precision(scores, relevant) == pytest.approx(
+            random_average_precision(7, 30)
+        )
+
+    def test_relevant_items_not_retrieved_are_ignored(self):
+        scores = {"a": 0.9, "b": 0.1}
+        assert expected_average_precision(scores, {"a", "ghost"}) == 1.0
+
+    def test_empty_ranking_raises(self):
+        with pytest.raises(ValidationError):
+            expected_average_precision({}, {"a"})
+
+    def test_no_relevant_retrieved_raises(self):
+        with pytest.raises(ValidationError):
+            expected_average_precision({"a": 1.0}, {"ghost"})
+
+    def test_better_placement_gives_higher_eap(self):
+        relevant = {"r"}
+        high = expected_average_precision({"r": 0.9, "x": 0.5, "y": 0.1}, relevant)
+        low = expected_average_precision({"r": 0.1, "x": 0.5, "y": 0.9}, relevant)
+        assert high > low
+
+
+class TestRandomAveragePrecision:
+    def test_definition_4_1_values(self):
+        # APrand(k=n) must be exactly 1
+        assert random_average_precision(5, 5) == pytest.approx(1.0)
+
+    def test_single_item(self):
+        assert random_average_precision(1, 1) == 1.0
+
+    def test_matches_sampled_random_orderings(self):
+        import random
+
+        k, n = 3, 8
+        rng = random.Random(0)
+        items = [1] * k + [0] * (n - k)
+        samples = []
+        for _ in range(20_000):
+            rng.shuffle(items)
+            samples.append(average_precision(items))
+        assert random_average_precision(k, n) == pytest.approx(
+            statistics.mean(samples), abs=0.005
+        )
+
+    def test_monotone_in_k(self):
+        values = [random_average_precision(k, 10) for k in range(1, 11)]
+        assert values == sorted(values)
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValidationError):
+            random_average_precision(0, 5)
+        with pytest.raises(ValidationError):
+            random_average_precision(6, 5)
+        with pytest.raises(ValidationError):
+            random_average_precision(1, 0)
+
+    def test_paper_scenario2_baseline(self):
+        """The Fig 5b Random bar: mean APrand over the 3 scenario-2
+        proteins with (3, 97), (2, 90), (2, 38)."""
+        value = statistics.mean(
+            [
+                random_average_precision(3, 97),
+                random_average_precision(2, 90),
+                random_average_precision(2, 38),
+            ]
+        )
+        assert value == pytest.approx(0.12, abs=0.04)

@@ -1,0 +1,36 @@
+"""Tests for precision/recall at a cut-off."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.metrics.precision import precision_at, recall_at
+
+
+class TestPrecisionAt:
+    def test_basic(self):
+        assert precision_at([1, 0, 1, 0], 1) == 1.0
+        assert precision_at([1, 0, 1, 0], 2) == 0.5
+        assert precision_at([1, 0, 1, 0], 4) == 0.5
+
+    def test_bools_accepted(self):
+        assert precision_at([True, False], 2) == 0.5
+
+    def test_cutoff_bounds(self):
+        with pytest.raises(ValidationError):
+            precision_at([1, 0], 0)
+        with pytest.raises(ValidationError):
+            precision_at([1, 0], 3)
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValidationError):
+            precision_at([1, 2], 2)
+
+
+class TestRecallAt:
+    def test_basic(self):
+        assert recall_at([1, 0, 1, 0], 1) == 0.5
+        assert recall_at([1, 0, 1, 0], 4) == 1.0
+
+    def test_no_relevant_raises(self):
+        with pytest.raises(ValidationError):
+            recall_at([0, 0], 2)

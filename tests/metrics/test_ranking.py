@@ -1,0 +1,52 @@
+"""Tests for rank intervals and their formatting."""
+
+from repro.metrics.ranking import (
+    format_rank_interval,
+    interval_midpoint,
+    rank_intervals,
+)
+
+
+class TestRankIntervals:
+    def test_unique_scores(self):
+        intervals = rank_intervals({"a": 0.9, "b": 0.5, "c": 0.1})
+        assert intervals == {"a": (1, 1), "b": (2, 2), "c": (3, 3)}
+
+    def test_tied_scores_share_interval(self):
+        intervals = rank_intervals({"a": 0.9, "b": 0.5, "c": 0.5, "d": 0.5})
+        assert intervals["a"] == (1, 1)
+        assert intervals["b"] == intervals["c"] == intervals["d"] == (2, 4)
+
+    def test_all_tied(self):
+        intervals = rank_intervals({"a": 0.0, "b": 0.0})
+        assert intervals == {"a": (1, 2), "b": (1, 2)}
+
+    def test_intervals_partition_positions(self):
+        scores = {"a": 3.0, "b": 2.0, "c": 2.0, "d": 1.0, "e": 1.0, "f": 1.0}
+        intervals = rank_intervals(scores)
+        covered = []
+        for lo, hi in set(intervals.values()):
+            covered.extend(range(lo, hi + 1))
+        assert sorted(covered) == list(range(1, len(scores) + 1))
+
+    def test_empty_scores(self):
+        assert rank_intervals({}) == {}
+
+
+class TestFormatting:
+    def test_singleton(self):
+        assert format_rank_interval((5, 5)) == "5"
+
+    def test_interval(self):
+        assert format_rank_interval((34, 97)) == "34-97"
+
+    def test_midpoint(self):
+        assert interval_midpoint((21, 22)) == 21.5
+        assert interval_midpoint((4, 4)) == 4.0
+
+    def test_paper_table2_mean_reconstruction(self):
+        """The paper's Table 2 'Mean' row for Rel: intervals
+        {21-22, 21-22, 17, 1-2, 24, 4, 14} average to 14.8."""
+        intervals = [(21, 22), (21, 22), (17, 17), (1, 2), (24, 24), (4, 4), (14, 14)]
+        mean = sum(interval_midpoint(i) for i in intervals) / len(intervals)
+        assert round(mean, 1) == 14.8

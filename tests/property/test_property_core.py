@@ -1,0 +1,89 @@
+"""Property-based tests of graph structure and local semantics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.biology.sequences import mutate_sequence, random_protein_sequence
+from repro.core.diffusion import solve_incoming_diffusion
+from repro.core.graph import ProbabilisticEntityGraph
+from repro.integration.probability import (
+    evalue_to_probability,
+    probability_to_evalue,
+)
+from repro.sensitivity.perturb import inverse_log_odds, log_odds
+
+probs = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+interior = st.floats(min_value=1e-6, max_value=1.0 - 1e-6, allow_nan=False)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    incoming=st.lists(
+        st.tuples(probs, probs), min_size=0, max_size=8
+    )
+)
+def test_diffusion_solve_is_a_fixed_point(incoming):
+    rbar = solve_incoming_diffusion(incoming)
+    residual = sum(max((r - rbar) * q, 0.0) for r, q in incoming)
+    assert residual == pytest.approx(rbar, abs=1e-9)
+    assert rbar >= 0.0
+    if incoming:
+        assert rbar <= max(r for r, _ in incoming) + 1e-12
+
+
+@settings(max_examples=100, deadline=None)
+@given(incoming=st.lists(st.tuples(probs, probs), min_size=1, max_size=6), extra=st.tuples(probs, probs))
+def test_diffusion_solve_monotone_in_parents(incoming, extra):
+    """Adding a parent can only increase the incoming diffusion."""
+    without = solve_incoming_diffusion(incoming)
+    with_extra = solve_incoming_diffusion(list(incoming) + [extra])
+    assert with_extra >= without - 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(p=interior)
+def test_log_odds_round_trip(p):
+    assert inverse_log_odds(log_odds(p)) == pytest.approx(p, rel=1e-9, abs=1e-12)
+
+
+@settings(max_examples=100, deadline=None)
+@given(strength=st.floats(min_value=0.001, max_value=1.0, allow_nan=False))
+def test_evalue_round_trip(strength):
+    assert evalue_to_probability(
+        probability_to_evalue(strength)
+    ) == pytest.approx(strength, abs=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    qs=st.lists(probs, min_size=1, max_size=5),
+)
+def test_merged_parallel_edges_match_inclusion_exclusion(qs):
+    graph = ProbabilisticEntityGraph()
+    graph.add_node("a")
+    graph.add_node("b")
+    for q in qs:
+        graph.add_edge("a", "b", q=q)
+    merged = graph.merged_out("a")["b"]
+    survive = 1.0
+    for q in qs:
+        survive *= 1.0 - q
+    assert merged == pytest.approx(1.0 - survive, abs=1e-12)
+    assert graph.merged_in("b")["a"] == pytest.approx(merged, abs=1e-12)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    length=st.integers(min_value=1, max_value=80),
+    rate=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_mutation_preserves_length_and_alphabet(length, rate, seed):
+    sequence = random_protein_sequence(length, rng=seed)
+    mutated = mutate_sequence(sequence, rate, rng=seed + 1)
+    assert len(mutated) == length
+    if rate == 0.0:
+        assert mutated == sequence

@@ -1,0 +1,113 @@
+"""Property-based tests of the IR metrics."""
+
+from __future__ import annotations
+
+import itertools
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.average_precision import (
+    average_precision,
+    expected_average_precision,
+    random_average_precision,
+)
+from repro.metrics.ranking import interval_midpoint, rank_intervals
+
+
+@st.composite
+def scored_items(draw):
+    """A score mapping with deliberate tie mass, plus a relevant subset."""
+    n = draw(st.integers(min_value=2, max_value=9))
+    scores = {
+        f"i{k}": draw(st.integers(min_value=0, max_value=3)) / 3.0
+        for k in range(n)
+    }
+    k = draw(st.integers(min_value=1, max_value=n))
+    relevant = set(list(scores)[:k])
+    return scores, relevant
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=scored_items())
+def test_expected_ap_is_in_unit_interval(data):
+    scores, relevant = data
+    value = expected_average_precision(scores, relevant)
+    assert 0.0 <= value <= 1.0 + 1e-12
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=scored_items())
+def test_expected_ap_matches_permutation_enumeration(data):
+    """For small lists, the analytic expectation equals the mean plain
+    AP over all orderings consistent with the partial order."""
+    scores, relevant = data
+    groups = {}
+    for item, score in scores.items():
+        groups.setdefault(score, []).append(item)
+    ordered_groups = [groups[s] for s in sorted(groups, reverse=True)]
+    if sum(len(g) > 1 for g in ordered_groups) and any(
+        len(g) > 5 for g in ordered_groups
+    ):
+        return  # keep enumeration tractable
+    aps = []
+    for permutation in itertools.product(
+        *(itertools.permutations(g) for g in ordered_groups)
+    ):
+        order = [item for group in permutation for item in group]
+        aps.append(average_precision([item in relevant for item in order]))
+    assert expected_average_precision(scores, relevant) == pytest.approx(
+        statistics.mean(aps), abs=1e-9
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=200),
+    data=st.data(),
+)
+def test_random_ap_bounds(n, data):
+    k = data.draw(st.integers(min_value=1, max_value=n))
+    value = random_average_precision(k, n)
+    assert k / n - 1e-12 <= value <= 1.0 + 1e-12
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=scored_items())
+def test_all_tied_expected_ap_equals_random_ap(data):
+    scores, relevant = data
+    tied = {item: 0.5 for item in scores}
+    assert expected_average_precision(tied, relevant) == pytest.approx(
+        random_average_precision(len(relevant), len(scores))
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=scored_items())
+def test_rank_intervals_are_consistent(data):
+    scores, _ = data
+    intervals = rank_intervals(scores)
+    n = len(scores)
+    # midpoints over all items sum to n(n+1)/2 regardless of ties
+    total = sum(interval_midpoint(intervals[item]) for item in scores)
+    assert total == pytest.approx(n * (n + 1) / 2)
+    for item, (lo, hi) in intervals.items():
+        assert 1 <= lo <= hi <= n
+        # interval width equals the tie-group size
+        group = [other for other in scores if scores[other] == scores[item]]
+        assert hi - lo + 1 == len(group)
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=scored_items())
+def test_promoting_a_relevant_item_never_hurts(data):
+    scores, relevant = data
+    relevant_items = [item for item in scores if item in relevant]
+    item = relevant_items[0]
+    before = expected_average_precision(scores, relevant)
+    promoted = dict(scores)
+    promoted[item] = 2.0  # strictly above everything
+    after = expected_average_precision(promoted, relevant)
+    assert after >= before - 1e-9

@@ -1,0 +1,112 @@
+"""Property-based tests of the reliability machinery on random DAGs.
+
+The central invariants:
+
+* factoring == brute-force enumeration (exactness of the solver);
+* graph reductions preserve every target's reliability;
+* the closed-form pipeline agrees with the exact solver;
+* propagation upper-bounds reliability on every graph (§3.2);
+* reliability is monotone in every edge probability.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.closed_form import closed_form_reliability
+from repro.core.exact import brute_force_reliability, exact_reliability
+from repro.core.graph import ProbabilisticEntityGraph, QueryGraph
+from repro.core.propagation import propagation_scores
+from repro.core.reduction import reduce_graph
+
+#: probabilities quantised to avoid float-noise flakiness in comparisons
+prob = st.integers(min_value=0, max_value=10).map(lambda v: v / 10.0)
+
+
+@st.composite
+def small_dag(draw) -> QueryGraph:
+    """A random DAG on 3..6 nodes with edges oriented forward, at most
+    ~12 uncertain components (brute force stays fast)."""
+    n = draw(st.integers(min_value=3, max_value=6))
+    nodes = [f"n{i}" for i in range(n)]
+    graph = ProbabilisticEntityGraph()
+    graph.add_node(nodes[0])  # the query node is certain
+    for node in nodes[1:]:
+        graph.add_node(node, p=draw(prob))
+    edge_slots: List[Tuple[int, int]] = [
+        (i, j) for i in range(n) for j in range(i + 1, n)
+    ]
+    chosen = draw(
+        st.lists(
+            st.sampled_from(edge_slots),
+            min_size=n - 1,
+            max_size=min(len(edge_slots), 9),
+            unique=True,
+        )
+    )
+    for i, j in chosen:
+        graph.add_edge(nodes[i], nodes[j], q=draw(prob))
+    return QueryGraph(graph, nodes[0], [nodes[-1]])
+
+
+@settings(max_examples=60, deadline=None)
+@given(qg=small_dag())
+def test_factoring_equals_enumeration(qg):
+    target = qg.targets[0]
+    factored = exact_reliability(qg, target)[target]
+    enumerated = brute_force_reliability(qg, target)[target]
+    assert factored == pytest.approx(enumerated, abs=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(qg=small_dag())
+def test_reduction_preserves_reliability(qg):
+    target = qg.targets[0]
+    before = brute_force_reliability(qg, target)[target]
+    reduced, _ = reduce_graph(qg)
+    after = brute_force_reliability(reduced, target)[target]
+    assert after == pytest.approx(before, abs=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(qg=small_dag())
+def test_closed_form_equals_exact(qg):
+    target = qg.targets[0]
+    closed = closed_form_reliability(qg).scores[target]
+    exact = exact_reliability(qg, target)[target]
+    assert closed == pytest.approx(exact, abs=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(qg=small_dag())
+def test_propagation_upper_bounds_reliability(qg):
+    target = qg.targets[0]
+    reliability = exact_reliability(qg, target)[target]
+    propagation = propagation_scores(qg)[target]
+    assert propagation >= reliability - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(qg=small_dag(), data=st.data())
+def test_reliability_monotone_in_edge_probability(qg, data):
+    """Raising any edge's presence probability cannot lower r(t)."""
+    edges = list(qg.graph.edges())
+    edge = data.draw(st.sampled_from(edges))
+    target = qg.targets[0]
+    before = exact_reliability(qg, target)[target]
+    boosted = qg.copy()
+    boosted.graph.set_q(edge.key, min(1.0, qg.graph.q(edge.key) + 0.3))
+    after = exact_reliability(boosted, target)[target]
+    assert after >= before - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(qg=small_dag())
+def test_reliability_is_a_probability(qg):
+    target = qg.targets[0]
+    value = exact_reliability(qg, target)[target]
+    assert -1e-12 <= value <= 1.0 + 1e-12

@@ -1,0 +1,109 @@
+"""Property-based tests of the storage engine and ranking invariance."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.average_precision import expected_average_precision
+from repro.storage import Column, ColumnType, Table, dump_table, load_table_rows
+
+text_values = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",), blacklist_characters="\r\n"),
+    max_size=20,
+)
+
+row_strategy = st.fixed_dictionaries(
+    {
+        "key": st.integers(min_value=0, max_value=10_000),
+        "label": text_values,
+        "weight": st.floats(allow_nan=False, allow_infinity=False, width=32),
+        "flag": st.booleans(),
+        "note": st.one_of(st.none(), text_values),
+    }
+)
+
+
+def _make_table() -> Table:
+    return Table(
+        "props",
+        columns=[
+            Column("key", ColumnType.INT),
+            Column("label", ColumnType.TEXT),
+            Column("weight", ColumnType.FLOAT),
+            Column("flag", ColumnType.BOOL),
+            Column("note", ColumnType.TEXT, nullable=True),
+        ],
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(rows=st.lists(row_strategy, max_size=15))
+def test_insert_then_scan_returns_everything(rows):
+    table = _make_table()
+    for row in rows:
+        table.insert(row)
+    assert len(table) == len(rows)
+    stored = list(table.rows())
+    for original, kept in zip(rows, stored):
+        for column in original:
+            if isinstance(original[column], float):
+                assert kept[column] == pytest.approx(original[column], nan_ok=False)
+            else:
+                assert kept[column] == original[column]
+
+
+@settings(max_examples=50, deadline=None)
+@given(rows=st.lists(row_strategy, max_size=15))
+def test_indexed_lookup_agrees_with_scan(rows):
+    table = _make_table()
+    table.create_index("by_key", ["key"])
+    for row in rows:
+        table.insert(row)
+    for row in rows:
+        via_index = table.lookup(("key",), (row["key"],))
+        via_scan = table.scan(lambda r, k=row["key"]: r["key"] == k)
+        assert len(via_index) == len(via_scan)
+
+
+@settings(max_examples=30, deadline=None)
+@given(rows=st.lists(row_strategy, max_size=10))
+def test_csv_round_trip(rows, tmp_path_factory):
+    table = _make_table()
+    for row in rows:
+        table.insert(row)
+    path = tmp_path_factory.mktemp("csv") / "t.csv"
+    dump_table(table, path)
+    clone = _make_table()
+    load_table_rows(clone, path)
+    assert len(clone) == len(table)
+    for original, loaded in zip(table.rows(), clone.rows()):
+        assert original["key"] == loaded["key"]
+        assert original["label"] == loaded["label"]
+        assert original["flag"] == loaded["flag"]
+        assert original["note"] == loaded["note"]
+        assert loaded["weight"] == pytest.approx(original["weight"], rel=1e-6)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    scores=st.dictionaries(
+        st.integers(min_value=0, max_value=20),
+        # quantised scores: a float affine transform must not merge or
+        # split tie groups, which ulp-adjacent floats could
+        st.integers(min_value=0, max_value=8).map(lambda v: v / 8.0),
+        min_size=2,
+        max_size=10,
+    ),
+    data=st.data(),
+)
+def test_expected_ap_invariant_under_monotone_transform(scores, data):
+    """AP depends only on the induced order, never on score magnitudes."""
+    items = list(scores)
+    k = data.draw(st.integers(min_value=1, max_value=len(items)))
+    relevant = set(items[:k])
+    transformed = {item: 3.0 * value + 1.0 for item, value in scores.items()}
+    assert expected_average_precision(scores, relevant) == pytest.approx(
+        expected_average_precision(transformed, relevant)
+    )

@@ -1,0 +1,55 @@
+"""Tests for cardinality classes."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema.cardinality import Cardinality
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1:1", Cardinality.ONE_TO_ONE),
+            ("1:n", Cardinality.ONE_TO_MANY),
+            ("n:1", Cardinality.MANY_TO_ONE),
+            ("n:m", Cardinality.MANY_TO_MANY),
+            ("m:n", Cardinality.MANY_TO_MANY),
+            (" 1:N ", Cardinality.ONE_TO_MANY),
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert Cardinality.parse(text) is expected
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(SchemaError):
+            Cardinality.parse("2:3")
+
+
+class TestProperties:
+    def test_inverse_swaps_direction(self):
+        assert Cardinality.ONE_TO_MANY.inverse is Cardinality.MANY_TO_ONE
+        assert Cardinality.MANY_TO_ONE.inverse is Cardinality.ONE_TO_MANY
+
+    def test_inverse_fixed_points(self):
+        assert Cardinality.ONE_TO_ONE.inverse is Cardinality.ONE_TO_ONE
+        assert Cardinality.MANY_TO_MANY.inverse is Cardinality.MANY_TO_MANY
+
+    def test_functional(self):
+        assert Cardinality.MANY_TO_ONE.functional
+        assert Cardinality.ONE_TO_ONE.functional
+        assert not Cardinality.ONE_TO_MANY.functional
+        assert not Cardinality.MANY_TO_MANY.functional
+
+    def test_injective(self):
+        assert Cardinality.ONE_TO_MANY.injective
+        assert Cardinality.ONE_TO_ONE.injective
+        assert not Cardinality.MANY_TO_ONE.injective
+        assert not Cardinality.MANY_TO_MANY.injective
+
+    def test_folding_collapses_one_to_one(self):
+        assert Cardinality.ONE_TO_ONE.folded() is Cardinality.MANY_TO_ONE
+        assert Cardinality.ONE_TO_MANY.folded() is Cardinality.ONE_TO_MANY
+
+    def test_str_is_notation(self):
+        assert str(Cardinality.MANY_TO_MANY) == "n:m"

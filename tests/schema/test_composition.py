@@ -1,0 +1,59 @@
+"""Tests for the cardinality composition algebra and the oracle."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema.cardinality import Cardinality as C
+from repro.schema.composition import CompositionOracle, compose_cardinalities
+
+
+class TestAlgebra:
+    def test_one_to_many_chains(self):
+        assert compose_cardinalities(C.ONE_TO_MANY, C.ONE_TO_MANY) == {C.ONE_TO_MANY}
+
+    def test_many_to_one_chains(self):
+        assert compose_cardinalities(C.MANY_TO_ONE, C.MANY_TO_ONE) == {C.MANY_TO_ONE}
+
+    def test_fan_out_then_in_is_ambiguous(self):
+        possible = compose_cardinalities(C.ONE_TO_MANY, C.MANY_TO_ONE)
+        assert possible == {C.ONE_TO_MANY, C.MANY_TO_ONE, C.MANY_TO_MANY}
+
+    def test_fan_in_then_out_is_many_to_many(self):
+        assert compose_cardinalities(C.MANY_TO_ONE, C.ONE_TO_MANY) == {C.MANY_TO_MANY}
+
+    @pytest.mark.parametrize("other", list(C))
+    def test_many_to_many_is_absorbing(self, other):
+        assert compose_cardinalities(C.MANY_TO_MANY, other) == {C.MANY_TO_MANY}
+
+    def test_one_to_one_folds_into_many_to_one(self):
+        # [1:1] composed with [n:1] behaves as [n:1] ∘ [n:1]
+        assert compose_cardinalities(C.ONE_TO_ONE, C.MANY_TO_ONE) == {C.MANY_TO_ONE}
+
+
+class TestOracle:
+    def test_unambiguous_resolves_without_oracle(self):
+        oracle = CompositionOracle()
+        result = oracle.resolve("a", "b", C.ONE_TO_MANY, C.ONE_TO_MANY)
+        assert result is C.ONE_TO_MANY
+
+    def test_ambiguous_without_declaration_is_none(self):
+        oracle = CompositionOracle()
+        assert oracle.resolve("a", "b", C.ONE_TO_MANY, C.MANY_TO_ONE) is None
+
+    def test_declaration_resolves_ambiguity(self):
+        oracle = CompositionOracle()
+        oracle.declare("a", "b", C.MANY_TO_ONE)
+        result = oracle.resolve("a", "b", C.ONE_TO_MANY, C.MANY_TO_ONE)
+        assert result is C.MANY_TO_ONE
+
+    def test_declaration_contradicting_algebra_raises(self):
+        oracle = CompositionOracle()
+        oracle.declare("a", "b", C.ONE_TO_MANY)
+        with pytest.raises(SchemaError):
+            # algebra says [n:1] ∘ [1:n] can only be [m:n]
+            oracle.resolve("a", "b", C.MANY_TO_ONE, C.ONE_TO_MANY)
+
+    def test_declarations_are_order_sensitive(self):
+        oracle = CompositionOracle()
+        oracle.declare("a", "b", C.MANY_TO_ONE)
+        assert oracle.resolve("b", "a", C.ONE_TO_MANY, C.MANY_TO_ONE) is None

@@ -1,0 +1,77 @@
+"""Tests for entity sets, relationships and the E/R schema."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema.er import EntitySet, ERSchema
+
+
+@pytest.fixture
+def schema() -> ERSchema:
+    s = ERSchema("s")
+    s.entity("A")
+    s.entity("B")
+    s.entity("C")
+    s.relate("ab", "A", "B", "1:n")
+    s.relate("bc", "B", "C", "n:1")
+    return s
+
+
+class TestConstruction:
+    def test_duplicate_entity_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            schema.entity("A")
+
+    def test_duplicate_relationship_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            schema.relate("ab", "A", "C", "1:n")
+
+    def test_relationship_needs_known_endpoints(self, schema):
+        with pytest.raises(SchemaError):
+            schema.relate("ax", "A", "X", "1:n")
+
+    def test_empty_entity_name_rejected(self):
+        with pytest.raises(SchemaError):
+            EntitySet("")
+
+
+class TestInspection:
+    def test_incoming_outgoing(self, schema):
+        assert [r.name for r in schema.incoming("B")] == ["ab"]
+        assert [r.name for r in schema.outgoing("B")] == ["bc"]
+
+    def test_roots(self, schema):
+        assert [e.name for e in schema.roots()] == ["A"]
+
+    def test_get_unknown_entity_raises(self, schema):
+        with pytest.raises(SchemaError):
+            schema.get_entity("X")
+
+    def test_get_unknown_relationship_raises(self, schema):
+        with pytest.raises(SchemaError):
+            schema.get_relationship("xy")
+
+
+class TestIsTree:
+    def test_chain_is_tree(self, schema):
+        assert schema.is_tree()
+
+    def test_two_roots_is_not_tree(self, schema):
+        schema.entity("D")  # isolated second root
+        assert not schema.is_tree()
+
+    def test_multi_incoming_is_not_tree(self, schema):
+        schema.relate("ac", "A", "C", "1:n")
+        assert not schema.is_tree()
+
+    def test_parallel_relationships_not_tree(self, schema):
+        schema.relate("ab2", "A", "B", "n:1")
+        assert not schema.is_tree()
+
+
+class TestCopy:
+    def test_copy_is_independent(self, schema):
+        clone = schema.copy()
+        clone.entity("Z")
+        assert len(schema.entities) == 3
+        assert len(clone.entities) == 4

@@ -1,0 +1,113 @@
+"""Tests for the Theorem 3.2 reducibility checker."""
+
+import pytest
+
+from repro.schema.cardinality import Cardinality as C
+from repro.schema.composition import CompositionOracle
+from repro.schema.er import ERSchema
+from repro.schema.reducibility import (
+    check_reducibility,
+    check_reducibility_per_target,
+)
+
+
+def chain(*cardinalities: str) -> ERSchema:
+    schema = ERSchema("chain")
+    for i in range(len(cardinalities) + 1):
+        schema.entity(f"P{i}")
+    for i, cardinality in enumerate(cardinalities):
+        schema.relate(f"Q{i}", f"P{i}", f"P{i + 1}", cardinality)
+    return schema
+
+
+class TestBaseCases:
+    def test_single_relationship_any_cardinality(self):
+        assert check_reducibility(chain("n:m")).reducible
+
+    def test_pure_one_to_many_tree(self):
+        schema = ERSchema("tree")
+        for name in ("r", "a", "b", "c"):
+            schema.entity(name)
+        schema.relate("ra", "r", "a", "1:n")
+        schema.relate("rb", "r", "b", "1:n")
+        schema.relate("ac", "a", "c", "1:n")
+        assert check_reducibility(schema).reducible
+
+    def test_tree_with_arbitrary_leaf_relationships(self):
+        # interior [1:n], terminal [n:m] into a leaf: still reducible
+        assert check_reducibility(chain("1:n", "n:m")).reducible
+
+    def test_star_from_one_root(self):
+        schema = ERSchema("star")
+        for name in ("hub", "x", "y"):
+            schema.entity(name)
+        schema.relate("hx", "hub", "x", "n:m")
+        schema.relate("hy", "hub", "y", "n:1")
+        assert check_reducibility(schema).reducible
+
+
+class TestIrreducible:
+    def test_fig2a_interior_many_to_many(self):
+        assert not check_reducibility(chain("1:n", "n:m", "n:1")).reducible
+
+    def test_fig2b_unknown_inner_composition(self):
+        assert not check_reducibility(chain("1:n", "1:n", "n:1", "n:1")).reducible
+
+    def test_interior_many_to_one_blocks(self):
+        # [n:1] into an interior entity allows instance in-degree > 1
+        assert not check_reducibility(chain("n:1", "1:n", "n:1")).reducible
+
+
+class TestContraction:
+    def test_simple_chain_contracts(self):
+        report = check_reducibility(chain("1:n", "n:1"))
+        assert report.reducible
+
+    def test_fig2d_with_domain_knowledge(self):
+        oracle = CompositionOracle()
+        oracle.declare("Q1", "Q2", C.ONE_TO_MANY)
+        oracle.declare("Q1∘Q2", "Q3", C.MANY_TO_ONE)
+        report = check_reducibility(chain("1:n", "1:n", "n:1", "n:1"), oracle)
+        assert report.reducible
+        assert len(report.steps) >= 1
+
+    def test_one_to_one_counts_as_injective_and_functional(self):
+        # [1:1] in and [1:1] out must allow the contraction
+        report = check_reducibility(chain("1:n", "1:1", "n:1"))
+        assert report.reducible
+
+    def test_negative_report_has_reason(self):
+        report = check_reducibility(chain("1:n", "n:m", "n:1"))
+        assert not report.reducible
+        assert "Wheatstone" in report.reason
+
+    def test_report_is_truthy(self):
+        assert bool(check_reducibility(chain("1:n", "n:1")))
+        assert not bool(check_reducibility(chain("1:n", "n:m", "n:1")))
+
+
+class TestPerTargetView:
+    def test_terminal_many_to_many_becomes_functional(self):
+        # [1:n][1:n][n:m]: as a whole the leaf [n:m] is fine (leaf rule),
+        # but deeper: [1:n][n:1][n:m] needs the per-target view plus the
+        # composition of the first two
+        schema = chain("1:n", "n:1", "n:m")
+        oracle = CompositionOracle()
+        oracle.declare("Q0", "Q1", C.ONE_TO_MANY)
+        blind = check_reducibility(schema, oracle)
+        viewed = check_reducibility_per_target(schema, "P3", oracle)
+        assert viewed.reducible
+        # the un-viewed schema is also reducible here via the leaf rule
+        assert blind.reducible
+
+    def test_per_target_only_retypes_edges_into_target(self):
+        schema = chain("1:n", "n:m", "n:1")
+        report = check_reducibility_per_target(schema, "P3")
+        # the interior [n:m] is untouched, so this stays irreducible
+        assert not report.reducible
+
+    def test_unknown_target_entity_raises(self):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            check_reducibility_per_target(chain("1:n"), "nope")

@@ -1,0 +1,85 @@
+"""Tests for the sensitivity sweep harness."""
+
+import pytest
+
+from repro.sensitivity.analysis import sensitivity_sweep
+
+
+@pytest.fixture
+def tiny_cases(two_target_dag):
+    return [(two_target_dag, {"t1"})]
+
+
+class TestSweep:
+    def test_point_structure(self, tiny_cases):
+        points = sensitivity_sweep(
+            tiny_cases,
+            method="propagation",
+            sigmas=(0.5, 1.0),
+            repetitions=5,
+            rng=0,
+        )
+        assert [p.condition for p in points] == [
+            "default",
+            "sigma=0.5",
+            "sigma=1",
+            "random",
+        ]
+
+    def test_default_point_is_deterministic(self, tiny_cases):
+        points = sensitivity_sweep(
+            tiny_cases, method="propagation", sigmas=(), repetitions=3, rng=0
+        )
+        default = points[0]
+        assert default.std_ap == 0.0
+        assert default.repetitions == 1
+
+    def test_random_condition_optional(self, tiny_cases):
+        points = sensitivity_sweep(
+            tiny_cases,
+            method="propagation",
+            sigmas=(1.0,),
+            repetitions=2,
+            include_random=False,
+            rng=0,
+        )
+        assert [p.condition for p in points] == ["default", "sigma=1"]
+
+    def test_ap_values_are_probabilities(self, tiny_cases):
+        points = sensitivity_sweep(
+            tiny_cases, method="diffusion", sigmas=(2.0,), repetitions=4, rng=1
+        )
+        assert all(0.0 <= p.mean_ap <= 1.0 for p in points)
+
+    def test_seeded_reproducibility(self, tiny_cases):
+        kwargs = dict(method="propagation", sigmas=(1.0,), repetitions=3, rng=9)
+        a = sensitivity_sweep(tiny_cases, **kwargs)
+        b = sensitivity_sweep(tiny_cases, **kwargs)
+        assert [p.mean_ap for p in a] == [p.mean_ap for p in b]
+
+    def test_empty_cases_rejected(self):
+        with pytest.raises(ValueError):
+            sensitivity_sweep([], method="propagation")
+
+    def test_robustness_on_scenario_subset(self, scenario3_small):
+        """The paper's qualitative finding: sigma = 0.5 noise barely
+        moves the AP relative to the random condition."""
+        cases = [(c.query_graph, c.relevant) for c in scenario3_small]
+        points = sensitivity_sweep(
+            cases,
+            method="propagation",
+            sigmas=(0.5,),
+            repetitions=10,
+            rng=0,
+        )
+        default, small_noise, random_cond = points
+        assert abs(small_noise.mean_ap - default.mean_ap) < 0.25
+        assert small_noise.mean_ap > random_cond.mean_ap - 0.05
+
+    def test_as_row_formatting(self, tiny_cases):
+        points = sensitivity_sweep(
+            tiny_cases, method="propagation", sigmas=(), repetitions=2, rng=0
+        )
+        row = points[0].as_row()
+        assert "default" in row
+        assert "AP" in row

@@ -1,0 +1,87 @@
+"""Tests for one-way (component-restricted) sensitivity analysis."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.sensitivity.oneway import oneway_sweep, perturb_component
+
+
+class TestPerturbComponent:
+    def test_nodes_only_leaves_edges_alone(self, two_target_dag):
+        perturbed = perturb_component(two_target_dag, sigma=2.0, component="nodes", rng=0)
+        for edge in perturbed.graph.edges():
+            assert perturbed.graph.q(edge.key) == two_target_dag.graph.q(edge.key)
+        changed = [
+            node
+            for node in perturbed.graph.nodes()
+            if node != perturbed.source
+            and perturbed.graph.p(node) != two_target_dag.graph.p(node)
+        ]
+        assert changed
+
+    def test_edges_only_leaves_nodes_alone(self, two_target_dag):
+        perturbed = perturb_component(two_target_dag, sigma=2.0, component="edges", rng=1)
+        for node in perturbed.graph.nodes():
+            assert perturbed.graph.p(node) == two_target_dag.graph.p(node)
+        changed = [
+            edge
+            for edge in perturbed.graph.edges()
+            if perturbed.graph.q(edge.key) != two_target_dag.graph.q(edge.key)
+        ]
+        assert changed
+
+    def test_all_matches_multiway_semantics(self, two_target_dag):
+        perturbed = perturb_component(two_target_dag, sigma=1.0, component="all", rng=2)
+        node_changed = any(
+            perturbed.graph.p(n) != two_target_dag.graph.p(n)
+            for n in perturbed.graph.nodes()
+            if n != perturbed.source
+        )
+        edge_changed = any(
+            perturbed.graph.q(e.key) != two_target_dag.graph.q(e.key)
+            for e in perturbed.graph.edges()
+        )
+        assert node_changed and edge_changed
+
+    def test_unknown_component_rejected(self, two_target_dag):
+        with pytest.raises(ValidationError):
+            perturb_component(two_target_dag, sigma=1.0, component="everything")
+
+    def test_query_node_untouched(self, two_target_dag):
+        perturbed = perturb_component(two_target_dag, sigma=3.0, component="nodes", rng=3)
+        assert perturbed.graph.p(perturbed.source) == 1.0
+
+
+class TestOnewaySweep:
+    def test_structure(self, two_target_dag):
+        results = oneway_sweep(
+            [(two_target_dag, {"t1"})],
+            method="propagation",
+            sigma=1.0,
+            repetitions=4,
+            rng=0,
+        )
+        assert set(results) == {"nodes", "edges", "all"}
+        for points in results.values():
+            assert [p.condition for p in points] == ["default", "sigma=1"]
+
+    def test_default_identical_across_components(self, two_target_dag):
+        results = oneway_sweep(
+            [(two_target_dag, {"t1"})],
+            method="propagation",
+            sigma=1.0,
+            repetitions=3,
+            rng=0,
+        )
+        defaults = {points[0].mean_ap for points in results.values()}
+        assert len(defaults) == 1
+
+    def test_all_noise_hurts_at_least_each_component(self, scenario3_small):
+        """Joint noise is at least as disruptive as either restriction
+        (on average over repetitions)."""
+        cases = [(c.query_graph, c.relevant) for c in scenario3_small]
+        results = oneway_sweep(
+            cases, method="propagation", sigma=2.0, repetitions=10, rng=0
+        )
+        ap = {component: points[1].mean_ap for component, points in results.items()}
+        assert ap["all"] <= max(ap["nodes"], ap["edges"]) + 0.1

@@ -1,0 +1,118 @@
+"""Tests for log-odds perturbation of probabilities and graphs."""
+
+import math
+import statistics
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.sensitivity.perturb import (
+    inverse_log_odds,
+    log_odds,
+    perturb_probability,
+    perturb_query_graph,
+    randomize_query_graph,
+)
+from repro.utils.rng import ensure_rng
+
+
+class TestLogOdds:
+    @pytest.mark.parametrize("p", [0.01, 0.3, 0.5, 0.9, 0.999])
+    def test_round_trip(self, p):
+        assert inverse_log_odds(log_odds(p)) == pytest.approx(p)
+
+    def test_half_maps_to_zero(self):
+        assert log_odds(0.5) == 0.0
+
+    def test_boundaries_rejected(self):
+        with pytest.raises(ValidationError):
+            log_odds(0.0)
+        with pytest.raises(ValidationError):
+            log_odds(1.0)
+
+    def test_inverse_is_stable_in_both_tails(self):
+        assert inverse_log_odds(800.0) == pytest.approx(1.0)
+        assert inverse_log_odds(-800.0) == pytest.approx(0.0)
+
+    def test_inverse_is_monotone(self):
+        values = [inverse_log_odds(x) for x in (-5, -1, 0, 1, 5)]
+        assert values == sorted(values)
+
+
+class TestPerturbProbability:
+    def test_output_is_probability(self):
+        rng = ensure_rng(0)
+        for _ in range(200):
+            value = perturb_probability(0.7, sigma=3.0, rng=rng)
+            assert 0.0 < value < 1.0
+
+    def test_small_sigma_stays_close(self):
+        rng = ensure_rng(1)
+        samples = [perturb_probability(0.6, 0.1, rng) for _ in range(500)]
+        assert statistics.mean(samples) == pytest.approx(0.6, abs=0.02)
+
+    def test_extremes_are_clamped_before_logit(self):
+        value = perturb_probability(1.0, sigma=0.5, rng=2)
+        assert 0.0 < value < 1.0
+
+    def test_median_preserved_in_log_odds_space(self):
+        """Noise is symmetric in log-odds, so the median output maps
+        back near the input."""
+        rng = ensure_rng(3)
+        samples = [perturb_probability(0.2, 2.0, rng) for _ in range(2001)]
+        median = statistics.median(samples)
+        assert math.isclose(median, 0.2, abs_tol=0.05)
+
+    def test_sigma_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            perturb_probability(0.5, sigma=0.0)
+
+
+class TestGraphPerturbation:
+    def test_all_probabilities_perturbed(self, two_target_dag):
+        perturbed = perturb_query_graph(two_target_dag, sigma=1.0, rng=0)
+        graph, original = perturbed.graph, two_target_dag.graph
+        changed_nodes = sum(
+            1
+            for node in graph.nodes()
+            if node != perturbed.source and graph.p(node) != original.p(node)
+        )
+        changed_edges = sum(
+            1 for edge in graph.edges() if graph.q(edge.key) != original.q(edge.key)
+        )
+        assert changed_nodes == graph.num_nodes - 1
+        assert changed_edges == graph.num_edges
+
+    def test_query_node_untouched(self, two_target_dag):
+        perturbed = perturb_query_graph(two_target_dag, sigma=2.0, rng=1)
+        assert perturbed.graph.p(perturbed.source) == 1.0
+
+    def test_original_untouched(self, two_target_dag):
+        before = {e.key: two_target_dag.graph.q(e.key) for e in two_target_dag.graph.edges()}
+        perturb_query_graph(two_target_dag, sigma=2.0, rng=2)
+        after = {e.key: two_target_dag.graph.q(e.key) for e in two_target_dag.graph.edges()}
+        assert before == after
+
+    def test_targets_preserved(self, two_target_dag):
+        perturbed = perturb_query_graph(two_target_dag, sigma=1.0, rng=3)
+        assert perturbed.targets == two_target_dag.targets
+
+    def test_seeded_reproducibility(self, two_target_dag):
+        a = perturb_query_graph(two_target_dag, sigma=1.0, rng=7)
+        b = perturb_query_graph(two_target_dag, sigma=1.0, rng=7)
+        assert [a.graph.q(e.key) for e in a.graph.edges()] == [
+            b.graph.q(e.key) for e in b.graph.edges()
+        ]
+
+
+class TestRandomize:
+    def test_probabilities_uniform(self, two_target_dag):
+        randomized = randomize_query_graph(two_target_dag, rng=0)
+        graph = randomized.graph
+        values = [graph.q(e.key) for e in graph.edges()]
+        assert all(0.0 <= v <= 1.0 for v in values)
+        assert len(set(values)) == len(values)  # continuous draws differ
+
+    def test_query_node_untouched(self, two_target_dag):
+        randomized = randomize_query_graph(two_target_dag, rng=1)
+        assert randomized.graph.p(randomized.source) == 1.0

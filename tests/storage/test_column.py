@@ -1,0 +1,58 @@
+"""Tests for the column type system."""
+
+import pytest
+
+from repro.errors import IntegrityError
+from repro.storage.column import Column, ColumnType
+
+
+class TestColumnTypes:
+    def test_int_accepts_int(self):
+        assert ColumnType.INT.coerce(5, "c") == 5
+
+    def test_int_rejects_bool(self):
+        with pytest.raises(IntegrityError):
+            ColumnType.INT.coerce(True, "c")
+
+    def test_int_rejects_float(self):
+        with pytest.raises(IntegrityError):
+            ColumnType.INT.coerce(5.0, "c")
+
+    def test_float_coerces_int(self):
+        result = ColumnType.FLOAT.coerce(5, "c")
+        assert result == 5.0
+        assert isinstance(result, float)
+
+    def test_float_rejects_bool(self):
+        with pytest.raises(IntegrityError):
+            ColumnType.FLOAT.coerce(True, "c")
+
+    def test_text_accepts_str(self):
+        assert ColumnType.TEXT.coerce("x", "c") == "x"
+
+    def test_text_rejects_bytes(self):
+        with pytest.raises(IntegrityError):
+            ColumnType.TEXT.coerce(b"x", "c")
+
+    def test_bool_accepts_bool(self):
+        assert ColumnType.BOOL.coerce(False, "c") is False
+
+    def test_bool_rejects_int(self):
+        with pytest.raises(IntegrityError):
+            ColumnType.BOOL.coerce(1, "c")
+
+    def test_error_message_names_column(self):
+        with pytest.raises(IntegrityError, match="'price'"):
+            ColumnType.FLOAT.coerce("cheap", "price")
+
+
+class TestColumn:
+    def test_non_nullable_rejects_none(self):
+        with pytest.raises(IntegrityError):
+            Column("c", ColumnType.INT).validate(None)
+
+    def test_nullable_accepts_none(self):
+        assert Column("c", ColumnType.INT, nullable=True).validate(None) is None
+
+    def test_validate_delegates_to_type(self):
+        assert Column("c", ColumnType.FLOAT).validate(3) == 3.0

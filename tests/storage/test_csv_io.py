@@ -1,0 +1,96 @@
+"""Tests for CSV dump/load round trips."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import (
+    Column,
+    ColumnType,
+    Database,
+    Table,
+    dump_database,
+    dump_table,
+    load_table_rows,
+)
+
+
+@pytest.fixture
+def mixed_table() -> Table:
+    table = Table(
+        "mixed",
+        columns=[
+            Column("i", ColumnType.INT),
+            Column("f", ColumnType.FLOAT),
+            Column("t", ColumnType.TEXT),
+            Column("b", ColumnType.BOOL),
+            Column("opt", ColumnType.TEXT, nullable=True),
+        ],
+        primary_key=["i"],
+    )
+    table.insert({"i": 1, "f": 0.5, "t": "hello", "b": True, "opt": None})
+    table.insert({"i": 2, "f": 1e-300, "t": "low, key", "b": False, "opt": "x"})
+    return table
+
+
+class TestRoundTrip:
+    def test_dump_and_load_preserve_rows(self, mixed_table, tmp_path):
+        path = tmp_path / "mixed.csv"
+        written = dump_table(mixed_table, path)
+        assert written == 2
+
+        clone = Table(
+            "clone",
+            columns=list(mixed_table.columns),
+            primary_key=["i"],
+        )
+        loaded = load_table_rows(clone, path)
+        assert loaded == 2
+        assert clone.pk_lookup(1)["opt"] is None
+        assert clone.pk_lookup(1)["b"] is True
+        assert clone.pk_lookup(2)["f"] == 1e-300
+        assert clone.pk_lookup(2)["t"] == "low, key"
+
+    def test_types_restored(self, mixed_table, tmp_path):
+        path = tmp_path / "mixed.csv"
+        dump_table(mixed_table, path)
+        clone = Table("clone", columns=list(mixed_table.columns))
+        load_table_rows(clone, path)
+        (row, _) = list(clone.rows())
+        assert isinstance(row["i"], int)
+        assert isinstance(row["f"], float)
+        assert isinstance(row["b"], bool)
+
+    def test_load_rejects_unknown_columns(self, mixed_table, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("ghost\n1\n")
+        with pytest.raises(StorageError):
+            load_table_rows(mixed_table, path)
+
+    def test_load_rejects_empty_file(self, mixed_table, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(StorageError):
+            load_table_rows(mixed_table, path)
+
+    def test_load_enforces_constraints(self, mixed_table, tmp_path):
+        path = tmp_path / "mixed.csv"
+        dump_table(mixed_table, path)
+        # loading into the same table violates the primary key
+        from repro.errors import IntegrityError
+
+        with pytest.raises(IntegrityError):
+            load_table_rows(mixed_table, path)
+
+
+class TestDumpDatabase:
+    def test_one_csv_per_table(self, tmp_path):
+        db = Database("d")
+        db.create_table("a", columns=[Column("x", ColumnType.INT)])
+        db.create_table("b", columns=[Column("y", ColumnType.TEXT)])
+        db.insert("a", {"x": 1})
+        db.insert("b", {"y": "z"})
+        db.insert("b", {"y": "w"})
+        total = dump_database(db, tmp_path / "out")
+        assert total == 3
+        assert (tmp_path / "out" / "a.csv").exists()
+        assert (tmp_path / "out" / "b.csv").exists()

@@ -1,0 +1,87 @@
+"""Tests for the database layer: namespaces and foreign keys."""
+
+import pytest
+
+from repro.errors import IntegrityError, StorageError
+from repro.storage import Column, ColumnType, Database, ForeignKey
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database("test")
+    database.create_table(
+        "genes",
+        columns=[Column("gid", ColumnType.TEXT)],
+        primary_key=["gid"],
+    )
+    database.create_table(
+        "annotations",
+        columns=[
+            Column("gid", ColumnType.TEXT),
+            Column("term", ColumnType.TEXT),
+        ],
+        foreign_keys=[ForeignKey(("gid",), "genes", ("gid",))],
+    )
+    return database
+
+
+class TestTables:
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(StorageError):
+            db.create_table("genes", columns=[Column("x", ColumnType.INT)])
+
+    def test_unknown_table_raises(self, db):
+        with pytest.raises(StorageError):
+            db.table("nope")
+
+    def test_contains(self, db):
+        assert "genes" in db
+        assert "nope" not in db
+
+    def test_fk_to_unknown_table_rejected(self, db):
+        with pytest.raises(StorageError):
+            db.create_table(
+                "bad",
+                columns=[Column("x", ColumnType.TEXT)],
+                foreign_keys=[ForeignKey(("x",), "missing", ("y",))],
+            )
+
+    def test_fk_to_unknown_column_rejected(self, db):
+        with pytest.raises(StorageError):
+            db.create_table(
+                "bad",
+                columns=[Column("x", ColumnType.TEXT)],
+                foreign_keys=[ForeignKey(("x",), "genes", ("nope",))],
+            )
+
+    def test_fk_arity_mismatch_rejected(self):
+        with pytest.raises(StorageError):
+            ForeignKey(("a", "b"), "t", ("c",))
+
+
+class TestForeignKeys:
+    def test_valid_reference_accepted(self, db):
+        db.insert("genes", {"gid": "G1"})
+        db.insert("annotations", {"gid": "G1", "term": "GO:1"})
+        assert len(db.table("annotations")) == 1
+
+    def test_dangling_reference_rejected(self, db):
+        with pytest.raises(IntegrityError):
+            db.insert("annotations", {"gid": "GX", "term": "GO:1"})
+
+    def test_null_fk_component_skips_check(self, db):
+        db.create_table(
+            "optional_links",
+            columns=[Column("gid", ColumnType.TEXT, nullable=True)],
+            foreign_keys=[ForeignKey(("gid",), "genes", ("gid",))],
+        )
+        db.insert("optional_links", {"gid": None})
+        assert len(db.table("optional_links")) == 1
+
+    def test_insert_many_counts(self, db):
+        db.insert("genes", {"gid": "G1"})
+        count = db.insert_many(
+            "annotations",
+            [{"gid": "G1", "term": f"GO:{i}"} for i in range(3)],
+        )
+        assert count == 3

@@ -1,0 +1,53 @@
+"""Tests for hash indexes."""
+
+import pytest
+
+from repro.errors import IntegrityError
+from repro.storage.index import HashIndex
+
+
+class TestHashIndex:
+    def test_add_and_lookup(self):
+        index = HashIndex("i", ("a",))
+        index.add("k", 0)
+        index.add("k", 1)
+        assert index.lookup("k") == [0, 1]
+
+    def test_lookup_missing_key_is_empty(self):
+        assert HashIndex("i", ("a",)).lookup("nope") == []
+
+    def test_unique_rejects_duplicates(self):
+        index = HashIndex("i", ("a",), unique=True)
+        index.add("k", 0)
+        with pytest.raises(IntegrityError):
+            index.add("k", 1)
+
+    def test_remove(self):
+        index = HashIndex("i", ("a",))
+        index.add("k", 0)
+        index.remove("k", 0)
+        assert index.lookup("k") == []
+        assert len(index) == 0
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(IntegrityError):
+            HashIndex("i", ("a",)).remove("k", 0)
+
+    def test_key_for_single_column(self):
+        index = HashIndex("i", ("a",))
+        assert index.key_for({"a": 1, "b": 2}) == 1
+
+    def test_key_for_composite_columns(self):
+        index = HashIndex("i", ("a", "b"))
+        assert index.key_for({"a": 1, "b": 2}) == (1, 2)
+
+    def test_needs_at_least_one_column(self):
+        with pytest.raises(ValueError):
+            HashIndex("i", ())
+
+    def test_len_counts_entries(self):
+        index = HashIndex("i", ("a",))
+        index.add("k", 0)
+        index.add("j", 1)
+        index.add("j", 2)
+        assert len(index) == 3

@@ -1,0 +1,80 @@
+"""Tests for relational operations."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import Column, ColumnType, Table, equijoin, project, select
+
+
+@pytest.fixture
+def orders() -> Table:
+    table = Table(
+        "orders",
+        columns=[
+            Column("oid", ColumnType.INT),
+            Column("customer", ColumnType.TEXT),
+            Column("total", ColumnType.FLOAT),
+        ],
+        primary_key=["oid"],
+    )
+    table.insert({"oid": 1, "customer": "ada", "total": 10.0})
+    table.insert({"oid": 2, "customer": "bob", "total": 25.0})
+    table.insert({"oid": 3, "customer": "ada", "total": 5.0})
+    return table
+
+
+@pytest.fixture
+def customers() -> Table:
+    table = Table(
+        "customers",
+        columns=[
+            Column("customer", ColumnType.TEXT),
+            Column("city", ColumnType.TEXT),
+        ],
+        primary_key=["customer"],
+    )
+    table.insert({"customer": "ada", "city": "Seattle"})
+    table.insert({"customer": "bob", "city": "Boston"})
+    return table
+
+
+class TestSelectProject:
+    def test_select(self, orders):
+        big = select(orders.rows(), lambda row: row["total"] > 8)
+        assert {row["oid"] for row in big} == {1, 2}
+
+    def test_project(self, orders):
+        slim = project(orders.rows(), ["oid"])
+        assert slim == [{"oid": 1}, {"oid": 2}, {"oid": 3}]
+
+    def test_project_unknown_column(self, orders):
+        with pytest.raises(StorageError):
+            project(orders.rows(), ["ghost"])
+
+
+class TestEquijoin:
+    def test_join_matches(self, orders, customers):
+        joined = equijoin(orders.rows(), customers, "customer", "customer", prefix="c_")
+        assert len(joined) == 3
+        ada_rows = [row for row in joined if row["customer"] == "ada"]
+        assert all(row["c_city"] == "Seattle" for row in ada_rows)
+
+    def test_join_drops_unmatched(self, orders, customers):
+        orders.insert({"oid": 4, "customer": "zoe", "total": 1.0})
+        joined = equijoin(orders.rows(), customers, "customer", "customer", prefix="c_")
+        assert {row["oid"] for row in joined} == {1, 2, 3}
+
+    def test_collision_without_prefix_raises(self, orders, customers):
+        with pytest.raises(StorageError):
+            equijoin(orders.rows(), customers, "customer", "customer")
+
+    def test_missing_left_column_raises(self, orders, customers):
+        with pytest.raises(StorageError):
+            equijoin(orders.rows(), customers, "ghost", "customer")
+
+    def test_join_uses_right_index(self, orders, customers):
+        # the pk index on customers.customer makes this a hash join;
+        # behaviourally we just verify correct results on composite input
+        subset = select(orders.rows(), lambda row: row["total"] < 20)
+        joined = equijoin(subset, customers, "customer", "customer", prefix="r_")
+        assert {row["oid"] for row in joined} == {1, 3}

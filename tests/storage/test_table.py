@@ -1,0 +1,125 @@
+"""Tests for tables: constraints, indexes, retrieval."""
+
+import pytest
+
+from repro.errors import IntegrityError, StorageError
+from repro.storage import Column, ColumnType, Table
+
+
+@pytest.fixture
+def people() -> Table:
+    table = Table(
+        "people",
+        columns=[
+            Column("pid", ColumnType.INT),
+            Column("name", ColumnType.TEXT),
+            Column("age", ColumnType.INT, nullable=True),
+        ],
+        primary_key=["pid"],
+    )
+    table.insert({"pid": 1, "name": "ada", "age": 36})
+    table.insert({"pid": 2, "name": "bob"})
+    return table
+
+
+class TestTableSchema:
+    def test_duplicate_column_names_rejected(self):
+        with pytest.raises(StorageError):
+            Table("t", [Column("a", ColumnType.INT), Column("a", ColumnType.INT)])
+
+    def test_needs_columns(self):
+        with pytest.raises(StorageError):
+            Table("t", [])
+
+    def test_primary_key_must_reference_known_columns(self):
+        with pytest.raises(StorageError):
+            Table("t", [Column("a", ColumnType.INT)], primary_key=["b"])
+
+
+class TestInsert:
+    def test_insert_returns_increasing_row_ids(self, people):
+        rid = people.insert({"pid": 3, "name": "cia"})
+        assert rid == 2
+
+    def test_unknown_column_rejected(self, people):
+        with pytest.raises(StorageError):
+            people.insert({"pid": 3, "name": "x", "height": 180})
+
+    def test_missing_nullable_defaults_to_none(self, people):
+        assert people.pk_lookup(2)["age"] is None
+
+    def test_missing_non_nullable_rejected(self, people):
+        with pytest.raises(IntegrityError):
+            people.insert({"pid": 3})
+
+    def test_primary_key_uniqueness(self, people):
+        with pytest.raises(IntegrityError):
+            people.insert({"pid": 1, "name": "dup"})
+
+    def test_failed_insert_leaves_table_unchanged(self, people):
+        before = len(people)
+        with pytest.raises(IntegrityError):
+            people.insert({"pid": 1, "name": "dup"})
+        assert len(people) == before
+        # and the non-pk indexes were rolled back: a subsequent valid
+        # insert with the same name must not see ghosts
+        people.create_index("by_name", ["name"])
+        assert len(people.lookup(("name",), ("dup",))) == 0
+
+    def test_type_violation_rejected(self, people):
+        with pytest.raises(IntegrityError):
+            people.insert({"pid": "three", "name": "x"})
+
+
+class TestRetrieve:
+    def test_pk_lookup(self, people):
+        assert people.pk_lookup(1)["name"] == "ada"
+
+    def test_pk_lookup_missing_is_none(self, people):
+        assert people.pk_lookup(99) is None
+
+    def test_lookup_without_index_scans(self, people):
+        rows = people.lookup(("name",), ("bob",))
+        assert [row["pid"] for row in rows] == [2]
+
+    def test_lookup_with_index(self, people):
+        people.create_index("by_name", ["name"])
+        rows = people.lookup(("name",), ("ada",))
+        assert [row["pid"] for row in rows] == [1]
+
+    def test_index_backfills_existing_rows(self, people):
+        index = people.create_index("by_age", ["age"])
+        assert len(index) == 2
+
+    def test_scan_with_predicate(self, people):
+        rows = people.scan(lambda row: row["age"] is not None)
+        assert len(rows) == 1
+
+    def test_rows_are_read_only(self, people):
+        row = people.pk_lookup(1)
+        with pytest.raises(TypeError):
+            row["name"] = "mutated"
+
+    def test_rows_iterates_in_insertion_order(self, people):
+        assert [row["pid"] for row in people.rows()] == [1, 2]
+
+
+class TestDelete:
+    def test_delete_removes_from_indexes(self, people):
+        people.create_index("by_name", ["name"])
+        (rid,) = [
+            r for r in people.row_ids() if people.get(r)["name"] == "ada"
+        ]
+        people.delete(rid)
+        assert people.lookup(("name",), ("ada",)) == []
+        assert len(people) == 1
+
+    def test_delete_missing_raises(self, people):
+        with pytest.raises(StorageError):
+            people.delete(999)
+
+    def test_pk_reusable_after_delete(self, people):
+        (rid,) = [r for r in people.row_ids() if people.get(r)["pid"] == 1]
+        people.delete(rid)
+        people.insert({"pid": 1, "name": "ada2"})
+        assert people.pk_lookup(1)["name"] == "ada2"

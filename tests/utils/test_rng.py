@@ -1,0 +1,44 @@
+"""Tests for the RNG plumbing."""
+
+import random
+
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rng
+
+
+class TestEnsureRng:
+    def test_none_gives_fresh_generator(self):
+        assert isinstance(ensure_rng(None), random.Random)
+
+    def test_int_seed_is_deterministic(self):
+        assert ensure_rng(42).random() == ensure_rng(42).random()
+
+    def test_different_seeds_differ(self):
+        assert ensure_rng(1).random() != ensure_rng(2).random()
+
+    def test_passthrough_of_existing_generator(self):
+        rng = random.Random(7)
+        assert ensure_rng(rng) is rng
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not a seed")
+
+
+class TestSpawnRng:
+    def test_distinct_streams_are_decorrelated(self):
+        a = spawn_rng(1, "alpha")
+        b = spawn_rng(1, "beta")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_same_stream_same_parent_state_reproduces(self):
+        first = spawn_rng(9, "stream")
+        second = spawn_rng(9, "stream")
+        assert first.random() == second.random()
+
+    def test_spawn_advances_parent(self):
+        parent = random.Random(3)
+        before = parent.getstate()
+        spawn_rng(parent, "x")
+        assert parent.getstate() != before

@@ -1,0 +1,51 @@
+"""Tests for argument validation helpers."""
+
+import math
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.utils.validation import check_fraction, check_positive, check_probability
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0, 1, 0.5, 0.0001, 0.9999])
+    def test_accepts_valid(self, value):
+        assert check_probability(value) == float(value)
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 2, -1, float("nan")])
+    def test_rejects_out_of_range(self, value):
+        with pytest.raises(ValidationError):
+            check_probability(value)
+
+    def test_rejects_non_numbers(self):
+        with pytest.raises(ValidationError):
+            check_probability("half")
+
+    def test_error_message_names_argument(self):
+        with pytest.raises(ValidationError, match="my_prob"):
+            check_probability(2.0, name="my_prob")
+
+    def test_int_coerced_to_float(self):
+        assert isinstance(check_probability(1), float)
+
+
+class TestCheckFraction:
+    def test_accepts_interior(self):
+        assert check_fraction(0.5) == 0.5
+
+    @pytest.mark.parametrize("value", [0.0, 1.0])
+    def test_rejects_boundaries(self, value):
+        with pytest.raises(ValidationError):
+            check_fraction(value)
+
+
+class TestCheckPositive:
+    @pytest.mark.parametrize("value", [1, 0.001, 1e9])
+    def test_accepts_positive(self, value):
+        assert check_positive(value) == float(value)
+
+    @pytest.mark.parametrize("value", [0, -1, float("inf"), float("nan")])
+    def test_rejects_non_positive_and_non_finite(self, value):
+        with pytest.raises(ValidationError):
+            check_positive(value)

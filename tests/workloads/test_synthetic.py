@@ -1,0 +1,78 @@
+"""Tests for the synthetic workload generator."""
+
+import pytest
+
+from repro.core.deterministic import path_count_scores
+from repro.core.ranker import rank
+from repro.errors import ValidationError
+from repro.workloads import WorkloadSpec, layered_dag
+
+
+class TestSpecValidation:
+    def test_defaults_valid(self):
+        spec = WorkloadSpec()
+        assert spec.total_nodes == 61
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"layers": 0},
+            {"width": 0},
+            {"fan_in": 0},
+            {"node_p": (0.9, 0.5)},
+            {"edge_q": (-0.1, 0.5)},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            WorkloadSpec(**kwargs)
+
+
+class TestLayeredDag:
+    def test_shape(self):
+        spec = WorkloadSpec(layers=4, width=10, fan_in=3)
+        qg = layered_dag(spec, rng=0)
+        assert qg.graph.num_nodes == spec.total_nodes
+        assert len(qg.targets) == 10
+        assert qg.graph.is_dag()
+
+    def test_every_node_reachable(self):
+        qg = layered_dag(WorkloadSpec(layers=3, width=8), rng=1)
+        reachable = qg.graph.reachable_from("query")
+        assert reachable == set(qg.graph.nodes())
+
+    def test_probability_ranges_respected(self):
+        spec = WorkloadSpec(node_p=(0.6, 0.8), edge_q=(0.2, 0.4))
+        qg = layered_dag(spec, rng=2)
+        graph = qg.graph
+        for node in graph.nodes():
+            if node != "query":
+                assert 0.6 <= graph.p(node) <= 0.8
+        for edge in graph.edges():
+            assert 0.2 <= graph.q(edge.key) <= 0.4
+
+    def test_deterministic_given_seed(self):
+        spec = WorkloadSpec(layers=2, width=5)
+        a, b = layered_dag(spec, rng=7), layered_dag(spec, rng=7)
+        assert {(e.source, e.target) for e in a.graph.edges()} == {
+            (e.source, e.target) for e in b.graph.edges()
+        }
+
+    def test_fan_in_creates_converging_paths(self):
+        spec = WorkloadSpec(layers=3, width=6, fan_in=3)
+        qg = layered_dag(spec, rng=3)
+        counts = path_count_scores(qg)
+        assert max(counts.values()) > 1.0
+
+    def test_all_rankers_run_on_workload(self):
+        qg = layered_dag(WorkloadSpec(layers=3, width=8), rng=4)
+        for method in ("propagation", "diffusion", "in_edge", "path_count"):
+            scores = rank(qg, method).scores
+            assert set(scores) == set(qg.targets)
+        mc = rank(qg, "reliability", strategy="mc", trials=200, rng=5).scores
+        assert set(mc) == set(qg.targets)
+
+    def test_single_layer_star(self):
+        qg = layered_dag(WorkloadSpec(layers=1, width=4, fan_in=5), rng=6)
+        # fan_in exceeds available parents; clamps to the query node
+        assert all(qg.graph.in_degree(t) == 1 for t in qg.targets)

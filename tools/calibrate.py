@@ -1,0 +1,33 @@
+"""Calibration harness: print the Fig 5 table for all three scenarios."""
+import sys, time
+from repro.biology.scenarios import build_scenario
+from repro.core.ranker import rank
+from repro.metrics import expected_average_precision, random_average_precision
+
+PAPER = {
+    1: dict(reliability=0.84, propagation=0.85, diffusion=0.73, in_edge=0.85, path_count=0.87, random=0.42),
+    2: dict(reliability=0.46, propagation=0.33, diffusion=0.62, in_edge=0.15, path_count=0.16, random=0.12),
+    3: dict(reliability=0.68, propagation=0.62, diffusion=0.48, in_edge=0.50, path_count=0.50, random=0.29),
+}
+
+def eval_scenario(n, seed=0, limit=None):
+    cases = build_scenario(n, seed=seed, limit=limit)
+    out = {}
+    for m in ["reliability", "propagation", "diffusion", "in_edge", "path_count"]:
+        aps = []
+        for c in cases:
+            opts = {"strategy": "closed"} if m == "reliability" else {}
+            r = rank(c.query_graph, m, **opts)
+            aps.append(expected_average_precision(r.scores, c.relevant))
+        out[m] = sum(aps)/len(aps)
+    out["random"] = sum(random_average_precision(c.n_relevant, c.n_total) for c in cases)/len(cases)
+    return out
+
+if __name__ == "__main__":
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 0
+    for n in (1, 2, 3):
+        t0 = time.time()
+        res = eval_scenario(n, seed=seed)
+        print(f"scenario {n} ({time.time()-t0:.1f}s)")
+        for k, v in res.items():
+            print(f"  {k:12s} ours {v:.3f}   paper {PAPER[n][k]:.2f}")
