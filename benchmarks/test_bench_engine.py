@@ -1,0 +1,98 @@
+"""Engine benchmarks: compiled vs reference backends, cold vs warm cache.
+
+Measures, on the Fig 8a-style ABCC8 query graph (484 nodes / 749 edges):
+
+* the compiled block-sampled Monte Carlo kernel against the reference
+  traversal sampler (the paper's compute bottleneck);
+* the vectorized propagation/diffusion sweeps against the dict sweeps;
+* a cold :class:`~repro.engine.RankingEngine` (compile + score) against
+  a warm one (fingerprint-keyed cache probe) on a `rank_many` batch.
+"""
+
+import pytest
+
+from repro.core.kernels import (
+    compile_graph,
+    diffusion_scores_compiled,
+    propagation_scores_compiled,
+    traversal_reliability_compiled,
+)
+from repro.core.diffusion import diffusion_scores
+from repro.core.montecarlo import traversal_reliability
+from repro.core.propagation import propagation_scores
+from repro.engine import RankingEngine
+
+ENGINE_METHODS = ("propagation", "diffusion", "in_edge")
+
+
+@pytest.mark.benchmark(group="engine-montecarlo-backends")
+class TestMonteCarloBackends:
+    def test_reference_traversal_1k(self, benchmark, abcc8):
+        qg = abcc8.query_graph
+        benchmark.pedantic(
+            lambda: traversal_reliability(qg, trials=1_000, rng=1),
+            rounds=3,
+            iterations=1,
+        )
+
+    def test_compiled_block_1k(self, benchmark, abcc8):
+        qg = abcc8.query_graph
+        compiled = compile_graph(qg)
+        benchmark.pedantic(
+            lambda: traversal_reliability_compiled(
+                compiled=compiled, trials=1_000, rng=1
+            ),
+            rounds=3,
+            iterations=1,
+        )
+
+
+@pytest.mark.benchmark(group="engine-sweep-backends")
+class TestSweepBackends:
+    def test_reference_propagation(self, benchmark, abcc8):
+        qg = abcc8.query_graph
+        benchmark.pedantic(lambda: propagation_scores(qg), rounds=3, iterations=2)
+
+    def test_compiled_propagation(self, benchmark, abcc8):
+        compiled = compile_graph(abcc8.query_graph)
+        benchmark.pedantic(
+            lambda: propagation_scores_compiled(compiled=compiled),
+            rounds=3,
+            iterations=2,
+        )
+
+    def test_reference_diffusion(self, benchmark, abcc8):
+        qg = abcc8.query_graph
+        benchmark.pedantic(lambda: diffusion_scores(qg), rounds=3, iterations=2)
+
+    def test_compiled_diffusion(self, benchmark, abcc8):
+        compiled = compile_graph(abcc8.query_graph)
+        benchmark.pedantic(
+            lambda: diffusion_scores_compiled(compiled=compiled),
+            rounds=3,
+            iterations=2,
+        )
+
+
+@pytest.mark.benchmark(group="engine-cache")
+class TestEngineCache:
+    def test_cold_engine_batch(self, benchmark, scenario1_cases):
+        graphs = [case.query_graph for case in scenario1_cases]
+
+        def cold():
+            engine = RankingEngine()
+            return engine.rank_many(graphs, methods=ENGINE_METHODS)
+
+        benchmark.pedantic(cold, rounds=3, iterations=1)
+
+    def test_warm_engine_batch(self, benchmark, scenario1_cases):
+        graphs = [case.query_graph for case in scenario1_cases]
+        engine = RankingEngine()
+        engine.rank_many(graphs, methods=ENGINE_METHODS)  # warm the caches
+
+        def warm():
+            return engine.rank_many(graphs, methods=ENGINE_METHODS)
+
+        result = benchmark.pedantic(warm, rounds=3, iterations=1)
+        assert len(result) == len(graphs)
+        assert engine.stats.score_hits > 0

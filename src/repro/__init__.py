@@ -18,17 +18,22 @@ Quick taste::
     print(result.ordered())
 
 See :mod:`repro.integration` for the mediator and exploratory queries,
+:mod:`repro.engine` for the batched, cached
+:class:`~repro.engine.RankingEngine` built on the compiled CSR kernels
+of :mod:`repro.core.compile` / :mod:`repro.core.kernels`,
 :mod:`repro.biology` for the synthetic data sources and the paper's
 three experimental scenarios, and :mod:`repro.experiments` for the
 regenerators of every table and figure.
 """
 
 from repro.core import (
+    CompiledGraph,
     Edge,
     ProbabilisticEntityGraph,
     QueryGraph,
     RankedResult,
     closed_form_reliability,
+    compile_graph,
     diffusion_scores,
     exact_reliability,
     in_edge_scores,
@@ -41,6 +46,7 @@ from repro.core import (
     required_trials,
     traversal_reliability,
 )
+from repro.engine import EngineStats, RankingEngine
 from repro.errors import ReproError
 from repro.integration import ExploratoryQuery, Mediator
 from repro.metrics import (
@@ -53,13 +59,17 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "CompiledGraph",
     "Edge",
+    "EngineStats",
     "ProbabilisticEntityGraph",
     "QueryGraph",
     "RankedResult",
+    "RankingEngine",
     "ReproError",
     "Mediator",
     "ExploratoryQuery",
+    "compile_graph",
     "rank",
     "reliability_scores",
     "propagation_scores",

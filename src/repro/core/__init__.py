@@ -10,10 +10,16 @@ The one-stop entry point is :func:`repro.core.ranker.rank`.
 
 from repro.core.graph import Edge, ProbabilisticEntityGraph, QueryGraph
 from repro.core.bounds import rank_error_bound, required_trials
+from repro.core.compile import CompiledGraph, compile_graph
 from repro.core.montecarlo import (
     estimate_interval,
     naive_reliability,
     traversal_reliability,
+)
+from repro.core.kernels import (
+    COMPILED_METHODS,
+    naive_reliability_compiled,
+    traversal_reliability_compiled,
 )
 from repro.core.exact import exact_reliability
 from repro.core.reduction import ReductionStats, reduce_graph
@@ -33,9 +39,15 @@ from repro.core.diagnostics import (
     correlation_report,
 )
 from repro.core.paths import EvidencePath, enumerate_paths, explain_answer
-from repro.core.ranker import METHODS, RankedResult, rank
+from repro.core.ranker import BACKENDS, METHODS, RankedResult, rank
 
 __all__ = [
+    "BACKENDS",
+    "COMPILED_METHODS",
+    "CompiledGraph",
+    "compile_graph",
+    "naive_reliability_compiled",
+    "traversal_reliability_compiled",
     "Edge",
     "ProbabilisticEntityGraph",
     "QueryGraph",

@@ -21,7 +21,7 @@ from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.core.bounds import required_trials
 from repro.core.graph import QueryGraph
-from repro.core.montecarlo import CompiledGraph
+from repro.core.compile import CompiledGraph
 from repro.core.reduction import reduce_graph
 from repro.errors import RankingError
 from repro.utils.rng import RngLike, ensure_rng
@@ -52,7 +52,7 @@ class IncrementalReliabilityEstimator:
         if extra_trials < 1:
             raise RankingError(f"extra_trials must be >= 1, got {extra_trials}")
         random = self._random
-        p = self._compiled.p
+        p = self._compiled.p_list
         out = self._compiled.out
         source = self._compiled.source
         reach_count = self._reach_count

@@ -1,0 +1,213 @@
+"""The shared compiled-graph intermediate representation.
+
+Every relevance semantics of §3 walks the same query graph, yet the
+original implementations each re-walked the Python dict structures of
+:class:`~repro.core.graph.ProbabilisticEntityGraph` per call. This
+module compiles a :class:`~repro.core.graph.QueryGraph` **once** into a
+CSR-style flat form — integer-indexed nodes, merged in/out edge arrays,
+``p``/``q`` as contiguous ``float64`` numpy arrays — that all scoring
+kernels (:mod:`repro.core.kernels`) and the traversal Monte Carlo inner
+loops (:mod:`repro.core.montecarlo`) consume.
+
+Parallel edges are merged on compilation (``1 - prod(1 - q_i)``, exact
+for every connectivity semantics); the per-entry multiplicity and raw
+in-degrees are kept alongside so the counting semantics (InEdge,
+PathCount) still see the raw multi-edges.
+
+Compilation is tiered so each consumer pays only for what it reads:
+the eager pass builds just the merged out-CSR (what the scalar Monte
+Carlo loops need, at the cost the old per-module flattener paid); the
+in-edge CSR and raw in-degrees are derived lazily by transposing the
+out arrays, and the content ``fingerprint`` — a SHA-256 digest of the
+node ids, probabilities, topology and query, which the
+:class:`~repro.engine.RankingEngine` uses to key its score caches — is
+hashed only when first read.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.graph import QueryGraph
+
+__all__ = ["CompiledGraph", "compile_graph"]
+
+NodeId = Hashable
+
+
+@dataclass(eq=False)
+class CompiledGraph:
+    """A query graph flattened to CSR arrays for fast scoring.
+
+    ``out_offsets``/``out_targets``/``out_q`` hold the merged out-edge
+    adjacency in CSR form: the merged out-edges of node ``u`` occupy
+    positions ``out_offsets[u]:out_offsets[u + 1]``. The in-edge arrays
+    mirror that for merged in-edges, derived lazily by a stable
+    transpose of the out arrays (so within a segment, predecessors
+    appear in node-index order).
+    """
+
+    node_ids: List[NodeId]
+    index: Dict[NodeId, int]
+    #: node presence probabilities, shape ``(n,)``
+    p: np.ndarray
+    out_offsets: np.ndarray
+    out_targets: np.ndarray
+    out_q: np.ndarray
+    #: parallel-edge multiplicity of each merged out-entry (PathCount)
+    out_mult: np.ndarray
+    source: int
+    targets: np.ndarray
+    _p_list: Optional[List[float]] = field(default=None, repr=False)
+    _out_lists: Optional[List[List[Tuple[int, float]]]] = field(
+        default=None, repr=False
+    )
+    _in_csr: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = field(
+        default=None, repr=False
+    )
+    _raw_in_degree: Optional[np.ndarray] = field(default=None, repr=False)
+    _fingerprint_cache: Optional[str] = field(default=None, repr=False)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_ids)
+
+    @property
+    def num_merged_edges(self) -> int:
+        return len(self.out_targets)
+
+    # -------------------------------------------------------------- #
+    # scalar-loop views
+    # -------------------------------------------------------------- #
+
+    @property
+    def p_list(self) -> List[float]:
+        """``p`` as plain Python floats.
+
+        The scalar Monte Carlo loops compare ``random() <= p[x]`` per
+        coin flip; indexing a numpy array there boxes a fresh
+        ``np.float64`` each time and measurably slows the sampler, so
+        they read this cached list view instead.
+        """
+        if self._p_list is None:
+            self._p_list = self.p.tolist()
+        return self._p_list
+
+    @property
+    def out(self) -> List[List[Tuple[int, float]]]:
+        """Merged adjacency as ``out[u] = [(v, q), ...]`` lists.
+
+        This is the view the traversal Monte Carlo inner loops iterate;
+        built lazily from the CSR arrays and cached.
+        """
+        if self._out_lists is None:
+            offsets = self.out_offsets
+            targets = self.out_targets.tolist()
+            qs = self.out_q.tolist()
+            self._out_lists = [
+                list(zip(targets[offsets[u] : offsets[u + 1]],
+                         qs[offsets[u] : offsets[u + 1]]))
+                for u in range(self.num_nodes)
+            ]
+        return self._out_lists
+
+    # -------------------------------------------------------------- #
+    # lazily transposed in-edge views
+    # -------------------------------------------------------------- #
+
+    def _transpose(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if self._in_csr is None:
+            n = self.num_nodes
+            sources = np.repeat(
+                np.arange(n, dtype=np.int64), np.diff(self.out_offsets)
+            )
+            order = np.argsort(self.out_targets, kind="stable")
+            in_counts = np.bincount(self.out_targets, minlength=n)
+            in_offsets = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(in_counts, out=in_offsets[1:])
+            self._in_csr = (in_offsets, sources[order], self.out_q[order])
+        return self._in_csr
+
+    @property
+    def in_offsets(self) -> np.ndarray:
+        return self._transpose()[0]
+
+    @property
+    def in_sources(self) -> np.ndarray:
+        return self._transpose()[1]
+
+    @property
+    def in_q(self) -> np.ndarray:
+        return self._transpose()[2]
+
+    @property
+    def raw_in_degree(self) -> np.ndarray:
+        """Raw (unmerged) in-degree of each node (InEdge semantics)."""
+        if self._raw_in_degree is None:
+            self._raw_in_degree = np.bincount(
+                self.out_targets,
+                weights=self.out_mult,
+                minlength=self.num_nodes,
+            ).astype(np.int64)
+        return self._raw_in_degree
+
+    @property
+    def fingerprint(self) -> str:
+        """SHA-256 digest of ids + probabilities + topology + query.
+
+        Computed lazily: the scalar Monte Carlo loops compile per call
+        and never need it, while the engine's score cache does.
+        """
+        if self._fingerprint_cache is None:
+            digest = hashlib.sha256()
+            digest.update(repr(self.node_ids).encode())
+            digest.update(str(self.source).encode())
+            for array in (
+                self.p, self.out_offsets, self.out_targets,
+                self.out_q, self.out_mult, self.targets,
+            ):
+                digest.update(array.tobytes())
+            self._fingerprint_cache = digest.hexdigest()
+        return self._fingerprint_cache
+
+    @classmethod
+    def from_query_graph(cls, qg: QueryGraph) -> "CompiledGraph":
+        graph = qg.graph
+        node_ids = list(graph.nodes())
+        index = {node: i for i, node in enumerate(node_ids)}
+        p = np.array([graph.p(node) for node in node_ids], dtype=np.float64)
+
+        out_offsets = [0]
+        out_targets: List[int] = []
+        out_q: List[float] = []
+        out_mult: List[int] = []
+        for node in node_ids:
+            multiplicity: Dict[NodeId, int] = {}
+            for edge in graph.out_edges(node):
+                multiplicity[edge.target] = multiplicity.get(edge.target, 0) + 1
+            for succ, q in graph.merged_out(node).items():
+                out_targets.append(index[succ])
+                out_q.append(q)
+                out_mult.append(multiplicity[succ])
+            out_offsets.append(len(out_targets))
+
+        return cls(
+            node_ids=node_ids,
+            index=index,
+            source=index[qg.source],
+            p=p,
+            out_offsets=np.array(out_offsets, dtype=np.int64),
+            out_targets=np.array(out_targets, dtype=np.int64),
+            out_q=np.array(out_q, dtype=np.float64),
+            out_mult=np.array(out_mult, dtype=np.int64),
+            targets=np.array([index[t] for t in qg.targets], dtype=np.int64),
+        )
+
+
+def compile_graph(qg: QueryGraph) -> CompiledGraph:
+    """Compile ``qg`` into the shared CSR representation."""
+    return CompiledGraph.from_query_graph(qg)

@@ -18,9 +18,9 @@ paper's Fig 8a measures, so the inner loops are kept allocation-free.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Sequence, Tuple
 
+from repro.core.compile import CompiledGraph
 from repro.core.graph import QueryGraph
 from repro.errors import GraphError
 from repro.utils.rng import RngLike, ensure_rng
@@ -28,44 +28,11 @@ from repro.utils.rng import RngLike, ensure_rng
 __all__ = [
     "naive_reliability",
     "traversal_reliability",
-    "CompiledGraph",
+    "CompiledGraph",  # re-exported from repro.core.compile for compatibility
     "estimate_interval",
 ]
 
 NodeId = Hashable
-
-
-@dataclass
-class CompiledGraph:
-    """A query graph flattened to integer indexes for fast simulation."""
-
-    node_ids: List[NodeId]
-    index: Dict[NodeId, int]
-    p: List[float]
-    #: adjacency with parallel edges merged: out[u] = [(v, q), ...]
-    out: List[List[Tuple[int, float]]]
-    source: int
-    targets: List[int]
-
-    @classmethod
-    def from_query_graph(cls, qg: QueryGraph) -> "CompiledGraph":
-        graph = qg.graph
-        node_ids = list(graph.nodes())
-        index = {node: i for i, node in enumerate(node_ids)}
-        p = [graph.p(node) for node in node_ids]
-        out: List[List[Tuple[int, float]]] = []
-        for node in node_ids:
-            out.append(
-                [(index[succ], q) for succ, q in graph.merged_out(node).items()]
-            )
-        return cls(
-            node_ids=node_ids,
-            index=index,
-            p=p,
-            out=out,
-            source=index[qg.source],
-            targets=[index[t] for t in qg.targets],
-        )
 
 
 def naive_reliability(
@@ -86,7 +53,7 @@ def naive_reliability(
     compiled = CompiledGraph.from_query_graph(qg)
     n = len(compiled.node_ids)
     reach_count = [0] * n
-    p = compiled.p
+    p = compiled.p_list
     out = compiled.out
     source = compiled.source
 
@@ -138,7 +105,7 @@ def traversal_reliability(
     n = len(compiled.node_ids)
     reach_count = [0] * n
     last_sim = [0] * n
-    p = compiled.p
+    p = compiled.p_list
     out = compiled.out
     source = compiled.source
 

@@ -5,6 +5,15 @@ semantics of §3 (plus the paper's "Random" baseline) and returns a
 :class:`RankedResult`, which knows how to order the answer set, group
 ties and report tie-aware rank intervals — the ``21-22`` / ``34-97``
 style entries of Tables 2 and 3.
+
+Every method is served by two interchangeable backends:
+
+* ``backend="reference"`` — the original dict-walking implementations,
+  kept as the semantic ground truth;
+* ``backend="compiled"`` — the vectorized kernels of
+  :mod:`repro.core.kernels` over the shared CSR representation of
+  :mod:`repro.core.compile` (pass ``compiled=`` to reuse an already
+  compiled graph, as the :class:`~repro.engine.RankingEngine` does).
 """
 
 from __future__ import annotations
@@ -12,14 +21,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, List, Mapping, Optional, Tuple
 
+from repro.core.compile import CompiledGraph
 from repro.core.deterministic import in_edge_scores, path_count_scores
 from repro.core.diffusion import diffusion_scores
 from repro.core.graph import QueryGraph
+from repro.core.kernels import COMPILED_METHODS
 from repro.core.propagation import propagation_scores
 from repro.core.reliability import reliability_scores
 from repro.errors import GraphError, RankingError
 
-__all__ = ["METHODS", "RankedResult", "rank"]
+__all__ = ["BACKENDS", "METHODS", "RankedResult", "rank"]
 
 NodeId = Hashable
 
@@ -125,13 +136,32 @@ class RankedResult:
         return len(self.scores)
 
 
-def rank(qg: QueryGraph, method: str = "reliability", **options: object) -> RankedResult:
+#: the two interchangeable scoring backends
+BACKENDS = ("reference", "compiled")
+
+
+def rank(
+    qg: QueryGraph,
+    method: str = "reliability",
+    backend: str = "reference",
+    compiled: Optional[CompiledGraph] = None,
+    **options: object,
+) -> RankedResult:
     """Rank the answer set of ``qg`` with the given relevance semantics.
 
     ``options`` are forwarded to the underlying scoring function (e.g.
     ``trials=10_000, rng=7`` for reliability, ``iterations=50`` for
-    propagation/diffusion).
+    propagation/diffusion). ``backend="compiled"`` routes to the
+    vectorized CSR kernels; ``compiled`` optionally supplies an already
+    compiled graph so batched callers pay compilation once.
     """
     canonical = resolve_method(method)
-    scores = METHODS[canonical](qg, **options)
+    if backend == "reference":
+        scores = METHODS[canonical](qg, **options)
+    elif backend == "compiled":
+        scores = COMPILED_METHODS[canonical](qg, compiled=compiled, **options)
+    else:
+        raise RankingError(
+            f"unknown backend {backend!r}; choose from {BACKENDS}"
+        )
     return RankedResult(method=canonical, scores=dict(scores))

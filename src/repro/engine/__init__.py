@@ -1,0 +1,12 @@
+"""The serving layer: batched, cached ranking over compiled graphs.
+
+This package hosts the :class:`RankingEngine`, the front door for
+production-style workloads — execute many exploratory queries against a
+mediator, compile each query graph once into the shared CSR form, and
+serve per-method scores from a fingerprint-keyed cache. See
+:mod:`repro.engine.ranking` for the full contract.
+"""
+
+from repro.engine.ranking import EngineStats, RankingEngine
+
+__all__ = ["EngineStats", "RankingEngine"]

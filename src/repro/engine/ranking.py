@@ -1,0 +1,292 @@
+"""The batched ranking engine.
+
+:class:`RankingEngine` is the serving layer the ROADMAP's production
+north star asks for: it wraps a
+:class:`~repro.integration.mediator.Mediator`, executes batches of
+:class:`~repro.integration.query.ExploratoryQuery`\\ s, and ranks the
+resulting query graphs through the compiled CSR kernels — compiling
+each graph once and memoising per-method scores keyed by the compiled
+graph's content fingerprint, so repeated or structurally identical
+requests (the common case under heavy traffic) cost a dictionary probe
+instead of a scoring pass.
+
+Two caches cooperate:
+
+* the **compile cache** maps live ``QueryGraph`` objects to their
+  :class:`~repro.core.compile.CompiledGraph` (weakly keyed, so graphs
+  are evicted when the caller drops them);
+* the **score cache** maps ``(fingerprint, method, options)`` to
+  computed scores, bounded LRU. Only deterministic requests are cached:
+  Monte Carlo reliability is cacheable only when seeded with an
+  integer, and options carrying stateful generators bypass the cache.
+
+Mutating a query graph after ranking it through an engine invalidates
+nothing automatically — compile once, then treat graphs as immutable
+(or call :meth:`RankingEngine.invalidate`).
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.compile import CompiledGraph, compile_graph
+from repro.core.graph import QueryGraph
+from repro.core.ranker import BACKENDS, RankedResult, rank, resolve_method
+from repro.errors import RankingError
+from repro.integration.mediator import Mediator
+from repro.integration.query import ExploratoryQuery
+
+__all__ = ["EngineStats", "RankingEngine"]
+
+NodeId = Hashable
+
+Rankable = Union[QueryGraph, ExploratoryQuery]
+
+#: reliability strategies whose scores are sampling-based
+_STOCHASTIC_STRATEGIES = ("auto", "mc", "naive-mc")
+
+
+@dataclass
+class EngineStats:
+    """Cache effectiveness counters (cumulative over the engine's life)."""
+
+    compile_hits: int = 0
+    compile_misses: int = 0
+    score_hits: int = 0
+    score_misses: int = 0
+    queries_executed: int = 0
+
+    def reset(self) -> None:
+        self.compile_hits = 0
+        self.compile_misses = 0
+        self.score_hits = 0
+        self.score_misses = 0
+        self.queries_executed = 0
+
+
+def _consumes_ir(method: str, options: Mapping[str, object]) -> bool:
+    """Whether the compiled backend actually reads a precompiled IR for
+    this request. Reliability's closed/exact strategies delegate to the
+    dict-level solvers, and its reducing Monte Carlo strategies compile
+    the *reduced* graph themselves."""
+    if method != "reliability":
+        return True
+    strategy = options.get("strategy", "auto")
+    if strategy in ("closed", "exact"):
+        return False
+    return strategy != "auto" and not options.get("reduce", True)
+
+
+def _freeze_option(value: object) -> Optional[object]:
+    """A hashable cache token for one option value, or ``None`` when the
+    value makes the request uncacheable (mutable/stateful arguments)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, tuple):
+        frozen = tuple(_freeze_option(v) for v in value)
+        return None if any(v is None for v in frozen) else frozen
+    return None
+
+
+class RankingEngine:
+    """Batched, cached ranking over a mediator's exploratory queries.
+
+    ``backend`` selects the scoring implementation for every request
+    (``"compiled"`` by default — the vectorized CSR kernels); per-call
+    overrides are accepted by :meth:`rank`.
+    """
+
+    def __init__(
+        self,
+        mediator: Optional[Mediator] = None,
+        backend: str = "compiled",
+        cache_scores: bool = True,
+        max_cached_scores: int = 1024,
+    ):
+        if backend not in BACKENDS:
+            raise RankingError(
+                f"unknown backend {backend!r}; choose from {BACKENDS}"
+            )
+        self.mediator = mediator
+        self.backend = backend
+        self.cache_scores = cache_scores
+        self.max_cached_scores = max_cached_scores
+        self.stats = EngineStats()
+        self._compiled: "weakref.WeakKeyDictionary[QueryGraph, CompiledGraph]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._scores: "OrderedDict[Tuple, Dict[NodeId, float]]" = OrderedDict()
+
+    # -------------------------------------------------------------- #
+    # query execution
+    # -------------------------------------------------------------- #
+
+    def execute(self, query: ExploratoryQuery) -> QueryGraph:
+        """Run ``query`` through the engine's mediator."""
+        if self.mediator is None:
+            raise RankingError(
+                "this engine has no mediator; construct it with one to "
+                "execute exploratory queries"
+            )
+        qg, _ = query.execute(self.mediator)
+        self.stats.queries_executed += 1
+        return qg
+
+    def _resolve_graph(self, target: Rankable) -> QueryGraph:
+        if isinstance(target, QueryGraph):
+            return target
+        if isinstance(target, ExploratoryQuery):
+            return self.execute(target)
+        raise RankingError(
+            f"cannot rank {type(target).__name__}; expected a QueryGraph "
+            f"or an ExploratoryQuery"
+        )
+
+    # -------------------------------------------------------------- #
+    # compilation
+    # -------------------------------------------------------------- #
+
+    def compile(self, qg: QueryGraph) -> CompiledGraph:
+        """The CSR form of ``qg``, compiled at most once per live graph."""
+        cached = self._compiled.get(qg)
+        if cached is not None:
+            self.stats.compile_hits += 1
+            return cached
+        self.stats.compile_misses += 1
+        compiled = compile_graph(qg)
+        self._compiled[qg] = compiled
+        return compiled
+
+    def invalidate(self, qg: Optional[QueryGraph] = None) -> None:
+        """Drop cached state for ``qg`` (or everything when ``None``)."""
+        if qg is None:
+            self._compiled = weakref.WeakKeyDictionary()
+            self._scores.clear()
+            return
+        compiled = self._compiled.pop(qg, None)
+        if compiled is not None:
+            stale = [k for k in self._scores if k[0] == compiled.fingerprint]
+            for key in stale:
+                del self._scores[key]
+
+    # -------------------------------------------------------------- #
+    # ranking
+    # -------------------------------------------------------------- #
+
+    def _cache_key(
+        self,
+        fingerprint: str,
+        method: str,
+        backend: str,
+        options: Mapping[str, object],
+    ) -> Optional[Tuple]:
+        if not self.cache_scores:
+            return None
+        frozen: List[Tuple[str, object]] = []
+        for name in sorted(options):
+            token = _freeze_option(options[name])
+            if token is None and options[name] is not None:
+                return None
+            frozen.append((name, token))
+        if method == "reliability":
+            strategy = options.get("strategy", "auto")
+            if strategy in _STOCHASTIC_STRATEGIES and not isinstance(
+                options.get("rng"), int
+            ):
+                return None  # unseeded sampling: caching would freeze noise
+        # the backend is part of the key: the Monte Carlo backends draw
+        # from different RNG streams, so their seeded estimates differ
+        return (fingerprint, method, backend, tuple(frozen))
+
+    def rank(
+        self,
+        target: Rankable,
+        method: str = "reliability",
+        backend: Optional[str] = None,
+        **options: object,
+    ) -> RankedResult:
+        """Rank one query graph (or execute-and-rank one query).
+
+        Scores are served from the fingerprint-keyed cache when the
+        request is deterministic and has been answered before.
+        """
+        qg = self._resolve_graph(target)
+        canonical = resolve_method(method)
+        chosen_backend = backend or self.backend
+        # compile only when the request can use it: the compiled backend
+        # consumes the CSR form (except the reliability strategies that
+        # delegate to dict-level solvers or recompile a reduced graph),
+        # and the score cache keys its fingerprint
+        consumes_ir = chosen_backend == "compiled" and _consumes_ir(
+            canonical, options
+        )
+        compiled: Optional[CompiledGraph] = None
+        key: Optional[Tuple] = None
+        if consumes_ir or self.cache_scores:
+            compiled = self.compile(qg)
+            key = self._cache_key(
+                compiled.fingerprint, canonical, chosen_backend, options
+            )
+        if key is not None:
+            cached = self._scores.get(key)
+            if cached is not None:
+                self._scores.move_to_end(key)
+                self.stats.score_hits += 1
+                return RankedResult(method=canonical, scores=dict(cached))
+        self.stats.score_misses += 1
+        result = rank(
+            qg,
+            canonical,
+            backend=chosen_backend,
+            compiled=compiled if chosen_backend == "compiled" else None,
+            **options,
+        )
+        if key is not None:
+            self._scores[key] = dict(result.scores)
+            while len(self._scores) > self.max_cached_scores:
+                self._scores.popitem(last=False)
+        return result
+
+    def rank_many(
+        self,
+        targets: Iterable[Rankable],
+        method: str = "reliability",
+        methods: Optional[Sequence[str]] = None,
+        backend: Optional[str] = None,
+        method_options: Optional[Mapping[str, Mapping[str, object]]] = None,
+        **options: object,
+    ) -> List:
+        """Rank a batch.
+
+        With a single ``method`` the result is a list of
+        :class:`~repro.core.ranker.RankedResult`, one per target. With
+        ``methods=[...]`` each target yields a dict mapping canonical
+        method name to its result — the graph is compiled once and
+        shared across all methods, and ``method_options`` supplies
+        per-method overrides on top of the common ``options``.
+        """
+        per_method = {
+            resolve_method(name): dict(opts)
+            for name, opts in (method_options or {}).items()
+        }
+        results: List = []
+        for target in targets:
+            qg = self._resolve_graph(target)
+            if methods is None:
+                opts = dict(options)
+                opts.update(per_method.get(resolve_method(method), {}))
+                results.append(self.rank(qg, method, backend=backend, **opts))
+            else:
+                batch: Dict[str, RankedResult] = {}
+                for name in methods:
+                    canonical = resolve_method(name)
+                    opts = dict(options)
+                    opts.update(per_method.get(canonical, {}))
+                    batch[canonical] = self.rank(
+                        qg, canonical, backend=backend, **opts
+                    )
+                results.append(batch)
+        return results

@@ -25,8 +25,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.core.graph import ProbabilisticEntityGraph, QueryGraph
-from repro.core.ranker import rank
-from repro.experiments.runner import format_table
+from repro.experiments.runner import default_engine, format_table
 
 __all__ = ["serial_parallel_graph", "wheatstone_bridge", "compute", "main"]
 
@@ -59,16 +58,20 @@ def wheatstone_bridge() -> QueryGraph:
 
 def compute() -> Dict[str, Dict[str, float]]:
     """Scores of all five methods on both topologies."""
+    engine = default_engine()
     results: Dict[str, Dict[str, float]] = {}
     for name, qg in (
         ("serial_parallel", serial_parallel_graph()),
         ("wheatstone", wheatstone_bridge()),
     ):
-        scores: Dict[str, float] = {}
-        for method in ("reliability", "propagation", "diffusion", "in_edge", "path_count"):
-            options = {"strategy": "exact"} if method == "reliability" else {}
-            scores[method] = rank(qg, method, **options).scores["u"]
-        results[name] = scores
+        batch = engine.rank_many(
+            [qg],
+            methods=("reliability", "propagation", "diffusion", "in_edge", "path_count"),
+            method_options={"reliability": {"strategy": "exact"}},
+        )
+        results[name] = {
+            method: result.scores["u"] for method, result in batch[0].items()
+        }
     return results
 
 

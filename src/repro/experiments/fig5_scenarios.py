@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.biology.scenarios import build_scenario
+from repro.engine import RankingEngine
 from repro.experiments.runner import (
     DEFAULT_SEED,
     MethodScore,
@@ -51,10 +52,13 @@ SCENARIO_TITLES = {
 
 
 def compute(
-    scenario: int, seed: int = DEFAULT_SEED, limit: Optional[int] = None
+    scenario: int,
+    seed: int = DEFAULT_SEED,
+    limit: Optional[int] = None,
+    engine: Optional[RankingEngine] = None,
 ) -> List[MethodScore]:
     cases = build_scenario(scenario, seed=seed, limit=limit)
-    return evaluate_scenario_ap(cases)
+    return evaluate_scenario_ap(cases, engine=engine)
 
 
 def main(seed: int = DEFAULT_SEED) -> str:

@@ -16,6 +16,11 @@ the reductions (paper: −78 %) and the naive-vs-traversal Monte Carlo
 speed-up (paper: 3.4x / −70 %, and 13.4x / −93 % with reduction).
 Absolute milliseconds are hardware- and language-dependent; the paper's
 *ordering* (R&M2 fastest, M1 slowest) is the reproduction target.
+
+All strategies run through a caching-disabled
+:class:`~repro.engine.RankingEngine`; the Monte Carlo rows are timed on
+both backends, and the ``compiled`` timings show what the block-sampled
+CSR kernels buy on the same graphs.
 """
 
 from __future__ import annotations
@@ -26,10 +31,10 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.biology.scenarios import build_scenario
-from repro.core.closed_form import closed_form_reliability
 from repro.core.graph import QueryGraph
-from repro.core.montecarlo import naive_reliability, traversal_reliability
+from repro.core.montecarlo import naive_reliability
 from repro.core.reduction import reduce_graph
+from repro.engine import RankingEngine
 from repro.experiments.runner import DEFAULT_SEED, format_table
 
 __all__ = ["StrategyTiming", "compute", "main"]
@@ -57,39 +62,64 @@ def _time_over_cases(
     )
 
 
+def _strategy_suite(
+    engine: RankingEngine, backend: str, rng_seed: int, mc_only: bool = False
+) -> Dict[str, Callable[[QueryGraph], object]]:
+    """The timed Fig 8a rows; ``mc_only`` restricts to the Monte Carlo
+    rows (the closed-form solver has no compiled variant to time)."""
+
+    def runner(**options):
+        return lambda qg: engine.rank(
+            qg, "reliability", backend=backend, **options
+        )
+
+    mc_rows = {
+        "M1": runner(strategy="mc", reduce=False, trials=10_000, rng=rng_seed),
+        "M2": runner(strategy="mc", reduce=False, trials=1_000, rng=rng_seed),
+        "R&M1": runner(strategy="mc", reduce=True, trials=10_000, rng=rng_seed),
+        "R&M2": runner(strategy="mc", reduce=True, trials=1_000, rng=rng_seed),
+    }
+    if mc_only:
+        return mc_rows
+
+    def reduced_then_closed(qg: QueryGraph):
+        working, _ = reduce_graph(qg)
+        return engine.rank(working, "reliability", backend=backend, strategy="closed")
+
+    return {  # the paper's row order: M1 M2 C R&M1 R&M2 R&C
+        "M1": mc_rows["M1"],
+        "M2": mc_rows["M2"],
+        "C": runner(strategy="closed"),
+        "R&M1": mc_rows["R&M1"],
+        "R&M2": mc_rows["R&M2"],
+        "R&C": reduced_then_closed,
+    }
+
+
 def compute(
     seed: int = DEFAULT_SEED, limit: Optional[int] = None, rng_seed: int = 1
 ) -> Dict[str, object]:
     """Timings plus reduction statistics over the scenario-1 graphs."""
     cases = build_scenario(1, seed=seed, limit=limit)
     graphs = [case.query_graph for case in cases]
-    # pre-reduce once: the R& variants include reduction in their time,
-    # and the reduction statistics feed the -78% headline
+    # caching must stay off: these rows time the work, not the cache
+    engine = RankingEngine(cache_scores=False)
+    # the reduction statistics feed the -78% headline
     reduction_stats = [reduce_graph(qg)[1] for qg in graphs]
 
-    def reduced_then(fn):
-        def runner(qg: QueryGraph):
-            working, _ = reduce_graph(qg)
-            return fn(working)
-        return runner
-
-    strategies = {
-        "M1": lambda qg: traversal_reliability(qg, trials=10_000, rng=rng_seed),
-        "M2": lambda qg: traversal_reliability(qg, trials=1_000, rng=rng_seed),
-        "C": lambda qg: closed_form_reliability(qg),
-        "R&M1": reduced_then(
-            lambda qg: traversal_reliability(qg, trials=10_000, rng=rng_seed)
-        ),
-        "R&M2": reduced_then(
-            lambda qg: traversal_reliability(qg, trials=1_000, rng=rng_seed)
-        ),
-        "R&C": reduced_then(lambda qg: closed_form_reliability(qg)),
-    }
     timings: Dict[str, StrategyTiming] = {}
-    for label, runner in strategies.items():
+    for label, runner in _strategy_suite(engine, "reference", rng_seed).items():
         timing = _time_over_cases(graphs, runner)
         timing.label = label
         timings[label] = timing
+
+    # the same Monte Carlo rows on the compiled block-sampled kernels
+    compiled_timings: Dict[str, StrategyTiming] = {}
+    compiled_suite = _strategy_suite(engine, "compiled", rng_seed, mc_only=True)
+    for label, runner in compiled_suite.items():
+        timing = _time_over_cases(graphs, runner)
+        timing.label = label
+        compiled_timings[label] = timing
 
     # naive vs traversal speed-up (paper: 3.4x on the raw graphs)
     naive = _time_over_cases(
@@ -100,9 +130,11 @@ def compute(
     )
     return {
         "timings": timings,
+        "compiled_timings": compiled_timings,
         "naive_ms": naive.mean_ms,
         "traversal_ms": timings["M2"].mean_ms,
         "reduced_traversal_ms": timings["R&M2"].mean_ms,
+        "compiled_m2_ms": compiled_timings["M2"].mean_ms,
         "combined_reduction": combined_reduction,
     }
 
@@ -110,23 +142,33 @@ def compute(
 def main(seed: int = DEFAULT_SEED, limit: Optional[int] = None) -> str:
     data = compute(seed=seed, limit=limit)
     timings: Dict[str, StrategyTiming] = data["timings"]
+    compiled: Dict[str, StrategyTiming] = data["compiled_timings"]
     paper_ms = {"M1": 731, "M2": 74, "C": 97, "R&M1": 151, "R&M2": 18, "R&C": 20}
     rows = [
-        (label, f"{t.mean_ms:.1f}", f"{t.std_ms:.1f}", paper_ms[label])
+        (
+            label,
+            f"{t.mean_ms:.1f}",
+            f"{t.std_ms:.1f}",
+            f"{compiled[label].mean_ms:.1f}" if label in compiled else "-",
+            paper_ms[label],
+        )
         for label, t in timings.items()
     ]
     table = format_table(
-        ("strategy", "mean ms (ours)", "std", "paper ms"),
+        ("strategy", "mean ms (ref)", "std", "ms (compiled)", "paper ms"),
         rows,
         title="Fig 8a: reliability evaluation strategies over scenario-1 graphs",
     )
     naive_speedup = data["naive_ms"] / data["traversal_ms"]
     reduced_speedup = data["naive_ms"] / data["reduced_traversal_ms"]
+    compiled_speedup = data["traversal_ms"] / data["compiled_m2_ms"]
     extras = (
         f"\nreduction removes {100 * data['combined_reduction']:.0f}% of "
         f"nodes+edges (paper: 78%)"
         f"\ntraversal vs naive MC speed-up: {naive_speedup:.1f}x (paper: 3.4x)"
         f"\nreduction + traversal vs naive: {reduced_speedup:.1f}x (paper: 13.4x)"
+        f"\ncompiled block-sampled vs reference traversal MC: "
+        f"{compiled_speedup:.1f}x"
     )
     output = table + extras
     print(output)

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.biology.scenarios import build_scenario
-from repro.core.ranker import rank
+from repro.engine import RankingEngine
 from repro.experiments.runner import (
     ALL_METHODS,
     DEFAULT_SEED,
@@ -47,15 +47,19 @@ class MethodTiming:
 
 
 def compute(
-    seed: int = DEFAULT_SEED, limit: Optional[int] = None
+    seed: int = DEFAULT_SEED,
+    limit: Optional[int] = None,
+    backend: str = "reference",
 ) -> List[MethodTiming]:
     cases = build_scenario(1, seed=seed, limit=limit)
+    # score caching off: a cache hit would time a dict probe, not ranking
+    engine = RankingEngine(backend=backend, cache_scores=False)
     timings: List[MethodTiming] = []
     for method in ALL_METHODS:
         samples = []
         for case in cases:
             start = time.perf_counter()
-            rank(case.query_graph, method, **TIMING_OPTIONS.get(method, {}))
+            engine.rank(case.query_graph, method, **TIMING_OPTIONS.get(method, {}))
             samples.append((time.perf_counter() - start) * 1000.0)
         timings.append(
             MethodTiming(

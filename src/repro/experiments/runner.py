@@ -1,4 +1,10 @@
-"""Shared experiment machinery: AP evaluation and table formatting."""
+"""Shared experiment machinery: AP evaluation and table formatting.
+
+All scoring in the experiment drivers flows through one
+:class:`~repro.engine.RankingEngine` (:func:`default_engine`), so every
+query graph is compiled into the shared CSR form once and its
+deterministic scores are cached across methods and figures.
+"""
 
 from __future__ import annotations
 
@@ -7,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.biology.scenarios import ScenarioCase, build_scenario
-from repro.core.ranker import rank
+from repro.engine import RankingEngine
 from repro.metrics import expected_average_precision, random_average_precision
 
 __all__ = [
@@ -15,6 +21,7 @@ __all__ = [
     "ALL_METHODS",
     "RANK_OPTIONS",
     "MethodScore",
+    "default_engine",
     "evaluate_scenario_ap",
     "format_table",
 ]
@@ -38,6 +45,18 @@ ALL_METHODS: Sequence[str] = (
 RANK_OPTIONS: Mapping[str, Mapping[str, object]] = {
     "reliability": {"strategy": "closed"},
 }
+
+#: the engine shared by the experiment drivers (compiled backend)
+_ENGINE: Optional[RankingEngine] = None
+
+
+def default_engine() -> RankingEngine:
+    """The process-wide engine the experiment drivers rank through."""
+    global _ENGINE
+    if _ENGINE is None:
+        _ENGINE = RankingEngine()
+    return _ENGINE
+
 
 #: display labels matching the paper's axis ticks
 METHOD_LABELS: Mapping[str, str] = {
@@ -69,20 +88,26 @@ def evaluate_scenario_ap(
     methods: Sequence[str] = ALL_METHODS,
     rank_options: Optional[Mapping[str, Mapping[str, object]]] = None,
     include_random: bool = True,
+    engine: Optional[RankingEngine] = None,
 ) -> List[MethodScore]:
     """Tie-aware expected AP of each method over ``cases``.
 
     The "Random" baseline is the analytic expected AP of an arbitrarily
     ordered list (Definition 4.1), evaluated per case and averaged, as
-    in Fig 5.
+    in Fig 5. Scoring goes through ``engine`` (the shared
+    :func:`default_engine` when omitted), so each case's graph is
+    compiled once for all methods.
     """
+    engine = engine or default_engine()
     options = dict(RANK_OPTIONS)
     options.update(rank_options or {})
     scores: List[MethodScore] = []
     for method in methods:
         per_case: Dict[str, float] = {}
         for case in cases:
-            result = rank(case.query_graph, method, **options.get(method, {}))
+            result = engine.rank(
+                case.query_graph, method, **options.get(method, {})
+            )
             per_case[case.name] = expected_average_precision(
                 result.scores, case.relevant
             )

@@ -1,0 +1,166 @@
+"""Tests for the batched, cached RankingEngine."""
+
+import pytest
+
+from repro.core.ranker import rank
+from repro.engine import RankingEngine
+from repro.errors import RankingError
+from repro.integration import ExploratoryQuery
+
+
+class TestRankMatchesDirect:
+    def test_deterministic_methods(self, two_target_dag):
+        engine = RankingEngine()
+        for method in ("propagation", "diffusion", "in_edge", "path_count"):
+            direct = rank(two_target_dag, method).scores
+            via_engine = engine.rank(two_target_dag, method).scores
+            for node in direct:
+                assert via_engine[node] == pytest.approx(direct[node], abs=1e-9)
+
+    def test_reference_backend_override(self, two_target_dag):
+        engine = RankingEngine(backend="compiled")
+        result = engine.rank(two_target_dag, "propagation", backend="reference")
+        assert result.scores == rank(two_target_dag, "propagation").scores
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(RankingError):
+            RankingEngine(backend="quantum")
+
+
+class TestCaching:
+    def test_score_cache_hits_on_repeat(self, wheatstone):
+        engine = RankingEngine()
+        first = engine.rank(wheatstone, "propagation")
+        second = engine.rank(wheatstone, "propagation")
+        assert engine.stats.score_misses == 1
+        assert engine.stats.score_hits == 1
+        assert first.scores == second.scores
+
+    def test_cache_shared_across_identical_graphs(self, wheatstone):
+        """Structurally identical but distinct objects share cached scores
+        via the content fingerprint."""
+        engine = RankingEngine()
+        engine.rank(wheatstone, "diffusion")
+        engine.rank(wheatstone.copy(), "diffusion")
+        assert engine.stats.score_hits == 1
+        # distinct objects each compile once
+        assert engine.stats.compile_misses == 2
+
+    def test_compile_cache_reused_across_methods(self, wheatstone):
+        engine = RankingEngine()
+        for method in ("propagation", "in_edge", "path_count"):
+            engine.rank(wheatstone, method)
+        assert engine.stats.compile_misses == 1
+        assert engine.stats.compile_hits == 2
+
+    def test_options_distinguish_cache_entries(self, wheatstone):
+        engine = RankingEngine()
+        a = engine.rank(wheatstone, "propagation", iterations=1)
+        b = engine.rank(wheatstone, "propagation", iterations=50)
+        assert engine.stats.score_hits == 0
+        assert a.scores != b.scores
+
+    def test_unseeded_monte_carlo_not_cached(self, wheatstone):
+        engine = RankingEngine()
+        engine.rank(wheatstone, "reliability", strategy="mc", trials=50)
+        engine.rank(wheatstone, "reliability", strategy="mc", trials=50)
+        assert engine.stats.score_hits == 0
+
+    def test_backend_is_part_of_the_cache_key(self, wheatstone):
+        """A seeded MC estimate cached for one backend must not be served
+        to an explicit request for the other (different RNG streams)."""
+        engine = RankingEngine()
+        options = dict(strategy="mc", reduce=False, trials=2000, rng=7)
+        compiled = engine.rank(
+            wheatstone, "reliability", backend="compiled", **options
+        )
+        reference = engine.rank(
+            wheatstone, "reliability", backend="reference", **options
+        )
+        assert engine.stats.score_hits == 0
+        from repro.core.ranker import rank as direct_rank
+
+        direct = direct_rank(wheatstone, "reliability", **options)
+        assert reference.scores == direct.scores
+        assert compiled.scores != reference.scores  # different streams
+
+    def test_seeded_monte_carlo_cached(self, wheatstone):
+        engine = RankingEngine()
+        a = engine.rank(wheatstone, "reliability", strategy="mc", trials=50, rng=7)
+        b = engine.rank(wheatstone, "reliability", strategy="mc", trials=50, rng=7)
+        assert engine.stats.score_hits == 1
+        assert a.scores == b.scores
+
+    def test_cache_disabled(self, wheatstone):
+        engine = RankingEngine(cache_scores=False)
+        engine.rank(wheatstone, "propagation")
+        engine.rank(wheatstone, "propagation")
+        assert engine.stats.score_hits == 0
+        assert engine.stats.score_misses == 2
+
+    def test_invalidate_drops_scores(self, wheatstone):
+        engine = RankingEngine()
+        engine.rank(wheatstone, "propagation")
+        engine.invalidate(wheatstone)
+        engine.rank(wheatstone, "propagation")
+        assert engine.stats.score_hits == 0
+        assert engine.stats.score_misses == 2
+
+    def test_lru_bound(self, wheatstone, two_target_dag):
+        engine = RankingEngine(max_cached_scores=1)
+        engine.rank(wheatstone, "propagation")
+        engine.rank(two_target_dag, "propagation")  # evicts wheatstone
+        engine.rank(wheatstone, "propagation")
+        assert engine.stats.score_hits == 0
+        assert engine.stats.score_misses == 3
+
+
+class TestRankMany:
+    def test_single_method_batch(self, wheatstone, two_target_dag):
+        engine = RankingEngine()
+        results = engine.rank_many([wheatstone, two_target_dag], "propagation")
+        assert len(results) == 2
+        assert results[0].scores == rank(wheatstone, "propagation").scores
+
+    def test_multi_method_batch(self, two_target_dag):
+        engine = RankingEngine()
+        (batch,) = engine.rank_many(
+            [two_target_dag],
+            methods=("propagation", "rel"),
+            method_options={"reliability": {"strategy": "closed"}},
+        )
+        assert set(batch) == {"propagation", "reliability"}
+        # the graph compiled once for both methods
+        assert engine.stats.compile_misses == 1
+
+    def test_warm_batch_is_all_hits(self, wheatstone):
+        engine = RankingEngine()
+        engine.rank_many([wheatstone], methods=("propagation", "diffusion"))
+        engine.rank_many([wheatstone.copy()], methods=("propagation", "diffusion"))
+        assert engine.stats.score_hits == 2
+
+
+class TestQueryExecution:
+    def test_execute_requires_mediator(self):
+        engine = RankingEngine()
+        query = ExploratoryQuery("EntrezProtein", "name", "X", outputs=("GOTerm",))
+        with pytest.raises(RankingError):
+            engine.execute(query)
+
+    def test_rank_an_exploratory_query(self, scenario3_small):
+        case = scenario3_small[0].case
+        engine = RankingEngine(mediator=case.mediator)
+        query = ExploratoryQuery(
+            "EntrezProtein", "name", case.spec.protein, outputs=("GOTerm",)
+        )
+        result = engine.rank(query, "reliability", strategy="closed")
+        assert engine.stats.queries_executed == 1
+        direct = rank(case.query_graph, "reliability", strategy="closed").scores
+        assert set(result.scores) == set(direct)
+        for node in direct:
+            assert result.scores[node] == pytest.approx(direct[node], abs=1e-9)
+
+    def test_unrankable_target_rejected(self):
+        engine = RankingEngine()
+        with pytest.raises(RankingError):
+            engine.rank("not a graph", "propagation")

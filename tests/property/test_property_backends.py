@@ -1,0 +1,212 @@
+"""Backend cross-checks: compiled CSR kernels vs reference dict scorers.
+
+Every deterministic ranking method must agree between
+``backend="reference"`` and ``backend="compiled"`` to 1e-9 on random
+DAGs *and* cyclic graphs, including graphs with parallel edges (the
+``merged_in`` semantics). The block-sampled Monte Carlo kernel draws
+from a different RNG stream than the scalar samplers, so for
+reliability the deterministic strategies are compared exactly and the
+sampler is checked against the exact solver statistically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compile import compile_graph
+from repro.core.exact import exact_reliability
+from repro.core.graph import ProbabilisticEntityGraph, QueryGraph
+from repro.core.ranker import rank
+from repro.errors import CycleError, RankingError
+
+#: probabilities quantised to avoid float-noise flakiness in comparisons
+prob = st.integers(min_value=0, max_value=10).map(lambda v: v / 10.0)
+
+DETERMINISTIC_METHODS = ("propagation", "diffusion", "in_edge", "random")
+
+
+@st.composite
+def multi_edge_graph(draw, cyclic: bool = False) -> QueryGraph:
+    """A random graph on 3..7 nodes with parallel edges; forward edges
+    only for DAGs, plus a few back edges when ``cyclic``."""
+    n = draw(st.integers(min_value=3, max_value=7))
+    nodes = [f"n{i}" for i in range(n)]
+    graph = ProbabilisticEntityGraph()
+    graph.add_node(nodes[0])  # the query node is certain
+    for node in nodes[1:]:
+        graph.add_node(node, p=draw(prob))
+    forward: List[Tuple[int, int]] = [
+        (i, j) for i in range(n) for j in range(i + 1, n)
+    ]
+    chosen = draw(
+        st.lists(
+            st.sampled_from(forward),
+            min_size=n - 1,
+            max_size=min(len(forward), 10),
+            unique=True,
+        )
+    )
+    for i, j in chosen:
+        graph.add_edge(nodes[i], nodes[j], q=draw(prob))
+        if draw(st.booleans()):  # a parallel edge to exercise merging
+            graph.add_edge(nodes[i], nodes[j], q=draw(prob))
+    if cyclic:
+        backward = [(j, i) for i, j in chosen]
+        for j, i in draw(
+            st.lists(st.sampled_from(backward), min_size=1, max_size=3, unique=True)
+        ):
+            graph.add_edge(nodes[j], nodes[i], q=draw(prob))
+    targets = nodes[max(1, n - 2):]
+    return QueryGraph(graph, nodes[0], targets)
+
+
+def _assert_backends_agree(qg: QueryGraph, method: str, **options) -> None:
+    reference = rank(qg, method, **options).scores
+    compiled = rank(qg, method, backend="compiled", **options).scores
+    assert set(reference) == set(compiled)
+    for node in reference:
+        assert compiled[node] == pytest.approx(reference[node], abs=1e-9), (
+            f"{method} disagrees at {node!r}"
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(qg=multi_edge_graph())
+@pytest.mark.parametrize("method", DETERMINISTIC_METHODS + ("path_count",))
+def test_backends_agree_on_dags(method, qg):
+    _assert_backends_agree(qg, method)
+
+
+@settings(max_examples=60, deadline=None)
+@given(qg=multi_edge_graph(cyclic=True))
+@pytest.mark.parametrize("method", DETERMINISTIC_METHODS)
+def test_backends_agree_on_cyclic_graphs(method, qg):
+    _assert_backends_agree(qg, method)
+
+
+@settings(max_examples=30, deadline=None)
+@given(qg=multi_edge_graph(cyclic=True))
+def test_path_count_raises_on_cycles_in_both_backends(qg):
+    with pytest.raises(CycleError):
+        rank(qg, "path_count")
+    with pytest.raises(CycleError):
+        rank(qg, "path_count", backend="compiled")
+
+
+@settings(max_examples=40, deadline=None)
+@given(qg=multi_edge_graph())
+def test_reliability_deterministic_strategies_agree(qg):
+    for strategy in ("closed", "exact"):
+        _assert_backends_agree(qg, "reliability", strategy=strategy)
+
+
+@settings(max_examples=25, deadline=None)
+@given(qg=multi_edge_graph())
+def test_all_nodes_flag_agrees(qg):
+    for method in ("propagation", "diffusion", "in_edge"):
+        _assert_backends_agree(qg, method, all_nodes=True)
+
+
+@settings(max_examples=25, deadline=None)
+@given(qg=multi_edge_graph())
+def test_fixed_sweep_counts_agree(qg):
+    """Truncated Jacobi iteration (the paper's fixed-sweep algorithms)
+    must match sweep-for-sweep, not just at the fixed point."""
+    for method in ("propagation", "diffusion"):
+        for iterations in (1, 3):
+            _assert_backends_agree(qg, method, iterations=iterations)
+
+
+class TestCompiledMonteCarlo:
+    def test_block_sampler_tracks_exact(self, two_target_dag):
+        exact = exact_reliability(two_target_dag)
+        estimate = rank(
+            two_target_dag,
+            "reliability",
+            backend="compiled",
+            strategy="mc",
+            trials=40_000,
+            rng=11,
+        ).scores
+        for target, value in exact.items():
+            assert estimate[target] == pytest.approx(value, abs=0.02)
+
+    def test_block_sampler_handles_cycles(self):
+        graph = ProbabilisticEntityGraph()
+        graph.add_node("s")
+        graph.add_node("a", p=0.9)
+        graph.add_node("t")
+        graph.add_edge("s", "a", q=0.8)
+        graph.add_edge("a", "s", q=0.8)  # cycle back
+        graph.add_edge("a", "t", q=0.5)
+        qg = QueryGraph(graph, "s", ["t"])
+        estimate = rank(
+            qg, "reliability", backend="compiled", strategy="mc",
+            reduce=False, trials=40_000, rng=3,
+        ).scores
+        assert estimate["t"] == pytest.approx(0.8 * 0.9 * 0.5, abs=0.02)
+
+    def test_seeded_runs_reproduce(self, wheatstone):
+        a = rank(wheatstone, "reliability", backend="compiled", rng=42).scores
+        b = rank(wheatstone, "reliability", backend="compiled", rng=42).scores
+        assert a == b
+
+
+class TestPathCountOverflow:
+    def test_huge_counts_use_exact_arithmetic(self):
+        """A diamond ladder doubles the path count per layer; 70 layers
+        exceed int64, where the compiled DP must fall back to Python
+        ints instead of silently wrapping."""
+        graph = ProbabilisticEntityGraph()
+        graph.add_node("s")
+        previous = "s"
+        layers = 70
+        for i in range(layers):
+            a, b, join = f"a{i}", f"b{i}", f"j{i}"
+            for node in (a, b, join):
+                graph.add_node(node)
+            graph.add_edge(previous, a)
+            graph.add_edge(previous, b)
+            graph.add_edge(a, join)
+            graph.add_edge(b, join)
+            previous = join
+        qg = QueryGraph(graph, "s", [previous])
+        expected = float(2 ** layers)
+        reference = rank(qg, "path_count").scores[previous]
+        compiled = rank(qg, "path_count", backend="compiled").scores[previous]
+        assert reference == expected
+        assert compiled == expected  # an int64 wrap would go negative
+
+
+class TestCompiledGraphStructure:
+    def test_parallel_in_edges_merge(self):
+        graph = ProbabilisticEntityGraph()
+        graph.add_node("s")
+        graph.add_node("t")
+        graph.add_edge("s", "t", q=0.5)
+        graph.add_edge("s", "t", q=0.5)
+        cg = compile_graph(QueryGraph(graph, "s", ["t"]))
+        t = cg.index["t"]
+        lo, hi = cg.in_offsets[t], cg.in_offsets[t + 1]
+        assert hi - lo == 1  # merged to one entry
+        assert cg.in_q[lo] == pytest.approx(0.75)
+        assert cg.out_mult.tolist() == [2]  # PathCount still sees both
+        assert cg.raw_in_degree[t] == 2  # InEdge still sees both
+
+    def test_fingerprint_is_content_based(self, wheatstone):
+        other = wheatstone.copy()
+        assert compile_graph(wheatstone).fingerprint == compile_graph(other).fingerprint
+        perturbed = wheatstone.copy()
+        perturbed.graph.set_p("a", 0.123)
+        assert (
+            compile_graph(perturbed).fingerprint
+            != compile_graph(wheatstone).fingerprint
+        )
+
+    def test_unknown_backend_rejected(self, wheatstone):
+        with pytest.raises(RankingError):
+            rank(wheatstone, "propagation", backend="gpu")
