@@ -1,0 +1,136 @@
+"""Builder benchmarks: set-at-a-time vs scalar graph materialisation.
+
+Measures, at the scale of the fig4/fig5 experiment graphs (the ABCC8
+running example is 484 nodes / 749 edges):
+
+* batched vs scalar build throughput on a mediated multi-source
+  workload whose link tables are *unindexed* (thin wrappers without
+  predicate push-down — every scalar probe is a table scan, while the
+  batched builder issues one scan per BFS level). This is the regime
+  the set-at-a-time refactor targets; expect an order of magnitude.
+* the same comparison with indexed link tables (push-down sources),
+  where batching wins constant factors only;
+* batched vs scalar on the real ABCC8 biology case; and
+* cold vs warm :meth:`~repro.engine.RankingEngine.execute` — the warm
+  path must be served entirely from the engine's query cache without
+  touching storage.
+"""
+
+import pytest
+
+from repro.engine import RankingEngine
+from repro.integration.query import ExploratoryQuery
+from repro.workloads import mediated_layers
+
+
+@pytest.fixture(scope="session")
+def scan_workload():
+    """Fig4/fig5-scale mediated workload, unindexed link tables."""
+    return mediated_layers(
+        layers=4, width=160, fan_out=3, seeds=4, rng=0, index_links=False
+    )
+
+
+@pytest.fixture(scope="session")
+def indexed_workload():
+    """Same shape, link tables with push-down (hash-indexed probes)."""
+    return mediated_layers(
+        layers=4, width=160, fan_out=3, seeds=4, rng=0, index_links=True
+    )
+
+
+@pytest.fixture(scope="session")
+def abcc8_query(abcc8):
+    return (
+        abcc8.case.mediator,
+        ExploratoryQuery(
+            "EntrezProtein", "name", abcc8.case.spec.protein, outputs=("GOTerm",)
+        ),
+    )
+
+
+@pytest.mark.benchmark(group="builder-scan-sources")
+class TestScanSourceBuild:
+    """Unindexed (wrapper-style) sources: the batched builder's home turf."""
+
+    def test_scalar_build(self, benchmark, scan_workload):
+        benchmark.pedantic(
+            lambda: scan_workload.query.execute(
+                scan_workload.mediator, builder="scalar"
+            ),
+            rounds=3,
+            iterations=2,
+        )
+
+    def test_batched_build(self, benchmark, scan_workload):
+        benchmark.pedantic(
+            lambda: scan_workload.query.execute(
+                scan_workload.mediator, builder="batched"
+            ),
+            rounds=3,
+            iterations=2,
+        )
+
+
+@pytest.mark.benchmark(group="builder-indexed-sources")
+class TestIndexedSourceBuild:
+    def test_scalar_build(self, benchmark, indexed_workload):
+        benchmark.pedantic(
+            lambda: indexed_workload.query.execute(
+                indexed_workload.mediator, builder="scalar"
+            ),
+            rounds=3,
+            iterations=5,
+        )
+
+    def test_batched_build(self, benchmark, indexed_workload):
+        benchmark.pedantic(
+            lambda: indexed_workload.query.execute(
+                indexed_workload.mediator, builder="batched"
+            ),
+            rounds=3,
+            iterations=5,
+        )
+
+
+@pytest.mark.benchmark(group="builder-biology-case")
+class TestBiologyCaseBuild:
+    def test_scalar_build(self, benchmark, abcc8_query):
+        mediator, query = abcc8_query
+        benchmark.pedantic(
+            lambda: query.execute(mediator, builder="scalar"),
+            rounds=3,
+            iterations=3,
+        )
+
+    def test_batched_build(self, benchmark, abcc8_query):
+        mediator, query = abcc8_query
+        benchmark.pedantic(
+            lambda: query.execute(mediator, builder="batched"),
+            rounds=3,
+            iterations=3,
+        )
+
+
+@pytest.mark.benchmark(group="builder-query-cache")
+class TestQueryCache:
+    def test_cold_execute(self, benchmark, abcc8_query):
+        mediator, query = abcc8_query
+
+        def cold():
+            return RankingEngine(mediator=mediator).execute(query)
+
+        benchmark.pedantic(cold, rounds=3, iterations=3)
+
+    def test_warm_execute(self, benchmark, abcc8_query):
+        mediator, query = abcc8_query
+        engine = RankingEngine(mediator=mediator)
+        engine.execute(query)  # populate the query cache
+
+        def warm():
+            return engine.execute(query)
+
+        result = benchmark.pedantic(warm, rounds=3, iterations=100)
+        assert result is not None
+        assert engine.stats.graph_hits > 0
+        assert engine.stats.queries_executed == 1  # storage touched once

@@ -178,8 +178,13 @@ class ProteinCaseGenerator:
     # public API
     # ------------------------------------------------------------------ #
 
-    def generate(self, spec: CaseSpec) -> GeneratedCase:
-        """Build sources, register them, run the exploratory query."""
+    def generate(self, spec: CaseSpec, builder: str = "batched") -> GeneratedCase:
+        """Build sources, register them, run the exploratory query.
+
+        ``builder`` selects the graph-materialisation path — the
+        frontier-batched executor by default, ``"scalar"`` for the
+        cross-checked reference implementation (identical output).
+        """
         rng = random.Random()
         rng.seed(f"{self._seed_token}:case:{spec.protein}", version=2)
         family_ids = itertools.count(1)
@@ -239,7 +244,7 @@ class ProteinCaseGenerator:
         query = ExploratoryQuery(
             "EntrezProtein", "name", spec.protein, outputs=("GOTerm",)
         )
-        query_graph, stats = query.execute(mediator)
+        query_graph, stats = query.execute(mediator, builder=builder)
 
         answer_count = len(query_graph.targets)
         if answer_count != spec.n_total:

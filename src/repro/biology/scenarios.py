@@ -168,13 +168,16 @@ def build_scenario(
     seed: RngLike = 0,
     ontology: Optional[GeneOntology] = None,
     limit: Optional[int] = None,
+    builder: str = "batched",
 ) -> List[ScenarioCase]:
     """Regenerate a scenario's evaluation cases deterministically.
 
     ``limit`` truncates the protein list (handy for fast tests); the
     generated graphs for a given (protein, seed) pair are identical
     across scenarios — scenario 2 reuses scenario 1's graphs with a
-    different relevant set, exactly as in the paper.
+    different relevant set, exactly as in the paper. ``builder`` selects
+    the graph-materialisation path (set-at-a-time by default, the scalar
+    reference on request — the graphs are identical either way).
     """
     scenario = Scenario(scenario)
     generator = ProteinCaseGenerator(ontology=ontology, rng=seed)
@@ -183,7 +186,9 @@ def build_scenario(
     if scenario is Scenario.WELL_KNOWN:
         rows = SCENARIO1_PROTEINS[:limit]
         for protein, n_gold, n_total in rows:
-            generated = generator.generate(_scenario1_spec(protein, n_gold, n_total))
+            generated = generator.generate(
+                _scenario1_spec(protein, n_gold, n_total), builder=builder
+            )
             cases.append(
                 ScenarioCase(protein, generated, relevant=generated.gold_nodes)
             )
@@ -192,7 +197,9 @@ def build_scenario(
             row for row in SCENARIO1_PROTEINS if row[0] in SCENARIO2_FUNCTIONS
         ][:limit]
         for protein, n_gold, n_total in rows:
-            generated = generator.generate(_scenario1_spec(protein, n_gold, n_total))
+            generated = generator.generate(
+                _scenario1_spec(protein, n_gold, n_total), builder=builder
+            )
             if not generated.novel_nodes:
                 raise ValidationError(f"{protein}: no novel functions generated")
             cases.append(
@@ -201,7 +208,9 @@ def build_scenario(
     else:
         rows = SCENARIO3_PROTEINS[:limit]
         for protein, go_id, n_total in rows:
-            generated = generator.generate(_scenario3_spec(protein, go_id, n_total))
+            generated = generator.generate(
+                _scenario3_spec(protein, go_id, n_total), builder=builder
+            )
             cases.append(
                 ScenarioCase(protein, generated, relevant=generated.true_nodes)
             )

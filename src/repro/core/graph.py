@@ -95,6 +95,50 @@ class ProbabilisticEntityGraph:
         self._in[target].append(edge)
         return key
 
+    def add_nodes(self, items: Iterable[Tuple[NodeId, float, Any]]) -> None:
+        """Bulk :meth:`add_node`: ``items`` yields ``(node, p, data)``.
+
+        Semantically identical to calling :meth:`add_node` per item (same
+        duplicate and probability checks, same insertion order) but with
+        the per-call overhead hoisted out of the loop — the set-at-a-time
+        graph builder materialises whole BFS frontiers through this.
+        Any invariant change in :meth:`add_node` must be mirrored here;
+        the builder property suite cross-checks the two paths.
+        """
+        p_map, data_map, out_map, in_map = self._p, self._data, self._out, self._in
+        for node, p, data in items:
+            if node in p_map:
+                raise GraphError(f"node {node!r} already exists")
+            if not (type(p) is float and 0.0 <= p <= 1.0):
+                p = check_probability(p, f"p({node!r})")
+            p_map[node] = p
+            data_map[node] = data
+            out_map[node] = []
+            in_map[node] = []
+
+    def add_edges(self, items: Iterable[Tuple[NodeId, NodeId, float]]) -> None:
+        """Bulk :meth:`add_edge`: ``items`` yields ``(source, target, q)``.
+
+        Edge keys are assigned in iteration order, exactly as a sequence
+        of :meth:`add_edge` calls would. Any invariant change in
+        :meth:`add_edge` must be mirrored here.
+        """
+        p_map, edges, q_map = self._p, self._edges, self._q
+        out_map, in_map = self._out, self._in
+        counter = self._edge_counter
+        for source, target, q in items:
+            if source not in p_map or target not in p_map:
+                missing = source if source not in p_map else target
+                raise GraphError(f"edge endpoint {missing!r} is not a node")
+            if not (type(q) is float and 0.0 <= q <= 1.0):
+                q = check_probability(q, f"q({source!r} -> {target!r})")
+            key = next(counter)
+            edge = Edge(key, source, target)
+            edges[key] = edge
+            q_map[key] = q
+            out_map[source].append(edge)
+            in_map[target].append(edge)
+
     def remove_edge(self, key: int) -> None:
         edge = self._edges.pop(key, None)
         if edge is None:

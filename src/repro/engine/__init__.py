@@ -2,9 +2,10 @@
 
 This package hosts the :class:`RankingEngine`, the front door for
 production-style workloads — execute many exploratory queries against a
-mediator, compile each query graph once into the shared CSR form, and
-serve per-method scores from a fingerprint-keyed cache. See
-:mod:`repro.engine.ranking` for the full contract.
+mediator through the set-at-a-time builder, serve repeated queries from
+the epoch-guarded query cache, compile each query graph once into the
+shared CSR form, and serve per-method scores from a fingerprint-keyed
+cache. See :mod:`repro.engine.ranking` for the full contract.
 """
 
 from repro.engine.ranking import EngineStats, RankingEngine

@@ -10,8 +10,17 @@ graph's content fingerprint, so repeated or structurally identical
 requests (the common case under heavy traffic) cost a dictionary probe
 instead of a scoring pass.
 
-Two caches cooperate:
+Three caches cooperate:
 
+* the **query cache** maps an exploratory query's canonical signature
+  plus the mediator's *epoch* to the materialised ``QueryGraph``
+  (bounded LRU). The epoch is a monotone token covering source
+  registrations, confidence tuning and row mutations of every bound
+  table, so a stale entry can never be served: any change that could
+  alter the materialised graph changes the epoch, and the entry is
+  evicted on its next probe. Identical exploratory queries under
+  serving traffic therefore skip graph materialisation entirely and
+  flow straight into the compile/score caches below;
 * the **compile cache** maps live ``QueryGraph`` objects to their
   :class:`~repro.core.compile.CompiledGraph` (weakly keyed, so graphs
   are evicted when the caller drops them);
@@ -37,7 +46,7 @@ from repro.core.graph import QueryGraph
 from repro.core.ranker import BACKENDS, RankedResult, rank, resolve_method
 from repro.errors import RankingError
 from repro.integration.mediator import Mediator
-from repro.integration.query import ExploratoryQuery
+from repro.integration.query import BUILDERS, ExploratoryQuery
 
 __all__ = ["EngineStats", "RankingEngine"]
 
@@ -57,6 +66,8 @@ class EngineStats:
     compile_misses: int = 0
     score_hits: int = 0
     score_misses: int = 0
+    graph_hits: int = 0
+    graph_misses: int = 0
     queries_executed: int = 0
 
     def reset(self) -> None:
@@ -64,6 +75,8 @@ class EngineStats:
         self.compile_misses = 0
         self.score_hits = 0
         self.score_misses = 0
+        self.graph_hits = 0
+        self.graph_misses = 0
         self.queries_executed = 0
 
 
@@ -103,37 +116,89 @@ class RankingEngine:
         self,
         mediator: Optional[Mediator] = None,
         backend: str = "compiled",
+        builder: str = "batched",
         cache_scores: bool = True,
         max_cached_scores: int = 1024,
+        cache_graphs: bool = True,
+        max_cached_graphs: int = 256,
     ):
         if backend not in BACKENDS:
             raise RankingError(
                 f"unknown backend {backend!r}; choose from {BACKENDS}"
             )
+        if builder not in BUILDERS:
+            raise RankingError(
+                f"unknown builder {builder!r}; choose from {sorted(BUILDERS)}"
+            )
         self.mediator = mediator
         self.backend = backend
+        self.builder = builder
         self.cache_scores = cache_scores
         self.max_cached_scores = max_cached_scores
+        self.cache_graphs = cache_graphs
+        self.max_cached_graphs = max_cached_graphs
         self.stats = EngineStats()
         self._compiled: "weakref.WeakKeyDictionary[QueryGraph, CompiledGraph]" = (
             weakref.WeakKeyDictionary()
         )
         self._scores: "OrderedDict[Tuple, Dict[NodeId, float]]" = OrderedDict()
+        #: query signature -> (mediator, its epoch at execution, graph)
+        self._graphs: "OrderedDict[Tuple, Tuple[Mediator, int, QueryGraph]]" = (
+            OrderedDict()
+        )
 
     # -------------------------------------------------------------- #
     # query execution
     # -------------------------------------------------------------- #
 
-    def execute(self, query: ExploratoryQuery) -> QueryGraph:
-        """Run ``query`` through the engine's mediator."""
+    def execute(
+        self, query: ExploratoryQuery, builder: Optional[str] = None
+    ) -> QueryGraph:
+        """Run ``query`` through the engine's mediator.
+
+        Results are cached by the query's canonical signature plus the
+        mediator's epoch: a repeated query against unchanged sources is
+        a dictionary probe (``graph_hits``), while any source
+        registration, confidence tuning or bound-table mutation bumps
+        the epoch and forces re-materialisation (``graph_misses``).
+        """
         if self.mediator is None:
             raise RankingError(
                 "this engine has no mediator; construct it with one to "
                 "execute exploratory queries"
             )
-        qg, _ = query.execute(self.mediator)
+        chosen_builder = builder or self.builder
+        if not self.cache_graphs:
+            qg, _ = query.execute(self.mediator, builder=chosen_builder)
+            self.stats.queries_executed += 1
+            return qg
+        epoch = self.mediator.epoch
+        key = (query.signature, chosen_builder)
+        cached = self._graphs.get(key)
+        if cached is not None:
+            cached_mediator, cached_epoch, qg = cached
+            # the entry must come from *this* mediator (the attribute is
+            # public and reassignable) and from its current epoch
+            if cached_mediator is self.mediator and cached_epoch == epoch:
+                self._graphs.move_to_end(key)
+                self.stats.graph_hits += 1
+                return qg
+            del self._graphs[key]  # stale: sources changed since execution
+        self.stats.graph_misses += 1
+        qg, _ = query.execute(self.mediator, builder=chosen_builder)
         self.stats.queries_executed += 1
+        self._graphs[key] = (self.mediator, epoch, qg)
+        while len(self._graphs) > self.max_cached_graphs:
+            self._graphs.popitem(last=False)
         return qg
+
+    def execute_many(
+        self,
+        queries: Iterable[ExploratoryQuery],
+        builder: Optional[str] = None,
+    ) -> List[QueryGraph]:
+        """Execute a batch of exploratory queries (cache-aware)."""
+        return [self.execute(query, builder=builder) for query in queries]
 
     def _resolve_graph(self, target: Rankable) -> QueryGraph:
         if isinstance(target, QueryGraph):
@@ -165,12 +230,18 @@ class RankingEngine:
         if qg is None:
             self._compiled = weakref.WeakKeyDictionary()
             self._scores.clear()
+            self._graphs.clear()
             return
         compiled = self._compiled.pop(qg, None)
         if compiled is not None:
             stale = [k for k in self._scores if k[0] == compiled.fingerprint]
             for key in stale:
                 del self._scores[key]
+        stale_graphs = [
+            k for k, (_, _, cached) in self._graphs.items() if cached is qg
+        ]
+        for key in stale_graphs:
+            del self._graphs[key]
 
     # -------------------------------------------------------------- #
     # ranking

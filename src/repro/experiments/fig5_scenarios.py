@@ -56,8 +56,12 @@ def compute(
     seed: int = DEFAULT_SEED,
     limit: Optional[int] = None,
     engine: Optional[RankingEngine] = None,
+    builder: str = "batched",
 ) -> List[MethodScore]:
-    cases = build_scenario(scenario, seed=seed, limit=limit)
+    """Evaluate one scenario; graphs materialise through the
+    set-at-a-time executor (``builder="scalar"`` cross-checks against
+    the reference path — the resulting APs are identical)."""
+    cases = build_scenario(scenario, seed=seed, limit=limit, builder=builder)
     return evaluate_scenario_ap(cases, engine=engine)
 
 

@@ -3,7 +3,12 @@
 All scoring in the experiment drivers flows through one
 :class:`~repro.engine.RankingEngine` (:func:`default_engine`), so every
 query graph is compiled into the shared CSR form once and its
-deterministic scores are cached across methods and figures.
+deterministic scores are cached across methods and figures. Graph
+materialisation upstream of the drivers is set-at-a-time end to end:
+:func:`~repro.biology.scenarios.build_scenario` executes the scenario
+queries through the frontier-batched builder (storage batch lookups +
+mediator binding plans), and engines wrapping a mediator additionally
+serve repeated queries from the epoch-guarded query cache.
 """
 
 from __future__ import annotations

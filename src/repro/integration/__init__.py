@@ -8,10 +8,12 @@ entity graph:
   (EntrezGene status codes, AmiGO evidence codes, BLAST e-values);
 * :mod:`~repro.integration.sources` — bindings describing which tables
   of a source database export which entity sets and relationships;
-* :mod:`~repro.integration.mediator` — source registry plus the
-  link-following machinery;
+* :mod:`~repro.integration.mediator` — source registry, precomputed
+  per-entity-set binding plans, and the epoch token the engine's query
+  cache keys on;
 * :mod:`~repro.integration.builder` — materialises the probabilistic
-  entity graph (``p = ps * pr``, ``q = qs * qr``);
+  entity graph (``p = ps * pr``, ``q = qs * qr``), set-at-a-time
+  (frontier-batched) by default with a scalar reference implementation;
 * :mod:`~repro.integration.query` — exploratory queries (Definition 2.2)
   returning a ready-to-rank :class:`~repro.core.graph.QueryGraph`.
 """
@@ -26,9 +28,13 @@ from repro.integration.probability import (
     probability_to_evalue,
 )
 from repro.integration.sources import DataSource, EntityBinding, RelationshipBinding
-from repro.integration.mediator import Mediator
-from repro.integration.builder import BuildStats
-from repro.integration.query import ExploratoryQuery
+from repro.integration.mediator import EntityPlan, Mediator, RelationshipPlan
+from repro.integration.builder import (
+    BatchedEntityGraphBuilder,
+    BuildStats,
+    EntityGraphBuilder,
+)
+from repro.integration.query import BUILDERS, ExploratoryQuery
 
 __all__ = [
     "AMIGO_EVIDENCE_PR",
@@ -41,7 +47,12 @@ __all__ = [
     "DataSource",
     "EntityBinding",
     "RelationshipBinding",
+    "EntityPlan",
+    "RelationshipPlan",
     "Mediator",
+    "BatchedEntityGraphBuilder",
     "BuildStats",
+    "EntityGraphBuilder",
+    "BUILDERS",
     "ExploratoryQuery",
 ]

@@ -6,19 +6,39 @@ probability products of §2). Links whose endpoint record does not exist
 in the endpoint's entity table are *dangling* and dropped — real
 integration runs hit these constantly, so the builder counts rather than
 crashes.
+
+Two builders share one contract:
+
+* :class:`EntityGraphBuilder` — the scalar reference: record-at-a-time
+  BFS probing storage once per node and once per link row;
+* :class:`BatchedEntityGraphBuilder` — set-at-a-time execution: a
+  level-synchronous BFS that expands the whole frontier per step through
+  the storage layer's batch lookups
+  (:meth:`~repro.storage.table.Table.lookup_many`), materialising nodes
+  and edges in bulk. It replays link rows in the exact scalar order, so
+  the resulting graph (nodes, edges, probabilities, insertion order) and
+  :class:`BuildStats` are identical to the reference — the property
+  suite cross-checks this on randomized schemas.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Set, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from repro.core.graph import ProbabilisticEntityGraph
-from repro.integration.mediator import Mediator
+from repro.integration.mediator import EntityPlan, Mediator, RelationshipPlan
 from repro.storage.table import Row
 from repro.utils.validation import check_probability
 
-__all__ = ["BuildStats", "EntityGraphBuilder", "entity_node_id", "QUERY_ENTITY_SET"]
+__all__ = [
+    "BuildStats",
+    "BatchedEntityGraphBuilder",
+    "EntityGraphBuilder",
+    "entity_node_id",
+    "QUERY_ENTITY_SET",
+]
 
 #: pseudo entity set of the synthetic query node
 QUERY_ENTITY_SET = "__query__"
@@ -57,7 +77,8 @@ class EntityGraphBuilder:
     Starting from seed records, follows every outgoing relationship
     binding recursively (the "follows all links recursively" semantics of
     exploratory queries) and materialises nodes and edges with their
-    probability products.
+    probability products. This is the scalar reference implementation;
+    production traffic runs :class:`BatchedEntityGraphBuilder`.
     """
 
     def __init__(self, mediator: Mediator):
@@ -92,12 +113,12 @@ class EntityGraphBuilder:
         self.stats.visited_entities[entity_set] = count + 1
         return node_id
 
-    def expand_from(self, seeds: List[NodeKey]) -> None:
+    def expand_from(self, seeds: Iterable[NodeKey]) -> None:
         """BFS over relationship bindings from already-added seed nodes."""
-        frontier = list(seeds)
+        frontier = deque(seeds)
         expanded: Set[NodeKey] = set()
         while frontier:
-            current = frontier.pop(0)
+            current = frontier.popleft()
             if current in expanded:
                 continue
             expanded.add(current)
@@ -117,3 +138,206 @@ class EntityGraphBuilder:
                     self.stats.edges += 1
                     if target_id not in expanded:
                         frontier.append(target_id)
+
+
+def _checked(value: object, context: str, detail: Hashable) -> float:
+    """Fast-path probability validation: accept in-range floats inline,
+    delegate everything else (NaN fails the chained comparison) to
+    :func:`check_probability` so the error message and type coercion
+    match the scalar builder exactly."""
+    if type(value) is float and 0.0 <= value <= 1.0:
+        return value
+    return check_probability(value, f"{context}:{detail!r})")
+
+
+class BatchedEntityGraphBuilder(EntityGraphBuilder):
+    """Set-at-a-time expansion: level-synchronous BFS over batch lookups.
+
+    Each BFS step expands the *entire frontier* at once:
+
+    1. group the frontier by entity set, then fetch all link rows with
+       one :meth:`~repro.storage.table.Table.lookup_many` per
+       (entity set, relationship plan) pair;
+    2. prefetch the records of every not-yet-materialised target key
+       with one ``lookup_many`` per target entity set;
+    3. replay the fetched rows in the scalar builder's exact order,
+       materialising nodes and edges in bulk.
+
+    Step 3 preserves the reference builder's node/edge insertion order
+    and :class:`BuildStats` semantics (dangling links are counted per
+    referencing row, visited-entity tallies per materialised node), so
+    both builders produce identical graphs — only the number of storage
+    round-trips changes: O(frontier) probes collapse into O(bindings).
+    """
+
+    def add_entity_node(self, entity_set: str, key: Hashable) -> Optional[NodeKey]:
+        node_id = (entity_set, key)
+        if self.graph.has_node(node_id):
+            return node_id
+        plan = self.mediator.entity_plan(entity_set)
+        matches = plan.table.lookup((plan.key_column,), (key,))
+        if not matches:
+            self.stats.dangling_links += 1
+            return None
+        return self._materialise(plan, key, matches[0])
+
+    def _materialise(self, plan: EntityPlan, key: Hashable, record: Row) -> NodeKey:
+        """Add the node for ``record`` (assumed absent) and tally stats."""
+        entity_set = plan.entity_set
+        pr = _checked(plan.pr(record), f"pr({entity_set}", key)
+        node_id = (entity_set, key)
+        self.graph.add_node(
+            node_id,
+            p=plan.ps * pr,
+            data=NodePayload(
+                entity_set, key, record, plan.label(record) if plan.label else str(key)
+            ),
+        )
+        stats = self.stats
+        stats.nodes += 1
+        stats.visited_entities[entity_set] = (
+            stats.visited_entities.get(entity_set, 0) + 1
+        )
+        return node_id
+
+    def expand_from(self, seeds: Iterable[NodeKey]) -> None:
+        """Level-synchronous BFS expanding the whole frontier per step."""
+        mediator = self.mediator
+        graph = self.graph
+        stats = self.stats
+        has_node = graph.has_node
+        expanded: Set[NodeKey] = set()
+        level: List[NodeKey] = list(seeds)
+        while level:
+            frontier: List[NodeKey] = []
+            for node in level:
+                if node not in expanded:
+                    expanded.add(node)
+                    frontier.append(node)
+            if not frontier:
+                break
+
+            # 1. one batched link lookup per (entity set, relationship)
+            by_set: Dict[str, List[Hashable]] = {}
+            for entity_set, key in frontier:
+                by_set.setdefault(entity_set, []).append(key)
+            fetched_links: Dict[
+                str, List[Tuple[Dict[Hashable, List[Row]], RelationshipPlan]]
+            ] = {}
+            targets_seen: Dict[str, Set[Hashable]] = {}
+            for entity_set, keys in by_set.items():
+                links = fetched_links[entity_set] = []
+                for plan in mediator.outgoing_plans(entity_set):
+                    rows_by_key = plan.table.lookup_many((plan.source_column,), keys)
+                    if not rows_by_key:
+                        continue
+                    links.append((rows_by_key, plan))
+                    seen = targets_seen.setdefault(plan.target_entity, set())
+                    column = plan.target_column
+                    for rows in rows_by_key.values():
+                        for row in rows:
+                            seen.add(row[column])
+
+            # 2. prefetch the records of every not-yet-materialised
+            #    target key, one batched lookup per target entity set
+            fetched: Dict[str, Tuple[EntityPlan, Dict[Hashable, Row]]] = {}
+            for target_entity, seen in targets_seen.items():
+                missing = [
+                    key for key in seen if not has_node((target_entity, key))
+                ]
+                if not missing:
+                    continue
+                target_plan = mediator.entity_plan(target_entity)
+                grouped = target_plan.table.lookup_many(
+                    (target_plan.key_column,), missing
+                )
+                fetched[target_entity] = (
+                    target_plan,
+                    {key: rows[0] for key, rows in grouped.items()},
+                )
+
+            # each entity set's replay tasks carry the plan fields and
+            # prefetched record maps hoisted out of the per-row loop
+            empty: Dict[Hashable, Row] = {}
+            tasks_by_set: Dict[str, List[Tuple]] = {}
+            for entity_set, links in fetched_links.items():
+                tasks_by_set[entity_set] = [
+                    (
+                        rows_by_key,
+                        plan.target_entity,
+                        plan.target_column,
+                        plan.qs,
+                        None if plan.qr_is_one else plan.qr,
+                        plan.relationship,
+                    )
+                    + fetched.get(plan.target_entity, (None, empty))
+                    for rows_by_key, plan in links
+                ]
+
+            # 3. replay rows in scalar order, collecting new nodes and
+            #    edges for one bulk insertion per level
+            new_nodes: List[Tuple[NodeKey, float, NodePayload]] = []
+            new_ids: Set[NodeKey] = set()
+            new_edges: List[Tuple[NodeKey, NodeKey, float]] = []
+            next_level: List[NodeKey] = []
+            visited = stats.visited_entities
+            dangling = 0
+            for node in frontier:
+                entity_set, key = node
+                for (
+                    rows_by_key,
+                    target_entity,
+                    column,
+                    qs,
+                    qr_fn,
+                    relationship,
+                    target_plan,
+                    records,
+                ) in tasks_by_set[entity_set]:
+                    rows = rows_by_key.get(key)
+                    if not rows:
+                        continue
+                    for row in rows:
+                        target_key = row[column]
+                        target_id = (target_entity, target_key)
+                        if target_id not in new_ids and not has_node(target_id):
+                            record = records.get(target_key)
+                            if record is None:
+                                dangling += 1
+                                continue
+                            pr = (
+                                1.0
+                                if target_plan.pr_is_one
+                                else _checked(
+                                    target_plan.pr(record),
+                                    f"pr({target_entity}",
+                                    target_key,
+                                )
+                            )
+                            label = (
+                                target_plan.label(record)
+                                if target_plan.label
+                                else str(target_key)
+                            )
+                            new_nodes.append(
+                                (
+                                    target_id,
+                                    target_plan.ps * pr,
+                                    NodePayload(target_entity, target_key, record, label),
+                                )
+                            )
+                            new_ids.add(target_id)
+                            visited[target_entity] = visited.get(target_entity, 0) + 1
+                        if qr_fn is None:
+                            q = qs
+                        else:
+                            q = qs * _checked(qr_fn(row), f"qr({relationship}", key)
+                        new_edges.append((node, target_id, q))
+                        if target_id not in expanded:
+                            next_level.append(target_id)
+            graph.add_nodes(new_nodes)
+            graph.add_edges(new_edges)
+            stats.nodes += len(new_nodes)
+            stats.edges += len(new_edges)
+            stats.dangling_links += dangling
+            level = next_level

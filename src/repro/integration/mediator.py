@@ -1,22 +1,82 @@
-"""The mediator: source registry plus link-following.
+"""The mediator: source registry, binding plans, and link-following.
 
 The mediator knows, for every entity set of the mediated schema, which
 source table holds its records, and for every entity set, which
 relationship bindings lead *out* of it. Exploratory query execution is a
 breadth-first expansion over those bindings starting from the records
 that match the query predicate.
+
+Set-at-a-time execution support: the mediator precomputes a **binding
+plan** per entity set — the resolved
+:class:`~repro.storage.table.Table` objects, key columns, cached
+``ps``/``qs`` confidences and outgoing relationship plans — so the graph
+builder never re-resolves bindings or re-probes the confidence registry
+per node. Plans are built once on first use after
+:meth:`Mediator.register` (not per registration) and rebuilt
+automatically when the confidence registry is tuned afterwards (it
+carries a version counter).
+
+The mediator also exposes an :attr:`~Mediator.epoch` token combining the
+registration count, the confidence-registry version and the mutation
+versions of every bound table. Any change that could alter a query's
+materialised graph changes the epoch, which is what the engine-level
+query cache keys on.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import QueryError, SchemaError
 from repro.integration.probability import ConfidenceRegistry
-from repro.integration.sources import DataSource, EntityBinding, RelationshipBinding
+from repro.integration.sources import (
+    DataSource,
+    EntityBinding,
+    RelationshipBinding,
+    is_constant_one,
+)
 from repro.storage.table import Row, Table
 
-__all__ = ["Mediator"]
+__all__ = ["EntityPlan", "Mediator", "RelationshipPlan"]
+
+
+@dataclass(frozen=True)
+class RelationshipPlan:
+    """One outgoing relationship binding, fully resolved for execution."""
+
+    source: DataSource
+    binding: RelationshipBinding
+    table: Table
+    relationship: str
+    source_column: str
+    target_entity: str
+    target_column: str
+    qr: Callable[[Row], float]
+    #: cached set-level confidence qs(relationship)
+    qs: float
+    #: True when ``qr`` is the default constant-1 transformation, letting
+    #: the batched builder skip the per-row call (q = qs exactly)
+    qr_is_one: bool = False
+
+
+@dataclass(frozen=True)
+class EntityPlan:
+    """Everything needed to materialise one entity set's records."""
+
+    source: DataSource
+    binding: EntityBinding
+    table: Table
+    entity_set: str
+    key_column: str
+    pr: Callable[[Row], float]
+    label: Optional[Callable[[Row], str]]
+    #: cached set-level confidence ps(entity_set)
+    ps: float
+    #: outgoing relationship plans, in registration order
+    out: Tuple[RelationshipPlan, ...] = field(default=())
+    #: True when ``pr`` is the default constant-1 transformation
+    pr_is_one: bool = False
 
 
 class Mediator:
@@ -32,6 +92,11 @@ class Mediator:
         self._sources: Dict[str, DataSource] = {}
         self._entity_bindings: Dict[str, Tuple[DataSource, EntityBinding]] = {}
         self._outgoing: Dict[str, List[Tuple[DataSource, RelationshipBinding]]] = {}
+        self._plans: Dict[str, EntityPlan] = {}
+        self._plans_dirty = False
+        self._plan_conf_version = self.confidences.version
+        self._registrations = 0
+        self._bound_tables: List[Table] = []
 
     def register(self, source: DataSource) -> None:
         """Add a source; entity sets may only have one providing source."""
@@ -49,6 +114,95 @@ class Mediator:
             self._entity_bindings[binding.entity_set] = (source, binding)
         for rel in source.relationships:
             self._outgoing.setdefault(rel.source_entity, []).append((source, rel))
+        self._registrations += 1
+        self._plans_dirty = True  # rebuilt lazily on first use
+
+    # ------------------------------------------------------------------ #
+    # binding plans
+    # ------------------------------------------------------------------ #
+
+    def _rebuild_plans(self) -> None:
+        """Recompute every entity set's execution plan (and the list of
+        bound tables watched by :attr:`epoch`)."""
+        plans: Dict[str, EntityPlan] = {}
+        tables: Dict[int, Table] = {}
+        for entity_set, (source, binding) in self._entity_bindings.items():
+            table = source.database.table(binding.table)
+            tables.setdefault(id(table), table)
+            out: List[RelationshipPlan] = []
+            for rel_source, rel in self._outgoing.get(entity_set, ()):
+                rel_table = rel_source.database.table(rel.table)
+                tables.setdefault(id(rel_table), rel_table)
+                out.append(
+                    RelationshipPlan(
+                        source=rel_source,
+                        binding=rel,
+                        table=rel_table,
+                        relationship=rel.relationship,
+                        source_column=rel.source_column,
+                        target_entity=rel.target_entity,
+                        target_column=rel.target_column,
+                        qr=rel.qr,
+                        qs=self.confidences.qs(rel.relationship),
+                        qr_is_one=is_constant_one(rel.qr),
+                    )
+                )
+            plans[entity_set] = EntityPlan(
+                source=source,
+                binding=binding,
+                table=table,
+                entity_set=entity_set,
+                key_column=binding.key_column,
+                pr=binding.pr,
+                label=binding.label,
+                ps=self.confidences.ps(entity_set),
+                out=tuple(out),
+                pr_is_one=is_constant_one(binding.pr),
+            )
+        # relationships out of entity sets nobody provides (the query
+        # pseudo-set, or sets whose provider registers later) still need
+        # watching for epoch purposes
+        for entity_set, pairs in self._outgoing.items():
+            if entity_set in plans:
+                continue
+            for rel_source, rel in pairs:
+                rel_table = rel_source.database.table(rel.table)
+                tables.setdefault(id(rel_table), rel_table)
+        self._plans = plans
+        self._bound_tables = list(tables.values())
+        self._plans_dirty = False
+        self._plan_conf_version = self.confidences.version
+
+    def _fresh_plans(self) -> Dict[str, EntityPlan]:
+        if self._plans_dirty or self._plan_conf_version != self.confidences.version:
+            self._rebuild_plans()
+        return self._plans
+
+    def entity_plan(self, entity_set: str) -> EntityPlan:
+        """The precomputed execution plan of ``entity_set``."""
+        try:
+            return self._fresh_plans()[entity_set]
+        except KeyError:
+            raise QueryError(f"no source provides entity set {entity_set!r}") from None
+
+    def outgoing_plans(self, entity_set: str) -> Tuple[RelationshipPlan, ...]:
+        """Outgoing relationship plans (empty for unknown entity sets,
+        matching :meth:`outgoing_bindings` on e.g. the query pseudo-set)."""
+        plan = self._fresh_plans().get(entity_set)
+        return plan.out if plan is not None else ()
+
+    @property
+    def epoch(self) -> int:
+        """Monotone counter covering everything a materialised graph
+        depends on: registrations, confidence tuning, and row mutations
+        of any bound table. Equal epochs guarantee an identical graph for
+        the same query, which is what the engine's query cache relies on."""
+        self._fresh_plans()
+        return (
+            self._registrations
+            + self.confidences.version
+            + sum(table.version for table in self._bound_tables)
+        )
 
     # ------------------------------------------------------------------ #
     # lookups used by the graph builder
@@ -65,14 +219,12 @@ class Mediator:
             raise QueryError(f"no source provides entity set {entity_set!r}") from None
 
     def entity_table(self, entity_set: str) -> Table:
-        source, binding = self.entity_binding(entity_set)
-        return source.database.table(binding.table)
+        return self.entity_plan(entity_set).table
 
     def entity_record(self, entity_set: str, key: object) -> Optional[Row]:
         """The record of entity ``key`` in ``entity_set`` (None if absent)."""
-        _, binding = self.entity_binding(entity_set)
-        table = self.entity_table(entity_set)
-        matches = table.lookup((binding.key_column,), (key,))
+        plan = self.entity_plan(entity_set)
+        matches = plan.table.lookup((plan.key_column,), (key,))
         return matches[0] if matches else None
 
     def outgoing_bindings(
@@ -88,8 +240,7 @@ class Mediator:
         secondary index when one exists, and a scan otherwise — matching
         how a wrapper would push the predicate down to the source.
         """
-        _, binding = self.entity_binding(entity_set)
-        table = self.entity_table(entity_set)
+        table = self.entity_plan(entity_set).table
         if attribute not in table.column_names:
             raise QueryError(
                 f"entity set {entity_set!r} has no attribute {attribute!r}"

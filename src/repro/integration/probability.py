@@ -135,12 +135,17 @@ class ConfidenceRegistry:
     def __init__(self) -> None:
         self._ps: Dict[str, float] = {}
         self._qs: Dict[str, float] = {}
+        #: monotone mutation counter; the mediator's precomputed binding
+        #: plans cache ps/qs values and rebuild when this changes
+        self.version = 0
 
     def set_entity_confidence(self, entity_set: str, ps: float) -> None:
         self._ps[entity_set] = check_probability(ps, f"ps({entity_set!r})")
+        self.version += 1
 
     def set_relationship_confidence(self, relationship: str, qs: float) -> None:
         self._qs[relationship] = check_probability(qs, f"qs({relationship!r})")
+        self.version += 1
 
     def ps(self, entity_set: str) -> float:
         return self._ps.get(entity_set, 1.0)

@@ -6,6 +6,12 @@ recursively, and returns the reachable records belonging to the output
 entity sets as a rankable answer set. Execution yields a
 :class:`~repro.core.graph.QueryGraph` whose source is a synthetic query
 node (``p = 1``) linked to each matching seed record with ``q = 1``.
+
+Execution runs set-at-a-time by default (``builder="batched"``, the
+frontier-batched :class:`~repro.integration.builder.BatchedEntityGraphBuilder`);
+``builder="scalar"`` selects the record-at-a-time reference
+implementation, which produces an identical graph and is kept for
+cross-checking.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from repro.core.graph import QueryGraph
 from repro.errors import QueryError
 from repro.integration.builder import (
     QUERY_ENTITY_SET,
+    BatchedEntityGraphBuilder,
     BuildStats,
     EntityGraphBuilder,
     NodePayload,
@@ -24,7 +31,14 @@ from repro.integration.builder import (
 )
 from repro.integration.mediator import Mediator
 
-__all__ = ["ExploratoryQuery"]
+__all__ = ["BUILDERS", "ExploratoryQuery"]
+
+#: selectable graph-builder implementations ("reference" aliases "scalar")
+BUILDERS = {
+    "batched": BatchedEntityGraphBuilder,
+    "scalar": EntityGraphBuilder,
+    "reference": EntityGraphBuilder,
+}
 
 
 @dataclass(frozen=True)
@@ -50,9 +64,23 @@ class ExploratoryQuery:
         if not self.outputs:
             raise QueryError("an exploratory query needs at least one output set")
 
-    def execute(self, mediator: Mediator) -> Tuple[QueryGraph, BuildStats]:
+    @property
+    def signature(self) -> Tuple[str, str, Hashable, FrozenSet[str]]:
+        """Canonical, hashable identity of this query — what the engine's
+        query-result cache keys on (together with the mediator epoch)."""
+        return (self.entity_set, self.attribute, self.value, self.outputs)
+
+    def execute(
+        self, mediator: Mediator, builder: str = "batched"
+    ) -> Tuple[QueryGraph, BuildStats]:
         """Run the query, returning the query graph and build statistics."""
-        _, binding = mediator.entity_binding(self.entity_set)
+        try:
+            builder_cls = BUILDERS[builder]
+        except KeyError:
+            raise QueryError(
+                f"unknown builder {builder!r}; choose from {sorted(BUILDERS)}"
+            ) from None
+        plan = mediator.entity_plan(self.entity_set)
         seeds = mediator.find_records(self.entity_set, self.attribute, self.value)
         if not seeds:
             raise QueryError(
@@ -60,9 +88,9 @@ class ExploratoryQuery:
                 f"{self.attribute} = {self.value!r}"
             )
 
-        builder = EntityGraphBuilder(mediator)
+        graph_builder = builder_cls(mediator)
         query_node = entity_node_id(QUERY_ENTITY_SET, self.value)
-        builder.graph.add_node(
+        graph_builder.graph.add_node(
             query_node,
             p=1.0,
             data=NodePayload(
@@ -72,28 +100,28 @@ class ExploratoryQuery:
 
         seed_ids: List = []
         for record in seeds:
-            seed_id = builder.add_entity_node(
-                self.entity_set, record[binding.key_column]
+            seed_id = graph_builder.add_entity_node(
+                self.entity_set, record[plan.key_column]
             )
             if seed_id is None:
                 continue
-            builder.graph.add_edge(query_node, seed_id, q=1.0)
-            builder.stats.edges += 1
+            graph_builder.graph.add_edge(query_node, seed_id, q=1.0)
+            graph_builder.stats.edges += 1
             seed_ids.append(seed_id)
         if not seed_ids:
             raise QueryError(
                 f"all seed records of {self.entity_set!r} were dangling"
             )
 
-        builder.expand_from(seed_ids)
+        graph_builder.expand_from(seed_ids)
 
         answers = [
             node
-            for node in builder.graph.nodes()
-            if builder.graph.data(node).entity_set in self.outputs
+            for node in graph_builder.graph.nodes()
+            if graph_builder.graph.data(node).entity_set in self.outputs
         ]
         if not answers:
             raise QueryError(
                 f"query reached no records in output sets {sorted(self.outputs)}"
             )
-        return QueryGraph(builder.graph, query_node, answers), builder.stats
+        return QueryGraph(graph_builder.graph, query_node, answers), graph_builder.stats

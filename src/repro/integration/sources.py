@@ -24,11 +24,21 @@ from repro.errors import SchemaError
 from repro.storage.database import Database
 from repro.storage.table import Row
 
-__all__ = ["EntityBinding", "RelationshipBinding", "DataSource"]
+__all__ = ["EntityBinding", "RelationshipBinding", "DataSource", "is_constant_one"]
 
 
 def _always_one(_: Row) -> float:
     return 1.0
+
+
+def is_constant_one(transformation: Callable[[Row], float]) -> bool:
+    """Whether ``transformation`` is the default constant-1 ``pr``/``qr``.
+
+    The mediator's binding plans use this to let the batched builder skip
+    the per-row call entirely (``p = ps``, ``q = qs``) for bindings that
+    never declared a transformation.
+    """
+    return transformation is _always_one
 
 
 @dataclass(frozen=True)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, List, Tuple
+from typing import Any, Dict, Hashable, Iterable, List, Set, Tuple
 
 from repro.errors import IntegrityError
 
@@ -54,8 +54,31 @@ class HashIndex:
         """Return row ids stored under ``key`` (empty list if none)."""
         return list(self._entries.get(key, ()))
 
+    def lookup_many(self, keys: Iterable[Hashable]) -> Dict[Hashable, List[int]]:
+        """Row ids for every key of ``keys`` in one pass over the index.
+
+        The result maps each key with at least one entry to its row-id
+        list (insertion order preserved); absent keys are omitted, so a
+        whole BFS frontier can be probed with a single round-trip and
+        ``result.get(key)`` distinguishes hits from misses. Duplicate
+        keys in ``keys`` collapse to one probe.
+        """
+        entries = self._entries
+        found: Dict[Hashable, List[int]] = {}
+        for key in keys:
+            if key not in found:
+                bucket = entries.get(key)
+                if bucket is not None:
+                    found[key] = list(bucket)
+        return found
+
     def contains(self, key: Hashable) -> bool:
         return key in self._entries
+
+    def contains_many(self, keys: Iterable[Hashable]) -> Set[Hashable]:
+        """The subset of ``keys`` present in the index (membership probe)."""
+        entries = self._entries
+        return {key for key in keys if key in entries}
 
     def __len__(self) -> int:
         return sum(len(bucket) for bucket in self._entries.values())

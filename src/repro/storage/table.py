@@ -4,7 +4,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from types import MappingProxyType
-from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.errors import IntegrityError, StorageError
 from repro.storage.column import Column
@@ -60,6 +72,9 @@ class Table:
         self._rows: Dict[int, Dict[str, Any]] = {}
         self._next_row_id = 0
         self._indexes: Dict[str, HashIndex] = {}
+        #: monotone mutation counter (bumped on insert/delete); consumers
+        #: such as the engine's query cache use it for cheap staleness checks
+        self.version = 0
 
         self.primary_key: Optional[Tuple[str, ...]] = None
         if primary_key:
@@ -136,6 +151,7 @@ class Table:
             raise
         self._rows[row_id] = stored
         self._next_row_id += 1
+        self.version += 1
         return row_id
 
     def delete(self, row_id: int) -> None:
@@ -145,6 +161,7 @@ class Table:
             raise StorageError(f"table {self.name!r} has no row id {row_id}")
         for index in self._indexes.values():
             index.remove(index.key_for(row), row_id)
+        self.version += 1
 
     # ------------------------------------------------------------------ #
     # retrieval
@@ -183,6 +200,91 @@ class Table:
             for row in self._rows.values()
             if all(row[c] == v for c, v in wanted.items())
         ]
+
+    @staticmethod
+    def _probe_keys(
+        columns: Tuple[str, ...],
+        values_list: Sequence[Any],
+        single: bool,
+        context: str,
+    ) -> List[Hashable]:
+        """Normalise a batch of probes into index keys (see lookup_many)."""
+        keys: List[Hashable] = []
+        width = len(columns)
+        for values in values_list:
+            if not isinstance(values, (list, tuple)):
+                if single:
+                    keys.append(values)
+                    continue
+                raise StorageError(
+                    f"{context}: composite probe must be a sequence of "
+                    f"{width} values, got {values!r}"
+                )
+            if len(values) != width:
+                raise StorageError(f"{context}: columns and values length mismatch")
+            keys.append(values[0] if single else tuple(values))
+        return keys
+
+    def lookup_many(
+        self, columns: Sequence[str], values_list: Sequence[Any]
+    ) -> Dict[Hashable, List[Row]]:
+        """Find rows for a whole batch of equality probes in one pass.
+
+        ``values_list`` holds one value tuple per probe; single-column
+        probes may pass bare (non-sequence) values instead of one-element
+        sequences. The result groups the matching rows by probe key — the
+        bare value for single-column probes, the value tuple otherwise;
+        keys with no matching rows are omitted, so ``result.get(key)``
+        distinguishes hits from misses. With a matching hash index this
+        is one index pass; the unindexed fallback is a *single* table
+        scan grouping all wanted keys, instead of one scan per probe.
+        """
+        columns = tuple(columns)
+        self._require_columns(columns, "lookup_many")
+        single = len(columns) == 1
+        keys = self._probe_keys(columns, values_list, single, "lookup_many")
+        index = self._index_on(columns)
+        rows = self._rows
+        if index is not None:
+            return {
+                key: [MappingProxyType(rows[rid]) for rid in rids]
+                for key, rids in index.lookup_many(keys).items()
+            }
+        wanted = set(keys)
+        grouped: Dict[Hashable, List[Row]] = {}
+        column = columns[0] if single else None
+        for row in rows.values():
+            key = row[column] if single else tuple(row[c] for c in columns)
+            if key in wanted:
+                grouped.setdefault(key, []).append(MappingProxyType(row))
+        return grouped
+
+    def lookup_in(
+        self, columns: Sequence[str], values_list: Sequence[Any]
+    ) -> Set[Hashable]:
+        """Membership probe: which of the batched keys have matching rows.
+
+        Same key convention as :meth:`lookup_many`, but only existence is
+        reported — no row materialisation, so a frontier-sized "which of
+        these records exist?" question costs one index pass (or one scan).
+        """
+        columns = tuple(columns)
+        self._require_columns(columns, "lookup_in")
+        single = len(columns) == 1
+        keys = self._probe_keys(columns, values_list, single, "lookup_in")
+        index = self._index_on(columns)
+        if index is not None:
+            return index.contains_many(keys)
+        wanted = set(keys)
+        present: Set[Hashable] = set()
+        column = columns[0] if single else None
+        for row in self._rows.values():
+            key = row[column] if single else tuple(row[c] for c in columns)
+            if key in wanted:
+                present.add(key)
+                if len(present) == len(wanted):
+                    break
+        return present
 
     def scan(self, predicate: Callable[[Row], bool]) -> List[Row]:
         """Full scan returning rows for which ``predicate`` is true."""

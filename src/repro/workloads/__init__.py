@@ -1,12 +1,17 @@
-"""Synthetic query-graph workloads.
+"""Synthetic workloads.
 
 The biology scenarios reproduce the paper's evaluation; this package
-generates *abstract* probabilistic query graphs for stress-testing and
-scaling studies — layered workflow DAGs of configurable depth, width and
-fan-out, with controllable probability ranges. Useful for benchmarking
-the ranking semantics on shapes the paper never measured.
+generates *abstract* workloads for stress-testing and scaling studies:
+
+* :mod:`~repro.workloads.synthetic` — ready-made layered workflow DAGs
+  (query graphs of configurable depth, width and fan-out), bypassing
+  the integration layer entirely;
+* :mod:`~repro.workloads.mediated` — layered multi-source schemas
+  behind a mediator, exercising the full execution pipeline (storage
+  lookups, binding plans, graph builders) at any scale.
 """
 
 from repro.workloads.synthetic import WorkloadSpec, layered_dag
+from repro.workloads.mediated import MediatedWorkload, mediated_layers
 
-__all__ = ["WorkloadSpec", "layered_dag"]
+__all__ = ["WorkloadSpec", "layered_dag", "MediatedWorkload", "mediated_layers"]

@@ -1,0 +1,176 @@
+"""Mediated multi-source workload generator.
+
+:mod:`repro.workloads.synthetic` fabricates ready-made query graphs;
+this module fabricates the *integration inputs* instead: a layered
+multi-source schema (one :class:`~repro.integration.sources.DataSource`
+per layer, entity tables keyed by id, link tables carrying per-row
+``qr`` weights) registered behind one mediator, plus the exploratory
+query that materialises it. That exercises the full execution pipeline
+— storage lookups, binding plans, graph builder — at any scale, which
+is what the builder benchmarks and cross-check tests need.
+
+``index_links`` controls whether link tables carry a secondary index on
+their probe column. Indexed links model sources with predicate
+push-down; unindexed links model thin wrappers where every probe is a
+scan — the regime in which set-at-a-time execution pays off most, since
+the batched builder issues one scan per BFS level instead of one per
+frontier node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.integration.mediator import Mediator
+from repro.integration.probability import ConfidenceRegistry
+from repro.integration.query import ExploratoryQuery
+from repro.integration.sources import DataSource, EntityBinding, RelationshipBinding
+from repro.storage.column import Column, ColumnType
+from repro.storage.database import Database
+from repro.utils.rng import RngLike, ensure_rng
+
+__all__ = ["MediatedWorkload", "mediated_layers"]
+
+#: qr/pr weight range of generated records and links
+_WEIGHT_RANGE = (0.3, 0.95)
+
+
+@dataclass
+class MediatedWorkload:
+    """A generated multi-source integration scenario."""
+
+    mediator: Mediator
+    query: ExploratoryQuery
+    #: entity-set names, root layer first
+    entity_sets: tuple
+    #: total records across all entity tables
+    total_records: int
+    #: total link rows across all link tables (incl. dangling ones)
+    total_links: int
+
+
+def _row_weight(row) -> float:
+    return row["w"]
+
+
+def mediated_layers(
+    layers: int = 3,
+    width: int = 40,
+    fan_out: int = 3,
+    seeds: int = 1,
+    rng: RngLike = None,
+    index_links: bool = True,
+    dangling_rate: float = 0.0,
+    cyclic: bool = False,
+) -> MediatedWorkload:
+    """Build a layered mediated schema and its exploratory query.
+
+    ``layers`` entity sets ``E0 .. E{layers-1}`` with ``width`` records
+    each (layer 0 holds ``seeds`` query-matching roots), each record
+    linking to ``fan_out`` uniformly chosen records of the next layer.
+    ``dangling_rate`` rewires that fraction of links to nonexistent
+    target ids (counted, not materialised, by the builders); ``cyclic``
+    adds a back-edge relationship from the last layer to layer 0, making
+    the relationship bindings — and the materialised graph — cyclic.
+    """
+    if layers < 2:
+        raise ValidationError(f"mediated workload needs >= 2 layers, got {layers}")
+    random = ensure_rng(rng)
+    entity_sets = tuple(f"E{i}" for i in range(layers))
+    sources = []
+    total_records = 0
+    total_links = 0
+
+    for i, entity_set in enumerate(entity_sets):
+        db = Database(f"layer{i}")
+        db.create_table(
+            "ents",
+            columns=[
+                Column("id", ColumnType.TEXT),
+                Column("root", ColumnType.BOOL),
+                Column("w", ColumnType.FLOAT),
+            ],
+            primary_key=["id"],
+        )
+        for j in range(width):
+            db.insert(
+                "ents",
+                {
+                    "id": f"{entity_set}:{j}",
+                    "root": i == 0 and j < seeds,
+                    "w": random.uniform(*_WEIGHT_RANGE),
+                },
+            )
+            total_records += 1
+
+        rel_targets = []
+        if i + 1 < layers:
+            rel_targets.append((f"rel{i}", entity_sets[i + 1]))
+        if cyclic and i == layers - 1:
+            rel_targets.append((f"rel{i}_back", entity_sets[0]))
+        relationships = []
+        for rel_name, target_set in rel_targets:
+            table_name = f"links_{rel_name}"
+            db.create_table(
+                table_name,
+                columns=[
+                    Column("src", ColumnType.TEXT),
+                    Column("dst", ColumnType.TEXT),
+                    Column("w", ColumnType.FLOAT),
+                ],
+            )
+            if index_links:
+                db.table(table_name).create_index("by_src", ["src"])
+            for j in range(width):
+                for _ in range(fan_out):
+                    if dangling_rate and random.random() < dangling_rate:
+                        dst = f"{target_set}:ghost{random.randrange(10**6)}"
+                    else:
+                        dst = f"{target_set}:{random.randrange(width)}"
+                    db.insert(
+                        table_name,
+                        {
+                            "src": f"{entity_set}:{j}",
+                            "dst": dst,
+                            "w": random.uniform(*_WEIGHT_RANGE),
+                        },
+                    )
+                    total_links += 1
+            relationships.append(
+                RelationshipBinding(
+                    relationship=rel_name,
+                    table=table_name,
+                    source_entity=entity_set,
+                    source_column="src",
+                    target_entity=target_set,
+                    target_column="dst",
+                    qr=_row_weight,
+                )
+            )
+
+        sources.append(
+            DataSource(
+                name=f"Layer{i}",
+                database=db,
+                entities=(
+                    EntityBinding(entity_set, "ents", "id", pr=_row_weight),
+                ),
+                relationships=tuple(relationships),
+            )
+        )
+
+    confidences = ConfidenceRegistry()
+    mediator = Mediator(confidences=confidences)
+    for source in sources:
+        mediator.register(source)
+    query = ExploratoryQuery(
+        entity_sets[0], "root", True, outputs=(entity_sets[-1],)
+    )
+    return MediatedWorkload(
+        mediator=mediator,
+        query=query,
+        entity_sets=entity_sets,
+        total_records=total_records,
+        total_links=total_links,
+    )

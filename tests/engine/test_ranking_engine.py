@@ -6,6 +6,7 @@ from repro.core.ranker import rank
 from repro.engine import RankingEngine
 from repro.errors import RankingError
 from repro.integration import ExploratoryQuery
+from repro.workloads import mediated_layers
 
 
 class TestRankMatchesDirect:
@@ -146,6 +147,170 @@ class TestQueryExecution:
         query = ExploratoryQuery("EntrezProtein", "name", "X", outputs=("GOTerm",))
         with pytest.raises(RankingError):
             engine.execute(query)
+
+    def test_warm_execute_serves_cached_graph(self, scenario3_small):
+        case = scenario3_small[0].case
+        engine = RankingEngine(mediator=case.mediator)
+        query = ExploratoryQuery(
+            "EntrezProtein", "name", case.spec.protein, outputs=("GOTerm",)
+        )
+        cold = engine.execute(query)
+        warm = engine.execute(query)
+        assert warm is cold  # the very same materialised graph
+        assert engine.stats.graph_misses == 1
+        assert engine.stats.graph_hits == 1
+        assert engine.stats.queries_executed == 1
+
+    def test_equal_queries_share_cache_entries(self, scenario3_small):
+        case = scenario3_small[0].case
+        engine = RankingEngine(mediator=case.mediator)
+        protein = case.spec.protein
+        a = ExploratoryQuery("EntrezProtein", "name", protein, outputs=("GOTerm",))
+        b = ExploratoryQuery("EntrezProtein", "name", protein, outputs=("GOTerm",))
+        assert engine.execute(a) is engine.execute(b)
+        assert engine.stats.graph_hits == 1
+
+    def test_warm_execute_skips_storage(self, scenario3_small):
+        """A cache hit must not touch the sources at all."""
+        case = scenario3_small[0].case
+        engine = RankingEngine(mediator=case.mediator)
+        query = ExploratoryQuery(
+            "EntrezProtein", "name", case.spec.protein, outputs=("GOTerm",)
+        )
+        engine.execute(query)
+        lookups = []
+        for source in case.mediator.sources:
+            for table in source.database.tables():
+                original = table.lookup_many
+
+                def counting(columns, values, _orig=original):
+                    lookups.append(columns)
+                    return _orig(columns, values)
+
+                table.lookup_many = counting
+                table.lookup = counting
+        try:
+            engine.execute(query)
+        finally:
+            for source in case.mediator.sources:
+                for table in source.database.tables():
+                    del table.lookup_many
+                    del table.lookup
+        assert lookups == []
+
+    def test_source_mutation_invalidates_cached_graph(self):
+        workload = mediated_layers(layers=3, width=10, rng=3)
+        engine = RankingEngine(mediator=workload.mediator)
+        cold = engine.execute(workload.query)
+        # insert a new link into a bound table: the epoch changes and the
+        # next execute re-materialises, picking up the new edge
+        db = workload.mediator.sources[0].database
+        db.insert(
+            "links_rel0",
+            {"src": "E0:0", "dst": "E1:1", "w": 0.5},
+        )
+        rebuilt = engine.execute(workload.query)
+        assert rebuilt is not cold
+        assert engine.stats.graph_misses == 2
+        assert engine.stats.graph_hits == 0
+        # the new link (and whatever it made reachable) is picked up
+        assert rebuilt.graph.num_edges > cold.graph.num_edges
+
+    def test_confidence_tuning_invalidates_cached_graph(self):
+        workload = mediated_layers(layers=3, width=10, rng=5)
+        engine = RankingEngine(mediator=workload.mediator)
+        cold = engine.execute(workload.query)
+        workload.mediator.confidences.set_entity_confidence("E2", 0.5)
+        rebuilt = engine.execute(workload.query)
+        assert rebuilt is not cold
+        assert engine.stats.graph_misses == 2
+        assert engine.stats.graph_hits == 0
+        node = next(iter(rebuilt.targets))
+        assert rebuilt.graph.p(node) == pytest.approx(0.5 * cold.graph.p(node))
+
+    def test_execute_many_batches(self, scenario3_small):
+        case = scenario3_small[0].case
+        engine = RankingEngine(mediator=case.mediator)
+        query = ExploratoryQuery(
+            "EntrezProtein", "name", case.spec.protein, outputs=("GOTerm",)
+        )
+        graphs = engine.execute_many([query, query, query])
+        assert graphs[0] is graphs[1] is graphs[2]
+        assert engine.stats.graph_misses == 1
+        assert engine.stats.graph_hits == 2
+
+    def test_graph_cache_disabled(self, scenario3_small):
+        case = scenario3_small[0].case
+        engine = RankingEngine(mediator=case.mediator, cache_graphs=False)
+        query = ExploratoryQuery(
+            "EntrezProtein", "name", case.spec.protein, outputs=("GOTerm",)
+        )
+        assert engine.execute(query) is not engine.execute(query)
+        assert engine.stats.graph_hits == 0
+        assert engine.stats.queries_executed == 2
+
+    def test_graph_cache_lru_bound(self, scenario3_small):
+        case = scenario3_small[0].case
+        engine = RankingEngine(mediator=case.mediator, max_cached_graphs=1)
+        protein = case.spec.protein
+        q1 = ExploratoryQuery("EntrezProtein", "name", protein, outputs=("GOTerm",))
+        q2 = ExploratoryQuery(
+            "EntrezProtein", "name", protein, outputs=("GOTerm", "EntrezGene")
+        )
+        engine.execute(q1)
+        engine.execute(q2)  # evicts q1
+        engine.execute(q1)
+        assert engine.stats.graph_hits == 0
+        assert engine.stats.graph_misses == 3
+
+    def test_invalidate_single_graph_drops_its_cache_entry(self):
+        workload = mediated_layers(layers=3, width=10, rng=4)
+        engine = RankingEngine(mediator=workload.mediator)
+        qg = engine.execute(workload.query)
+        engine.rank(qg, "propagation")
+        engine.invalidate(qg)  # cache non-empty: targeted invalidation
+        engine.execute(workload.query)
+        assert engine.stats.graph_hits == 0
+        assert engine.stats.graph_misses == 2
+
+    def test_invalidate_clears_graph_cache(self, scenario3_small):
+        case = scenario3_small[0].case
+        engine = RankingEngine(mediator=case.mediator)
+        query = ExploratoryQuery(
+            "EntrezProtein", "name", case.spec.protein, outputs=("GOTerm",)
+        )
+        engine.execute(query)
+        engine.invalidate()
+        engine.execute(query)
+        assert engine.stats.graph_hits == 0
+        assert engine.stats.graph_misses == 2
+
+    def test_unknown_builder_rejected_at_construction(self):
+        with pytest.raises(RankingError):
+            RankingEngine(builder="compiled")  # backend/builder confusion
+
+    def test_mediator_swap_never_serves_foreign_graphs(self):
+        """Reassigning engine.mediator must invalidate cached graphs even
+        when the two mediators happen to share an epoch value."""
+        a = mediated_layers(layers=3, width=10, rng=1)
+        b = mediated_layers(layers=3, width=10, rng=2)
+        assert a.mediator.epoch == b.mediator.epoch  # same shape, same sums
+        engine = RankingEngine(mediator=a.mediator)
+        from_a = engine.execute(a.query)
+        engine.mediator = b.mediator
+        from_b = engine.execute(b.query)  # same signature as a.query
+        assert from_b is not from_a
+        assert engine.stats.graph_misses == 2
+
+    def test_builder_is_part_of_the_cache_key(self, scenario3_small):
+        case = scenario3_small[0].case
+        engine = RankingEngine(mediator=case.mediator)
+        query = ExploratoryQuery(
+            "EntrezProtein", "name", case.spec.protein, outputs=("GOTerm",)
+        )
+        engine.execute(query, builder="batched")
+        engine.execute(query, builder="scalar")
+        assert engine.stats.graph_misses == 2
 
     def test_rank_an_exploratory_query(self, scenario3_small):
         case = scenario3_small[0].case

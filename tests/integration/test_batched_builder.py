@@ -1,0 +1,173 @@
+"""Set-at-a-time execution: batched builder equivalence, binding plans,
+and the mediator epoch the engine's query cache keys on."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.integration import ExploratoryQuery, Mediator
+from repro.integration.builder import BatchedEntityGraphBuilder, EntityGraphBuilder
+from repro.workloads import mediated_layers
+
+from tests.integration.test_mediator_query import make_left_source, make_right_source
+
+
+def assert_identical_execution(mediator, query):
+    """Both builders must produce byte-identical graphs and stats."""
+    qg_b, stats_b = query.execute(mediator, builder="batched")
+    qg_s, stats_s = query.execute(mediator, builder="scalar")
+    gb, gs = qg_b.graph, qg_s.graph
+    assert list(gb.nodes()) == list(gs.nodes())
+    for node in gb.nodes():
+        assert gb.p(node) == gs.p(node)
+        assert gb.data(node) == gs.data(node)
+    batched_edges = [(e.key, e.source, e.target, gb.q(e.key)) for e in gb.edges()]
+    scalar_edges = [(e.key, e.source, e.target, gs.q(e.key)) for e in gs.edges()]
+    assert batched_edges == scalar_edges
+    assert stats_b == stats_s
+    assert qg_b.source == qg_s.source
+    assert qg_b.targets == qg_s.targets
+    return qg_b, stats_b
+
+
+class TestBuilderEquivalence:
+    def test_two_source_fixture_with_dangling_link(self):
+        mediator = Mediator()
+        mediator.register(make_left_source())
+        mediator.register(make_right_source())
+        query = ExploratoryQuery("Item", "item_id", "I1", outputs=("Part",))
+        _, stats = assert_identical_execution(mediator, query)
+        assert stats.dangling_links == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {},
+            {"dangling_rate": 0.25},
+            {"cyclic": True},
+            {"index_links": False},
+            {"cyclic": True, "dangling_rate": 0.3, "index_links": False},
+            {"seeds": 5, "fan_out": 4},
+        ],
+    )
+    def test_mediated_workloads(self, kwargs):
+        workload = mediated_layers(layers=4, width=25, rng=11, **kwargs)
+        assert_identical_execution(workload.mediator, workload.query)
+
+    def test_biology_scenario_case(self, scenario3_small):
+        case = scenario3_small[0].case
+        query = ExploratoryQuery(
+            "EntrezProtein", "name", case.spec.protein, outputs=("GOTerm",)
+        )
+        qg, stats = assert_identical_execution(case.mediator, query)
+        # and both agree with the graph the scenario was generated with
+        assert list(qg.graph.nodes()) == list(case.query_graph.graph.nodes())
+        assert stats == case.build_stats
+
+    def test_unknown_builder_rejected(self):
+        mediator = Mediator()
+        mediator.register(make_left_source())
+        mediator.register(make_right_source())
+        query = ExploratoryQuery("Item", "item_id", "I1", outputs=("Part",))
+        with pytest.raises(QueryError):
+            query.execute(mediator, builder="quantum")
+
+    def test_builder_classes_directly(self):
+        mediator = Mediator()
+        mediator.register(make_left_source())
+        mediator.register(make_right_source())
+        for builder_cls in (EntityGraphBuilder, BatchedEntityGraphBuilder):
+            builder = builder_cls(mediator)
+            seed = builder.add_entity_node("Item", "I1")
+            assert seed == ("Item", "I1")
+            builder.expand_from([seed])
+            assert builder.graph.has_node(("Part", "P1"))
+            assert builder.stats.dangling_links == 1
+
+    def test_batched_dangling_seed_returns_none(self):
+        mediator = Mediator()
+        mediator.register(make_left_source())
+        builder = BatchedEntityGraphBuilder(mediator)
+        assert builder.add_entity_node("Item", "IX") is None
+        assert builder.stats.dangling_links == 1
+
+    def test_batched_unprovided_target_entity_raises(self):
+        mediator = Mediator()
+        mediator.register(make_left_source())  # Part provider missing
+        builder = BatchedEntityGraphBuilder(mediator)
+        seed = builder.add_entity_node("Item", "I1")
+        with pytest.raises(QueryError):
+            builder.expand_from([seed])
+
+
+class TestBindingPlans:
+    @pytest.fixture
+    def mediator(self):
+        m = Mediator()
+        m.confidences.set_entity_confidence("Item", 0.95)
+        m.confidences.set_relationship_confidence("has_part", 0.9)
+        m.register(make_left_source())
+        m.register(make_right_source())
+        return m
+
+    def test_plan_resolves_table_and_confidences(self, mediator):
+        plan = mediator.entity_plan("Item")
+        assert plan.table.name == "items"
+        assert plan.key_column == "item_id"
+        assert plan.ps == pytest.approx(0.95)
+        (rel,) = plan.out
+        assert rel.relationship == "has_part"
+        assert rel.qs == pytest.approx(0.9)
+        assert rel.table.name == "item_part"
+
+    def test_unknown_entity_set_raises(self, mediator):
+        with pytest.raises(QueryError):
+            mediator.entity_plan("Mystery")
+
+    def test_outgoing_plans_empty_for_unknown_set(self, mediator):
+        assert mediator.outgoing_plans("__query__") == ()
+
+    def test_plans_rebuilt_after_confidence_tuning(self, mediator):
+        mediator.confidences.set_entity_confidence("Item", 0.5)
+        assert mediator.entity_plan("Item").ps == pytest.approx(0.5)
+        query = ExploratoryQuery("Item", "item_id", "I1", outputs=("Part",))
+        qg, _ = query.execute(mediator, builder="batched")
+        assert qg.graph.p(("Item", "I1")) == pytest.approx(0.5 * 0.8)
+
+    def test_default_transformations_marked_constant(self, mediator):
+        assert mediator.entity_plan("Part").pr_is_one
+        assert not mediator.entity_plan("Item").pr_is_one
+        (rel,) = mediator.entity_plan("Item").out
+        assert not rel.qr_is_one
+
+
+class TestMediatorEpoch:
+    def test_epoch_bumps_on_register(self):
+        mediator = Mediator()
+        e0 = mediator.epoch
+        mediator.register(make_left_source())
+        assert mediator.epoch > e0
+
+    def test_epoch_bumps_on_confidence_tuning(self):
+        mediator = Mediator()
+        mediator.register(make_left_source())
+        e0 = mediator.epoch
+        mediator.confidences.set_entity_confidence("Item", 0.5)
+        assert mediator.epoch > e0
+
+    def test_epoch_bumps_on_bound_table_mutation(self):
+        left = make_left_source()
+        mediator = Mediator()
+        mediator.register(left)
+        e0 = mediator.epoch
+        left.database.insert("items", {"item_id": "I9", "grade": 0.5})
+        assert mediator.epoch > e0
+        e1 = mediator.epoch
+        left.database.insert(
+            "item_part", {"item_id": "I9", "part_id": "P9", "weight": 0.1}
+        )
+        assert mediator.epoch > e1
+
+    def test_epoch_stable_without_changes(self):
+        mediator = Mediator()
+        mediator.register(make_left_source())
+        assert mediator.epoch == mediator.epoch

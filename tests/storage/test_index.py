@@ -33,6 +33,27 @@ class TestHashIndex:
         with pytest.raises(IntegrityError):
             HashIndex("i", ("a",)).remove("k", 0)
 
+    def test_lookup_many_groups_present_keys(self):
+        index = HashIndex("i", ("a",))
+        index.add("k", 0)
+        index.add("k", 1)
+        index.add("m", 2)
+        grouped = index.lookup_many(["k", "missing", "m", "k"])
+        assert grouped == {"k": [0, 1], "m": [2]}
+
+    def test_lookup_many_returns_copies(self):
+        index = HashIndex("i", ("a",))
+        index.add("k", 0)
+        index.lookup_many(["k"])["k"].append(99)
+        assert index.lookup("k") == [0]
+
+    def test_contains_many(self):
+        index = HashIndex("i", ("a",))
+        index.add("k", 0)
+        index.add("m", 1)
+        assert index.contains_many(["k", "m", "x"]) == {"k", "m"}
+        assert index.contains_many([]) == set()
+
     def test_key_for_single_column(self):
         index = HashIndex("i", ("a",))
         assert index.key_for({"a": 1, "b": 2}) == 1

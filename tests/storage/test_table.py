@@ -104,6 +104,76 @@ class TestRetrieve:
         assert [row["pid"] for row in people.rows()] == [1, 2]
 
 
+class TestBatchedRetrieve:
+    def test_lookup_many_without_index_single_scan_groups(self, people):
+        grouped = people.lookup_many(("name",), [("ada",), ("bob",), ("nope",)])
+        assert set(grouped) == {"ada", "bob"}
+        assert [row["pid"] for row in grouped["ada"]] == [1]
+        assert [row["pid"] for row in grouped["bob"]] == [2]
+
+    def test_lookup_many_with_index(self, people):
+        people.create_index("by_name", ["name"])
+        grouped = people.lookup_many(("name",), [("ada",), ("nope",)])
+        assert set(grouped) == {"ada"}
+        assert grouped["ada"][0]["pid"] == 1
+
+    def test_lookup_many_accepts_bare_single_column_keys(self, people):
+        assert set(people.lookup_many(("name",), ["ada", "bob"])) == {"ada", "bob"}
+
+    def test_lookup_many_agrees_with_lookup(self, people):
+        people.insert({"pid": 3, "name": "ada", "age": 9})
+        for indexed in (False, True):
+            if indexed:
+                people.create_index("by_name", ["name"])
+            grouped = people.lookup_many(("name",), [("ada",)])
+            assert grouped["ada"] == people.lookup(("name",), ("ada",))
+
+    def test_lookup_many_composite_keys(self, people):
+        grouped = people.lookup_many(("name", "age"), [("ada", 36), ("bob", 1)])
+        assert set(grouped) == {("ada", 36)}
+
+    def test_lookup_many_length_mismatch_rejected(self, people):
+        with pytest.raises(StorageError):
+            people.lookup_many(("name",), [("ada", "extra")])
+
+    def test_lookup_many_composite_bare_value_rejected(self, people):
+        with pytest.raises(StorageError):
+            people.lookup_many(("name", "age"), [5])
+
+    def test_lookup_many_unknown_column_rejected(self, people):
+        with pytest.raises(StorageError):
+            people.lookup_many(("ghost",), [("x",)])
+
+    def test_lookup_many_rows_are_read_only(self, people):
+        grouped = people.lookup_many(("name",), ["ada"])
+        with pytest.raises(TypeError):
+            grouped["ada"][0]["name"] = "mutated"
+
+    def test_lookup_in_membership(self, people):
+        assert people.lookup_in(("name",), ["ada", "nope"]) == {"ada"}
+        people.create_index("by_name", ["name"])
+        assert people.lookup_in(("name",), ["ada", "bob", "nope"]) == {"ada", "bob"}
+
+    def test_lookup_in_pk_index(self, people):
+        assert people.lookup_in(("pid",), [1, 2, 99]) == {1, 2}
+
+
+class TestVersion:
+    def test_insert_and_delete_bump_version(self, people):
+        v0 = people.version
+        people.insert({"pid": 3, "name": "cia"})
+        assert people.version == v0 + 1
+        (rid,) = [r for r in people.row_ids() if people.get(r)["pid"] == 3]
+        people.delete(rid)
+        assert people.version == v0 + 2
+
+    def test_failed_insert_does_not_bump_version(self, people):
+        v0 = people.version
+        with pytest.raises(IntegrityError):
+            people.insert({"pid": 1, "name": "dup"})
+        assert people.version == v0
+
+
 class TestDelete:
     def test_delete_removes_from_indexes(self, people):
         people.create_index("by_name", ["name"])
