@@ -1,0 +1,64 @@
+"""Facade benchmarks: batched ``execute_many`` vs sequential ``execute``.
+
+The serving-style batch asks one mediated traversal for several output
+layers under several methods (with duplicates, as hot queries repeat
+under traffic). Sequential execution materialises one graph per distinct
+output set; ``execute_many`` deduplicates identical specs and shares a
+single union materialisation across the whole traversal group, so the
+batch pays one BFS instead of one per output set (~1.5-2x wall-clock on
+this scan-backed workload; larger with more output sets)."""
+
+import pytest
+
+from repro.workloads.mediated import mediated_layers
+
+#: output layers x methods x repeats = 16 specs, 8 unique, 1 traversal
+BATCH_METHODS = ("in_edge", "path_count")
+BATCH_REPEATS = 2
+
+
+@pytest.fixture(scope="module")
+def workload():
+    # scan-backed links (no secondary index): the regime where graph
+    # materialisation dominates and sharing it matters most
+    return mediated_layers(
+        layers=5, width=200, fan_out=3, seeds=4, rng=7, index_links=False
+    )
+
+
+@pytest.fixture(scope="module")
+def batch(workload):
+    specs = workload.serving_batch(methods=BATCH_METHODS, repeats=BATCH_REPEATS)
+    # sanity: the batched path must score exactly like sequential
+    sequential = [workload.open_session().execute(s).scores for s in specs]
+    batched = workload.open_session().execute_many(specs)
+    assert [r.scores for r in batched] == sequential
+    return specs
+
+
+@pytest.mark.benchmark(group="api-execute-many")
+class TestExecuteManyVsSequential:
+    def test_sequential_execute(self, benchmark, workload, batch):
+        def run():
+            session = workload.open_session()
+            return [session.execute(spec) for spec in batch]
+
+        results = benchmark.pedantic(run, rounds=5, iterations=1)
+        assert len(results) == len(batch)
+
+    def test_execute_many(self, benchmark, workload, batch):
+        def run():
+            session = workload.open_session()
+            return session.execute_many(batch)
+
+        results = benchmark.pedantic(run, rounds=5, iterations=1)
+        assert len(results) == len(batch)
+
+    def test_execute_many_warm_cache(self, benchmark, workload, batch):
+        session = workload.open_session()
+        session.execute_many(batch)  # warm the query/score caches
+
+        results = benchmark.pedantic(
+            lambda: session.execute_many(batch), rounds=5, iterations=2
+        )
+        assert len(results) == len(batch)

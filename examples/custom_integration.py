@@ -12,13 +12,11 @@ and (b) a stylometry tool that reports match scores.
 Run:  python examples/custom_integration.py
 """
 
-from repro.core.ranker import rank
+from repro.api import Query, open_session
 from repro.integration import (
     ConfidenceRegistry,
     DataSource,
     EntityBinding,
-    ExploratoryQuery,
-    Mediator,
     RelationshipBinding,
 )
 from repro.storage import Column, ColumnType, Database
@@ -118,25 +116,31 @@ def main() -> None:
     confidences.set_relationship_confidence("attributed_to", 1.0)
     confidences.set_relationship_confidence("style_match", 0.85)
 
-    mediator = Mediator(confidences=confidences)
-    mediator.register(build_citation_source())
-    mediator.register(build_stylometry_source())
-
-    query = ExploratoryQuery("Manuscript", "ms_id", "MS1", outputs=("Author",))
-    query_graph, stats = query.execute(mediator)
-    print(
-        f"integrated graph: {query_graph.graph.num_nodes} nodes, "
-        f"{query_graph.graph.num_edges} edges "
-        f"({stats.dangling_links} dangling links dropped)"
+    session = open_session(
+        sources=[build_citation_source(), build_stylometry_source()],
+        confidences=confidences,
     )
 
-    for method in ("reliability", "propagation", "in_edge"):
-        result = rank(query_graph, method)
+    # one declarative query, reranked under three semantics as a batch —
+    # the session materialises the integration graph exactly once
+    # seeding makes the Monte Carlo reliability run reproducible
+    base = (
+        Query.on("Manuscript").where(ms_id="MS1").outputs("Author").seed(7).build()
+    )
+    specs = [base.replace(method=m) for m in ("reliability", "propagation", "in_edge")]
+
+    explanation = session.explain(base)
+    print(
+        f"integrated graph: {explanation.nodes} nodes, "
+        f"{explanation.edges} edges "
+        f"({explanation.build_stats.dangling_links} dangling links dropped)"
+    )
+
+    for spec, results in zip(specs, session.execute_many(specs)):
         ordered = ", ".join(
-            f"{query_graph.graph.data(node).label}={score:.3f}"
-            for node, score in result.ordered()
+            f"{entity.label}={entity.score:.3f}" for entity in results
         )
-        print(f"{method:12s} {ordered}")
+        print(f"{spec.method:12s} {ordered}")
 
     print(
         "\nBela is supported by two independent medium-strength links and "

@@ -12,10 +12,10 @@ Three tools a curator would use on top of the ranked list:
 Run:  python examples/evidence_diagnostics.py
 """
 
+from repro.api import Query, open_session
 from repro.biology.scenarios import ABCC8_NAMED_GOLD, SCENARIO2_FUNCTIONS
 from repro.biology.generator import CaseSpec, ProteinCaseGenerator
 from repro.core.diagnostics import correlation_report
-from repro.core.paths import explain_answer
 from repro.core.adaptive import topk_reliability
 
 
@@ -30,15 +30,23 @@ def main() -> None:
             named_gold_ids=ABCC8_NAMED_GOLD,
         )
     )
-    qg = case.query_graph
+
+    # execute the ABCC8 query through the facade; the result set carries
+    # the provenance accessors the curator tools build on
+    session = open_session(mediator=case.mediator)
+    results = session.execute(
+        Query.on("EntrezProtein").where(name="ABCC8").outputs("GOTerm")
+        .rank_by("reliability", strategy="closed")
+    )
+    qg = results.graph
 
     print("=== 1. why is the novel function ranked high? ===")
     novel = case.go_node("GO:0006855")
-    print(explain_answer(qg, novel, top=3))
+    print(results.explain(novel, top=3))
 
     gold = case.go_node("GO:0008281")
     print("\n=== ... versus a redundantly supported gold function ===")
-    print(explain_answer(qg, gold, top=3))
+    print(results.explain(gold, top=3))
 
     print("\n=== 2. where is the evidence correlated? ===")
     report = correlation_report(qg)

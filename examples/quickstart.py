@@ -7,18 +7,22 @@ EntrezGene, NCBIBlast, Pfam, TIGRFAM and AmiGO, and the answer set of
 candidate GO functions is ranked by network reliability — printing the
 same kind of ranked list as the paper's §2 table.
 
+Everything flows through the public facade (:mod:`repro.api`): open a
+session over the integrated sources, describe the query declaratively,
+get a rich result set back.
+
 Run:  python examples/quickstart.py
 """
 
+from repro.api import Query, open_session
 from repro.biology.generator import CaseSpec, ProteinCaseGenerator
 from repro.biology.scenarios import ABCC8_NAMED_GOLD, SCENARIO2_FUNCTIONS
-from repro.core.ranker import rank
 from repro.metrics import expected_average_precision
 
 
 def main() -> None:
-    # 1. generate the synthetic June-2007-style sources for ABCC8 and run
-    #    the exploratory query through the mediator
+    # 1. generate the synthetic June-2007-style sources for ABCC8 and
+    #    open a session over the already-integrated mediator
     generator = ProteinCaseGenerator(rng=0)
     spec = CaseSpec(
         protein="ABCC8",
@@ -28,27 +32,39 @@ def main() -> None:
         named_gold_ids=ABCC8_NAMED_GOLD,
     )
     case = generator.generate(spec)
-    qg = case.query_graph
-    print(f"query graph: {qg.graph.num_nodes} nodes, {qg.graph.num_edges} edges, "
-          f"{len(qg.targets)} candidate functions")
+    session = open_session(mediator=case.mediator)
 
-    # 2. rank the candidate functions by reliability (closed form: exact)
-    result = rank(qg, "reliability", strategy="closed")
+    # 2. the paper's exploratory query, declaratively: candidate GO
+    #    functions of ABCC8, ranked by exact (closed-form) reliability
+    query = (
+        Query.on("EntrezProtein")
+        .where(name="ABCC8")
+        .outputs("GOTerm")
+        .rank_by("reliability", strategy="closed")
+        .top(10)
+    )
+    results = session.execute(query)
+    qg = results.graph
+    print(f"query graph: {qg.graph.num_nodes} nodes, {qg.graph.num_edges} edges, "
+          f"{len(results)} candidate functions")
 
     # 3. print the top of the ranked list, like the paper's §2 table
     print(f"\n{'#':>3}  {'Function':55s} {'r score':>8}")
-    for position, (node, score) in enumerate(result.top(10), start=1):
-        label = qg.graph.data(node).label
+    for entity in results.top():
         marker = ""
-        if node in case.gold_nodes:
+        if entity.node in case.gold_nodes:
             marker = "  [iProClass]"
-        elif node in case.novel_nodes:
+        elif entity.node in case.novel_nodes:
             marker = "  [newly published]"
-        print(f"{position:>3}  {label:55s} {score:8.4f}{marker}")
+        print(f"{entity.rank:>3}  {entity.label:55s} {entity.score:8.4f}{marker}")
 
     # 4. how good is the ranking? (tie-aware expected average precision)
-    ap = expected_average_precision(result.scores, case.gold_nodes)
+    ap = expected_average_precision(results.scores, case.gold_nodes)
     print(f"\naverage precision against the iProClass gold standard: {ap:.3f}")
+
+    # 5. the session kept score: repeated queries would now be served
+    #    straight from its caches
+    print(f"session stats: {session.stats()}")
 
 
 if __name__ == "__main__":

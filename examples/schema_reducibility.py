@@ -8,6 +8,7 @@ the actual graph reductions on instance graphs.
 Run:  python examples/schema_reducibility.py
 """
 
+from repro.api import RankingOptions, open_session
 from repro.core.closed_form import closed_form_reliability
 from repro.core.graph import ProbabilisticEntityGraph, QueryGraph
 from repro.schema import (
@@ -89,6 +90,14 @@ def main() -> None:
         )
     assert result.fully_closed, "chain instances must reduce completely"
     print("every answer node of the chain instance reduced to a single edge")
+
+    # the public facade reaches the same closed-form scores
+    session = open_session()
+    facade = session.rank(
+        qg, "reliability", options=RankingOptions(strategy="closed")
+    )
+    assert facade.scores == result.scores
+    print("repro.api.Session.rank(strategy='closed') agrees exactly")
 
 
 if __name__ == "__main__":

@@ -9,7 +9,9 @@ average precision (the paper's Fig 6 protocol, on a small budget).
 Run:  python examples/sensitivity_analysis.py
 """
 
+from repro.api import open_session
 from repro.biology.scenarios import build_scenario
+from repro.metrics import expected_average_precision
 from repro.sensitivity.analysis import sensitivity_sweep
 
 
@@ -17,6 +19,17 @@ def main() -> None:
     cases = build_scenario(1, seed=0, limit=5)
     pairs = [(case.query_graph, case.relevant) for case in cases]
     print(f"{len(pairs)} scenario-1 query graphs, method = propagation\n")
+
+    # the unperturbed baseline through the public facade (the sweep
+    # below recomputes it internally on the perturbed copies)
+    session = open_session()
+    baseline = sum(
+        expected_average_precision(
+            session.rank(qg, "propagation").scores, relevant
+        )
+        for qg, relevant in pairs
+    ) / len(pairs)
+    print(f"unperturbed AP (via repro.api.Session): {baseline:.3f}")
 
     points = sensitivity_sweep(
         pairs,

@@ -17,7 +17,9 @@ Quick taste::
     result = rank(QueryGraph(g, "s", ["t"]), method="reliability")
     print(result.ordered())
 
-See :mod:`repro.integration` for the mediator and exploratory queries,
+See :mod:`repro.api` for the public facade (``open_session`` /
+``Query`` / ``Session`` — the surface new code should target),
+:mod:`repro.integration` for the mediator and exploratory queries,
 :mod:`repro.engine` for the batched, cached
 :class:`~repro.engine.RankingEngine` built on the compiled CSR kernels
 of :mod:`repro.core.compile` / :mod:`repro.core.kernels`,
@@ -46,6 +48,15 @@ from repro.core import (
     required_trials,
     traversal_reliability,
 )
+from repro.api import (
+    EngineConfig,
+    Query,
+    QuerySpec,
+    RankingOptions,
+    ResultSet,
+    Session,
+    open_session,
+)
 from repro.engine import EngineStats, RankingEngine
 from repro.errors import ReproError
 from repro.integration import ExploratoryQuery, Mediator
@@ -61,14 +72,21 @@ __all__ = [
     "__version__",
     "CompiledGraph",
     "Edge",
+    "EngineConfig",
     "EngineStats",
     "ProbabilisticEntityGraph",
+    "Query",
     "QueryGraph",
+    "QuerySpec",
     "RankedResult",
     "RankingEngine",
+    "RankingOptions",
     "ReproError",
+    "ResultSet",
+    "Session",
     "Mediator",
     "ExploratoryQuery",
+    "open_session",
     "compile_graph",
     "rank",
     "reliability_scores",

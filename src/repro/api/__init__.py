@@ -1,0 +1,51 @@
+"""``repro.api`` — the public front door.
+
+One stable, declarative surface over the whole system (mediator,
+builders, compiled kernels, engine caches)::
+
+    from repro.api import EngineConfig, Query, open_session
+
+    session = open_session(sources=[...], config=EngineConfig())
+    spec = (Query.on("EntrezProtein").where(name="ABCC8")
+                 .outputs("GOTerm").rank_by("reliability").top(10)
+                 .seed(7).build())
+    results = session.execute(spec)
+    for entity in results.top():
+        print(entity.rank, entity.label, entity.score)
+
+The pieces:
+
+* :class:`QuerySpec` / :class:`Query` — frozen declarative queries with
+  a fluent builder and dict/JSON round-trip;
+* :class:`RankingOptions` / :class:`EngineConfig` — typed, validated
+  configuration replacing scattered keyword arguments;
+* :class:`Session` / :func:`open_session` — execution facade:
+  ``execute``, batched ``execute_many``, ``explain``, ``stats``;
+* :class:`ResultSet` / :class:`RankedEntity` / :class:`ResultPage` —
+  rich results: scores, tie-aware rank intervals, pagination,
+  provenance paths, JSON export.
+
+``__all__`` is the compatibility contract — a snapshot test freezes it
+against accidental breakage. Everything underneath
+(:mod:`repro.integration`, :mod:`repro.engine`, :mod:`repro.core`)
+remains importable for advanced use, but new code should target this
+module.
+"""
+
+from repro.api.config import EngineConfig, RankingOptions
+from repro.api.result import RankedEntity, ResultPage, ResultSet
+from repro.api.session import Explanation, Session, open_session
+from repro.api.spec import Query, QuerySpec
+
+__all__ = [
+    "EngineConfig",
+    "Explanation",
+    "Query",
+    "QuerySpec",
+    "RankedEntity",
+    "RankingOptions",
+    "ResultPage",
+    "ResultSet",
+    "Session",
+    "open_session",
+]

@@ -1,0 +1,185 @@
+"""Typed configuration objects for the public API.
+
+These replace the scattered keyword arguments of the lower layers
+(``rank(..., strategy=..., trials=..., rng=...)``,
+``RankingEngine(backend=..., builder=..., max_cached_scores=...)``) with
+two small frozen dataclasses that validate eagerly and serialise to
+plain dicts:
+
+* :class:`RankingOptions` — per-query scoring knobs. Only the fields
+  relevant to the query's ranking method are forwarded to the scoring
+  function, so one options object can be shared across methods.
+* :class:`EngineConfig` — per-session serving knobs (backend, builder,
+  cache sizes, ``execute_many`` thread pool width). The defaults are the
+  serving defaults: compiled CSR kernels, set-at-a-time builder, all
+  caches on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Dict, Mapping, Optional
+
+from repro.core.ranker import BACKENDS, resolve_method
+from repro.core.reliability import RELIABILITY_STRATEGIES, STOCHASTIC_STRATEGIES
+from repro.errors import RankingError
+from repro.integration.query import BUILDERS
+
+__all__ = ["EngineConfig", "RankingOptions"]
+
+
+def _from_mapping(cls, data: Mapping[str, object], what: str):
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise RankingError(
+            f"unknown {what} field(s) {unknown}; known fields: {sorted(known)}"
+        )
+    return cls(**data)
+
+
+@dataclass(frozen=True)
+class RankingOptions:
+    """Declarative scoring options, validated up front.
+
+    ``None`` means "use the library default" — a default-constructed
+    ``RankingOptions()`` is exactly today's behaviour. Fields apply to:
+
+    * ``strategy`` / ``trials`` / ``reduce`` — reliability only;
+    * ``iterations`` / ``tolerance`` / ``max_iterations`` —
+      propagation and diffusion only;
+    * the deterministic baselines (``in_edge``, ``path_count``,
+      ``random``) take no options.
+    """
+
+    strategy: Optional[str] = None
+    trials: Optional[int] = None
+    reduce: Optional[bool] = None
+    iterations: Optional[int] = None
+    tolerance: Optional[float] = None
+    max_iterations: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.strategy is not None and self.strategy not in RELIABILITY_STRATEGIES:
+            raise RankingError(
+                f"unknown reliability strategy {self.strategy!r}; choose "
+                f"from {list(RELIABILITY_STRATEGIES)}"
+            )
+        for name in ("trials", "iterations", "max_iterations"):
+            value = getattr(self, name)
+            if value is not None and (not isinstance(value, int) or value < 1):
+                raise RankingError(
+                    f"{name} must be a positive integer, got {value!r}"
+                )
+        if self.tolerance is not None and not self.tolerance > 0:
+            raise RankingError(
+                f"tolerance must be > 0, got {self.tolerance!r}"
+            )
+        if self.reduce is not None and not isinstance(self.reduce, bool):
+            raise RankingError(f"reduce must be a bool, got {self.reduce!r}")
+
+    @property
+    def is_stochastic(self) -> bool:
+        """Whether a reliability request with these options samples
+        (and therefore needs a seed to be deterministic/cacheable)."""
+        return (self.strategy or "auto") in STOCHASTIC_STRATEGIES
+
+    def to_kwargs(
+        self, method: str, seed: Optional[int] = None
+    ) -> Dict[str, object]:
+        """The keyword arguments to pass to ``rank()`` for ``method``.
+
+        Only the fields that apply to ``method`` are emitted, so sharing
+        one options object across a method sweep is safe. ``seed`` is
+        threaded through as the Monte Carlo ``rng`` when the request is
+        stochastic, which also makes it engine-cacheable.
+        """
+        canonical = resolve_method(method)
+        kwargs: Dict[str, object] = {}
+        if canonical == "reliability":
+            if self.strategy is not None:
+                kwargs["strategy"] = self.strategy
+            if self.trials is not None:
+                kwargs["trials"] = self.trials
+            if self.reduce is not None:
+                kwargs["reduce"] = self.reduce
+            if seed is not None and self.is_stochastic:
+                kwargs["rng"] = seed
+        elif canonical in ("propagation", "diffusion"):
+            if self.iterations is not None:
+                kwargs["iterations"] = self.iterations
+            if self.tolerance is not None:
+                kwargs["tolerance"] = self.tolerance
+            if self.max_iterations is not None:
+                kwargs["max_iterations"] = self.max_iterations
+        return kwargs
+
+    def as_dict(self) -> Dict[str, object]:
+        """Only the explicitly set fields, ready for JSON."""
+        return {k: v for k, v in asdict(self).items() if v is not None}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "RankingOptions":
+        return _from_mapping(cls, data, "RankingOptions")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """How a :class:`~repro.api.Session` executes and caches.
+
+    The defaults are the serving defaults — compiled kernels,
+    set-at-a-time builder, query/compile/score caches on, and a small
+    thread pool for ``execute_many``.
+    """
+
+    backend: str = "compiled"
+    builder: str = "batched"
+    cache_graphs: bool = True
+    max_cached_graphs: int = 256
+    cache_scores: bool = True
+    max_cached_scores: int = 1024
+    #: thread-pool width for ``Session.execute_many``; 0 or 1 disables
+    #: threading (specs still share graph materialisation work)
+    max_workers: int = 4
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise RankingError(
+                f"unknown backend {self.backend!r}; choose from {list(BACKENDS)}"
+            )
+        if self.builder not in BUILDERS:
+            raise RankingError(
+                f"unknown builder {self.builder!r}; choose from {sorted(BUILDERS)}"
+            )
+        for name in ("max_cached_graphs", "max_cached_scores"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 1:
+                raise RankingError(
+                    f"{name} must be a positive integer, got {value!r}"
+                )
+        if not isinstance(self.max_workers, int) or self.max_workers < 0:
+            raise RankingError(
+                f"max_workers must be a non-negative integer, got "
+                f"{self.max_workers!r}"
+            )
+
+    def make_engine(self, mediator=None):
+        """A :class:`~repro.engine.RankingEngine` configured accordingly."""
+        from repro.engine.ranking import RankingEngine
+
+        return RankingEngine(
+            mediator=mediator,
+            backend=self.backend,
+            builder=self.builder,
+            cache_scores=self.cache_scores,
+            max_cached_scores=self.max_cached_scores,
+            cache_graphs=self.cache_graphs,
+            max_cached_graphs=self.max_cached_graphs,
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "EngineConfig":
+        return _from_mapping(cls, data, "EngineConfig")

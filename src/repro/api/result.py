@@ -1,0 +1,287 @@
+"""Rich result sets returned by :class:`~repro.api.Session`.
+
+A :class:`ResultSet` wraps the raw score dict of a
+:class:`~repro.core.ranker.RankedResult` into ranked
+:class:`RankedEntity` records (label, entity set, score, tie-aware rank
+interval), with pagination, tie groups, provenance paths back to the
+seed records, and dict/JSON export — everything a UI or HTTP layer
+needs without reaching into the graph.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.graph import QueryGraph
+from repro.core.paths import EvidencePath, enumerate_paths, explain_answer
+from repro.core.ranker import RankedResult
+from repro.errors import GraphError, ValidationError
+
+__all__ = ["RankedEntity", "ResultPage", "ResultSet"]
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class RankedEntity:
+    """One ranked answer.
+
+    ``rank`` is the 1-based position in the deterministic display order;
+    ``rank_lo``/``rank_hi`` bound the ranks the entity can occupy under
+    random tie-breaking (the paper's ``21-22`` style intervals).
+    """
+
+    rank: int
+    node: NodeId
+    entity_set: Optional[str]
+    key: Hashable
+    label: str
+    score: float
+    rank_lo: int
+    rank_hi: int
+
+    @property
+    def rank_interval(self) -> Tuple[int, int]:
+        return (self.rank_lo, self.rank_hi)
+
+    @property
+    def expected_rank(self) -> float:
+        """Expected rank under uniformly random tie-breaking."""
+        return (self.rank_lo + self.rank_hi) / 2.0
+
+    @property
+    def is_tied(self) -> bool:
+        return self.rank_lo != self.rank_hi
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rank": self.rank,
+            "rank_interval": [self.rank_lo, self.rank_hi],
+            "entity_set": self.entity_set,
+            "key": self.key,
+            "label": self.label,
+            "score": self.score,
+        }
+
+
+@dataclass(frozen=True)
+class ResultPage:
+    """One page of a :class:`ResultSet` (1-based page numbers)."""
+
+    number: int
+    size: int
+    total_results: int
+    entities: Tuple[RankedEntity, ...]
+
+    @property
+    def total_pages(self) -> int:
+        return max(1, -(-self.total_results // self.size))
+
+    @property
+    def has_previous(self) -> bool:
+        return self.number > 1
+
+    @property
+    def has_next(self) -> bool:
+        return self.number < self.total_pages
+
+    def __len__(self) -> int:
+        return len(self.entities)
+
+    def __iter__(self) -> Iterator[RankedEntity]:
+        return iter(self.entities)
+
+
+class ResultSet:
+    """The ranked answers of one executed query.
+
+    Iterating yields :class:`RankedEntity` records in deterministic
+    order (score descending, ties broken by node repr). The full answer
+    set is always carried; ``spec.top_k`` only bounds the *default*
+    window of :meth:`top` and :meth:`to_dict`.
+    """
+
+    def __init__(
+        self,
+        ranked: RankedResult,
+        graph: QueryGraph,
+        spec=None,
+    ):
+        self._ranked = ranked
+        self._graph = graph
+        self.spec = spec
+        self.method = ranked.method
+        # entity records are built lazily: score-only consumers (the
+        # experiment sweeps read just .scores) skip the per-node work
+        self._entities_cache: Optional[List[RankedEntity]] = None
+        self._by_node_cache: Optional[Dict[NodeId, RankedEntity]] = None
+
+    @property
+    def _entities(self) -> List[RankedEntity]:
+        if self._entities_cache is None:
+            # tie semantics (exact score equality, deterministic order)
+            # come from RankedResult.tie_groups() — one source of truth
+            entities: List[RankedEntity] = []
+            position = 0
+            for group in self._ranked.tie_groups():
+                lo, hi = position + 1, position + len(group)
+                for node in group:
+                    position += 1
+                    payload = self._graph.graph.data(node)
+                    entities.append(
+                        RankedEntity(
+                            rank=position,
+                            node=node,
+                            entity_set=getattr(payload, "entity_set", None),
+                            key=getattr(payload, "key", node),
+                            label=str(getattr(payload, "label", node)),
+                            score=self._ranked.scores[node],
+                            rank_lo=lo,
+                            rank_hi=hi,
+                        )
+                    )
+            self._entities_cache = entities
+        return self._entities_cache
+
+    @property
+    def _by_node(self) -> Dict[NodeId, RankedEntity]:
+        if self._by_node_cache is None:
+            self._by_node_cache = {
+                entity.node: entity for entity in self._entities
+            }
+        return self._by_node_cache
+
+    # -------------------------------------------------------------- #
+    # access
+    # -------------------------------------------------------------- #
+
+    @property
+    def graph(self) -> QueryGraph:
+        """The materialised query graph behind this result."""
+        return self._graph
+
+    @property
+    def ranked(self) -> RankedResult:
+        """The underlying low-level result (scores + rank accessors)."""
+        return self._ranked
+
+    @property
+    def scores(self) -> Dict[NodeId, float]:
+        """Raw node -> score mapping (what the metrics consume)."""
+        return self._ranked.scores
+
+    @property
+    def entities(self) -> List[RankedEntity]:
+        return list(self._entities)
+
+    def entity(self, node: NodeId) -> RankedEntity:
+        """The ranked entity of a graph node id."""
+        try:
+            return self._by_node[node]
+        except KeyError:
+            raise GraphError(
+                f"{node!r} is not in this result set"
+            ) from None
+
+    def top(self, n: Optional[int] = None) -> List[RankedEntity]:
+        """The best ``n`` entities (default: the spec's ``top_k``,
+        or everything when neither is set)."""
+        if n is None:
+            n = getattr(self.spec, "top_k", None)
+        elif not isinstance(n, int) or n < 1:
+            raise ValidationError(
+                f"top() takes a positive integer, got {n!r}"
+            )
+        return self._entities[:n] if n is not None else list(self._entities)
+
+    def tie_groups(self) -> List[List[RankedEntity]]:
+        """Maximal equal-score groups, best group first (the facade
+        view of :meth:`RankedResult.tie_groups`)."""
+        by_node = self._by_node
+        return [
+            [by_node[node] for node in group]
+            for group in self._ranked.tie_groups()
+        ]
+
+    def page(self, number: int, size: int = 10) -> ResultPage:
+        """Page ``number`` (1-based) of ``size`` entities.
+
+        A page past the end is empty but still carries the totals, so a
+        paginating client can recover; ``number < 1`` or ``size < 1``
+        are errors.
+        """
+        if not isinstance(number, int) or number < 1:
+            raise ValidationError(
+                f"page number must be a positive integer, got {number!r}"
+            )
+        if not isinstance(size, int) or size < 1:
+            raise ValidationError(
+                f"page size must be a positive integer, got {size!r}"
+            )
+        start = (number - 1) * size
+        return ResultPage(
+            number=number,
+            size=size,
+            total_results=len(self._entities),
+            entities=tuple(self._entities[start : start + size]),
+        )
+
+    def __len__(self) -> int:
+        return len(self._entities)
+
+    def __iter__(self) -> Iterator[RankedEntity]:
+        return iter(self._entities)
+
+    def __getitem__(self, index):
+        return self._entities[index]
+
+    def __repr__(self) -> str:
+        best = self._entities[0].label if self._entities else "-"
+        return (
+            f"<ResultSet method={self.method!r} n={len(self._entities)} "
+            f"best={best!r}>"
+        )
+
+    # -------------------------------------------------------------- #
+    # provenance
+    # -------------------------------------------------------------- #
+
+    def provenance(
+        self, node: NodeId, top: int = 3, max_paths: int = 1000
+    ) -> List[EvidencePath]:
+        """The strongest evidence paths from the query node back to the
+        seed records supporting ``node`` (accepts a node id or a
+        :class:`RankedEntity`)."""
+        if isinstance(node, RankedEntity):
+            node = node.node
+        return enumerate_paths(self._graph, node, max_paths=max_paths)[:top]
+
+    def explain(self, node: NodeId, top: int = 3) -> str:
+        """Human-readable provenance report for one answer."""
+        if isinstance(node, RankedEntity):
+            node = node.node
+        return explain_answer(self._graph, node, top=top)
+
+    # -------------------------------------------------------------- #
+    # export
+    # -------------------------------------------------------------- #
+
+    def to_dict(self, limit: Optional[int] = None) -> Dict[str, object]:
+        """A JSON-ready dict: the spec (when known), totals, and the
+        top ``limit`` entities (default: the spec's ``top_k``)."""
+        entities: Sequence[RankedEntity] = self.top(limit)
+        data: Dict[str, object] = {
+            "method": self.method,
+            "total": len(self._entities),
+            "returned": len(entities),
+            "entities": [entity.as_dict() for entity in entities],
+        }
+        if self.spec is not None:
+            data["spec"] = self.spec.to_dict()
+        return data
+
+    def to_json(self, limit: Optional[int] = None, **dumps_kwargs: object) -> str:
+        dumps_kwargs.setdefault("default", str)
+        return json.dumps(self.to_dict(limit), **dumps_kwargs)

@@ -1,0 +1,442 @@
+"""The session facade: one front door over mediator + engine.
+
+:func:`open_session` wires sources into a
+:class:`~repro.integration.mediator.Mediator`, wraps it in a
+:class:`~repro.engine.RankingEngine` configured by an
+:class:`~repro.api.config.EngineConfig`, and returns a :class:`Session`
+— the single object examples, experiments, workloads and any future
+HTTP layer talk to::
+
+    with open_session(sources=[...]) as session:
+        results = session.execute(
+            Query.on("EntrezProtein").where(name="ABCC8")
+                 .outputs("GOTerm").rank_by("reliability").top(10)
+        )
+
+``execute_many`` runs independent specs as a batch: identical specs are
+deduplicated, specs that share a traversal (same entity set, attribute
+and value — output sets only *filter* the answer set, they never change
+the expansion) share one graph materialisation, and independent
+traversal groups run on a thread pool. ``explain`` answers "what would
+this spec cost and where would it be served from" with build statistics
+and cache provenance.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import weakref
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.api.config import EngineConfig, RankingOptions
+from repro.api.result import ResultSet
+from repro.api.spec import Query, QuerySpec
+from repro.core.graph import QueryGraph
+from repro.engine.ranking import EngineStats, RankingEngine
+from repro.errors import QueryError, RankingError, ReproError
+from repro.integration.builder import BuildStats
+from repro.integration.mediator import Mediator
+from repro.integration.probability import ConfidenceRegistry
+from repro.integration.query import ExploratoryQuery, select_answers
+from repro.integration.sources import DataSource
+
+__all__ = ["Explanation", "Session", "open_session"]
+
+SpecLike = Union[QuerySpec, Query, Mapping[str, object]]
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """Where a spec's answer comes from and what it costs.
+
+    Produced by :meth:`Session.explain`; the spec *is* executed (builds
+    and ranks through the ordinary path), so explaining a query warms
+    the caches for it.
+    """
+
+    spec: QuerySpec
+    #: served from the engine's epoch-guarded query cache?
+    graph_cached: bool
+    #: ranked from the fingerprint-keyed score cache?
+    score_cached: bool
+    builder: str
+    backend: str
+    nodes: int
+    edges: int
+    answers: int
+    #: stats of the original materialisation (also when cache-served)
+    build_stats: BuildStats
+    #: content fingerprint of the compiled graph (compiled backend only)
+    fingerprint: Optional[str]
+    build_seconds: float
+    rank_seconds: float
+    #: cumulative engine counters after this execution
+    engine_stats: Dict[str, object]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "spec": self.spec.to_dict(),
+            "graph_cached": self.graph_cached,
+            "score_cached": self.score_cached,
+            "builder": self.builder,
+            "backend": self.backend,
+            "nodes": self.nodes,
+            "edges": self.edges,
+            "answers": self.answers,
+            "dangling_links": self.build_stats.dangling_links,
+            "fingerprint": self.fingerprint,
+            "build_seconds": self.build_seconds,
+            "rank_seconds": self.rank_seconds,
+            "engine_stats": self.engine_stats,
+        }
+
+    def __str__(self) -> str:
+        graph_src = "query cache" if self.graph_cached else f"{self.builder} builder"
+        score_src = "score cache" if self.score_cached else f"{self.backend} backend"
+        return (
+            f"{self.spec.entity_set}.{self.spec.attribute}="
+            f"{self.spec.value!r} -> {sorted(self.spec.outputs)} "
+            f"[{self.spec.method}]: graph {self.nodes}n/{self.edges}e "
+            f"({self.answers} answers) from {graph_src} "
+            f"({self.build_seconds * 1e3:.2f} ms), scores from {score_src} "
+            f"({self.rank_seconds * 1e3:.2f} ms)"
+        )
+
+
+class Session:
+    """A configured mediator + engine pair behind one stable surface.
+
+    Construct via :func:`open_session` (or directly around an existing
+    :class:`~repro.integration.mediator.Mediator`). Sessions are
+    context managers; closing drops the engine caches.
+    """
+
+    def __init__(
+        self,
+        mediator: Optional[Mediator] = None,
+        config: Optional[EngineConfig] = None,
+    ):
+        self._config = config or EngineConfig()
+        self._mediator = mediator if mediator is not None else Mediator()
+        self._engine = self._config.make_engine(self._mediator)
+        #: derived answer-set views per shared (union) graph, so batches
+        #: re-served from the query cache also reuse their derived
+        #: graphs — and therefore the compile cache
+        self._derived: "weakref.WeakKeyDictionary[QueryGraph, Dict[Tuple[str, ...], QueryGraph]]" = (
+            weakref.WeakKeyDictionary()
+        )
+        # weakref containers are not thread-safe; execute_many's pool
+        # workers probe/populate the derived-view cache concurrently
+        self._derived_lock = threading.Lock()
+        self._closed = False
+
+    # -------------------------------------------------------------- #
+    # plumbing access (escape hatches, not the primary surface)
+    # -------------------------------------------------------------- #
+
+    @property
+    def config(self) -> EngineConfig:
+        return self._config
+
+    @property
+    def mediator(self) -> Mediator:
+        return self._mediator
+
+    @property
+    def engine(self) -> RankingEngine:
+        return self._engine
+
+    def register(self, *sources: DataSource) -> "Session":
+        """Register additional data sources (chainable)."""
+        self._check_open()
+        for source in sources:
+            self._mediator.register(source)
+        return self
+
+    # -------------------------------------------------------------- #
+    # execution
+    # -------------------------------------------------------------- #
+
+    def execute(self, spec: SpecLike) -> ResultSet:
+        """Execute one spec end to end: materialise (or cache-hit) the
+        query graph, rank it, and wrap the answers in a
+        :class:`~repro.api.result.ResultSet`."""
+        self._check_open()
+        spec = self._coerce(spec)
+        qg = self._engine.execute(
+            spec.to_exploratory(), builder=self._config.builder
+        )
+        return self._rank_graph(qg, spec)
+
+    def execute_many(
+        self,
+        specs: Iterable[SpecLike],
+        max_workers: Optional[int] = None,
+        return_errors: bool = False,
+    ) -> List[Union[ResultSet, ReproError]]:
+        """Execute a batch of independent specs, set-at-a-time.
+
+        Batching beats a loop of :meth:`execute` three ways: identical
+        specs are answered once, specs sharing a traversal (same entity
+        set / attribute / value) share a single graph materialisation
+        regardless of their output sets, and distinct traversal groups
+        run on a thread pool of ``max_workers`` threads (default: the
+        session config's ``max_workers``).
+
+        Results come back in spec order. With ``return_errors=True`` a
+        failing spec yields its exception in place instead of raising.
+        """
+        self._check_open()
+        coerced = [self._coerce(spec) for spec in specs]
+        results: List[Optional[Union[ResultSet, ReproError]]] = [None] * len(coerced)
+
+        # identical specs collapse into one execution
+        slots: Dict[QuerySpec, List[int]] = {}
+        for index, spec in enumerate(coerced):
+            slots.setdefault(spec, []).append(index)
+
+        # specs sharing a traversal share one materialised graph
+        groups: Dict[Tuple, List[QuerySpec]] = {}
+        for spec in slots:
+            groups.setdefault(spec.traversal_signature, []).append(spec)
+        group_list = list(groups.values())
+
+        workers = self._config.max_workers if max_workers is None else max_workers
+        if workers > 1 and len(group_list) > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                group_results = list(pool.map(self._run_group, group_list))
+        else:
+            group_results = [self._run_group(group) for group in group_list]
+
+        for group_result in group_results:
+            for spec, outcome in group_result:
+                for index in slots[spec]:
+                    results[index] = outcome
+        if not return_errors:
+            for outcome in results:
+                if isinstance(outcome, BaseException):
+                    raise outcome
+        return results  # type: ignore[return-value]
+
+    def _run_group(
+        self, group: Sequence[QuerySpec]
+    ) -> List[Tuple[QuerySpec, Union[ResultSet, ReproError]]]:
+        """Execute the specs of one traversal group over one shared
+        graph materialisation."""
+        union_outputs = sorted(set().union(*(spec.outputs for spec in group)))
+        base = group[0]
+        try:
+            union_qg = self._engine.execute(
+                ExploratoryQuery(
+                    base.entity_set, base.attribute, base.value, union_outputs
+                ),
+                builder=self._config.builder,
+            )
+        except ReproError:
+            # the union failed (e.g. no answers in *any* requested
+            # set); fall back to direct execution so every spec gets
+            # exactly the error (or result) execute() would give it
+            outcomes = []
+            for spec in group:
+                try:
+                    outcomes.append((spec, self.execute(spec)))
+                except ReproError as exc:
+                    outcomes.append((spec, exc))
+            return outcomes
+        outcomes: List[Tuple[QuerySpec, Union[ResultSet, ReproError]]] = []
+        for spec in group:
+            try:
+                qg = self._graph_for(spec, union_qg, union_outputs)
+                outcomes.append((spec, self._rank_graph(qg, spec)))
+            except ReproError as exc:
+                outcomes.append((spec, exc))
+        return outcomes
+
+    def _graph_for(
+        self,
+        spec: QuerySpec,
+        union_qg: QueryGraph,
+        union_outputs: Sequence[str],
+    ) -> QueryGraph:
+        """The spec's answer-set view of a shared traversal graph."""
+        if set(spec.outputs) == set(union_outputs):
+            return union_qg
+        with self._derived_lock:
+            views = self._derived.setdefault(union_qg, {})
+            cached = views.get(spec.outputs)
+        if cached is not None:
+            return cached
+        # the same filter (and the same empty-answer QueryError) as
+        # direct execution, so batching and execute() fail identically
+        answers = select_answers(union_qg.graph, union_qg.targets, spec.outputs)
+        derived = QueryGraph(union_qg.graph, union_qg.source, answers)
+        with self._derived_lock:
+            derived = views.setdefault(spec.outputs, derived)
+        return derived
+
+    # -------------------------------------------------------------- #
+    # ranking pre-built graphs
+    # -------------------------------------------------------------- #
+
+    def rank(
+        self,
+        graph: QueryGraph,
+        method: str = "reliability",
+        options: Optional[Union[RankingOptions, Mapping[str, object]]] = None,
+        seed: Optional[int] = None,
+        backend: Optional[str] = None,
+    ) -> ResultSet:
+        """Rank an already-materialised query graph (synthetic
+        workloads, generated cases) through the session's engine.
+        ``options`` accepts a :class:`RankingOptions` or a plain
+        mapping of its fields."""
+        self._check_open()
+        if options is None:
+            options = RankingOptions()
+        elif not isinstance(options, RankingOptions):
+            options = RankingOptions.from_dict(options)
+        ranked = self._engine.rank(
+            graph, method, backend=backend, **options.to_kwargs(method, seed)
+        )
+        return ResultSet(ranked, graph)
+
+    def rank_many(self, targets, **kwargs):
+        """Batch passthrough to
+        :meth:`~repro.engine.RankingEngine.rank_many` (experiment
+        drivers that sweep methods over shared compilations)."""
+        self._check_open()
+        return self._engine.rank_many(targets, **kwargs)
+
+    def _rank_graph(self, qg: QueryGraph, spec: QuerySpec) -> ResultSet:
+        ranked = self._engine.rank(
+            qg, spec.method, **spec.options.to_kwargs(spec.method, spec.seed)
+        )
+        return ResultSet(ranked, qg, spec=spec)
+
+    # -------------------------------------------------------------- #
+    # introspection
+    # -------------------------------------------------------------- #
+
+    def explain(self, spec: SpecLike) -> Explanation:
+        """Execute ``spec`` and report build stats, sizes, timings and
+        cache provenance (graph/score cache vs fresh computation)."""
+        self._check_open()
+        spec = self._coerce(spec)
+        started = time.perf_counter()
+        qg, build_stats, graph_cached = self._engine.execute_with_stats(
+            spec.to_exploratory(), builder=self._config.builder
+        )
+        build_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        _, score_cached = self._engine.rank_with_stats(
+            qg, spec.method, **spec.options.to_kwargs(spec.method, spec.seed)
+        )
+        rank_seconds = time.perf_counter() - started
+        # report the fingerprint only if ranking (now or earlier)
+        # actually compiled this graph — never force a compilation
+        fingerprint = self._engine.cached_fingerprint(qg)
+        return Explanation(
+            spec=spec,
+            graph_cached=graph_cached,
+            score_cached=score_cached,
+            builder=self._config.builder,
+            backend=self._config.backend,
+            nodes=qg.graph.num_nodes,
+            edges=qg.graph.num_edges,
+            answers=len(qg.targets),
+            build_stats=build_stats,
+            fingerprint=fingerprint,
+            build_seconds=build_seconds,
+            rank_seconds=rank_seconds,
+            engine_stats=self._engine.stats_snapshot().as_dict(),
+        )
+
+    def stats(self) -> EngineStats:
+        """The engine's cumulative cache-effectiveness counters (live
+        object; use :meth:`stats_snapshot` for before/after deltas)."""
+        return self._engine.stats
+
+    def stats_snapshot(self) -> EngineStats:
+        """A lock-consistent copy of the counters."""
+        return self._engine.stats_snapshot()
+
+    def reset_stats(self) -> None:
+        self._engine.reset_stats()
+
+    # -------------------------------------------------------------- #
+    # lifecycle
+    # -------------------------------------------------------------- #
+
+    def close(self) -> None:
+        """Drop all cached state; further execution raises."""
+        if not self._closed:
+            self._engine.invalidate()
+            self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"<Session {state} sources={len(self._mediator.sources)} "
+            f"backend={self._config.backend!r} builder={self._config.builder!r}>"
+        )
+
+    # -------------------------------------------------------------- #
+    # helpers
+    # -------------------------------------------------------------- #
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RankingError("this session is closed")
+
+    @staticmethod
+    def _coerce(spec: SpecLike) -> QuerySpec:
+        if isinstance(spec, QuerySpec):
+            return spec
+        if isinstance(spec, Query):
+            return spec.build()
+        if isinstance(spec, Mapping):
+            return QuerySpec.from_dict(spec)
+        raise QueryError(
+            f"cannot execute {type(spec).__name__}; expected a QuerySpec, "
+            f"a Query builder, or a spec dict"
+        )
+
+
+def open_session(
+    sources: Iterable[DataSource] = (),
+    mediator: Optional[Mediator] = None,
+    confidences: Optional[ConfidenceRegistry] = None,
+    config: Optional[EngineConfig] = None,
+) -> Session:
+    """Open a :class:`Session` over the given data sources.
+
+    Either pass ``sources`` (plus optional ``confidences``) to build a
+    fresh mediator, or an existing ``mediator`` to wrap; passing both a
+    mediator and sources/confidences is ambiguous and rejected. With
+    neither, the session starts empty — usable for ranking pre-built
+    graphs and for registering sources later.
+    """
+    sources = tuple(sources)
+    if mediator is not None and (sources or confidences is not None):
+        raise QueryError(
+            "pass either an existing mediator or sources/confidences to "
+            "build one, not both"
+        )
+    if mediator is None:
+        mediator = Mediator(confidences=confidences)
+        for source in sources:
+            mediator.register(source)
+    return Session(mediator=mediator, config=config)

@@ -1,0 +1,325 @@
+"""Declarative query specifications and the fluent ``Query`` builder.
+
+A :class:`QuerySpec` is the public, serialisable form of the paper's
+exploratory query *plus* how its answers should be ranked: entity set,
+predicate, output sets, ranking method, options, top-k and seed. It is
+frozen (hashable, cacheable) and round-trips through plain dicts and
+JSON, which is what a future HTTP layer will speak.
+
+The fluent builder reads like the sentence it encodes::
+
+    spec = (Query.on("EntrezProtein")
+                 .where(name="ABCC8")
+                 .outputs("GOTerm")
+                 .rank_by("reliability", strategy="closed")
+                 .top(10)
+                 .build())
+
+``Session.execute`` accepts either form (an unbuilt ``Query`` is built
+on the way in).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Hashable, Mapping, Optional, Tuple
+
+from repro.api.config import RankingOptions
+from repro.core.ranker import resolve_method
+from repro.errors import QueryError
+from repro.integration.query import ExploratoryQuery, validate_query_shape
+
+__all__ = ["Query", "QuerySpec"]
+
+
+def _hashable_value(value: object) -> Hashable:
+    """JSON decoding turns tuples into lists; coerce them back so a
+    tuple-valued predicate survives the round trip hashable."""
+    if isinstance(value, list):
+        return tuple(_hashable_value(item) for item in value)
+    return value
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One declarative query: *what* to ask and *how* to rank it.
+
+    ``outputs`` is stored as a sorted tuple of unique names and
+    ``method`` is canonicalised (aliases like ``"rel"`` resolve to
+    ``"reliability"``), so two specs meaning the same thing are equal.
+    """
+
+    entity_set: str
+    attribute: str
+    value: Hashable
+    outputs: Tuple[str, ...]
+    method: str = "reliability"
+    options: RankingOptions = field(default_factory=RankingOptions)
+    top_k: Optional[int] = None
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.outputs, str):
+            outputs = (self.outputs,)
+        else:
+            try:
+                outputs = tuple(self.outputs)
+            except TypeError:
+                raise QueryError(
+                    f"outputs must be entity-set names (or one name), "
+                    f"got {self.outputs!r}"
+                ) from None
+        validate_query_shape(
+            self.entity_set,
+            self.attribute,
+            outputs,
+            'Query.on("EntrezProtein").where(name="ABCC8")',
+        )
+        try:
+            hash(self.value)
+        except TypeError:
+            raise QueryError(
+                f"the predicate value must be hashable (specs are frozen "
+                f"cache keys), got {self.value!r}; use a tuple instead of "
+                f"a list"
+            ) from None
+        # canonical order makes equal queries compare (and hash) equal
+        object.__setattr__(self, "outputs", tuple(sorted(set(outputs))))
+        object.__setattr__(self, "method", resolve_method(self.method))
+        if not isinstance(self.options, RankingOptions):
+            raise QueryError(
+                f"options must be a RankingOptions, got "
+                f"{type(self.options).__name__}"
+            )
+        if self.top_k is not None and (
+            not isinstance(self.top_k, int) or self.top_k < 1
+        ):
+            raise QueryError(
+                f"top_k must be a positive integer, got {self.top_k!r}"
+            )
+        if self.seed is not None and not isinstance(self.seed, int):
+            raise QueryError(f"seed must be an integer, got {self.seed!r}")
+
+    # -------------------------------------------------------------- #
+    # identity and conversions
+    # -------------------------------------------------------------- #
+
+    @property
+    def traversal_signature(self) -> Tuple[str, str, Hashable]:
+        """What graph *expansion* depends on. Output sets only filter
+        the answer set, so specs sharing this signature can share one
+        materialised graph (which ``execute_many`` exploits)."""
+        return (self.entity_set, self.attribute, self.value)
+
+    @property
+    def signature(self) -> Tuple[str, str, Hashable, FrozenSet[str]]:
+        """The underlying exploratory query's canonical identity."""
+        return (
+            self.entity_set,
+            self.attribute,
+            self.value,
+            frozenset(self.outputs),
+        )
+
+    def to_exploratory(self) -> ExploratoryQuery:
+        """The integration-layer query this spec executes."""
+        return ExploratoryQuery(
+            self.entity_set, self.attribute, self.value, self.outputs
+        )
+
+    def replace(self, **changes: object) -> "QuerySpec":
+        """A copy with the given fields changed (validated again)."""
+        return replace(self, **changes)
+
+    # -------------------------------------------------------------- #
+    # dict / JSON round trip
+    # -------------------------------------------------------------- #
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "entity_set": self.entity_set,
+            "attribute": self.attribute,
+            "value": self.value,
+            "outputs": list(self.outputs),
+            "method": self.method,
+        }
+        options = self.options.as_dict()
+        if options:
+            data["options"] = options
+        if self.top_k is not None:
+            data["top_k"] = self.top_k
+        if self.seed is not None:
+            data["seed"] = self.seed
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "QuerySpec":
+        known = {
+            "entity_set", "attribute", "value", "outputs", "method",
+            "options", "top_k", "seed",
+        }
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise QueryError(
+                f"unknown QuerySpec field(s) {unknown}; known fields: "
+                f"{sorted(known)}"
+            )
+        missing = [
+            name
+            for name in ("entity_set", "attribute", "value", "outputs")
+            if name not in data
+        ]
+        if missing:
+            raise QueryError(f"QuerySpec dict is missing field(s) {missing}")
+        options = data.get("options", {})
+        if isinstance(options, Mapping):
+            options = RankingOptions.from_dict(options)
+        outputs = data["outputs"]
+        if not isinstance(outputs, str):
+            try:
+                # a bare string is one entity-set name, never an
+                # iterable of characters
+                outputs = tuple(outputs)
+            except TypeError:
+                raise QueryError(
+                    f"'outputs' must be a list of entity-set names (or "
+                    f"one name), got {outputs!r}"
+                ) from None
+        return cls(
+            entity_set=data["entity_set"],
+            attribute=data["attribute"],
+            value=_hashable_value(data["value"]),
+            outputs=outputs,
+            method=data.get("method", "reliability"),
+            options=options,
+            top_k=data.get("top_k"),
+            seed=data.get("seed"),
+        )
+
+    def to_json(self, **dumps_kwargs: object) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "QuerySpec":
+        try:
+            data = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise QueryError(f"invalid QuerySpec JSON: {exc}") from None
+        if not isinstance(data, dict):
+            raise QueryError(
+                f"QuerySpec JSON must be an object, got {type(data).__name__}"
+            )
+        return cls.from_dict(data)
+
+
+class Query:
+    """Fluent builder for :class:`QuerySpec`.
+
+    Each step returns ``self``; :meth:`build` validates and freezes.
+    Building twice (or continuing after a build) is fine — the builder
+    keeps its state.
+    """
+
+    def __init__(self, entity_set: Optional[str] = None):
+        self._entity_set = entity_set
+        self._attribute: Optional[str] = None
+        self._value: Hashable = None
+        self._outputs: Tuple[str, ...] = ()
+        self._method = "reliability"
+        self._options = RankingOptions()
+        self._top_k: Optional[int] = None
+        self._seed: Optional[int] = None
+
+    @classmethod
+    def on(cls, entity_set: str) -> "Query":
+        """Start a query over ``entity_set``."""
+        return cls(entity_set)
+
+    def where(self, *args: object, **predicate: Hashable) -> "Query":
+        """The selection predicate: ``.where(name="ABCC8")`` or
+        ``.where("name", "ABCC8")``."""
+        if args and predicate or len(args) not in (0, 2) or (
+            not args and len(predicate) != 1
+        ):
+            raise QueryError(
+                "where() takes exactly one predicate: either "
+                '.where(attribute="value") or .where("attribute", value)'
+            )
+        if args:
+            attribute, value = args
+        else:
+            ((attribute, value),) = predicate.items()
+        self._attribute = attribute
+        self._value = value
+        return self
+
+    def outputs(self, *entity_sets: str) -> "Query":
+        """Which entity sets form the rankable answer set (names, or
+        iterables of names)."""
+        flat = []
+        for item in entity_sets:
+            if isinstance(item, str):
+                flat.append(item)
+            else:
+                try:
+                    flat.extend(item)
+                except TypeError:
+                    raise QueryError(
+                        f"outputs() takes entity-set names (or iterables "
+                        f"of names), got {item!r}"
+                    ) from None
+        self._outputs = tuple(flat)
+        return self
+
+    def rank_by(self, method: str, **options: object) -> "Query":
+        """The relevance semantics, e.g. ``rank_by("reliability",
+        strategy="closed")`` — keyword options build a
+        :class:`~repro.api.config.RankingOptions`. Each call replaces
+        the previous options entirely (no kwargs = library defaults);
+        to attach a prebuilt object, call :meth:`options` afterwards."""
+        self._method = method
+        self._options = RankingOptions(**options)
+        return self
+
+    def options(self, options: RankingOptions) -> "Query":
+        """Attach a prebuilt options object."""
+        self._options = options
+        return self
+
+    def top(self, k: int) -> "Query":
+        """Limit the result set to the ``k`` best answers."""
+        self._top_k = k
+        return self
+
+    def seed(self, seed: int) -> "Query":
+        """Seed stochastic ranking for end-to-end reproducibility."""
+        self._seed = seed
+        return self
+
+    def build(self) -> QuerySpec:
+        """Validate and freeze into a :class:`QuerySpec`."""
+        if self._entity_set is None:
+            raise QueryError(
+                'the query has no entity set; start with Query.on("EntitySet")'
+            )
+        if self._attribute is None:
+            raise QueryError(
+                "the query has no predicate; add "
+                '.where(attribute="value") before build()'
+            )
+        if not self._outputs:
+            raise QueryError(
+                "the query has no output sets; add "
+                '.outputs("EntitySet") before build()'
+            )
+        return QuerySpec(
+            entity_set=self._entity_set,
+            attribute=self._attribute,
+            value=self._value,
+            outputs=self._outputs,
+            method=self._method,
+            options=self._options,
+            top_k=self._top_k,
+            seed=self._seed,
+        )

@@ -48,7 +48,6 @@ from repro.integration.builder import BuildStats, entity_node_id
 from repro.integration.mediator import Mediator
 from repro.integration.probability import (
     AMIGO_EVIDENCE_PR,
-    ENTREZ_GENE_STATUS_PR,
     probability_to_evalue,
 )
 from repro.integration.query import ExploratoryQuery
@@ -253,7 +252,8 @@ class ProteinCaseGenerator:
                 f"functions, expected {spec.n_total}"
             )
 
-        as_nodes = lambda ids: frozenset(entity_node_id("GOTerm", g) for g in ids)
+        def as_nodes(ids):
+            return frozenset(entity_node_id("GOTerm", g) for g in ids)
         return GeneratedCase(
             spec=spec,
             mediator=mediator,

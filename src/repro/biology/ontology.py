@@ -10,8 +10,8 @@ originals.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import ValidationError
 from repro.utils.rng import RngLike, ensure_rng

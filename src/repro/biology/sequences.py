@@ -13,7 +13,6 @@ examples and tests.
 
 from __future__ import annotations
 
-import math
 from typing import List
 
 from repro.errors import ValidationError
@@ -64,7 +63,6 @@ def sequence_identity(a: str, b: str) -> float:
     shorter length, mismatching any overhang)."""
     if not a or not b:
         raise ValidationError("sequences must be non-empty")
-    overlap = min(len(a), len(b))
     matches = sum(1 for x, y in zip(a, b) if x == y)
     return matches / max(len(a), len(b))
 

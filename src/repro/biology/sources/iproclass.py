@@ -9,7 +9,7 @@ gold-standard lookups.
 
 from __future__ import annotations
 
-from typing import List, Set
+from typing import Set
 
 from repro.storage import Column, ColumnType, Database
 

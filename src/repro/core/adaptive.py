@@ -17,7 +17,7 @@ the paper cites as related work.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, List, Tuple
 
 from repro.core.bounds import required_trials
 from repro.core.graph import QueryGraph

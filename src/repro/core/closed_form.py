@@ -16,7 +16,7 @@ rejected, per the ``fallback`` policy.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Literal
+from typing import Dict, Hashable, Literal
 
 from repro.core.exact import exact_reliability
 from repro.core.graph import QueryGraph

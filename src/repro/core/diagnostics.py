@@ -21,7 +21,7 @@ than it looks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List
+from typing import Hashable, List
 
 from repro.core.graph import QueryGraph
 from repro.core.propagation import propagation_scores

@@ -20,7 +20,7 @@ and as the fallback of the closed-form pipeline on irreducible residues
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, Optional, Tuple
 
 from repro.core.graph import ProbabilisticEntityGraph, QueryGraph
 from repro.core.reduction import reduce_graph

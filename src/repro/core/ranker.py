@@ -19,7 +19,7 @@ Every method is served by two interchangeable backends:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
 
 from repro.core.compile import CompiledGraph
 from repro.core.deterministic import in_edge_scores, path_count_scores

@@ -22,7 +22,7 @@ removes ~78 % of nodes and edges.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, List, Set, Tuple
 
 from repro.core.graph import ProbabilisticEntityGraph, QueryGraph

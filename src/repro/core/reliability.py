@@ -27,11 +27,19 @@ from repro.core.reduction import reduce_graph
 from repro.errors import RankingError
 from repro.utils.rng import RngLike
 
-__all__ = ["reliability_scores"]
+__all__ = ["RELIABILITY_STRATEGIES", "STOCHASTIC_STRATEGIES", "reliability_scores"]
 
 NodeId = Hashable
 
 Strategy = Literal["auto", "mc", "naive-mc", "closed", "exact"]
+
+#: every accepted evaluation strategy — the single source of truth the
+#: engine's cache rules and the public RankingOptions validation share
+RELIABILITY_STRATEGIES = ("auto", "mc", "naive-mc", "closed", "exact")
+
+#: the strategies that draw random samples (consume a seed; uncacheable
+#: unless seeded)
+STOCHASTIC_STRATEGIES = ("auto", "mc", "naive-mc")
 
 #: Fig 7 shows 1,000 trials already rank reliably on the paper's graphs.
 DEFAULT_TRIALS = 1000

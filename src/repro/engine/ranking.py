@@ -36,15 +36,18 @@ nothing automatically — compile once, then treat graphs as immutable
 
 from __future__ import annotations
 
+import threading
 import weakref
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.compile import CompiledGraph, compile_graph
 from repro.core.graph import QueryGraph
 from repro.core.ranker import BACKENDS, RankedResult, rank, resolve_method
+from repro.core.reliability import STOCHASTIC_STRATEGIES
 from repro.errors import RankingError
+from repro.integration.builder import BuildStats
 from repro.integration.mediator import Mediator
 from repro.integration.query import BUILDERS, ExploratoryQuery
 
@@ -54,8 +57,14 @@ NodeId = Hashable
 
 Rankable = Union[QueryGraph, ExploratoryQuery]
 
-#: reliability strategies whose scores are sampling-based
-_STOCHASTIC_STRATEGIES = ("auto", "mc", "naive-mc")
+#: reliability strategies whose scores are sampling-based (shared with
+#: the public RankingOptions so seed/cache rules cannot diverge)
+_STOCHASTIC_STRATEGIES = STOCHASTIC_STRATEGIES
+
+
+def _hit_rate(hits: int, misses: int) -> float:
+    total = hits + misses
+    return hits / total if total else 0.0
 
 
 @dataclass
@@ -78,6 +87,51 @@ class EngineStats:
         self.graph_hits = 0
         self.graph_misses = 0
         self.queries_executed = 0
+
+    # ------------------------------------------------------------ #
+    # derived rates and ops-friendly views
+    # ------------------------------------------------------------ #
+
+    @property
+    def graph_hit_rate(self) -> float:
+        """Query-cache hit rate in [0, 1] (0.0 before any probe)."""
+        return _hit_rate(self.graph_hits, self.graph_misses)
+
+    @property
+    def compile_hit_rate(self) -> float:
+        return _hit_rate(self.compile_hits, self.compile_misses)
+
+    @property
+    def score_hit_rate(self) -> float:
+        return _hit_rate(self.score_hits, self.score_misses)
+
+    def snapshot(self) -> "EngineStats":
+        """A point-in-time copy (for before/after deltas)."""
+        return EngineStats(
+            **{f.name: getattr(self, f.name) for f in fields(self)}
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        """Counters plus derived rates, ready for structured logging."""
+        data: Dict[str, object] = {
+            f.name: getattr(self, f.name) for f in fields(self)
+        }
+        data["graph_hit_rate"] = self.graph_hit_rate
+        data["compile_hit_rate"] = self.compile_hit_rate
+        data["score_hit_rate"] = self.score_hit_rate
+        return data
+
+    def __str__(self) -> str:
+        return (
+            f"EngineStats(queries={self.queries_executed}, "
+            f"graph {self.graph_hits}/{self.graph_hits + self.graph_misses} "
+            f"({self.graph_hit_rate:.0%}), "
+            f"compile {self.compile_hits}/"
+            f"{self.compile_hits + self.compile_misses} "
+            f"({self.compile_hit_rate:.0%}), "
+            f"score {self.score_hits}/{self.score_hits + self.score_misses} "
+            f"({self.score_hit_rate:.0%}))"
+        )
 
 
 def _consumes_ir(method: str, options: Mapping[str, object]) -> bool:
@@ -138,12 +192,18 @@ class RankingEngine:
         self.cache_graphs = cache_graphs
         self.max_cached_graphs = max_cached_graphs
         self.stats = EngineStats()
+        # guards the three caches and the stats counters so concurrent
+        # callers (Session.execute_many's thread pool) stay consistent;
+        # the heavy work — graph materialisation, compilation, scoring —
+        # always runs outside the lock
+        self._lock = threading.RLock()
         self._compiled: "weakref.WeakKeyDictionary[QueryGraph, CompiledGraph]" = (
             weakref.WeakKeyDictionary()
         )
         self._scores: "OrderedDict[Tuple, Dict[NodeId, float]]" = OrderedDict()
-        #: query signature -> (mediator, its epoch at execution, graph)
-        self._graphs: "OrderedDict[Tuple, Tuple[Mediator, int, QueryGraph]]" = (
+        #: query signature -> (mediator, its epoch at execution, graph,
+        #: the build stats of the original materialisation)
+        self._graphs: "OrderedDict[Tuple, Tuple[Mediator, int, QueryGraph, BuildStats]]" = (
             OrderedDict()
         )
 
@@ -162,6 +222,15 @@ class RankingEngine:
         registration, confidence tuning or bound-table mutation bumps
         the epoch and forces re-materialisation (``graph_misses``).
         """
+        return self.execute_with_stats(query, builder=builder)[0]
+
+    def execute_with_stats(
+        self, query: ExploratoryQuery, builder: Optional[str] = None
+    ) -> Tuple[QueryGraph, BuildStats, bool]:
+        """Like :meth:`execute`, but also report *how* the graph came to
+        be: its :class:`~repro.integration.builder.BuildStats` (from the
+        original materialisation when served from cache) and whether the
+        query cache supplied it."""
         if self.mediator is None:
             raise RankingError(
                 "this engine has no mediator; construct it with one to "
@@ -169,28 +238,31 @@ class RankingEngine:
             )
         chosen_builder = builder or self.builder
         if not self.cache_graphs:
-            qg, _ = query.execute(self.mediator, builder=chosen_builder)
-            self.stats.queries_executed += 1
-            return qg
+            qg, build_stats = query.execute(self.mediator, builder=chosen_builder)
+            with self._lock:
+                self.stats.queries_executed += 1
+            return qg, build_stats, False
         epoch = self.mediator.epoch
         key = (query.signature, chosen_builder)
-        cached = self._graphs.get(key)
-        if cached is not None:
-            cached_mediator, cached_epoch, qg = cached
-            # the entry must come from *this* mediator (the attribute is
-            # public and reassignable) and from its current epoch
-            if cached_mediator is self.mediator and cached_epoch == epoch:
-                self._graphs.move_to_end(key)
-                self.stats.graph_hits += 1
-                return qg
-            del self._graphs[key]  # stale: sources changed since execution
-        self.stats.graph_misses += 1
-        qg, _ = query.execute(self.mediator, builder=chosen_builder)
-        self.stats.queries_executed += 1
-        self._graphs[key] = (self.mediator, epoch, qg)
-        while len(self._graphs) > self.max_cached_graphs:
-            self._graphs.popitem(last=False)
-        return qg
+        with self._lock:
+            cached = self._graphs.get(key)
+            if cached is not None:
+                cached_mediator, cached_epoch, qg, build_stats = cached
+                # the entry must come from *this* mediator (the attribute
+                # is public and reassignable) and from its current epoch
+                if cached_mediator is self.mediator and cached_epoch == epoch:
+                    self._graphs.move_to_end(key)
+                    self.stats.graph_hits += 1
+                    return qg, build_stats, True
+                del self._graphs[key]  # stale: sources changed since execution
+            self.stats.graph_misses += 1
+        qg, build_stats = query.execute(self.mediator, builder=chosen_builder)
+        with self._lock:
+            self.stats.queries_executed += 1
+            self._graphs[key] = (self.mediator, epoch, qg, build_stats)
+            while len(self._graphs) > self.max_cached_graphs:
+                self._graphs.popitem(last=False)
+        return qg, build_stats, False
 
     def execute_many(
         self,
@@ -214,34 +286,55 @@ class RankingEngine:
     # compilation
     # -------------------------------------------------------------- #
 
+    def reset_stats(self) -> None:
+        """Zero the counters, consistently with in-flight increments."""
+        with self._lock:
+            self.stats.reset()
+
+    def stats_snapshot(self) -> EngineStats:
+        """A lock-consistent point-in-time copy of the counters."""
+        with self._lock:
+            return self.stats.snapshot()
+
+    def cached_fingerprint(self, qg: QueryGraph) -> Optional[str]:
+        """The content fingerprint of ``qg``'s compiled form, if it has
+        been compiled — without forcing a compilation."""
+        with self._lock:
+            compiled = self._compiled.get(qg)
+        return compiled.fingerprint if compiled is not None else None
+
     def compile(self, qg: QueryGraph) -> CompiledGraph:
         """The CSR form of ``qg``, compiled at most once per live graph."""
-        cached = self._compiled.get(qg)
-        if cached is not None:
-            self.stats.compile_hits += 1
-            return cached
-        self.stats.compile_misses += 1
+        with self._lock:
+            cached = self._compiled.get(qg)
+            if cached is not None:
+                self.stats.compile_hits += 1
+                return cached
+            self.stats.compile_misses += 1
         compiled = compile_graph(qg)
-        self._compiled[qg] = compiled
-        return compiled
+        with self._lock:
+            # a concurrent compile of the same graph is idempotent; keep
+            # one winner so every caller shares a single CompiledGraph
+            return self._compiled.setdefault(qg, compiled)
 
     def invalidate(self, qg: Optional[QueryGraph] = None) -> None:
         """Drop cached state for ``qg`` (or everything when ``None``)."""
-        if qg is None:
-            self._compiled = weakref.WeakKeyDictionary()
-            self._scores.clear()
-            self._graphs.clear()
-            return
-        compiled = self._compiled.pop(qg, None)
-        if compiled is not None:
-            stale = [k for k in self._scores if k[0] == compiled.fingerprint]
-            for key in stale:
-                del self._scores[key]
-        stale_graphs = [
-            k for k, (_, _, cached) in self._graphs.items() if cached is qg
-        ]
-        for key in stale_graphs:
-            del self._graphs[key]
+        with self._lock:
+            if qg is None:
+                self._compiled = weakref.WeakKeyDictionary()
+                self._scores.clear()
+                self._graphs.clear()
+                return
+            compiled = self._compiled.pop(qg, None)
+            if compiled is not None:
+                stale = [k for k in self._scores if k[0] == compiled.fingerprint]
+                for key in stale:
+                    del self._scores[key]
+            stale_graphs = [
+                k for k, (_, _, cached, _) in self._graphs.items() if cached is qg
+            ]
+            for key in stale_graphs:
+                del self._graphs[key]
 
     # -------------------------------------------------------------- #
     # ranking
@@ -284,6 +377,18 @@ class RankingEngine:
         Scores are served from the fingerprint-keyed cache when the
         request is deterministic and has been answered before.
         """
+        return self.rank_with_stats(target, method, backend=backend, **options)[0]
+
+    def rank_with_stats(
+        self,
+        target: Rankable,
+        method: str = "reliability",
+        backend: Optional[str] = None,
+        **options: object,
+    ) -> Tuple[RankedResult, bool]:
+        """Like :meth:`rank`, but also report whether the scores came
+        from the cache — per-call provenance that stays correct under
+        concurrent callers (unlike diffing the global counters)."""
         qg = self._resolve_graph(target)
         canonical = resolve_method(method)
         chosen_backend = backend or self.backend
@@ -302,12 +407,14 @@ class RankingEngine:
                 compiled.fingerprint, canonical, chosen_backend, options
             )
         if key is not None:
-            cached = self._scores.get(key)
-            if cached is not None:
-                self._scores.move_to_end(key)
-                self.stats.score_hits += 1
-                return RankedResult(method=canonical, scores=dict(cached))
-        self.stats.score_misses += 1
+            with self._lock:
+                cached = self._scores.get(key)
+                if cached is not None:
+                    self._scores.move_to_end(key)
+                    self.stats.score_hits += 1
+                    return RankedResult(method=canonical, scores=dict(cached)), True
+        with self._lock:
+            self.stats.score_misses += 1
         result = rank(
             qg,
             canonical,
@@ -316,10 +423,11 @@ class RankingEngine:
             **options,
         )
         if key is not None:
-            self._scores[key] = dict(result.scores)
-            while len(self._scores) > self.max_cached_scores:
-                self._scores.popitem(last=False)
-        return result
+            with self._lock:
+                self._scores[key] = dict(result.scores)
+                while len(self._scores) > self.max_cached_scores:
+                    self._scores.popitem(last=False)
+        return result, False
 
     def rank_many(
         self,

@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.core.graph import ProbabilisticEntityGraph, QueryGraph
-from repro.experiments.runner import default_engine, format_table
+from repro.experiments.runner import default_session, format_table
 
 __all__ = ["serial_parallel_graph", "wheatstone_bridge", "compute", "main"]
 
@@ -58,13 +58,13 @@ def wheatstone_bridge() -> QueryGraph:
 
 def compute() -> Dict[str, Dict[str, float]]:
     """Scores of all five methods on both topologies."""
-    engine = default_engine()
+    session = default_session()
     results: Dict[str, Dict[str, float]] = {}
     for name, qg in (
         ("serial_parallel", serial_parallel_graph()),
         ("wheatstone", wheatstone_bridge()),
     ):
-        batch = engine.rank_many(
+        batch = session.rank_many(
             [qg],
             methods=("reliability", "propagation", "diffusion", "in_edge", "path_count"),
             method_options={"reliability": {"strategy": "exact"}},

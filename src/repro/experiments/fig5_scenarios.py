@@ -17,8 +17,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.api import Session
 from repro.biology.scenarios import build_scenario
-from repro.engine import RankingEngine
 from repro.experiments.runner import (
     DEFAULT_SEED,
     MethodScore,
@@ -55,14 +55,14 @@ def compute(
     scenario: int,
     seed: int = DEFAULT_SEED,
     limit: Optional[int] = None,
-    engine: Optional[RankingEngine] = None,
+    session: Optional[Session] = None,
     builder: str = "batched",
 ) -> List[MethodScore]:
     """Evaluate one scenario; graphs materialise through the
     set-at-a-time executor (``builder="scalar"`` cross-checks against
     the reference path — the resulting APs are identical)."""
     cases = build_scenario(scenario, seed=seed, limit=limit, builder=builder)
-    return evaluate_scenario_ap(cases, engine=engine)
+    return evaluate_scenario_ap(cases, session=session)
 
 
 def main(seed: int = DEFAULT_SEED) -> str:

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.biology.scenarios import build_scenario
-from repro.experiments.runner import DEFAULT_SEED, RANK_OPTIONS, format_table
+from repro.experiments.runner import DEFAULT_SEED, format_table, rank_kwargs
 from repro.sensitivity.analysis import SensitivityPoint, sensitivity_sweep
 
 __all__ = ["PAPER_GRID", "compute", "main"]
@@ -56,7 +56,7 @@ def compute(
         sigmas=SIGMAS,
         repetitions=repetitions,
         rng=seed,
-        rank_options=RANK_OPTIONS.get(method, {}),
+        rank_options=rank_kwargs(method),
     )
 
 

@@ -17,10 +17,10 @@ speed-up (paper: 3.4x / −70 %, and 13.4x / −93 % with reduction).
 Absolute milliseconds are hardware- and language-dependent; the paper's
 *ordering* (R&M2 fastest, M1 slowest) is the reproduction target.
 
-All strategies run through a caching-disabled
-:class:`~repro.engine.RankingEngine`; the Monte Carlo rows are timed on
-both backends, and the ``compiled`` timings show what the block-sampled
-CSR kernels buy on the same graphs.
+All strategies run through a score-caching-disabled
+:class:`~repro.api.Session`; the Monte Carlo rows are timed on both
+backends, and the ``compiled`` timings show what the block-sampled CSR
+kernels buy on the same graphs.
 """
 
 from __future__ import annotations
@@ -30,11 +30,11 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from repro.api import EngineConfig, RankingOptions, Session
 from repro.biology.scenarios import build_scenario
 from repro.core.graph import QueryGraph
 from repro.core.montecarlo import naive_reliability
 from repro.core.reduction import reduce_graph
-from repro.engine import RankingEngine
 from repro.experiments.runner import DEFAULT_SEED, format_table
 
 __all__ = ["StrategyTiming", "compute", "main"]
@@ -63,28 +63,36 @@ def _time_over_cases(
 
 
 def _strategy_suite(
-    engine: RankingEngine, backend: str, rng_seed: int, mc_only: bool = False
+    session: Session, backend: str, rng_seed: int, mc_only: bool = False
 ) -> Dict[str, Callable[[QueryGraph], object]]:
     """The timed Fig 8a rows; ``mc_only`` restricts to the Monte Carlo
     rows (the closed-form solver has no compiled variant to time)."""
 
+    # the timed window must cover scoring only (as the paper measures),
+    # so the rows call the session's engine directly with kwargs built
+    # once from the typed options — ResultSet wrapping stays outside
+    engine = session.engine
+
     def runner(**options):
+        kwargs = RankingOptions(**options).to_kwargs("reliability", rng_seed)
         return lambda qg: engine.rank(
-            qg, "reliability", backend=backend, **options
+            qg, "reliability", backend=backend, **kwargs
         )
 
     mc_rows = {
-        "M1": runner(strategy="mc", reduce=False, trials=10_000, rng=rng_seed),
-        "M2": runner(strategy="mc", reduce=False, trials=1_000, rng=rng_seed),
-        "R&M1": runner(strategy="mc", reduce=True, trials=10_000, rng=rng_seed),
-        "R&M2": runner(strategy="mc", reduce=True, trials=1_000, rng=rng_seed),
+        "M1": runner(strategy="mc", reduce=False, trials=10_000),
+        "M2": runner(strategy="mc", reduce=False, trials=1_000),
+        "R&M1": runner(strategy="mc", reduce=True, trials=10_000),
+        "R&M2": runner(strategy="mc", reduce=True, trials=1_000),
     }
     if mc_only:
         return mc_rows
 
     def reduced_then_closed(qg: QueryGraph):
         working, _ = reduce_graph(qg)
-        return engine.rank(working, "reliability", backend=backend, strategy="closed")
+        return engine.rank(
+            working, "reliability", backend=backend, strategy="closed"
+        )
 
     return {  # the paper's row order: M1 M2 C R&M1 R&M2 R&C
         "M1": mc_rows["M1"],
@@ -103,19 +111,19 @@ def compute(
     cases = build_scenario(1, seed=seed, limit=limit)
     graphs = [case.query_graph for case in cases]
     # caching must stay off: these rows time the work, not the cache
-    engine = RankingEngine(cache_scores=False)
+    session = Session(config=EngineConfig(cache_scores=False))
     # the reduction statistics feed the -78% headline
     reduction_stats = [reduce_graph(qg)[1] for qg in graphs]
 
     timings: Dict[str, StrategyTiming] = {}
-    for label, runner in _strategy_suite(engine, "reference", rng_seed).items():
+    for label, runner in _strategy_suite(session, "reference", rng_seed).items():
         timing = _time_over_cases(graphs, runner)
         timing.label = label
         timings[label] = timing
 
     # the same Monte Carlo rows on the compiled block-sampled kernels
     compiled_timings: Dict[str, StrategyTiming] = {}
-    compiled_suite = _strategy_suite(engine, "compiled", rng_seed, mc_only=True)
+    compiled_suite = _strategy_suite(session, "compiled", rng_seed, mc_only=True)
     for label, runner in compiled_suite.items():
         timing = _time_over_cases(graphs, runner)
         timing.label = label

@@ -1,24 +1,27 @@
 """Shared experiment machinery: AP evaluation and table formatting.
 
 All scoring in the experiment drivers flows through one
-:class:`~repro.engine.RankingEngine` (:func:`default_engine`), so every
-query graph is compiled into the shared CSR form once and its
-deterministic scores are cached across methods and figures. Graph
-materialisation upstream of the drivers is set-at-a-time end to end:
+:class:`~repro.api.Session` (:func:`default_session`), so every query
+graph is compiled into the shared CSR form once and its deterministic
+scores are cached across methods and figures. Graph materialisation
+upstream of the drivers is set-at-a-time end to end:
 :func:`~repro.biology.scenarios.build_scenario` executes the scenario
 queries through the frontier-batched builder (storage batch lookups +
-mediator binding plans), and engines wrapping a mediator additionally
+mediator binding plans), and sessions over a mediator additionally
 serve repeated queries from the epoch-guarded query cache.
 """
 
 from __future__ import annotations
 
 import statistics
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
-from repro.biology.scenarios import ScenarioCase, build_scenario
+from repro.api import RankingOptions, Session
+from repro.biology.scenarios import ScenarioCase
 from repro.engine import RankingEngine
+from repro.errors import RankingError
 from repro.metrics import expected_average_precision, random_average_precision
 
 __all__ = [
@@ -27,8 +30,11 @@ __all__ = [
     "RANK_OPTIONS",
     "MethodScore",
     "default_engine",
+    "default_session",
     "evaluate_scenario_ap",
     "format_table",
+    "rank_kwargs",
+    "split_rank_options",
 ]
 
 #: the seed every published experiment in this repo uses
@@ -43,24 +49,71 @@ ALL_METHODS: Sequence[str] = (
     "path_count",
 )
 
+OptionsLike = Union[RankingOptions, Mapping[str, object]]
+
 #: per-method ranking options used throughout the experiments. Reliability
 #: uses the closed-form pipeline (exact, deterministic — the paper showed
 #: the per-target queries admit closed solutions); Monte Carlo variants
-#: are exercised separately by fig7/fig8a.
-RANK_OPTIONS: Mapping[str, Mapping[str, object]] = {
+#: are exercised separately by fig7/fig8a. Values stay plain mappings so
+#: the pre-facade spelling ``rank(qg, m, **RANK_OPTIONS.get(m, {}))``
+#: keeps working; facade callers coerce via :class:`RankingOptions`.
+RANK_OPTIONS: Mapping[str, OptionsLike] = {
     "reliability": {"strategy": "closed"},
 }
 
-#: the engine shared by the experiment drivers (compiled backend)
-_ENGINE: Optional[RankingEngine] = None
+#: the session shared by the experiment drivers (serving defaults)
+_SESSION: Optional[Session] = None
+
+
+def default_session() -> Session:
+    """The process-wide session the experiment drivers rank through."""
+    global _SESSION
+    if _SESSION is None:
+        _SESSION = Session()
+    return _SESSION
 
 
 def default_engine() -> RankingEngine:
-    """The process-wide engine the experiment drivers rank through."""
-    global _ENGINE
-    if _ENGINE is None:
-        _ENGINE = RankingEngine()
-    return _ENGINE
+    """Deprecated: the engine behind :func:`default_session`."""
+    warnings.warn(
+        "default_engine() is deprecated; use default_session() (the "
+        "repro.api facade) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return default_session().engine
+
+
+def split_rank_options(
+    options: Optional[OptionsLike],
+) -> "tuple[RankingOptions, Optional[int]]":
+    """Coerce a pre-facade options mapping into (RankingOptions, seed).
+
+    Mappings may carry the legacy ``rng`` key (an integer seed, as the
+    low-level ``rank()`` accepted); it becomes the session-path seed so
+    seeded Monte Carlo sweeps stay reproducible through the facade.
+    """
+    if options is None:
+        return RankingOptions(), None
+    if isinstance(options, RankingOptions):
+        return options, None
+    data = dict(options)
+    seed = data.pop("rng", None)
+    if seed is not None and not isinstance(seed, int):
+        raise RankingError(
+            f"rank_options['rng'] must be an integer seed on the session "
+            f"path, got {seed!r}; pass a shared random.Random only to the "
+            f"low-level rank()"
+        )
+    return RankingOptions.from_dict(data), seed
+
+
+def rank_kwargs(method: str) -> Dict[str, object]:
+    """The :data:`RANK_OPTIONS` entry of ``method`` as the raw keyword
+    arguments the low-level ``rank()`` call accepts (what pre-facade
+    consumers like the sensitivity sweeps expect)."""
+    options, seed = split_rank_options(RANK_OPTIONS.get(method))
+    return options.to_kwargs(method, seed)
 
 
 #: display labels matching the paper's axis ticks
@@ -91,28 +144,40 @@ class MethodScore:
 def evaluate_scenario_ap(
     cases: Sequence[ScenarioCase],
     methods: Sequence[str] = ALL_METHODS,
-    rank_options: Optional[Mapping[str, Mapping[str, object]]] = None,
+    rank_options: Optional[Mapping[str, OptionsLike]] = None,
     include_random: bool = True,
+    session: Optional[Session] = None,
     engine: Optional[RankingEngine] = None,
 ) -> List[MethodScore]:
     """Tie-aware expected AP of each method over ``cases``.
 
     The "Random" baseline is the analytic expected AP of an arbitrarily
     ordered list (Definition 4.1), evaluated per case and averaged, as
-    in Fig 5. Scoring goes through ``engine`` (the shared
-    :func:`default_engine` when omitted), so each case's graph is
-    compiled once for all methods.
+    in Fig 5. Scoring goes through ``session`` (the shared
+    :func:`default_session` when omitted), so each case's graph is
+    compiled once for all methods. ``engine`` is the deprecated
+    pre-facade spelling and wins when supplied.
     """
-    engine = engine or default_engine()
-    options = dict(RANK_OPTIONS)
+    if engine is None:
+        session = session or default_session()
+    options: Dict[str, OptionsLike] = dict(RANK_OPTIONS)
     options.update(rank_options or {})
     scores: List[MethodScore] = []
     for method in methods:
+        if engine is not None:
+            method_kwargs = options.get(method, {})
+            if isinstance(method_kwargs, RankingOptions):
+                method_kwargs = method_kwargs.to_kwargs(method)
+        else:
+            method_options, seed = split_rank_options(options.get(method))
         per_case: Dict[str, float] = {}
         for case in cases:
-            result = engine.rank(
-                case.query_graph, method, **options.get(method, {})
-            )
+            if engine is not None:
+                result = engine.rank(case.query_graph, method, **method_kwargs)
+            else:
+                result = session.rank(
+                    case.query_graph, method, options=method_options, seed=seed
+                )
             per_case[case.name] = expected_average_precision(
                 result.scores, case.relevant
             )

@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.biology.scenarios import build_scenario
-from repro.experiments.runner import DEFAULT_SEED, RANK_OPTIONS, format_table
+from repro.experiments.runner import DEFAULT_SEED, format_table, rank_kwargs
 from repro.sensitivity.analysis import SensitivityPoint
 from repro.sensitivity.oneway import oneway_sweep
 
@@ -37,7 +37,7 @@ def compute(
         sigma=sigma,
         repetitions=repetitions,
         rng=seed,
-        rank_options=RANK_OPTIONS.get(method, {}),
+        rank_options=rank_kwargs(method),
     )
 
 

@@ -15,13 +15,14 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.biology.scenarios import SCENARIO2_FUNCTIONS, build_scenario
-from repro.core.ranker import rank
 from repro.experiments.runner import (
     ALL_METHODS,
     DEFAULT_SEED,
     METHOD_LABELS,
     RANK_OPTIONS,
+    default_session,
     format_table,
+    split_rank_options,
 )
 from repro.metrics.ranking import format_rank_interval, interval_midpoint
 
@@ -39,11 +40,19 @@ class Table2Row:
 
 
 def compute(seed: int = DEFAULT_SEED) -> List[Table2Row]:
+    session = default_session()
+    per_method = {
+        method: split_rank_options(RANK_OPTIONS.get(method))
+        for method in ALL_METHODS
+    }
     rows: List[Table2Row] = []
     for case in build_scenario(2, seed=seed):
         ranked = {
-            method: rank(
-                case.query_graph, method, **RANK_OPTIONS.get(method, {})
+            method: session.rank(
+                case.query_graph,
+                method,
+                options=per_method[method][0],
+                seed=per_method[method][1],
             )
             for method in ALL_METHODS
         }
@@ -51,7 +60,7 @@ def compute(seed: int = DEFAULT_SEED) -> List[Table2Row]:
         for go_id, pubmed, year in SCENARIO2_FUNCTIONS[case.name]:
             node = case.case.go_node(go_id)
             ranks = {
-                method: ranked[method].rank_interval(node)
+                method: ranked[method].entity(node).rank_interval
                 for method in ALL_METHODS
             }
             ranks["random"] = (1, n_total)

@@ -8,13 +8,14 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.biology.scenarios import SCENARIO3_PROTEINS, build_scenario
-from repro.core.ranker import rank
 from repro.experiments.runner import (
     ALL_METHODS,
     DEFAULT_SEED,
     METHOD_LABELS,
     RANK_OPTIONS,
+    default_session,
     format_table,
+    split_rank_options,
 )
 from repro.metrics.ranking import format_rank_interval, interval_midpoint
 
@@ -30,14 +31,24 @@ class Table3Row:
 
 def compute(seed: int = DEFAULT_SEED) -> List[Table3Row]:
     functions = {protein: go for protein, go, _ in SCENARIO3_PROTEINS}
+    session = default_session()
+    per_method = {
+        method: split_rank_options(RANK_OPTIONS.get(method))
+        for method in ALL_METHODS
+    }
     rows: List[Table3Row] = []
     for case in build_scenario(3, seed=seed):
         go_id = functions[case.name]
         node = case.case.go_node(go_id)
         ranks = {
-            method: rank(
-                case.query_graph, method, **RANK_OPTIONS.get(method, {})
-            ).rank_interval(node)
+            method: session.rank(
+                case.query_graph,
+                method,
+                options=per_method[method][0],
+                seed=per_method[method][1],
+            )
+            .entity(node)
+            .rank_interval
             for method in ALL_METHODS
         }
         ranks["random"] = (1, case.n_total)

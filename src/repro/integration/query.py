@@ -31,7 +31,55 @@ from repro.integration.builder import (
 )
 from repro.integration.mediator import Mediator
 
-__all__ = ["BUILDERS", "ExploratoryQuery"]
+__all__ = ["BUILDERS", "ExploratoryQuery", "select_answers", "validate_query_shape"]
+
+
+def validate_query_shape(
+    entity_set: object,
+    attribute: object,
+    outputs: Iterable[object],
+    example: str,
+) -> None:
+    """Shared structural validation of a query's parts, with actionable
+    messages — used by both :class:`ExploratoryQuery` and the public
+    :class:`~repro.api.QuerySpec`, so the rules cannot drift apart.
+    ``example`` shows the caller's own spelling in the error text."""
+    for name, value in (("entity_set", entity_set), ("attribute", attribute)):
+        if not isinstance(value, str) or not value.strip():
+            raise QueryError(
+                f"{name} must be a non-empty string, got {value!r}; "
+                f"e.g. {example}"
+            )
+    outputs = tuple(outputs)
+    if not outputs:
+        raise QueryError(
+            "a query needs at least one output set: the entity sets whose "
+            "records form the rankable answer set, e.g. outputs=('GOTerm',)"
+        )
+    bad = [o for o in outputs if not isinstance(o, str) or not o.strip()]
+    if bad:
+        raise QueryError(
+            f"output entity-set names must be non-empty strings, got "
+            f"{sorted(map(repr, bad))}"
+        )
+
+
+def select_answers(
+    graph, candidates: Iterable, outputs: Iterable[str]
+) -> List:
+    """The answer nodes among ``candidates``: those whose entity set is
+    in ``outputs``. Raising here (not returning an empty answer set)
+    keeps direct execution and the session's shared-traversal batching
+    failing identically."""
+    wanted = frozenset(outputs)
+    answers = [
+        node for node in candidates if graph.data(node).entity_set in wanted
+    ]
+    if not answers:
+        raise QueryError(
+            f"query reached no records in output sets {sorted(wanted)}"
+        )
+    return answers
 
 #: selectable graph-builder implementations ("reference" aliases "scalar")
 BUILDERS = {
@@ -61,8 +109,18 @@ class ExploratoryQuery:
         object.__setattr__(self, "attribute", attribute)
         object.__setattr__(self, "value", value)
         object.__setattr__(self, "outputs", frozenset(outputs))
-        if not self.outputs:
-            raise QueryError("an exploratory query needs at least one output set")
+        self.__post_init__()
+
+    def __post_init__(self) -> None:
+        """Validate eagerly, with actionable messages — a malformed
+        query should fail here, not deep inside the graph builder."""
+        validate_query_shape(
+            self.entity_set,
+            self.attribute,
+            self.outputs,
+            "ExploratoryQuery('EntrezProtein', 'name', 'ABCC8', "
+            "outputs=('GOTerm',))",
+        )
 
     @property
     def signature(self) -> Tuple[str, str, Hashable, FrozenSet[str]]:
@@ -115,13 +173,7 @@ class ExploratoryQuery:
 
         graph_builder.expand_from(seed_ids)
 
-        answers = [
-            node
-            for node in graph_builder.graph.nodes()
-            if graph_builder.graph.data(node).entity_set in self.outputs
-        ]
-        if not answers:
-            raise QueryError(
-                f"query reached no records in output sets {sorted(self.outputs)}"
-            )
+        answers = select_answers(
+            graph_builder.graph, graph_builder.graph.nodes(), self.outputs
+        )
         return QueryGraph(graph_builder.graph, query_node, answers), graph_builder.stats

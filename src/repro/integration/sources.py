@@ -17,8 +17,8 @@ mappings of the BioMediator lineage the paper builds on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
 
 from repro.errors import SchemaError
 from repro.storage.database import Database

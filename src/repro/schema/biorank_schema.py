@@ -10,7 +10,7 @@ source).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.schema.composition import CompositionOracle
 from repro.schema.cardinality import Cardinality

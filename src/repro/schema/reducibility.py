@@ -42,7 +42,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
-from repro.errors import SchemaError
 from repro.schema.cardinality import Cardinality
 from repro.schema.composition import CompositionOracle
 from repro.schema.er import ERSchema, Relationship

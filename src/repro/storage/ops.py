@@ -6,7 +6,7 @@ other and with :meth:`Table.rows` / :meth:`Table.lookup` results alike.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Sequence
 
 from repro.errors import StorageError
 from repro.storage.table import Row, Table

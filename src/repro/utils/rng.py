@@ -9,7 +9,7 @@ keeps every experiment reproducible from a single integer seed.
 from __future__ import annotations
 
 import random
-from typing import Optional, Union
+from typing import Union
 
 __all__ = ["ensure_rng", "spawn_rng"]
 

@@ -20,7 +20,9 @@ frontier node.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
+from repro.api import EngineConfig, QuerySpec, Session
 from repro.errors import ValidationError
 from repro.integration.mediator import Mediator
 from repro.integration.probability import ConfidenceRegistry
@@ -48,6 +50,51 @@ class MediatedWorkload:
     total_records: int
     #: total link rows across all link tables (incl. dangling ones)
     total_links: int
+
+    def open_session(self, config: Optional[EngineConfig] = None) -> Session:
+        """A :class:`~repro.api.Session` over this workload's mediator."""
+        return Session(mediator=self.mediator, config=config)
+
+    def spec(
+        self,
+        outputs: Optional[Sequence[str]] = None,
+        method: str = "in_edge",
+        **spec_fields: object,
+    ) -> QuerySpec:
+        """The workload query as a declarative :class:`QuerySpec`
+        (default outputs: the last layer, like :attr:`query`). A bare
+        string names one entity set; an explicitly empty sequence is
+        rejected by ``QuerySpec`` validation rather than defaulted."""
+        if outputs is None:
+            outputs = (self.entity_sets[-1],)
+        elif isinstance(outputs, str):
+            outputs = (outputs,)
+        else:
+            outputs = tuple(outputs)
+        return QuerySpec(
+            entity_set=self.query.entity_set,
+            attribute=self.query.attribute,
+            value=self.query.value,
+            outputs=outputs,
+            method=method,
+            **spec_fields,
+        )
+
+    def serving_batch(
+        self,
+        methods: Sequence[str] = ("in_edge", "path_count"),
+        repeats: int = 1,
+    ) -> List[QuerySpec]:
+        """A serving-style spec batch over this workload: every
+        non-root layer requested as an output set, under each method,
+        ``repeats`` times over — the mix ``Session.execute_many``
+        batches set-at-a-time (shared traversals, deduplication)."""
+        specs = [
+            self.spec(outputs=(layer,), method=method)
+            for method in methods
+            for layer in self.entity_sets[1:]
+        ]
+        return specs * repeats
 
 
 def _row_weight(row) -> float:

@@ -1,0 +1,133 @@
+"""ResultSet: ranked entities, ties, pagination, provenance, export."""
+
+import json
+
+import pytest
+
+from repro.api import RankedEntity, RankingOptions, open_session
+from repro.core.graph import ProbabilisticEntityGraph, QueryGraph
+from repro.errors import GraphError, ValidationError
+
+
+@pytest.fixture(scope="module")
+def tied_results():
+    """Five answers: b (1.0), then a three-way tie (0.25), then e (0.0625)."""
+    graph = ProbabilisticEntityGraph()
+    graph.add_node("s")
+    graph.add_node("m", p=1.0)
+    for name in ("a", "b", "c", "d", "e"):
+        graph.add_node(name, p=1.0)
+    graph.add_edge("s", "b", q=1.0)
+    graph.add_edge("s", "m", q=0.25)
+    for name in ("a", "c", "d"):
+        graph.add_edge("s", name, q=0.25)
+    graph.add_edge("m", "e", q=0.25)
+    qg = QueryGraph(graph, "s", ["a", "b", "c", "d", "e"])
+    # closed form is exact, so the constructed ties hold precisely
+    return open_session().rank(
+        qg, "reliability", options=RankingOptions(strategy="closed")
+    )
+
+
+class TestEntities:
+    def test_order_and_intervals(self, tied_results):
+        entities = tied_results.entities
+        assert [e.label for e in entities] == ["b", "a", "c", "d", "e"]
+        assert [e.rank for e in entities] == [1, 2, 3, 4, 5]
+        assert entities[0].rank_interval == (1, 1)
+        # the three-way tie shares one interval
+        for entity in entities[1:4]:
+            assert entity.rank_interval == (2, 4)
+            assert entity.expected_rank == 3.0
+            assert entity.is_tied
+        assert entities[4].rank_interval == (5, 5)
+
+    def test_matches_ranked_result_intervals(self, tied_results):
+        for entity in tied_results:
+            assert entity.rank_interval == tied_results.ranked.rank_interval(
+                entity.node
+            )
+
+    def test_tie_groups(self, tied_results):
+        groups = tied_results.tie_groups()
+        assert [len(group) for group in groups] == [1, 3, 1]
+
+    def test_entity_lookup(self, tied_results):
+        assert tied_results.entity("b").rank == 1
+        with pytest.raises(GraphError, match="not in this result set"):
+            tied_results.entity("nope")
+
+    def test_sequence_protocol(self, tied_results):
+        assert len(tied_results) == 5
+        assert isinstance(tied_results[0], RankedEntity)
+        assert [e.node for e in tied_results][0] == "b"
+
+
+class TestPagination:
+    def test_first_and_last_page(self, tied_results):
+        first = tied_results.page(1, size=2)
+        assert [e.label for e in first] == ["b", "a"]
+        assert first.total_results == 5
+        assert first.total_pages == 3
+        assert first.has_next and not first.has_previous
+        last = tied_results.page(3, size=2)
+        assert len(last) == 1
+        assert last.has_previous and not last.has_next
+
+    def test_page_past_end_is_empty(self, tied_results):
+        page = tied_results.page(99, size=2)
+        assert len(page) == 0
+        assert page.total_results == 5
+
+    def test_single_large_page(self, tied_results):
+        page = tied_results.page(1, size=500)
+        assert len(page) == 5
+        assert page.total_pages == 1
+
+    @pytest.mark.parametrize("number,size", [(0, 2), (-1, 2), (1, 0), (1, -3)])
+    def test_invalid_page_args(self, tied_results, number, size):
+        with pytest.raises(ValidationError):
+            tied_results.page(number, size=size)
+
+    @pytest.mark.parametrize("n", [0, -1, 2.5])
+    def test_invalid_top_args(self, tied_results, n):
+        with pytest.raises(ValidationError):
+            tied_results.top(n)
+        with pytest.raises(ValidationError):
+            tied_results.to_dict(limit=n)
+
+
+class TestProvenanceAndExport:
+    def test_provenance_paths(self, tied_results):
+        paths = tied_results.provenance("e", top=2)
+        assert paths and paths[0].nodes == ("s", "m", "e")
+        # accepts the entity object too
+        assert tied_results.provenance(tied_results.entity("e"))
+
+    def test_explain_mentions_path_count(self, tied_results):
+        assert "supporting path" in tied_results.explain("b")
+
+    def test_to_dict_shape(self, tied_results):
+        data = tied_results.to_dict(limit=2)
+        assert data["total"] == 5
+        assert data["returned"] == 2
+        assert data["entities"][0]["rank"] == 1
+        assert data["entities"][0]["rank_interval"] == [1, 1]
+
+    def test_to_json_parses(self, tied_results):
+        payload = json.loads(tied_results.to_json())
+        assert payload["method"] == "reliability"
+        assert len(payload["entities"]) == 5
+
+
+class TestTopWindow:
+    def test_top_defaults_to_spec_top_k(self):
+        from repro.workloads.mediated import mediated_layers
+
+        workload = mediated_layers(layers=2, width=12, fan_out=4, seeds=3, rng=1)
+        session = workload.open_session()
+        results = session.execute(workload.spec(method="path_count", top_k=3))
+        assert len(results.top()) == 3
+        assert len(results.top(1)) == 1
+        assert len(results.entities) >= 3
+        assert results.to_dict()["returned"] == 3

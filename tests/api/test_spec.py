@@ -1,0 +1,221 @@
+"""QuerySpec / Query builder: construction, validation, round trips."""
+
+import pytest
+
+from repro.api import Query, QuerySpec, RankingOptions
+from repro.errors import QueryError, RankingError
+from repro.integration.query import ExploratoryQuery
+
+
+class TestBuilder:
+    def test_fluent_chain(self):
+        spec = (
+            Query.on("EntrezProtein")
+            .where(name="ABCC8")
+            .outputs("GOTerm")
+            .rank_by("reliability", strategy="closed")
+            .top(10)
+            .seed(7)
+            .build()
+        )
+        assert spec.entity_set == "EntrezProtein"
+        assert spec.attribute == "name"
+        assert spec.value == "ABCC8"
+        assert spec.outputs == ("GOTerm",)
+        assert spec.method == "reliability"
+        assert spec.options.strategy == "closed"
+        assert spec.top_k == 10
+        assert spec.seed == 7
+
+    def test_where_positional(self):
+        spec = Query.on("E").where("attr", 3).outputs("A").build()
+        assert (spec.attribute, spec.value) == ("attr", 3)
+
+    def test_where_rejects_ambiguity(self):
+        with pytest.raises(QueryError, match="exactly one predicate"):
+            Query.on("E").where(a=1, b=2)
+        with pytest.raises(QueryError, match="exactly one predicate"):
+            Query.on("E").where("a")
+
+    def test_build_requires_all_parts(self):
+        with pytest.raises(QueryError, match="no entity set"):
+            Query().build()
+        with pytest.raises(QueryError, match="no predicate"):
+            Query.on("E").build()
+        with pytest.raises(QueryError, match="no output sets"):
+            Query.on("E").where(a=1).build()
+
+    def test_outputs_rejects_non_iterable(self):
+        with pytest.raises(QueryError, match="entity-set names"):
+            Query.on("E").where(a=1).outputs(123)
+
+    def test_method_alias_resolves(self):
+        spec = Query.on("E").where(a=1).outputs("A").rank_by("rel").build()
+        assert spec.method == "reliability"
+
+    def test_rank_by_resets_previous_options(self):
+        query = Query.on("E").where(a=1).outputs("A")
+        query.rank_by("reliability", strategy="mc", trials=100)
+        query.rank_by("reliability")
+        assert query.build().options == RankingOptions()
+
+    def test_prebuilt_options(self):
+        options = RankingOptions(trials=500)
+        spec = Query.on("E").where(a=1).outputs("A").options(options).build()
+        assert spec.options is options
+
+
+class TestSpecValidation:
+    def test_outputs_sorted_and_deduped(self):
+        spec = QuerySpec("E", "a", 1, outputs=("Z", "A", "Z"))
+        assert spec.outputs == ("A", "Z")
+
+    def test_equal_specs_hash_equal(self):
+        a = QuerySpec("E", "a", 1, outputs=("X", "Y"))
+        b = QuerySpec("E", "a", 1, outputs=("Y", "X", "X"))
+        assert a == b and hash(a) == hash(b)
+
+    @pytest.mark.parametrize("bad", ["", "   ", None, 3])
+    def test_bad_entity_set(self, bad):
+        with pytest.raises(QueryError, match="entity_set"):
+            QuerySpec(bad, "a", 1, outputs=("A",))
+
+    def test_bad_attribute(self):
+        with pytest.raises(QueryError, match="attribute"):
+            QuerySpec("E", "", 1, outputs=("A",))
+
+    def test_empty_outputs(self):
+        with pytest.raises(QueryError, match="at least one output"):
+            QuerySpec("E", "a", 1, outputs=())
+
+    def test_non_string_outputs(self):
+        with pytest.raises(QueryError, match="non-empty strings"):
+            QuerySpec("E", "a", 1, outputs=("A", 7))
+
+    def test_non_iterable_outputs_in_constructor(self):
+        with pytest.raises(QueryError, match="entity-set names"):
+            QuerySpec("E", "a", 1, outputs=123)
+        spec = QuerySpec("E", "a", 1, outputs=("A",))
+        with pytest.raises(QueryError, match="entity-set names"):
+            spec.replace(outputs=123)
+
+    def test_unknown_method(self):
+        with pytest.raises(RankingError, match="unknown ranking method"):
+            QuerySpec("E", "a", 1, outputs=("A",), method="pagerank")
+
+    def test_unhashable_value_rejected_eagerly(self):
+        with pytest.raises(QueryError, match="must be hashable"):
+            QuerySpec("E", "a", ["v1", "v2"], outputs=("A",))
+
+    def test_bad_top_k(self):
+        with pytest.raises(QueryError, match="top_k"):
+            QuerySpec("E", "a", 1, outputs=("A",), top_k=0)
+
+    def test_bad_seed(self):
+        with pytest.raises(QueryError, match="seed"):
+            QuerySpec("E", "a", 1, outputs=("A",), seed="7")
+
+    def test_bad_options_type(self):
+        with pytest.raises(QueryError, match="RankingOptions"):
+            QuerySpec("E", "a", 1, outputs=("A",), options={"trials": 3})
+
+    def test_replace_revalidates(self):
+        spec = QuerySpec("E", "a", 1, outputs=("A",))
+        assert spec.replace(method="prop").method == "propagation"
+        with pytest.raises(QueryError):
+            spec.replace(outputs=())
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self):
+        spec = QuerySpec(
+            "E",
+            "a",
+            "v",
+            outputs=("B", "A"),
+            method="in_edge",
+            options=RankingOptions(trials=100),
+            top_k=5,
+            seed=3,
+        )
+        assert QuerySpec.from_json(spec.to_json()) == spec
+
+    def test_dict_round_trip_minimal(self):
+        spec = QuerySpec("E", "a", True, outputs=("A",))
+        data = spec.to_dict()
+        assert "top_k" not in data and "seed" not in data and "options" not in data
+        assert QuerySpec.from_dict(data) == spec
+
+    def test_from_dict_unknown_field(self):
+        with pytest.raises(QueryError, match="unknown QuerySpec field"):
+            QuerySpec.from_dict(
+                {"entity_set": "E", "attribute": "a", "value": 1,
+                 "outputs": ["A"], "limit": 5}
+            )
+
+    def test_from_dict_non_iterable_outputs(self):
+        with pytest.raises(QueryError, match="'outputs' must be"):
+            QuerySpec.from_dict(
+                {"entity_set": "E", "attribute": "a", "value": 1, "outputs": 7}
+            )
+
+    def test_from_dict_missing_field(self):
+        with pytest.raises(QueryError, match="missing field"):
+            QuerySpec.from_dict({"entity_set": "E"})
+
+    def test_tuple_value_round_trips_hashable(self):
+        """JSON turns tuples into lists; decoding must restore a
+        hashable (tuple) predicate value so the spec stays a cache key."""
+        spec = QuerySpec("E", "a", ("v1", ("v2", 3)), outputs=("A",))
+        back = QuerySpec.from_json(spec.to_json())
+        assert back == spec
+        assert hash(back) == hash(spec)
+
+    def test_from_dict_string_outputs_is_one_name(self):
+        """A bare string names one entity set — never a character soup."""
+        spec = QuerySpec.from_dict(
+            {"entity_set": "P", "attribute": "name", "value": "x",
+             "outputs": "GOTerm"}
+        )
+        assert spec.outputs == ("GOTerm",)
+        assert QuerySpec.from_json(
+            '{"entity_set": "P", "attribute": "name", "value": "x", '
+            '"outputs": "GOTerm"}'
+        ).outputs == ("GOTerm",)
+
+    def test_from_json_invalid(self):
+        with pytest.raises(QueryError, match="invalid QuerySpec JSON"):
+            QuerySpec.from_json("{nope")
+        with pytest.raises(QueryError, match="must be an object"):
+            QuerySpec.from_json("[1, 2]")
+
+    def test_to_exploratory(self):
+        spec = QuerySpec("E", "a", 1, outputs=("A", "B"))
+        query = spec.to_exploratory()
+        assert isinstance(query, ExploratoryQuery)
+        assert query.signature == spec.signature
+
+
+class TestExploratoryQueryValidation:
+    """The satellite: malformed queries fail fast with useful messages."""
+
+    def test_empty_outputs(self):
+        with pytest.raises(QueryError, match="at least one output set"):
+            ExploratoryQuery("E", "a", 1, outputs=())
+
+    @pytest.mark.parametrize("bad", ["", None, 42])
+    def test_non_string_entity_set(self, bad):
+        with pytest.raises(QueryError, match="entity_set"):
+            ExploratoryQuery(bad, "a", 1, outputs=("A",))
+
+    def test_non_string_attribute(self):
+        with pytest.raises(QueryError, match="attribute"):
+            ExploratoryQuery("E", None, 1, outputs=("A",))
+
+    def test_non_string_output_names(self):
+        with pytest.raises(QueryError, match="non-empty strings"):
+            ExploratoryQuery("E", "a", 1, outputs=("A", object()))
+
+    def test_valid_query_unaffected(self):
+        query = ExploratoryQuery("E", "a", 1, outputs=("B", "A"))
+        assert query.outputs == frozenset({"A", "B"})

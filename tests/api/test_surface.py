@@ -1,0 +1,71 @@
+"""Public-API surface snapshots.
+
+``repro.api.__all__`` is the compatibility contract downstream code
+targets. These snapshots are intentionally brittle: changing the public
+surface must be a deliberate act (update the snapshot in the same
+change), never an accident.
+"""
+
+import repro
+import repro.api
+
+#: the frozen repro.api surface — update deliberately, with a changelog
+API_SURFACE = [
+    "EngineConfig",
+    "Explanation",
+    "Query",
+    "QuerySpec",
+    "RankedEntity",
+    "RankingOptions",
+    "ResultPage",
+    "ResultSet",
+    "Session",
+    "open_session",
+]
+
+#: facade names re-exported at the repro top level
+TOP_LEVEL_FACADE = [
+    "EngineConfig",
+    "Query",
+    "QuerySpec",
+    "RankingOptions",
+    "ResultSet",
+    "Session",
+    "open_session",
+]
+
+
+def test_api_all_is_frozen():
+    assert sorted(repro.api.__all__) == API_SURFACE
+
+
+def test_api_names_resolve():
+    for name in API_SURFACE:
+        assert getattr(repro.api, name) is not None
+
+
+def test_top_level_reexports():
+    for name in TOP_LEVEL_FACADE:
+        assert name in repro.__all__
+        assert getattr(repro, name) is getattr(repro.api, name)
+
+
+def test_legacy_surface_still_importable():
+    """The pre-facade call paths keep working (deprecation-shimmed or
+    untouched); removing any of these is a breaking change."""
+    from repro import ExploratoryQuery, Mediator, RankingEngine, rank  # noqa: F401
+    from repro.engine import EngineStats  # noqa: F401
+    from repro.experiments.runner import default_engine  # noqa: F401
+    from repro.integration.query import BUILDERS  # noqa: F401
+
+
+def test_default_engine_warns_but_works():
+    import warnings
+
+    from repro.experiments.runner import default_engine, default_session
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        engine = default_engine()
+    assert any(w.category is DeprecationWarning for w in caught)
+    assert engine is default_session().engine

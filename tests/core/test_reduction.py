@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.exact import brute_force_reliability, exact_reliability
+from repro.core.exact import exact_reliability
 from repro.core.graph import ProbabilisticEntityGraph, QueryGraph
 from repro.core.reduction import reduce_graph
 

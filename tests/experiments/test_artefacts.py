@@ -74,6 +74,34 @@ class TestFig5Shapes:
         for method in ("reliability", "propagation", "in_edge", "path_count"):
             assert scores[method] > scores["random"] + 0.25
 
+    def test_legacy_rng_rank_options_stay_reproducible(self, scenario3_small):
+        """The pre-facade spelling — a raw mapping carrying 'rng' — must
+        keep working (and stay deterministic) on the session path."""
+        options = {
+            "reliability": {"strategy": "mc", "trials": 200, "rng": 7}
+        }
+        def run():
+            return [
+                s.mean_ap
+                for s in evaluate_scenario_ap(
+                    scenario3_small, methods=("reliability",),
+                    rank_options=options, include_random=False,
+                )
+            ]
+
+        assert run() == run()
+
+    def test_unknown_rank_option_is_actionable(self, scenario3_small):
+        from repro.errors import RankingError
+
+        with pytest.raises(RankingError, match="unknown RankingOptions field"):
+            evaluate_scenario_ap(
+                scenario3_small,
+                methods=("reliability",),
+                rank_options={"reliability": {"strateegy": "mc"}},
+                include_random=False,
+            )
+
 
 class TestThm31:
     def test_empirical_error_within_bound(self):

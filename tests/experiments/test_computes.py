@@ -1,6 +1,5 @@
 """Fast coverage of every experiment module's compute() entry point."""
 
-import pytest
 
 from repro.experiments import (
     fig1_schema,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments.star_schema import build_star_cases, compute
+from repro.experiments.star_schema import build_star_cases
 
 
 @pytest.fixture(scope="module")

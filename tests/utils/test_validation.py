@@ -1,6 +1,5 @@
 """Tests for argument validation helpers."""
 
-import math
 
 import pytest
 
