@@ -1,0 +1,129 @@
+"""Storage-backend benchmarks: memory vs SQLite vs columnar.
+
+Three questions, per backend:
+
+* **cold lookup** — what does one frontier-sized ``lookup_many`` batch
+  cost against an unindexed link table (the thin-wrapper regime where
+  every probe is a scan — columnar's home turf, SQLite's worst case)?
+* **end-to-end latency** — cold ``Session.execute`` (graph
+  materialisation through the backend) and warm ``Session.execute``
+  (served from the engine's epoch-guarded query cache, which must be
+  backend-independent: a warm hit never touches storage).
+* **scale** — a ≥100k-record layered workload persisted into SQLite and
+  served end to end through ``Session.execute``; the warm path must
+  collapse to a cache probe even when the cold path reads from disk.
+"""
+
+import pytest
+
+from repro.api import EngineConfig
+from repro.storage import STORAGE_BACKENDS
+from repro.workloads import mediated_layers
+
+#: shape of the per-backend comparison workload (unindexed links)
+_SHAPE = dict(layers=3, width=2000, fan_out=3, seeds=4, rng=5, index_links=False)
+
+
+def _workload(storage, tmp_dir=None, **overrides):
+    shape = dict(_SHAPE, **overrides)
+    return mediated_layers(
+        storage=storage,
+        storage_path=tmp_dir if storage == "sqlite" else None,
+        **shape,
+    )
+
+
+@pytest.fixture(scope="session", params=STORAGE_BACKENDS)
+def backend_workload(request, tmp_path_factory):
+    """The same mediated workload materialised on each storage backend."""
+    tmp_dir = tmp_path_factory.mktemp(f"bench-{request.param}")
+    return request.param, _workload(request.param, tmp_dir)
+
+
+@pytest.fixture(scope="session")
+def sqlite_100k(tmp_path_factory):
+    """A ≥100k-record layered workload persisted into SQLite files."""
+    workload = mediated_layers(
+        layers=3,
+        width=34000,
+        fan_out=1,
+        seeds=250,
+        rng=11,
+        storage="sqlite",
+        storage_path=tmp_path_factory.mktemp("bench-sqlite-100k"),
+    )
+    assert workload.total_records >= 100_000
+    return workload
+
+
+@pytest.mark.benchmark(group="storage-cold-lookup")
+class TestColdLookup:
+    def test_lookup_many_frontier(self, benchmark, backend_workload):
+        storage, workload = backend_workload
+        links = workload.mediator.entity_plan("E0").out[0].table
+        # a selective frontier (1 in 20 keys): the regime where the
+        # columnar layout's probe-column-only scan pays off
+        frontier = [f"E0:{j}" for j in range(0, _SHAPE["width"], 20)]
+
+        result = benchmark.pedantic(
+            lambda: links.lookup_many(("src",), frontier),
+            rounds=3,
+            iterations=3,
+        )
+        assert len(result) == _SHAPE["width"] // 20
+
+
+@pytest.mark.benchmark(group="storage-e2e-query")
+class TestEndToEndQuery:
+    def test_cold_execute(self, benchmark, backend_workload):
+        storage, workload = backend_workload
+        spec = workload.spec(method="in_edge")
+
+        def cold():
+            with workload.open_session(EngineConfig(cache_graphs=False)) as s:
+                return s.execute(spec)
+
+        result = benchmark.pedantic(cold, rounds=3, iterations=2)
+        assert len(result) > 0
+
+    def test_warm_execute(self, benchmark, backend_workload):
+        storage, workload = backend_workload
+        spec = workload.spec(method="in_edge")
+        session = workload.open_session()
+        session.execute(spec)  # populate graph + score caches
+
+        result = benchmark.pedantic(
+            lambda: session.execute(spec), rounds=3, iterations=50
+        )
+        assert len(result) > 0
+        stats = session.stats_snapshot()
+        assert stats.graph_hits > 0
+        assert stats.queries_executed == 1  # warm hits never touch storage
+
+
+@pytest.mark.benchmark(group="storage-sqlite-100k")
+class TestSQLiteScale:
+    """The acceptance-scale run: 100k+ records on disk, one Session."""
+
+    def test_cold_execute_100k(self, benchmark, sqlite_100k):
+        spec = sqlite_100k.spec(method="in_edge")
+
+        def cold():
+            with sqlite_100k.open_session(
+                EngineConfig(cache_graphs=False)
+            ) as session:
+                return session.execute(spec)
+
+        result = benchmark.pedantic(cold, rounds=3, iterations=1)
+        assert len(result) >= 200  # one answer per surviving seed chain
+
+    def test_warm_execute_100k(self, benchmark, sqlite_100k):
+        spec = sqlite_100k.spec(method="in_edge")
+        session = sqlite_100k.open_session()
+        cold = session.execute(spec)
+
+        result = benchmark.pedantic(
+            lambda: session.execute(spec), rounds=3, iterations=20
+        )
+        assert result.scores == cold.scores
+        assert session.stats_snapshot().queries_executed == 1

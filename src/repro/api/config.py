@@ -18,12 +18,14 @@ plain dicts:
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, fields
+from pathlib import Path
 from typing import Dict, Mapping, Optional
 
 from repro.core.ranker import BACKENDS, resolve_method
 from repro.core.reliability import RELIABILITY_STRATEGIES, STOCHASTIC_STRATEGIES
 from repro.errors import RankingError
 from repro.integration.query import BUILDERS
+from repro.storage.backends import STORAGE_BACKENDS
 
 __all__ = ["EngineConfig", "RankingOptions"]
 
@@ -50,6 +52,14 @@ class RankingOptions:
       propagation and diffusion only;
     * the deterministic baselines (``in_edge``, ``path_count``,
       ``random``) take no options.
+
+    Bad values fail eagerly::
+
+        >>> RankingOptions(strategy="guess")
+        Traceback (most recent call last):
+            ...
+        repro.errors.RankingError: unknown reliability strategy 'guess'; \
+choose from ['auto', 'mc', 'naive-mc', 'closed', 'exact']
     """
 
     strategy: Optional[str] = None
@@ -81,7 +91,15 @@ class RankingOptions:
     @property
     def is_stochastic(self) -> bool:
         """Whether a reliability request with these options samples
-        (and therefore needs a seed to be deterministic/cacheable)."""
+        (and therefore needs a seed to be deterministic/cacheable).
+
+        Example::
+
+            >>> RankingOptions(strategy="mc").is_stochastic
+            True
+            >>> RankingOptions(strategy="closed").is_stochastic
+            False
+        """
         return (self.strategy or "auto") in STOCHASTIC_STRATEGIES
 
     def to_kwargs(
@@ -93,6 +111,16 @@ class RankingOptions:
         one options object across a method sweep is safe. ``seed`` is
         threaded through as the Monte Carlo ``rng`` when the request is
         stochastic, which also makes it engine-cacheable.
+
+        Example::
+
+            >>> options = RankingOptions(strategy="mc", trials=500, iterations=9)
+            >>> options.to_kwargs("reliability", seed=7)
+            {'strategy': 'mc', 'trials': 500, 'rng': 7}
+            >>> options.to_kwargs("propagation")
+            {'iterations': 9}
+            >>> options.to_kwargs("in_edge")
+            {}
         """
         canonical = resolve_method(method)
         kwargs: Dict[str, object] = {}
@@ -115,21 +143,41 @@ class RankingOptions:
         return kwargs
 
     def as_dict(self) -> Dict[str, object]:
-        """Only the explicitly set fields, ready for JSON."""
+        """Only the explicitly set fields, ready for JSON.
+
+        Example::
+
+            >>> RankingOptions(strategy="closed").as_dict()
+            {'strategy': 'closed'}
+        """
         return {k: v for k, v in asdict(self).items() if v is not None}
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "RankingOptions":
+        """The inverse of :meth:`as_dict` (unknown fields rejected).
+
+        Example::
+
+            >>> options = RankingOptions(trials=100)
+            >>> RankingOptions.from_dict(options.as_dict()) == options
+            True
+        """
         return _from_mapping(cls, data, "RankingOptions")
 
 
 @dataclass(frozen=True)
 class EngineConfig:
-    """How a :class:`~repro.api.Session` executes and caches.
+    """How a :class:`~repro.api.Session` executes, caches and stores.
 
     The defaults are the serving defaults — compiled kernels,
     set-at-a-time builder, query/compile/score caches on, and a small
     thread pool for ``execute_many``.
+
+    Example::
+
+        >>> config = EngineConfig(storage="sqlite")
+        >>> config.backend, config.builder, config.storage
+        ('compiled', 'batched', 'sqlite')
     """
 
     backend: str = "compiled"
@@ -141,6 +189,13 @@ class EngineConfig:
     #: thread-pool width for ``Session.execute_many``; 0 or 1 disables
     #: threading (specs still share graph materialisation work)
     max_workers: int = 4
+    #: storage backend for databases created through this session
+    #: (``Session.create_database`` and the workload generators):
+    #: ``"memory"`` | ``"sqlite"`` | ``"columnar"``
+    storage: str = "memory"
+    #: directory for SQLite database files (one ``<name>.sqlite`` per
+    #: database); ``None`` keeps SQLite databases in process memory
+    storage_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -150,6 +205,16 @@ class EngineConfig:
         if self.builder not in BUILDERS:
             raise RankingError(
                 f"unknown builder {self.builder!r}; choose from {sorted(BUILDERS)}"
+            )
+        if self.storage not in STORAGE_BACKENDS:
+            raise RankingError(
+                f"unknown storage backend {self.storage!r}; choose from "
+                f"{list(STORAGE_BACKENDS)}"
+            )
+        if self.storage_path is not None and self.storage != "sqlite":
+            raise RankingError(
+                f"storage_path only applies to storage='sqlite', "
+                f"not {self.storage!r}"
             )
         for name in ("max_cached_graphs", "max_cached_scores"):
             value = getattr(self, name)
@@ -164,7 +229,13 @@ class EngineConfig:
             )
 
     def make_engine(self, mediator=None):
-        """A :class:`~repro.engine.RankingEngine` configured accordingly."""
+        """A :class:`~repro.engine.RankingEngine` configured accordingly.
+
+        Example::
+
+            >>> EngineConfig(backend="reference").make_engine().backend
+            'reference'
+        """
         from repro.engine.ranking import RankingEngine
 
         return RankingEngine(
@@ -177,9 +248,45 @@ class EngineConfig:
             max_cached_graphs=self.max_cached_graphs,
         )
 
+    def make_database(self, name: str = "db"):
+        """A :class:`~repro.storage.database.Database` on this config's
+        storage backend.
+
+        For ``storage="sqlite"`` with a ``storage_path``, the database
+        persists to ``<storage_path>/<name>.sqlite`` (the directory is
+        created on demand); without a path, SQLite stays in process
+        memory. Example::
+
+            >>> EngineConfig(storage="columnar").make_database("src").storage
+            'columnar'
+        """
+        from repro.storage.database import Database
+
+        path = None
+        if self.storage == "sqlite" and self.storage_path is not None:
+            directory = Path(self.storage_path)
+            directory.mkdir(parents=True, exist_ok=True)
+            path = directory / f"{name}.sqlite"
+        return Database(name, storage=self.storage, storage_path=path)
+
     def as_dict(self) -> Dict[str, object]:
+        """Every field as a plain dict (the JSON form).
+
+        Example::
+
+            >>> EngineConfig().as_dict()["builder"]
+            'batched'
+        """
         return asdict(self)
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "EngineConfig":
+        """The inverse of :meth:`as_dict` (unknown fields rejected).
+
+        Example::
+
+            >>> config = EngineConfig(max_workers=2)
+            >>> EngineConfig.from_dict(config.as_dict()) == config
+            True
+        """
         return _from_mapping(cls, data, "EngineConfig")

@@ -101,6 +101,25 @@ class ResultSet:
     order (score descending, ties broken by node repr). The full answer
     set is always carried; ``spec.top_k`` only bounds the *default*
     window of :meth:`top` and :meth:`to_dict`.
+
+    Example (ranking a hand-built two-answer graph)::
+
+        >>> from repro import ProbabilisticEntityGraph, QueryGraph, open_session
+        >>> g = ProbabilisticEntityGraph()
+        >>> for node in ("s", "t1", "t2"):
+        ...     _ = g.add_node(node)
+        >>> _ = g.add_edge("s", "t1", q=0.9)
+        >>> _ = g.add_edge("s", "t2", q=0.5)
+        >>> from repro import RankingOptions
+        >>> results = open_session().rank(
+        ...     QueryGraph(g, "s", ["t1", "t2"]), "reliability",
+        ...     options=RankingOptions(strategy="closed"))
+        >>> [(e.rank, e.label, round(e.score, 2)) for e in results.top()]
+        [(1, 't1', 0.9), (2, 't2', 0.5)]
+        >>> results.page(1, size=1).has_next
+        True
+        >>> len(results)
+        2
     """
 
     def __init__(

@@ -156,6 +156,25 @@ class Session:
             self._mediator.register(source)
         return self
 
+    def create_database(self, name: str = "db"):
+        """A new :class:`~repro.storage.database.Database` on this
+        session's configured storage backend.
+
+        With ``EngineConfig(storage="sqlite", storage_path=...)`` the
+        database persists to ``<storage_path>/<name>.sqlite``; source
+        generators can load it once and serve every later session from
+        disk through the warm query cache.
+
+        Example::
+
+            >>> from repro.api import EngineConfig, open_session
+            >>> session = open_session(config=EngineConfig(storage="columnar"))
+            >>> session.create_database("genes").storage
+            'columnar'
+        """
+        self._check_open()
+        return self._config.make_database(name)
+
     # -------------------------------------------------------------- #
     # execution
     # -------------------------------------------------------------- #
@@ -163,7 +182,20 @@ class Session:
     def execute(self, spec: SpecLike) -> ResultSet:
         """Execute one spec end to end: materialise (or cache-hit) the
         query graph, rank it, and wrap the answers in a
-        :class:`~repro.api.result.ResultSet`."""
+        :class:`~repro.api.result.ResultSet`.
+
+        ``spec`` may be a :class:`~repro.api.spec.QuerySpec`, an
+        unbuilt :class:`~repro.api.spec.Query` builder, or a spec dict.
+
+        Example (over a generated two-layer workload)::
+
+            >>> from repro.workloads import mediated_layers
+            >>> workload = mediated_layers(layers=2, width=4, fan_out=2, rng=7)
+            >>> with workload.open_session() as session:
+            ...     results = session.execute(workload.spec(method="path_count"))
+            ...     results[0].entity_set, len(results) > 0
+            ('E1', True)
+        """
         self._check_open()
         spec = self._coerce(spec)
         qg = self._engine.execute(
@@ -188,6 +220,16 @@ class Session:
 
         Results come back in spec order. With ``return_errors=True`` a
         failing spec yields its exception in place instead of raising.
+
+        Example::
+
+            >>> from repro.workloads import mediated_layers
+            >>> workload = mediated_layers(layers=3, width=4, fan_out=2, rng=7)
+            >>> batch = workload.serving_batch(methods=("in_edge",))
+            >>> with workload.open_session() as session:
+            ...     results = session.execute_many(batch)
+            ...     len(results) == len(batch)
+            True
         """
         self._check_open()
         coerced = [self._coerce(spec) for spec in specs]
@@ -322,7 +364,19 @@ class Session:
 
     def explain(self, spec: SpecLike) -> Explanation:
         """Execute ``spec`` and report build stats, sizes, timings and
-        cache provenance (graph/score cache vs fresh computation)."""
+        cache provenance (graph/score cache vs fresh computation).
+
+        Example (the second run is served from the caches)::
+
+            >>> from repro.workloads import mediated_layers
+            >>> workload = mediated_layers(layers=2, width=4, fan_out=2, rng=7)
+            >>> spec = workload.spec(method="in_edge")
+            >>> with workload.open_session() as session:
+            ...     first = session.explain(spec)
+            ...     second = session.explain(spec)
+            >>> first.graph_cached, second.graph_cached, second.score_cached
+            (False, True, True)
+        """
         self._check_open()
         spec = self._coerce(spec)
         started = time.perf_counter()
@@ -428,6 +482,14 @@ def open_session(
     mediator and sources/confidences is ambiguous and rejected. With
     neither, the session starts empty — usable for ranking pre-built
     graphs and for registering sources later.
+
+    Example::
+
+        >>> with open_session() as session:
+        ...     session.closed
+        False
+        >>> session.closed
+        True
     """
     sources = tuple(sources)
     if mediator is not None and (sources or confidences is not None):

@@ -47,7 +47,14 @@ class QuerySpec:
 
     ``outputs`` is stored as a sorted tuple of unique names and
     ``method`` is canonicalised (aliases like ``"rel"`` resolve to
-    ``"reliability"``), so two specs meaning the same thing are equal.
+    ``"reliability"``), so two specs meaning the same thing are equal::
+
+        >>> a = QuerySpec("Protein", "name", "ABCC8", ("GOTerm", "Gene"))
+        >>> b = QuerySpec("Protein", "name", "ABCC8", ("Gene", "GOTerm", "Gene"))
+        >>> a == b
+        True
+        >>> a.outputs, a.method
+        (('GOTerm', 'Gene'), 'reliability')
     """
 
     entity_set: str
@@ -109,7 +116,13 @@ class QuerySpec:
     def traversal_signature(self) -> Tuple[str, str, Hashable]:
         """What graph *expansion* depends on. Output sets only filter
         the answer set, so specs sharing this signature can share one
-        materialised graph (which ``execute_many`` exploits)."""
+        materialised graph (which ``execute_many`` exploits).
+
+        Example::
+
+            >>> QuerySpec("P", "name", "x", ("A",)).traversal_signature
+            ('P', 'name', 'x')
+        """
         return (self.entity_set, self.attribute, self.value)
 
     @property
@@ -123,13 +136,26 @@ class QuerySpec:
         )
 
     def to_exploratory(self) -> ExploratoryQuery:
-        """The integration-layer query this spec executes."""
+        """The integration-layer query this spec executes.
+
+        Example::
+
+            >>> QuerySpec("P", "name", "x", ("A",)).to_exploratory().entity_set
+            'P'
+        """
         return ExploratoryQuery(
             self.entity_set, self.attribute, self.value, self.outputs
         )
 
     def replace(self, **changes: object) -> "QuerySpec":
-        """A copy with the given fields changed (validated again)."""
+        """A copy with the given fields changed (validated again).
+
+        Example::
+
+            >>> spec = QuerySpec("P", "name", "x", ("A",))
+            >>> spec.replace(method="path_count").method
+            'path_count'
+        """
         return replace(self, **changes)
 
     # -------------------------------------------------------------- #
@@ -137,6 +163,14 @@ class QuerySpec:
     # -------------------------------------------------------------- #
 
     def to_dict(self) -> Dict[str, object]:
+        """The spec as a plain dict (only non-default fields emitted).
+
+        Example::
+
+            >>> QuerySpec("P", "name", "x", ("A",), top_k=5).to_dict()
+            {'entity_set': 'P', 'attribute': 'name', 'value': 'x', \
+'outputs': ['A'], 'method': 'reliability', 'top_k': 5}
+        """
         data: Dict[str, object] = {
             "entity_set": self.entity_set,
             "attribute": self.attribute,
@@ -155,6 +189,14 @@ class QuerySpec:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "QuerySpec":
+        """The inverse of :meth:`to_dict` (unknown/missing fields rejected).
+
+        Example::
+
+            >>> spec = QuerySpec("P", "name", "x", ("A",))
+            >>> QuerySpec.from_dict(spec.to_dict()) == spec
+            True
+        """
         known = {
             "entity_set", "attribute", "value", "outputs", "method",
             "options", "top_k", "seed",
@@ -198,10 +240,26 @@ class QuerySpec:
         )
 
     def to_json(self, **dumps_kwargs: object) -> str:
+        """The spec as canonical (sorted-key) JSON.
+
+        Example::
+
+            >>> QuerySpec("P", "k", 1, ("A",), method="in_edge").to_json()
+            '{"attribute": "k", "entity_set": "P", "method": "in_edge", \
+"outputs": ["A"], "value": 1}'
+        """
         return json.dumps(self.to_dict(), sort_keys=True, **dumps_kwargs)
 
     @classmethod
     def from_json(cls, payload: str) -> "QuerySpec":
+        """Parse a spec from JSON (what a future HTTP layer speaks).
+
+        Example::
+
+            >>> spec = QuerySpec("P", "name", "x", ("A",), seed=7)
+            >>> QuerySpec.from_json(spec.to_json()) == spec
+            True
+        """
         try:
             data = json.loads(payload)
         except json.JSONDecodeError as exc:
@@ -219,6 +277,14 @@ class Query:
     Each step returns ``self``; :meth:`build` validates and freezes.
     Building twice (or continuing after a build) is fine — the builder
     keeps its state.
+
+    Example::
+
+        >>> spec = (Query.on("Protein").where(name="ABCC8")
+        ...              .outputs("GOTerm").rank_by("path_count")
+        ...              .top(10).seed(7).build())
+        >>> spec.entity_set, spec.value, spec.method, spec.top_k, spec.seed
+        ('Protein', 'ABCC8', 'path_count', 10, 7)
     """
 
     def __init__(self, entity_set: Optional[str] = None):

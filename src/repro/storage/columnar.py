@@ -1,0 +1,180 @@
+"""Columnar in-memory storage: fields as parallel arrays.
+
+Rows are decomposed into one Python list per column plus a parallel
+row-id list, so an *unindexed* equality probe touches only the probed
+column — no per-row dict, no untouched fields — and only the matching
+positions are materialised back into row dicts. That makes the
+scan-heavy regimes (thin-wrapper sources without predicate push-down,
+where every frontier expansion is a table scan) markedly cheaper than
+the dict-of-dicts layout, while indexed probes reuse the same
+:class:`~repro.storage.index.HashIndex` machinery as the memory
+backend.
+
+Deletes splice every column list (O(n)) — this backend is built for the
+mediator's read-heavy, append-mostly source tables, not churn.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Dict,
+    Hashable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.errors import StorageError
+from repro.storage.backends import HashIndexedBackend
+from repro.storage.column import Column
+from repro.storage.index import HashIndex
+
+__all__ = ["ColumnarBackend"]
+
+
+class ColumnarBackend(HashIndexedBackend):
+    """One table stored column-wise in parallel arrays."""
+
+    name = "columnar"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._names: Tuple[str, ...] = ()
+        self._data: Dict[str, List[Any]] = {}
+        self._ids: List[int] = []
+        #: row id -> position in the parallel arrays
+        self._pos: Dict[int, int] = {}
+
+    def bind(self, table_name: str, columns: Tuple[Column, ...]) -> None:
+        self._table_name = table_name
+        self._names = tuple(column.name for column in columns)
+        self._data = {name: [] for name in self._names}
+
+    # ------------------------------------------------------------------ #
+    # row materialisation helpers
+    # ------------------------------------------------------------------ #
+
+    def _row_at(self, position: int) -> Dict[str, Any]:
+        return {name: self._data[name][position] for name in self._names}
+
+    def _key_at(self, columns: Tuple[str, ...], position: int) -> Hashable:
+        if len(columns) == 1:
+            return self._data[columns[0]][position]
+        return tuple(self._data[c][position] for c in columns)
+
+    # ------------------------------------------------------------------ #
+    # indexes
+    # ------------------------------------------------------------------ #
+
+    def create_index(
+        self, name: str, columns: Tuple[str, ...], unique: bool
+    ) -> HashIndex:
+        index = HashIndex(name, columns, unique=unique)
+        for position, row_id in enumerate(self._ids):
+            index.add(self._key_at(columns, position), row_id)
+        self._indexes[name] = index
+        return index
+
+    # ------------------------------------------------------------------ #
+    # data manipulation
+    # ------------------------------------------------------------------ #
+
+    def insert(self, row_id: int, row: Dict[str, Any]) -> None:
+        self._add_to_indexes(row, row_id)
+        for name in self._names:
+            self._data[name].append(row[name])
+        self._pos[row_id] = len(self._ids)
+        self._ids.append(row_id)
+
+    def delete(self, row_id: int) -> None:
+        position = self._pos.pop(row_id, None)
+        if position is None:
+            raise StorageError(
+                f"table {self._table_name!r} has no row id {row_id}"
+            )
+        row = self._row_at(position)
+        self._remove_from_indexes(row, row_id)
+        for name in self._names:
+            del self._data[name][position]
+        del self._ids[position]
+        for shifted in self._ids[position:]:
+            self._pos[shifted] -= 1
+
+    # ------------------------------------------------------------------ #
+    # retrieval
+    # ------------------------------------------------------------------ #
+
+    def get(self, row_id: int) -> Optional[Dict[str, Any]]:
+        position = self._pos.get(row_id)
+        return self._row_at(position) if position is not None else None
+
+    def rows(self) -> Iterator[Dict[str, Any]]:
+        for position in range(len(self._ids)):
+            yield self._row_at(position)
+
+    def row_ids(self) -> Iterator[int]:
+        return iter(self._ids)
+
+    def lookup(
+        self, columns: Tuple[str, ...], values: Tuple[Any, ...]
+    ) -> List[Dict[str, Any]]:
+        index = self._index_on(columns)
+        if index is not None:
+            key = values[0] if len(values) == 1 else tuple(values)
+            return [self._row_at(self._pos[rid]) for rid in index.lookup(key)]
+        arrays = [self._data[c] for c in columns]
+        return [
+            self._row_at(position)
+            for position in range(len(self._ids))
+            if all(array[position] == v for array, v in zip(arrays, values))
+        ]
+
+    def lookup_many(
+        self, columns: Tuple[str, ...], keys: Sequence[Hashable]
+    ) -> Dict[Hashable, List[Dict[str, Any]]]:
+        index = self._index_on(columns)
+        if index is not None:
+            positions = self._pos
+            return {
+                key: [self._row_at(positions[rid]) for rid in rids]
+                for key, rids in index.lookup_many(keys).items()
+            }
+        wanted = set(keys)
+        grouped: Dict[Hashable, List[Dict[str, Any]]] = {}
+        if len(columns) == 1:
+            # the payoff case: one pass over a single column array
+            for position, key in enumerate(self._data[columns[0]]):
+                if key in wanted:
+                    grouped.setdefault(key, []).append(self._row_at(position))
+        else:
+            arrays = [self._data[c] for c in columns]
+            for position, key in enumerate(zip(*arrays)):
+                if key in wanted:
+                    grouped.setdefault(key, []).append(self._row_at(position))
+        return grouped
+
+    def lookup_in(
+        self, columns: Tuple[str, ...], keys: Sequence[Hashable]
+    ) -> Set[Hashable]:
+        index = self._index_on(columns)
+        if index is not None:
+            return index.contains_many(keys)
+        wanted = set(keys)
+        present: Set[Hashable] = set()
+        if len(columns) == 1:
+            candidates: Iterator[Hashable] = iter(self._data[columns[0]])
+        else:
+            candidates = zip(*(self._data[c] for c in columns))
+        for key in candidates:
+            if key in wanted:
+                present.add(key)
+                if len(present) == len(wanted):
+                    break
+        return present
+
+    def __len__(self) -> int:
+        return len(self._ids)

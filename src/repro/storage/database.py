@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, Mapping, Optional, Sequence
 
 from repro.errors import IntegrityError, StorageError
+from repro.storage.backends import STORAGE_BACKENDS, create_backend
 from repro.storage.column import Column
 from repro.storage.table import ForeignKey, Table
 
@@ -17,11 +18,41 @@ class Database:
     Inserts must go through :meth:`insert` (not ``table.insert``) for the
     foreign keys to be enforced — the table alone cannot see its
     referenced tables.
+
+    ``storage`` selects the physical backend every table of this
+    database is created on: ``"memory"`` (the default dict-backed
+    layout), ``"sqlite"`` (persistent; ``storage_path`` names the
+    database file, ``None`` keeps it in a private in-memory SQLite
+    database), or ``"columnar"`` (parallel-array layout for cheap
+    scans). All backends serve identical semantics — see
+    ``docs/backends.md``.
     """
 
-    def __init__(self, name: str = "db"):
+    def __init__(
+        self,
+        name: str = "db",
+        storage: str = "memory",
+        storage_path: Optional[object] = None,
+    ):
+        if storage not in STORAGE_BACKENDS:
+            raise StorageError(
+                f"unknown storage backend {storage!r}; choose from "
+                f"{list(STORAGE_BACKENDS)}"
+            )
+        if storage_path is not None and storage != "sqlite":
+            raise StorageError(
+                f"storage_path only applies to the sqlite backend, "
+                f"not {storage!r}"
+            )
         self.name = name
+        self.storage = storage
+        self.storage_path = storage_path
         self._tables: Dict[str, Table] = {}
+        self._store = None
+        if storage == "sqlite":
+            from repro.storage.sqlite import SQLiteStore
+
+            self._store = SQLiteStore(storage_path)
 
     def create_table(
         self,
@@ -46,7 +77,13 @@ class Database:
                         f"table {name!r}: foreign key references unknown column "
                         f"{fk.ref_table}.{column}"
                     )
-        table = Table(name, columns, primary_key=primary_key, foreign_keys=foreign_keys)
+        table = Table(
+            name,
+            columns,
+            primary_key=primary_key,
+            foreign_keys=foreign_keys,
+            backend=create_backend(self.storage, self._store),
+        )
         self._tables[name] = table
         return table
 
@@ -87,6 +124,11 @@ class Database:
             count += 1
         return count
 
+    def close(self) -> None:
+        """Release backend resources (the shared SQLite connection)."""
+        if self._store is not None:
+            self._store.close()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         sizes = ", ".join(f"{t.name}={len(t)}" for t in self._tables.values())
-        return f"Database({self.name!r}: {sizes})"
+        return f"Database({self.name!r} [{self.storage}]: {sizes})"

@@ -1,0 +1,436 @@
+"""SQLite-backed persistent storage for tables.
+
+One :class:`SQLiteStore` wraps one SQLite database — a file when a path
+is given (tables survive the process and can be re-attached) or a
+private in-memory database otherwise — and is shared by every table of
+a :class:`~repro.storage.database.Database`. Each
+:class:`SQLiteBackend` maps its table to a SQL table whose ``rowid`` is
+the facade's row id, so insertion order, ``get``/``delete`` by id and
+the index-bucket ordering contract all reduce to ``ORDER BY rowid``.
+
+Batch probes (``lookup_many``/``lookup_in``) compile to chunked
+``SELECT ... WHERE col IN (?, ...)`` queries (row-value ``IN`` for
+composite keys), so a whole BFS frontier costs a handful of indexed SQL
+round-trips instead of one per record — the same set-at-a-time contract
+the in-memory backends serve from hash indexes.
+
+Durability trade-off: generated sources are caches of a deterministic
+generator, so the store runs with ``synchronous=OFF`` and an in-memory
+journal — crash-safety is deliberately traded for bulk-load speed (see
+``docs/backends.md``).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+from typing import (
+    Any,
+    Dict,
+    Hashable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.errors import IntegrityError, StorageError
+from repro.storage.backends import StorageBackend
+from repro.storage.column import Column, ColumnType
+
+__all__ = ["SQLiteBackend", "SQLiteStore"]
+
+#: keys per IN-list chunk (comfortably under SQLite's bound-variable cap)
+_CHUNK = 400
+
+_SQL_TYPES = {
+    ColumnType.INT: "INTEGER",
+    ColumnType.FLOAT: "REAL",
+    ColumnType.TEXT: "TEXT",
+    ColumnType.BOOL: "INTEGER",
+}
+
+
+def _quote(identifier: str) -> str:
+    """Quote an identifier for SQL (doubling embedded quotes)."""
+    return '"' + identifier.replace('"', '""') + '"'
+
+
+class SQLiteStore:
+    """A lock-guarded SQLite connection shared across one database's tables.
+
+    ``path=None`` opens a private in-memory database (fast, transient —
+    handy for tests and property checks that only want the SQL code
+    path); a string or ``Path`` persists to that file.
+    """
+
+    def __init__(self, path: Optional[object] = None):
+        self.path = str(path) if path is not None else ":memory:"
+        # one connection shared across tables and threads: SQLite's own
+        # serialized mode plus this lock keep statement+fetch atomic
+        try:
+            self._conn = sqlite3.connect(
+                self.path, check_same_thread=False, isolation_level=None
+            )
+        except sqlite3.OperationalError as exc:
+            raise StorageError(
+                f"cannot open SQLite database {self.path!r}: {exc}"
+            ) from None
+        self.lock = threading.RLock()
+        self._conn.execute("PRAGMA journal_mode=MEMORY")
+        self._conn.execute("PRAGMA synchronous=OFF")
+        self._closed = False
+
+    def query(self, sql: str, params: Sequence[Any] = ()) -> List[Tuple]:
+        """Execute and fetch all rows atomically."""
+        with self.lock:
+            return self._conn.execute(sql, params).fetchall()
+
+    def iter_query(
+        self, sql: str, params: Sequence[Any] = (), chunk: int = 2048
+    ) -> Iterator[Tuple]:
+        """Stream a result set in ``chunk``-sized fetches, so scanning a
+        million-row table never materialises it wholesale."""
+        with self.lock:
+            cursor = self._conn.execute(sql, params)
+        while True:
+            with self.lock:
+                rows = cursor.fetchmany(chunk)
+            if not rows:
+                return
+            yield from rows
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> int:
+        """Execute a statement; returns the affected row count."""
+        with self.lock:
+            return self._conn.execute(sql, params).rowcount
+
+    def scalar(self, sql: str, params: Sequence[Any] = ()) -> Any:
+        with self.lock:
+            return self._conn.execute(sql, params).fetchone()[0]
+
+    def close(self) -> None:
+        if not self._closed:
+            with self.lock:
+                self._conn.close()
+            self._closed = True
+
+
+class _SQLIndexHandle:
+    """Sized handle returned by ``create_index`` (mirrors ``HashIndex``'s
+    ``len()``: one entry per indexed row)."""
+
+    def __init__(self, backend: "SQLiteBackend", name: str, columns: Tuple[str, ...]):
+        self._backend = backend
+        self.name = name
+        self.columns = columns
+
+    def __len__(self) -> int:
+        return len(self._backend)
+
+
+class SQLiteBackend(StorageBackend):
+    """One table persisted in a :class:`SQLiteStore`."""
+
+    name = "sqlite"
+
+    def __init__(self, store: Optional[SQLiteStore] = None):
+        # a store passed in is shared database-wide and closed by its
+        # owner; a private store belongs to this backend alone
+        self._owns_store = store is None
+        self._store = store if store is not None else SQLiteStore()
+        self._table = "?"
+        self._sql_table = '"?"'
+        self._names: Tuple[str, ...] = ()
+        self._bools: Tuple[str, ...] = ()
+        self._select_list = "*"
+        self._insert_sql = ""
+
+    # ------------------------------------------------------------------ #
+    # schema
+    # ------------------------------------------------------------------ #
+
+    def bind(self, table_name: str, columns: Tuple[Column, ...]) -> None:
+        self._table = table_name
+        self._sql_table = _quote(table_name)
+        self._names = tuple(column.name for column in columns)
+        self._bools = tuple(
+            column.name for column in columns if column.type is ColumnType.BOOL
+        )
+        self._select_list = ", ".join(_quote(name) for name in self._names)
+        defs = ", ".join(
+            f"{_quote(column.name)} {_SQL_TYPES[column.type]}" for column in columns
+        )
+        self._store.execute(
+            f"CREATE TABLE IF NOT EXISTS {self._sql_table} ({defs})"
+        )
+        # when re-attaching to an existing file, the persisted schema
+        # must match the declared one (names *and* SQL types) — a
+        # silently different column set would echo quoted identifiers
+        # back as literals, a retyped column would decode garbage
+        persisted = {
+            row[1]: row[2].upper() for row in self._store.query(
+                f"PRAGMA table_info({self._sql_table})"
+            )
+        }
+        declared = {
+            column.name: _SQL_TYPES[column.type] for column in columns
+        }
+        if persisted != declared:
+            raise StorageError(
+                f"table {table_name!r} already exists in {self._store.path!r} "
+                f"with schema {persisted}, not {declared}; "
+                f"schema migration is not supported — delete the file and "
+                f"regenerate"
+            )
+        placeholders = ", ".join("?" for _ in range(len(self._names) + 1))
+        self._insert_sql = (
+            f"INSERT INTO {self._sql_table} (rowid, {self._select_list}) "
+            f"VALUES ({placeholders})"
+        )
+
+    def next_row_id(self) -> int:
+        # re-attaching to a persisted file adopts its rows seamlessly
+        return self._store.scalar(
+            f"SELECT COALESCE(MAX(rowid), -1) + 1 FROM {self._sql_table}"
+        )
+
+    def create_index(
+        self, name: str, columns: Tuple[str, ...], unique: bool
+    ) -> _SQLIndexHandle:
+        index_name = f"{self._table}__{name}"
+        persisted = self._persisted_index(index_name)
+        if persisted is not None:
+            # re-attach: the existing index must declare exactly what
+            # the caller asks for — IF NOT EXISTS would silently keep
+            # e.g. a non-unique index where uniqueness was requested
+            if persisted != (tuple(columns), unique):
+                raise StorageError(
+                    f"index {name!r} on table {self._table!r} already "
+                    f"exists in {self._store.path!r} as "
+                    f"(columns={persisted[0]}, unique={persisted[1]}), not "
+                    f"(columns={tuple(columns)}, unique={unique}); delete "
+                    f"the file and regenerate"
+                )
+            return _SQLIndexHandle(self, name, tuple(columns))
+        cols = ", ".join(_quote(c) for c in columns)
+        kind = "UNIQUE INDEX" if unique else "INDEX"
+        try:
+            self._store.execute(
+                f"CREATE {kind} {_quote(index_name)} "
+                f"ON {self._sql_table} ({cols})"
+            )
+        except sqlite3.IntegrityError as exc:
+            raise IntegrityError(
+                f"unique index {name!r} on table {self._table!r} cannot be "
+                f"built: {exc}"
+            ) from None
+        return _SQLIndexHandle(self, name, tuple(columns))
+
+    def _persisted_index(
+        self, index_name: str
+    ) -> Optional[Tuple[Tuple[str, ...], bool]]:
+        """(columns, unique) of an already-persisted index, or None."""
+        for _, existing, is_unique, *_ in self._store.query(
+            f"PRAGMA index_list({self._sql_table})"
+        ):
+            if existing == index_name:
+                info = self._store.query(
+                    f"PRAGMA index_info({_quote(index_name)})"
+                )
+                ordered = sorted(info)  # (seqno, cid, name)
+                return tuple(row[2] for row in ordered), bool(is_unique)
+        return None
+
+    # ------------------------------------------------------------------ #
+    # value round trip
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _encode(value: Any) -> Any:
+        return int(value) if isinstance(value, bool) else value
+
+    def _decode_row(self, values: Sequence[Any]) -> Dict[str, Any]:
+        row = dict(zip(self._names, values))
+        for name in self._bools:
+            stored = row[name]
+            if stored is not None:
+                row[name] = bool(stored)
+        return row
+
+    def _decode_key(self, column: str, value: Any) -> Any:
+        if column in self._bools and value is not None:
+            return bool(value)
+        return value
+
+    # ------------------------------------------------------------------ #
+    # data manipulation
+    # ------------------------------------------------------------------ #
+
+    def insert(self, row_id: int, row: Dict[str, Any]) -> None:
+        params = [row_id] + [self._encode(row[name]) for name in self._names]
+        try:
+            self._store.execute(self._insert_sql, params)
+        except sqlite3.IntegrityError as exc:
+            # a single INSERT is atomic: a violated unique index leaves
+            # the table (and every other index) unchanged
+            raise IntegrityError(
+                f"unique index violation in table {self._table!r}: {exc}"
+            ) from None
+
+    def delete(self, row_id: int) -> None:
+        deleted = self._store.execute(
+            f"DELETE FROM {self._sql_table} WHERE rowid = ?", (row_id,)
+        )
+        if deleted == 0:
+            raise StorageError(f"table {self._table!r} has no row id {row_id}")
+
+    # ------------------------------------------------------------------ #
+    # retrieval
+    # ------------------------------------------------------------------ #
+
+    def get(self, row_id: int) -> Optional[Dict[str, Any]]:
+        found = self._store.query(
+            f"SELECT {self._select_list} FROM {self._sql_table} WHERE rowid = ?",
+            (row_id,),
+        )
+        return self._decode_row(found[0]) if found else None
+
+    def rows(self) -> Iterator[Dict[str, Any]]:
+        for values in self._store.iter_query(
+            f"SELECT {self._select_list} FROM {self._sql_table} ORDER BY rowid"
+        ):
+            yield self._decode_row(values)
+
+    def row_ids(self) -> Iterator[int]:
+        for (row_id,) in self._store.iter_query(
+            f"SELECT rowid FROM {self._sql_table} ORDER BY rowid"
+        ):
+            yield row_id
+
+    def lookup(
+        self, columns: Tuple[str, ...], values: Tuple[Any, ...]
+    ) -> List[Dict[str, Any]]:
+        # IS (not =) so probing with None matches NULLs, like the
+        # in-memory scan's row[c] == None
+        conditions = " AND ".join(f"{_quote(c)} IS ?" for c in columns)
+        found = self._store.query(
+            f"SELECT {self._select_list} FROM {self._sql_table} "
+            f"WHERE {conditions} ORDER BY rowid",
+            tuple(self._encode(v) for v in values),
+        )
+        # re-check equality in Python: SQLite's column affinity coerces
+        # probe values (e.g. '7' matches INTEGER 7), which the in-memory
+        # backends' == semantics would never do
+        rows = [self._decode_row(row) for row in found]
+        return [
+            row
+            for row in rows
+            if all(row[c] == v for c, v in zip(columns, values))
+        ]
+
+    def _key_chunks(
+        self, columns: Tuple[str, ...], keys: Sequence[Hashable]
+    ) -> Iterator[Tuple[str, List[Any]]]:
+        """(WHERE clause, params) chunks covering the deduplicated
+        non-NULL keys; keys containing None fall back to per-key IS
+        probes in the caller."""
+        single = len(columns) == 1
+        seen: Set[Hashable] = set()
+        plain: List[Hashable] = []
+        for key in keys:
+            if key in seen:
+                continue
+            seen.add(key)
+            if (key is None) if single else (None in key):
+                continue
+            plain.append(key)
+        for start in range(0, len(plain), _CHUNK):
+            chunk = plain[start : start + _CHUNK]
+            if single:
+                marks = ", ".join("?" for _ in chunk)
+                clause = f"{_quote(columns[0])} IN ({marks})"
+                params = [self._encode(k) for k in chunk]
+            else:
+                tuple_marks = "(" + ", ".join("?" for _ in columns) + ")"
+                marks = ", ".join(tuple_marks for _ in chunk)
+                cols = ", ".join(_quote(c) for c in columns)
+                clause = f"({cols}) IN (VALUES {marks})"
+                params = [self._encode(v) for key in chunk for v in key]
+            yield clause, params
+
+    def _null_keys(
+        self, columns: Tuple[str, ...], keys: Sequence[Hashable]
+    ) -> List[Hashable]:
+        single = len(columns) == 1
+        return [
+            key
+            for key in dict.fromkeys(keys)
+            if ((key is None) if single else (None in key))
+        ]
+
+    def lookup_many(
+        self, columns: Tuple[str, ...], keys: Sequence[Hashable]
+    ) -> Dict[Hashable, List[Dict[str, Any]]]:
+        single = len(columns) == 1
+        # membership re-check against the probe keys: column affinity
+        # may surface rows whose Python value is not equal to any key
+        wanted = set(keys)
+        grouped: Dict[Hashable, List[Dict[str, Any]]] = {}
+        for clause, params in self._key_chunks(columns, keys):
+            found = self._store.query(
+                f"SELECT {self._select_list} FROM {self._sql_table} "
+                f"WHERE {clause} ORDER BY rowid",
+                params,
+            )
+            for values in found:
+                row = self._decode_row(values)
+                key = (
+                    row[columns[0]]
+                    if single
+                    else tuple(row[c] for c in columns)
+                )
+                if key in wanted:
+                    grouped.setdefault(key, []).append(row)
+        for key in self._null_keys(columns, keys):
+            matches = self.lookup(columns, (key,) if single else tuple(key))
+            if matches:
+                grouped[key] = matches
+        return grouped
+
+    def lookup_in(
+        self, columns: Tuple[str, ...], keys: Sequence[Hashable]
+    ) -> Set[Hashable]:
+        single = len(columns) == 1
+        col_list = ", ".join(_quote(c) for c in columns)
+        wanted = set(keys)  # affinity guard: only report probed keys
+        present: Set[Hashable] = set()
+        for clause, params in self._key_chunks(columns, keys):
+            found = self._store.query(
+                f"SELECT DISTINCT {col_list} FROM {self._sql_table} "
+                f"WHERE {clause}",
+                params,
+            )
+            for values in found:
+                if single:
+                    key: Hashable = self._decode_key(columns[0], values[0])
+                else:
+                    key = tuple(
+                        self._decode_key(c, v)
+                        for c, v in zip(columns, values)
+                    )
+                if key in wanted:
+                    present.add(key)
+        for key in self._null_keys(columns, keys):
+            if self.lookup(columns, (key,) if single else tuple(key)):
+                present.add(key)
+        return present
+
+    def __len__(self) -> int:
+        return self._store.scalar(f"SELECT COUNT(*) FROM {self._sql_table}")
+
+    def close(self) -> None:
+        if self._owns_store:
+            self._store.close()

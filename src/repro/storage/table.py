@@ -1,4 +1,15 @@
-"""Tables: typed rows, primary keys, secondary indexes, foreign keys."""
+"""Tables: typed rows, primary keys, secondary indexes, foreign keys.
+
+:class:`Table` is a thin facade: it owns everything *logical* — schema
+validation, type coercion, key/probe normalisation, the ``version``
+mutation counter the engine's epoch invalidation watches — and
+delegates the physical representation to a pluggable
+:class:`~repro.storage.backends.StorageBackend` (in-memory dicts by
+default; SQLite persistence and columnar arrays via
+``Database(storage=...)``). All backends serve the same batch contract
+(:meth:`Table.lookup_many` / :meth:`Table.lookup_in`), so the mediator,
+graph builders and engine caches work identically across them.
+"""
 
 from __future__ import annotations
 
@@ -18,9 +29,9 @@ from typing import (
     Tuple,
 )
 
-from repro.errors import IntegrityError, StorageError
+from repro.errors import StorageError
+from repro.storage.backends import MemoryBackend, StorageBackend
 from repro.storage.column import Column
-from repro.storage.index import HashIndex
 
 __all__ = ["ForeignKey", "Row", "Table"]
 
@@ -45,11 +56,10 @@ class ForeignKey:
 
 
 class Table:
-    """An in-memory table with constraint checking and hash indexes.
+    """A typed table with constraint checking over a storage backend.
 
-    Rows are stored as dictionaries and handed out wrapped in
-    :class:`types.MappingProxyType`, so callers cannot mutate stored data
-    behind the indexes' back.
+    Rows are handed out wrapped in :class:`types.MappingProxyType`, so
+    callers cannot mutate stored data behind the backend's back.
     """
 
     def __init__(
@@ -58,6 +68,7 @@ class Table:
         columns: Sequence[Column],
         primary_key: Optional[Sequence[str]] = None,
         foreign_keys: Sequence[ForeignKey] = (),
+        backend: Optional[StorageBackend] = None,
     ):
         if not columns:
             raise StorageError(f"table {name!r} needs at least one column")
@@ -69,9 +80,12 @@ class Table:
         self.columns: Tuple[Column, ...] = tuple(columns)
         self._columns_by_name: Dict[str, Column] = {c.name: c for c in columns}
         self.foreign_keys: Tuple[ForeignKey, ...] = tuple(foreign_keys)
-        self._rows: Dict[int, Dict[str, Any]] = {}
-        self._next_row_id = 0
-        self._indexes: Dict[str, HashIndex] = {}
+        self._backend = backend if backend is not None else MemoryBackend()
+        self._backend.bind(name, self.columns)
+        self._index_names: Set[str] = set()
+        #: first free row id (non-zero when a persistent backend
+        #: re-attached to existing rows)
+        self._next_row_id = self._backend.next_row_id()
         #: monotone mutation counter (bumped on insert/delete); consumers
         #: such as the engine's query cache use it for cheap staleness checks
         self.version = 0
@@ -89,6 +103,16 @@ class Table:
     # ------------------------------------------------------------------ #
 
     @property
+    def backend(self) -> StorageBackend:
+        """The physical storage this table delegates to."""
+        return self._backend
+
+    @property
+    def storage(self) -> str:
+        """The backend's registry name (``"memory"``/``"sqlite"``/...)."""
+        return self._backend.name
+
+    @property
     def column_names(self) -> Tuple[str, ...]:
         return tuple(column.name for column in self.columns)
 
@@ -99,24 +123,20 @@ class Table:
                     f"table {self.name!r}: {context} references unknown column {name!r}"
                 )
 
-    def create_index(
-        self, name: str, columns: Sequence[str], unique: bool = False
-    ) -> HashIndex:
-        """Create (and backfill) a named hash index over ``columns``."""
-        if name in self._indexes:
+    def create_index(self, name: str, columns: Sequence[str], unique: bool = False):
+        """Create (and backfill) a named index over ``columns``.
+
+        The returned handle is sized (``len()`` = indexed entries); its
+        concrete type depends on the backend (a
+        :class:`~repro.storage.index.HashIndex` in memory, a SQL index
+        handle under SQLite).
+        """
+        if name in self._index_names:
             raise StorageError(f"table {self.name!r} already has index {name!r}")
         self._require_columns(columns, f"index {name!r}")
-        index = HashIndex(name, tuple(columns), unique=unique)
-        for row_id, row in self._rows.items():
-            index.add(index.key_for(row), row_id)
-        self._indexes[name] = index
-        return index
-
-    def _index_on(self, columns: Tuple[str, ...]) -> Optional[HashIndex]:
-        for index in self._indexes.values():
-            if index.columns == columns:
-                return index
-        return None
+        handle = self._backend.create_index(name, tuple(columns), unique)
+        self._index_names.add(name)
+        return handle
 
     # ------------------------------------------------------------------ #
     # data manipulation
@@ -139,28 +159,14 @@ class Table:
             stored[column.name] = column.validate(row.get(column.name))
 
         row_id = self._next_row_id
-        added: List[Tuple[HashIndex, Any]] = []
-        try:
-            for index in self._indexes.values():
-                key = index.key_for(stored)
-                index.add(key, row_id)
-                added.append((index, key))
-        except IntegrityError:
-            for index, key in added:
-                index.remove(key, row_id)
-            raise
-        self._rows[row_id] = stored
+        self._backend.insert(row_id, stored)
         self._next_row_id += 1
         self.version += 1
         return row_id
 
     def delete(self, row_id: int) -> None:
         """Remove the row with internal id ``row_id``."""
-        row = self._rows.pop(row_id, None)
-        if row is None:
-            raise StorageError(f"table {self.name!r} has no row id {row_id}")
-        for index in self._indexes.values():
-            index.remove(index.key_for(row), row_id)
+        self._backend.delete(row_id)
         self.version += 1
 
     # ------------------------------------------------------------------ #
@@ -168,37 +174,31 @@ class Table:
     # ------------------------------------------------------------------ #
 
     def get(self, row_id: int) -> Row:
-        row = self._rows.get(row_id)
+        row = self._backend.get(row_id)
         if row is None:
             raise StorageError(f"table {self.name!r} has no row id {row_id}")
         return MappingProxyType(row)
 
     def rows(self) -> Iterator[Row]:
         """Iterate all rows in insertion order."""
-        for row in self._rows.values():
+        for row in self._backend.rows():
             yield MappingProxyType(row)
 
     def row_ids(self) -> Iterator[int]:
-        return iter(self._rows.keys())
+        return self._backend.row_ids()
 
     def lookup(self, columns: Sequence[str], values: Sequence[Any]) -> List[Row]:
         """Find rows where ``columns`` equal ``values``.
 
-        Uses a matching hash index when one exists, otherwise scans.
+        Uses a matching index when one exists, otherwise scans.
         """
         columns = tuple(columns)
         if len(columns) != len(values):
             raise StorageError("lookup: columns and values length mismatch")
         self._require_columns(columns, "lookup")
-        index = self._index_on(columns)
-        if index is not None:
-            key = values[0] if len(values) == 1 else tuple(values)
-            return [MappingProxyType(self._rows[rid]) for rid in index.lookup(key)]
-        wanted = dict(zip(columns, values))
         return [
             MappingProxyType(row)
-            for row in self._rows.values()
-            if all(row[c] == v for c, v in wanted.items())
+            for row in self._backend.lookup(columns, tuple(values))
         ]
 
     @staticmethod
@@ -235,29 +235,19 @@ class Table:
         sequences. The result groups the matching rows by probe key — the
         bare value for single-column probes, the value tuple otherwise;
         keys with no matching rows are omitted, so ``result.get(key)``
-        distinguishes hits from misses. With a matching hash index this
-        is one index pass; the unindexed fallback is a *single* table
-        scan grouping all wanted keys, instead of one scan per probe.
+        distinguishes hits from misses. Backends answer the whole batch
+        with one physical pass where possible: one hash-index probe pass
+        in memory, chunked ``SELECT ... IN`` under SQLite, one column
+        scan in the columnar layout.
         """
         columns = tuple(columns)
         self._require_columns(columns, "lookup_many")
         single = len(columns) == 1
         keys = self._probe_keys(columns, values_list, single, "lookup_many")
-        index = self._index_on(columns)
-        rows = self._rows
-        if index is not None:
-            return {
-                key: [MappingProxyType(rows[rid]) for rid in rids]
-                for key, rids in index.lookup_many(keys).items()
-            }
-        wanted = set(keys)
-        grouped: Dict[Hashable, List[Row]] = {}
-        column = columns[0] if single else None
-        for row in rows.values():
-            key = row[column] if single else tuple(row[c] for c in columns)
-            if key in wanted:
-                grouped.setdefault(key, []).append(MappingProxyType(row))
-        return grouped
+        return {
+            key: [MappingProxyType(row) for row in rows]
+            for key, rows in self._backend.lookup_many(columns, keys).items()
+        }
 
     def lookup_in(
         self, columns: Sequence[str], values_list: Sequence[Any]
@@ -272,27 +262,16 @@ class Table:
         self._require_columns(columns, "lookup_in")
         single = len(columns) == 1
         keys = self._probe_keys(columns, values_list, single, "lookup_in")
-        index = self._index_on(columns)
-        if index is not None:
-            return index.contains_many(keys)
-        wanted = set(keys)
-        present: Set[Hashable] = set()
-        column = columns[0] if single else None
-        for row in self._rows.values():
-            key = row[column] if single else tuple(row[c] for c in columns)
-            if key in wanted:
-                present.add(key)
-                if len(present) == len(wanted):
-                    break
-        return present
+        return self._backend.lookup_in(columns, keys)
 
     def scan(self, predicate: Callable[[Row], bool]) -> List[Row]:
         """Full scan returning rows for which ``predicate`` is true."""
-        return [
-            MappingProxyType(row)
-            for row in self._rows.values()
-            if predicate(MappingProxyType(row))
-        ]
+        result: List[Row] = []
+        for row in self._backend.rows():
+            proxy = MappingProxyType(row)
+            if predicate(proxy):
+                result.append(proxy)
+        return result
 
     def pk_lookup(self, *values: Any) -> Optional[Row]:
         """Look a row up by primary key; ``None`` if absent."""
@@ -302,7 +281,10 @@ class Table:
         return matches[0] if matches else None
 
     def __len__(self) -> int:
-        return len(self._rows)
+        return len(self._backend)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Table({self.name!r}, {len(self)} rows)"
+        return (
+            f"Table({self.name!r}, {len(self)} rows, "
+            f"storage={self._backend.name!r})"
+        )

@@ -20,6 +20,7 @@ frontier node.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.api import EngineConfig, QuerySpec, Session
@@ -50,6 +51,14 @@ class MediatedWorkload:
     total_records: int
     #: total link rows across all link tables (incl. dangling ones)
     total_links: int
+    #: the per-layer source databases (root layer first) — kept so
+    #: persistent backends can be released via :meth:`close`
+    databases: tuple = ()
+
+    def close(self) -> None:
+        """Release the layers' storage resources (SQLite connections)."""
+        for db in self.databases:
+            db.close()
 
     def open_session(self, config: Optional[EngineConfig] = None) -> Session:
         """A :class:`~repro.api.Session` over this workload's mediator."""
@@ -101,6 +110,21 @@ def _row_weight(row) -> float:
     return row["w"]
 
 
+def _adoptable(table, expected: int) -> bool:
+    """Whether a (possibly persisted) table can be adopted as-is: empty
+    means generate, exactly ``expected`` rows means adopt, anything else
+    is a truncated/mismatched artefact (e.g. an interrupted earlier run
+    under ``synchronous=OFF``) that must not be served silently."""
+    existing = len(table)
+    if existing in (0, expected):
+        return existing == expected
+    raise ValidationError(
+        f"persisted table {table.name!r} holds {existing} rows, expected "
+        f"{expected}; it was generated with different parameters or "
+        f"truncated — delete the storage_path files and regenerate"
+    )
+
+
 def mediated_layers(
     layers: int = 3,
     width: int = 40,
@@ -110,6 +134,8 @@ def mediated_layers(
     index_links: bool = True,
     dangling_rate: float = 0.0,
     cyclic: bool = False,
+    storage: str = "memory",
+    storage_path: Optional[object] = None,
 ) -> MediatedWorkload:
     """Build a layered mediated schema and its exploratory query.
 
@@ -120,18 +146,45 @@ def mediated_layers(
     target ids (counted, not materialised, by the builders); ``cyclic``
     adds a back-edge relationship from the last layer to layer 0, making
     the relationship bindings — and the materialised graph — cyclic.
+
+    ``storage`` selects the physical backend of every generated source
+    table (``"memory"`` | ``"sqlite"`` | ``"columnar"``); with
+    ``storage="sqlite"`` and a ``storage_path`` directory, layer ``i``
+    persists to ``<storage_path>/layer<i>.sqlite``. Re-running with the
+    *same parameters* over the same directory adopts the persisted
+    layer files instead of regenerating them — how the million-record
+    serving workloads are generated once and re-served from disk
+    through the engine's warm query cache. Call
+    :meth:`MediatedWorkload.close` to release the SQLite connections.
     """
     if layers < 2:
         raise ValidationError(f"mediated workload needs >= 2 layers, got {layers}")
+    if storage_path is not None and storage != "sqlite":
+        # fail before touching the filesystem
+        raise ValidationError(
+            f"storage_path only applies to storage='sqlite', not {storage!r}"
+        )
     random = ensure_rng(rng)
     entity_sets = tuple(f"E{i}" for i in range(layers))
     sources = []
+    databases = []
     total_records = 0
     total_links = 0
 
+    directory = None
+    if storage_path is not None:
+        directory = Path(storage_path)
+        directory.mkdir(parents=True, exist_ok=True)
     for i, entity_set in enumerate(entity_sets):
-        db = Database(f"layer{i}")
-        db.create_table(
+        db = Database(
+            f"layer{i}",
+            storage=storage,
+            storage_path=(
+                directory / f"layer{i}.sqlite" if directory is not None else None
+            ),
+        )
+        databases.append(db)
+        ents = db.create_table(
             "ents",
             columns=[
                 Column("id", ColumnType.TEXT),
@@ -140,16 +193,20 @@ def mediated_layers(
             ],
             primary_key=["id"],
         )
+        # a persisted layer file that already holds rows is adopted
+        # as-is; the generator still draws the same random values so
+        # the rng stream (and any freshly generated sibling layer)
+        # stays aligned with a from-scratch run
+        adopt_ents = _adoptable(ents, width)
         for j in range(width):
-            db.insert(
-                "ents",
-                {
-                    "id": f"{entity_set}:{j}",
-                    "root": i == 0 and j < seeds,
-                    "w": random.uniform(*_WEIGHT_RANGE),
-                },
-            )
-            total_records += 1
+            row = {
+                "id": f"{entity_set}:{j}",
+                "root": i == 0 and j < seeds,
+                "w": random.uniform(*_WEIGHT_RANGE),
+            }
+            if not adopt_ents:
+                db.insert("ents", row)
+        total_records += len(ents)
 
         rel_targets = []
         if i + 1 < layers:
@@ -159,7 +216,7 @@ def mediated_layers(
         relationships = []
         for rel_name, target_set in rel_targets:
             table_name = f"links_{rel_name}"
-            db.create_table(
+            links = db.create_table(
                 table_name,
                 columns=[
                     Column("src", ColumnType.TEXT),
@@ -168,22 +225,22 @@ def mediated_layers(
                 ],
             )
             if index_links:
-                db.table(table_name).create_index("by_src", ["src"])
+                links.create_index("by_src", ["src"])
+            adopt_links = _adoptable(links, width * fan_out)
             for j in range(width):
                 for _ in range(fan_out):
                     if dangling_rate and random.random() < dangling_rate:
                         dst = f"{target_set}:ghost{random.randrange(10**6)}"
                     else:
                         dst = f"{target_set}:{random.randrange(width)}"
-                    db.insert(
-                        table_name,
-                        {
-                            "src": f"{entity_set}:{j}",
-                            "dst": dst,
-                            "w": random.uniform(*_WEIGHT_RANGE),
-                        },
-                    )
-                    total_links += 1
+                    row = {
+                        "src": f"{entity_set}:{j}",
+                        "dst": dst,
+                        "w": random.uniform(*_WEIGHT_RANGE),
+                    }
+                    if not adopt_links:
+                        db.insert(table_name, row)
+            total_links += len(links)
             relationships.append(
                 RelationshipBinding(
                     relationship=rel_name,
@@ -220,4 +277,5 @@ def mediated_layers(
         entity_sets=entity_sets,
         total_records=total_records,
         total_links=total_links,
+        databases=tuple(databases),
     )

@@ -1,13 +1,17 @@
-"""Tests for tables: constraints, indexes, retrieval."""
+"""Tests for tables: constraints, indexes, retrieval.
+
+The whole suite runs once per storage backend — the Table facade must
+behave identically over dict, SQLite and columnar storage.
+"""
 
 import pytest
 
 from repro.errors import IntegrityError, StorageError
-from repro.storage import Column, ColumnType, Table
+from repro.storage import STORAGE_BACKENDS, Column, ColumnType, Table, create_backend
 
 
-@pytest.fixture
-def people() -> Table:
+@pytest.fixture(params=STORAGE_BACKENDS)
+def people(request) -> Table:
     table = Table(
         "people",
         columns=[
@@ -16,6 +20,7 @@ def people() -> Table:
             Column("age", ColumnType.INT, nullable=True),
         ],
         primary_key=["pid"],
+        backend=create_backend(request.param),
     )
     table.insert({"pid": 1, "name": "ada", "age": 36})
     table.insert({"pid": 2, "name": "bob"})

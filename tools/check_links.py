@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links in the docs resolve.
+
+Scans README.md and docs/*.md for inline markdown links
+(``[text](target)``), resolves every relative target against the file
+that contains it, and fails when the target file (or directory) does
+not exist. External links (http/https/mailto) and pure in-page anchors
+(``#...``) are skipped; a ``file#anchor`` target is checked for the
+file part only.
+
+Usage: python tools/check_links.py [repo_root]
+Exit status: 0 when every link resolves, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: inline markdown links; images share the syntax apart from a leading !
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown(root: Path):
+    readme = root / "README.md"
+    if readme.exists():
+        yield readme
+    yield from sorted((root / "docs").glob("*.md"))
+
+
+def check_file(path: Path) -> list:
+    broken = []
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        for match in LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                broken.append((path, number, target))
+    return broken
+
+
+def main(argv) -> int:
+    root = Path(argv[1]).resolve() if len(argv) > 1 else Path(__file__).resolve().parents[1]
+    broken = []
+    checked = 0
+    for markdown in iter_markdown(root):
+        checked += 1
+        broken.extend(check_file(markdown))
+    if broken:
+        for path, number, target in broken:
+            print(f"{path.relative_to(root)}:{number}: broken link -> {target}")
+        print(f"\n{len(broken)} broken link(s) across {checked} file(s)")
+        return 1
+    print(f"all relative links resolve across {checked} markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
