@@ -1,0 +1,67 @@
+"""Sharded scatter/gather vs single-engine execution.
+
+Two questions on the mediated serving workload:
+
+* **cold** — what does scatter/gather add to a cold ``Session.execute``
+  (N graph materialisations over partition-pruned answer layers,
+  thread-pooled, plus the merge) at 2 and 4 shards, against the single
+  engine's one full materialisation?
+* **warm** — what is the steady-state scatter/gather overhead when
+  every shard serves from its query/score caches (N cache probes + one
+  merge vs one cache probe)? This is the per-request price of sharding
+  under serving traffic, which the cold-path memory headroom buys.
+"""
+
+import pytest
+
+from repro.workloads import mediated_layers
+
+#: serving-sized workload: the answer layer dominates the graph
+_SHAPE = dict(layers=3, width=900, fan_out=3, seeds=4, rng=13)
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+@pytest.fixture(scope="session", params=SHARD_COUNTS)
+def sharded_workload(request):
+    shards = request.param
+    workload = mediated_layers(shards=shards, **_SHAPE)
+    yield shards, workload
+    workload.close()
+
+
+def _fresh_session(shards, workload):
+    return workload.open_session(sharded=shards > 1)
+
+
+@pytest.mark.benchmark(group="sharded-cold-execute")
+class TestColdExecute:
+    def test_cold(self, benchmark, sharded_workload):
+        shards, workload = sharded_workload
+        spec = workload.spec(method="in_edge")
+
+        def cold():
+            with _fresh_session(shards, workload) as session:
+                return session.execute(spec)
+
+        result = benchmark.pedantic(cold, rounds=3, iterations=1)
+        assert len(result) > 0
+
+
+@pytest.mark.benchmark(group="sharded-warm-execute")
+class TestWarmExecute:
+    def test_warm(self, benchmark, sharded_workload):
+        shards, workload = sharded_workload
+        spec = workload.spec(method="in_edge")
+        session = _fresh_session(shards, workload)
+        reference = session.execute(spec)  # warm every shard's caches
+
+        result = benchmark.pedantic(
+            lambda: session.execute(spec), rounds=3, iterations=20
+        )
+        assert result.scores == reference.scores
+        stats = session.stats_snapshot()
+        assert stats.graph_hits > 0
+        # warm hits never re-materialise: one cold execution per shard
+        assert stats.queries_executed == max(1, shards)
+        session.close()

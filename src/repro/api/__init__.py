@@ -33,7 +33,7 @@ module.
 """
 
 from repro.api.config import EngineConfig, RankingOptions
-from repro.api.result import RankedEntity, ResultPage, ResultSet
+from repro.api.result import RankedEntity, ResultPage, ResultSet, ShardedResultSet
 from repro.api.session import Explanation, Session, open_session
 from repro.api.spec import Query, QuerySpec
 
@@ -47,5 +47,6 @@ __all__ = [
     "ResultPage",
     "ResultSet",
     "Session",
+    "ShardedResultSet",
     "open_session",
 ]

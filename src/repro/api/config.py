@@ -23,6 +23,7 @@ from typing import Dict, Mapping, Optional
 
 from repro.core.ranker import BACKENDS, resolve_method
 from repro.core.reliability import RELIABILITY_STRATEGIES, STOCHASTIC_STRATEGIES
+from repro.engine.sharded import PARTITIONERS
 from repro.errors import RankingError
 from repro.integration.query import BUILDERS
 from repro.storage.backends import STORAGE_BACKENDS
@@ -186,8 +187,11 @@ class EngineConfig:
     max_cached_graphs: int = 256
     cache_scores: bool = True
     max_cached_scores: int = 1024
-    #: thread-pool width for ``Session.execute_many``; 0 or 1 disables
-    #: threading (specs still share graph materialisation work)
+    #: thread-pool width for ``Session.execute_many``'s spec-level
+    #: batching on unsharded sessions; 0 or 1 disables threading (specs
+    #: still share graph materialisation work). Sharded sessions
+    #: parallelise across shards instead (scatter width = shard count;
+    #: cap per call via ``execute_many(..., max_workers=)``)
     max_workers: int = 4
     #: storage backend for databases created through this session
     #: (``Session.create_database`` and the workload generators):
@@ -196,6 +200,14 @@ class EngineConfig:
     #: directory for SQLite database files (one ``<name>.sqlite`` per
     #: database); ``None`` keeps SQLite databases in process memory
     storage_path: Optional[str] = None
+    #: number of scatter/gather shards; 1 (the default) runs the
+    #: classic single engine, ``N > 1`` partitions the answer space
+    #: across N child engines (see ``docs/architecture.md``)
+    shards: int = 1
+    #: answer-ownership strategy for sharded sessions: ``"hash"``
+    #: (stable content hash) or ``"range"`` (balanced key ranges
+    #: computed from the partitioned sets' current keys)
+    partitioner: str = "hash"
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -226,6 +238,15 @@ class EngineConfig:
             raise RankingError(
                 f"max_workers must be a non-negative integer, got "
                 f"{self.max_workers!r}"
+            )
+        if not isinstance(self.shards, int) or self.shards < 1:
+            raise RankingError(
+                f"shards must be a positive integer, got {self.shards!r}"
+            )
+        if self.partitioner not in PARTITIONERS:
+            raise RankingError(
+                f"unknown partitioner {self.partitioner!r}; choose from "
+                f"{list(PARTITIONERS)}"
             )
 
     def make_engine(self, mediator=None):

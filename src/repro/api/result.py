@@ -19,7 +19,7 @@ from repro.core.paths import EvidencePath, enumerate_paths, explain_answer
 from repro.core.ranker import RankedResult
 from repro.errors import GraphError, ValidationError
 
-__all__ = ["RankedEntity", "ResultPage", "ResultSet"]
+__all__ = ["RankedEntity", "ResultPage", "ResultSet", "ShardedResultSet"]
 
 NodeId = Hashable
 
@@ -304,3 +304,97 @@ class ResultSet:
     def to_json(self, limit: Optional[int] = None, **dumps_kwargs: object) -> str:
         dumps_kwargs.setdefault("default", str)
         return json.dumps(self.to_dict(limit), **dumps_kwargs)
+
+
+class _GatherPayloads:
+    """Node-payload access dispatching to each answer's owning shard
+    graph (quacks like ``ProbabilisticEntityGraph.data`` for the
+    entity-record construction of the base class)."""
+
+    def __init__(self, owners):
+        self._owners = owners
+
+    def data(self, node):
+        return self._owners[node].graph.data(node)
+
+
+class _GatherGraph:
+    """The minimal ``QueryGraph``-shaped object a gathered result set
+    carries: merged answer set, shared source node, per-owner payload
+    dispatch. Whole-graph operations live on the per-shard graphs."""
+
+    def __init__(self, owners, source, targets):
+        self.graph = _GatherPayloads(owners)
+        self.source = source
+        self.targets = list(targets)
+
+
+class ShardedResultSet(ResultSet):
+    """A :class:`ResultSet` gathered from shard fragments.
+
+    Scores, ordering, rank intervals, tie groups, pagination and export
+    behave exactly as on a single-engine result (the merged score dict
+    *is* the result). Provenance and explanations dispatch to the shard
+    graph that owns each answer — by the sink-partitioning rule the
+    owning shard holds the answer's complete ancestor subgraph, so the
+    evidence paths equal the unsharded ones.
+
+    There is no *single* materialised graph behind a gathered result,
+    so :attr:`graph` raises with guidance; whole-graph consumers should
+    iterate :attr:`shard_graphs` instead.
+    """
+
+    def __init__(self, ranked: RankedResult, owners, source, spec=None):
+        self._owners = dict(owners)
+        super().__init__(
+            ranked,
+            _GatherGraph(self._owners, source, self._owners.keys()),
+            spec=spec,
+        )
+
+    @property
+    def graph(self) -> QueryGraph:
+        """Not available on a gathered result — it was never one graph.
+
+        Raising here (instead of returning a partial stand-in) keeps
+        established ``results.graph`` consumers from silently working
+        on one shard's subgraph; use :attr:`shard_graphs` for the
+        per-shard materialisations.
+        """
+        raise GraphError(
+            "a sharded result set has no single materialised graph; "
+            "use .shard_graphs for the per-shard query graphs, or "
+            ".provenance()/.explain() which dispatch to the owning "
+            "shard automatically"
+        )
+
+    @property
+    def shard_graphs(self) -> List[QueryGraph]:
+        """The distinct per-shard query graphs behind this result."""
+        seen: List[QueryGraph] = []
+        for graph in self._owners.values():
+            if all(graph is not existing for existing in seen):
+                seen.append(graph)
+        return seen
+
+    def _owning_graph(self, node: NodeId) -> QueryGraph:
+        if isinstance(node, RankedEntity):
+            node = node.node
+        try:
+            return self._owners[node]
+        except KeyError:
+            raise GraphError(f"{node!r} is not in this result set") from None
+
+    def provenance(
+        self, node: NodeId, top: int = 3, max_paths: int = 1000
+    ) -> List[EvidencePath]:
+        graph = self._owning_graph(node)
+        if isinstance(node, RankedEntity):
+            node = node.node
+        return enumerate_paths(graph, node, max_paths=max_paths)[:top]
+
+    def explain(self, node: NodeId, top: int = 3) -> str:
+        graph = self._owning_graph(node)
+        if isinstance(node, RankedEntity):
+            node = node.node
+        return explain_answer(graph, node, top=top)

@@ -32,10 +32,11 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.api.config import EngineConfig, RankingOptions
-from repro.api.result import ResultSet
+from repro.api.result import ResultSet, ShardedResultSet
 from repro.api.spec import Query, QuerySpec
 from repro.core.graph import QueryGraph
 from repro.engine.ranking import EngineStats, RankingEngine
+from repro.engine.sharded import ShardedEngine, ShardRouter
 from repro.errors import QueryError, RankingError, ReproError
 from repro.integration.builder import BuildStats
 from repro.integration.mediator import Mediator
@@ -118,10 +119,35 @@ class Session:
         self,
         mediator: Optional[Mediator] = None,
         config: Optional[EngineConfig] = None,
+        router: Optional[ShardRouter] = None,
     ):
         self._config = config or EngineConfig()
         self._mediator = mediator if mediator is not None else Mediator()
         self._engine = self._config.make_engine(self._mediator)
+        # scatter/gather wiring: an explicit router (pre-partitioned
+        # storage, e.g. mediated_layers(shards=)) wins; otherwise
+        # config.shards > 1 derives partition views from the mediator
+        if router is not None and self._config.shards not in (1, router.shards):
+            raise QueryError(
+                f"config.shards={self._config.shards} contradicts the "
+                f"router's {router.shards} shards"
+            )
+        if router is None and self._config.shards > 1:
+            router = ShardRouter.partition(
+                self._mediator, self._config.shards, self._config.partitioner
+            )
+        self._router = router
+        self._sharded: Optional[ShardedEngine] = None
+        if router is not None:
+            self._sharded = ShardedEngine(
+                router,
+                backend=self._config.backend,
+                builder=self._config.builder,
+                cache_scores=self._config.cache_scores,
+                max_cached_scores=self._config.max_cached_scores,
+                cache_graphs=self._config.cache_graphs,
+                max_cached_graphs=self._config.max_cached_graphs,
+            )
         #: derived answer-set views per shared (union) graph, so batches
         #: re-served from the query cache also reuse their derived
         #: graphs — and therefore the compile cache
@@ -147,13 +173,44 @@ class Session:
 
     @property
     def engine(self) -> RankingEngine:
+        """The single serving engine (unsharded sessions), also used by
+        :meth:`rank`/:meth:`rank_many` on pre-built graphs. Sharded
+        execution runs through :attr:`sharded_engine` instead."""
         return self._engine
 
+    @property
+    def sharded(self) -> bool:
+        """Whether mediated execution scatters across shards."""
+        return self._sharded is not None
+
+    @property
+    def router(self) -> Optional[ShardRouter]:
+        return self._router
+
+    @property
+    def sharded_engine(self) -> Optional[ShardedEngine]:
+        return self._sharded
+
     def register(self, *sources: DataSource) -> "Session":
-        """Register additional data sources (chainable)."""
+        """Register additional data sources (chainable).
+
+        On a sharded session the source is registered with the base
+        mediator *and* replicated into every shard mediator — execution
+        runs against the shards, and a replicated (unpartitioned)
+        source keeps every answer's ancestor closure shard-complete,
+        so the equivalence guarantee is preserved. A source that would
+        hang a new outgoing relationship off a *partitioned* entity set
+        is rejected up front (it would break that guarantee).
+        """
         self._check_open()
+        if self._router is not None:
+            for source in sources:
+                self._router.check_registrable(source)
         for source in sources:
             self._mediator.register(source)
+            if self._router is not None:
+                for shard_mediator in self._router.mediators:
+                    shard_mediator.register(source)
         return self
 
     def create_database(self, name: str = "db"):
@@ -198,10 +255,33 @@ class Session:
         """
         self._check_open()
         spec = self._coerce(spec)
+        if self._sharded is not None:
+            return self._execute_sharded(spec)
         qg = self._engine.execute(
             spec.to_exploratory(), builder=self._config.builder
         )
         return self._rank_graph(qg, spec)
+
+    def _execute_sharded(
+        self, spec: QuerySpec, max_workers: Optional[int] = None
+    ) -> ShardedResultSet:
+        """Scatter/gather execution of one coerced spec.
+
+        ``max_workers=None`` scatters as wide as the relevant shard
+        count on the engine's persistent pool — scatter width is the
+        point of sharding, so the session does not clamp it to
+        ``config.max_workers`` (which governs ``execute_many``'s
+        spec-level batching)."""
+        gathered = self._sharded.gather(
+            spec.to_exploratory(),
+            spec.method,
+            options=spec.options.to_kwargs(spec.method, spec.seed),
+            builder=self._config.builder,
+            max_workers=max_workers,
+        )
+        return ShardedResultSet(
+            gathered.ranked, gathered.owners, gathered.source, spec=spec
+        )
 
     def execute_many(
         self,
@@ -217,6 +297,13 @@ class Session:
         regardless of their output sets, and distinct traversal groups
         run on a thread pool of ``max_workers`` threads (default: the
         session config's ``max_workers``).
+
+        On a **sharded** session the parallelism axis is the shards,
+        not the specs: unique specs run in sequence and each scatters
+        across its relevant shards on the engine's persistent pool —
+        as wide as the shard count by default, which is the point of
+        sharding; ``config.max_workers`` does not bound it. Pass
+        ``max_workers`` explicitly to cap the per-spec scatter width.
 
         Results come back in spec order. With ``return_errors=True`` a
         failing spec yields its exception in place instead of raising.
@@ -239,6 +326,26 @@ class Session:
         slots: Dict[QuerySpec, List[int]] = {}
         for index, spec in enumerate(coerced):
             slots.setdefault(spec, []).append(index)
+
+        if self._sharded is not None:
+            # sharded batches parallelise across *shards* per spec (the
+            # scatter pool); specs run in sequence, deduplicated, with
+            # the same result-order and error semantics as below.
+            # ``max_workers`` bounds the scatter width of each spec.
+            for spec, indexes in slots.items():
+                try:
+                    outcome: Union[ResultSet, ReproError] = self._execute_sharded(
+                        spec, max_workers=max_workers
+                    )
+                except ReproError as exc:
+                    outcome = exc
+                for index in indexes:
+                    results[index] = outcome
+            if not return_errors:
+                for outcome in results:
+                    if isinstance(outcome, BaseException):
+                        raise outcome
+            return results  # type: ignore[return-value]
 
         # specs sharing a traversal share one materialised graph
         groups: Dict[Tuple, List[QuerySpec]] = {}
@@ -379,6 +486,31 @@ class Session:
         """
         self._check_open()
         spec = self._coerce(spec)
+        if self._sharded is not None:
+            gathered = self._sharded.gather(
+                spec.to_exploratory(),
+                spec.method,
+                options=spec.options.to_kwargs(spec.method, spec.seed),
+                builder=self._config.builder,
+            )
+            # node/edge totals are summed across the shard graphs
+            # (replicated ancestors count once per shard); there is no
+            # single compiled graph, hence no fingerprint
+            return Explanation(
+                spec=spec,
+                graph_cached=gathered.graph_cached,
+                score_cached=gathered.score_cached,
+                builder=self._config.builder,
+                backend=self._config.backend,
+                nodes=gathered.nodes,
+                edges=gathered.edges,
+                answers=len(gathered.ranked.scores),
+                build_stats=gathered.build_stats,
+                fingerprint=None,
+                build_seconds=gathered.build_seconds,
+                rank_seconds=gathered.rank_seconds,
+                engine_stats=self._sharded.stats_snapshot().as_dict(),
+            )
         started = time.perf_counter()
         qg, build_stats, graph_cached = self._engine.execute_with_stats(
             spec.to_exploratory(), builder=self._config.builder
@@ -410,15 +542,30 @@ class Session:
 
     def stats(self) -> EngineStats:
         """The engine's cumulative cache-effectiveness counters (live
-        object; use :meth:`stats_snapshot` for before/after deltas)."""
+        object; use :meth:`stats_snapshot` for before/after deltas).
+        On a sharded session this is the aggregated snapshot over every
+        child engine; per-shard counters are on :meth:`shard_stats`."""
+        if self._sharded is not None:
+            return self._sharded.stats_snapshot()
         return self._engine.stats
 
     def stats_snapshot(self) -> EngineStats:
-        """A lock-consistent copy of the counters."""
+        """A lock-consistent copy of the counters (aggregated over the
+        shards when sharded)."""
+        if self._sharded is not None:
+            return self._sharded.stats_snapshot()
         return self._engine.stats_snapshot()
+
+    def shard_stats(self) -> List[EngineStats]:
+        """Per-shard counter snapshots (empty when unsharded)."""
+        if self._sharded is None:
+            return []
+        return self._sharded.shard_stats()
 
     def reset_stats(self) -> None:
         self._engine.reset_stats()
+        if self._sharded is not None:
+            self._sharded.reset_stats()
 
     # -------------------------------------------------------------- #
     # lifecycle
@@ -428,6 +575,8 @@ class Session:
         """Drop all cached state; further execution raises."""
         if not self._closed:
             self._engine.invalidate()
+            if self._sharded is not None:
+                self._sharded.close()
             self._closed = True
 
     @property
@@ -442,9 +591,11 @@ class Session:
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else "open"
+        shards = f" shards={self._sharded.shards}" if self._sharded else ""
         return (
             f"<Session {state} sources={len(self._mediator.sources)} "
-            f"backend={self._config.backend!r} builder={self._config.builder!r}>"
+            f"backend={self._config.backend!r} "
+            f"builder={self._config.builder!r}{shards}>"
         )
 
     # -------------------------------------------------------------- #
@@ -474,6 +625,8 @@ def open_session(
     mediator: Optional[Mediator] = None,
     confidences: Optional[ConfidenceRegistry] = None,
     config: Optional[EngineConfig] = None,
+    shards: Optional[int] = None,
+    router: Optional[ShardRouter] = None,
 ) -> Session:
     """Open a :class:`Session` over the given data sources.
 
@@ -481,7 +634,18 @@ def open_session(
     fresh mediator, or an existing ``mediator`` to wrap; passing both a
     mediator and sources/confidences is ambiguous and rejected. With
     neither, the session starts empty — usable for ranking pre-built
-    graphs and for registering sources later.
+    graphs and for registering sources later (unsharded sessions only).
+
+    ``shards=N`` (shorthand for ``config.shards``) turns the session
+    into a scatter/gather deployment: the mediator is partitioned into
+    N views over its sink entity sets and every spec executes across N
+    child engines, with rankings identical to the unsharded session.
+    The partition layout is derived at open time, so a sharded session
+    must be opened *with* its sources; further sources can still be
+    registered later (they are replicated to every shard).
+    An explicit ``router`` wires pre-partitioned per-shard mediators
+    instead (see :func:`repro.workloads.mediated_layers` with
+    ``shards=``).
 
     Example::
 
@@ -501,4 +665,13 @@ def open_session(
         mediator = Mediator(confidences=confidences)
         for source in sources:
             mediator.register(source)
-    return Session(mediator=mediator, config=config)
+    if shards is not None:
+        from dataclasses import replace
+
+        base = config or EngineConfig()
+        if base.shards not in (1, shards):
+            raise QueryError(
+                f"shards={shards} contradicts config.shards={base.shards}"
+            )
+        config = replace(base, shards=shards)
+    return Session(mediator=mediator, config=config, router=router)

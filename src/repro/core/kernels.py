@@ -146,6 +146,37 @@ def propagation_scores_compiled(
 # --------------------------------------------------------------------- #
 
 
+def _segment_prefix_sum(
+    values: np.ndarray, seg_id: np.ndarray, starts: np.ndarray
+) -> np.ndarray:
+    """Inclusive prefix sums restarting at every CSR segment boundary.
+
+    Computed with a Hillis–Steele doubling scan masked to stay inside
+    each segment, so every prefix is a fixed-shape summation tree over
+    *that segment's values only* — no float contamination from
+    neighbouring segments (unlike differencing a global ``cumsum``),
+    which is what keeps sharded and single-engine diffusion
+    bit-identical.
+    """
+    prefix = values.copy()
+    if prefix.size == 0:
+        return prefix
+    position = np.arange(len(values), dtype=np.int64) - starts[seg_id]
+    # each doubling pass touches only the elements whose in-segment
+    # position still reaches back `shift` slots, so the active set
+    # shrinks geometrically: near-O(E) total for bounded in-degrees,
+    # and hub segments pay O(d log d) instead of full-array passes
+    active = np.nonzero(position >= 1)[0]
+    shift = 1
+    while active.size:
+        # the right-hand side is gathered before assignment, so every
+        # update reads the previous pass's values (Jacobi-style)
+        prefix[active] += prefix[active - shift]
+        shift *= 2
+        active = active[position[active] >= shift]
+    return prefix
+
+
 def _segment_water_fill(
     cg: CompiledGraph, r: np.ndarray, seg_id: np.ndarray
 ) -> np.ndarray:
@@ -181,15 +212,15 @@ def _segment_water_fill(
     ends = cg.in_offsets[1:]
     nonempty = starts < ends
 
-    cum_rq = np.cumsum(rs * qs)
-    cum_q = np.cumsum(qs)
-    # within-segment cumulative sums: subtract the total before the start
-    base_rq = np.zeros(n)
-    base_q = np.zeros(n)
-    positive_start = starts > 0
-    base_rq[positive_start] = cum_rq[starts[positive_start] - 1]
-    base_q[positive_start] = cum_q[starts[positive_start] - 1]
-    candidate = (cum_rq - base_rq[seg_id]) / (1.0 + cum_q - base_q[seg_id])
+    # within-segment inclusive prefix sums, computed *segment-locally*
+    # (a per-segment tree scan): a node's candidate fixed points must be
+    # a function of its own in-segment only, so that a node embedded in
+    # two different graphs (a shard's partition view and the full graph)
+    # gets bit-identical scores — deriving the prefixes from global
+    # cumulative sums would leak other segments' round-off in
+    cum_rq = _segment_prefix_sum(rs * qs, seg_id, starts)
+    cum_q = _segment_prefix_sum(qs, seg_id, starts)
+    candidate = cum_rq / (1.0 + cum_q)
 
     next_r = np.zeros_like(rs)
     next_r[:-1] = rs[1:]

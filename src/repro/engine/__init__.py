@@ -6,8 +6,32 @@ mediator through the set-at-a-time builder, serve repeated queries from
 the epoch-guarded query cache, compile each query graph once into the
 shared CSR form, and serve per-method scores from a fingerprint-keyed
 cache. See :mod:`repro.engine.ranking` for the full contract.
+
+For graphs too large for one engine, :mod:`repro.engine.sharded`
+partitions the answer space across N child engines behind a
+scatter/gather :class:`ShardedEngine` whose merged rankings are
+identical to the single-engine result.
 """
 
 from repro.engine.ranking import EngineStats, RankingEngine
+from repro.engine.sharded import (
+    PARTITIONERS,
+    GatherResult,
+    HashPartitioner,
+    KeyRangePartitioner,
+    ShardedEngine,
+    ShardFragment,
+    ShardRouter,
+)
 
-__all__ = ["EngineStats", "RankingEngine"]
+__all__ = [
+    "EngineStats",
+    "GatherResult",
+    "HashPartitioner",
+    "KeyRangePartitioner",
+    "PARTITIONERS",
+    "RankingEngine",
+    "ShardFragment",
+    "ShardRouter",
+    "ShardedEngine",
+]

@@ -111,6 +111,16 @@ class EngineStats:
             **{f.name: getattr(self, f.name) for f in fields(self)}
         )
 
+    @classmethod
+    def aggregate(cls, parts: Iterable["EngineStats"]) -> "EngineStats":
+        """Field-wise sum — how a sharded engine reports the combined
+        cache effectiveness of its children."""
+        total = cls()
+        for part in parts:
+            for f in fields(cls):
+                setattr(total, f.name, getattr(total, f.name) + getattr(part, f.name))
+        return total
+
     def as_dict(self) -> Dict[str, object]:
         """Counters plus derived rates, ready for structured logging."""
         data: Dict[str, object] = {

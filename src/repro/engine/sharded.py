@@ -1,0 +1,631 @@
+"""Sharded scatter/gather execution over N child ranking engines.
+
+One :class:`~repro.engine.ranking.RankingEngine` holds its compiled
+graphs and query cache in one heap. To serve graphs too large for one
+process, a :class:`ShardedEngine` partitions the answer space across N
+child engines — each wrapping a mediator view over its partition's
+storage (see :mod:`repro.integration.partition`) — and executes every
+query scatter/gather:
+
+1. **route** — :meth:`ShardRouter.relevant_shards` picks the shards a
+   query can touch (a point lookup on a partitioned set's key column
+   routes to exactly one shard; everything else fans out to all);
+2. **scatter** — the query runs on every relevant shard's engine, on a
+   thread pool, through the ordinary per-shard caches;
+3. **gather** — each shard contributes the answers it *owns* (the
+   partitioner is the single ownership oracle), and the fragments merge
+   by score with the same deterministic tie-breaking the single engine
+   uses, so rankings, rank intervals and tie groups are identical to
+   the unsharded result.
+
+Equivalence rests on the ancestor-closure rule enforced by
+:func:`repro.integration.partition.partition_mediator`: only traversal
+*sink* entity sets are physically partitioned, so every owned answer
+sees exactly the ancestor subgraph the full graph would give it, and
+every ranking method (they all score a node from its ancestors only)
+produces bit-identical scores per shard. Stochastic requests (unseeded
+or seeded Monte Carlo reliability) are reproducible run-to-run but
+*not* numerically identical to the single-engine path — each shard
+samples its own compiled graph; see ``docs/architecture.md``.
+
+Shard failures surface as a clean :class:`~repro.errors.QueryError`
+naming the shard; shards whose partition is simply empty (their
+:class:`~repro.errors.EmptyAnswerError`) contribute empty fragments,
+and only when *every* shard comes back empty is the single-engine
+error re-raised.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from bisect import bisect_right
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.graph import QueryGraph
+from repro.core.ranker import RankedResult, resolve_method
+from repro.engine.ranking import EngineStats, RankingEngine
+from repro.errors import EmptyAnswerError, QueryError, RankingError, SchemaError
+from repro.integration.builder import BuildStats
+from repro.integration.mediator import Mediator
+from repro.integration.partition import partition_mediator, sink_entity_sets
+from repro.integration.query import ExploratoryQuery
+
+__all__ = [
+    "GatherResult",
+    "HashPartitioner",
+    "KeyRangePartitioner",
+    "PARTITIONERS",
+    "ShardFragment",
+    "ShardRouter",
+    "ShardedEngine",
+]
+
+NodeId = Hashable
+
+#: partitioner strategies selectable by name (EngineConfig.partitioner)
+PARTITIONERS: Tuple[str, ...] = ("hash", "range")
+
+#: emptiness kinds ordered by execution progress; when every shard is
+#: empty, the error that got furthest is the one the single engine
+#: would have raised
+_EMPTY_PRIORITY = {"no-answers": 2, "dangling-seeds": 1, "no-seeds": 0}
+
+
+def _canonical_key_token(key: Hashable) -> str:
+    """A stable text token with the property ``x == y`` ⇒ same token.
+
+    Storage lookups and the gather merge compare keys by equality, so
+    ownership must too: ``3``, ``3.0`` and ``True``/``1`` are the same
+    probe to every other layer and must land on the same shard. Numeric
+    keys therefore canonicalise through the integer form when exact;
+    everything else keeps its ``repr`` (which separates ``3`` from
+    ``'3'``, matching ``==``).
+    """
+    if isinstance(key, bool):
+        return repr(int(key))
+    if isinstance(key, int):
+        return repr(key)
+    if isinstance(key, float):
+        if key.is_integer():
+            return repr(int(key))
+        return repr(key)
+    return repr(key)
+
+
+class HashPartitioner:
+    """Stable hash partitioning of ``(entity_set, key)`` pairs.
+
+    Ownership is derived from a keyed BLAKE2 digest of the entity set
+    and the key's canonical token, so it is deterministic across
+    processes and Python hash randomisation — a partition written to
+    disk by one run is read back identically by the next — and
+    consistent with key *equality* (``3.0`` owns the same shard as
+    ``3``, like every storage probe treats them).
+    """
+
+    def __init__(self, shards: int):
+        if not isinstance(shards, int) or shards < 1:
+            raise QueryError(f"shard count must be a positive integer, got {shards!r}")
+        self.shards = shards
+        # ownership is probed per answer per request on the warm path;
+        # memoising turns ~1 µs of hashing into a dict hit (the cache is
+        # bounded by the live answer universe, which the partitioned
+        # tables bound in turn)
+        self._owners: Dict[Tuple[str, Hashable], int] = {}
+
+    def owner(self, entity_set: str, key: Hashable) -> int:
+        probe = (entity_set, key)
+        cached = self._owners.get(probe)
+        if cached is not None:
+            return cached
+        digest = hashlib.blake2b(
+            f"{entity_set}\x00{_canonical_key_token(key)}".encode("utf-8"),
+            digest_size=8,
+        ).digest()
+        shard = int.from_bytes(digest, "big") % self.shards
+        self._owners[probe] = shard
+        return shard
+
+    def __repr__(self) -> str:
+        return f"HashPartitioner(shards={self.shards})"
+
+
+class KeyRangePartitioner:
+    """Key-range partitioning: contiguous key runs per shard.
+
+    ``boundaries`` maps an entity set to its sorted cut points (at most
+    ``shards - 1``); a key is owned by the number of cut points not
+    exceeding it. Entity sets without boundaries fall back to hash
+    ownership, so the partitioner is total over every possible answer.
+    """
+
+    def __init__(self, shards: int, boundaries: Mapping[str, Sequence[Any]]):
+        if not isinstance(shards, int) or shards < 1:
+            raise QueryError(f"shard count must be a positive integer, got {shards!r}")
+        self.shards = shards
+        self._boundaries: Dict[str, List[Any]] = {}
+        for entity_set, cuts in boundaries.items():
+            cuts = list(cuts)
+            if len(cuts) > shards - 1:
+                raise QueryError(
+                    f"entity set {entity_set!r}: {len(cuts)} cut points "
+                    f"cannot split into {shards} shards"
+                )
+            if any(cuts[i] > cuts[i + 1] for i in range(len(cuts) - 1)):
+                raise QueryError(
+                    f"entity set {entity_set!r}: cut points must be sorted"
+                )
+            self._boundaries[entity_set] = cuts
+        self._fallback = HashPartitioner(shards)
+
+    @classmethod
+    def balanced(
+        cls, shards: int, keys_by_set: Mapping[str, Sequence[Any]]
+    ) -> "KeyRangePartitioner":
+        """Quantile cut points from each set's current keys (an empty
+        key list yields no cuts: every key of that set on shard 0)."""
+        boundaries: Dict[str, List[Any]] = {}
+        for entity_set, keys in keys_by_set.items():
+            ordered = sorted(keys)
+            if not ordered:
+                boundaries[entity_set] = []
+                continue
+            boundaries[entity_set] = sorted(
+                {ordered[(len(ordered) * s) // shards] for s in range(1, shards)}
+            )
+        return cls(shards, boundaries)
+
+    def owner(self, entity_set: str, key: Hashable) -> int:
+        cuts = self._boundaries.get(entity_set)
+        if cuts is None:
+            return self._fallback.owner(entity_set, key)
+        return bisect_right(cuts, key)
+
+    def __repr__(self) -> str:
+        return (
+            f"KeyRangePartitioner(shards={self.shards}, "
+            f"sets={sorted(self._boundaries)})"
+        )
+
+
+class ShardRouter:
+    """Owns the shard layout: the per-shard mediators, the partitioner
+    (the single ownership oracle for answers), and which entity sets
+    are physically partitioned (with their key columns, for routing).
+    """
+
+    def __init__(
+        self,
+        mediators: Sequence[Mediator],
+        partitioner,
+        partitioned_sets: Optional[Mapping[str, str]] = None,
+    ):
+        self.mediators: List[Mediator] = list(mediators)
+        if not self.mediators:
+            raise QueryError("a shard router needs at least one mediator")
+        if partitioner.shards != len(self.mediators):
+            raise QueryError(
+                f"partitioner covers {partitioner.shards} shards but "
+                f"{len(self.mediators)} mediators were given"
+            )
+        self.partitioner = partitioner
+        #: entity set -> key column, for the sets whose tables are
+        #: physically split (used for point-lookup routing)
+        self.partitioned_sets: Dict[str, str] = dict(partitioned_sets or {})
+
+    @property
+    def shards(self) -> int:
+        return len(self.mediators)
+
+    def owner(self, entity_set: str, key: Hashable) -> int:
+        """The shard owning answer ``(entity_set, key)``."""
+        return self.partitioner.owner(entity_set, key)
+
+    def check_registrable(self, source) -> None:
+        """Reject a source that would break the sink rule: a new
+        relationship *out of* a physically partitioned entity set would
+        make each shard follow links from only its own partition, so
+        downstream answers would score against partial ancestor
+        subgraphs."""
+        bad = sorted(
+            {rel.source_entity for rel in source.relationships}
+            & set(self.partitioned_sets)
+        )
+        if bad:
+            raise SchemaError(
+                f"source {source.name!r} adds outgoing relationship(s) "
+                f"from partitioned entity set(s) {bad}; a partitioned "
+                f"set must stay a traversal sink — re-deploy with a "
+                f"partitioning that excludes {bad} to register this "
+                f"source"
+            )
+
+    def relevant_shards(self, query: ExploratoryQuery) -> List[int]:
+        """The shards ``query`` must be scattered to. A point lookup on
+        a partitioned set's key column touches exactly its owner; any
+        other query fans out to every shard."""
+        key_column = self.partitioned_sets.get(query.entity_set)
+        if key_column is not None and query.attribute == key_column:
+            return [self.owner(query.entity_set, query.value)]
+        return list(range(self.shards))
+
+    @classmethod
+    def partition(
+        cls,
+        mediator: Mediator,
+        shards: int,
+        partitioner: object = "hash",
+        partition_sets: Optional[Sequence[str]] = None,
+    ) -> "ShardRouter":
+        """Derive a router from one existing mediator by building
+        per-shard partition views (see
+        :func:`repro.integration.partition.partition_mediator`).
+
+        ``partitioner`` is an instance, or a name from
+        :data:`PARTITIONERS` — ``"range"`` computes balanced cut points
+        from the partitioned sets' current keys.
+        """
+        if shards > 1 and not any(
+            source.entities for source in mediator.sources
+        ):
+            raise QueryError(
+                "a sharded session partitions its schema at open time, "
+                "so the mediator needs its sources first; register "
+                "them (or pass sources=) before opening with shards=N"
+            )
+        chosen = (
+            sorted(sink_entity_sets(mediator))
+            if partition_sets is None
+            else list(partition_sets)
+        )
+        if shards > 1 and not chosen:
+            raise SchemaError(
+                "this schema has no sink entity sets (every set has "
+                "outgoing relationship bindings), so partitioning would "
+                "replicate the full graph on every shard — N times the "
+                "work for no memory benefit; run unsharded, or "
+                "restructure the schema so the answer sets are "
+                "traversal sinks"
+            )
+        if isinstance(partitioner, str):
+            if partitioner not in PARTITIONERS:
+                raise QueryError(
+                    f"unknown partitioner {partitioner!r}; choose from "
+                    f"{list(PARTITIONERS)}"
+                )
+            if partitioner == "hash":
+                partitioner = HashPartitioner(shards)
+            else:
+                keys_by_set = {}
+                for entity_set in chosen:
+                    plan = mediator.entity_plan(entity_set)
+                    keys_by_set[entity_set] = [
+                        row[plan.key_column] for row in plan.table.rows()
+                    ]
+                partitioner = KeyRangePartitioner.balanced(shards, keys_by_set)
+        mediators = partition_mediator(mediator, shards, partitioner, chosen)
+        partitioned = {
+            entity_set: mediator.entity_plan(entity_set).key_column
+            for entity_set in chosen
+        }
+        return cls(mediators, partitioner, partitioned)
+
+
+@dataclass
+class ShardFragment:
+    """One shard's contribution to a gathered result."""
+
+    shard: int
+    #: the shard's materialised graph (None when its partition was empty)
+    graph: Optional[QueryGraph]
+    #: owned answers only — disjoint across fragments by construction
+    scores: Dict[NodeId, float] = field(default_factory=dict)
+    build_stats: Optional[BuildStats] = None
+    graph_cached: bool = False
+    score_cached: bool = False
+    #: set when the shard raised an EmptyAnswerError
+    empty_kind: Optional[str] = None
+
+
+@dataclass
+class GatherResult:
+    """A merged scatter/gather execution: the ranked union of the
+    owned fragments plus aggregated provenance."""
+
+    ranked: RankedResult
+    #: answer node -> the owning shard's query graph (for payloads,
+    #: provenance paths and explanations)
+    owners: Dict[NodeId, QueryGraph]
+    source: NodeId
+    fragments: List[ShardFragment]
+    #: per-shard BuildStats summed (replicated intermediate layers are
+    #: counted once per shard that materialised them)
+    build_stats: BuildStats
+    #: True only if *every* scattered shard was served from its cache
+    graph_cached: bool
+    score_cached: bool
+    build_seconds: float
+    rank_seconds: float
+
+    @property
+    def nodes(self) -> int:
+        return self.build_stats.nodes
+
+    @property
+    def edges(self) -> int:
+        return self.build_stats.edges
+
+
+def aggregate_build_stats(parts: Sequence[BuildStats]) -> BuildStats:
+    """Field-wise sum of per-shard build statistics."""
+    total = BuildStats()
+    for stats in parts:
+        total.nodes += stats.nodes
+        total.edges += stats.edges
+        total.dangling_links += stats.dangling_links
+        for entity_set, count in stats.visited_entities.items():
+            total.visited_entities[entity_set] = (
+                total.visited_entities.get(entity_set, 0) + count
+            )
+    return total
+
+
+class ShardedEngine:
+    """N child :class:`~repro.engine.ranking.RankingEngine`\\ s behind
+    one scatter/gather execution surface.
+
+    Construction mirrors ``RankingEngine``'s configuration; every child
+    engine gets the same backend/builder/cache settings over its own
+    mediator (from the router). The children's caches work unchanged —
+    a warm sharded query is N dictionary probes plus one merge.
+    """
+
+    def __init__(
+        self,
+        router: ShardRouter,
+        backend: str = "compiled",
+        builder: str = "batched",
+        cache_scores: bool = True,
+        max_cached_scores: int = 1024,
+        cache_graphs: bool = True,
+        max_cached_graphs: int = 256,
+    ):
+        self.router = router
+        self.builder = builder
+        # the scatter pool is created lazily and *reused* across
+        # gathers: warm queries are N cache probes plus a merge, and
+        # spawning threads per request would dwarf that
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        self.engines: List[RankingEngine] = [
+            RankingEngine(
+                mediator=mediator,
+                backend=backend,
+                builder=builder,
+                cache_scores=cache_scores,
+                max_cached_scores=max_cached_scores,
+                cache_graphs=cache_graphs,
+                max_cached_graphs=max_cached_graphs,
+            )
+            for mediator in router.mediators
+        ]
+
+    @property
+    def shards(self) -> int:
+        return len(self.engines)
+
+    # -------------------------------------------------------------- #
+    # scatter/gather execution
+    # -------------------------------------------------------------- #
+
+    def _run_shard(
+        self,
+        shard: int,
+        query: ExploratoryQuery,
+        method: str,
+        options: Mapping[str, object],
+        builder: Optional[str],
+    ) -> Tuple[str, object, float, float]:
+        """Execute and rank on one shard; returns an outcome tagged
+        ``"ok"`` (a :class:`ShardFragment`), ``"empty"`` or ``"error"``
+        plus the shard's build/rank wall-clock seconds."""
+        engine = self.engines[shard]
+        started = time.perf_counter()
+        try:
+            qg, build_stats, graph_cached = engine.execute_with_stats(
+                query, builder=builder
+            )
+        except EmptyAnswerError as exc:
+            return "empty", exc, time.perf_counter() - started, 0.0
+        except Exception as exc:  # gathered and classified by the caller
+            return "error", exc, time.perf_counter() - started, 0.0
+        build_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        try:
+            ranked, score_cached = engine.rank_with_stats(qg, method, **options)
+        except Exception as exc:
+            return "error", exc, build_seconds, time.perf_counter() - started
+        rank_seconds = time.perf_counter() - started
+        owner = self.router.owner
+        graph = qg.graph
+        owned: Dict[NodeId, float] = {}
+        for node in qg.targets:
+            payload = graph.data(node)
+            if owner(payload.entity_set, payload.key) == shard:
+                owned[node] = ranked.scores[node]
+        fragment = ShardFragment(
+            shard=shard,
+            graph=qg,
+            scores=owned,
+            build_stats=build_stats,
+            graph_cached=graph_cached,
+            score_cached=score_cached,
+        )
+        return "ok", fragment, build_seconds, rank_seconds
+
+    def gather(
+        self,
+        query: ExploratoryQuery,
+        method: str = "reliability",
+        options: Optional[Mapping[str, object]] = None,
+        builder: Optional[str] = None,
+        max_workers: Optional[int] = None,
+    ) -> GatherResult:
+        """Scatter ``query`` to its relevant shards, rank each shard's
+        graph, and merge the owned fragments into one result whose
+        ordering, rank intervals and tie groups match the single-engine
+        execution exactly."""
+        options = dict(options or {})
+        canonical = resolve_method(method)
+        relevant = self.router.relevant_shards(query)
+        workers = len(relevant) if max_workers is None else max_workers
+        def run(shard: int) -> Tuple[str, object, float, float]:
+            return self._run_shard(shard, query, canonical, options, builder)
+
+        if workers >= len(relevant) > 1:
+            outcomes = list(self._scatter_pool().map(run, relevant))
+        elif workers > 1 and len(relevant) > 1:
+            # a narrower-than-shard-count worker budget gets its own
+            # exactly-sized pool (rare configuration, cold path anyway)
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                outcomes = list(pool.map(run, relevant))
+        else:
+            outcomes = [
+                self._run_shard(shard, query, canonical, options, builder)
+                for shard in relevant
+            ]
+
+        fragments: List[ShardFragment] = []
+        empties: List[Tuple[int, EmptyAnswerError]] = []
+        errors: List[Tuple[int, Exception]] = []
+        build_seconds = 0.0
+        rank_seconds = 0.0
+        for shard, (tag, payload, build_s, rank_s) in zip(relevant, outcomes):
+            build_seconds = max(build_seconds, build_s)
+            rank_seconds = max(rank_seconds, rank_s)
+            if tag == "ok":
+                fragments.append(payload)
+            elif tag == "empty":
+                empties.append((shard, payload))
+                fragments.append(
+                    ShardFragment(shard=shard, graph=None, empty_kind=payload.kind)
+                )
+            else:
+                errors.append((shard, payload))
+
+        if errors:
+            # every shard failing identically is a query-level error
+            # (bad options, unknown attribute, ...): surface it as the
+            # single engine would. A *partial* failure is shard
+            # infrastructure trouble: wrap it, naming the shard.
+            first_shard, first_error = errors[0]
+            deterministic = len(errors) == len(relevant) and all(
+                type(err) is type(first_error) and str(err) == str(first_error)
+                for _, err in errors
+            )
+            if deterministic:
+                raise first_error
+            raise QueryError(
+                f"shard {first_shard} failed during scatter/gather: "
+                f"{first_error}"
+            ) from first_error
+
+        merged: Dict[NodeId, float] = {}
+        owners: Dict[NodeId, QueryGraph] = {}
+        for fragment in fragments:
+            for node, score in fragment.scores.items():
+                if node in owners:
+                    raise RankingError(
+                        f"answer {node!r} gathered from two shards; the "
+                        f"partitioner is not a partition"
+                    )
+                merged[node] = score
+                owners[node] = fragment.graph
+        if not merged:
+            if not empties:  # unreachable unless ownership is broken
+                raise QueryError("no shard produced answers")
+            # every shard's partition was empty: re-raise the error the
+            # single engine would have produced — the one whose
+            # execution got furthest
+            _, best = max(
+                empties, key=lambda item: _EMPTY_PRIORITY[item[1].kind]
+            )
+            raise best
+
+        populated = [f for f in fragments if f.graph is not None]
+        return GatherResult(
+            ranked=RankedResult(method=canonical, scores=merged),
+            owners=owners,
+            source=populated[0].graph.source,
+            fragments=fragments,
+            build_stats=aggregate_build_stats(
+                [f.build_stats for f in populated]
+            ),
+            graph_cached=all(f.graph_cached for f in populated),
+            score_cached=all(f.score_cached for f in populated),
+            build_seconds=build_seconds,
+            rank_seconds=rank_seconds,
+        )
+
+    # -------------------------------------------------------------- #
+    # stats and lifecycle (aggregated over the children)
+    # -------------------------------------------------------------- #
+
+    @property
+    def stats(self) -> EngineStats:
+        """Aggregated cache counters (a fresh snapshot; per-shard live
+        counters are on ``engines[i].stats``)."""
+        return self.stats_snapshot()
+
+    def stats_snapshot(self) -> EngineStats:
+        return EngineStats.aggregate(
+            engine.stats_snapshot() for engine in self.engines
+        )
+
+    def shard_stats(self) -> List[EngineStats]:
+        """Per-shard snapshots, shard order."""
+        return [engine.stats_snapshot() for engine in self.engines]
+
+    def reset_stats(self) -> None:
+        for engine in self.engines:
+            engine.reset_stats()
+
+    def _scatter_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.shards,
+                    thread_name_prefix="shard-gather",
+                )
+            return self._pool
+
+    def invalidate(self) -> None:
+        for engine in self.engines:
+            engine.invalidate()
+
+    def close(self) -> None:
+        """Release the scatter pool and drop every child's caches."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+        self.invalidate()
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShardedEngine shards={self.shards} "
+            f"partitioner={self.router.partitioner!r}>"
+        )

@@ -17,6 +17,7 @@ __all__ = [
     "GraphError",
     "CycleError",
     "QueryError",
+    "EmptyAnswerError",
     "RankingError",
 ]
 
@@ -51,6 +52,28 @@ class CycleError(GraphError):
 
 class QueryError(ReproError):
     """An exploratory query could not be executed against the mediator."""
+
+
+class EmptyAnswerError(QueryError):
+    """A well-formed query produced an empty answer set.
+
+    ``kind`` says at which stage emptiness surfaced — ``"no-seeds"``
+    (no record matches the predicate), ``"dangling-seeds"`` (every
+    matching record was dangling) or ``"no-answers"`` (the expansion
+    reached no record of any output set). The sharded scatter/gather
+    executor relies on the distinction: a shard whose *partition* is
+    empty is an empty result fragment, not a failure, and only when
+    every shard comes back empty is the single-engine error re-raised.
+    """
+
+    #: emptiness kinds, ordered by how far execution got
+    KINDS = ("no-seeds", "dangling-seeds", "no-answers")
+
+    def __init__(self, message: str, kind: str = "no-answers"):
+        super().__init__(message)
+        if kind not in self.KINDS:
+            raise ValueError(f"unknown emptiness kind {kind!r}")
+        self.kind = kind
 
 
 class RankingError(ReproError):

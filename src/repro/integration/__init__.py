@@ -35,6 +35,11 @@ from repro.integration.builder import (
     EntityGraphBuilder,
 )
 from repro.integration.query import BUILDERS, ExploratoryQuery
+from repro.integration.partition import (
+    ShardTableView,
+    partition_mediator,
+    sink_entity_sets,
+)
 
 __all__ = [
     "AMIGO_EVIDENCE_PR",
@@ -55,4 +60,7 @@ __all__ = [
     "EntityGraphBuilder",
     "BUILDERS",
     "ExploratoryQuery",
+    "ShardTableView",
+    "partition_mediator",
+    "sink_entity_sets",
 ]

@@ -1,0 +1,255 @@
+"""Mediator partition views: one shard's slice of a mediated schema.
+
+A sharded deployment runs N :class:`~repro.engine.RankingEngine`\\ s,
+each over its own :class:`~repro.integration.mediator.Mediator`. When
+the shards are *derived* from one existing mediator (rather than built
+over physically pre-partitioned databases, as
+:func:`repro.workloads.mediated_layers` does with ``shards=``), this
+module builds the per-shard mediators as **views**: every source is
+re-exported unchanged except that the entity tables of *partitioned*
+entity sets are wrapped in a :class:`ShardTableView` that filters rows
+to the shard's partition.
+
+Which entity sets may be partitioned is not a free choice. Every
+ranking method of :mod:`repro.core` scores a node from its *ancestor*
+subgraph only (incoming edges, paths from the query node), so a shard's
+scores equal the single-engine scores exactly if and only if each owned
+answer's ancestor closure is shard-complete. Partitioning an entity set
+with **no outgoing relationship bindings** (a traversal *sink*)
+guarantees this: dropping another shard's sink records removes only
+leaf nodes and their incident incoming edges, never an ancestor of a
+surviving node. :func:`sink_entity_sets` computes the partitionable
+sets and :func:`partition_mediator` enforces the rule.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterator, List, Sequence, Set, Tuple
+
+from repro.errors import QueryError, SchemaError
+from repro.integration.mediator import Mediator
+from repro.integration.sources import DataSource
+from repro.storage.table import Row, Table
+
+__all__ = [
+    "ShardTableView",
+    "partition_mediator",
+    "sink_entity_sets",
+]
+
+
+class ShardTableView:
+    """A read-only, row-filtered view of one entity table.
+
+    The view serves the retrieval surface the mediator and the graph
+    builders use (``lookup`` / ``lookup_many`` / ``lookup_in`` /
+    ``rows`` / ``scan`` / ``column_names`` / ``version``), filtering
+    out every row whose key-column value is owned by another shard.
+    Mutations go through the *base* table (views share physical
+    storage); the delegated ``version`` counter therefore bumps every
+    shard's mediator epoch on any base-table change.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        entity_set: str,
+        key_column: str,
+        shard: int,
+        partitioner,
+    ):
+        self._table = table
+        self._entity_set = entity_set
+        self._key_column = key_column
+        self._shard = shard
+        self._partitioner = partitioner
+
+    # ------------------------------------------------------------------ #
+    # delegated schema surface
+    # ------------------------------------------------------------------ #
+
+    @property
+    def name(self) -> str:
+        return self._table.name
+
+    @property
+    def columns(self):
+        return self._table.columns
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        return self._table.column_names
+
+    @property
+    def primary_key(self):
+        return self._table.primary_key
+
+    @property
+    def version(self) -> int:
+        """The *base* table's mutation counter — any change to the
+        shared physical table invalidates every shard's cached graphs."""
+        return self._table.version
+
+    @property
+    def base(self) -> Table:
+        """The unfiltered table behind this view."""
+        return self._table
+
+    # ------------------------------------------------------------------ #
+    # filtered retrieval
+    # ------------------------------------------------------------------ #
+
+    def _owned(self, row: Row) -> bool:
+        return (
+            self._partitioner.owner(self._entity_set, row[self._key_column])
+            == self._shard
+        )
+
+    def lookup(self, columns: Sequence[str], values: Sequence[Any]) -> List[Row]:
+        return [row for row in self._table.lookup(columns, values) if self._owned(row)]
+
+    def lookup_many(
+        self, columns: Sequence[str], values_list: Sequence[Any]
+    ) -> Dict[Hashable, List[Row]]:
+        grouped = self._table.lookup_many(columns, values_list)
+        filtered: Dict[Hashable, List[Row]] = {}
+        for key, rows in grouped.items():
+            owned = [row for row in rows if self._owned(row)]
+            if owned:
+                filtered[key] = owned
+        return filtered
+
+    def lookup_in(
+        self, columns: Sequence[str], values_list: Sequence[Any]
+    ) -> Set[Hashable]:
+        # existence must reflect the filter, so this probes rows (the
+        # membership fast path of the base table cannot be reused)
+        return set(self.lookup_many(columns, values_list))
+
+    def rows(self) -> Iterator[Row]:
+        for row in self._table.rows():
+            if self._owned(row):
+                yield row
+
+    def scan(self, predicate) -> List[Row]:
+        return [row for row in self._table.scan(predicate) if self._owned(row)]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.rows())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardTableView({self._table.name!r}, shard={self._shard}, "
+            f"set={self._entity_set!r})"
+        )
+
+
+class _ShardDatabaseView:
+    """Delegates ``table()`` to the base database, substituting the
+    shard views of partitioned entity tables. Each view is created once
+    so the mediator's identity-keyed bookkeeping (epoch table watching)
+    sees a stable object."""
+
+    def __init__(self, database, views: Dict[str, ShardTableView]):
+        self._database = database
+        self._views = views
+        self.name = database.name
+        self.storage = database.storage
+
+    def table(self, name: str):
+        view = self._views.get(name)
+        return view if view is not None else self._database.table(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._database
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ShardDatabaseView of {self._database!r}>"
+
+
+def sink_entity_sets(mediator: Mediator) -> Set[str]:
+    """The entity sets safe to partition: those with no outgoing
+    relationship bindings (traversal sinks), whose records are always
+    leaves of any materialised query graph."""
+    return {
+        binding.entity_set
+        for source in mediator.sources
+        for binding in source.entities
+        if not mediator.outgoing_bindings(binding.entity_set)
+    }
+
+
+def partition_mediator(
+    mediator: Mediator,
+    shards: int,
+    partitioner,
+    partition_sets: Sequence[str] = None,
+) -> List[Mediator]:
+    """Build ``shards`` mediator views over ``mediator``'s sources.
+
+    ``partition_sets`` names the entity sets whose tables are filtered
+    per shard; it defaults to every sink set. Naming a non-sink set
+    raises: its records can be ancestors of other nodes, so filtering
+    them would change the scores of surviving answers and break the
+    scatter/gather equivalence guarantee.
+
+    The returned mediators share ``mediator``'s confidence registry
+    (tuning propagates to every shard) and its physical tables — only
+    partitioned entity tables are wrapped in filtering views.
+    """
+    if shards < 1:
+        raise QueryError(f"shard count must be >= 1, got {shards}")
+    sinks = sink_entity_sets(mediator)
+    if partition_sets is None:
+        chosen = sinks
+    else:
+        chosen = set(partition_sets)
+        unknown = sorted(
+            s for s in chosen
+            if all(
+                binding.entity_set != s
+                for source in mediator.sources
+                for binding in source.entities
+            )
+        )
+        if unknown:
+            raise QueryError(
+                f"cannot partition unknown entity set(s) {unknown}"
+            )
+        non_sinks = sorted(chosen - sinks)
+        if non_sinks:
+            raise SchemaError(
+                f"entity set(s) {non_sinks} have outgoing relationship "
+                f"bindings; partitioning a non-sink set breaks the "
+                f"ancestor-closure guarantee that makes sharded scores "
+                f"equal single-engine scores (see docs/architecture.md)"
+            )
+
+    per_shard: List[Mediator] = []
+    for shard in range(shards):
+        child = Mediator(confidences=mediator.confidences)
+        for source in mediator.sources:
+            views: Dict[str, ShardTableView] = {}
+            for binding in source.entities:
+                if binding.entity_set in chosen:
+                    views[binding.table] = ShardTableView(
+                        source.database.table(binding.table),
+                        binding.entity_set,
+                        binding.key_column,
+                        shard,
+                        partitioner,
+                    )
+            if views:
+                database = _ShardDatabaseView(source.database, views)
+            else:
+                database = source.database
+            child.register(
+                DataSource(
+                    name=source.name,
+                    database=database,
+                    entities=source.entities,
+                    relationships=source.relationships,
+                )
+            )
+        per_shard.append(child)
+    return per_shard

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import FrozenSet, Hashable, Iterable, List, Tuple
 
 from repro.core.graph import QueryGraph
-from repro.errors import QueryError
+from repro.errors import EmptyAnswerError, QueryError
 from repro.integration.builder import (
     QUERY_ENTITY_SET,
     BatchedEntityGraphBuilder,
@@ -76,8 +76,9 @@ def select_answers(
         node for node in candidates if graph.data(node).entity_set in wanted
     ]
     if not answers:
-        raise QueryError(
-            f"query reached no records in output sets {sorted(wanted)}"
+        raise EmptyAnswerError(
+            f"query reached no records in output sets {sorted(wanted)}",
+            kind="no-answers",
         )
     return answers
 
@@ -141,9 +142,10 @@ class ExploratoryQuery:
         plan = mediator.entity_plan(self.entity_set)
         seeds = mediator.find_records(self.entity_set, self.attribute, self.value)
         if not seeds:
-            raise QueryError(
+            raise EmptyAnswerError(
                 f"no {self.entity_set!r} record has "
-                f"{self.attribute} = {self.value!r}"
+                f"{self.attribute} = {self.value!r}",
+                kind="no-seeds",
             )
 
         graph_builder = builder_cls(mediator)
@@ -167,8 +169,9 @@ class ExploratoryQuery:
             graph_builder.stats.edges += 1
             seed_ids.append(seed_id)
         if not seed_ids:
-            raise QueryError(
-                f"all seed records of {self.entity_set!r} were dangling"
+            raise EmptyAnswerError(
+                f"all seed records of {self.entity_set!r} were dangling",
+                kind="dangling-seeds",
             )
 
         graph_builder.expand_from(seed_ids)

@@ -91,6 +91,24 @@ class StorageBackend(ABC):
     def insert(self, row_id: int, row: Dict[str, Any]) -> None:
         """Store ``row`` under ``row_id``; atomic under unique violations."""
 
+    def insert_rows(self, rows: Sequence[Tuple[int, Dict[str, Any]]]) -> None:
+        """Bulk insert: store every ``(row_id, row)`` pair, atomically —
+        a failure rolls the whole batch back.
+
+        The default loops :meth:`insert` and undoes the inserted prefix
+        on error; backends with a cheaper bulk path (one SQLite
+        transaction with ``executemany``) override it.
+        """
+        inserted: List[int] = []
+        try:
+            for row_id, row in rows:
+                self.insert(row_id, row)
+                inserted.append(row_id)
+        except Exception:
+            for row_id in reversed(inserted):
+                self.delete(row_id)
+            raise
+
     @abstractmethod
     def delete(self, row_id: int) -> None:
         """Remove the row; :class:`StorageError` when the id is unknown."""

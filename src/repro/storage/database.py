@@ -117,12 +117,49 @@ class Database:
     def insert_many(
         self, table_name: str, rows: Iterable[Mapping[str, Any]]
     ) -> int:
-        """Insert a batch of rows; returns the number inserted."""
-        count = 0
-        for row in rows:
-            self.insert(table_name, row)
-            count += 1
-        return count
+        """Insert a batch of rows; returns the number inserted.
+
+        Set-at-a-time fast path: foreign keys are checked with one
+        batched existence probe per constraint
+        (:meth:`~repro.storage.table.Table.lookup_in`) and the physical
+        writes go through the backend's bulk insert — a single
+        ``executemany`` transaction under SQLite, several-fold faster
+        than the row-at-a-time loop on large generated sources. The
+        batch is atomic: any violation leaves the table unchanged.
+
+        (Check-then-insert is equivalent to the historical row-at-a-time
+        interleaving because foreign keys can only reference *other*,
+        pre-existing tables — ``create_table`` rejects self-references —
+        so a batch can never satisfy its own constraints.)
+        """
+        rows = list(rows)
+        if not rows:
+            return 0
+        table = self.table(table_name)
+        for fk in table.foreign_keys:
+            probes = []
+            for row in rows:
+                values = tuple(row.get(column) for column in fk.columns)
+                if any(value is None for value in values):
+                    continue  # null FK components opt out of the check
+                probes.append(values)
+            if not probes:
+                continue
+            ref = self.table(fk.ref_table)
+            present = ref.lookup_in(fk.ref_columns, probes)
+            single = len(fk.ref_columns) == 1
+            missing = [
+                values
+                for values in probes
+                if (values[0] if single else values) not in present
+            ]
+            if missing:
+                raise IntegrityError(
+                    f"table {table_name!r}: foreign key {fk.columns!r} = "
+                    f"{missing[0]!r} has no match in {fk.ref_table!r}"
+                )
+        table.insert_many(rows)
+        return len(rows)
 
     def close(self) -> None:
         """Release backend resources (the shared SQLite connection)."""

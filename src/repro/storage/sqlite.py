@@ -107,6 +107,20 @@ class SQLiteStore:
         with self.lock:
             return self._conn.execute(sql, params).rowcount
 
+    def executemany(self, sql: str, params_seq: Sequence[Sequence[Any]]) -> None:
+        """Run one statement over a parameter batch inside a single
+        explicit transaction (the connection is otherwise in autocommit
+        mode, so a bare ``executemany`` would commit per statement).
+        Any failure rolls the whole batch back."""
+        with self.lock:
+            self._conn.execute("BEGIN")
+            try:
+                self._conn.executemany(sql, params_seq)
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+            self._conn.execute("COMMIT")
+
     def scalar(self, sql: str, params: Sequence[Any] = ()) -> Any:
         with self.lock:
             return self._conn.execute(sql, params).fetchone()[0]
@@ -278,6 +292,23 @@ class SQLiteBackend(StorageBackend):
             # the table (and every other index) unchanged
             raise IntegrityError(
                 f"unique index violation in table {self._table!r}: {exc}"
+            ) from None
+
+    def insert_rows(self, rows) -> None:
+        """The ``executemany`` fast path: the whole batch is one SQL
+        statement in one transaction — no per-row Python/SQL round trip,
+        no per-row implicit commit — and rolls back atomically on a
+        unique violation."""
+        params_seq = [
+            [row_id] + [self._encode(row[name]) for name in self._names]
+            for row_id, row in rows
+        ]
+        try:
+            self._store.executemany(self._insert_sql, params_seq)
+        except sqlite3.IntegrityError as exc:
+            raise IntegrityError(
+                f"unique index violation in table {self._table!r} during "
+                f"bulk insert: {exc}"
             ) from None
 
     def delete(self, row_id: int) -> None:

@@ -24,6 +24,7 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.api import EngineConfig, QuerySpec, Session
+from repro.engine.sharded import HashPartitioner, ShardRouter
 from repro.errors import ValidationError
 from repro.integration.mediator import Mediator
 from repro.integration.probability import ConfidenceRegistry
@@ -54,15 +55,46 @@ class MediatedWorkload:
     #: the per-layer source databases (root layer first) — kept so
     #: persistent backends can be released via :meth:`close`
     databases: tuple = ()
+    #: number of scatter/gather shards the workload was generated for
+    shards: int = 1
+    #: pre-wired shard router (``shards > 1`` only): per-shard mediators
+    #: over the pre-partitioned answer-layer databases
+    router: Optional[ShardRouter] = None
+    #: the per-shard databases of the partitioned layer (``shards > 1``)
+    shard_databases: tuple = ()
 
     def close(self) -> None:
         """Release the layers' storage resources (SQLite connections)."""
         for db in self.databases:
             db.close()
+        for db in self.shard_databases:
+            db.close()
 
-    def open_session(self, config: Optional[EngineConfig] = None) -> Session:
-        """A :class:`~repro.api.Session` over this workload's mediator."""
-        return Session(mediator=self.mediator, config=config)
+    def open_session(
+        self,
+        config: Optional[EngineConfig] = None,
+        sharded: Optional[bool] = None,
+    ) -> Session:
+        """A :class:`~repro.api.Session` over this workload.
+
+        A workload generated with ``shards > 1`` opens a scatter/gather
+        session over its pre-partitioned shard mediators by default;
+        ``sharded=False`` forces the single-engine reference path over
+        the full mediator (what the cross-shard equivalence suite
+        compares against).
+        """
+        if sharded is None:
+            sharded = self.shards > 1
+        if sharded and self.router is None:
+            raise ValidationError(
+                "this workload was generated unsharded; regenerate with "
+                "mediated_layers(shards=N) for a sharded session"
+            )
+        return Session(
+            mediator=self.mediator,
+            config=config,
+            router=self.router if sharded else None,
+        )
 
     def spec(
         self,
@@ -136,6 +168,7 @@ def mediated_layers(
     cyclic: bool = False,
     storage: str = "memory",
     storage_path: Optional[object] = None,
+    shards: int = 1,
 ) -> MediatedWorkload:
     """Build a layered mediated schema and its exploratory query.
 
@@ -156,6 +189,17 @@ def mediated_layers(
     serving workloads are generated once and re-served from disk
     through the engine's warm query cache. Call
     :meth:`MediatedWorkload.close` to release the SQLite connections.
+
+    ``shards=N`` additionally pre-partitions the *answer layer* (the
+    last entity set — the only traversal sink, hence the only safely
+    partitionable set): each shard ``s`` gets its own database holding
+    the rows a :class:`~repro.engine.HashPartitioner` assigns to it
+    (persisted as ``<storage_path>/layer<i>.shard<s>.sqlite`` under
+    SQLite), and the workload carries a ready
+    :class:`~repro.engine.ShardRouter` whose per-shard mediators serve
+    :meth:`MediatedWorkload.open_session`'s scatter/gather sessions.
+    The full (unsharded) layer databases are still generated — they are
+    the single-engine reference the equivalence suite compares against.
     """
     if layers < 2:
         raise ValidationError(f"mediated workload needs >= 2 layers, got {layers}")
@@ -164,10 +208,21 @@ def mediated_layers(
         raise ValidationError(
             f"storage_path only applies to storage='sqlite', not {storage!r}"
         )
+    if not isinstance(shards, int) or shards < 1:
+        raise ValidationError(f"shards must be a positive integer, got {shards!r}")
+    if shards > 1 and cyclic:
+        raise ValidationError(
+            "a cyclic workload cannot be sharded: the back-edges make the "
+            "last layer a non-sink, so partitioning it would change the "
+            "surviving answers' ancestor subgraphs"
+        )
     random = ensure_rng(rng)
+    partitioner = HashPartitioner(shards) if shards > 1 else None
     entity_sets = tuple(f"E{i}" for i in range(layers))
     sources = []
     databases = []
+    shard_databases = []
+    shard_last_sources = []
     total_records = 0
     total_links = 0
 
@@ -198,15 +253,76 @@ def mediated_layers(
         # the rng stream (and any freshly generated sibling layer)
         # stays aligned with a from-scratch run
         adopt_ents = _adoptable(ents, width)
-        for j in range(width):
-            row = {
+        ent_rows = [
+            {
                 "id": f"{entity_set}:{j}",
                 "root": i == 0 and j < seeds,
                 "w": random.uniform(*_WEIGHT_RANGE),
             }
-            if not adopt_ents:
-                db.insert("ents", row)
+            for j in range(width)
+        ]
+        if not adopt_ents:
+            db.insert_many("ents", ent_rows)
         total_records += len(ents)
+
+        # the answer layer is additionally pre-partitioned: one
+        # database per shard holding the rows that shard owns
+        if partitioner is not None and i == layers - 1:
+            owned_rows = [
+                [
+                    row
+                    for row in ent_rows
+                    if partitioner.owner(entity_set, row["id"]) == s
+                ]
+                for s in range(shards)
+            ]
+            for s in range(shards):
+                shard_db = Database(
+                    f"layer{i}_shard{s}",
+                    storage=storage,
+                    storage_path=(
+                        directory / f"layer{i}.shard{s}.sqlite"
+                        if directory is not None
+                        else None
+                    ),
+                )
+                shard_databases.append(shard_db)
+                shard_ents = shard_db.create_table(
+                    "ents",
+                    columns=[
+                        Column("id", ColumnType.TEXT),
+                        Column("root", ColumnType.BOOL),
+                        Column("w", ColumnType.FLOAT),
+                    ],
+                    primary_key=["id"],
+                )
+                if _adoptable(shard_ents, len(owned_rows[s])):
+                    # a row-count match is not enough: a stale file from
+                    # a run with a different ``shards=`` can coincide in
+                    # size while holding the wrong partition, which
+                    # would silently drop answers from sharded results
+                    persisted = {row["id"] for row in shard_ents.rows()}
+                    expected = {row["id"] for row in owned_rows[s]}
+                    if persisted != expected:
+                        raise ValidationError(
+                            f"persisted shard table "
+                            f"{shard_db.name!r}.ents holds a different "
+                            f"partition than shards={shards} assigns; it "
+                            f"was generated with different parameters — "
+                            f"delete the *.shard*.sqlite files and "
+                            f"regenerate"
+                        )
+                else:
+                    shard_db.insert_many("ents", owned_rows[s])
+                shard_last_sources.append(
+                    DataSource(
+                        name=f"Layer{i}",
+                        database=shard_db,
+                        entities=(
+                            EntityBinding(entity_set, "ents", "id", pr=_row_weight),
+                        ),
+                    )
+                )
 
         rel_targets = []
         if i + 1 < layers:
@@ -227,19 +343,22 @@ def mediated_layers(
             if index_links:
                 links.create_index("by_src", ["src"])
             adopt_links = _adoptable(links, width * fan_out)
+            link_rows = []
             for j in range(width):
                 for _ in range(fan_out):
                     if dangling_rate and random.random() < dangling_rate:
                         dst = f"{target_set}:ghost{random.randrange(10**6)}"
                     else:
                         dst = f"{target_set}:{random.randrange(width)}"
-                    row = {
-                        "src": f"{entity_set}:{j}",
-                        "dst": dst,
-                        "w": random.uniform(*_WEIGHT_RANGE),
-                    }
-                    if not adopt_links:
-                        db.insert(table_name, row)
+                    link_rows.append(
+                        {
+                            "src": f"{entity_set}:{j}",
+                            "dst": dst,
+                            "w": random.uniform(*_WEIGHT_RANGE),
+                        }
+                    )
+            if not adopt_links:
+                db.insert_many(table_name, link_rows)
             total_links += len(links)
             relationships.append(
                 RelationshipBinding(
@@ -271,6 +390,23 @@ def mediated_layers(
     query = ExploratoryQuery(
         entity_sets[0], "root", True, outputs=(entity_sets[-1],)
     )
+
+    router = None
+    if partitioner is not None:
+        # one mediator per shard: the replicated layers' sources are
+        # shared objects (shared physical storage), the answer layer is
+        # that shard's pre-partitioned database; tuning the shared
+        # confidence registry reaches every shard
+        shard_mediators = []
+        for s in range(shards):
+            shard_mediator = Mediator(confidences=confidences)
+            for source in sources[:-1]:
+                shard_mediator.register(source)
+            shard_mediator.register(shard_last_sources[s])
+            shard_mediators.append(shard_mediator)
+        router = ShardRouter(
+            shard_mediators, partitioner, {entity_sets[-1]: "id"}
+        )
     return MediatedWorkload(
         mediator=mediator,
         query=query,
@@ -278,4 +414,7 @@ def mediated_layers(
         total_records=total_records,
         total_links=total_links,
         databases=tuple(databases),
+        shards=shards,
+        router=router,
+        shard_databases=tuple(shard_databases),
     )

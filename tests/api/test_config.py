@@ -124,3 +124,22 @@ class TestEngineConfig:
     def test_round_trip(self):
         config = EngineConfig(backend="reference", max_workers=2)
         assert EngineConfig.from_dict(config.as_dict()) == config
+
+    def test_shards_default_to_single_engine(self):
+        config = EngineConfig()
+        assert config.shards == 1
+        assert config.partitioner == "hash"
+
+    @pytest.mark.parametrize("shards", [0, -2, 1.5, "two"])
+    def test_bad_shards(self, shards):
+        with pytest.raises(RankingError, match="shards"):
+            EngineConfig(shards=shards)
+
+    def test_bad_partitioner(self):
+        with pytest.raises(RankingError, match="unknown partitioner"):
+            EngineConfig(partitioner="modulo")
+
+    def test_sharded_round_trip(self):
+        config = EngineConfig(shards=4, partitioner="range")
+        assert config.as_dict()["shards"] == 4
+        assert EngineConfig.from_dict(config.as_dict()) == config

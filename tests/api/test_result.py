@@ -97,6 +97,57 @@ class TestPagination:
             tied_results.to_dict(limit=n)
 
 
+class TestPaginationBoundaries:
+    """Regression coverage for the paging edge cases: zero sizes, pages
+    past the end, and pages straddling a tie group."""
+
+    def test_size_zero_is_rejected_with_actionable_message(self, tied_results):
+        with pytest.raises(ValidationError, match="page size"):
+            tied_results.page(1, size=0)
+
+    def test_page_past_end_keeps_consistent_navigation(self, tied_results):
+        page = tied_results.page(99, size=2)
+        assert page.entities == ()
+        assert page.number == 99
+        assert page.total_results == 5
+        assert page.total_pages == 3
+        # past the end nothing follows, and the totals point the client
+        # back to the real last page
+        assert not page.has_next
+        assert page.has_previous
+
+    def test_exact_boundary_page_is_last(self, tied_results):
+        # 5 results, size 5: page 1 is full and final, page 2 is empty
+        full = tied_results.page(1, size=5)
+        assert len(full) == 5
+        assert full.total_pages == 1
+        assert not full.has_next
+        empty = tied_results.page(2, size=5)
+        assert len(empty) == 0
+        assert not empty.has_next
+
+    def test_page_straddling_a_tie_group(self, tied_results):
+        """The three-way tie (ranks 2-4) is split across pages 1 and 2;
+        every member keeps its *global* rank interval, and the page cut
+        never reorders within the tie."""
+        first = tied_results.page(1, size=3)
+        second = tied_results.page(2, size=3)
+        labels = [e.label for e in first] + [e.label for e in second]
+        assert labels == [e.label for e in tied_results.entities]
+        straddlers = [e for e in list(first) + list(second) if e.is_tied]
+        assert len(straddlers) == 3
+        assert {e.rank_interval for e in straddlers} == {(2, 4)}
+        # the straddled tie group is intact in the tie view
+        assert [len(g) for g in tied_results.tie_groups()] == [1, 3, 1]
+
+    def test_size_one_pages_enumerate_every_entity(self, tied_results):
+        pages = [tied_results.page(n, size=1) for n in range(1, 6)]
+        assert all(len(page) == 1 for page in pages)
+        assert pages[0].total_pages == 5
+        assert [page.entities[0].rank for page in pages] == [1, 2, 3, 4, 5]
+        assert not pages[-1].has_next
+
+
 class TestProvenanceAndExport:
     def test_provenance_paths(self, tied_results):
         paths = tied_results.provenance("e", top=2)

@@ -10,6 +10,7 @@ import repro
 import repro.api
 
 #: the frozen repro.api surface — update deliberately, with a changelog
+#: (ShardedResultSet added with the scatter/gather sharding layer)
 API_SURFACE = [
     "EngineConfig",
     "Explanation",
@@ -20,6 +21,7 @@ API_SURFACE = [
     "ResultPage",
     "ResultSet",
     "Session",
+    "ShardedResultSet",
     "open_session",
 ]
 

@@ -1,0 +1,28 @@
+"""Hypothesis profiles for the property suites.
+
+The ``ci`` profile is what the dedicated CI property job runs
+(``HYPOTHESIS_PROFILE=ci pytest tests/property``): derandomized (a
+fixed seed derived from each test, so every push checks the same
+example corpus) and bounded, making the cross-shard equivalence gate
+deterministic and fast. The default profile keeps hypothesis's random
+exploration for local runs.
+
+Per-test ``@settings(...)`` decorators override individual fields;
+tests that want the profile to control their example budget simply
+don't pin ``max_examples``.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", max_examples=20, deadline=None)
+settings.register_profile("stress", max_examples=300, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))

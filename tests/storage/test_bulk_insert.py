@@ -1,0 +1,154 @@
+"""Tests for the set-at-a-time bulk-insert fast path.
+
+``Database.insert_many`` batches the foreign-key existence probes and
+hands the physical writes to the backend's bulk path (one
+``executemany`` transaction under SQLite). The observable contract:
+identical rows/ids/versions to a loop of ``insert``, plus whole-batch
+atomicity on violations.
+"""
+
+import pytest
+
+from repro.errors import IntegrityError, StorageError
+from repro.storage import Column, ColumnType, Database, ForeignKey
+from repro.storage.backends import STORAGE_BACKENDS
+
+
+@pytest.fixture(params=STORAGE_BACKENDS)
+def db(request) -> Database:
+    database = Database("bulk", storage=request.param)
+    database.create_table(
+        "genes",
+        columns=[Column("gid", ColumnType.TEXT)],
+        primary_key=["gid"],
+    )
+    database.create_table(
+        "annotations",
+        columns=[
+            Column("gid", ColumnType.TEXT),
+            Column("term", ColumnType.TEXT),
+        ],
+        foreign_keys=[ForeignKey(("gid",), "genes", ("gid",))],
+    )
+    yield database
+    database.close()
+
+
+class TestTableInsertMany:
+    def test_matches_loop_of_inserts(self, db):
+        table = db.table("genes")
+        ids = table.insert_many([{"gid": f"G{i}"} for i in range(5)])
+        assert ids == list(range(5))
+        assert [row["gid"] for row in table.rows()] == [f"G{i}" for i in range(5)]
+        assert list(table.row_ids()) == ids
+
+    def test_version_bumps_by_batch_size(self, db):
+        table = db.table("genes")
+        before = table.version
+        table.insert_many([{"gid": f"G{i}"} for i in range(4)])
+        assert table.version == before + 4
+
+    def test_unknown_column_rejected_before_any_write(self, db):
+        table = db.table("genes")
+        with pytest.raises(StorageError):
+            table.insert_many([{"gid": "G1"}, {"gid": "G2", "nope": 1}])
+        assert len(table) == 0
+
+    def test_unique_violation_rolls_back_whole_batch(self, db):
+        table = db.table("genes")
+        table.insert({"gid": "G0"})
+        version = table.version
+        with pytest.raises(IntegrityError):
+            table.insert_many([{"gid": "G1"}, {"gid": "G0"}, {"gid": "G2"}])
+        assert len(table) == 1
+        assert table.version == version
+        # ids keep flowing contiguously after the rollback
+        assert table.insert({"gid": "G3"}) == 1
+
+    def test_duplicate_within_batch_rolls_back(self, db):
+        table = db.table("genes")
+        with pytest.raises(IntegrityError):
+            table.insert_many([{"gid": "A"}, {"gid": "B"}, {"gid": "A"}])
+        assert len(table) == 0
+        assert list(table.rows()) == []
+
+    def test_empty_batch_is_a_no_op(self, db):
+        table = db.table("genes")
+        version = table.version
+        assert table.insert_many([]) == []
+        assert table.version == version
+
+
+class TestDatabaseInsertMany:
+    def test_batched_fk_check_passes(self, db):
+        db.insert_many("genes", [{"gid": f"G{i}"} for i in range(3)])
+        count = db.insert_many(
+            "annotations",
+            [{"gid": f"G{i % 3}", "term": f"GO:{i}"} for i in range(9)],
+        )
+        assert count == 9
+        assert len(db.table("annotations")) == 9
+
+    def test_missing_fk_rejected_without_partial_insert(self, db):
+        db.insert("genes", {"gid": "G1"})
+        with pytest.raises(IntegrityError):
+            db.insert_many(
+                "annotations",
+                [
+                    {"gid": "G1", "term": "GO:1"},
+                    {"gid": "GX", "term": "GO:2"},
+                ],
+            )
+        # the batch FK probe fires before any write: nothing landed
+        assert len(db.table("annotations")) == 0
+
+    def test_null_fk_components_skip_the_check(self, db):
+        db.create_table(
+            "optional",
+            columns=[Column("gid", ColumnType.TEXT, nullable=True)],
+            foreign_keys=[ForeignKey(("gid",), "genes", ("gid",))],
+        )
+        assert db.insert_many("optional", [{"gid": None}, {"gid": None}]) == 2
+
+    def test_composite_fk_batch_check(self, db):
+        db.create_table(
+            "pairs",
+            columns=[
+                Column("a", ColumnType.TEXT),
+                Column("b", ColumnType.TEXT),
+            ],
+            primary_key=["a", "b"],
+        )
+        db.insert("pairs", {"a": "x", "b": "y"})
+        db.create_table(
+            "uses",
+            columns=[
+                Column("a", ColumnType.TEXT),
+                Column("b", ColumnType.TEXT),
+            ],
+            foreign_keys=[ForeignKey(("a", "b"), "pairs", ("a", "b"))],
+        )
+        assert db.insert_many("uses", [{"a": "x", "b": "y"}] * 3) == 3
+        with pytest.raises(IntegrityError):
+            db.insert_many("uses", [{"a": "x", "b": "z"}])
+
+    def test_empty_iterable(self, db):
+        assert db.insert_many("genes", []) == 0
+
+
+def test_sqlite_bulk_survives_reattach(tmp_path):
+    path = tmp_path / "bulk.sqlite"
+    db = Database("bulk", storage="sqlite", storage_path=path)
+    db.create_table(
+        "genes", columns=[Column("gid", ColumnType.TEXT)], primary_key=["gid"]
+    )
+    db.insert_many("genes", [{"gid": f"G{i}"} for i in range(10)])
+    db.close()
+
+    again = Database("bulk", storage="sqlite", storage_path=path)
+    table = again.create_table(
+        "genes", columns=[Column("gid", ColumnType.TEXT)], primary_key=["gid"]
+    )
+    assert len(table) == 10
+    assert [row["gid"] for row in table.rows()] == [f"G{i}" for i in range(10)]
+    again.close()

@@ -1,0 +1,119 @@
+"""ShardTableView: filtered retrieval and version delegation.
+
+The partition view is the storage face of sharding-by-view (one
+mediator derived into N). Its contract: every retrieval path filters to
+the shard's owned rows, and mutations — which go through the *base*
+table — bump the delegated ``version`` counter, so every shard's
+mediator epoch (and therefore the engine query caches above) observes
+shared-storage changes.
+"""
+
+import pytest
+
+from repro.engine import HashPartitioner
+from repro.integration.partition import ShardTableView
+from repro.storage import Column, ColumnType, Database
+from repro.storage.backends import STORAGE_BACKENDS
+
+
+@pytest.fixture(params=STORAGE_BACKENDS)
+def base_db(request):
+    db = Database("views", storage=request.param)
+    db.create_table(
+        "ents",
+        columns=[
+            Column("id", ColumnType.TEXT),
+            Column("root", ColumnType.BOOL),
+        ],
+        primary_key=["id"],
+    )
+    for i in range(20):
+        db.insert("ents", {"id": f"E:{i}", "root": i < 2})
+    yield db
+    db.close()
+
+
+@pytest.fixture
+def base_table(base_db):
+    return base_db.table("ents")
+
+
+def _views(table, shards=2):
+    partitioner = HashPartitioner(shards)
+    return partitioner, [
+        ShardTableView(table, "E", "id", shard, partitioner)
+        for shard in range(shards)
+    ]
+
+
+class TestFiltering:
+    def test_views_partition_the_rows(self, base_table):
+        _, views = _views(base_table)
+        ids = [sorted(row["id"] for row in view.rows()) for view in views]
+        assert sorted(ids[0] + ids[1]) == sorted(
+            row["id"] for row in base_table.rows()
+        )
+        assert not set(ids[0]) & set(ids[1])
+        assert len(views[0]) + len(views[1]) == len(base_table)
+
+    def test_lookup_respects_ownership(self, base_table):
+        partitioner, views = _views(base_table)
+        for i in range(20):
+            key = f"E:{i}"
+            owner = partitioner.owner("E", key)
+            for shard, view in enumerate(views):
+                matches = view.lookup(("id",), (key,))
+                assert bool(matches) == (shard == owner)
+
+    def test_lookup_many_and_lookup_in_filter(self, base_table):
+        partitioner, views = _views(base_table)
+        keys = [f"E:{i}" for i in range(20)]
+        for shard, view in enumerate(views):
+            grouped = view.lookup_many(("id",), keys)
+            present = view.lookup_in(("id",), keys)
+            owned = {k for k in keys if partitioner.owner("E", k) == shard}
+            assert set(grouped) == owned == present
+
+    def test_non_key_lookup_still_filters_by_ownership(self, base_table):
+        partitioner, views = _views(base_table)
+        roots = [
+            row["id"] for view in views for row in view.lookup(("root",), (True,))
+        ]
+        assert sorted(roots) == ["E:0", "E:1"]
+
+    def test_schema_surface_delegates(self, base_table):
+        _, views = _views(base_table)
+        view = views[0]
+        assert view.column_names == base_table.column_names
+        assert view.name == base_table.name
+        assert view.primary_key == base_table.primary_key
+        assert view.base is base_table
+
+
+class TestVersionDelegation:
+    def test_base_mutation_bumps_every_view_version(self, base_table):
+        _, views = _views(base_table)
+        before = [view.version for view in views]
+        base_table.insert({"id": "E:new", "root": False})
+        assert [view.version for view in views] == [v + 1 for v in before]
+
+    def test_view_version_feeds_mediator_epoch(self, base_db, base_table):
+        """A partition-view mediator's epoch must move when the shared
+        base table changes — that is what keeps every shard's query
+        cache honest under shared-storage sharding."""
+        from repro.integration.mediator import Mediator
+        from repro.integration.partition import partition_mediator
+        from repro.integration.sources import DataSource, EntityBinding
+
+        mediator = Mediator()
+        mediator.register(
+            DataSource(
+                name="S",
+                database=base_db,
+                entities=(EntityBinding("E", "ents", "id"),),
+            )
+        )
+        shard_mediators = partition_mediator(mediator, 2, HashPartitioner(2))
+        epochs = [m.epoch for m in shard_mediators]
+        base_table.insert({"id": "E:epoch", "root": False})
+        assert [m.epoch for m in shard_mediators] == [e + 1 for e in epochs]
