@@ -195,10 +195,13 @@ class EngineConfig:
     max_workers: int = 4
     #: storage backend for databases created through this session
     #: (``Session.create_database`` and the workload generators):
-    #: ``"memory"`` | ``"sqlite"`` | ``"columnar"``
+    #: ``"memory"`` | ``"sqlite"`` | ``"columnar"`` | ``"vectorized"``
     storage: str = "memory"
-    #: directory for SQLite database files (one ``<name>.sqlite`` per
-    #: database); ``None`` keeps SQLite databases in process memory
+    #: persistence root for the disk-backed storage backends: one
+    #: ``<name>.sqlite`` file per database under SQLite, one
+    #: ``<name>/`` directory of memory-mapped ``.npy`` column files per
+    #: database under the vectorized backend; ``None`` keeps either
+    #: backend in process memory
     storage_path: Optional[str] = None
     #: number of scatter/gather shards; 1 (the default) runs the
     #: classic single engine, ``N > 1`` partitions the answer space
@@ -223,10 +226,13 @@ class EngineConfig:
                 f"unknown storage backend {self.storage!r}; choose from "
                 f"{list(STORAGE_BACKENDS)}"
             )
-        if self.storage_path is not None and self.storage != "sqlite":
+        if self.storage_path is not None and self.storage not in (
+            "sqlite",
+            "vectorized",
+        ):
             raise RankingError(
-                f"storage_path only applies to storage='sqlite', "
-                f"not {self.storage!r}"
+                f"storage_path only applies to storage='sqlite' or "
+                f"storage='vectorized', not {self.storage!r}"
             )
         for name in ("max_cached_graphs", "max_cached_scores"):
             value = getattr(self, name)
@@ -274,9 +280,11 @@ class EngineConfig:
         storage backend.
 
         For ``storage="sqlite"`` with a ``storage_path``, the database
-        persists to ``<storage_path>/<name>.sqlite`` (the directory is
-        created on demand); without a path, SQLite stays in process
-        memory. Example::
+        persists to ``<storage_path>/<name>.sqlite``; for
+        ``storage="vectorized"`` it persists to the
+        ``<storage_path>/<name>/`` directory of memory-mapped ``.npy``
+        column files (either parent is created on demand). Without a
+        path, both backends stay in process memory. Example::
 
             >>> EngineConfig(storage="columnar").make_database("src").storage
             'columnar'
@@ -284,10 +292,13 @@ class EngineConfig:
         from repro.storage.database import Database
 
         path = None
-        if self.storage == "sqlite" and self.storage_path is not None:
-            directory = Path(self.storage_path)
-            directory.mkdir(parents=True, exist_ok=True)
-            path = directory / f"{name}.sqlite"
+        if self.storage_path is not None:
+            if self.storage == "sqlite":
+                directory = Path(self.storage_path)
+                directory.mkdir(parents=True, exist_ok=True)
+                path = directory / f"{name}.sqlite"
+            elif self.storage == "vectorized":
+                path = Path(self.storage_path) / name
         return Database(name, storage=self.storage, storage_path=path)
 
     def as_dict(self) -> Dict[str, object]:

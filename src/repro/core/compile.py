@@ -174,6 +174,55 @@ class CompiledGraph:
             self._fingerprint_cache = digest.hexdigest()
         return self._fingerprint_cache
 
+    @staticmethod
+    def _merge_from_edge_log(
+        n: int, src: np.ndarray, dst: np.ndarray, qv: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The merged out-CSR straight from a builder edge log.
+
+        The log holds one entry per raw edge — ``(source ordinal,
+        target ordinal, q)`` in insertion order. A stable argsort by
+        source gives contiguous per-source blocks that keep insertion
+        order inside, so the first occurrence of each ``(src, dst)``
+        pair within that layout reproduces the dict walk's merged-entry
+        order exactly, and replaying each parallel group's ``q`` values
+        through the same sequential ``1 - (1 - m) * (1 - q)`` recurrence
+        (in insertion order, as Python floats) reproduces its merged
+        probability bit for bit.
+        """
+        order = np.argsort(src, kind="stable")
+        s = src[order]
+        d = dst[order]
+        q = qv[order]
+        codes = s * np.int64(n) + d
+        _, first_idx, inverse, counts = np.unique(
+            codes, return_index=True, return_inverse=True, return_counts=True
+        )
+        # output order: by source block, then first occurrence within it
+        group_order = np.argsort(first_idx, kind="stable")
+        first_sorted = first_idx[group_order]
+        out_targets = d[first_sorted]
+        out_src = s[first_sorted]
+        out_mult = counts[group_order].astype(np.int64)
+        merged = q[first_idx]  # exact for the (typical) singleton groups
+        multi = np.flatnonzero(counts > 1)
+        if multi.size:
+            order2 = np.argsort(inverse, kind="stable")
+            starts = np.zeros(len(counts) + 1, dtype=np.int64)
+            np.cumsum(counts, out=starts[1:])
+            positions = order2.tolist()
+            q_list = q.tolist()
+            for g in multi.tolist():
+                begin, end = int(starts[g]), int(starts[g + 1])
+                m = q_list[positions[begin]]
+                for i in range(begin + 1, end):
+                    m = 1.0 - (1.0 - m) * (1.0 - q_list[positions[i]])
+                merged[g] = m
+        out_q = merged[group_order]
+        out_offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(out_src, minlength=n), out=out_offsets[1:])
+        return out_offsets, out_targets, out_q, out_mult
+
     @classmethod
     def from_query_graph(cls, qg: QueryGraph) -> "CompiledGraph":
         graph = qg.graph
@@ -181,29 +230,51 @@ class CompiledGraph:
         index = {node: i for i, node in enumerate(node_ids)}
         p = np.array([graph.p(node) for node in node_ids], dtype=np.float64)
 
-        out_offsets = [0]
-        out_targets: List[int] = []
-        out_q: List[float] = []
-        out_mult: List[int] = []
-        for node in node_ids:
-            multiplicity: Dict[NodeId, int] = {}
-            for edge in graph.out_edges(node):
-                multiplicity[edge.target] = multiplicity.get(edge.target, 0) + 1
-            for succ, q in graph.merged_out(node).items():
-                out_targets.append(index[succ])
-                out_q.append(q)
-                out_mult.append(multiplicity[succ])
-            out_offsets.append(len(out_targets))
+        # zero-copy fast path: graphs built by the batched builder carry
+        # an edge log (node ordinals match insertion order, so they
+        # match ``index``), letting the merged CSR come out of a few
+        # array passes instead of a per-node dict walk. The log is
+        # dropped by any graph mutation, so presence implies validity;
+        # the size guards are belt and braces (the code arithmetic
+        # needs n * n to fit in int64).
+        arrays = None
+        hint = getattr(graph, "_csr_hint", None)
+        if hint is not None and len(node_ids) < 2**31:
+            src, dst, qv = hint
+            if src.size == graph.num_edges:
+                arrays = cls._merge_from_edge_log(len(node_ids), src, dst, qv)
 
+        if arrays is None:
+            out_offsets = [0]
+            out_targets: List[int] = []
+            out_q: List[float] = []
+            out_mult: List[int] = []
+            for node in node_ids:
+                multiplicity: Dict[NodeId, int] = {}
+                for edge in graph.out_edges(node):
+                    multiplicity[edge.target] = multiplicity.get(edge.target, 0) + 1
+                for succ, q in graph.merged_out(node).items():
+                    out_targets.append(index[succ])
+                    out_q.append(q)
+                    out_mult.append(multiplicity[succ])
+                out_offsets.append(len(out_targets))
+            arrays = (
+                np.array(out_offsets, dtype=np.int64),
+                np.array(out_targets, dtype=np.int64),
+                np.array(out_q, dtype=np.float64),
+                np.array(out_mult, dtype=np.int64),
+            )
+
+        offsets, targets, qs, mult = arrays
         return cls(
             node_ids=node_ids,
             index=index,
             source=index[qg.source],
             p=p,
-            out_offsets=np.array(out_offsets, dtype=np.int64),
-            out_targets=np.array(out_targets, dtype=np.int64),
-            out_q=np.array(out_q, dtype=np.float64),
-            out_mult=np.array(out_mult, dtype=np.int64),
+            out_offsets=offsets,
+            out_targets=targets,
+            out_q=qs,
+            out_mult=mult,
             targets=np.array([index[t] for t in qg.targets], dtype=np.int64),
         )
 

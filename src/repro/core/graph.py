@@ -61,6 +61,13 @@ class ProbabilisticEntityGraph:
         self._edges: Dict[int, Edge] = {}
         self._q: Dict[int, float] = {}
         self._edge_counter = itertools.count()
+        #: optional zero-copy compile hint attached by the batched graph
+        #: builder: ``(src, dst, q)`` int64/float64 arrays logging every
+        #: edge by node ordinal in insertion order. Any topology or
+        #: edge-probability mutation invalidates it (set to ``None``);
+        #: :meth:`set_p` keeps it, since the compiler reads ``p`` from
+        #: the graph, not the hint.
+        self._csr_hint: Any = None
 
     # ------------------------------------------------------------------ #
     # construction
@@ -75,6 +82,7 @@ class ProbabilisticEntityGraph:
         """
         if node in self._p:
             raise GraphError(f"node {node!r} already exists")
+        self._csr_hint = None
         self._p[node] = check_probability(p, f"p({node!r})")
         self._data[node] = data
         self._out[node] = []
@@ -86,6 +94,7 @@ class ProbabilisticEntityGraph:
         for endpoint in (source, target):
             if endpoint not in self._p:
                 raise GraphError(f"edge endpoint {endpoint!r} is not a node")
+        self._csr_hint = None
         key = next(self._edge_counter)
         edge = Edge(key, source, target)
         self._edges[key] = edge
@@ -104,6 +113,7 @@ class ProbabilisticEntityGraph:
         Any invariant change in :meth:`add_node` must be mirrored here;
         the builder property suite cross-checks the two paths.
         """
+        self._csr_hint = None
         p_map, data_map, out_map, in_map = self._p, self._data, self._out, self._in
         for node, p, data in items:
             if node in p_map:
@@ -122,6 +132,7 @@ class ProbabilisticEntityGraph:
         of :meth:`add_edge` calls would. Any invariant change in
         :meth:`add_edge` must be mirrored here.
         """
+        self._csr_hint = None
         p_map, edges, q_map = self._p, self._edges, self._q
         out_map, in_map = self._out, self._in
         counter = self._edge_counter
@@ -142,6 +153,7 @@ class ProbabilisticEntityGraph:
         edge = self._edges.pop(key, None)
         if edge is None:
             raise GraphError(f"no edge with key {key}")
+        self._csr_hint = None
         del self._q[key]
         self._out[edge.source].remove(edge)
         self._in[edge.target].remove(edge)
@@ -153,6 +165,7 @@ class ProbabilisticEntityGraph:
             self.remove_edge(edge.key)
         for edge in list(self._in[node]):
             self.remove_edge(edge.key)
+        self._csr_hint = None
         del self._p[node], self._data[node], self._out[node], self._in[node]
 
     # ------------------------------------------------------------------ #
@@ -175,6 +188,7 @@ class ProbabilisticEntityGraph:
     def set_q(self, key: int, q: float) -> None:
         if key not in self._q:
             raise GraphError(f"no edge with key {key}")
+        self._csr_hint = None
         self._q[key] = check_probability(q, f"q(edge {key})")
 
     def data(self, node: NodeId) -> Any:
@@ -345,6 +359,8 @@ class ProbabilisticEntityGraph:
         would condition on the wrong component.
         """
         clone = ProbabilisticEntityGraph()
+        # the compile hint is deliberately not carried over: copies are
+        # made to be mutated (conditioning), so the clone starts without
         clone._p = dict(self._p)
         clone._data = dict(self._data)
         clone._q = dict(self._q)

@@ -19,6 +19,20 @@ Two builders share one contract:
   the resulting graph (nodes, edges, probabilities, insertion order) and
   :class:`BuildStats` are identical to the reference — the property
   suite cross-checks this on randomized schemas.
+
+On storage backends with a batch-columnar read surface
+(``table.supports_columnar``), the batched builder expands link tables
+through selection vectors instead of row dicts: one
+:meth:`~repro.storage.table.Table.probe_positions` per plan, one
+:meth:`~repro.storage.table.Table.gather` of the target-key (and, for
+:func:`~repro.integration.sources.column_weight` bindings, the weight)
+column over the concatenated positions. The edge probabilities come out
+of one ``qs * weights`` array product whose elements are IEEE-identical
+to the scalar products, so the graph is still bit-for-bit the reference
+graph. The batched builder also logs every node ordinal and edge it
+adds and attaches the log to the finished graph as a compile hint,
+letting :class:`~repro.core.compile.CompiledGraph` build its CSR arrays
+from the log instead of re-walking Python dicts.
 """
 
 from __future__ import annotations
@@ -26,6 +40,8 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
 
 from repro.core.graph import ProbabilisticEntityGraph
 from repro.integration.mediator import EntityPlan, Mediator, RelationshipPlan
@@ -113,6 +129,25 @@ class EntityGraphBuilder:
         self.stats.visited_entities[entity_set] = count + 1
         return node_id
 
+    def add_query_node(self, value: Hashable) -> NodeKey:
+        """Add the synthetic query node (``p = 1``) and return its id.
+
+        The query node is not an entity record, so it does not count
+        towards :attr:`BuildStats.nodes` or the visited-entity tallies.
+        """
+        node_id = entity_node_id(QUERY_ENTITY_SET, value)
+        self.graph.add_node(
+            node_id,
+            p=1.0,
+            data=NodePayload(QUERY_ENTITY_SET, value, None, f"query:{value!r}"),
+        )
+        return node_id
+
+    def add_seed_edge(self, query_node: NodeKey, seed_id: NodeKey) -> None:
+        """Link the query node to a matching seed record with ``q = 1``."""
+        self.graph.add_edge(query_node, seed_id, q=1.0)
+        self.stats.edges += 1
+
     def expand_from(self, seeds: Iterable[NodeKey]) -> None:
         """BFS over relationship bindings from already-added seed nodes."""
         frontier = deque(seeds)
@@ -168,7 +203,50 @@ class BatchedEntityGraphBuilder(EntityGraphBuilder):
     referencing row, visited-entity tallies per materialised node), so
     both builders produce identical graphs — only the number of storage
     round-trips changes: O(frontier) probes collapse into O(bindings).
+
+    On ``vectorized`` relationship plans, step 1 runs on selection
+    vectors (``probe_positions`` + ``gather``) instead of per-row dicts;
+    step 3 replays the gathered key/weight arrays in the same order. Any
+    out-of-range weight drops that plan back to the dict path so range
+    errors raise with the scalar builder's exact message and state.
+
+    The builder also keeps an **edge log** — node insertion ordinals
+    plus ``(src, dst, q)`` per edge in insertion order — and attaches it
+    to the graph as a compile hint when the log provably covers the
+    whole graph, letting the CSR compiler skip the Python dict walk.
     """
+
+    def __init__(self, mediator: Mediator):
+        super().__init__(mediator)
+        #: node id -> insertion ordinal (== row index in the compiled p
+        #: array); the edge log below references these ordinals
+        self._ord: Dict[NodeKey, int] = {}
+        self._edge_src: List[int] = []
+        self._edge_dst: List[int] = []
+        self._edge_q: List[float] = []
+        # goes False the moment an edge references a node this builder
+        # did not add (graph mutated behind our back): the log can no
+        # longer claim to cover the graph, so no hint is attached
+        self._log_ok = True
+
+    def add_query_node(self, value: Hashable) -> NodeKey:
+        node_id = super().add_query_node(value)
+        self._ord[node_id] = len(self._ord)
+        return node_id
+
+    def add_seed_edge(self, query_node: NodeKey, seed_id: NodeKey) -> None:
+        super().add_seed_edge(query_node, seed_id)
+        if not self._log_ok:
+            return
+        ordinals = self._ord
+        try:
+            source, target = ordinals[query_node], ordinals[seed_id]
+        except KeyError:
+            self._log_ok = False
+            return
+        self._edge_src.append(source)
+        self._edge_dst.append(target)
+        self._edge_q.append(1.0)
 
     def add_entity_node(self, entity_set: str, key: Hashable) -> Optional[NodeKey]:
         node_id = (entity_set, key)
@@ -198,7 +276,51 @@ class BatchedEntityGraphBuilder(EntityGraphBuilder):
         stats.visited_entities[entity_set] = (
             stats.visited_entities.get(entity_set, 0) + 1
         )
+        self._ord[node_id] = len(self._ord)
         return node_id
+
+    def _links_vectorized(
+        self, plan: RelationshipPlan, keys: List[Hashable]
+    ) -> Optional[Dict[Hashable, Tuple[List, Optional[List[float]]]]]:
+        """Selection-vector link expansion for one ``vectorized`` plan.
+
+        One ``probe_positions`` over the source-key column, one
+        ``gather`` of the target-key (and weight) column over the
+        concatenated positions, one array product for the edge
+        probabilities. Returns ``{probe key: (target keys, qs or
+        None)}`` in the dict path's per-key row order, or ``None`` when
+        a weight falls outside ``[0, 1]`` — the caller then reruns the
+        plan through ``lookup_many`` so the range error raises with the
+        scalar builder's exact message and partial-graph state.
+        """
+        groups = plan.table.probe_positions((plan.source_column,), keys)
+        if not groups:
+            return groups
+        position_lists = list(groups.values())
+        lengths = [positions.shape[0] for positions in position_lists]
+        all_positions = np.concatenate(position_lists)
+        if plan.qr_column is None:
+            (targets,) = plan.table.gather((plan.target_column,), all_positions)
+            q_all: Optional[List[float]] = None
+        else:
+            targets, weights = plan.table.gather(
+                (plan.target_column, plan.qr_column), all_positions
+            )
+            if not np.all((weights >= 0.0) & (weights <= 1.0)):
+                return None
+            # element-wise float64 product == the scalar qs * qr floats
+            q_all = (plan.qs * weights).tolist()
+        target_list = targets.tolist()
+        expanded: Dict[Hashable, Tuple[List, Optional[List[float]]]] = {}
+        start = 0
+        for key, length in zip(groups, lengths):
+            stop = start + length
+            expanded[key] = (
+                target_list[start:stop],
+                None if q_all is None else q_all[start:stop],
+            )
+            start = stop
+        return expanded
 
     def expand_from(self, seeds: Iterable[NodeKey]) -> None:
         """Level-synchronous BFS expanding the whole frontier per step."""
@@ -217,21 +339,32 @@ class BatchedEntityGraphBuilder(EntityGraphBuilder):
             if not frontier:
                 break
 
-            # 1. one batched link lookup per (entity set, relationship)
+            # 1. one batched link lookup per (entity set, relationship):
+            #    selection vectors on vectorized plans, row dicts else
             by_set: Dict[str, List[Hashable]] = {}
             for entity_set, key in frontier:
                 by_set.setdefault(entity_set, []).append(key)
-            fetched_links: Dict[
-                str, List[Tuple[Dict[Hashable, List[Row]], RelationshipPlan]]
-            ] = {}
+            fetched_links: Dict[str, List[Tuple[bool, Dict, RelationshipPlan]]] = {}
             targets_seen: Dict[str, Set[Hashable]] = {}
             for entity_set, keys in by_set.items():
                 links = fetched_links[entity_set] = []
                 for plan in mediator.outgoing_plans(entity_set):
+                    if plan.vectorized:
+                        groups = self._links_vectorized(plan, keys)
+                        if groups is not None:
+                            if not groups:
+                                continue
+                            links.append((True, groups, plan))
+                            seen = targets_seen.setdefault(
+                                plan.target_entity, set()
+                            )
+                            for target_keys, _ in groups.values():
+                                seen.update(target_keys)
+                            continue
                     rows_by_key = plan.table.lookup_many((plan.source_column,), keys)
                     if not rows_by_key:
                         continue
-                    links.append((rows_by_key, plan))
+                    links.append((False, rows_by_key, plan))
                     seen = targets_seen.setdefault(plan.target_entity, set())
                     column = plan.target_column
                     for rows in rows_by_key.values():
@@ -263,7 +396,8 @@ class BatchedEntityGraphBuilder(EntityGraphBuilder):
             for entity_set, links in fetched_links.items():
                 tasks_by_set[entity_set] = [
                     (
-                        rows_by_key,
+                        vec,
+                        data_by_key,
                         plan.target_entity,
                         plan.target_column,
                         plan.qs,
@@ -271,7 +405,7 @@ class BatchedEntityGraphBuilder(EntityGraphBuilder):
                         plan.relationship,
                     )
                     + fetched.get(plan.target_entity, (None, empty))
-                    for rows_by_key, plan in links
+                    for vec, data_by_key, plan in links
                 ]
 
             # 3. replay rows in scalar order, collecting new nodes and
@@ -285,7 +419,8 @@ class BatchedEntityGraphBuilder(EntityGraphBuilder):
             for node in frontier:
                 entity_set, key = node
                 for (
-                    rows_by_key,
+                    vec,
+                    data_by_key,
                     target_entity,
                     column,
                     qs,
@@ -294,10 +429,56 @@ class BatchedEntityGraphBuilder(EntityGraphBuilder):
                     target_plan,
                     records,
                 ) in tasks_by_set[entity_set]:
-                    rows = rows_by_key.get(key)
-                    if not rows:
+                    group = data_by_key.get(key)
+                    if not group:
                         continue
-                    for row in rows:
+                    if vec:
+                        # gathered target keys (and precomputed edge
+                        # probabilities) replayed in stored-row order —
+                        # the same rows, keys and floats the dict branch
+                        # below would produce, with no row dicts built
+                        target_keys, qvals = group
+                        for position, target_key in enumerate(target_keys):
+                            target_id = (target_entity, target_key)
+                            if target_id not in new_ids and not has_node(target_id):
+                                record = records.get(target_key)
+                                if record is None:
+                                    dangling += 1
+                                    continue
+                                pr = (
+                                    1.0
+                                    if target_plan.pr_is_one
+                                    else _checked(
+                                        target_plan.pr(record),
+                                        f"pr({target_entity}",
+                                        target_key,
+                                    )
+                                )
+                                label = (
+                                    target_plan.label(record)
+                                    if target_plan.label
+                                    else str(target_key)
+                                )
+                                new_nodes.append(
+                                    (
+                                        target_id,
+                                        target_plan.ps * pr,
+                                        NodePayload(
+                                            target_entity, target_key, record, label
+                                        ),
+                                    )
+                                )
+                                new_ids.add(target_id)
+                                visited[target_entity] = (
+                                    visited.get(target_entity, 0) + 1
+                                )
+                            new_edges.append(
+                                (node, target_id, qs if qvals is None else qvals[position])
+                            )
+                            if target_id not in expanded:
+                                next_level.append(target_id)
+                        continue
+                    for row in group:
                         target_key = row[column]
                         target_id = (target_entity, target_key)
                         if target_id not in new_ids and not has_node(target_id):
@@ -337,7 +518,46 @@ class BatchedEntityGraphBuilder(EntityGraphBuilder):
                             next_level.append(target_id)
             graph.add_nodes(new_nodes)
             graph.add_edges(new_edges)
+            if self._log_ok:
+                ordinals = self._ord
+                for target_id, _p, _payload in new_nodes:
+                    ordinals[target_id] = len(ordinals)
+                edge_src, edge_dst = self._edge_src, self._edge_dst
+                edge_q = self._edge_q
+                try:
+                    for source, target, q in new_edges:
+                        edge_src.append(ordinals[source])
+                        edge_dst.append(ordinals[target])
+                        edge_q.append(q)
+                except KeyError:
+                    self._log_ok = False
             stats.nodes += len(new_nodes)
             stats.edges += len(new_edges)
             stats.dangling_links += dangling
             level = next_level
+        self._attach_csr_hint()
+
+    def _attach_csr_hint(self) -> None:
+        """Hand the edge log to the graph as a compile hint — but only
+        when the log provably covers the graph: every logged ordinal
+        matches the node's insertion position, the edge count matches,
+        and no edge was ever removed (edge keys still contiguous, an
+        O(1) check on the last inserted key). Anything mutating the
+        graph afterwards clears the hint again."""
+        graph = self.graph
+        if not self._log_ok or len(self._edge_q) != graph.num_edges:
+            return
+        ordinals = self._ord
+        if len(ordinals) != graph.num_nodes or any(
+            ordinals.get(node) != position
+            for position, node in enumerate(graph.nodes())
+        ):
+            return
+        edge_keys = graph._edges
+        if edge_keys and next(reversed(edge_keys)) != graph.num_edges - 1:
+            return
+        graph._csr_hint = (
+            np.asarray(self._edge_src, dtype=np.int64),
+            np.asarray(self._edge_dst, dtype=np.int64),
+            np.asarray(self._edge_q, dtype=np.float64),
+        )

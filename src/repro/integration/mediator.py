@@ -35,7 +35,9 @@ from repro.integration.sources import (
     EntityBinding,
     RelationshipBinding,
     is_constant_one,
+    weight_column_of,
 )
+from repro.storage.column import ColumnType
 from repro.storage.table import Row, Table
 
 __all__ = ["EntityPlan", "Mediator", "RelationshipPlan"]
@@ -58,6 +60,15 @@ class RelationshipPlan:
     #: True when ``qr`` is the default constant-1 transformation, letting
     #: the batched builder skip the per-row call (q = qs exactly)
     qr_is_one: bool = False
+    #: the non-nullable FLOAT column ``qr`` reads (via
+    #: :func:`~repro.integration.sources.column_weight`), or ``None``
+    #: for opaque transformations
+    qr_column: Optional[str] = None
+    #: True when the link table serves the batch-columnar surface *and*
+    #: ``qr`` is array-computable (constant one or a typed weight
+    #: column): frontier expansion then runs on selection vectors —
+    #: ``probe_positions``/``gather`` — with no per-row link dicts
+    vectorized: bool = False
 
 
 @dataclass(frozen=True)
@@ -77,6 +88,30 @@ class EntityPlan:
     out: Tuple[RelationshipPlan, ...] = field(default=())
     #: True when ``pr`` is the default constant-1 transformation
     pr_is_one: bool = False
+    #: the non-nullable FLOAT column ``pr`` reads (via
+    #: :func:`~repro.integration.sources.column_weight`), or ``None``
+    #: for opaque transformations
+    pr_column: Optional[str] = None
+    #: True when the entity table serves the batch-columnar surface
+    vectorized: bool = False
+
+
+def _array_weight_column(table, transformation) -> Optional[str]:
+    """The column ``transformation`` reads, when the batched builder may
+    compute its weights as one typed array: declared via
+    :func:`~repro.integration.sources.column_weight` *and* a
+    non-nullable FLOAT column of ``table`` (so a gather yields a float64
+    array and the per-row type/range checks keep their semantics).
+    Anything else returns ``None`` and stays on the per-row call."""
+    name = weight_column_of(transformation)
+    if name is None:
+        return None
+    for column in table.columns:
+        if column.name == name:
+            if column.type is ColumnType.FLOAT and not column.nullable:
+                return name
+            return None
+    return None
 
 
 class Mediator:
@@ -133,6 +168,8 @@ class Mediator:
             for rel_source, rel in self._outgoing.get(entity_set, ()):
                 rel_table = rel_source.database.table(rel.table)
                 tables.setdefault(id(rel_table), rel_table)
+                qr_is_one = is_constant_one(rel.qr)
+                qr_column = _array_weight_column(rel_table, rel.qr)
                 out.append(
                     RelationshipPlan(
                         source=rel_source,
@@ -144,7 +181,12 @@ class Mediator:
                         target_column=rel.target_column,
                         qr=rel.qr,
                         qs=self.confidences.qs(rel.relationship),
-                        qr_is_one=is_constant_one(rel.qr),
+                        qr_is_one=qr_is_one,
+                        qr_column=qr_column,
+                        vectorized=bool(
+                            getattr(rel_table, "supports_columnar", False)
+                            and (qr_is_one or qr_column is not None)
+                        ),
                     )
                 )
             plans[entity_set] = EntityPlan(
@@ -158,6 +200,8 @@ class Mediator:
                 ps=self.confidences.ps(entity_set),
                 out=tuple(out),
                 pr_is_one=is_constant_one(binding.pr),
+                pr_column=_array_weight_column(table, binding.pr),
+                vectorized=bool(getattr(table, "supports_columnar", False)),
             )
         # relationships out of entity sets nobody provides (the query
         # pseudo-set, or sets whose provider registers later) still need

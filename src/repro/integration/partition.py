@@ -50,6 +50,13 @@ class ShardTableView:
     shard's mediator epoch on any base-table change.
     """
 
+    #: Views never expose the batch-columnar surface: position-level
+    #: reads (selection vectors) would bypass the ownership filter. The
+    #: builders fall back to the dict path here; physically
+    #: pre-partitioned shard databases (``mediated_layers(shards=N)``)
+    #: serve real tables and keep the vectorized fast path.
+    supports_columnar = False
+
     def __init__(
         self,
         table: Table,

@@ -22,12 +22,9 @@ from typing import FrozenSet, Hashable, Iterable, List, Tuple
 from repro.core.graph import QueryGraph
 from repro.errors import EmptyAnswerError, QueryError
 from repro.integration.builder import (
-    QUERY_ENTITY_SET,
     BatchedEntityGraphBuilder,
     BuildStats,
     EntityGraphBuilder,
-    NodePayload,
-    entity_node_id,
 )
 from repro.integration.mediator import Mediator
 
@@ -149,14 +146,7 @@ class ExploratoryQuery:
             )
 
         graph_builder = builder_cls(mediator)
-        query_node = entity_node_id(QUERY_ENTITY_SET, self.value)
-        graph_builder.graph.add_node(
-            query_node,
-            p=1.0,
-            data=NodePayload(
-                QUERY_ENTITY_SET, self.value, None, f"query:{self.value!r}"
-            ),
-        )
+        query_node = graph_builder.add_query_node(self.value)
 
         seed_ids: List = []
         for record in seeds:
@@ -165,8 +155,7 @@ class ExploratoryQuery:
             )
             if seed_id is None:
                 continue
-            graph_builder.graph.add_edge(query_node, seed_id, q=1.0)
-            graph_builder.stats.edges += 1
+            graph_builder.add_seed_edge(query_node, seed_id)
             seed_ids.append(seed_id)
         if not seed_ids:
             raise EmptyAnswerError(

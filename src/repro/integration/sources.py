@@ -24,7 +24,14 @@ from repro.errors import SchemaError
 from repro.storage.database import Database
 from repro.storage.table import Row
 
-__all__ = ["EntityBinding", "RelationshipBinding", "DataSource", "is_constant_one"]
+__all__ = [
+    "EntityBinding",
+    "RelationshipBinding",
+    "DataSource",
+    "column_weight",
+    "is_constant_one",
+    "weight_column_of",
+]
 
 
 def _always_one(_: Row) -> float:
@@ -39,6 +46,32 @@ def is_constant_one(transformation: Callable[[Row], float]) -> bool:
     never declared a transformation.
     """
     return transformation is _always_one
+
+
+def column_weight(name: str) -> Callable[[Row], float]:
+    """A ``pr``/``qr`` transformation that reads the weight straight
+    from column ``name`` — and *says so*.
+
+    The returned callable behaves exactly like ``lambda row:
+    row[name]``, but carries the column name as an inspectable
+    attribute (see :func:`weight_column_of`). On storage backends with
+    a batch-columnar read surface the binding plans use that to fetch
+    the weight column as one typed array and skip the per-row call
+    entirely — same floats, no row dicts.
+    """
+
+    def weight(row: Row) -> float:
+        return row[name]
+
+    weight.weight_column = name
+    weight.__name__ = f"column_weight({name!r})"
+    return weight
+
+
+def weight_column_of(transformation: Callable[[Row], float]) -> Optional[str]:
+    """The column a :func:`column_weight` transformation reads, or
+    ``None`` for opaque (arbitrary-Python) transformations."""
+    return getattr(transformation, "weight_column", None)
 
 
 @dataclass(frozen=True)

@@ -7,9 +7,11 @@ the integration layer needs for link-following.
 
 Tables are facades over a :class:`~repro.storage.backends.StorageBackend`:
 ``"memory"`` (dict rows + hash indexes, the default), ``"sqlite"``
-(disk persistence, batched ``SELECT ... IN`` lookups) and ``"columnar"``
-(parallel arrays, cheap scans) — selected per
-:class:`~repro.storage.database.Database` via ``Database(storage=...)``.
+(disk persistence, batched ``SELECT ... IN`` lookups), ``"columnar"``
+(parallel arrays, cheap scans) and ``"vectorized"`` (dtype-typed numpy
+columns, vectorized probes, selection-vector reads, mmap persistence) —
+selected per :class:`~repro.storage.database.Database` via
+``Database(storage=...)``.
 Whatever the backend, tables enforce real constraints (types, key
 uniqueness, referential integrity), so the synthetic biological sources
 built on top behave like actual curated databases rather than ad-hoc
@@ -30,6 +32,7 @@ from repro.storage.index import HashIndex
 from repro.storage.ops import equijoin, project, select
 from repro.storage.sqlite import SQLiteBackend, SQLiteStore
 from repro.storage.table import ForeignKey, Row, Table
+from repro.storage.vectorized import VectorizedColumnarBackend, VectorizedStore
 
 __all__ = [
     "Column",
@@ -49,6 +52,8 @@ __all__ = [
     "HashIndex",
     "Row",
     "Table",
+    "VectorizedColumnarBackend",
+    "VectorizedStore",
     "equijoin",
     "project",
     "select",

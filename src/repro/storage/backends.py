@@ -16,6 +16,12 @@ protocol:
 * :class:`~repro.storage.columnar.ColumnarBackend` (``"columnar"``) —
   fields stored as parallel arrays, so unindexed probes scan only the
   probed column instead of materialised row dicts.
+* :class:`~repro.storage.vectorized.VectorizedColumnarBackend`
+  (``"vectorized"``) — dtype-typed numpy columns with vectorized
+  predicate evaluation, an optional batch-columnar read surface
+  (:meth:`StorageBackend.probe_positions` /
+  :meth:`StorageBackend.gather` returning selection vectors instead of
+  row dicts) and mmap persistence.
 
 Every backend must preserve the facade's observable contract: rows in
 insertion order (``ORDER BY rowid`` for SQLite), index buckets in
@@ -53,7 +59,7 @@ __all__ = [
 ]
 
 #: the storage backends ``Database``/``EngineConfig`` accept
-STORAGE_BACKENDS: Tuple[str, ...] = ("memory", "sqlite", "columnar")
+STORAGE_BACKENDS: Tuple[str, ...] = ("memory", "sqlite", "columnar", "vectorized")
 
 
 class StorageBackend(ABC):
@@ -67,8 +73,13 @@ class StorageBackend(ABC):
     bare values for single-column probes, value tuples otherwise.
     """
 
-    #: registry name (``"memory"`` / ``"sqlite"`` / ``"columnar"``)
+    #: registry name (``"memory"`` / ``"sqlite"`` / ``"columnar"`` / ...)
     name: str = "?"
+
+    #: True when the backend serves the optional batch-columnar read
+    #: surface (:meth:`probe_positions` / :meth:`gather`); consumers
+    #: must check this before calling either method.
+    supports_columnar: bool = False
 
     @abstractmethod
     def bind(self, table_name: str, columns: Tuple[Column, ...]) -> None:
@@ -149,6 +160,23 @@ class StorageBackend(ABC):
 
     def close(self) -> None:
         """Release physical resources (no-op for in-process backends)."""
+
+    # -- optional batch-columnar read surface -------------------------- #
+
+    def probe_positions(self, columns: Tuple[str, ...], keys: Sequence[Hashable]):
+        """Batch equality probe returning *selection vectors*: a mapping
+        from probe key to the array of matching row positions (misses
+        omitted). Only meaningful when :attr:`supports_columnar`."""
+        raise StorageError(
+            f"storage backend {self.name!r} has no columnar read surface"
+        )
+
+    def gather(self, columns: Tuple[str, ...], positions):
+        """Column values at ``positions`` as one array per column.
+        Only meaningful when :attr:`supports_columnar`."""
+        raise StorageError(
+            f"storage backend {self.name!r} has no columnar read surface"
+        )
 
 
 class HashIndexedBackend(StorageBackend):
@@ -301,6 +329,18 @@ def create_backend(
         from repro.storage.columnar import ColumnarBackend
 
         return ColumnarBackend()
+    if storage == "vectorized":
+        from repro.storage.vectorized import (
+            VectorizedColumnarBackend,
+            VectorizedStore,
+        )
+
+        if store is not None and not isinstance(store, VectorizedStore):
+            raise StorageError(
+                f"vectorized backend needs a VectorizedStore, "
+                f"got {type(store).__name__}"
+            )
+        return VectorizedColumnarBackend(store=store)
     if storage == "sqlite":
         from repro.storage.sqlite import SQLiteBackend, SQLiteStore
 

@@ -100,9 +100,13 @@ class ColumnarBackend(HashIndexedBackend):
         self._remove_from_indexes(row, row_id)
         for name in self._names:
             del self._data[name][position]
-        del self._ids[position]
-        for shifted in self._ids[position:]:
-            self._pos[shifted] -= 1
+        ids = self._ids
+        del ids[position]
+        # decrement the shifted suffix in place — indexing the live list
+        # instead of allocating the ``ids[position:]`` slice copy
+        positions = self._pos
+        for index in range(position, len(ids)):
+            positions[ids[index]] -= 1
 
     # ------------------------------------------------------------------ #
     # retrieval
@@ -145,17 +149,38 @@ class ColumnarBackend(HashIndexedBackend):
             }
         wanted = set(keys)
         grouped: Dict[Hashable, List[Dict[str, Any]]] = {}
+        # Early exit once every wanted key has matched — but only when a
+        # unique index over a subset of the probed columns caps each key
+        # at one matching row. Without that guarantee the scan must run
+        # to the end: a key's *duplicate* rows may appear after the
+        # position where the last distinct key was first seen, and
+        # breaking there would silently drop them (unlike ``lookup_in``,
+        # which only reports existence and can always break).
+        stop_at = len(wanted) if self._unique_probe(columns) else -1
         if len(columns) == 1:
             # the payoff case: one pass over a single column array
             for position, key in enumerate(self._data[columns[0]]):
                 if key in wanted:
                     grouped.setdefault(key, []).append(self._row_at(position))
+                    if len(grouped) == stop_at:
+                        break
         else:
             arrays = [self._data[c] for c in columns]
             for position, key in enumerate(zip(*arrays)):
                 if key in wanted:
                     grouped.setdefault(key, []).append(self._row_at(position))
+                    if len(grouped) == stop_at:
+                        break
         return grouped
+
+    def _unique_probe(self, columns: Tuple[str, ...]) -> bool:
+        """True when some unique index covers a subset of ``columns``,
+        so every probe key over ``columns`` matches at most one row."""
+        probed = set(columns)
+        return any(
+            index.unique and set(index.columns) <= probed
+            for index in self._indexes.values()
+        )
 
     def lookup_in(
         self, columns: Tuple[str, ...], keys: Sequence[Hashable]

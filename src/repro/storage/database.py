@@ -23,9 +23,11 @@ class Database:
     database is created on: ``"memory"`` (the default dict-backed
     layout), ``"sqlite"`` (persistent; ``storage_path`` names the
     database file, ``None`` keeps it in a private in-memory SQLite
-    database), or ``"columnar"`` (parallel-array layout for cheap
-    scans). All backends serve identical semantics — see
-    ``docs/backends.md``.
+    database), ``"columnar"`` (parallel-array layout for cheap scans),
+    or ``"vectorized"`` (dtype-typed numpy columns with vectorized
+    probes; ``storage_path`` names a directory of memory-mapped
+    ``.npy`` column files). All backends serve identical semantics —
+    see ``docs/backends.md``.
     """
 
     def __init__(
@@ -39,10 +41,10 @@ class Database:
                 f"unknown storage backend {storage!r}; choose from "
                 f"{list(STORAGE_BACKENDS)}"
             )
-        if storage_path is not None and storage != "sqlite":
+        if storage_path is not None and storage not in ("sqlite", "vectorized"):
             raise StorageError(
-                f"storage_path only applies to the sqlite backend, "
-                f"not {storage!r}"
+                f"storage_path only applies to the sqlite and vectorized "
+                f"backends, not {storage!r}"
             )
         self.name = name
         self.storage = storage
@@ -53,6 +55,10 @@ class Database:
             from repro.storage.sqlite import SQLiteStore
 
             self._store = SQLiteStore(storage_path)
+        elif storage == "vectorized" and storage_path is not None:
+            from repro.storage.vectorized import VectorizedStore
+
+            self._store = VectorizedStore(storage_path)
 
     def create_table(
         self,
@@ -162,7 +168,8 @@ class Database:
         return len(rows)
 
     def close(self) -> None:
-        """Release backend resources (the shared SQLite connection)."""
+        """Release backend resources (the shared SQLite connection, or
+        the vectorized store's flush-to-disk)."""
         if self._store is not None:
             self._store.close()
 

@@ -295,6 +295,39 @@ class Table:
         keys = self._probe_keys(columns, values_list, single, "lookup_in")
         return self._backend.lookup_in(columns, keys)
 
+    # ------------------------------------------------------------------ #
+    # optional batch-columnar surface (selection vectors)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def supports_columnar(self) -> bool:
+        """True when the backend can answer :meth:`probe_positions` /
+        :meth:`gather` (the numpy selection-vector fast path)."""
+        return self._backend.supports_columnar
+
+    def probe_positions(
+        self, columns: Sequence[str], values_list: Sequence[Any]
+    ) -> Dict[Hashable, Any]:
+        """Batch equality probe returning selection vectors — the array
+        of matching row *positions* per probe key (misses omitted),
+        with no row materialisation. Same key convention as
+        :meth:`lookup_many`. Requires :attr:`supports_columnar`.
+        """
+        columns = tuple(columns)
+        self._require_columns(columns, "probe_positions")
+        single = len(columns) == 1
+        keys = self._probe_keys(columns, values_list, single, "probe_positions")
+        return self._backend.probe_positions(columns, keys)
+
+    def gather(self, columns: Sequence[str], positions: Any) -> Tuple[Any, ...]:
+        """Column values at ``positions`` as one array per column (typed
+        numpy arrays, or object arrays for dictionary-encoded columns).
+        Requires :attr:`supports_columnar`.
+        """
+        columns = tuple(columns)
+        self._require_columns(columns, "gather")
+        return self._backend.gather(columns, positions)
+
     def scan(self, predicate: Callable[[Row], bool]) -> List[Row]:
         """Full scan returning rows for which ``predicate`` is true."""
         result: List[Row] = []

@@ -1,0 +1,927 @@
+"""Numpy-native vectorized columnar storage with predicate pushdown.
+
+:class:`VectorizedColumnarBackend` stores each column as a contiguous,
+dtype-inferred numpy array — ``int64``/``float64``/``bool`` for
+non-nullable INT/FLOAT/BOOL columns, a dictionary-encoded code array
+(int64 codes over a value dictionary) for TEXT and any nullable or
+mixed column. Unindexed equality probes are evaluated *inside* the
+backend with ``np.isin``/``==`` over only the probed column and return
+**selection vectors** (position arrays) instead of materialised row
+dicts; the batched graph builder and ``CompiledGraph`` consume those
+arrays directly via the optional :meth:`probe_positions` /
+:meth:`gather` surface, so on the hot path no ``Dict[str, Any]`` is
+built per row.
+
+Dtype inference rules
+---------------------
+* ``INT`` (non-nullable)   -> ``int64`` array; values outside the int64
+  range promote the column to dictionary encoding on the fly.
+* ``FLOAT`` (non-nullable) -> ``float64`` array.
+* ``BOOL`` (non-nullable)  -> ``bool`` array.
+* ``TEXT`` and every nullable column -> dictionary encoding: an
+  ``int64`` code per row plus a value dictionary that preserves the
+  exact stored Python objects (``1``, ``1.0`` and ``True`` keep their
+  identity on read while still matching each other on probes, exactly
+  like the hash/equality semantics of the other backends).
+
+Semantics note: probes against non-nullable FLOAT columns follow IEEE
+equality, so ``float('nan')`` never matches (the dict-backed backends
+use hash-set identity where ``nan`` matches itself). Dictionary-encoded
+columns — including nullable FLOAT — keep identity semantics.
+
+Memory-mapped persistence
+-------------------------
+With a :class:`VectorizedStore` (``Database(storage="vectorized",
+storage_path=...)``) every table saves to ``<dir>/<table>.manifest.json``
+plus one ``.npy`` file per column (codes and a fixed-width unicode value
+dictionary for dictionary-encoded columns). Re-attaching opens the
+arrays with ``np.load(mmap_mode="r")`` — O(1) regardless of row count;
+columns page in lazily as probes touch them. Declared indexes on an
+attached table are deferred (probes stay vectorized scans) and are
+backfilled on the first mutation, which also copy-on-writes the mmap'd
+arrays into private growable buffers.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    Hashable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.errors import IntegrityError, StorageError
+from repro.storage.backends import HashIndexedBackend
+from repro.storage.column import Column, ColumnType
+from repro.storage.index import HashIndex
+
+__all__ = ["VectorizedColumnarBackend", "VectorizedStore"]
+
+_MANIFEST_FORMAT = 1
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+
+class _Promote(Exception):
+    """Internal: a value does not fit the column's numeric dtype."""
+
+
+def _sanitize(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9_.-]", "_", name)
+
+
+# --------------------------------------------------------------------- #
+# column stores
+# --------------------------------------------------------------------- #
+
+
+class _NumericColumn:
+    """One non-nullable INT/FLOAT/BOOL column as a typed numpy array."""
+
+    def __init__(self, kind: str, arr: Optional[np.ndarray] = None):
+        self.kind = kind  # "i8" / "f8" / "b1"
+        self._dtype = {"i8": np.int64, "f8": np.float64, "b1": np.bool_}[kind]
+        if arr is None:
+            self._arr = np.empty(0, dtype=self._dtype)
+            self._writable = True
+        else:
+            self._arr = arr  # typically an np.load(mmap_mode="r") view
+            self._writable = False
+
+    # -- mutation ------------------------------------------------------ #
+
+    def materialize(self, count: int) -> None:
+        if not self._writable:
+            self._arr = np.array(self._arr[:count], dtype=self._dtype)
+            self._writable = True
+
+    def append(self, value: Any, count: int) -> None:
+        if count >= self._arr.shape[0]:
+            grown = np.empty(
+                max(8, self._arr.shape[0] * 2), dtype=self._dtype
+            )
+            grown[:count] = self._arr[:count]
+            self._arr = grown
+        if self.kind == "i8" and not (_INT64_MIN <= value <= _INT64_MAX):
+            raise _Promote()
+        self._arr[count] = value
+
+    def delete(self, position: int, count: int) -> None:
+        self._arr[position : count - 1] = self._arr[position + 1 : count]
+
+    # -- reads --------------------------------------------------------- #
+
+    def value_at(self, position: int) -> Any:
+        return self._arr[position].item()
+
+    def tolist(self, count: int) -> List[Any]:
+        return self._arr[:count].tolist()
+
+    def gather(self, positions: np.ndarray) -> np.ndarray:
+        return self._arr[positions]
+
+    def _coerce_key(self, key: Any) -> Optional[Any]:
+        """``key`` as a probe value in this column's dtype, or ``None``
+        when no stored value could equal it (then the key misses)."""
+        if self.kind == "b1":
+            if isinstance(key, (bool, int, float)) and (key == 0 or key == 1):
+                return bool(key)
+            return None
+        if self.kind == "i8":
+            if isinstance(key, bool) or isinstance(key, int):
+                key = int(key)
+                return key if _INT64_MIN <= key <= _INT64_MAX else None
+            if isinstance(key, float) and key.is_integer():
+                key = int(key)
+                return key if _INT64_MIN <= key <= _INT64_MAX else None
+            return None
+        # f8: only keys exactly representable as float64 can equal a
+        # stored float under Python ``==``; NaN never matches (IEEE).
+        if isinstance(key, (bool, int)):
+            as_float = float(key)
+            return as_float if as_float == key else None
+        if isinstance(key, float):
+            return None if key != key else key
+        return None
+
+    def eq_mask(self, key: Any, count: int) -> Optional[np.ndarray]:
+        coerced = self._coerce_key(key)
+        if coerced is None:
+            return None
+        return self._arr[:count] == coerced
+
+    def isin_groups(
+        self, keys: Sequence[Hashable], count: int
+    ) -> Dict[Hashable, np.ndarray]:
+        """Positions of rows equal to each probe key, grouped by the
+        *stored* value (ascending positions; scan-order group keys)."""
+        coerced = list(
+            dict.fromkeys(
+                c for c in (self._coerce_key(k) for k in keys) if c is not None
+            )
+        )
+        if not coerced or count == 0:
+            return {}
+        arr = self._arr[:count]
+        if len(coerced) == 1:
+            positions = np.flatnonzero(arr == coerced[0])
+            if positions.size == 0:
+                return {}
+            if self.kind == "b1":
+                stored = bool(coerced[0])
+            elif self.kind == "i8":
+                stored = int(coerced[0])
+            else:
+                stored = float(coerced[0])
+            return {stored: positions}
+        wanted = np.array(coerced, dtype=self._dtype)
+        positions = np.flatnonzero(np.isin(arr, wanted))
+        if positions.size == 0:
+            return {}
+        values = arr[positions]
+        order = np.argsort(values, kind="stable")
+        values = values[order]
+        positions = positions[order]
+        boundaries = np.flatnonzero(values[1:] != values[:-1]) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [values.shape[0]]))
+        return {
+            values[start].item(): positions[start:end]
+            for start, end in zip(starts.tolist(), ends.tolist())
+        }
+
+    # -- persistence --------------------------------------------------- #
+
+    def save(self, path: Path, count: int) -> Dict[str, Any]:
+        np.save(path, self._arr[:count])
+        return {"kind": self.kind}
+
+
+def _typed_key(value: Any) -> Tuple[Any, ...]:
+    """Hash key that distinguishes ``1``/``1.0``/``True`` while staying
+    deterministic for every value :class:`Column` can store."""
+    if value is None:
+        return ("n",)
+    if isinstance(value, bool):
+        return ("b", bool(value))
+    if isinstance(value, int):
+        return ("i", int(value))
+    if isinstance(value, float):
+        return ("f", value)
+    if isinstance(value, str):
+        return ("s", str(value))
+    return ("o", value)
+
+
+def _equal_typed_keys(key: Any) -> List[Tuple[Any, ...]]:
+    """Every typed key whose value compares ``==`` to ``key``."""
+    if key is None:
+        return [("n",)]
+    if isinstance(key, str):
+        return [("s", str(key))]
+    variants: List[Tuple[Any, ...]] = []
+    if isinstance(key, (bool, int, float)):
+        if key == 0 or key == 1:
+            variants.append(("b", bool(key)))
+        if isinstance(key, bool) or isinstance(key, int):
+            variants.append(("i", int(key)))
+            as_float = float(key)
+            if as_float == key and as_float == as_float:
+                variants.append(("f", as_float))
+        elif isinstance(key, float):
+            if key == key:  # NaN matches nothing under ==
+                variants.append(("f", key))
+                if key.is_integer():
+                    variants.append(("i", int(key)))
+        # keep first-seen order but drop duplicates (e.g. bool keys)
+        return list(dict.fromkeys(variants))
+    return [_typed_key(key)]
+
+
+class _DictColumn:
+    """Dictionary-encoded column: int64 codes over a value dictionary."""
+
+    kind = "dict"
+
+    def __init__(self) -> None:
+        self._codes = np.empty(0, dtype=np.int64)
+        self._values: List[Any] = []
+        self._code_of: Dict[Tuple[Any, ...], int] = {}
+        self._writable = True
+        #: attached-mode state (no Python dictionary materialised)
+        self._values_arr: Optional[np.ndarray] = None
+        self._exceptions: Dict[int, Any] = {}
+        #: cached object array of the dictionary for vectorized gathers
+        self._obj_values: Optional[np.ndarray] = None
+
+    @classmethod
+    def attached(
+        cls,
+        codes: np.ndarray,
+        values_arr: np.ndarray,
+        exceptions: Dict[int, Any],
+    ) -> "_DictColumn":
+        column = cls.__new__(cls)
+        column._codes = codes
+        column._values = []
+        column._code_of = {}
+        column._writable = False
+        column._values_arr = values_arr
+        column._exceptions = dict(exceptions)
+        column._obj_values = None
+        return column
+
+    # -- mutation ------------------------------------------------------ #
+
+    def materialize(self, count: int) -> None:
+        if self._writable:
+            return
+        values = self._values_arr.tolist() if self._values_arr is not None else []
+        for code, value in self._exceptions.items():
+            values[code] = value
+        self._values = values
+        self._code_of = {
+            _typed_key(value): code for code, value in enumerate(values)
+        }
+        self._codes = np.array(self._codes[:count], dtype=np.int64)
+        self._values_arr = None
+        self._exceptions = {}
+        self._obj_values = None
+        self._writable = True
+
+    def append(self, value: Any, count: int) -> None:
+        key = _typed_key(value)
+        code = self._code_of.get(key)
+        if code is None:
+            code = len(self._values)
+            self._values.append(value)
+            self._code_of[key] = code
+            self._obj_values = None
+        if count >= self._codes.shape[0]:
+            grown = np.empty(max(8, self._codes.shape[0] * 2), dtype=np.int64)
+            grown[:count] = self._codes[:count]
+            self._codes = grown
+        self._codes[count] = code
+
+    def delete(self, position: int, count: int) -> None:
+        # orphaned dictionary entries are left in place; codes stay valid
+        self._codes[position : count - 1] = self._codes[position + 1 : count]
+
+    # -- reads --------------------------------------------------------- #
+
+    def _value_of_code(self, code: int) -> Any:
+        if self._writable:
+            return self._values[code]
+        if code in self._exceptions:
+            return self._exceptions[code]
+        return self._values_arr[code].item()
+
+    def value_at(self, position: int) -> Any:
+        return self._value_of_code(int(self._codes[position]))
+
+    def _dictionary(self) -> np.ndarray:
+        """The value dictionary as an object array of Python values."""
+        if self._obj_values is None:
+            if self._writable:
+                values = self._values
+            else:
+                values = (
+                    self._values_arr.tolist()
+                    if self._values_arr is not None
+                    else []
+                )
+                for code, value in self._exceptions.items():
+                    values[code] = value
+            dictionary = np.empty(len(values), dtype=object)
+            if values:
+                dictionary[:] = values
+            self._obj_values = dictionary
+        return self._obj_values
+
+    def tolist(self, count: int) -> List[Any]:
+        if count == 0:
+            return []
+        return self._dictionary()[self._codes[:count]].tolist()
+
+    def gather(self, positions: np.ndarray) -> np.ndarray:
+        if positions.size == 0:
+            return np.empty(0, dtype=object)
+        return self._dictionary()[self._codes[positions]]
+
+    def _candidate_codes(self, key: Any) -> List[int]:
+        """Codes whose dictionary value compares ``==`` to ``key``,
+        ascending (lower code == earlier first appearance)."""
+        codes: List[int] = []
+        if self._writable:
+            for typed in _equal_typed_keys(key):
+                code = self._code_of.get(typed)
+                if code is not None:
+                    codes.append(code)
+        else:
+            if (
+                isinstance(key, str)
+                and self._values_arr is not None
+                and self._values_arr.size
+            ):
+                for code in np.flatnonzero(self._values_arr == key).tolist():
+                    if code not in self._exceptions:
+                        codes.append(code)
+            for code, value in self._exceptions.items():
+                if value is None:
+                    if key is None:
+                        codes.append(code)
+                elif key is not None and value == key:
+                    codes.append(code)
+        return sorted(set(codes))
+
+    def eq_mask(self, key: Any, count: int) -> Optional[np.ndarray]:
+        codes = self._candidate_codes(key)
+        if not codes:
+            return None
+        column = self._codes[:count]
+        if len(codes) == 1:
+            return column == codes[0]
+        return np.isin(column, np.array(codes, dtype=np.int64))
+
+    def isin_groups(
+        self, keys: Sequence[Hashable], count: int
+    ) -> Dict[Hashable, np.ndarray]:
+        wanted: List[int] = []
+        for key in keys:
+            wanted.extend(self._candidate_codes(key))
+        wanted = sorted(set(wanted))
+        if not wanted or count == 0:
+            return {}
+        column = self._codes[:count]
+        if len(wanted) == 1:
+            positions = np.flatnonzero(column == wanted[0])
+            if positions.size == 0:
+                return {}
+            return {self._value_of_code(wanted[0]): positions}
+        mask = np.isin(column, np.array(wanted, dtype=np.int64))
+        positions = np.flatnonzero(mask)
+        if positions.size == 0:
+            return {}
+        codes = column[positions]
+        order = np.argsort(codes, kind="stable")
+        codes = codes[order]
+        positions = positions[order]
+        boundaries = np.flatnonzero(codes[1:] != codes[:-1]) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [codes.shape[0]]))
+        groups: Dict[Hashable, np.ndarray] = {}
+        # ascending code order == first-appearance order, so merging
+        # ==-equal values (1 vs True) keys the group by the value seen
+        # first in scan order, exactly like the dict-backed scan.
+        for start, end in zip(starts.tolist(), ends.tolist()):
+            stored = self._value_of_code(int(codes[start]))
+            chunk = positions[start:end]
+            existing = groups.get(stored)
+            if existing is None:
+                groups[stored] = chunk
+            else:
+                groups[stored] = np.sort(np.concatenate((existing, chunk)))
+        return groups
+
+    # -- persistence --------------------------------------------------- #
+
+    def save(self, path: Path, count: int) -> Dict[str, Any]:
+        values_path = path.with_name(path.name[: -len(".npy")] + ".values.npy")
+        if self._writable:
+            np.save(path, self._codes[:count])
+            strings: List[str] = []
+            exceptions: List[List[Any]] = []
+            for code, value in enumerate(self._values):
+                if isinstance(value, str) and "\x00" not in value:
+                    strings.append(value)
+                else:
+                    # numpy '<U' storage strips trailing NULs, so any
+                    # non-str value (and NUL-bearing strings) rides in
+                    # the JSON manifest instead.
+                    strings.append("")
+                    exceptions.append([code, value])
+            np.save(values_path, np.array(strings, dtype="<U1") if not strings
+                    else np.array(strings))
+            return {"kind": "dict", "exceptions": exceptions}
+        # untouched mmap attach: the files on disk are already current
+        return {
+            "kind": "dict",
+            "exceptions": [
+                [code, value] for code, value in sorted(self._exceptions.items())
+            ],
+        }
+
+
+# --------------------------------------------------------------------- #
+# the shared store (one per Database)
+# --------------------------------------------------------------------- #
+
+
+class VectorizedStore:
+    """Directory-backed persistence shared by every vectorized table of
+    one :class:`~repro.storage.database.Database`.
+
+    ``flush``/``close`` save each registered backend's columns as
+    ``.npy`` files plus a JSON manifest; mmap-attached tables that were
+    never mutated skip the rewrite entirely.
+    """
+
+    def __init__(self, path) -> None:
+        self.directory = Path(path)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._backends: List["VectorizedColumnarBackend"] = []
+
+    def register(self, backend: "VectorizedColumnarBackend") -> None:
+        self._backends.append(backend)
+
+    def flush(self) -> None:
+        for backend in self._backends:
+            backend.save()
+
+    def close(self) -> None:
+        self.flush()
+
+
+# --------------------------------------------------------------------- #
+# the backend
+# --------------------------------------------------------------------- #
+
+
+def _column_kind(column: Column) -> str:
+    if column.nullable:
+        return "dict"
+    if column.type is ColumnType.INT:
+        return "i8"
+    if column.type is ColumnType.FLOAT:
+        return "f8"
+    if column.type is ColumnType.BOOL:
+        return "b1"
+    return "dict"
+
+
+def _make_column(kind: str):
+    if kind == "dict":
+        return _DictColumn()
+    return _NumericColumn(kind)
+
+
+class VectorizedColumnarBackend(HashIndexedBackend):
+    """One table stored as dtype-typed numpy columns with vectorized
+    predicate evaluation and an optional mmap-persistent layout."""
+
+    name = "vectorized"
+    supports_columnar = True
+
+    def __init__(self, store: Optional[VectorizedStore] = None) -> None:
+        super().__init__()
+        self._store = store
+        self._names: Tuple[str, ...] = ()
+        self._schema: Tuple[Column, ...] = ()
+        self._cols: Dict[str, Any] = {}
+        self._count = 0
+        self._ids: Optional[List[int]] = []
+        self._ids_arr: Optional[np.ndarray] = None
+        self._pos: Optional[Dict[int, int]] = {}
+        self._attached = False
+        self._dirty = False
+        self._saved_next_row_id = 0
+        #: indexes declared while serving from mmap; built (and moved to
+        #: ``_indexes``) on the first mutation so attach stays O(1)
+        self._pending_indexes: List[Tuple[str, HashIndex]] = []
+
+    # ------------------------------------------------------------------ #
+    # bind / attach / persist
+    # ------------------------------------------------------------------ #
+
+    def bind(self, table_name: str, columns: Tuple[Column, ...]) -> None:
+        self._table_name = table_name
+        self._schema = columns
+        self._names = tuple(column.name for column in columns)
+        if self._store is not None:
+            self._store.register(self)
+            manifest = self._manifest_path()
+            if manifest.exists():
+                self._attach(manifest)
+                return
+        self._cols = {
+            column.name: _make_column(_column_kind(column))
+            for column in columns
+        }
+
+    def _file_stem(self) -> str:
+        return _sanitize(self._table_name)
+
+    def _manifest_path(self) -> Path:
+        return self._store.directory / f"{self._file_stem()}.manifest.json"
+
+    def _column_path(self, position: int) -> Path:
+        return self._store.directory / f"{self._file_stem()}.c{position}.npy"
+
+    def _ids_path(self) -> Path:
+        return self._store.directory / f"{self._file_stem()}.ids.npy"
+
+    def _attach(self, manifest_path: Path) -> None:
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (OSError, ValueError) as error:
+            raise StorageError(
+                f"table {self._table_name!r}: unreadable vectorized manifest "
+                f"{manifest_path}: {error}"
+            )
+        if manifest.get("format") != _MANIFEST_FORMAT or manifest.get(
+            "table"
+        ) != self._table_name:
+            raise StorageError(
+                f"table {self._table_name!r}: vectorized manifest "
+                f"{manifest_path} does not describe this table"
+            )
+        described = manifest.get("columns", [])
+        if [c["name"] for c in described] != list(self._names):
+            raise StorageError(
+                f"table {self._table_name!r}: persisted columns "
+                f"{[c['name'] for c in described]!r} do not match the "
+                f"declared schema {list(self._names)!r} "
+                f"(schema migration is not supported)"
+            )
+        cols: Dict[str, Any] = {}
+        for position, (column, entry) in enumerate(
+            zip(self._schema, described)
+        ):
+            kind = entry["kind"]
+            declared = _column_kind(column)
+            if kind != declared and kind != "dict":
+                raise StorageError(
+                    f"table {self._table_name!r}: column {column.name!r} "
+                    f"was persisted as {kind!r} but the schema expects "
+                    f"{declared!r}"
+                )
+            arr = np.load(self._column_path(position), mmap_mode="r")
+            if kind == "dict":
+                values_path = self._store.directory / (
+                    f"{self._file_stem()}.c{position}.values.npy"
+                )
+                values_arr = np.load(values_path, mmap_mode="r")
+                exceptions = {
+                    int(code): value for code, value in entry.get("exceptions", [])
+                }
+                cols[column.name] = _DictColumn.attached(
+                    arr, values_arr, exceptions
+                )
+            else:
+                cols[column.name] = _NumericColumn(kind, arr=arr)
+        self._cols = cols
+        self._count = int(manifest["count"])
+        self._saved_next_row_id = int(manifest["next_row_id"])
+        self._ids_arr = np.load(self._ids_path(), mmap_mode="r")
+        self._ids = None
+        self._pos = None
+        self._attached = True
+
+    def next_row_id(self) -> int:
+        return self._saved_next_row_id
+
+    def save(self) -> None:
+        """Persist columns + manifest into the store directory."""
+        if self._store is None or (self._attached and not self._dirty):
+            return
+        entries: List[Dict[str, Any]] = []
+        for position, name in enumerate(self._names):
+            meta = self._cols[name].save(self._column_path(position), self._count)
+            meta["name"] = name
+            entries.append(meta)
+        np.save(self._ids_path(), np.array(self._ids_list(), dtype=np.int64))
+        manifest = {
+            "format": _MANIFEST_FORMAT,
+            "table": self._table_name,
+            "count": self._count,
+            "next_row_id": self._saved_next_row_id,
+            "columns": entries,
+        }
+        tmp = self._manifest_path().with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(manifest))
+        tmp.replace(self._manifest_path())
+        self._dirty = False
+
+    def close(self) -> None:
+        self.save()
+
+    # ------------------------------------------------------------------ #
+    # lazy materialisation
+    # ------------------------------------------------------------------ #
+
+    def _ids_list(self) -> List[int]:
+        if self._ids is None:
+            self._ids = (
+                self._ids_arr[: self._count].tolist()
+                if self._ids_arr is not None
+                else []
+            )
+        return self._ids
+
+    def _ensure_pos(self) -> Dict[int, int]:
+        if self._pos is None:
+            self._pos = {
+                row_id: position
+                for position, row_id in enumerate(self._ids_list())
+            }
+        return self._pos
+
+    def _ensure_writable(self) -> None:
+        """Copy-on-write: turn mmap views into private growable arrays
+        and backfill any index declared while attached."""
+        if self._attached:
+            for column in self._cols.values():
+                column.materialize(self._count)
+            self._ids_list()
+            self._ids_arr = None
+            self._ensure_pos()
+            self._attached = False
+        if self._pending_indexes:
+            pending, self._pending_indexes = self._pending_indexes, []
+            for name, index in pending:
+                self._build_index(index)
+                self._indexes[name] = index
+
+    def _build_index(self, index: HashIndex) -> None:
+        added: List[Tuple[Hashable, int]] = []
+        columns = index.columns
+        try:
+            for position, row_id in enumerate(self._ids_list()):
+                key = self._key_at(columns, position)
+                index.add(key, row_id)
+                added.append((key, row_id))
+        except IntegrityError:
+            for key, row_id in added:
+                index.remove(key, row_id)
+            raise
+
+    # ------------------------------------------------------------------ #
+    # row materialisation helpers
+    # ------------------------------------------------------------------ #
+
+    def _key_at(self, columns: Tuple[str, ...], position: int) -> Hashable:
+        if len(columns) == 1:
+            return self._cols[columns[0]].value_at(position)
+        return tuple(self._cols[c].value_at(position) for c in columns)
+
+    def _row_at(self, position: int) -> Dict[str, Any]:
+        return {
+            name: self._cols[name].value_at(position) for name in self._names
+        }
+
+    def _rows_at(self, positions: np.ndarray) -> List[Dict[str, Any]]:
+        if positions.size == 0:
+            return []
+        lists = [
+            self._cols[name].gather(positions).tolist() for name in self._names
+        ]
+        names = self._names
+        return [dict(zip(names, values)) for values in zip(*lists)]
+
+    # ------------------------------------------------------------------ #
+    # indexes
+    # ------------------------------------------------------------------ #
+
+    def create_index(
+        self, name: str, columns: Tuple[str, ...], unique: bool
+    ) -> HashIndex:
+        index = HashIndex(name, columns, unique=unique)
+        if self._attached and self._count:
+            # O(1) attach: defer the backfill until the first mutation;
+            # until then probes over these columns stay vectorized scans.
+            self._pending_indexes.append((name, index))
+            return index
+        self._build_index(index)
+        self._indexes[name] = index
+        return index
+
+    # ------------------------------------------------------------------ #
+    # data manipulation
+    # ------------------------------------------------------------------ #
+
+    def insert(self, row_id: int, row: Dict[str, Any]) -> None:
+        self._ensure_writable()
+        self._add_to_indexes(row, row_id)
+        count = self._count
+        for name in self._names:
+            column = self._cols[name]
+            try:
+                column.append(row[name], count)
+            except _Promote:
+                # value outside int64: promote the column to dictionary
+                # encoding, preserving the existing values verbatim
+                promoted = self._promote_column(name, column)
+                promoted.append(row[name], count)
+        self._pos[row_id] = count
+        self._ids.append(row_id)
+        self._count = count + 1
+        if row_id >= self._saved_next_row_id:
+            self._saved_next_row_id = row_id + 1
+        self._dirty = True
+
+    def _promote_column(self, name: str, column: _NumericColumn) -> _DictColumn:
+        promoted = _DictColumn()
+        for position, value in enumerate(column.tolist(self._count)):
+            promoted.append(value, position)
+        self._cols[name] = promoted
+        return promoted
+
+    def delete(self, row_id: int) -> None:
+        self._ensure_writable()
+        position = self._pos.pop(row_id, None)
+        if position is None:
+            raise StorageError(
+                f"table {self._table_name!r} has no row id {row_id}"
+            )
+        row = self._row_at(position)
+        self._remove_from_indexes(row, row_id)
+        count = self._count
+        for name in self._names:
+            self._cols[name].delete(position, count)
+        ids = self._ids
+        del ids[position]
+        positions = self._pos
+        for index in range(position, len(ids)):
+            positions[ids[index]] -= 1
+        self._count = count - 1
+        self._dirty = True
+
+    # ------------------------------------------------------------------ #
+    # retrieval (dict-compatible surface)
+    # ------------------------------------------------------------------ #
+
+    def get(self, row_id: int) -> Optional[Dict[str, Any]]:
+        position = self._ensure_pos().get(row_id)
+        return self._row_at(position) if position is not None else None
+
+    def rows(self) -> Iterator[Dict[str, Any]]:
+        if not self._count:
+            return
+        lists = [self._cols[name].tolist(self._count) for name in self._names]
+        names = self._names
+        for values in zip(*lists):
+            yield dict(zip(names, values))
+
+    def row_ids(self) -> Iterator[int]:
+        return iter(self._ids_list())
+
+    def _probe_mask(
+        self, columns: Tuple[str, ...], values: Tuple[Any, ...]
+    ) -> Optional[np.ndarray]:
+        mask: Optional[np.ndarray] = None
+        for column_name, value in zip(columns, values):
+            part = self._cols[column_name].eq_mask(value, self._count)
+            if part is None:
+                return None
+            mask = part if mask is None else (mask & part)
+        return mask
+
+    def lookup(
+        self, columns: Tuple[str, ...], values: Tuple[Any, ...]
+    ) -> List[Dict[str, Any]]:
+        index = self._index_on(columns)
+        if index is not None:
+            key = values[0] if len(values) == 1 else tuple(values)
+            positions = self._ensure_pos()
+            return [self._row_at(positions[rid]) for rid in index.lookup(key)]
+        if not self._count:
+            return []
+        mask = self._probe_mask(columns, values)
+        if mask is None:
+            return []
+        return self._rows_at(np.flatnonzero(mask))
+
+    def _probe_groups(
+        self, columns: Tuple[str, ...], keys: Sequence[Hashable]
+    ) -> Dict[Hashable, np.ndarray]:
+        """Vectorized scan: positions per probe key, grouped by the
+        stored key exactly like the dict-backed scans group rows."""
+        if not self._count:
+            return {}
+        if len(columns) == 1:
+            return self._cols[columns[0]].isin_groups(keys, self._count)
+        groups: Dict[Hashable, np.ndarray] = {}
+        for key in dict.fromkeys(keys):
+            if not isinstance(key, tuple) or len(key) != len(columns):
+                continue
+            mask = self._probe_mask(columns, key)
+            if mask is None:
+                continue
+            positions = np.flatnonzero(mask)
+            if positions.size == 0:
+                continue
+            stored = self._key_at(columns, int(positions[0]))
+            existing = groups.get(stored)
+            if existing is None:
+                groups[stored] = positions
+            else:
+                groups[stored] = np.sort(
+                    np.concatenate((existing, positions))
+                )
+        return groups
+
+    def lookup_many(
+        self, columns: Tuple[str, ...], keys: Sequence[Hashable]
+    ) -> Dict[Hashable, List[Dict[str, Any]]]:
+        index = self._index_on(columns)
+        if index is not None:
+            positions = self._ensure_pos()
+            return {
+                key: [self._row_at(positions[rid]) for rid in rids]
+                for key, rids in index.lookup_many(keys).items()
+            }
+        return {
+            key: self._rows_at(positions)
+            for key, positions in self._probe_groups(columns, keys).items()
+        }
+
+    def lookup_in(
+        self, columns: Tuple[str, ...], keys: Sequence[Hashable]
+    ) -> Set[Hashable]:
+        index = self._index_on(columns)
+        if index is not None:
+            return index.contains_many(keys)
+        return set(self._probe_groups(columns, keys))
+
+    def __len__(self) -> int:
+        return self._count
+
+    # ------------------------------------------------------------------ #
+    # batch-columnar surface (selection vectors)
+    # ------------------------------------------------------------------ #
+
+    def probe_positions(
+        self, columns: Tuple[str, ...], keys: Sequence[Hashable]
+    ) -> Dict[Hashable, np.ndarray]:
+        """Selection vectors: positions of matching rows per probe key.
+
+        Uses a matching built index when one exists (positions via the
+        row-id map), otherwise one vectorized pass over the probed
+        column(s). Misses are omitted, mirroring ``lookup_many``.
+        """
+        index = self._index_on(columns)
+        if index is not None:
+            positions = self._ensure_pos()
+            return {
+                key: np.array([positions[rid] for rid in rids], dtype=np.int64)
+                for key, rids in index.lookup_many(keys).items()
+            }
+        return self._probe_groups(columns, keys)
+
+    def gather(
+        self, columns: Tuple[str, ...], positions: np.ndarray
+    ) -> Tuple[np.ndarray, ...]:
+        """Column values at ``positions``, one typed (or object) array
+        per requested column — no row dicts."""
+        return tuple(self._cols[name].gather(positions) for name in columns)

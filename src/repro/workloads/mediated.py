@@ -29,7 +29,12 @@ from repro.errors import ValidationError
 from repro.integration.mediator import Mediator
 from repro.integration.probability import ConfidenceRegistry
 from repro.integration.query import ExploratoryQuery
-from repro.integration.sources import DataSource, EntityBinding, RelationshipBinding
+from repro.integration.sources import (
+    DataSource,
+    EntityBinding,
+    RelationshipBinding,
+    column_weight,
+)
 from repro.storage.column import Column, ColumnType
 from repro.storage.database import Database
 from repro.utils.rng import RngLike, ensure_rng
@@ -138,8 +143,10 @@ class MediatedWorkload:
         return specs * repeats
 
 
-def _row_weight(row) -> float:
-    return row["w"]
+#: pr/qr transformations of the generated schema read the weight column
+#: directly; declaring that via column_weight lets binding plans fetch
+#: the weights as one float64 array on columnar-capable storage
+_row_weight = column_weight("w")
 
 
 def _adoptable(table, expected: int) -> bool:
@@ -181,14 +188,19 @@ def mediated_layers(
     the relationship bindings — and the materialised graph — cyclic.
 
     ``storage`` selects the physical backend of every generated source
-    table (``"memory"`` | ``"sqlite"`` | ``"columnar"``); with
-    ``storage="sqlite"`` and a ``storage_path`` directory, layer ``i``
-    persists to ``<storage_path>/layer<i>.sqlite``. Re-running with the
-    *same parameters* over the same directory adopts the persisted
-    layer files instead of regenerating them — how the million-record
+    table (``"memory"`` | ``"sqlite"`` | ``"columnar"`` |
+    ``"vectorized"``); with a ``storage_path`` directory, layer ``i``
+    persists to ``<storage_path>/layer<i>.sqlite`` under
+    ``storage="sqlite"`` or to the ``<storage_path>/layer<i>/``
+    directory of memory-mapped ``.npy`` column files under
+    ``storage="vectorized"`` (re-attach is O(1): columns stay on disk
+    and page in as probes touch them). Re-running with the *same
+    parameters* over the same directory adopts the persisted layer
+    files instead of regenerating them — how the million-record
     serving workloads are generated once and re-served from disk
     through the engine's warm query cache. Call
-    :meth:`MediatedWorkload.close` to release the SQLite connections.
+    :meth:`MediatedWorkload.close` to release the SQLite connections
+    (and flush vectorized stores).
 
     ``shards=N`` additionally pre-partitions the *answer layer* (the
     last entity set — the only traversal sink, hence the only safely
@@ -203,10 +215,11 @@ def mediated_layers(
     """
     if layers < 2:
         raise ValidationError(f"mediated workload needs >= 2 layers, got {layers}")
-    if storage_path is not None and storage != "sqlite":
+    if storage_path is not None and storage not in ("sqlite", "vectorized"):
         # fail before touching the filesystem
         raise ValidationError(
-            f"storage_path only applies to storage='sqlite', not {storage!r}"
+            f"storage_path only applies to storage='sqlite' or "
+            f"storage='vectorized', not {storage!r}"
         )
     if not isinstance(shards, int) or shards < 1:
         raise ValidationError(f"shards must be a positive integer, got {shards!r}")
@@ -230,13 +243,19 @@ def mediated_layers(
     if storage_path is not None:
         directory = Path(storage_path)
         directory.mkdir(parents=True, exist_ok=True)
+
+    def _layer_path(stem: str):
+        """Per-layer persistence target: a ``.sqlite`` file for SQLite,
+        a directory of ``.npy`` column files for vectorized."""
+        if directory is None:
+            return None
+        return directory / (f"{stem}.sqlite" if storage == "sqlite" else stem)
+
     for i, entity_set in enumerate(entity_sets):
         db = Database(
             f"layer{i}",
             storage=storage,
-            storage_path=(
-                directory / f"layer{i}.sqlite" if directory is not None else None
-            ),
+            storage_path=_layer_path(f"layer{i}"),
         )
         databases.append(db)
         ents = db.create_table(
@@ -280,11 +299,7 @@ def mediated_layers(
                 shard_db = Database(
                     f"layer{i}_shard{s}",
                     storage=storage,
-                    storage_path=(
-                        directory / f"layer{i}.shard{s}.sqlite"
-                        if directory is not None
-                        else None
-                    ),
+                    storage_path=_layer_path(f"layer{i}.shard{s}"),
                 )
                 shard_databases.append(shard_db)
                 shard_ents = shard_db.create_table(

@@ -1,9 +1,12 @@
 """Set-at-a-time execution: batched builder equivalence, binding plans,
-and the mediator epoch the engine's query cache keys on."""
+the vectorized frontier-expansion fast path, the CSR compile hint, and
+the mediator epoch the engine's query cache keys on."""
 
+import numpy as np
 import pytest
 
-from repro.errors import QueryError
+from repro.core.compile import compile_graph
+from repro.errors import QueryError, ValidationError
 from repro.integration import ExploratoryQuery, Mediator
 from repro.integration.builder import BatchedEntityGraphBuilder, EntityGraphBuilder
 from repro.workloads import mediated_layers
@@ -49,8 +52,11 @@ class TestBuilderEquivalence:
             {"seeds": 5, "fan_out": 4},
         ],
     )
-    def test_mediated_workloads(self, kwargs):
-        workload = mediated_layers(layers=4, width=25, rng=11, **kwargs)
+    @pytest.mark.parametrize("storage", ["memory", "vectorized"])
+    def test_mediated_workloads(self, kwargs, storage):
+        workload = mediated_layers(
+            layers=4, width=25, rng=11, storage=storage, **kwargs
+        )
         assert_identical_execution(workload.mediator, workload.query)
 
     def test_biology_scenario_case(self, scenario3_small):
@@ -97,6 +103,111 @@ class TestBuilderEquivalence:
         seed = builder.add_entity_node("Item", "I1")
         with pytest.raises(QueryError):
             builder.expand_from([seed])
+
+
+class TestVectorizedExpansion:
+    """The selection-vector fast path: when it engages, and that its
+    fallback reproduces the scalar builder's failures exactly."""
+
+    def test_plans_vectorize_only_on_columnar_storage(self):
+        fast = mediated_layers(layers=2, width=6, fan_out=2, rng=3,
+                               storage="vectorized")
+        plan = fast.mediator.entity_plan("E0")
+        assert plan.vectorized
+        assert plan.pr_column == "w"
+        assert all(rel.vectorized for rel in plan.out)
+        assert plan.out[0].qr_column == "w"
+
+        slow = mediated_layers(layers=2, width=6, fan_out=2, rng=3)
+        plan = slow.mediator.entity_plan("E0")
+        assert not plan.vectorized
+        assert not any(rel.vectorized for rel in plan.out)
+        # the weight column is still *declared* — storage is the gate
+        assert plan.out[0].qr_column == "w"
+
+    def test_out_of_range_weight_fails_like_the_scalar_builder(self):
+        """An out-of-range stored weight must fall off the array path and
+        raise the scalar builder's exact ValidationError, not a numpy
+        error and not a silently clamped probability."""
+        errors = {}
+        for builder in ("scalar", "batched"):
+            workload = mediated_layers(
+                layers=2, width=4, fan_out=2, rng=3, storage="vectorized"
+            )
+            links = workload.mediator.entity_plan("E0").out[0].table
+            links.insert({"src": "E0:0", "dst": "E1:0", "w": -0.25})
+            with pytest.raises(ValidationError) as excinfo:
+                workload.query.execute(workload.mediator, builder=builder)
+            errors[builder] = str(excinfo.value)
+        assert errors["batched"] == errors["scalar"]
+        assert "must be in [0, 1]" in errors["batched"]
+
+
+class TestCompileHint:
+    """The batched builder's edge log becomes a CSR compile hint; it must
+    be bit-identical to the dict walk and die on any graph mutation."""
+
+    @staticmethod
+    def _built_graph(**kwargs):
+        workload = mediated_layers(layers=3, width=10, fan_out=3, rng=5, **kwargs)
+        qg, _ = workload.query.execute(workload.mediator, builder="batched")
+        return qg
+
+    def test_batched_builder_attaches_hint_scalar_does_not(self):
+        workload = mediated_layers(layers=3, width=10, fan_out=3, rng=5)
+        qg_b, _ = workload.query.execute(workload.mediator, builder="batched")
+        src, dst, q = qg_b.graph._csr_hint
+        assert src.size == qg_b.graph.num_edges
+        assert q.dtype == np.float64
+        qg_s, _ = workload.query.execute(workload.mediator, builder="scalar")
+        assert qg_s.graph._csr_hint is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {},
+            {"cyclic": True},  # parallel edges exercise the merge loop
+            {"dangling_rate": 0.3, "index_links": False},
+            {"storage": "vectorized", "cyclic": True},
+        ],
+    )
+    def test_hint_compile_is_bit_identical_to_dict_walk(self, kwargs):
+        qg = self._built_graph(**kwargs)
+        assert qg.graph._csr_hint is not None
+        fast = compile_graph(qg)
+        qg.graph._csr_hint = None
+        slow = compile_graph(qg)
+        assert fast.node_ids == slow.node_ids
+        for name in ("p", "out_offsets", "out_targets", "out_q",
+                     "out_mult", "targets"):
+            fast_arr, slow_arr = getattr(fast, name), getattr(slow, name)
+            assert fast_arr.dtype == slow_arr.dtype
+            assert fast_arr.tobytes() == slow_arr.tobytes()
+        assert fast.fingerprint == slow.fingerprint
+
+    def test_mutations_invalidate_the_hint(self):
+        graph = self._built_graph().graph
+        assert graph._csr_hint is not None
+        some_node = next(iter(graph.nodes()))
+        some_edge = next(iter(graph.edges())).key
+
+        # set_p keeps it: compile reads p from the graph, not the log
+        graph.set_p(some_node, 0.5)
+        assert graph._csr_hint is not None
+        # a copy starts without one (shares no log with the original)
+        assert graph.copy()._csr_hint is None
+        assert graph._csr_hint is not None
+
+        graph.set_q(some_edge, 0.5)
+        assert graph._csr_hint is None
+
+        graph = self._built_graph().graph
+        graph.add_node("fresh", p=1.0)
+        assert graph._csr_hint is None
+
+        graph = self._built_graph().graph
+        graph.remove_edge(some_edge)
+        assert graph._csr_hint is None
 
 
 class TestBindingPlans:

@@ -2,12 +2,21 @@
 
 from __future__ import annotations
 
+import struct
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.metrics.average_precision import expected_average_precision
-from repro.storage import Column, ColumnType, Table, dump_table, load_table_rows
+from repro.storage import (
+    Column,
+    ColumnType,
+    Table,
+    create_backend,
+    dump_table,
+    load_table_rows,
+)
 
 text_values = st.text(
     alphabet=st.characters(blacklist_categories=("Cs",), blacklist_characters="\r\n"),
@@ -84,6 +93,80 @@ def test_csv_round_trip(rows, tmp_path_factory):
         assert original["flag"] == loaded["flag"]
         assert original["note"] == loaded["note"]
         assert loaded["weight"] == pytest.approx(original["weight"], rel=1e-6)
+
+
+PROBES = [
+    ("key",), ("label",), ("weight",), ("flag",), ("note",),
+    ("key", "flag"), ("label", "note"), ("key", "label", "flag"),
+]
+
+#: cross-type probe keys: ``1 == 1.0 == True`` under Python hashing, and
+#: the dict path groups by exactly that equivalence — the array path has
+#: to reproduce it, including graceful misses on type-mismatched keys
+_scalar_keys = st.sampled_from([0, 1, 1.0, 0.5, True, False, None, "x", ""])
+
+
+def _bits(value):
+    """Floats compared by bit pattern, everything else by value."""
+    if isinstance(value, float):
+        return struct.pack("<d", value)
+    return value
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=st.lists(row_strategy, max_size=15), data=st.data())
+def test_probe_positions_and_gather_match_the_dict_path(rows, data):
+    """The vectorized columnar surface (``probe_positions`` + ``gather``)
+    must reproduce ``lookup_many`` on the dict-backed reference table
+    exactly: same groups, same row order inside each group, and floats
+    bit for bit — it feeds the graph builders' fast path, where any
+    divergence would change ranking probabilities."""
+    reference = _make_table()
+    vectorized = Table(
+        "props",
+        columns=[
+            Column("key", ColumnType.INT),
+            Column("label", ColumnType.TEXT),
+            Column("weight", ColumnType.FLOAT),
+            Column("flag", ColumnType.BOOL),
+            Column("note", ColumnType.TEXT, nullable=True),
+        ],
+        backend=create_backend("vectorized"),
+    )
+    for row in rows:
+        reference.insert(row)
+        vectorized.insert(row)
+
+    columns = data.draw(st.sampled_from(PROBES))
+    present = [tuple(row[c] for c in columns) for row in rows]
+    key_strategy = (
+        st.one_of(_scalar_keys, st.sampled_from([p[0] for p in present]))
+        if len(columns) == 1 and present
+        else _scalar_keys
+        if len(columns) == 1
+        else st.one_of(st.tuples(*[_scalar_keys] * len(columns)),
+                       st.sampled_from(present))
+        if present
+        else st.tuples(*[_scalar_keys] * len(columns))
+    )
+    keys = data.draw(st.lists(key_strategy, min_size=1, max_size=8))
+
+    expected = reference.lookup_many(columns, keys)
+    groups = vectorized.probe_positions(columns, keys)
+    assert set(groups) == set(expected)
+
+    names = ("key", "label", "weight", "flag", "note")
+    for key, expected_rows in expected.items():
+        arrays = vectorized.gather(names, groups[key])
+        rebuilt = [
+            dict(zip(names, values))
+            for values in zip(*(column.tolist() for column in arrays))
+        ]
+        assert [
+            {c: _bits(v) for c, v in row.items()} for row in rebuilt
+        ] == [
+            {c: _bits(v) for c, v in row.items()} for row in expected_rows
+        ]
 
 
 @settings(max_examples=80, deadline=None)

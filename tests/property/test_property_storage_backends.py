@@ -3,9 +3,12 @@
 Hypothesis draws a mediated schema shape, generates the *same* workload
 (same rng seed) once per storage backend, and runs it through the full
 pipeline — binding plans, batched builder, engine caches, session
-ranking. Memory, SQLite and columnar storage must be observationally
-identical: same materialised graphs (nodes, edges, probabilities,
-insertion order), same ``BuildStats``, and same ``ResultSet`` rankings.
+ranking. Memory, SQLite, columnar and vectorized storage must be
+observationally identical: same materialised graphs (nodes, edges,
+probabilities, insertion order), same ``BuildStats``, and same
+``ResultSet`` rankings. The vectorized backend is the interesting one:
+its selection-vector frontier expansion and array-computed edge
+probabilities must reproduce the dict path's floats bit for bit.
 """
 
 from __future__ import annotations

@@ -258,6 +258,49 @@ class TestColumnarInternals:
         assert set(grouped) == {("a", 2)}
         assert table.lookup_in(("gid", "chrom"), [("a", 1), ("b", 1)]) == {("a", 1)}
 
+    def test_scan_keeps_duplicates_past_the_last_distinct_match(self):
+        """Regression: without a unique index the probe scan must run to
+        the end of the column. Here every wanted key has matched by
+        position 1, but key "a" has a duplicate at position 2 — an
+        unconditional early exit would silently drop it."""
+        table = Table(
+            "t", _gene_columns(), backend=create_backend("columnar")
+        )
+        table.insert({"gid": "a", "chrom": 1, "active": True})
+        table.insert({"gid": "b", "chrom": 2, "active": True})
+        table.insert({"gid": "a", "chrom": 3, "active": True})
+        grouped = table.lookup_many(("gid",), ["a", "b"])
+        assert [row["chrom"] for row in grouped["a"]] == [1, 3]
+        assert [row["chrom"] for row in grouped["b"]] == [2]
+
+    def test_unique_subset_index_enables_scan_early_exit(self):
+        """A unique index over a *subset* of the probed columns caps
+        every probe key at one row, so the composite-probe scan (which
+        has no exact-match index to use) may stop once all keys hit."""
+
+        class CountingColumn(list):
+            iterated = 0
+
+            def __iter__(self):
+                for value in super().__iter__():
+                    CountingColumn.iterated += 1
+                    yield value
+
+        table = Table(
+            "t", _gene_columns(), backend=create_backend("columnar")
+        )
+        table.create_index("by_gid", ["gid"], unique=True)
+        for i in range(50):
+            table.insert({"gid": f"g{i}", "chrom": i, "active": True})
+        backend = table._backend
+        assert backend._unique_probe(("gid", "chrom"))
+        backend._data["gid"] = CountingColumn(backend._data["gid"])
+
+        grouped = table.lookup_many(("gid", "chrom"), [("g0", 0), ("g3", 3)])
+        assert set(grouped) == {("g0", 0), ("g3", 3)}
+        # stopped at position 3 of 50, not a full pass
+        assert CountingColumn.iterated == 4
+
 
 @pytest.mark.parametrize("storage", STORAGE_BACKENDS)
 class TestVersionAndEngineInvalidation:
