@@ -187,6 +187,12 @@ class EngineConfig:
     max_cached_graphs: int = 256
     cache_scores: bool = True
     max_cached_scores: int = 1024
+    #: delta-aware query caching: cached graphs survive changes to
+    #: tables they never read, and bounded changes to tables they did
+    #: read are repaired by replaying only the dirty BFS region (see
+    #: ``docs/architecture.md``); ``False`` re-materialises cold on any
+    #: relevant change
+    incremental: bool = True
     #: thread-pool width for ``Session.execute_many``'s spec-level
     #: batching on unsharded sessions; 0 or 1 disables threading (specs
     #: still share graph materialisation work). Sharded sessions
@@ -240,6 +246,10 @@ class EngineConfig:
                 raise RankingError(
                     f"{name} must be a positive integer, got {value!r}"
                 )
+        if not isinstance(self.incremental, bool):
+            raise RankingError(
+                f"incremental must be a bool, got {self.incremental!r}"
+            )
         if not isinstance(self.max_workers, int) or self.max_workers < 0:
             raise RankingError(
                 f"max_workers must be a non-negative integer, got "
@@ -273,6 +283,7 @@ class EngineConfig:
             max_cached_scores=self.max_cached_scores,
             cache_graphs=self.cache_graphs,
             max_cached_graphs=self.max_cached_graphs,
+            incremental=self.incremental,
         )
 
     def make_database(self, name: str = "db"):

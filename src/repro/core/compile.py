@@ -34,7 +34,7 @@ import numpy as np
 
 from repro.core.graph import QueryGraph
 
-__all__ = ["CompiledGraph", "compile_graph"]
+__all__ = ["CompiledGraph", "compile_graph", "patch_compiled"]
 
 NodeId = Hashable
 
@@ -282,3 +282,112 @@ class CompiledGraph:
 def compile_graph(qg: QueryGraph) -> CompiledGraph:
     """Compile ``qg`` into the shared CSR representation."""
     return CompiledGraph.from_query_graph(qg)
+
+
+def _segment_ramp(lengths: np.ndarray) -> np.ndarray:
+    """``[0..len0), [0..len1), ...`` — per-segment element offsets."""
+    ends = np.cumsum(lengths)
+    total = int(ends[-1]) if len(ends) else 0
+    return np.arange(total, dtype=np.int64) - np.repeat(ends - lengths, lengths)
+
+
+def patch_compiled(
+    old: CompiledGraph, qg: QueryGraph, dirty_nodes
+) -> CompiledGraph:
+    """Compile ``qg`` by patching ``old`` instead of re-merging everything.
+
+    ``qg`` is an incrementally repaired rebuild of the graph ``old`` was
+    compiled from, and ``dirty_nodes`` is a superset of the node ids
+    whose out-edge multisets may differ (see
+    :func:`repro.integration.incremental.repair_build`). The result is
+    **byte-identical** to ``compile_graph(qg)`` — same arrays, dtypes
+    and fingerprint — which the incremental test suites assert directly:
+
+    * ``p`` is recomputed for every node (one vectorised pass over
+      values the repair already produced; probabilities change without
+      edges changing, so tracking them separately buys nothing),
+    * clean surviving nodes copy their merged out-segments from the old
+      arrays with a gather — targets remapped through old→new ordinals,
+      merged ``q`` and multiplicities verbatim (their edge multisets
+      are unchanged, so the merge recurrences would reproduce the same
+      bytes anyway),
+    * dirty and new nodes re-merge via the dict walk, which is
+      bit-identical to the edge-log fast path by the documented
+      equivalence that ``test_hint_compile_is_bit_identical_to_dict_walk``
+      pins down.
+    """
+    graph = qg.graph
+    node_ids = list(graph.nodes())
+    index = {node: i for i, node in enumerate(node_ids)}
+    n = len(node_ids)
+    p = np.array([graph.p(node) for node in node_ids], dtype=np.float64)
+
+    # old ordinal -> new ordinal (-1 for nodes that did not survive)
+    remap = np.full(old.num_nodes, -1, dtype=np.int64)
+    old_index = old.index
+    for node, old_pos in old_index.items():
+        new_pos = index.get(node)
+        if new_pos is not None:
+            remap[old_pos] = new_pos
+
+    lengths = np.zeros(n, dtype=np.int64)
+    old_starts = np.zeros(n, dtype=np.int64)
+    clean = np.zeros(n, dtype=bool)
+    old_offsets = old.out_offsets
+    dirty_segments: List[Tuple[int, List[int], List[float], List[int]]] = []
+    for i, node in enumerate(node_ids):
+        old_pos = old_index.get(node)
+        if old_pos is not None and node not in dirty_nodes:
+            clean[i] = True
+            start = old_offsets[old_pos]
+            old_starts[i] = start
+            lengths[i] = old_offsets[old_pos + 1] - start
+            continue
+        multiplicity: Dict[NodeId, int] = {}
+        for edge in graph.out_edges(node):
+            multiplicity[edge.target] = multiplicity.get(edge.target, 0) + 1
+        seg_targets: List[int] = []
+        seg_q: List[float] = []
+        seg_mult: List[int] = []
+        for succ, q in graph.merged_out(node).items():
+            seg_targets.append(index[succ])
+            seg_q.append(q)
+            seg_mult.append(multiplicity[succ])
+        dirty_segments.append((i, seg_targets, seg_q, seg_mult))
+        lengths[i] = len(seg_targets)
+
+    out_offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(lengths, out=out_offsets[1:])
+    total = int(out_offsets[-1])
+    out_targets = np.empty(total, dtype=np.int64)
+    out_q = np.empty(total, dtype=np.float64)
+    out_mult = np.empty(total, dtype=np.int64)
+
+    clean_idx = np.flatnonzero(clean)
+    if clean_idx.size:
+        seg_lengths = lengths[clean_idx]
+        ramp = _segment_ramp(seg_lengths)
+        dest = np.repeat(out_offsets[clean_idx], seg_lengths) + ramp
+        src = np.repeat(old_starts[clean_idx], seg_lengths) + ramp
+        # a clean node's targets all survive, so the remap is total here
+        out_targets[dest] = remap[old.out_targets[src]]
+        out_q[dest] = old.out_q[src]
+        out_mult[dest] = old.out_mult[src]
+
+    for i, seg_targets, seg_q, seg_mult in dirty_segments:
+        start, end = out_offsets[i], out_offsets[i + 1]
+        out_targets[start:end] = seg_targets
+        out_q[start:end] = seg_q
+        out_mult[start:end] = seg_mult
+
+    return CompiledGraph(
+        node_ids=node_ids,
+        index=index,
+        source=index[qg.source],
+        p=p,
+        out_offsets=out_offsets,
+        out_targets=out_targets,
+        out_q=out_q,
+        out_mult=out_mult,
+        targets=np.array([index[t] for t in qg.targets], dtype=np.int64),
+    )

@@ -13,14 +13,19 @@ instead of a scoring pass.
 Three caches cooperate:
 
 * the **query cache** maps an exploratory query's canonical signature
-  plus the mediator's *epoch* to the materialised ``QueryGraph``
-  (bounded LRU). The epoch is a monotone token covering source
-  registrations, confidence tuning and row mutations of every bound
-  table, so a stale entry can never be served: any change that could
-  alter the materialised graph changes the epoch, and the entry is
-  evicted on its next probe. Identical exploratory queries under
-  serving traffic therefore skip graph materialisation entirely and
-  flow straight into the compile/score caches below;
+  to the materialised ``QueryGraph`` plus the mediator's *epoch
+  snapshot* at execution (bounded LRU). The snapshot records a version
+  per bound table, so a probe can ask the mediator precisely *which*
+  tables changed (:meth:`~repro.integration.mediator.Mediator.changes_since`)
+  instead of discarding the entry on any epoch movement. Changes to
+  tables the cached build never read still count as hits; changes to
+  tables it did read are replayed through the recorded probe cache
+  (:mod:`repro.integration.incremental`) to *repair* the entry — a
+  rebuild that re-probes storage only for dirty keys and patches the
+  compiled CSR in place, bit-identical to a cold rebuild. Source
+  registrations, confidence tuning and overflowed change logs still
+  invalidate cold. ``incremental=False`` disables recording and
+  repair (every relevant change then re-materialises cold);
 * the **compile cache** maps live ``QueryGraph`` objects to their
   :class:`~repro.core.compile.CompiledGraph` (weakly keyed, so graphs
   are evicted when the caller drops them);
@@ -42,14 +47,17 @@ from collections import OrderedDict
 from dataclasses import dataclass, fields
 from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.core.compile import CompiledGraph, compile_graph
+from repro.core.compile import CompiledGraph, compile_graph, patch_compiled
 from repro.core.graph import QueryGraph
 from repro.core.ranker import BACKENDS, RankedResult, rank, resolve_method
 from repro.core.reliability import STOCHASTIC_STRATEGIES
 from repro.errors import RankingError
 from repro.integration.builder import BuildStats
-from repro.integration.mediator import Mediator
+from repro.integration.incremental import ProbeCache, record_build, repair_build
+from repro.integration.mediator import Mediator, MediatorEpoch
 from repro.integration.query import BUILDERS, ExploratoryQuery
+from repro.storage.changes import ChangeSet
+from repro.storage.table import Table
 
 __all__ = ["EngineStats", "RankingEngine"]
 
@@ -77,6 +85,9 @@ class EngineStats:
     score_misses: int = 0
     graph_hits: int = 0
     graph_misses: int = 0
+    #: cached graphs brought current by a delta replay instead of a cold
+    #: rebuild — counted as neither a graph hit nor a graph miss
+    graph_repairs: int = 0
     queries_executed: int = 0
 
     def reset(self) -> None:
@@ -86,6 +97,7 @@ class EngineStats:
         self.score_misses = 0
         self.graph_hits = 0
         self.graph_misses = 0
+        self.graph_repairs = 0
         self.queries_executed = 0
 
     # ------------------------------------------------------------ #
@@ -185,6 +197,7 @@ class RankingEngine:
         max_cached_scores: int = 1024,
         cache_graphs: bool = True,
         max_cached_graphs: int = 256,
+        incremental: bool = True,
     ):
         if backend not in BACKENDS:
             raise RankingError(
@@ -201,6 +214,7 @@ class RankingEngine:
         self.max_cached_scores = max_cached_scores
         self.cache_graphs = cache_graphs
         self.max_cached_graphs = max_cached_graphs
+        self.incremental = incremental
         self.stats = EngineStats()
         # guards the three caches and the stats counters so concurrent
         # callers (Session.execute_many's thread pool) stay consistent;
@@ -211,9 +225,12 @@ class RankingEngine:
             weakref.WeakKeyDictionary()
         )
         self._scores: "OrderedDict[Tuple, Dict[NodeId, float]]" = OrderedDict()
-        #: query signature -> (mediator, its epoch at execution, graph,
-        #: the build stats of the original materialisation)
-        self._graphs: "OrderedDict[Tuple, Tuple[Mediator, int, QueryGraph, BuildStats]]" = (
+        #: query signature -> (mediator, its epoch snapshot at execution,
+        #: graph, the build stats of the original materialisation, and —
+        #: under incremental mode with the batched builder — the build's
+        #: recorded probe cache, which both scopes invalidation to the
+        #: tables the build actually read and powers delta repair
+        self._graphs: "OrderedDict[Tuple, Tuple[Mediator, MediatorEpoch, QueryGraph, BuildStats, Optional[ProbeCache]]]" = (
             OrderedDict()
         )
 
@@ -226,11 +243,14 @@ class RankingEngine:
     ) -> QueryGraph:
         """Run ``query`` through the engine's mediator.
 
-        Results are cached by the query's canonical signature plus the
-        mediator's epoch: a repeated query against unchanged sources is
-        a dictionary probe (``graph_hits``), while any source
-        registration, confidence tuning or bound-table mutation bumps
-        the epoch and forces re-materialisation (``graph_misses``).
+        Results are cached by the query's canonical signature. A
+        repeated query against unchanged sources — or sources whose
+        changes touch only tables the cached build never read — is a
+        dictionary probe (``graph_hits``). Bounded changes to tables
+        the build did read are *repaired* by a delta replay
+        (``graph_repairs``) rather than rebuilt; source registrations,
+        confidence tuning and overflowed change logs re-materialise
+        cold (``graph_misses``).
         """
         return self.execute_with_stats(query, builder=builder)[0]
 
@@ -252,26 +272,112 @@ class RankingEngine:
             with self._lock:
                 self.stats.queries_executed += 1
             return qg, build_stats, False
-        epoch = self.mediator.epoch
+        mediator = self.mediator
+        # snapshot *before* any build reads storage: a mutation landing
+        # mid-build is then still newer than the stored snapshot, so the
+        # next probe re-examines it instead of missing it
+        snapshot = mediator.epoch_snapshot()
         key = (query.signature, chosen_builder)
         with self._lock:
             cached = self._graphs.get(key)
-            if cached is not None:
-                cached_mediator, cached_epoch, qg, build_stats = cached
-                # the entry must come from *this* mediator (the attribute
-                # is public and reassignable) and from its current epoch
-                if cached_mediator is self.mediator and cached_epoch == epoch:
-                    self._graphs.move_to_end(key)
-                    self.stats.graph_hits += 1
+        if cached is not None:
+            # the entry must come from *this* mediator (the attribute is
+            # public and reassignable); `changes_since` then reports
+            # None on structural change, or exactly which bound tables
+            # moved since the entry's snapshot
+            entry_mediator, entry_snapshot, qg, build_stats, probe_cache = cached
+            changes = (
+                mediator.changes_since(entry_snapshot)
+                if entry_mediator is mediator
+                else None
+            )
+            if changes is not None:
+                if probe_cache is not None:
+                    # scope invalidation to the tables the cached build
+                    # actually read; net no-op windows (e.g. an insert
+                    # coalesced away by its delete) are clean too
+                    deps = probe_cache.dep_tables()
+                    relevant = {
+                        t: cs for t, cs in changes.items() if id(t) in deps and cs
+                    }
+                else:
+                    relevant = {t: cs for t, cs in changes.items() if cs}
+                if not relevant:
+                    with self._lock:
+                        if self._graphs.get(key) is cached:
+                            # refresh the snapshot so future probes diff
+                            # the shortest possible change window
+                            self._graphs[key] = (
+                                mediator, snapshot, qg, build_stats, probe_cache
+                            )
+                            self._graphs.move_to_end(key)
+                        self.stats.graph_hits += 1
                     return qg, build_stats, True
-                del self._graphs[key]  # stale: sources changed since execution
+                if probe_cache is not None and not any(
+                    cs.full for cs in relevant.values()
+                ):
+                    repaired = self._repair(
+                        key, cached, query, mediator, snapshot, relevant
+                    )
+                    if repaired is not None:
+                        return repaired
+        with self._lock:
             self.stats.graph_misses += 1
-        qg, build_stats = query.execute(self.mediator, builder=chosen_builder)
+            if cached is not None and self._graphs.get(key) is cached:
+                del self._graphs[key]  # stale: sources changed since execution
+        if self.incremental and chosen_builder == "batched":
+            qg, build_stats, probe_cache = record_build(query, mediator)
+        else:
+            qg, build_stats = query.execute(mediator, builder=chosen_builder)
+            probe_cache = None
         with self._lock:
             self.stats.queries_executed += 1
-            self._graphs[key] = (self.mediator, epoch, qg, build_stats)
+            self._graphs[key] = (mediator, snapshot, qg, build_stats, probe_cache)
             while len(self._graphs) > self.max_cached_graphs:
                 self._graphs.popitem(last=False)
+        return qg, build_stats, False
+
+    def _repair(
+        self,
+        key: Tuple,
+        cached: Tuple,
+        query: ExploratoryQuery,
+        mediator: Mediator,
+        snapshot: MediatorEpoch,
+        changes: Dict[Table, ChangeSet],
+    ) -> Optional[Tuple[QueryGraph, BuildStats, bool]]:
+        """Bring the cached entry current by delta replay; ``None`` means
+        the caller should fall back to a cold rebuild."""
+        _, _, old_qg, _, probe_cache = cached
+        try:
+            qg, build_stats, fresh_cache, dirty_nodes = repair_build(
+                query, mediator, probe_cache, changes
+            )
+        except Exception:
+            # a repair must never be load-bearing: drop the entry and
+            # let the cold path rebuild (and raise) on its own terms
+            with self._lock:
+                if self._graphs.get(key) is cached:
+                    del self._graphs[key]
+            return None
+        with self._lock:
+            old_compiled = self._compiled.get(old_qg)
+        compiled = (
+            patch_compiled(old_compiled, qg, dirty_nodes)
+            if old_compiled is not None
+            else None
+        )
+        with self._lock:
+            self.stats.graph_repairs += 1
+            self.stats.queries_executed += 1
+            self._graphs[key] = (mediator, snapshot, qg, build_stats, fresh_cache)
+            self._graphs.move_to_end(key)
+            while len(self._graphs) > self.max_cached_graphs:
+                self._graphs.popitem(last=False)
+            if compiled is not None:
+                # an unchanged-byte repair keeps the old fingerprint, so
+                # the score cache keeps hitting across the mutation
+                self._compiled.setdefault(qg, compiled)
         return qg, build_stats, False
 
     def execute_many(
@@ -341,7 +447,7 @@ class RankingEngine:
                 for key in stale:
                     del self._scores[key]
             stale_graphs = [
-                k for k, (_, _, cached, _) in self._graphs.items() if cached is qg
+                k for k, (_, _, cached, _, _) in self._graphs.items() if cached is qg
             ]
             for key in stale_graphs:
                 del self._graphs[key]

@@ -253,11 +253,54 @@ class BatchedEntityGraphBuilder(EntityGraphBuilder):
         if self.graph.has_node(node_id):
             return node_id
         plan = self.mediator.entity_plan(entity_set)
-        matches = plan.table.lookup((plan.key_column,), (key,))
-        if not matches:
+        record = self._fetch_entity_record(plan, key)
+        if record is None:
             self.stats.dangling_links += 1
             return None
-        return self._materialise(plan, key, matches[0])
+        return self._materialise(plan, key, record)
+
+    # -------------------------------------------------------------- #
+    # storage-fetch hooks
+    #
+    # Every storage probe of a build goes through one of these three
+    # methods (plus the seed probe in ``ExploratoryQuery.execute_with``),
+    # so the incremental layer (repro.integration.incremental) can
+    # record a cold build's probe results and later replay the same
+    # algorithm serving unchanged keys from the recording — yielding a
+    # repaired graph bit-identical to a cold rebuild by construction.
+    # -------------------------------------------------------------- #
+
+    def _fetch_entity_record(
+        self, plan: EntityPlan, key: Hashable
+    ) -> Optional[Row]:
+        """The entity record of ``key`` (``None`` when dangling)."""
+        matches = plan.table.lookup((plan.key_column,), (key,))
+        return matches[0] if matches else None
+
+    def _fetch_links(
+        self, plan: RelationshipPlan, keys: List[Hashable]
+    ) -> Tuple[bool, Dict]:
+        """One batched link fetch for ``plan`` over the frontier ``keys``.
+
+        Returns ``(vectorized, data_by_key)`` — ``{probe key: (target
+        keys, q values or None)}`` groups on the selection-vector path,
+        ``{probe key: [row, ...]}`` otherwise (misses omitted).
+        """
+        if plan.vectorized:
+            groups = self._links_vectorized(plan, keys)
+            if groups is not None:
+                return True, groups
+        return False, plan.table.lookup_many((plan.source_column,), keys)
+
+    def _fetch_records(
+        self, target_plan: EntityPlan, missing: List[Hashable]
+    ) -> Dict[Hashable, Row]:
+        """One batched record prefetch: ``{key: first matching row}``
+        for the target keys in ``missing`` (misses omitted)."""
+        grouped = target_plan.table.lookup_many(
+            (target_plan.key_column,), missing
+        )
+        return {key: rows[0] for key, rows in grouped.items()}
 
     def _materialise(self, plan: EntityPlan, key: Hashable, record: Row) -> NodeKey:
         """Add the node for ``record`` (assumed absent) and tally stats."""
@@ -349,27 +392,19 @@ class BatchedEntityGraphBuilder(EntityGraphBuilder):
             for entity_set, keys in by_set.items():
                 links = fetched_links[entity_set] = []
                 for plan in mediator.outgoing_plans(entity_set):
-                    if plan.vectorized:
-                        groups = self._links_vectorized(plan, keys)
-                        if groups is not None:
-                            if not groups:
-                                continue
-                            links.append((True, groups, plan))
-                            seen = targets_seen.setdefault(
-                                plan.target_entity, set()
-                            )
-                            for target_keys, _ in groups.values():
-                                seen.update(target_keys)
-                            continue
-                    rows_by_key = plan.table.lookup_many((plan.source_column,), keys)
-                    if not rows_by_key:
+                    vec, data_by_key = self._fetch_links(plan, keys)
+                    if not data_by_key:
                         continue
-                    links.append((False, rows_by_key, plan))
+                    links.append((vec, data_by_key, plan))
                     seen = targets_seen.setdefault(plan.target_entity, set())
-                    column = plan.target_column
-                    for rows in rows_by_key.values():
-                        for row in rows:
-                            seen.add(row[column])
+                    if vec:
+                        for target_keys, _ in data_by_key.values():
+                            seen.update(target_keys)
+                    else:
+                        column = plan.target_column
+                        for rows in data_by_key.values():
+                            for row in rows:
+                                seen.add(row[column])
 
             # 2. prefetch the records of every not-yet-materialised
             #    target key, one batched lookup per target entity set
@@ -381,12 +416,9 @@ class BatchedEntityGraphBuilder(EntityGraphBuilder):
                 if not missing:
                     continue
                 target_plan = mediator.entity_plan(target_entity)
-                grouped = target_plan.table.lookup_many(
-                    (target_plan.key_column,), missing
-                )
                 fetched[target_entity] = (
                     target_plan,
-                    {key: rows[0] for key, rows in grouped.items()},
+                    self._fetch_records(target_plan, missing),
                 )
 
             # each entity set's replay tasks carry the plan fields and

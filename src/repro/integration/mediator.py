@@ -37,10 +37,28 @@ from repro.integration.sources import (
     is_constant_one,
     weight_column_of,
 )
+from repro.storage.changes import ChangeSet
 from repro.storage.column import ColumnType
 from repro.storage.table import Row, Table
 
-__all__ = ["EntityPlan", "Mediator", "RelationshipPlan"]
+__all__ = ["EntityPlan", "Mediator", "MediatorEpoch", "RelationshipPlan"]
+
+
+@dataclass(frozen=True)
+class MediatorEpoch:
+    """A per-table snapshot of everything a materialised graph depends on.
+
+    Where the scalar :attr:`Mediator.epoch` collapses all staleness into
+    one counter (any mutation anywhere invalidates), this snapshot keeps
+    the *vector*: registration count, confidence version, and each bound
+    table's own mutation version — so :meth:`Mediator.changes_since` can
+    report exactly which tables moved and by which rows.
+    """
+
+    registrations: int
+    confidence_version: int
+    #: one ``(table, version)`` pair per bound table, registration order
+    table_versions: Tuple[Tuple[Table, int], ...]
 
 
 @dataclass(frozen=True)
@@ -247,6 +265,54 @@ class Mediator:
             + self.confidences.version
             + sum(table.version for table in self._bound_tables)
         )
+
+    def epoch_snapshot(self) -> MediatorEpoch:
+        """The current delta-epoch vector (see :class:`MediatorEpoch`)."""
+        self._fresh_plans()
+        return MediatorEpoch(
+            registrations=self._registrations,
+            confidence_version=self.confidences.version,
+            table_versions=tuple(
+                (table, table.version) for table in self._bound_tables
+            ),
+        )
+
+    def changes_since(
+        self, snapshot: MediatorEpoch
+    ) -> Optional[Dict[Table, ChangeSet]]:
+        """What changed since ``snapshot`` was taken, per bound table.
+
+        Three shapes of answer:
+
+        * ``None`` — a *structural* change (source registration,
+          confidence tuning, or a different bound-table set): row-level
+          deltas cannot describe it, rebuild from scratch.
+        * ``{}`` — nothing changed; cached state is exactly current.
+        * ``{table: ChangeSet, ...}`` — only these tables moved, by
+          these rows (a ``ChangeSet`` with ``full=True`` means the
+          table's bounded log overflowed).
+
+        The clean-path comparison is pure attribute reads — no storage
+        round trips — so a warm cache probe stays O(bound tables).
+        """
+        self._fresh_plans()
+        if (
+            snapshot.registrations != self._registrations
+            or snapshot.confidence_version != self.confidences.version
+        ):
+            return None
+        if len(snapshot.table_versions) != len(self._bound_tables) or any(
+            table is not bound
+            for (table, _), bound in zip(
+                snapshot.table_versions, self._bound_tables
+            )
+        ):
+            return None
+        return {
+            table: table.changes_since(version)
+            for table, version in snapshot.table_versions
+            if table.version != version
+        }
 
     # ------------------------------------------------------------------ #
     # lookups used by the graph builder

@@ -97,6 +97,19 @@ class ShardTableView:
         shared physical table invalidates every shard's cached graphs."""
         return self._table.version
 
+    def changes_since(self, version: int):
+        """The *base* table's coalesced change set. Deltas are not
+        filtered by ownership: a dirty key another shard owns simply
+        re-probes through the view and comes back unchanged, so the
+        incremental replay stays a (correct) superset."""
+        return self._table.changes_since(version)
+
+    def get(self, row_id: int) -> Row:
+        """Unfiltered row-id access (the change-set dirty-key extraction
+        reads inserted/updated rows by id; ownership filtering happens
+        at the lookup surface, not here)."""
+        return self._table.get(row_id)
+
     @property
     def base(self) -> Table:
         """The unfiltered table behind this view."""

@@ -136,8 +136,25 @@ class ExploratoryQuery:
             raise QueryError(
                 f"unknown builder {builder!r}; choose from {sorted(BUILDERS)}"
             ) from None
+        return self.execute_with(mediator, builder_cls(mediator))
+
+    def execute_with(
+        self,
+        mediator: Mediator,
+        graph_builder,
+        find_records=None,
+    ) -> Tuple[QueryGraph, BuildStats]:
+        """Run the query through an already-constructed graph builder.
+
+        ``find_records`` optionally replaces the seed probe
+        (``mediator.find_records``) — together with the builder's fetch
+        hooks this routes *every* storage access of a build through one
+        overridable surface, which is what the incremental record/replay
+        layer (:mod:`repro.integration.incremental`) plugs into.
+        """
         plan = mediator.entity_plan(self.entity_set)
-        seeds = mediator.find_records(self.entity_set, self.attribute, self.value)
+        probe = find_records or mediator.find_records
+        seeds = probe(self.entity_set, self.attribute, self.value)
         if not seeds:
             raise EmptyAnswerError(
                 f"no {self.entity_set!r} record has "
@@ -145,7 +162,6 @@ class ExploratoryQuery:
                 kind="no-seeds",
             )
 
-        graph_builder = builder_cls(mediator)
         query_node = graph_builder.add_query_node(self.value)
 
         seed_ids: List = []

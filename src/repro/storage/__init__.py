@@ -24,6 +24,7 @@ from repro.storage.backends import (
     StorageBackend,
     create_backend,
 )
+from repro.storage.changes import ChangeSet, TableChangeLog
 from repro.storage.column import Column, ColumnType
 from repro.storage.columnar import ColumnarBackend
 from repro.storage.csv_io import dump_database, dump_table, load_table_rows
@@ -35,6 +36,7 @@ from repro.storage.table import ForeignKey, Row, Table
 from repro.storage.vectorized import VectorizedColumnarBackend, VectorizedStore
 
 __all__ = [
+    "ChangeSet",
     "Column",
     "ColumnType",
     "ColumnarBackend",
@@ -52,6 +54,7 @@ __all__ = [
     "HashIndex",
     "Row",
     "Table",
+    "TableChangeLog",
     "VectorizedColumnarBackend",
     "VectorizedStore",
     "equijoin",

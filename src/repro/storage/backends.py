@@ -120,6 +120,18 @@ class StorageBackend(ABC):
                 self.delete(row_id)
             raise
 
+    def update(self, row_id: int, row: Dict[str, Any]) -> None:
+        """Replace the row stored under ``row_id`` with ``row``.
+
+        The row keeps its id and its position in insertion order (and
+        within index buckets — see
+        :meth:`~repro.storage.index.HashIndex.add_sorted`); atomic under
+        unique violations. Backends that predate the update protocol may
+        leave this unimplemented."""
+        raise StorageError(
+            f"storage backend {self.name!r} does not support update"
+        )
+
     @abstractmethod
     def delete(self, row_id: int) -> None:
         """Remove the row; :class:`StorageError` when the id is unknown."""
@@ -212,6 +224,32 @@ class HashIndexedBackend(StorageBackend):
         for index in self._indexes.values():
             index.remove(index.key_for(row), row_id)
 
+    def _update_indexes(
+        self, old_row: Dict[str, Any], new_row: Dict[str, Any], row_id: int
+    ) -> None:
+        """Re-key ``row_id`` from ``old_row`` to ``new_row`` in every
+        index, atomically: a unique violation restores every swapped key
+        (at its sorted bucket position) and re-raises."""
+        swapped: List[Tuple[HashIndex, Any, Any]] = []
+        try:
+            for index in self._indexes.values():
+                old_key = index.key_for(old_row)
+                new_key = index.key_for(new_row)
+                if old_key == new_key:
+                    continue
+                index.remove(old_key, row_id)
+                try:
+                    index.add_sorted(new_key, row_id)
+                except IntegrityError:
+                    index.add_sorted(old_key, row_id)
+                    raise
+                swapped.append((index, old_key, new_key))
+        except IntegrityError:
+            for index, old_key, new_key in reversed(swapped):
+                index.remove(new_key, row_id)
+                index.add_sorted(old_key, row_id)
+            raise
+
 
 class MemoryBackend(HashIndexedBackend):
     """Dict-backed rows plus hash indexes — the original representation."""
@@ -236,6 +274,16 @@ class MemoryBackend(HashIndexedBackend):
 
     def insert(self, row_id: int, row: Dict[str, Any]) -> None:
         self._add_to_indexes(row, row_id)
+        self._rows[row_id] = row
+
+    def update(self, row_id: int, row: Dict[str, Any]) -> None:
+        old = self._rows.get(row_id)
+        if old is None:
+            raise StorageError(
+                f"table {self._table_name!r} has no row id {row_id}"
+            )
+        self._update_indexes(old, row, row_id)
+        # dict-key overwrite keeps insertion order
         self._rows[row_id] = row
 
     def delete(self, row_id: int) -> None:

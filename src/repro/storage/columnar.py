@@ -90,6 +90,18 @@ class ColumnarBackend(HashIndexedBackend):
         self._pos[row_id] = len(self._ids)
         self._ids.append(row_id)
 
+    def update(self, row_id: int, row: Dict[str, Any]) -> None:
+        position = self._pos.get(row_id)
+        if position is None:
+            raise StorageError(
+                f"table {self._table_name!r} has no row id {row_id}"
+            )
+        old = self._row_at(position)
+        self._update_indexes(old, row, row_id)
+        # positional writes — no splice, so insertion order is untouched
+        for name in self._names:
+            self._data[name][position] = row[name]
+
     def delete(self, row_id: int) -> None:
         position = self._pos.pop(row_id, None)
         if position is None:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from bisect import insort
 from typing import Any, Dict, Hashable, Iterable, List, Set, Tuple
 
 from repro.errors import IntegrityError
@@ -38,6 +39,22 @@ class HashIndex:
                 f"unique index {self.name!r} already holds key {key!r}"
             )
         bucket.append(row_id)
+
+    def add_sorted(self, key: Hashable, row_id: int) -> None:
+        """Register ``row_id`` under ``key`` at its sorted position.
+
+        Inserts keep buckets in ascending row-id order for free (ids are
+        assigned monotonically), but the *update* path re-registers an
+        existing id under a new key — appending would put it at the
+        bucket end, diverging from SQLite's ``ORDER BY rowid`` scans.
+        Sorted insertion keeps bucket order identical across backends.
+        """
+        bucket = self._entries.setdefault(key, [])
+        if self.unique and bucket:
+            raise IntegrityError(
+                f"unique index {self.name!r} already holds key {key!r}"
+            )
+        insort(bucket, row_id)
 
     def remove(self, key: Hashable, row_id: int) -> None:
         """Unregister ``row_id`` from ``key`` (used on delete)."""

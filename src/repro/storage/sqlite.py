@@ -311,6 +311,23 @@ class SQLiteBackend(StorageBackend):
                 f"bulk insert: {exc}"
             ) from None
 
+    def update(self, row_id: int, row: Dict[str, Any]) -> None:
+        assignments = ", ".join(f"{_quote(name)} = ?" for name in self._names)
+        params = [self._encode(row[name]) for name in self._names] + [row_id]
+        try:
+            updated = self._store.execute(
+                f"UPDATE {self._sql_table} SET {assignments} WHERE rowid = ?",
+                params,
+            )
+        except sqlite3.IntegrityError as exc:
+            # a single UPDATE is atomic: a violated unique index leaves
+            # the row and every index unchanged
+            raise IntegrityError(
+                f"unique index violation in table {self._table!r}: {exc}"
+            ) from None
+        if updated == 0:
+            raise StorageError(f"table {self._table!r} has no row id {row_id}")
+
     def delete(self, row_id: int) -> None:
         deleted = self._store.execute(
             f"DELETE FROM {self._sql_table} WHERE rowid = ?", (row_id,)

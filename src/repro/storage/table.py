@@ -31,6 +31,7 @@ from typing import (
 
 from repro.errors import StorageError
 from repro.storage.backends import MemoryBackend, StorageBackend
+from repro.storage.changes import ChangeSet, TableChangeLog
 from repro.storage.column import Column
 
 __all__ = ["ForeignKey", "Row", "Table"]
@@ -86,9 +87,12 @@ class Table:
         #: first free row id (non-zero when a persistent backend
         #: re-attached to existing rows)
         self._next_row_id = self._backend.next_row_id()
-        #: monotone mutation counter (bumped on insert/delete); consumers
-        #: such as the engine's query cache use it for cheap staleness checks
+        #: monotone mutation counter (bumped on insert/update/delete);
+        #: consumers such as the engine's query cache use it for cheap
+        #: staleness checks
         self.version = 0
+        #: bounded row-level mutation log behind :meth:`changes_since`
+        self._change_log = TableChangeLog()
 
         self.primary_key: Optional[Tuple[str, ...]] = None
         if primary_key:
@@ -162,6 +166,7 @@ class Table:
         self._backend.insert(row_id, stored)
         self._next_row_id += 1
         self.version += 1
+        self._change_log.record(self.version, "insert", row_id, None)
         return row_id
 
     def insert_many(self, rows: Sequence[Mapping[str, Any]]) -> List[int]:
@@ -192,13 +197,103 @@ class Table:
         )
         self._backend.insert_rows(list(zip(row_ids, stored_batch)))
         self._next_row_id += len(stored_batch)
+        base = self.version
         self.version += len(stored_batch)
+        for offset, row_id in enumerate(row_ids, start=1):
+            self._change_log.record(base + offset, "insert", row_id, None)
         return row_ids
+
+    def update(self, row_id: int, changes: Mapping[str, Any]) -> None:
+        """Validate and apply a partial update to row ``row_id`` in place.
+
+        The row keeps its id and its position in insertion order (and in
+        every index bucket), so scans and batch lookups stay ordered
+        identically across backends after an update. Unknown columns are
+        rejected; a failing unique check leaves the table unchanged.
+        """
+        prepared = self._prepare_update(row_id, changes)
+        self._apply_updates([prepared])
+        self.version += 1
+        self._change_log.record(self.version, "update", row_id, prepared[1])
+
+    def update_many(self, updates: Mapping[int, Mapping[str, Any]]) -> None:
+        """Apply a batch of partial updates (row id -> changes) atomically.
+
+        One call is one logical refresh: the physical writes happen
+        row-at-a-time but a failing row rolls the whole batch back by
+        restoring the pre-images, and the change log records the batch
+        under consecutive versions.
+        """
+        prepared = [
+            self._prepare_update(row_id, changes)
+            for row_id, changes in updates.items()
+        ]
+        self._apply_updates(prepared)
+        base = self.version
+        self.version += len(prepared)
+        for offset, (row_id, pre, _new) in enumerate(prepared, start=1):
+            self._change_log.record(base + offset, "update", row_id, pre)
+
+    def _prepare_update(
+        self, row_id: int, changes: Mapping[str, Any]
+    ) -> Tuple[int, Dict[str, Any], Dict[str, Any]]:
+        """Validate one partial update into ``(row_id, pre_image, new_row)``."""
+        unknown = set(changes) - set(self._columns_by_name)
+        if unknown:
+            raise StorageError(
+                f"table {self.name!r}: unknown columns {sorted(unknown)!r}"
+            )
+        if not changes:
+            raise StorageError(
+                f"table {self.name!r}: update of row {row_id} changes no columns"
+            )
+        current = self._backend.get(row_id)
+        if current is None:
+            raise StorageError(f"table {self.name!r} has no row id {row_id}")
+        # copy before mutating: the memory backend hands out its live dict
+        pre = dict(current)
+        new_row = dict(pre)
+        for name, value in changes.items():
+            new_row[name] = self._columns_by_name[name].validate(value)
+        return row_id, pre, new_row
+
+    def _apply_updates(
+        self, prepared: Sequence[Tuple[int, Dict[str, Any], Dict[str, Any]]]
+    ) -> None:
+        applied: List[Tuple[int, Dict[str, Any]]] = []
+        try:
+            for row_id, pre, new_row in prepared:
+                self._backend.update(row_id, new_row)
+                applied.append((row_id, pre))
+        except Exception:
+            for row_id, pre in reversed(applied):
+                self._backend.update(row_id, pre)
+            raise
 
     def delete(self, row_id: int) -> None:
         """Remove the row with internal id ``row_id``."""
+        current = self._backend.get(row_id)
+        pre = dict(current) if current is not None else None
         self._backend.delete(row_id)
         self.version += 1
+        self._change_log.record(self.version, "delete", row_id, pre)
+
+    # ------------------------------------------------------------------ #
+    # change tracking
+    # ------------------------------------------------------------------ #
+
+    @property
+    def change_log(self) -> TableChangeLog:
+        """The bounded mutation log behind :meth:`changes_since`."""
+        return self._change_log
+
+    def changes_since(self, version: int) -> ChangeSet:
+        """The coalesced row-level delta between ``version`` and now.
+
+        ``full=True`` when the bounded log no longer covers the window —
+        consumers must then treat every row as potentially changed.
+        """
+        return self._change_log.changes_since(version)
 
     # ------------------------------------------------------------------ #
     # retrieval

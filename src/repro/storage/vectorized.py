@@ -117,6 +117,11 @@ class _NumericColumn:
             raise _Promote()
         self._arr[count] = value
 
+    def set_at(self, position: int, value: Any) -> None:
+        if self.kind == "i8" and not (_INT64_MIN <= value <= _INT64_MAX):
+            raise _Promote()
+        self._arr[position] = value
+
     def delete(self, position: int, count: int) -> None:
         self._arr[position : count - 1] = self._arr[position + 1 : count]
 
@@ -313,6 +318,16 @@ class _DictColumn:
             grown[:count] = self._codes[:count]
             self._codes = grown
         self._codes[count] = code
+
+    def set_at(self, position: int, value: Any) -> None:
+        key = _typed_key(value)
+        code = self._code_of.get(key)
+        if code is None:
+            code = len(self._values)
+            self._values.append(value)
+            self._code_of[key] = code
+            self._obj_values = None
+        self._codes[position] = code
 
     def delete(self, position: int, count: int) -> None:
         # orphaned dictionary entries are left in place; codes stay valid
@@ -776,6 +791,24 @@ class VectorizedColumnarBackend(HashIndexedBackend):
             promoted.append(value, position)
         self._cols[name] = promoted
         return promoted
+
+    def update(self, row_id: int, row: Dict[str, Any]) -> None:
+        self._ensure_writable()
+        position = self._pos.get(row_id)
+        if position is None:
+            raise StorageError(
+                f"table {self._table_name!r} has no row id {row_id}"
+            )
+        old = self._row_at(position)
+        self._update_indexes(old, row, row_id)
+        for name in self._names:
+            column = self._cols[name]
+            try:
+                column.set_at(position, row[name])
+            except _Promote:
+                promoted = self._promote_column(name, column)
+                promoted.set_at(position, row[name])
+        self._dirty = True
 
     def delete(self, row_id: int) -> None:
         self._ensure_writable()

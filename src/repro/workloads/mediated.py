@@ -126,6 +126,82 @@ class MediatedWorkload:
             **spec_fields,
         )
 
+    def refresh_entity_weights(
+        self,
+        layer: Optional[str] = None,
+        count: int = 10,
+        rng: RngLike = None,
+    ) -> int:
+        """Simulate a source refresh: re-draw the ``w`` weight of
+        ``count`` records of ``layer`` (default: the answer layer).
+
+        All updates go through one batched :meth:`Table.update_many`
+        call, so the refresh lands as a single coalesced change set per
+        table — not hundreds of row-at-a-time facade mutations — which
+        keeps the delta log small and the incremental benchmarks honest.
+        Sharded workloads mirror answer-layer updates into the owning
+        shard's replica so both serving paths see the same bytes.
+        Returns the number of rows updated.
+        """
+        random = ensure_rng(rng)
+        layer = layer or self.entity_sets[-1]
+        table = self.mediator.entity_plan(layer).table
+        row_ids = list(table.row_ids())[:count]
+        updates = {
+            row_id: {"w": random.uniform(*_WEIGHT_RANGE)}
+            for row_id in row_ids
+        }
+        if not updates:
+            return 0
+        table.update_many(updates)
+        if self.shard_databases and layer == self.entity_sets[-1]:
+            # the shard replicas hold copies of the answer layer's rows
+            # under their own row ids: mirror by key, one batch per shard
+            fresh = {table.get(row_id)["id"]: table.get(row_id)["w"]
+                     for row_id in row_ids}
+            for shard_db in self.shard_databases:
+                shard_table = shard_db.table("ents")
+                shard_updates = {
+                    row_id: {"w": fresh[row["id"]]}
+                    for row_id in shard_table.row_ids()
+                    if (row := shard_table.get(row_id))["id"] in fresh
+                }
+                if shard_updates:
+                    shard_table.update_many(shard_updates)
+        return len(updates)
+
+    def append_links(
+        self,
+        layer: int = 0,
+        count: int = 10,
+        rng: RngLike = None,
+    ) -> int:
+        """Simulate link growth: append ``count`` random links from
+        layer ``layer`` to the next layer, as one batched
+        :meth:`Database.insert_many` call (a single coalesced change
+        set). Returns the number of links inserted."""
+        if not 0 <= layer < len(self.entity_sets) - 1:
+            raise ValidationError(
+                f"append_links needs a non-terminal layer index, got {layer}"
+            )
+        random = ensure_rng(rng)
+        source_set = self.entity_sets[layer]
+        target_set = self.entity_sets[layer + 1]
+        plan = self.mediator.entity_plan(source_set)
+        width = len(plan.table)
+        target_width = len(self.mediator.entity_plan(target_set).table)
+        rows = [
+            {
+                "src": f"{source_set}:{random.randrange(width)}",
+                "dst": f"{target_set}:{random.randrange(target_width)}",
+                "w": random.uniform(*_WEIGHT_RANGE),
+            }
+            for _ in range(count)
+        ]
+        if rows:
+            self.databases[layer].insert_many(f"links_rel{layer}", rows)
+        return len(rows)
+
     def serving_batch(
         self,
         methods: Sequence[str] = ("in_edge", "path_count"),

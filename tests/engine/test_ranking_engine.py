@@ -198,12 +198,40 @@ class TestQueryExecution:
                     del table.lookup
         assert lookups == []
 
-    def test_source_mutation_invalidates_cached_graph(self):
+    def test_source_mutation_repairs_cached_graph(self):
         workload = mediated_layers(layers=3, width=10, rng=3)
         engine = RankingEngine(mediator=workload.mediator)
         cold = engine.execute(workload.query)
-        # insert a new link into a bound table: the epoch changes and the
-        # next execute re-materialises, picking up the new edge
+        # insert a new link into a bound table: the delta is bounded, so
+        # the next execute *repairs* the cached entry by replaying only
+        # the dirty BFS region — not a cold re-materialisation
+        db = workload.mediator.sources[0].database
+        db.insert(
+            "links_rel0",
+            {"src": "E0:0", "dst": "E1:1", "w": 0.5},
+        )
+        rebuilt = engine.execute(workload.query)
+        assert rebuilt is not cold
+        assert engine.stats.graph_misses == 1
+        assert engine.stats.graph_repairs == 1
+        assert engine.stats.graph_hits == 0
+        # the new link (and whatever it made reachable) is picked up,
+        # bit-identically to a cold rebuild
+        assert rebuilt.graph.num_edges > cold.graph.num_edges
+        fresh, _ = workload.query.execute(workload.mediator)
+        assert list(rebuilt.graph.nodes()) == list(fresh.graph.nodes())
+        assert [
+            (e.key, e.source, e.target, rebuilt.graph.q(e.key))
+            for e in rebuilt.graph.edges()
+        ] == [
+            (e.key, e.source, e.target, fresh.graph.q(e.key))
+            for e in fresh.graph.edges()
+        ]
+
+    def test_source_mutation_invalidates_cold_without_incremental(self):
+        workload = mediated_layers(layers=3, width=10, rng=3)
+        engine = RankingEngine(mediator=workload.mediator, incremental=False)
+        cold = engine.execute(workload.query)
         db = workload.mediator.sources[0].database
         db.insert(
             "links_rel0",
@@ -212,9 +240,46 @@ class TestQueryExecution:
         rebuilt = engine.execute(workload.query)
         assert rebuilt is not cold
         assert engine.stats.graph_misses == 2
+        assert engine.stats.graph_repairs == 0
         assert engine.stats.graph_hits == 0
-        # the new link (and whatever it made reachable) is picked up
         assert rebuilt.graph.num_edges > cold.graph.num_edges
+
+    def test_unread_table_mutation_keeps_cache_entry_warm(self):
+        """Over-invalidation regression: a mutation in a bound table the
+        cached build never read must stay a plain cache hit."""
+        from repro.integration.sources import DataSource, EntityBinding
+        from repro.storage import Column, ColumnType, Database
+
+        workload = mediated_layers(layers=3, width=10, rng=3)
+        engine = RankingEngine(mediator=workload.mediator)
+        cold = engine.execute(workload.query)
+        # register a side source providing an entity set the query never
+        # reaches: its table is bound (it bumps the mediator epoch on
+        # mutation) but the cached build cannot have probed it
+        db = Database("side_db")
+        db.create_table(
+            "extras",
+            [Column("id", ColumnType.TEXT), Column("w", ColumnType.FLOAT)],
+            primary_key=["id"],
+        )
+        db.insert("extras", {"id": "X1", "w": 0.5})
+        source = DataSource(
+            name="side",
+            database=db,
+            entities=(EntityBinding("Extra", table="extras", key_column="id"),),
+        )
+        workload.mediator.register(source)
+        # registration is structural: the first probe after it is a miss
+        engine.execute(workload.query)
+        assert engine.stats.graph_misses == 2
+        # ... but once re-recorded, mutating the unread side table must
+        # leave the entry warm: hits increment, no misses, no repairs
+        db.insert("extras", {"id": "X2", "w": 0.25})
+        warm = engine.execute(workload.query)
+        assert engine.stats.graph_hits == 1
+        assert engine.stats.graph_misses == 2
+        assert engine.stats.graph_repairs == 0
+        assert list(warm.graph.nodes()) == list(cold.graph.nodes())
 
     def test_confidence_tuning_invalidates_cached_graph(self):
         workload = mediated_layers(layers=3, width=10, rng=5)

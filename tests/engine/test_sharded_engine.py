@@ -250,10 +250,13 @@ class TestShardCacheInvalidation:
 
         after = session.execute(spec)
         stats = session.shard_stats()
-        # shard 0 re-materialised; shard 1 stayed warm
-        assert stats[0].graph_misses == 2
+        # shard 0 repaired its cached graph from the delta; shard 1
+        # never saw a change to a table it read and stayed warm
+        assert stats[0].graph_repairs == 1
+        assert stats[0].graph_misses == 1
         assert stats[1].graph_misses == 1
         assert stats[1].graph_hits == 2
+        assert stats[1].graph_repairs == 0
         # ... and the gather layer serves the fresh answer set
         gone = {e.node for e in before} - {e.node for e in after}
         assert gone == {("E2", victim_key)} or victim_key not in {

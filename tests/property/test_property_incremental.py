@@ -1,0 +1,263 @@
+"""Property test: incremental repair is bit-identical to a cold rebuild.
+
+Hypothesis draws a mediated workload, a storage backend and a sequence
+of source mutations — batched weight refreshes, link appends, direct
+row updates and deletes (bounded deltas the engine must *repair*), plus
+confidence tuning and change-log overflow (structural signals that must
+re-materialise cold). After every mutation the warm engine's answer is
+compared against a from-scratch ``query.execute``: same nodes, same
+probabilities, same edges, same :class:`BuildStats`, byte-identical
+compiled CSR arrays and fingerprint, identical propagation scores —
+and identical error messages when the mutation empties the answer set.
+
+The stats counters are checked too: a bounded delta may not grow
+``graph_misses`` (it must be served by a hit or a repair), while tuning
+and overflow must.
+
+A second property replays the same mutation kinds through the sharded
+scatter/gather paths (pre-partitioned databases for N >= 2, partition
+views for N == 1) and requires the warm sharded sessions to stay
+observationally identical to a cold unsharded reference.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import Session
+from repro.core.compile import compile_graph
+from repro.core.ranker import rank
+from repro.engine import RankingEngine, ShardRouter
+from repro.errors import QueryError
+from repro.storage import STORAGE_BACKENDS
+from repro.workloads import mediated_layers
+
+#: CSR arrays whose bytes must survive a patch unchanged vs cold compile
+_CSR_ARRAYS = ("p", "out_offsets", "out_targets", "out_q", "out_mult", "targets")
+
+workload_strategy = st.fixed_dictionaries(
+    {
+        "layers": st.integers(min_value=2, max_value=3),
+        "width": st.integers(min_value=2, max_value=10),
+        "fan_out": st.integers(min_value=1, max_value=3),
+        "seeds": st.integers(min_value=1, max_value=2),
+        "dangling_rate": st.sampled_from([0.0, 0.3]),
+        "index_links": st.booleans(),
+        "rng": st.integers(min_value=0, max_value=2**32 - 1),
+    }
+)
+
+#: (kind, *params). ``weights``/``links``/``update_link``/``delete_link``
+#: are bounded deltas; ``tune`` and ``overflow`` force a cold rebuild.
+#: The sharded property reuses everything but ``tune``: pre-partitioned
+#: deployments give each shard mediator its own confidence registry, so
+#: tuning is a deployment-level operation there, not a table mutation.
+_TABLE_STEPS = (
+    st.tuples(st.just("weights"), st.integers(1, 6), st.integers(0, 999)),
+    st.tuples(
+        st.just("links"), st.integers(0, 3), st.integers(1, 4), st.integers(0, 999)
+    ),
+    st.tuples(st.just("update_link"), st.integers(0, 999)),
+    st.tuples(st.just("delete_link"), st.integers(0, 999)),
+    st.tuples(st.just("overflow"), st.integers(0, 999)),
+)
+step_strategy = st.one_of(
+    *_TABLE_STEPS, st.tuples(st.just("tune"), st.integers(1, 9))
+)
+sharded_step_strategy = st.one_of(*_TABLE_STEPS)
+
+#: mutation kinds whose change sets are bounded (repairable)
+BOUNDED = {"weights", "links", "update_link", "delete_link"}
+
+
+def _apply(workload, step):
+    """Apply one drawn mutation step to the workload's live sources."""
+    kind = step[0]
+    links = workload.mediator.sources[0].database.table("links_rel0")
+    if kind == "weights":
+        _, count, seed = step
+        workload.refresh_entity_weights(count=count, rng=seed)
+    elif kind == "links":
+        _, layer, count, seed = step
+        layer = layer % (len(workload.entity_sets) - 1)
+        workload.append_links(layer=layer, count=count, rng=seed)
+    elif kind == "update_link":
+        row_ids = list(links.row_ids())
+        if row_ids:  # drained tables make the step a no-op (a pure hit)
+            row_id = row_ids[step[1] % len(row_ids)]
+            links.update(row_id, {"w": 0.35 + (step[1] % 50) / 100.0})
+    elif kind == "delete_link":
+        row_ids = list(links.row_ids())
+        if row_ids:
+            links.delete(row_ids[step[1] % len(row_ids)])
+    elif kind == "tune":
+        workload.mediator.confidences.set_entity_confidence(
+            workload.entity_sets[-1], step[1] / 10.0
+        )
+    else:  # overflow: trim the log past the engine's snapshot, then
+        # restore the bound so later bounded steps stay repairable
+        original = links.change_log.limit
+        links.change_log.limit = 2
+        try:
+            workload.append_links(layer=0, count=3, rng=step[1])
+        finally:
+            links.change_log.limit = original
+
+
+def _graph_facts(qg):
+    """Everything observable about a materialised query graph."""
+    graph = qg.graph
+    return {
+        "nodes": [(n, graph.p(n), graph.data(n)) for n in graph.nodes()],
+        "edges": [
+            (e.key, e.source, e.target, graph.q(e.key)) for e in graph.edges()
+        ],
+        "source": qg.source,
+        "targets": qg.targets,
+    }
+
+
+def _outcome(thunk):
+    """The thunk's value, or the error it raised as a comparable string."""
+    try:
+        return thunk()
+    except QueryError as error:
+        return f"{type(error).__name__}: {error}"
+
+
+@settings(deadline=None)
+@given(
+    config=workload_strategy,
+    storage=st.sampled_from(STORAGE_BACKENDS),
+    steps=st.lists(step_strategy, min_size=1, max_size=4),
+)
+def test_repaired_engine_matches_cold_rebuild(
+    config, storage, steps, tmp_path_factory
+):
+    config = dict(config)
+    config["seeds"] = min(config["seeds"], config["width"])
+    storage_path = (
+        tmp_path_factory.mktemp("inc-eq") if storage == "sqlite" else None
+    )
+    workload = mediated_layers(storage=storage, storage_path=storage_path, **config)
+    engine = RankingEngine(mediator=workload.mediator)
+    try:
+        baseline = _outcome(lambda: engine.execute(workload.query))
+        cached = not isinstance(baseline, str)
+        if cached:
+            engine.compile(baseline)  # give the next repair a CSR to patch
+        for step in steps:
+            _apply(workload, step)
+            before = engine.stats_snapshot()
+            warm = _outcome(
+                lambda: engine.execute_with_stats(workload.query)
+            )
+            cold = _outcome(
+                lambda: workload.query.execute(workload.mediator)
+            )
+            after = engine.stats_snapshot()
+            if isinstance(warm, str) or isinstance(cold, str):
+                # an emptied answer set must fail identically on both
+                # paths, message and all
+                assert warm == cold, f"divergent failure after {step!r}"
+                cached = False
+                continue
+            qg_warm, stats_warm, _ = warm
+            qg_cold, stats_cold = cold
+            assert _graph_facts(qg_warm) == _graph_facts(qg_cold), (
+                f"graph diverged after {step!r}"
+            )
+            assert stats_warm == stats_cold, f"BuildStats diverged after {step!r}"
+            csr_warm = engine.compile(qg_warm)  # patched in place on repair
+            csr_cold = compile_graph(qg_cold)
+            assert csr_warm.node_ids == csr_cold.node_ids
+            for name in _CSR_ARRAYS:
+                a, b = getattr(csr_warm, name), getattr(csr_cold, name)
+                assert a.dtype == b.dtype and a.tobytes() == b.tobytes(), (
+                    f"CSR array {name} diverged after {step!r}"
+                )
+            assert csr_warm.fingerprint == csr_cold.fingerprint
+            assert (
+                engine.rank(qg_warm, "propagation").scores
+                == rank(qg_cold, "propagation").scores
+            )
+            if step[0] in BOUNDED and cached:
+                assert after.graph_misses == before.graph_misses, (
+                    f"bounded step {step!r} fell back to a cold rebuild"
+                )
+                assert (
+                    after.graph_hits + after.graph_repairs
+                    == before.graph_hits + before.graph_repairs + 1
+                )
+            elif step[0] not in BOUNDED:
+                assert after.graph_misses == before.graph_misses + 1, (
+                    f"structural step {step!r} did not re-materialise cold"
+                )
+            cached = True
+    finally:
+        workload.close()
+
+
+def _observe(results):
+    """The client-visible surface of a ResultSet, as plain data."""
+    return {
+        "entities": [
+            (e.node, e.entity_set, e.key, e.label, e.score, e.rank, e.rank_interval)
+            for e in results
+        ],
+        "tie_groups": [[e.node for e in group] for group in results.tie_groups()],
+        "json": results.to_json(),
+    }
+
+
+@settings(deadline=None)
+@given(
+    config=workload_strategy,
+    shards=st.sampled_from([1, 2, 3]),
+    storage=st.sampled_from(STORAGE_BACKENDS),
+    steps=st.lists(sharded_step_strategy, min_size=1, max_size=3),
+)
+def test_warm_sharded_sessions_track_mutations(
+    config, shards, storage, steps, tmp_path_factory
+):
+    config = dict(config)
+    config["seeds"] = min(config["seeds"], config["width"])
+    storage_path = (
+        tmp_path_factory.mktemp("inc-sharded") if storage == "sqlite" else None
+    )
+    workload = mediated_layers(
+        storage=storage, storage_path=storage_path, shards=shards, **config
+    )
+    specs = [
+        workload.spec(outputs=(workload.entity_sets[-1],), method=method)
+        for method in ("propagation", "in_edge")
+    ]
+    if workload.router is not None:
+        warm = workload.open_session(sharded=True)
+    else:
+        # single-shard deployments scatter/gather over partition views
+        # of the full mediator — the other sharded serving mode
+        warm = Session(
+            mediator=workload.mediator,
+            router=ShardRouter.partition(workload.mediator, shards),
+        )
+    try:
+        with warm:
+            for spec in specs:  # warm the shard caches before mutating
+                _outcome(lambda: warm.execute(spec))
+            for step in steps:
+                _apply(workload, step)
+                for spec in specs:
+                    served = _outcome(
+                        lambda: _observe(warm.execute(spec))
+                    )
+                    with workload.open_session(sharded=False) as reference:
+                        expected = _outcome(
+                            lambda: _observe(reference.execute(spec))
+                        )
+                    assert served == expected, (
+                        f"shards={shards} diverged after {step!r}"
+                    )
+    finally:
+        workload.close()

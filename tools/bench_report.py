@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Produce / validate the committed incremental-benchmark snapshot.
+
+``--write`` runs the incremental benchmark suite under
+``pytest-benchmark``'s JSON reporter and reduces the full report to the
+small, diff-friendly snapshot committed as ``BENCH_7.json``: one record
+per benchmark with its group, median latency (seconds) and throughput
+(ops/s). The snapshot documents the measured shape of the tentpole's
+claim (repair latency vs cold-rebuild latency) on the machine that
+generated it — absolute numbers vary per machine, so CI validates the
+snapshot's *structure*, not its timings; the timing claim itself is
+asserted by ``test_incremental_beats_cold_3x`` in the suite.
+
+``--check`` validates the committed snapshot without running anything:
+it must parse, name this suite, and carry a positive median and ops
+rate for every expected benchmark. This catches the snapshot rotting
+(suite renamed, benchmark dropped, file hand-edited into nonsense)
+while staying deterministic on loaded CI runners.
+
+Usage:
+    python tools/bench_report.py --write [--report BENCH_7.json]
+    python tools/bench_report.py --check [--report BENCH_7.json]
+
+Exit status: 0 on success, 1 on failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+SUITE = "benchmarks/test_bench_incremental.py"
+DEFAULT_REPORT = "BENCH_7.json"
+
+#: benchmarks the snapshot must contain (the ratio assertion
+#: ``test_incremental_beats_cold_3x`` times itself and emits no record)
+EXPECTED = (
+    "test_incremental_refresh",
+    "test_cold_refresh",
+    "test_untouched_query_stays_cache_hit_flat",
+)
+
+
+def run_suite(root: Path) -> dict:
+    """Run the suite with the JSON reporter and return the raw report."""
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_path = Path(tmp) / "benchmark.json"
+        completed = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                SUITE,
+                "-q",
+                "-p",
+                "no:cacheprovider",
+                f"--benchmark-json={raw_path}",
+            ],
+            cwd=root,
+            env={**os.environ, "PYTHONPATH": "src"},
+        )
+        if completed.returncode != 0:
+            raise SystemExit(completed.returncode)
+        with open(raw_path) as handle:
+            return json.load(handle)
+
+
+def reduce_report(raw: dict) -> dict:
+    """The committed shape: suite + per-benchmark median and ops."""
+    benchmarks = []
+    for bench in raw.get("benchmarks", []):
+        stats = bench["stats"]
+        benchmarks.append(
+            {
+                "name": bench["name"],
+                "group": bench.get("group"),
+                "median": stats["median"],
+                "ops": stats["ops"],
+            }
+        )
+    benchmarks.sort(key=lambda b: b["name"])
+    return {"suite": SUITE, "benchmarks": benchmarks}
+
+
+def write(root: Path, report_path: Path) -> int:
+    snapshot = reduce_report(run_suite(root))
+    report_path.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(f"wrote {report_path} ({len(snapshot['benchmarks'])} benchmarks)")
+    return 0
+
+
+def check(report_path: Path) -> int:
+    problems = []
+    try:
+        snapshot = json.loads(report_path.read_text())
+    except FileNotFoundError:
+        print(f"FAIL: {report_path} is missing (tools/bench_report.py --write)")
+        return 1
+    except json.JSONDecodeError as error:
+        print(f"FAIL: {report_path} is not valid JSON: {error}")
+        return 1
+    if snapshot.get("suite") != SUITE:
+        problems.append(
+            f"suite is {snapshot.get('suite')!r}, expected {SUITE!r}"
+        )
+    recorded = {
+        bench.get("name"): bench for bench in snapshot.get("benchmarks", [])
+    }
+    for name in EXPECTED:
+        bench = recorded.get(name)
+        if bench is None:
+            problems.append(f"benchmark {name!r} missing from the snapshot")
+            continue
+        for field in ("median", "ops"):
+            value = bench.get(field)
+            if not isinstance(value, (int, float)) or value <= 0:
+                problems.append(f"{name}: {field} must be > 0, got {value!r}")
+        if not bench.get("group"):
+            problems.append(f"{name}: group must be set")
+    for problem in problems:
+        print(f"FAIL: {problem}")
+    if not problems:
+        print(
+            f"OK: {report_path} covers {len(EXPECTED)} benchmarks of {SUITE}"
+        )
+    return 1 if problems else 0
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--write", action="store_true", help="run the suite, write the snapshot"
+    )
+    mode.add_argument(
+        "--check", action="store_true", help="validate the committed snapshot"
+    )
+    parser.add_argument(
+        "--report", default=DEFAULT_REPORT, help="snapshot path"
+    )
+    args = parser.parse_args(argv)
+    root = Path(__file__).resolve().parent.parent
+    report_path = root / args.report
+    if args.write:
+        return write(root, report_path)
+    return check(report_path)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
