@@ -1,0 +1,56 @@
+"""Static analysis over mediated schemas (``repro.analysis``).
+
+A pluggable detector framework plus a built-in suite of eight
+``REPRO10x`` detectors that diagnose silent misconfigurations before a
+query ever runs: irreducible answer subgraphs (Monte Carlo fallback),
+dangling source references, cyclic bindings, partition-rule violations,
+unindexed probe columns, vectorization blockers, confidence-sensitivity
+hotspots, and staleness-tracking misconfiguration.
+
+Three entry points:
+
+* :func:`run_analysis` over an :class:`AnalysisContext` (library use),
+* ``Session.lint()`` / ``open_session(lint="warn"|"error")`` (API use),
+* ``python -m repro.analysis`` (CLI; exit code tracks worst severity).
+
+Importing this package registers the built-in detectors; custom ones
+register with the :func:`detector` decorator under their own codes.
+See ``docs/analysis.md`` for the catalog and suppression format.
+"""
+
+from repro.analysis.framework import (
+    AnalysisContext,
+    AnalysisReport,
+    Detection,
+    DetectorSpec,
+    Severity,
+    detector,
+    registered_detectors,
+    run_analysis,
+    unregister_detector,
+)
+from repro.analysis.report import (
+    load_baseline,
+    render_json,
+    render_text,
+    write_baseline,
+)
+from repro.analysis import detectors as _builtin_detectors  # noqa: F401 - registers the suite
+from repro.errors import AnalysisError
+
+__all__ = [
+    "AnalysisContext",
+    "AnalysisError",
+    "AnalysisReport",
+    "Detection",
+    "DetectorSpec",
+    "Severity",
+    "detector",
+    "load_baseline",
+    "registered_detectors",
+    "render_json",
+    "render_text",
+    "run_analysis",
+    "unregister_detector",
+    "write_baseline",
+]

@@ -1,0 +1,292 @@
+"""``python -m repro.analysis`` — lint schemas from the command line.
+
+Targets come in three shapes, freely mixed::
+
+    python -m repro.analysis path/to/schema_module.py
+    python -m repro.analysis mypkg.schemas:production_workload
+    python -m repro.analysis --mediated-layers layers=3,width=40,shards=2
+
+A ``.py`` target is loaded as a module; if it defines a callable
+``lint_target()`` that is called for the object to lint, otherwise the
+module globals are scanned for the first
+:class:`~repro.analysis.AnalysisContext`, :class:`~repro.api.Session`,
+workload, or :class:`~repro.integration.mediator.Mediator`. A
+``module:attr`` target imports the module and resolves the attribute
+(calling it when callable).
+
+The process exit code is the worst detection severity at or above the
+``--fail-on`` threshold: 0 clean/below threshold, 1 warnings, 2 errors
+(or an unusable target).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import importlib.util
+import sys
+from pathlib import Path
+from types import ModuleType
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.analysis.framework import (
+    AnalysisContext,
+    AnalysisReport,
+    Severity,
+    registered_detectors,
+    run_analysis,
+)
+from repro.analysis.report import (
+    load_baseline,
+    render_json,
+    render_text,
+    write_baseline,
+)
+from repro.errors import AnalysisError
+from repro.integration.mediator import Mediator
+
+__all__ = ["main"]
+
+
+def _parse_layers_spec(spec: str) -> dict:
+    """``"layers=3,width=40,cyclic=true"`` → mediated_layers kwargs."""
+    kwargs: dict = {}
+    for chunk in filter(None, (part.strip() for part in spec.split(","))):
+        if "=" not in chunk:
+            raise AnalysisError(
+                f"bad --mediated-layers entry {chunk!r}; expected key=value"
+            )
+        key, _, raw = chunk.partition("=")
+        lowered = raw.strip().lower()
+        value: object
+        if lowered in ("true", "false"):
+            value = lowered == "true"
+        else:
+            try:
+                value = int(raw)
+            except ValueError:
+                try:
+                    value = float(raw)
+                except ValueError:
+                    value = raw.strip()
+        kwargs[key.strip()] = value
+    return kwargs
+
+
+def _load_file(path: Path, index: int) -> ModuleType:
+    if not path.exists():
+        raise AnalysisError(f"target file {str(path)!r} does not exist")
+    spec = importlib.util.spec_from_file_location(
+        f"_repro_lint_target_{index}", path
+    )
+    if spec is None or spec.loader is None:
+        raise AnalysisError(f"cannot load {str(path)!r} as a python module")
+    module = importlib.util.module_from_spec(spec)
+    try:
+        spec.loader.exec_module(module)
+    except Exception as exc:
+        raise AnalysisError(
+            f"loading {str(path)!r} failed: {type(exc).__name__}: {exc}"
+        ) from exc
+    return module
+
+
+def _coerce(obj: object, name: str) -> Tuple[AnalysisContext, Optional[Callable[[], None]]]:
+    """An :class:`AnalysisContext` for ``obj``, plus an optional cleanup
+    (a session opened here must be closed after the run)."""
+    if isinstance(obj, AnalysisContext):
+        return obj, None
+    if isinstance(obj, Mediator):
+        return AnalysisContext(mediator=obj, name=name), None
+    from repro.api.session import Session
+
+    if isinstance(obj, Session):
+        return AnalysisContext.from_session(obj, name=name), None
+    open_session = getattr(obj, "open_session", None)
+    if callable(open_session):  # workload-shaped objects
+        session = open_session()
+        return AnalysisContext.from_session(session, name=name), session.close
+    raise AnalysisError(
+        f"target {name!r} resolved to {type(obj).__name__}, which is not "
+        f"an AnalysisContext, Session, Mediator or workload"
+    )
+
+
+def _resolve_target(target: str, index: int) -> Tuple[AnalysisContext, Optional[Callable[[], None]]]:
+    if target.endswith(".py") or "/" in target:
+        path = Path(target)
+        module = _load_file(path, index)
+        factory = getattr(module, "lint_target", None)
+        if callable(factory):
+            return _coerce(factory(), path.stem)
+        from repro.api.session import Session
+
+        for kind in (AnalysisContext, Session, Mediator):
+            for value in vars(module).values():
+                if isinstance(value, kind):
+                    return _coerce(value, path.stem)
+        raise AnalysisError(
+            f"target {target!r} defines neither lint_target() nor a "
+            f"module-level AnalysisContext/Session/Mediator"
+        )
+    if ":" in target:
+        module_name, _, attr = target.partition(":")
+        try:
+            module = importlib.import_module(module_name)
+        except ImportError as exc:
+            raise AnalysisError(
+                f"cannot import {module_name!r}: {exc}"
+            ) from exc
+        try:
+            obj = getattr(module, attr)
+        except AttributeError:
+            raise AnalysisError(
+                f"module {module_name!r} has no attribute {attr!r}"
+            ) from None
+        if callable(obj) and not isinstance(obj, (AnalysisContext, Mediator)):
+            obj = obj()
+        return _coerce(obj, attr)
+    raise AnalysisError(
+        f"unrecognised target {target!r}; pass a .py path or module:attr"
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static analysis over mediated schemas.",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        help=".py files or module:attr references to lint",
+    )
+    parser.add_argument(
+        "--mediated-layers",
+        metavar="SPEC",
+        help=(
+            "lint a generated workload; SPEC is mediated_layers kwargs "
+            "as key=value pairs, e.g. layers=3,width=40,shards=2"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report rendering (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated REPRO codes; run only these detectors",
+    )
+    parser.add_argument(
+        "--fail-on",
+        metavar="SEVERITY",
+        default="warning",
+        help="minimum severity that fails the run (note/warning/error)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="JSON suppression file; matching detections are silenced",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        help="write current detections as a baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-detectors",
+        action="store_true",
+        help="list registered detectors and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    options = parser.parse_args(argv)
+    out = sys.stdout
+
+    if options.list_detectors:
+        for spec in registered_detectors():
+            print(
+                f"{spec.code}  {spec.name:<32} [{spec.severity.label}] "
+                f"{spec.description}",
+                file=out,
+            )
+        return 0
+
+    try:
+        threshold = Severity.parse(options.fail_on)
+        select = (
+            [code.strip() for code in options.select.split(",") if code.strip()]
+            if options.select
+            else None
+        )
+        suppressions = (
+            load_baseline(options.baseline) if options.baseline else []
+        )
+
+        reports: List[AnalysisReport] = []
+        for index, target in enumerate(options.targets):
+            context, cleanup = _resolve_target(target, index)
+            try:
+                reports.append(run_analysis(context, select, suppressions))
+            finally:
+                if cleanup is not None:
+                    cleanup()
+        if options.mediated_layers is not None:
+            from repro.workloads import mediated_layers
+
+            workload = mediated_layers(
+                **_parse_layers_spec(options.mediated_layers)
+            )
+            session = workload.open_session()
+            try:
+                context = AnalysisContext.from_session(
+                    session, name="mediated_layers"
+                )
+                reports.append(run_analysis(context, select, suppressions))
+            finally:
+                session.close()
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if not reports:
+        parser.error("no targets; pass .py files, module:attr or --mediated-layers")
+
+    if options.write_baseline:
+        written = write_baseline(
+            options.write_baseline,
+            [d for report in reports for d in report.detections],
+        )
+        print(
+            f"wrote {written} suppression(s) to {options.write_baseline}",
+            file=out,
+        )
+        return 0
+
+    if options.format == "json":
+        import json as _json
+
+        print(
+            _json.dumps(
+                {"reports": [report.as_dict() for report in reports]},
+                indent=2,
+                sort_keys=True,
+            ),
+            file=out,
+        )
+    else:
+        print("\n\n".join(render_text(report) for report in reports), file=out)
+
+    worst = max(
+        (report.max_severity for report in reports if report.max_severity),
+        default=None,
+    )
+    if worst is None or worst < threshold:
+        return 0
+    return worst.exit_code

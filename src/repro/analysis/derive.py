@@ -1,0 +1,204 @@
+"""Deriving a typed E/R view of a mediator's binding graph.
+
+The reducibility theory of :mod:`repro.schema` speaks in
+:class:`~repro.schema.er.ERSchema` terms — entity sets, relationships,
+cardinality classes — while a live mediator only has *bindings* over
+storage tables. This module bridges the two for static analysis:
+
+* :func:`infer_cardinality` recovers a conservative cardinality class
+  for a relationship binding from the link table's declared unique
+  indexes (a unique index on the source key column means each source
+  record links out at most once — functional; on the target key column,
+  each target is reached at most once — injective; neither proves
+  anything, so ``[m:n]``).
+* :func:`derived_er_schema` assembles the full typed schema over the
+  provided entity sets.
+* :func:`ancestor_restricted` cuts the schema down to one answer set's
+  ancestor closure — the subgraph every ranking method actually scores
+  a node from — so reducibility verdicts are per-sink, not global.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Set, Tuple
+
+from repro.schema.cardinality import Cardinality
+from repro.schema.er import ERSchema, Relationship
+from repro.integration.mediator import RelationshipPlan
+
+if TYPE_CHECKING:
+    from repro.analysis.framework import AnalysisContext
+
+__all__ = [
+    "ancestor_restricted",
+    "derived_er_schema",
+    "has_cycle",
+    "infer_cardinality",
+    "strongly_connected_components",
+]
+
+
+def infer_cardinality(plan: RelationshipPlan) -> Cardinality:
+    """The provable cardinality class of a relationship binding.
+
+    Evidence comes from *unique* indexes on the link table's key
+    columns; anything unprovable is conservatively ``[m:n]`` (which is
+    what makes negative reducibility verdicts sound)."""
+    table = plan.table
+    probe = getattr(table, "has_unique_index", None)
+    if probe is None:  # duck-typed foreign table: no evidence
+        return Cardinality.MANY_TO_MANY
+    functional = probe((plan.source_column,))
+    injective = probe((plan.target_column,))
+    if functional and injective:
+        return Cardinality.ONE_TO_ONE
+    if functional:
+        return Cardinality.MANY_TO_ONE
+    if injective:
+        return Cardinality.ONE_TO_MANY
+    return Cardinality.MANY_TO_MANY
+
+
+def derived_er_schema(context: "AnalysisContext") -> ERSchema:
+    """The typed E/R schema of ``context``'s provided entity sets.
+
+    Relationship bindings whose target set nobody provides are omitted
+    (they are dead links — REPRO102's business, not reducibility's).
+    Binding names repeated across sources are disambiguated with a
+    ``#k`` suffix, since :class:`ERSchema` requires unique names.
+    """
+    schema = ERSchema(f"{context.name}-derived")
+    provided = set(context.provided_sets())
+    for entity_set in context.provided_sets():
+        plan = context.entity_plan(entity_set)
+        schema.entity(entity_set, key=plan.key_column)
+    taken: Dict[str, int] = {}
+    for entity_set, plan in context.relationship_plans():
+        if plan.target_entity not in provided:
+            continue
+        name = plan.relationship
+        count = taken.get(name, 0)
+        taken[name] = count + 1
+        if count:
+            name = f"{name}#{count + 1}"
+        schema.add_relationship(
+            Relationship(
+                name=name,
+                source=entity_set,
+                target=plan.target_entity,
+                cardinality=infer_cardinality(plan),
+            )
+        )
+    return schema
+
+
+def ancestor_restricted(schema: ERSchema, target: str) -> ERSchema:
+    """The sub-schema of ``target``'s ancestor closure (inclusive).
+
+    Every ranking method scores an answer from its ancestor subgraph
+    only, so this is the schema whose reducibility decides whether that
+    answer set admits closed-form reliability."""
+    ancestors: Set[str] = {target}
+    frontier = [target]
+    while frontier:
+        current = frontier.pop()
+        for relationship in schema.incoming(current):
+            if relationship.source not in ancestors:
+                ancestors.add(relationship.source)
+                frontier.append(relationship.source)
+    restricted = ERSchema(f"{schema.name}@{target}")
+    for entity in schema.entities:
+        if entity.name in ancestors:
+            restricted.add_entity(entity)
+    for relationship in schema.relationships:
+        if (
+            relationship.source in ancestors
+            and relationship.target in ancestors
+        ):
+            restricted.add_relationship(relationship)
+    return restricted
+
+
+def has_cycle(schema: ERSchema) -> bool:
+    """Whether the schema digraph contains a directed cycle (self-loops
+    included)."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {entity.name: WHITE for entity in schema.entities}
+    for start in color:
+        if color[start] != WHITE:
+            continue
+        stack: List[Tuple[str, int]] = [(start, 0)]
+        color[start] = GREY
+        while stack:
+            node, cursor = stack[-1]
+            targets = [r.target for r in schema.outgoing(node)]
+            if cursor < len(targets):
+                stack[-1] = (node, cursor + 1)
+                successor = targets[cursor]
+                if color[successor] == GREY:
+                    return True
+                if color[successor] == WHITE:
+                    color[successor] = GREY
+                    stack.append((successor, 0))
+            else:
+                color[node] = BLACK
+                stack.pop()
+    return False
+
+
+def strongly_connected_components(
+    nodes: List[str], edges: List[Tuple[str, str]]
+) -> List[List[str]]:
+    """Kosaraju SCCs of a small digraph, deterministic order.
+
+    Returns only the non-trivial components: size > 1, or a single node
+    with a self-loop — exactly the cyclic cores the MC-only detector
+    reports."""
+    forward: Dict[str, List[str]] = {node: [] for node in nodes}
+    backward: Dict[str, List[str]] = {node: [] for node in nodes}
+    for src, dst in edges:
+        forward[src].append(dst)
+        backward[dst].append(src)
+
+    order: List[str] = []
+    seen: Set[str] = set()
+    for start in nodes:
+        if start in seen:
+            continue
+        stack: List[Tuple[str, int]] = [(start, 0)]
+        seen.add(start)
+        while stack:
+            node, cursor = stack[-1]
+            if cursor < len(forward[node]):
+                stack[-1] = (node, cursor + 1)
+                successor = forward[node][cursor]
+                if successor not in seen:
+                    seen.add(successor)
+                    stack.append((successor, 0))
+            else:
+                order.append(node)
+                stack.pop()
+
+    assigned: Set[str] = set()
+    components: List[List[str]] = []
+    for start in reversed(order):
+        if start in assigned:
+            continue
+        component = [start]
+        assigned.add(start)
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for predecessor in backward[node]:
+                if predecessor not in assigned:
+                    assigned.add(predecessor)
+                    component.append(predecessor)
+                    frontier.append(predecessor)
+        components.append(sorted(component))
+
+    self_loops = {src for src, dst in edges if src == dst}
+    return [
+        component
+        for component in components
+        if len(component) > 1 or component[0] in self_loops
+    ]

@@ -1,0 +1,393 @@
+"""The detector plugin framework: registry, context, runner.
+
+A *detector* is a function taking an :class:`AnalysisContext` and
+yielding :class:`Detection` objects — zero for a clean schema. Detectors
+register themselves with the :func:`detector` decorator under a stable
+``REPRO1xx`` code::
+
+    @detector(
+        "REPRO142",
+        name="my-custom-check",
+        severity=Severity.WARNING,
+        description="what this guards against",
+    )
+    def check_my_invariant(context: AnalysisContext) -> Iterator[Detection]:
+        for entity_set in context.provided_sets():
+            ...
+            yield Detection(code="REPRO142", severity=Severity.WARNING, ...)
+
+:func:`run_analysis` runs every registered (or selected) detector with
+per-detector error isolation — a crashing detector becomes a
+``REPRO000`` error detection instead of aborting the run — and returns
+an :class:`AnalysisReport` of severity-sorted detections.
+
+Detectors are read-only observers by contract: they must not mutate the
+mediator, its tables or any engine state (the test suite pins this —
+linting never moves an epoch, a table version or a cache counter).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.api.config import EngineConfig
+from repro.engine.sharded import ShardRouter
+from repro.errors import AnalysisError
+from repro.integration.mediator import (
+    EntityPlan,
+    Mediator,
+    RelationshipPlan,
+)
+from repro.integration.partition import sink_entity_sets
+from repro.storage.table import Table
+
+__all__ = [
+    "AnalysisContext",
+    "AnalysisReport",
+    "Detection",
+    "DetectorSpec",
+    "Severity",
+    "detector",
+    "registered_detectors",
+    "run_analysis",
+    "unregister_detector",
+]
+
+#: code reserved for the runner itself: a detector that crashed
+CRASH_CODE = "REPRO000"
+
+
+class Severity(enum.IntEnum):
+    """Detection severity, ordered. ``int()`` comparisons sort reports;
+    :attr:`exit_code` maps to the CLI's process exit status."""
+
+    NOTE = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+    @property
+    def exit_code(self) -> int:
+        return {Severity.NOTE: 0, Severity.WARNING: 1, Severity.ERROR: 2}[self]
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.strip().upper()]
+        except KeyError:
+            raise AnalysisError(
+                f"unknown severity {text!r}; choose from "
+                f"{[s.label for s in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One finding: a coded, located, actionable diagnosis."""
+
+    #: stable machine code (``REPRO101`` ...), the suppression key
+    code: str
+    #: one-sentence diagnosis naming the offending schema element
+    message: str
+    severity: Severity = Severity.WARNING
+    #: dotted path into the schema/mediator/config the finding anchors
+    #: to, e.g. ``sources.Layer0.relationships.rel0``
+    location: str = ""
+    #: suggested fix, when one is mechanical enough to state
+    fix: Optional[str] = None
+    #: human name of the emitting detector (filled by the runner)
+    detector: str = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "code": self.code,
+            "severity": self.severity.label,
+            "location": self.location,
+            "message": self.message,
+            "detector": self.detector,
+        }
+        if self.fix is not None:
+            data["fix"] = self.fix
+        return data
+
+    def __str__(self) -> str:
+        where = f" at {self.location}" if self.location else ""
+        text = f"{self.code} [{self.severity.label}]{where}: {self.message}"
+        if self.fix is not None:
+            text += f"\n    fix: {self.fix}"
+        return text
+
+
+DetectorFunc = Callable[["AnalysisContext"], Optional[Iterable[Detection]]]
+
+
+@dataclass(frozen=True)
+class DetectorSpec:
+    """A registered detector: its code, metadata and implementation."""
+
+    code: str
+    name: str
+    severity: Severity
+    description: str
+    func: DetectorFunc
+
+
+_REGISTRY: Dict[str, DetectorSpec] = {}
+
+
+def detector(
+    code: str,
+    *,
+    name: str,
+    severity: Severity = Severity.WARNING,
+    description: str = "",
+) -> Callable[[DetectorFunc], DetectorFunc]:
+    """Class decorator-style registration of a detector function.
+
+    ``code`` must be unique across the registry; re-registering a code
+    raises (delete the old one first via :func:`unregister_detector` —
+    tests use this to install temporary detectors).
+    """
+
+    def register(func: DetectorFunc) -> DetectorFunc:
+        if code in _REGISTRY:
+            raise AnalysisError(
+                f"detector code {code!r} already registered "
+                f"({_REGISTRY[code].name!r})"
+            )
+        _REGISTRY[code] = DetectorSpec(
+            code=code,
+            name=name,
+            severity=severity,
+            description=description or (func.__doc__ or "").strip().split("\n")[0],
+            func=func,
+        )
+        return func
+
+    return register
+
+
+def unregister_detector(code: str) -> None:
+    """Remove a registered detector (no-op for unknown codes)."""
+    _REGISTRY.pop(code, None)
+
+
+def registered_detectors() -> List[DetectorSpec]:
+    """All registered detectors, sorted by code."""
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+@dataclass
+class AnalysisContext:
+    """Read-only access to everything a detector may inspect.
+
+    The context wraps a mediator (required), the engine configuration
+    the schema would be served under, and — when the deployment is
+    sharded — the shard router whose layout the partition detectors
+    validate. ``name`` labels the report.
+    """
+
+    mediator: Mediator
+    config: EngineConfig = field(default_factory=EngineConfig)
+    router: Optional[ShardRouter] = None
+    name: str = "schema"
+
+    @classmethod
+    def from_session(cls, session, name: str = "session") -> "AnalysisContext":
+        """The context of an open :class:`~repro.api.Session`."""
+        return cls(
+            mediator=session.mediator,
+            config=session.config,
+            router=session.router,
+            name=name,
+        )
+
+    # -------------------------------------------------------------- #
+    # schema traversal helpers shared by the built-in detectors
+    # -------------------------------------------------------------- #
+
+    def provided_sets(self) -> List[str]:
+        """Entity sets some source provides, in registration order."""
+        seen: List[str] = []
+        for source in self.mediator.sources:
+            for binding in source.entities:
+                if binding.entity_set not in seen:
+                    seen.append(binding.entity_set)
+        return seen
+
+    def sink_sets(self) -> List[str]:
+        """Provided sets with no outgoing relationship bindings."""
+        return sorted(sink_entity_sets(self.mediator))
+
+    def entity_plan(self, entity_set: str) -> EntityPlan:
+        return self.mediator.entity_plan(entity_set)
+
+    def relationship_plans(self) -> List[Tuple[str, RelationshipPlan]]:
+        """Every resolved outgoing relationship plan, as
+        ``(source entity set, plan)`` pairs in registration order."""
+        pairs: List[Tuple[str, RelationshipPlan]] = []
+        for entity_set in self.provided_sets():
+            for plan in self.mediator.outgoing_plans(entity_set):
+                pairs.append((entity_set, plan))
+        return pairs
+
+    def bound_tables(self) -> List[Tuple[str, str, Table]]:
+        """Unique bound tables as ``(source name, table name, table)``,
+        entity tables first, registration order, deduplicated by
+        identity."""
+        seen: Dict[int, None] = {}
+        out: List[Tuple[str, str, Table]] = []
+        for entity_set in self.provided_sets():
+            plan = self.mediator.entity_plan(entity_set)
+            if id(plan.table) not in seen:
+                seen[id(plan.table)] = None
+                out.append((plan.source.name, plan.binding.table, plan.table))
+        for _, plan in self.relationship_plans():
+            if id(plan.table) not in seen:
+                seen[id(plan.table)] = None
+                out.append((plan.source.name, plan.binding.table, plan.table))
+        return out
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """The outcome of one :func:`run_analysis` pass."""
+
+    name: str
+    detections: Tuple[Detection, ...]
+    #: findings silenced by the baseline/suppression file
+    suppressed: int = 0
+    #: codes of the detectors that actually ran
+    ran: Tuple[str, ...] = ()
+
+    @property
+    def max_severity(self) -> Optional[Severity]:
+        if not self.detections:
+            return None
+        return max(d.severity for d in self.detections)
+
+    @property
+    def exit_code(self) -> int:
+        worst = self.max_severity
+        return 0 if worst is None else worst.exit_code
+
+    def counts(self) -> Dict[str, int]:
+        """Detection counts per severity label (zero-count levels kept,
+        so reporters can render a stable summary line)."""
+        out = {severity.label: 0 for severity in Severity}
+        for detection in self.detections:
+            out[detection.severity.label] += 1
+        return out
+
+    def codes(self) -> Dict[str, int]:
+        """Detection counts per REPRO code."""
+        out: Dict[str, int] = {}
+        for detection in self.detections:
+            out[detection.code] = out.get(detection.code, 0) + 1
+        return out
+
+    def by_severity(self, floor: Severity) -> Tuple[Detection, ...]:
+        return tuple(d for d in self.detections if d.severity >= floor)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "detections": [d.as_dict() for d in self.detections],
+            "suppressed": self.suppressed,
+            "counts": self.counts(),
+            "exit_code": self.exit_code,
+        }
+
+
+def _matches(
+    entry: Mapping[str, object], detection: Detection
+) -> bool:
+    """Whether one suppression entry silences ``detection``: the code
+    must match; an empty/``*`` location matches any anchor."""
+    if entry.get("code") != detection.code:
+        return False
+    location = str(entry.get("location", "") or "")
+    return location in ("", "*") or location == detection.location
+
+
+def run_analysis(
+    context: AnalysisContext,
+    select: Optional[Sequence[str]] = None,
+    suppressions: Sequence[Mapping[str, object]] = (),
+) -> AnalysisReport:
+    """Run the detector suite over ``context``.
+
+    ``select`` restricts the run to the named codes (unknown codes
+    raise, so typos fail loudly). ``suppressions`` is a sequence of
+    ``{"code": ..., "location": ...}`` entries (see
+    :func:`repro.analysis.report.load_baseline`); matching detections
+    are dropped and counted in :attr:`AnalysisReport.suppressed`.
+
+    Detector crashes are isolated: the failing detector contributes one
+    ``REPRO000`` error detection naming it, and every other detector
+    still runs.
+    """
+    if select is None:
+        specs = registered_detectors()
+    else:
+        unknown = sorted(set(select) - set(_REGISTRY))
+        if unknown:
+            raise AnalysisError(
+                f"unknown detector code(s) {unknown}; registered: "
+                f"{sorted(_REGISTRY)}"
+            )
+        specs = [_REGISTRY[code] for code in sorted(set(select))]
+
+    detections: List[Detection] = []
+    for spec in specs:
+        try:
+            found = list(spec.func(context) or ())
+        except Exception as exc:  # noqa: BLE001 - isolation is the point
+            detections.append(
+                Detection(
+                    code=CRASH_CODE,
+                    severity=Severity.ERROR,
+                    location=f"detectors.{spec.code}",
+                    message=(
+                        f"detector {spec.code} ({spec.name}) crashed: "
+                        f"{type(exc).__name__}: {exc}"
+                    ),
+                    detector=spec.name,
+                )
+            )
+            continue
+        for detection in found:
+            if not detection.detector:
+                detection = dataclasses.replace(detection, detector=spec.name)
+            detections.append(detection)
+
+    kept: List[Detection] = []
+    suppressed = 0
+    for detection in detections:
+        if any(_matches(entry, detection) for entry in suppressions):
+            suppressed += 1
+        else:
+            kept.append(detection)
+    kept.sort(key=lambda d: (-int(d.severity), d.code, d.location, d.message))
+    return AnalysisReport(
+        name=context.name,
+        detections=tuple(kept),
+        suppressed=suppressed,
+        ran=tuple(spec.code for spec in specs),
+    )

@@ -1,0 +1,102 @@
+"""Rendering analysis reports and reading/writing baseline files.
+
+Two render targets: human-readable text (one block per detection, a
+summary line) and machine-readable JSON (the report's ``as_dict``).
+
+A *baseline* file is a JSON suppression list::
+
+    {
+      "suppress": [
+        {"code": "REPRO101", "location": "entity_sets.E2"},
+        {"code": "REPRO105", "location": "*"}
+      ]
+    }
+
+An empty or ``"*"`` location silences the code everywhere; otherwise
+the location must match the detection's anchor exactly. Baselines let a
+deployment adopt the linter incrementally: write today's findings with
+``--write-baseline``, fail the build only on *new* ones.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Sequence, Union
+
+from repro.analysis.framework import AnalysisReport, Detection
+from repro.errors import AnalysisError
+
+__all__ = [
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "write_baseline",
+]
+
+
+def render_text(report: AnalysisReport) -> str:
+    """The human-readable rendering of a report."""
+    lines: List[str] = []
+    for detection in report.detections:
+        lines.append(str(detection))
+    counts = report.counts()
+    summary = ", ".join(
+        f"{counts[label]} {label}(s)" for label in ("error", "warning", "note")
+    )
+    lines.append(
+        f"{report.name}: {summary}"
+        + (f", {report.suppressed} suppressed" if report.suppressed else "")
+        + f" [{len(report.ran)} detector(s) ran]"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: AnalysisReport) -> str:
+    """The machine-readable rendering of a report."""
+    return json.dumps(report.as_dict(), indent=2, sort_keys=True)
+
+
+def load_baseline(path: Union[str, Path]) -> List[Mapping[str, object]]:
+    """Parse a baseline file into suppression entries for
+    :func:`repro.analysis.run_analysis`."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise AnalysisError(f"baseline file {str(path)!r} does not exist") from None
+    except json.JSONDecodeError as exc:
+        raise AnalysisError(
+            f"baseline file {str(path)!r} is not valid JSON: {exc}"
+        ) from None
+    entries = data.get("suppress") if isinstance(data, dict) else None
+    if not isinstance(entries, list):
+        raise AnalysisError(
+            f"baseline file {str(path)!r} must be an object with a "
+            f"'suppress' list"
+        )
+    out: List[Mapping[str, object]] = []
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, dict) or "code" not in entry:
+            raise AnalysisError(
+                f"baseline entry #{index} in {str(path)!r} must be an "
+                f"object with at least a 'code' key, got {entry!r}"
+            )
+        out.append({"code": entry["code"], "location": entry.get("location", "*")})
+    return out
+
+
+def write_baseline(
+    path: Union[str, Path], detections: Sequence[Detection]
+) -> int:
+    """Write a baseline suppressing exactly ``detections`` (deduplicated
+    by code+location). Returns the number of entries written."""
+    seen: Dict[tuple, None] = {}
+    for detection in detections:
+        seen[(detection.code, detection.location)] = None
+    entries = [
+        {"code": code, "location": location or "*"}
+        for code, location in sorted(seen)
+    ]
+    Path(path).write_text(json.dumps({"suppress": entries}, indent=2) + "\n")
+    return len(entries)

@@ -19,7 +19,14 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass, fields
 from pathlib import Path
-from typing import Dict, Mapping, Optional
+from typing import TYPE_CHECKING, Dict, Mapping, Optional, Type, TypeVar
+
+if TYPE_CHECKING:
+    from repro.engine.ranking import RankingEngine
+    from repro.integration.mediator import Mediator
+    from repro.storage.database import Database
+
+_T = TypeVar("_T")
 
 from repro.core.ranker import BACKENDS, resolve_method
 from repro.core.reliability import RELIABILITY_STRATEGIES, STOCHASTIC_STRATEGIES
@@ -31,7 +38,7 @@ from repro.storage.backends import STORAGE_BACKENDS
 __all__ = ["EngineConfig", "RankingOptions"]
 
 
-def _from_mapping(cls, data: Mapping[str, object], what: str):
+def _from_mapping(cls: Type[_T], data: Mapping[str, object], what: str) -> _T:
     known = {f.name for f in fields(cls)}
     unknown = sorted(set(data) - known)
     if unknown:
@@ -265,7 +272,7 @@ class EngineConfig:
                 f"{list(PARTITIONERS)}"
             )
 
-    def make_engine(self, mediator=None):
+    def make_engine(self, mediator: Optional["Mediator"] = None) -> "RankingEngine":
         """A :class:`~repro.engine.RankingEngine` configured accordingly.
 
         Example::
@@ -286,7 +293,7 @@ class EngineConfig:
             incremental=self.incremental,
         )
 
-    def make_database(self, name: str = "db"):
+    def make_database(self, name: str = "db") -> "Database":
         """A :class:`~repro.storage.database.Database` on this config's
         storage backend.
 

@@ -12,7 +12,22 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+if TYPE_CHECKING:
+    from repro.api.spec import QuerySpec
 
 from repro.core.graph import QueryGraph
 from repro.core.paths import EvidencePath, enumerate_paths, explain_answer
@@ -126,8 +141,8 @@ class ResultSet:
         self,
         ranked: RankedResult,
         graph: QueryGraph,
-        spec=None,
-    ):
+        spec: Optional["QuerySpec"] = None,
+    ) -> None:
         self._ranked = ranked
         self._graph = graph
         self.spec = spec
@@ -253,7 +268,9 @@ class ResultSet:
     def __iter__(self) -> Iterator[RankedEntity]:
         return iter(self._entities)
 
-    def __getitem__(self, index):
+    def __getitem__(
+        self, index: Union[int, slice]
+    ) -> Union[RankedEntity, List[RankedEntity]]:
         return self._entities[index]
 
     def __repr__(self) -> str:
@@ -311,10 +328,10 @@ class _GatherPayloads:
     graph (quacks like ``ProbabilisticEntityGraph.data`` for the
     entity-record construction of the base class)."""
 
-    def __init__(self, owners):
+    def __init__(self, owners: Mapping[Hashable, QueryGraph]) -> None:
         self._owners = owners
 
-    def data(self, node):
+    def data(self, node: Hashable) -> object:
         return self._owners[node].graph.data(node)
 
 
@@ -323,7 +340,12 @@ class _GatherGraph:
     carries: merged answer set, shared source node, per-owner payload
     dispatch. Whole-graph operations live on the per-shard graphs."""
 
-    def __init__(self, owners, source, targets):
+    def __init__(
+        self,
+        owners: Mapping[Hashable, QueryGraph],
+        source: Hashable,
+        targets: Iterable[Hashable],
+    ) -> None:
         self.graph = _GatherPayloads(owners)
         self.source = source
         self.targets = list(targets)
@@ -344,7 +366,13 @@ class ShardedResultSet(ResultSet):
     iterate :attr:`shard_graphs` instead.
     """
 
-    def __init__(self, ranked: RankedResult, owners, source, spec=None):
+    def __init__(
+        self,
+        ranked: RankedResult,
+        owners: Mapping[Hashable, QueryGraph],
+        source: Hashable,
+        spec: Optional["QuerySpec"] = None,
+    ) -> None:
         self._owners = dict(owners)
         super().__init__(
             ranked,

@@ -29,7 +29,21 @@ import time
 import weakref
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+if TYPE_CHECKING:
+    from repro.analysis.framework import AnalysisReport
+    from repro.storage.database import Database
 
 from repro.api.config import EngineConfig, RankingOptions
 from repro.api.result import ResultSet, ShardedResultSet
@@ -120,7 +134,7 @@ class Session:
         mediator: Optional[Mediator] = None,
         config: Optional[EngineConfig] = None,
         router: Optional[ShardRouter] = None,
-    ):
+    ) -> None:
         self._config = config or EngineConfig()
         self._mediator = mediator if mediator is not None else Mediator()
         self._engine = self._config.make_engine(self._mediator)
@@ -213,7 +227,7 @@ class Session:
                     shard_mediator.register(source)
         return self
 
-    def create_database(self, name: str = "db"):
+    def create_database(self, name: str = "db") -> "Database":
         """A new :class:`~repro.storage.database.Database` on this
         session's configured storage backend.
 
@@ -452,7 +466,7 @@ class Session:
         )
         return ResultSet(ranked, graph)
 
-    def rank_many(self, targets, **kwargs):
+    def rank_many(self, targets: Iterable[object], **kwargs: object) -> List:
         """Batch passthrough to
         :meth:`~repro.engine.RankingEngine.rank_many` (experiment
         drivers that sweep methods over shared compilations)."""
@@ -540,6 +554,33 @@ class Session:
             engine_stats=self._engine.stats_snapshot().as_dict(),
         )
 
+    def lint(
+        self,
+        select: Optional[Sequence[str]] = None,
+        suppressions: Sequence[Mapping[str, object]] = (),
+    ) -> "AnalysisReport":
+        """Run the static detector suite over this session's schema.
+
+        Returns an :class:`~repro.analysis.AnalysisReport`; ``select``
+        restricts the run to the named REPRO codes and ``suppressions``
+        silences matching findings (see
+        :func:`repro.analysis.load_baseline`). Linting is read-only: it
+        never moves the mediator epoch, a table version or an engine
+        cache counter.
+
+        Example::
+
+            >>> from repro.workloads import mediated_layers
+            >>> with mediated_layers(layers=2, width=4, rng=7).open_session() as session:
+            ...     session.lint().exit_code
+            0
+        """
+        self._check_open()
+        from repro.analysis import AnalysisContext, run_analysis
+
+        context = AnalysisContext.from_session(self)
+        return run_analysis(context, select=select, suppressions=suppressions)
+
     def stats(self) -> EngineStats:
         """The engine's cumulative cache-effectiveness counters (live
         object; use :meth:`stats_snapshot` for before/after deltas).
@@ -586,7 +627,7 @@ class Session:
     def __enter__(self) -> "Session":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def __repr__(self) -> str:
@@ -627,6 +668,7 @@ def open_session(
     config: Optional[EngineConfig] = None,
     shards: Optional[int] = None,
     router: Optional[ShardRouter] = None,
+    lint: str = "off",
 ) -> Session:
     """Open a :class:`Session` over the given data sources.
 
@@ -646,6 +688,12 @@ def open_session(
     An explicit ``router`` wires pre-partitioned per-shard mediators
     instead (see :func:`repro.workloads.mediated_layers` with
     ``shards=``).
+
+    ``lint`` gates the schema through :mod:`repro.analysis` at open
+    time: ``"warn"`` emits a :class:`UserWarning` per finding,
+    ``"error"`` additionally **refuses** the session — closing it and
+    raising :class:`~repro.errors.AnalysisError` — when any
+    error-severity detection fires (default ``"off"``).
 
     Example::
 
@@ -674,4 +722,31 @@ def open_session(
                 f"shards={shards} contradicts config.shards={base.shards}"
             )
         config = replace(base, shards=shards)
-    return Session(mediator=mediator, config=config, router=router)
+    if lint not in ("off", "warn", "error"):
+        raise QueryError(
+            f'lint must be "off", "warn" or "error", got {lint!r}'
+        )
+    session = Session(mediator=mediator, config=config, router=router)
+    if lint != "off":
+        import warnings as _warnings
+
+        from repro.analysis import Severity
+        from repro.errors import AnalysisError
+
+        report = session.lint()
+        for detection in report.detections:
+            _warnings.warn(str(detection), stacklevel=2)
+        if lint == "error":
+            errors = report.by_severity(Severity.ERROR)
+            if errors:
+                session.close()
+                codes = sorted({d.code for d in errors})
+                raise AnalysisError(
+                    f"schema rejected by static analysis: "
+                    f"{len(errors)} error-severity detection(s) "
+                    f"({', '.join(codes)}); fix them, suppress them via "
+                    f"Session.lint(suppressions=...), or open with "
+                    f"lint='warn'",
+                    detections=errors,
+                )
+    return session

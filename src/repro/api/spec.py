@@ -287,7 +287,7 @@ class Query:
         ('Protein', 'ABCC8', 'path_count', 10, 7)
     """
 
-    def __init__(self, entity_set: Optional[str] = None):
+    def __init__(self, entity_set: Optional[str] = None) -> None:
         self._entity_set = entity_set
         self._attribute: Optional[str] = None
         self._value: Hashable = None

@@ -60,7 +60,12 @@ from repro.engine.ranking import EngineStats, RankingEngine
 from repro.errors import EmptyAnswerError, QueryError, RankingError, SchemaError
 from repro.integration.builder import BuildStats
 from repro.integration.mediator import Mediator
-from repro.integration.partition import partition_mediator, sink_entity_sets
+from repro.integration.partition import (
+    no_sink_sets_message,
+    partition_mediator,
+    sink_entity_sets,
+    source_partition_message,
+)
 from repro.integration.query import ExploratoryQuery
 
 __all__ = [
@@ -240,18 +245,9 @@ class ShardRouter:
         make each shard follow links from only its own partition, so
         downstream answers would score against partial ancestor
         subgraphs."""
-        bad = sorted(
-            {rel.source_entity for rel in source.relationships}
-            & set(self.partitioned_sets)
-        )
-        if bad:
-            raise SchemaError(
-                f"source {source.name!r} adds outgoing relationship(s) "
-                f"from partitioned entity set(s) {bad}; a partitioned "
-                f"set must stay a traversal sink — re-deploy with a "
-                f"partitioning that excludes {bad} to register this "
-                f"source"
-            )
+        message = source_partition_message(source, self.partitioned_sets)
+        if message:
+            raise SchemaError(message)
 
     def relevant_shards(self, query: ExploratoryQuery) -> List[int]:
         """The shards ``query`` must be scattered to. A point lookup on
@@ -292,14 +288,7 @@ class ShardRouter:
             else list(partition_sets)
         )
         if shards > 1 and not chosen:
-            raise SchemaError(
-                "this schema has no sink entity sets (every set has "
-                "outgoing relationship bindings), so partitioning would "
-                "replicate the full graph on every shard — N times the "
-                "work for no memory benefit; run unsharded, or "
-                "restructure the schema so the answer sets are "
-                "traversal sinks"
-            )
+            raise SchemaError(no_sink_sets_message())
         if isinstance(partitioner, str):
             if partitioner not in PARTITIONERS:
                 raise QueryError(

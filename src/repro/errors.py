@@ -19,6 +19,7 @@ __all__ = [
     "QueryError",
     "EmptyAnswerError",
     "RankingError",
+    "AnalysisError",
 ]
 
 
@@ -78,3 +79,17 @@ class EmptyAnswerError(QueryError):
 
 class RankingError(ReproError):
     """A ranking method failed or was configured inconsistently."""
+
+
+class AnalysisError(ReproError):
+    """Static analysis refused a schema (``open_session(lint="error")``)
+    or could not run at all (unloadable CLI target).
+
+    ``detections`` carries the error-severity
+    :class:`~repro.analysis.Detection` objects that triggered the
+    refusal, so callers can inspect the REPRO codes programmatically.
+    """
+
+    def __init__(self, message: str, detections: tuple = ()):
+        super().__init__(message)
+        self.detections = tuple(detections)

@@ -24,7 +24,17 @@ sets and :func:`partition_mediator` enforces the rule.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, Iterator, List, Sequence, Set, Tuple
+from typing import (
+    Any,
+    Dict,
+    Hashable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.errors import QueryError, SchemaError
 from repro.integration.mediator import Mediator
@@ -33,8 +43,12 @@ from repro.storage.table import Row, Table
 
 __all__ = [
     "ShardTableView",
+    "no_sink_sets_message",
+    "non_sink_partition_message",
     "partition_mediator",
     "sink_entity_sets",
+    "source_partition_message",
+    "unknown_partition_sets_message",
 ]
 
 
@@ -114,6 +128,16 @@ class ShardTableView:
     def base(self) -> Table:
         """The unfiltered table behind this view."""
         return self._table
+
+    @property
+    def indexes(self):
+        return self._table.indexes
+
+    def has_index(self, columns: Sequence[str]) -> bool:
+        return self._table.has_index(columns)
+
+    def has_unique_index(self, columns: Sequence[str]) -> bool:
+        return self._table.has_unique_index(columns)
 
     # ------------------------------------------------------------------ #
     # filtered retrieval
@@ -199,11 +223,90 @@ def sink_entity_sets(mediator: Mediator) -> Set[str]:
     }
 
 
+# ---------------------------------------------------------------------- #
+# sink-rule validation (single source of truth)
+#
+# The runtime enforcement points (partition_mediator, ShardRouter) and
+# the static REPRO104 detector of repro.analysis all share these message
+# builders, so the operator sees the *same* diagnosis whether the rule
+# is violated at deploy time or caught by linting beforehand.
+# ---------------------------------------------------------------------- #
+
+
+def unknown_partition_sets_message(
+    mediator: Mediator, partition_sets: Sequence[str]
+) -> Optional[str]:
+    """Diagnosis for naming entity sets no source provides, or ``None``."""
+    unknown = sorted(
+        s
+        for s in set(partition_sets)
+        if all(
+            binding.entity_set != s
+            for source in mediator.sources
+            for binding in source.entities
+        )
+    )
+    if unknown:
+        return f"cannot partition unknown entity set(s) {unknown}"
+    return None
+
+
+def non_sink_partition_message(
+    mediator: Mediator, partition_sets: Sequence[str]
+) -> Optional[str]:
+    """Diagnosis for partitioning a non-sink entity set, or ``None``.
+
+    Only meaningful for sets the mediator knows; run
+    :func:`unknown_partition_sets_message` first.
+    """
+    non_sinks = sorted(set(partition_sets) - sink_entity_sets(mediator))
+    if non_sinks:
+        return (
+            f"entity set(s) {non_sinks} have outgoing relationship "
+            f"bindings; partitioning a non-sink set breaks the "
+            f"ancestor-closure guarantee that makes sharded scores "
+            f"equal single-engine scores (see docs/architecture.md)"
+        )
+    return None
+
+
+def no_sink_sets_message() -> str:
+    """Diagnosis for sharding a schema with no partitionable set."""
+    return (
+        "this schema has no sink entity sets (every set has "
+        "outgoing relationship bindings), so partitioning would "
+        "replicate the full graph on every shard — N times the "
+        "work for no memory benefit; run unsharded, or "
+        "restructure the schema so the answer sets are "
+        "traversal sinks"
+    )
+
+
+def source_partition_message(
+    source: DataSource, partitioned_sets: Sequence[str]
+) -> Optional[str]:
+    """Diagnosis for a source hanging a new outgoing relationship off a
+    partitioned entity set, or ``None``."""
+    bad = sorted(
+        {rel.source_entity for rel in source.relationships}
+        & set(partitioned_sets)
+    )
+    if bad:
+        return (
+            f"source {source.name!r} adds outgoing relationship(s) "
+            f"from partitioned entity set(s) {bad}; a partitioned "
+            f"set must stay a traversal sink — re-deploy with a "
+            f"partitioning that excludes {bad} to register this "
+            f"source"
+        )
+    return None
+
+
 def partition_mediator(
     mediator: Mediator,
     shards: int,
     partitioner,
-    partition_sets: Sequence[str] = None,
+    partition_sets: Optional[Sequence[str]] = None,
 ) -> List[Mediator]:
     """Build ``shards`` mediator views over ``mediator``'s sources.
 
@@ -219,31 +322,16 @@ def partition_mediator(
     """
     if shards < 1:
         raise QueryError(f"shard count must be >= 1, got {shards}")
-    sinks = sink_entity_sets(mediator)
     if partition_sets is None:
-        chosen = sinks
+        chosen = sink_entity_sets(mediator)
     else:
         chosen = set(partition_sets)
-        unknown = sorted(
-            s for s in chosen
-            if all(
-                binding.entity_set != s
-                for source in mediator.sources
-                for binding in source.entities
-            )
-        )
+        unknown = unknown_partition_sets_message(mediator, chosen)
         if unknown:
-            raise QueryError(
-                f"cannot partition unknown entity set(s) {unknown}"
-            )
-        non_sinks = sorted(chosen - sinks)
-        if non_sinks:
-            raise SchemaError(
-                f"entity set(s) {non_sinks} have outgoing relationship "
-                f"bindings; partitioning a non-sink set breaks the "
-                f"ancestor-closure guarantee that makes sharded scores "
-                f"equal single-engine scores (see docs/architecture.md)"
-            )
+            raise QueryError(unknown)
+        non_sink = non_sink_partition_message(mediator, chosen)
+        if non_sink:
+            raise SchemaError(non_sink)
 
     per_shard: List[Mediator] = []
     for shard in range(shards):

@@ -153,6 +153,19 @@ class ConfidenceRegistry:
     def qs(self, relationship: str) -> float:
         return self._qs.get(relationship, 1.0)
 
+    def explicit_entity_confidences(self) -> Dict[str, float]:
+        """The ``ps`` values an operator actually set (no defaults).
+
+        Static analysis perturbs exactly these — the expert-tuned
+        parameters — when hunting ranking-sensitivity hotspots; the
+        implicit 1.0 defaults are not tuning decisions and are skipped.
+        """
+        return dict(self._ps)
+
+    def explicit_relationship_confidences(self) -> Dict[str, float]:
+        """The ``qs`` values an operator actually set (no defaults)."""
+        return dict(self._qs)
+
     def copy(self) -> "ConfidenceRegistry":
         clone = ConfidenceRegistry()
         clone._ps = dict(self._ps)

@@ -74,8 +74,10 @@ def oneway_sweep(
     """
     results: Dict[str, List[SensitivityPoint]] = {}
     for component in COMPONENTS:
-        def restricted(qg: QueryGraph, s: float, stream) -> QueryGraph:
-            return perturb_component(qg, s, component, stream)
+        def restricted(
+            qg: QueryGraph, s: float, stream, _component: str = component
+        ) -> QueryGraph:
+            return perturb_component(qg, s, _component, stream)
 
         results[component] = sensitivity_sweep(
             cases,

@@ -84,6 +84,10 @@ class Table:
         self._backend = backend if backend is not None else MemoryBackend()
         self._backend.bind(name, self.columns)
         self._index_names: Set[str] = set()
+        #: logical index metadata (name -> (columns, unique)), kept at
+        #: the facade so planners can ask :meth:`has_index` without
+        #: reaching into backend internals
+        self._index_specs: Dict[str, Tuple[Tuple[str, ...], bool]] = {}
         #: first free row id (non-zero when a persistent backend
         #: re-attached to existing rows)
         self._next_row_id = self._backend.next_row_id()
@@ -140,7 +144,26 @@ class Table:
         self._require_columns(columns, f"index {name!r}")
         handle = self._backend.create_index(name, tuple(columns), unique)
         self._index_names.add(name)
+        self._index_specs[name] = (tuple(columns), unique)
         return handle
+
+    @property
+    def indexes(self) -> Mapping[str, Tuple[Tuple[str, ...], bool]]:
+        """Declared indexes: name -> (column tuple, unique flag)."""
+        return MappingProxyType(self._index_specs)
+
+    def has_index(self, columns: Sequence[str]) -> bool:
+        """Whether an index (unique or not) covers exactly ``columns``."""
+        probe = tuple(columns)
+        return any(cols == probe for cols, _ in self._index_specs.values())
+
+    def has_unique_index(self, columns: Sequence[str]) -> bool:
+        """Whether a *unique* index covers exactly ``columns``."""
+        probe = tuple(columns)
+        return any(
+            cols == probe and unique
+            for cols, unique in self._index_specs.values()
+        )
 
     # ------------------------------------------------------------------ #
     # data manipulation

@@ -593,7 +593,7 @@ class VectorizedColumnarBackend(HashIndexedBackend):
             raise StorageError(
                 f"table {self._table_name!r}: unreadable vectorized manifest "
                 f"{manifest_path}: {error}"
-            )
+            ) from error
         if manifest.get("format") != _MANIFEST_FORMAT or manifest.get(
             "table"
         ) != self._table_name:

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from repro.api import EngineConfig, QuerySpec, Session
+from repro.api import EngineConfig, QuerySpec, Session, open_session
 from repro.engine.sharded import HashPartitioner, ShardRouter
 from repro.errors import ValidationError
 from repro.integration.mediator import Mediator
@@ -79,6 +79,7 @@ class MediatedWorkload:
         self,
         config: Optional[EngineConfig] = None,
         sharded: Optional[bool] = None,
+        lint: str = "off",
     ) -> Session:
         """A :class:`~repro.api.Session` over this workload.
 
@@ -86,7 +87,9 @@ class MediatedWorkload:
         session over its pre-partitioned shard mediators by default;
         ``sharded=False`` forces the single-engine reference path over
         the full mediator (what the cross-shard equivalence suite
-        compares against).
+        compares against). ``lint`` gates the schema through
+        :mod:`repro.analysis` exactly like
+        :func:`repro.api.open_session`.
         """
         if sharded is None:
             sharded = self.shards > 1
@@ -95,10 +98,11 @@ class MediatedWorkload:
                 "this workload was generated unsharded; regenerate with "
                 "mediated_layers(shards=N) for a sharded session"
             )
-        return Session(
+        return open_session(
             mediator=self.mediator,
             config=config,
             router=self.router if sharded else None,
+            lint=lint,
         )
 
     def spec(

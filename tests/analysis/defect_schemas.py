@@ -1,0 +1,327 @@
+"""Purpose-built bad schemas: one per REPRO code, plus an all-defects
+schema where every built-in detector fires **exactly once**.
+
+Each ``schema_reproNNN()`` returns an
+:class:`~repro.analysis.AnalysisContext` whose only finding is that
+code; ``clean_context()`` is defect-free. ``lint_target()`` makes this
+module loadable by ``python -m repro.analysis`` directly (it returns
+the all-defects context).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import AnalysisContext
+from repro.api.config import EngineConfig
+from repro.engine.sharded import HashPartitioner, ShardRouter
+from repro.integration.mediator import Mediator
+from repro.integration.sources import (
+    DataSource,
+    EntityBinding,
+    RelationshipBinding,
+    column_weight,
+)
+from repro.storage.column import Column, ColumnType
+from repro.storage.database import Database
+
+
+def _entity_table(db: Database, name: str, ids) -> None:
+    db.create_table(name, [Column("id", ColumnType.TEXT)], primary_key=["id"])
+    db.insert_many(name, [{"id": value} for value in ids])
+
+
+def _link_table(db: Database, name: str, pairs, indexed: bool = True,
+                weights=None, nullable: bool = False) -> None:
+    columns = [Column("src", ColumnType.TEXT), Column("dst", ColumnType.TEXT)]
+    if weights is not None:
+        columns.append(Column("w", ColumnType.FLOAT, nullable=nullable))
+    db.create_table(name, columns)
+    rows = []
+    for index, (src, dst) in enumerate(pairs):
+        row = {"src": src, "dst": dst}
+        if weights is not None:
+            row["w"] = weights[index]
+        rows.append(row)
+    db.insert_many(name, rows)
+    if indexed:
+        db.table(name).create_index("by_src", ["src"])
+
+
+def _rel(name: str, table: str, source: str, target: str, qr=None):
+    kwargs = {} if qr is None else {"qr": qr}
+    return RelationshipBinding(
+        relationship=name,
+        table=table,
+        source_entity=source,
+        source_column="src",
+        target_entity=target,
+        target_column="dst",
+        **kwargs,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# building blocks (each adds ONE defect, or none, to a mediator)
+# ---------------------------------------------------------------------- #
+
+
+def _add_diamond(mediator: Mediator, index_bd: bool = True) -> None:
+    """A -> {B, C} -> D: a Wheatstone bridge into sink D. All links are
+    unprovable [m:n], so D's ancestor schema is irreducible (REPRO101).
+    ``index_bd=False`` additionally leaves the B->D probe column
+    unindexed (REPRO105)."""
+    db = Database("diamond_db")
+    _entity_table(db, "a_ents", ["a1", "a2"])
+    _entity_table(db, "b_ents", ["b1"])
+    _entity_table(db, "c_ents", ["c1"])
+    _entity_table(db, "d_ents", ["d1", "d2"])
+    _link_table(db, "links_ab", [("a1", "b1"), ("a2", "b1")])
+    _link_table(db, "links_ac", [("a1", "c1"), ("a2", "c1")])
+    _link_table(db, "links_bd", [("b1", "d1"), ("b1", "d2")], indexed=index_bd)
+    _link_table(db, "links_cd", [("c1", "d1"), ("c1", "d2")])
+    mediator.register(
+        DataSource(
+            name="Diamond",
+            database=db,
+            entities=(
+                EntityBinding("A", "a_ents", "id"),
+                EntityBinding("B", "b_ents", "id"),
+                EntityBinding("C", "c_ents", "id"),
+                EntityBinding("D", "d_ents", "id"),
+            ),
+            relationships=(
+                _rel("a_to_b", "links_ab", "A", "B"),
+                _rel("a_to_c", "links_ac", "A", "C"),
+                _rel("b_to_d", "links_bd", "B", "D"),
+                _rel("c_to_d", "links_cd", "C", "D"),
+            ),
+        )
+    )
+
+
+def _add_ghost(mediator: Mediator) -> None:
+    """G -> Ghost where no source provides 'Ghost' (REPRO102)."""
+    db = Database("ghost_db")
+    _entity_table(db, "g_ents", ["g1"])
+    _link_table(db, "links_gx", [("g1", "x1")])
+    mediator.register(
+        DataSource(
+            name="Ghosts",
+            database=db,
+            entities=(EntityBinding("G", "g_ents", "id"),),
+            relationships=(_rel("haunts", "links_gx", "G", "Ghost"),),
+        )
+    )
+
+
+def _add_cycle(mediator: Mediator) -> None:
+    """P -> Q -> P: a binding cycle (REPRO103)."""
+    db = Database("cycle_db")
+    _entity_table(db, "p_ents", ["p1"])
+    _entity_table(db, "q_ents", ["q1"])
+    _link_table(db, "links_pq", [("p1", "q1")])
+    _link_table(db, "links_qp", [("q1", "p1")])
+    mediator.register(
+        DataSource(
+            name="Cycle",
+            database=db,
+            entities=(
+                EntityBinding("P", "p_ents", "id"),
+                EntityBinding("Q", "q_ents", "id"),
+            ),
+            relationships=(
+                _rel("p_to_q", "links_pq", "P", "Q"),
+                _rel("q_to_p", "links_qp", "Q", "P"),
+            ),
+        )
+    )
+
+
+def _add_sensitivity(mediator: Mediator) -> None:
+    """R -> {S1, S2} with qs('to_s1') tuned so close to the S1/S2
+    ranking boundary that a ±0.05 perturbation flips it (REPRO107):
+    effective edge weights 0.9 * 0.8 = 0.72 vs 0.74."""
+    db = Database("sense_db")
+    _entity_table(db, "r_ents", ["r1"])
+    _entity_table(db, "s1_ents", ["s1a", "s1b"])
+    _entity_table(db, "s2_ents", ["s2a", "s2b"])
+    _link_table(
+        db, "links_rs1", [("r1", "s1a"), ("r1", "s1b")], weights=[0.8, 0.8]
+    )
+    _link_table(
+        db, "links_rs2", [("r1", "s2a"), ("r1", "s2b")], weights=[0.74, 0.74]
+    )
+    mediator.register(
+        DataSource(
+            name="Sense",
+            database=db,
+            entities=(
+                EntityBinding("R", "r_ents", "id"),
+                EntityBinding("S1", "s1_ents", "id"),
+                EntityBinding("S2", "s2_ents", "id"),
+            ),
+            relationships=(
+                _rel("to_s1", "links_rs1", "R", "S1", qr=column_weight("w")),
+                _rel("to_s2", "links_rs2", "R", "S2", qr=column_weight("w")),
+            ),
+        )
+    )
+    mediator.confidences.set_relationship_confidence("to_s1", 0.9)
+
+
+def _add_vectorized_blocker(mediator: Mediator) -> None:
+    """A vectorized-storage entity table whose declared weight column is
+    nullable, so the array fast path silently degrades (REPRO106)."""
+    db = Database("vec_db", storage="vectorized")
+    db.create_table(
+        "vents",
+        [
+            Column("id", ColumnType.TEXT),
+            Column("w", ColumnType.FLOAT, nullable=True),
+        ],
+        primary_key=["id"],
+    )
+    db.insert_many("vents", [{"id": "v1", "w": 0.5}, {"id": "v2", "w": 0.6}])
+    mediator.register(
+        DataSource(
+            name="Vec",
+            database=db,
+            entities=(
+                EntityBinding("V", "vents", "id", pr=column_weight("w")),
+            ),
+        )
+    )
+
+
+def _add_clean_pair(mediator: Mediator, indexed: bool = True) -> Database:
+    """X -> Y, defect-free when ``indexed`` (Y's ancestor schema is a
+    root star, everything is indexed and pk'd)."""
+    db = Database("pair_db")
+    _entity_table(db, "x_ents", ["x1", "x2"])
+    _entity_table(db, "y_ents", ["y1", "y2"])
+    _link_table(
+        db, "links_xy", [("x1", "y1"), ("x2", "y2")], indexed=indexed
+    )
+    mediator.register(
+        DataSource(
+            name="Pair",
+            database=db,
+            entities=(
+                EntityBinding("X", "x_ents", "id"),
+                EntityBinding("Y", "y_ents", "id"),
+            ),
+            relationships=(_rel("x_to_y", "links_xy", "X", "Y"),),
+        )
+    )
+    return db
+
+
+def _non_sink_router(mediator: Mediator, partitioned: str) -> ShardRouter:
+    """A hand-built two-shard router partitioning a NON-sink set — the
+    silent layout mistake ShardRouter.partition would refuse to make."""
+    return ShardRouter(
+        [mediator, mediator], HashPartitioner(2), {partitioned: "id"}
+    )
+
+
+# ---------------------------------------------------------------------- #
+# one context per code
+# ---------------------------------------------------------------------- #
+
+
+def clean_context() -> AnalysisContext:
+    mediator = Mediator()
+    _add_clean_pair(mediator)
+    return AnalysisContext(mediator=mediator, name="clean")
+
+
+def schema_repro101() -> AnalysisContext:
+    mediator = Mediator()
+    _add_diamond(mediator)
+    return AnalysisContext(mediator=mediator, name="repro101")
+
+
+def schema_repro102() -> AnalysisContext:
+    mediator = Mediator()
+    _add_ghost(mediator)
+    return AnalysisContext(mediator=mediator, name="repro102")
+
+
+def schema_repro103() -> AnalysisContext:
+    mediator = Mediator()
+    _add_cycle(mediator)
+    return AnalysisContext(mediator=mediator, name="repro103")
+
+
+def schema_repro104() -> AnalysisContext:
+    mediator = Mediator()
+    _add_clean_pair(mediator)
+    return AnalysisContext(
+        mediator=mediator,
+        router=_non_sink_router(mediator, "X"),
+        name="repro104",
+    )
+
+
+def schema_repro105() -> AnalysisContext:
+    mediator = Mediator()
+    _add_clean_pair(mediator, indexed=False)
+    return AnalysisContext(mediator=mediator, name="repro105")
+
+
+def schema_repro106() -> AnalysisContext:
+    mediator = Mediator()
+    _add_vectorized_blocker(mediator)
+    return AnalysisContext(mediator=mediator, name="repro106")
+
+
+def schema_repro107() -> AnalysisContext:
+    mediator = Mediator()
+    _add_sensitivity(mediator)
+    return AnalysisContext(mediator=mediator, name="repro107")
+
+
+def schema_repro108() -> AnalysisContext:
+    mediator = Mediator()
+    db = _add_clean_pair(mediator)
+    # two rows, a one-entry log: the first batch refresh overflows it
+    db.table("x_ents").change_log.limit = 1
+    return AnalysisContext(mediator=mediator, name="repro108")
+
+
+PER_CODE = {
+    "REPRO101": schema_repro101,
+    "REPRO102": schema_repro102,
+    "REPRO103": schema_repro103,
+    "REPRO104": schema_repro104,
+    "REPRO105": schema_repro105,
+    "REPRO106": schema_repro106,
+    "REPRO107": schema_repro107,
+    "REPRO108": schema_repro108,
+}
+
+
+# ---------------------------------------------------------------------- #
+# the all-defects schema: every code exactly once
+# ---------------------------------------------------------------------- #
+
+
+def all_defects() -> AnalysisContext:
+    mediator = Mediator()
+    _add_diamond(mediator, index_bd=False)  # REPRO101 + REPRO105
+    _add_ghost(mediator)  # REPRO102
+    _add_cycle(mediator)  # REPRO103
+    _add_sensitivity(mediator)  # REPRO107
+    _add_vectorized_blocker(mediator)  # REPRO106
+    diamond_db = mediator.sources[0].database
+    diamond_db.table("a_ents").change_log.limit = 1  # REPRO108
+    return AnalysisContext(
+        mediator=mediator,
+        config=EngineConfig(),
+        router=_non_sink_router(mediator, "A"),  # REPRO104
+        name="all-defects",
+    )
+
+
+def lint_target() -> AnalysisContext:
+    """Entry point for ``python -m repro.analysis tests/analysis/defect_schemas.py``."""
+    return all_defects()

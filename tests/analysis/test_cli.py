@@ -1,0 +1,104 @@
+"""CLI acceptance: ``python -m repro.analysis`` over the fixtures."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+DEFECTS = str(Path(__file__).with_name("defect_schemas.py"))
+
+
+def run_cli(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + str(
+        Path(__file__).parent
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO,
+    )
+
+
+class TestDefectiveSchema:
+    def test_reports_every_code_exactly_once_and_exits_nonzero(self):
+        result = run_cli(DEFECTS, "--format", "json")
+        assert result.returncode == 2, result.stderr
+        data = json.loads(result.stdout)
+        (report,) = data["reports"]
+        counts = {}
+        for entry in report["detections"]:
+            counts[entry["code"]] = counts.get(entry["code"], 0) + 1
+        assert counts == {f"REPRO10{i}": 1 for i in range(1, 9)}
+
+    def test_text_format_names_every_code(self):
+        result = run_cli(DEFECTS)
+        assert result.returncode == 2
+        for i in range(1, 9):
+            assert f"REPRO10{i}" in result.stdout
+        assert "2 error(s)" in result.stdout
+
+    def test_fail_on_error_still_fails_here(self):
+        result = run_cli(DEFECTS, "--fail-on", "error")
+        assert result.returncode == 2
+
+    def test_select_narrows_the_run(self):
+        result = run_cli(DEFECTS, "--select", "REPRO103", "--format", "json")
+        # notes alone sit below the default warning threshold
+        assert result.returncode == 0
+        (report,) = json.loads(result.stdout)["reports"]
+        assert [e["code"] for e in report["detections"]] == ["REPRO103"]
+
+    def test_baseline_roundtrip_silences_the_findings(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        wrote = run_cli(DEFECTS, "--write-baseline", str(baseline))
+        assert wrote.returncode == 0
+        assert "8 suppression(s)" in wrote.stdout
+        rerun = run_cli(DEFECTS, "--baseline", str(baseline))
+        assert rerun.returncode == 0, rerun.stdout
+
+
+class TestCleanSchemas:
+    def test_clean_generated_workload_exits_zero(self):
+        # layers=2 is a root star: reducible, indexed, defect-free
+        result = run_cli("--mediated-layers", "layers=2,width=4,rng=7")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "0 error(s), 0 warning(s), 0 note(s)" in result.stdout
+
+    def test_three_layer_workload_warns_about_irreducibility(self):
+        result = run_cli("--mediated-layers", "layers=3,width=4,rng=7")
+        assert result.returncode == 1
+        assert "REPRO101" in result.stdout
+
+    def test_module_attr_target(self):
+        result = run_cli("defect_schemas:clean_context", "--format", "json")
+        assert result.returncode == 0, result.stderr
+        (report,) = json.loads(result.stdout)["reports"]
+        assert report["detections"] == []
+
+
+class TestErgonomics:
+    def test_list_detectors(self):
+        result = run_cli("--list-detectors")
+        assert result.returncode == 0
+        for i in range(1, 9):
+            assert f"REPRO10{i}" in result.stdout
+
+    def test_no_targets_is_a_usage_error(self):
+        result = run_cli()
+        assert result.returncode == 2
+        assert "no targets" in result.stderr
+
+    def test_missing_file_is_an_analysis_error(self):
+        result = run_cli("does_not_exist.py")
+        assert result.returncode == 2
+        assert "does not exist" in result.stderr
+
+    def test_unknown_select_code_fails_loudly(self):
+        result = run_cli(DEFECTS, "--select", "REPRO999")
+        assert result.returncode == 2
+        assert "REPRO999" in result.stderr

@@ -1,0 +1,125 @@
+"""Golden-output tests: every built-in detector on its purpose-built
+bad schema, the clean schema, and the all-defects schema."""
+
+import pytest
+
+from defect_schemas import PER_CODE, all_defects, clean_context
+from repro.analysis import Severity, registered_detectors, run_analysis
+
+EXPECTED_SEVERITY = {
+    "REPRO101": Severity.WARNING,
+    "REPRO102": Severity.ERROR,
+    "REPRO103": Severity.NOTE,
+    "REPRO104": Severity.ERROR,
+    "REPRO105": Severity.WARNING,
+    "REPRO106": Severity.WARNING,
+    "REPRO107": Severity.WARNING,
+    "REPRO108": Severity.WARNING,
+}
+
+EXPECTED_LOCATION = {
+    "REPRO101": "entity_sets.D",
+    "REPRO102": "sources.Ghosts.relationships.haunts",
+    "REPRO103": "entity_sets.P+Q",
+    "REPRO104": "router.partitioned_sets",
+    "REPRO105": "sources.Pair.relationships.x_to_y",
+    "REPRO106": "sources.Vec.entities.V",
+    "REPRO107": "confidences.qs.to_s1",
+    "REPRO108": "sources.Pair.tables.x_ents",
+}
+
+
+def test_builtin_suite_is_complete():
+    assert [spec.code for spec in registered_detectors()] == sorted(PER_CODE)
+
+
+def test_clean_schema_has_no_findings():
+    report = run_analysis(clean_context())
+    assert report.detections == ()
+    assert report.exit_code == 0
+    assert report.max_severity is None
+    assert len(report.ran) == len(PER_CODE)
+
+
+@pytest.mark.parametrize("code", sorted(PER_CODE))
+def test_each_defect_fires_its_code_exactly_once(code):
+    report = run_analysis(PER_CODE[code]())
+    assert report.codes() == {code: 1}
+    detection = report.detections[0]
+    assert detection.severity == EXPECTED_SEVERITY[code]
+    assert detection.location == EXPECTED_LOCATION[code]
+    assert detection.detector  # the runner stamps the emitting detector
+    assert code in str(detection)
+
+
+def test_all_defects_schema_fires_every_code_exactly_once():
+    report = run_analysis(all_defects())
+    assert report.codes() == {code: 1 for code in PER_CODE}
+    assert report.max_severity == Severity.ERROR
+    assert report.exit_code == 2
+    # severity-sorted: both errors first, the notes last
+    assert [d.code for d in report.detections[:2]] == ["REPRO102", "REPRO104"]
+    assert report.detections[-1].code == "REPRO103"
+
+
+def test_detection_messages_name_the_offending_elements():
+    report = run_analysis(all_defects())
+    by_code = {d.code: d for d in report.detections}
+    assert "'D'" in by_code["REPRO101"].message
+    assert "'Ghost'" in by_code["REPRO102"].message
+    assert "ancestor-closure guarantee" in by_code["REPRO104"].message
+    assert "'src'" in by_code["REPRO105"].message
+    assert "nullable" in by_code["REPRO106"].message
+    assert "'to_s1'" in by_code["REPRO107"].message
+    assert "change log" in by_code["REPRO108"].message
+
+
+def test_select_runs_only_the_named_detectors():
+    report = run_analysis(all_defects(), select=["REPRO102", "REPRO108"])
+    assert report.ran == ("REPRO102", "REPRO108")
+    assert set(report.codes()) == {"REPRO102", "REPRO108"}
+
+
+def test_unindexed_entity_key_column_also_fires_repro105():
+    # the entity-table flavor: a key column resolved by full scans
+    from repro.analysis import AnalysisContext
+    from repro.integration.mediator import Mediator
+    from repro.integration.sources import DataSource, EntityBinding
+    from repro.storage.column import Column, ColumnType
+    from repro.storage.database import Database
+
+    db = Database("nopk")
+    db.create_table("ents", [Column("id", ColumnType.TEXT)])
+    db.insert("ents", {"id": "e1"})
+    mediator = Mediator()
+    mediator.register(
+        DataSource(
+            name="NoPk",
+            database=db,
+            entities=(EntityBinding("E", "ents", "id"),),
+        )
+    )
+    report = run_analysis(AnalysisContext(mediator=mediator, name="nopk"))
+    assert report.codes() == {"REPRO105": 1}
+    assert report.detections[0].location == "sources.NoPk.entities.E"
+
+
+def test_sharded_config_without_sinks_fires_repro104():
+    from dataclasses import replace
+
+    from repro.analysis import AnalysisContext
+    from repro.api.config import EngineConfig
+    from repro.integration.mediator import Mediator
+
+    from defect_schemas import _add_cycle
+
+    mediator = Mediator()
+    _add_cycle(mediator)  # P <-> Q: every set has outgoing bindings
+    context = AnalysisContext(
+        mediator=mediator,
+        config=replace(EngineConfig(), shards=2),
+        name="no-sinks",
+    )
+    report = run_analysis(context, select=["REPRO104"])
+    assert report.codes() == {"REPRO104": 1}
+    assert report.detections[0].location == "config.shards"

@@ -1,0 +1,165 @@
+"""Framework behavior: registry, crash isolation, suppression,
+reporters and baseline files."""
+
+import json
+
+import pytest
+
+from defect_schemas import all_defects, clean_context
+from repro.analysis import (
+    AnalysisError,
+    Detection,
+    Severity,
+    detector,
+    load_baseline,
+    registered_detectors,
+    render_json,
+    render_text,
+    run_analysis,
+    unregister_detector,
+    write_baseline,
+)
+from repro.analysis.framework import CRASH_CODE
+
+
+@pytest.fixture
+def temp_detector():
+    """Register a throwaway detector and guarantee cleanup."""
+    registered = []
+
+    def register(code, func, **kwargs):
+        kwargs.setdefault("name", f"temp-{code.lower()}")
+        detector(code, **kwargs)(func)
+        registered.append(code)
+
+    yield register
+    for code in registered:
+        unregister_detector(code)
+
+
+class TestRegistry:
+    def test_duplicate_code_is_rejected(self, temp_detector):
+        temp_detector("REPRO900", lambda context: [])
+        with pytest.raises(AnalysisError, match="already registered"):
+            detector("REPRO900", name="clash")(lambda context: [])
+
+    def test_unregister_then_reregister(self, temp_detector):
+        temp_detector("REPRO901", lambda context: [])
+        unregister_detector("REPRO901")
+        assert "REPRO901" not in [s.code for s in registered_detectors()]
+        temp_detector("REPRO901", lambda context: [])
+
+    def test_description_defaults_to_docstring(self, temp_detector):
+        def check(context):
+            """First line wins.
+
+            Not this one."""
+            return []
+
+        temp_detector("REPRO902", check)
+        spec = {s.code: s for s in registered_detectors()}["REPRO902"]
+        assert spec.description == "First line wins."
+
+    def test_custom_detector_runs_alongside_builtins(self, temp_detector):
+        temp_detector(
+            "REPRO903",
+            lambda context: [
+                Detection(
+                    code="REPRO903",
+                    message=f"saw {len(context.provided_sets())} sets",
+                    severity=Severity.NOTE,
+                )
+            ],
+        )
+        report = run_analysis(clean_context())
+        assert report.codes() == {"REPRO903": 1}
+        assert report.detections[0].detector == "temp-repro903"
+
+
+class TestIsolation:
+    def test_crashing_detector_becomes_repro000(self, temp_detector):
+        def boom(context):
+            raise ValueError("kaboom")
+
+        temp_detector("REPRO904", boom)
+        report = run_analysis(all_defects())
+        crash = [d for d in report.detections if d.code == CRASH_CODE]
+        assert len(crash) == 1
+        assert crash[0].severity == Severity.ERROR
+        assert crash[0].location == "detectors.REPRO904"
+        assert "ValueError: kaboom" in crash[0].message
+        # every other detector still ran and found its defect
+        for code in [f"REPRO10{i}" for i in range(1, 9)]:
+            assert report.codes()[code] == 1
+
+    def test_unknown_select_code_raises(self):
+        with pytest.raises(AnalysisError, match="REPRO999"):
+            run_analysis(clean_context(), select=["REPRO999"])
+
+
+class TestSuppression:
+    def test_exact_location_suppression(self):
+        report = run_analysis(
+            all_defects(),
+            suppressions=[
+                {"code": "REPRO101", "location": "entity_sets.D"}
+            ],
+        )
+        assert "REPRO101" not in report.codes()
+        assert report.suppressed == 1
+
+    def test_wildcard_location_suppression(self):
+        report = run_analysis(
+            all_defects(), suppressions=[{"code": "REPRO105", "location": "*"}]
+        )
+        assert "REPRO105" not in report.codes()
+
+    def test_wrong_location_does_not_suppress(self):
+        report = run_analysis(
+            all_defects(),
+            suppressions=[{"code": "REPRO101", "location": "entity_sets.X"}],
+        )
+        assert report.codes()["REPRO101"] == 1
+        assert report.suppressed == 0
+
+
+class TestReporters:
+    def test_render_text_has_one_block_per_detection_and_a_summary(self):
+        report = run_analysis(all_defects())
+        text = render_text(report)
+        for code in report.codes():
+            assert code in text
+        assert "2 error(s)" in text
+        assert "all-defects:" in text
+
+    def test_render_json_round_trips(self):
+        report = run_analysis(all_defects())
+        data = json.loads(render_json(report))
+        assert data["exit_code"] == 2
+        assert data["counts"]["error"] == 2
+        assert len(data["detections"]) == 8
+        codes = {entry["code"] for entry in data["detections"]}
+        assert codes == set(report.codes())
+
+
+class TestBaseline:
+    def test_write_then_load_suppresses_everything(self, tmp_path):
+        report = run_analysis(all_defects())
+        path = tmp_path / "baseline.json"
+        written = write_baseline(path, report.detections)
+        assert written == 8
+        entries = load_baseline(path)
+        rerun = run_analysis(all_defects(), suppressions=entries)
+        assert rerun.detections == ()
+        assert rerun.suppressed == 8
+        assert rerun.exit_code == 0
+
+    def test_missing_baseline_raises(self, tmp_path):
+        with pytest.raises(AnalysisError, match="does not exist"):
+            load_baseline(tmp_path / "nope.json")
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"suppress": [{"location": "x"}]}')
+        with pytest.raises(AnalysisError, match="'code'"):
+            load_baseline(path)

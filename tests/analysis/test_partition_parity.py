@@ -1,0 +1,95 @@
+"""Satellite regression: the runtime sink-rule enforcement and the
+REPRO104 detector share one message implementation — an operator sees
+the *identical* diagnosis at deploy time and at lint time."""
+
+import pytest
+
+from defect_schemas import _add_clean_pair, _non_sink_router
+from repro.analysis import run_analysis
+from repro.analysis.framework import AnalysisContext
+from repro.engine.sharded import HashPartitioner, ShardRouter
+from repro.errors import QueryError, SchemaError
+from repro.integration.mediator import Mediator
+from repro.integration.partition import (
+    no_sink_sets_message,
+    non_sink_partition_message,
+    partition_mediator,
+    source_partition_message,
+    unknown_partition_sets_message,
+)
+from repro.integration.sources import DataSource, RelationshipBinding
+
+
+def _pair_mediator():
+    mediator = Mediator()
+    _add_clean_pair(mediator)
+    return mediator
+
+
+class TestRuntimeUsesSharedMessages:
+    def test_partition_mediator_non_sink_error_is_the_shared_message(self):
+        mediator = _pair_mediator()
+        expected = non_sink_partition_message(mediator, ["X"])
+        assert expected is not None
+        with pytest.raises(SchemaError) as excinfo:
+            partition_mediator(mediator, 2, HashPartitioner(2), ["X"])
+        assert str(excinfo.value) == expected
+
+    def test_partition_mediator_unknown_set_error_is_the_shared_message(self):
+        mediator = _pair_mediator()
+        expected = unknown_partition_sets_message(mediator, ["Zed"])
+        assert expected is not None
+        with pytest.raises(QueryError) as excinfo:
+            partition_mediator(mediator, 2, HashPartitioner(2), ["Zed"])
+        assert str(excinfo.value) == expected
+
+    def test_router_partition_no_sink_error_is_the_shared_message(self):
+        from defect_schemas import _add_cycle
+
+        mediator = Mediator()
+        _add_cycle(mediator)  # P <-> Q: no sinks anywhere
+        with pytest.raises(SchemaError) as excinfo:
+            ShardRouter.partition(mediator, 2)
+        assert str(excinfo.value) == no_sink_sets_message()
+
+    def test_check_registrable_error_is_the_shared_message(self):
+        mediator = _pair_mediator()
+        router = ShardRouter.partition(mediator, 2)  # partitions sink Y
+        late = DataSource(
+            name="Late",
+            database=mediator.sources[0].database,
+            entities=(),
+            relationships=(
+                RelationshipBinding(
+                    relationship="y_onward",
+                    table="links_xy",
+                    source_entity="Y",
+                    source_column="src",
+                    target_entity="X",
+                    target_column="dst",
+                ),
+            ),
+        )
+        expected = source_partition_message(late, router.partitioned_sets)
+        assert expected is not None
+        with pytest.raises(SchemaError) as excinfo:
+            router.check_registrable(late)
+        assert str(excinfo.value) == expected
+
+
+class TestDetectorParity:
+    def test_repro104_detection_equals_runtime_message(self):
+        mediator = _pair_mediator()
+        context = AnalysisContext(
+            mediator=mediator,
+            router=_non_sink_router(mediator, "X"),
+            name="parity",
+        )
+        report = run_analysis(context, select=["REPRO104"])
+        (detection,) = report.detections
+        runtime_message = non_sink_partition_message(mediator, ["X"])
+        assert detection.message == runtime_message
+        # and the same text partition_mediator raises with at runtime
+        with pytest.raises(SchemaError) as excinfo:
+            partition_mediator(mediator, 2, HashPartitioner(2), ["X"])
+        assert str(excinfo.value) == detection.message

@@ -1,0 +1,108 @@
+"""Session integration: ``Session.lint()`` and the ``open_session``
+lint gate."""
+
+import warnings
+
+import pytest
+
+from defect_schemas import all_defects, clean_context
+from repro.analysis import AnalysisError, Severity
+from repro.api import open_session
+from repro.errors import QueryError
+from repro.workloads import mediated_layers
+
+
+class TestSessionLint:
+    def test_lint_on_clean_session(self):
+        context = clean_context()
+        with open_session(mediator=context.mediator) as session:
+            report = session.lint()
+        assert report.detections == ()
+        assert report.exit_code == 0
+
+    def test_lint_sees_session_config_and_router(self):
+        workload = mediated_layers(layers=3, width=4, rng=7, shards=2)
+        with workload.open_session() as session:
+            assert session.sharded
+            report = session.lint()
+        # the workload's router partitions real sinks: no REPRO104,
+        # only the truthful irreducibility warning
+        assert set(report.codes()) == {"REPRO101"}
+
+    def test_lint_select_and_suppressions_pass_through(self):
+        context = all_defects()
+        with open_session(
+            mediator=context.mediator, router=context.router
+        ) as session:
+            report = session.lint(
+                select=["REPRO104"],
+                suppressions=[{"code": "REPRO104", "location": "*"}],
+            )
+        assert report.detections == ()
+        assert report.suppressed == 1
+
+    def test_lint_on_closed_session_raises(self):
+        session = open_session(mediator=clean_context().mediator)
+        session.close()
+        with pytest.raises(Exception, match="closed"):
+            session.lint()
+
+
+class TestOpenSessionGate:
+    def test_default_is_off(self):
+        context = all_defects()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any warning would fail this
+            session = open_session(
+                mediator=context.mediator, router=context.router
+            )
+        session.close()
+
+    def test_warn_mode_emits_a_warning_per_finding_but_opens(self):
+        context = all_defects()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            session = open_session(
+                mediator=context.mediator, router=context.router, lint="warn"
+            )
+        assert not session.closed
+        session.close()
+        messages = [str(w.message) for w in caught]
+        assert len(messages) == 8
+        assert any("REPRO104" in m for m in messages)
+
+    def test_error_mode_refuses_defective_schema_with_codes(self):
+        context = all_defects()
+        with pytest.raises(AnalysisError) as excinfo:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                open_session(
+                    mediator=context.mediator,
+                    router=context.router,
+                    lint="error",
+                )
+        message = str(excinfo.value)
+        assert "REPRO102" in message and "REPRO104" in message
+        assert all(
+            d.severity == Severity.ERROR for d in excinfo.value.detections
+        )
+
+    def test_error_mode_admits_warning_only_schema(self):
+        # layers=3 only warns (REPRO101): error mode lets it through
+        workload = mediated_layers(layers=3, width=4, rng=7)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            session = workload.open_session(lint="error")
+        assert not session.closed
+        session.close()
+        assert any("REPRO101" in str(w.message) for w in caught)
+
+    def test_error_mode_admits_clean_schema(self):
+        with open_session(
+            mediator=clean_context().mediator, lint="error"
+        ) as session:
+            assert not session.closed
+
+    def test_invalid_lint_value_is_rejected(self):
+        with pytest.raises(QueryError, match="lint"):
+            open_session(lint="loud")

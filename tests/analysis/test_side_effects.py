@@ -1,0 +1,89 @@
+"""Linting is a read-only observer: it never mutates mediator epochs,
+table versions, confidence versions or engine cache counters."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from defect_schemas import all_defects
+from repro.analysis import run_analysis
+from repro.errors import ReproError
+from repro.workloads import mediated_layers
+
+
+def snapshot(session):
+    mediator = session.mediator
+    return {
+        "epoch": mediator.epoch,
+        "confidences": mediator.confidences.version,
+        "tables": {
+            (source.name, binding.table): source.database.table(
+                binding.table
+            ).version
+            for source in mediator.sources
+            for binding in list(source.entities) + list(source.relationships)
+        },
+        "stats": session.stats_snapshot().as_dict(),
+    }
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    layers=st.integers(min_value=2, max_value=4),
+    width=st.integers(min_value=3, max_value=8),
+    cyclic=st.booleans(),
+    dangling=st.sampled_from([0.0, 0.3]),
+    rng=st.integers(min_value=0, max_value=999),
+)
+def test_lint_never_mutates_session_state(layers, width, cyclic, dangling, rng):
+    workload = mediated_layers(
+        layers=layers,
+        width=width,
+        fan_out=2,
+        rng=rng,
+        cyclic=cyclic,
+        dangling_rate=dangling,
+    )
+    with workload.open_session() as session:
+        # warm the engine so cache counters have something to corrupt
+        # (high dangling rates can leave a query answerless — that is
+        # fine, the caches still saw traffic)
+        try:
+            session.execute(workload.spec(method="in_edge"))
+        except ReproError:
+            pass
+        before = snapshot(session)
+        first = session.lint()
+        assert snapshot(session) == before
+        # a second pass sees the identical (deterministic) report
+        second = session.lint()
+        assert snapshot(session) == before
+        assert [
+            (d.code, d.location, d.message) for d in first.detections
+        ] == [(d.code, d.location, d.message) for d in second.detections]
+
+
+def test_lint_is_side_effect_free_on_the_all_defects_schema():
+    # the heaviest detectors (sensitivity perturbation, reducibility
+    # search, partition checks) all run here — none may write
+    context = all_defects()
+    mediator = context.mediator
+    before = (
+        mediator.epoch,
+        mediator.confidences.version,
+        {
+            (s.name, b.table): s.database.table(b.table).version
+            for s in mediator.sources
+            for b in list(s.entities) + list(s.relationships)
+        },
+    )
+    run_analysis(context)
+    after = (
+        mediator.epoch,
+        mediator.confidences.version,
+        {
+            (s.name, b.table): s.database.table(b.table).version
+            for s in mediator.sources
+            for b in list(s.entities) + list(s.relationships)
+        },
+    )
+    assert after == before
