@@ -224,6 +224,18 @@ class EngineConfig:
     #: (stable content hash) or ``"range"`` (balanced key ranges
     #: computed from the partitioned sets' current keys)
     partitioner: str = "hash"
+    #: where sharded execution runs: ``"thread"`` scatters on a thread
+    #: pool over in-process child engines; ``"process"`` promotes every
+    #: shard to a supervised worker *process* reached over JSON-RPC
+    #: (see ``docs/serving.md``) — results are bit-identical, but a
+    #: crashed or hung shard costs a bounded restart, not the session
+    shard_mode: str = "thread"
+    #: per-RPC response deadline (seconds) in process mode; a worker
+    #: silent past this is treated as hung and restarted
+    rpc_timeout: float = 30.0
+    #: how many times a single request may restart-and-retry a failed
+    #: worker before the query fails with a classified shard error
+    worker_restarts: int = 2
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -270,6 +282,21 @@ class EngineConfig:
             raise RankingError(
                 f"unknown partitioner {self.partitioner!r}; choose from "
                 f"{list(PARTITIONERS)}"
+            )
+        if self.shard_mode not in ("thread", "process"):
+            raise RankingError(
+                f'shard_mode must be "thread" or "process", got '
+                f"{self.shard_mode!r}"
+            )
+        if not isinstance(self.rpc_timeout, (int, float)) or not self.rpc_timeout > 0:
+            raise RankingError(
+                f"rpc_timeout must be a positive number of seconds, got "
+                f"{self.rpc_timeout!r}"
+            )
+        if not isinstance(self.worker_restarts, int) or self.worker_restarts < 0:
+            raise RankingError(
+                f"worker_restarts must be a non-negative integer, got "
+                f"{self.worker_restarts!r}"
             )
 
     def make_engine(self, mediator: Optional["Mediator"] = None) -> "RankingEngine":

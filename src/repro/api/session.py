@@ -43,6 +43,8 @@ from typing import (
 
 if TYPE_CHECKING:
     from repro.analysis.framework import AnalysisReport
+    from repro.serving.engine import ProcessShardedEngine
+    from repro.serving.source import WorkerSource
     from repro.storage.database import Database
 
 from repro.api.config import EngineConfig, RankingOptions
@@ -134,6 +136,7 @@ class Session:
         mediator: Optional[Mediator] = None,
         config: Optional[EngineConfig] = None,
         router: Optional[ShardRouter] = None,
+        worker_source: Optional["WorkerSource"] = None,
     ) -> None:
         self._config = config or EngineConfig()
         self._mediator = mediator if mediator is not None else Mediator()
@@ -152,7 +155,37 @@ class Session:
             )
         self._router = router
         self._sharded: Optional[ShardedEngine] = None
-        if router is not None:
+        self._process: Optional["ProcessShardedEngine"] = None
+        if router is not None and self._config.shard_mode == "process":
+            if worker_source is None:
+                raise QueryError(
+                    'shard_mode="process" needs a worker_source recipe: '
+                    "worker processes cannot inherit live mediators, they "
+                    "rebuild their shard from a WorkerSource (see "
+                    "MediatedWorkload.worker_source())"
+                )
+            # imported lazily: repro.serving pulls repro.api.result in,
+            # and this module is imported while repro.api initialises
+            from repro.serving.engine import ProcessShardedEngine
+
+            self._process = ProcessShardedEngine(
+                router,
+                worker_source,
+                backend=self._config.backend,
+                builder=self._config.builder,
+                cache_scores=self._config.cache_scores,
+                max_cached_scores=self._config.max_cached_scores,
+                cache_graphs=self._config.cache_graphs,
+                max_cached_graphs=self._config.max_cached_graphs,
+                incremental=self._config.incremental,
+                rpc_timeout=self._config.rpc_timeout,
+                worker_restarts=self._config.worker_restarts,
+            )
+        elif router is not None:
+            if worker_source is not None:
+                raise QueryError(
+                    'worker_source only applies to shard_mode="process"'
+                )
             self._sharded = ShardedEngine(
                 router,
                 backend=self._config.backend,
@@ -161,6 +194,11 @@ class Session:
                 max_cached_scores=self._config.max_cached_scores,
                 cache_graphs=self._config.cache_graphs,
                 max_cached_graphs=self._config.max_cached_graphs,
+            )
+        elif worker_source is not None:
+            raise QueryError(
+                "worker_source needs a sharded session (pass a router or "
+                "config.shards > 1)"
             )
         #: derived answer-set views per shared (union) graph, so batches
         #: re-served from the query cache also reuse their derived
@@ -195,7 +233,7 @@ class Session:
     @property
     def sharded(self) -> bool:
         """Whether mediated execution scatters across shards."""
-        return self._sharded is not None
+        return self._sharded is not None or self._process is not None
 
     @property
     def router(self) -> Optional[ShardRouter]:
@@ -204,6 +242,12 @@ class Session:
     @property
     def sharded_engine(self) -> Optional[ShardedEngine]:
         return self._sharded
+
+    @property
+    def process_engine(self) -> Optional["ProcessShardedEngine"]:
+        """The process-mode scatter/gather engine (``None`` unless the
+        session was opened with ``shard_mode="process"``)."""
+        return self._process
 
     def register(self, *sources: DataSource) -> "Session":
         """Register additional data sources (chainable).
@@ -217,6 +261,13 @@ class Session:
         is rejected up front (it would break that guarantee).
         """
         self._check_open()
+        if self._process is not None:
+            raise QueryError(
+                "cannot register sources on a process-sharded session: "
+                "the shard mediators live in worker processes that "
+                "rebuild from the worker-source recipe; regenerate the "
+                "workload (or recipe) with the new source instead"
+            )
         if self._router is not None:
             for source in sources:
                 self._router.check_registrable(source)
@@ -269,7 +320,7 @@ class Session:
         """
         self._check_open()
         spec = self._coerce(spec)
-        if self._sharded is not None:
+        if self._sharded is not None or self._process is not None:
             return self._execute_sharded(spec)
         qg = self._engine.execute(
             spec.to_exploratory(), builder=self._config.builder
@@ -278,14 +329,25 @@ class Session:
 
     def _execute_sharded(
         self, spec: QuerySpec, max_workers: Optional[int] = None
-    ) -> ShardedResultSet:
-        """Scatter/gather execution of one coerced spec.
+    ) -> ResultSet:
+        """Scatter/gather execution of one coerced spec (thread- or
+        process-mode, whichever the session was opened with).
 
         ``max_workers=None`` scatters as wide as the relevant shard
         count on the engine's persistent pool — scatter width is the
         point of sharding, so the session does not clamp it to
         ``config.max_workers`` (which governs ``execute_many``'s
         spec-level batching)."""
+        if self._process is not None:
+            from repro.serving.result import ProcessShardedResultSet
+
+            process_gathered = self._process.gather(
+                spec.to_exploratory(),
+                spec.method,
+                max_workers=max_workers,
+                spec_dict=spec.to_dict(),
+            )
+            return ProcessShardedResultSet(process_gathered, self._process, spec)
         gathered = self._sharded.gather(
             spec.to_exploratory(),
             spec.method,
@@ -341,7 +403,7 @@ class Session:
         for index, spec in enumerate(coerced):
             slots.setdefault(spec, []).append(index)
 
-        if self._sharded is not None:
+        if self._sharded is not None or self._process is not None:
             # sharded batches parallelise across *shards* per spec (the
             # scatter pool); specs run in sequence, deduplicated, with
             # the same result-order and error semantics as below.
@@ -500,6 +562,27 @@ class Session:
         """
         self._check_open()
         spec = self._coerce(spec)
+        if self._process is not None:
+            process_gathered = self._process.gather(
+                spec.to_exploratory(),
+                spec.method,
+                spec_dict=spec.to_dict(),
+            )
+            return Explanation(
+                spec=spec,
+                graph_cached=process_gathered.graph_cached,
+                score_cached=process_gathered.score_cached,
+                builder=self._config.builder,
+                backend=self._config.backend,
+                nodes=process_gathered.nodes,
+                edges=process_gathered.edges,
+                answers=len(process_gathered.scores),
+                build_stats=process_gathered.build_stats,
+                fingerprint=None,
+                build_seconds=process_gathered.build_seconds,
+                rank_seconds=process_gathered.rank_seconds,
+                engine_stats=self._process.stats_snapshot().as_dict(),
+            )
         if self._sharded is not None:
             gathered = self._sharded.gather(
                 spec.to_exploratory(),
@@ -586,6 +669,8 @@ class Session:
         object; use :meth:`stats_snapshot` for before/after deltas).
         On a sharded session this is the aggregated snapshot over every
         child engine; per-shard counters are on :meth:`shard_stats`."""
+        if self._process is not None:
+            return self._process.stats_snapshot()
         if self._sharded is not None:
             return self._sharded.stats_snapshot()
         return self._engine.stats
@@ -593,12 +678,16 @@ class Session:
     def stats_snapshot(self) -> EngineStats:
         """A lock-consistent copy of the counters (aggregated over the
         shards when sharded)."""
+        if self._process is not None:
+            return self._process.stats_snapshot()
         if self._sharded is not None:
             return self._sharded.stats_snapshot()
         return self._engine.stats_snapshot()
 
     def shard_stats(self) -> List[EngineStats]:
         """Per-shard counter snapshots (empty when unsharded)."""
+        if self._process is not None:
+            return self._process.shard_stats()
         if self._sharded is None:
             return []
         return self._sharded.shard_stats()
@@ -607,18 +696,30 @@ class Session:
         self._engine.reset_stats()
         if self._sharded is not None:
             self._sharded.reset_stats()
+        if self._process is not None:
+            self._process.reset_stats()
 
     # -------------------------------------------------------------- #
     # lifecycle
     # -------------------------------------------------------------- #
 
     def close(self) -> None:
-        """Drop all cached state; further execution raises."""
+        """Drop all cached state; further execution raises.
+
+        On a process-sharded session this also reaps every worker
+        process and releases their sockets (graceful shutdown RPC
+        first, SIGKILL as the backstop) — no zombies survive a closed
+        session. Idempotent: closing twice is a no-op, and the engine
+        teardown runs even if cache invalidation raises."""
         if not self._closed:
-            self._engine.invalidate()
-            if self._sharded is not None:
-                self._sharded.close()
             self._closed = True
+            try:
+                self._engine.invalidate()
+            finally:
+                if self._sharded is not None:
+                    self._sharded.close()
+                if self._process is not None:
+                    self._process.close()
 
     @property
     def closed(self) -> bool:
@@ -632,7 +733,12 @@ class Session:
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else "open"
-        shards = f" shards={self._sharded.shards}" if self._sharded else ""
+        if self._process is not None:
+            shards = f" shards={self._process.shards} (process)"
+        elif self._sharded is not None:
+            shards = f" shards={self._sharded.shards}"
+        else:
+            shards = ""
         return (
             f"<Session {state} sources={len(self._mediator.sources)} "
             f"backend={self._config.backend!r} "
@@ -668,6 +774,7 @@ def open_session(
     config: Optional[EngineConfig] = None,
     shards: Optional[int] = None,
     router: Optional[ShardRouter] = None,
+    worker_source: Optional["WorkerSource"] = None,
     lint: str = "off",
 ) -> Session:
     """Open a :class:`Session` over the given data sources.
@@ -688,6 +795,13 @@ def open_session(
     An explicit ``router`` wires pre-partitioned per-shard mediators
     instead (see :func:`repro.workloads.mediated_layers` with
     ``shards=``).
+
+    With ``config.shard_mode="process"`` the shards are promoted to
+    supervised worker *processes* (see :mod:`repro.serving`); that mode
+    additionally needs a ``worker_source`` recipe telling each worker
+    how to rebuild its shard mediator —
+    :meth:`~repro.workloads.mediated.MediatedWorkload.open_session`
+    wires it automatically for generated workloads.
 
     ``lint`` gates the schema through :mod:`repro.analysis` at open
     time: ``"warn"`` emits a :class:`UserWarning` per finding,
@@ -726,7 +840,10 @@ def open_session(
         raise QueryError(
             f'lint must be "off", "warn" or "error", got {lint!r}'
         )
-    session = Session(mediator=mediator, config=config, router=router)
+    session = Session(
+        mediator=mediator, config=config, router=router,
+        worker_source=worker_source,
+    )
     if lint != "off":
         import warnings as _warnings
 

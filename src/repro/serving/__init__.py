@@ -1,0 +1,71 @@
+"""Process-parallel shard serving behind a JSON-RPC front door.
+
+The sharded engine of :mod:`repro.engine.sharded` scatters on a thread
+pool inside one process — a crashed or GIL-bound shard takes the whole
+session down. This package promotes shards to worker *processes*:
+
+* :mod:`repro.serving.rpc` — the newline-delimited JSON-RPC 2.0 codec
+  plus the payload codecs (nodes, fragments, stats, exceptions) the
+  scatter/gather protocol serialises;
+* :mod:`repro.serving.source` — :class:`WorkerSource`, the portable
+  recipe a worker process follows to rebuild its shard mediator
+  (a ``module:callable`` factory plus JSON kwargs — persisted shard
+  files re-attach, memory workloads regenerate from the same seed);
+* :mod:`repro.serving.worker` — the :class:`ShardWorker` process
+  entrypoint (``python -m repro.serving.worker``) that owns its
+  ``layer<i>.shard<s>.sqlite`` (or vectorized-manifest) files and
+  answers ``score_fragment`` / ``repair`` / ``stats`` / ``ping`` RPCs
+  over a local socket;
+* :mod:`repro.serving.engine` — :class:`ProcessShardedEngine`, the
+  drop-in beside :class:`~repro.engine.sharded.ShardedEngine` selected
+  via ``EngineConfig(shard_mode="process")``: spawns and supervises the
+  workers, scatters every query over RPC, merges the disjoint owned
+  fragments with the exact thread-mode semantics, and survives worker
+  death with bounded retry-with-restart;
+* :mod:`repro.serving.server` — the thin HTTP front door over
+  :class:`~repro.api.Session` (execute / execute_many / explain /
+  stats / health / shard_stats), runnable as ``python -m
+  repro.serving``.
+
+See ``docs/serving.md`` for the wire protocol, the supervision/retry
+policy and the failure classification table.
+"""
+
+from repro.serving.engine import ProcessShardedEngine, WorkerHandle, live_worker_processes
+from repro.serving.result import ProcessShardedResultSet
+from repro.serving.rpc import (
+    RPC_PROTOCOL_VERSION,
+    RpcConnection,
+    RpcRemoteError,
+    RpcTransportError,
+    decode_exception,
+    decode_message,
+    decode_node,
+    encode_exception,
+    encode_message,
+    encode_node,
+)
+from repro.serving.server import ServingServer, serve
+from repro.serving.source import WorkerSource
+from repro.serving.worker import ShardWorker
+
+__all__ = [
+    "ProcessShardedEngine",
+    "ProcessShardedResultSet",
+    "RPC_PROTOCOL_VERSION",
+    "RpcConnection",
+    "RpcRemoteError",
+    "RpcTransportError",
+    "ServingServer",
+    "ShardWorker",
+    "WorkerHandle",
+    "WorkerSource",
+    "decode_exception",
+    "decode_message",
+    "decode_node",
+    "encode_exception",
+    "encode_message",
+    "encode_node",
+    "live_worker_processes",
+    "serve",
+]

@@ -1,0 +1,773 @@
+"""The process-sharded scatter/gather engine (supervisor side).
+
+:class:`ProcessShardedEngine` is the drop-in beside
+:class:`~repro.engine.sharded.ShardedEngine`, selected via
+``EngineConfig(shard_mode="process")``: the same gather semantics —
+disjoint owned score fragments, aggregated
+:class:`~repro.integration.builder.BuildStats` /
+:class:`~repro.engine.ranking.EngineStats`, thread-mode-identical
+emptiness and error classification — but each shard lives in its own
+worker *process*, reached over newline-delimited JSON-RPC on a local
+socket. A crashed, hung or babbling worker costs one bounded
+restart-and-retry, never the session.
+
+Supervision policy (see ``docs/serving.md`` for the full table):
+
+* **transport failures** (EOF, reset, timeout, non-JSON line) mean the
+  worker's state is unknown → kill it, respawn from the
+  :class:`~repro.serving.source.WorkerSource` recipe (the restarted
+  worker re-attaches its shard files), and retry the request — at most
+  ``worker_restarts`` times per request;
+* **application errors** (the worker answered a well-formed JSON-RPC
+  error) are deterministic query errors → never restart; re-raise
+  exactly as thread mode classifies them (identical on every shard →
+  re-raise verbatim; partial → wrap naming the shard);
+* **empty shards** are results, not failures (the partition simply
+  holds no answers); only when every shard is empty does the
+  single-engine :class:`~repro.errors.EmptyAnswerError` re-raise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import secrets
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import weakref
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.engine.ranking import EngineStats
+from repro.engine.sharded import ShardRouter, aggregate_build_stats
+from repro.errors import EmptyAnswerError, QueryError, RankingError
+from repro.integration.builder import BuildStats, NodePayload
+from repro.integration.query import ExploratoryQuery
+from repro.serving import rpc
+from repro.serving.source import WorkerSource
+
+__all__ = [
+    "ProcessGatherResult",
+    "ProcessShardedEngine",
+    "WorkerHandle",
+    "live_worker_processes",
+]
+
+NodeId = Hashable
+
+#: emptiness priority shared with the thread-mode gather (the error
+#: that got furthest is the one the single engine would have raised)
+_EMPTY_PRIORITY = {"no-answers": 2, "dangling-seeds": 1, "no-seeds": 0}
+
+#: every worker process ever spawned and not yet reaped, for leak
+#: detection in tests and the atexit-style finalizer safety net
+_LIVE_WORKERS: "weakref.WeakSet[subprocess.Popen]" = weakref.WeakSet()
+
+
+def live_worker_processes() -> List[subprocess.Popen]:
+    """Spawned worker processes that are still running (test hook: a
+    suite leaking workers can fail itself on this)."""
+    return [proc for proc in list(_LIVE_WORKERS) if proc.poll() is None]
+
+
+def _worker_env() -> Dict[str, str]:
+    """The spawn environment: inherit, but make sure the worker can
+    import :mod:`repro` even when the parent runs from a source tree
+    that is on ``sys.path`` without being on ``PYTHONPATH``."""
+    import repro
+
+    src = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    parts = existing.split(os.pathsep) if existing else []
+    if src not in parts:
+        env["PYTHONPATH"] = os.pathsep.join([src] + parts) if parts else src
+    return env
+
+
+class WorkerHandle:
+    """One supervised worker process plus its RPC connection.
+
+    The handle owns the per-shard listening socket (bound once, reused
+    across restarts), the :class:`subprocess.Popen`, and the accepted
+    connection. ``call`` is locked — the engine's scatter threads and
+    operator stats polls never interleave frames on one socket.
+    """
+
+    def __init__(
+        self,
+        shard: int,
+        source: WorkerSource,
+        engine_options: Mapping[str, object],
+        socket_dir: str,
+        boot_timeout: float = 60.0,
+    ):
+        self.shard = shard
+        self.restarts = 0
+        self._source = source
+        self._engine_options = dict(engine_options)
+        self._boot_timeout = boot_timeout
+        self._lock = threading.Lock()
+        self._token = secrets.token_hex(8)
+        self._closed = False
+        self.process: Optional[subprocess.Popen] = None
+        self._conn: Optional[rpc.RpcConnection] = None
+        # per-shard listener, bound once: a unix socket when the
+        # platform has them (and the path fits AF_UNIX's limit),
+        # loopback TCP otherwise
+        path = os.path.join(socket_dir, f"shard{shard}.sock")
+        if hasattr(socket, "AF_UNIX") and len(path) < 100:
+            self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._listener.bind(path)
+            self._address: Dict[str, object] = {"family": "unix", "path": path}
+            self._socket_path: Optional[str] = path
+        else:
+            self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            self._listener.bind(("127.0.0.1", 0))
+            host, port = self._listener.getsockname()
+            self._address = {"family": "tcp", "host": host, "port": port}
+            self._socket_path = None
+        self._listener.listen(1)
+        try:
+            self._spawn()
+        except Exception:
+            # a failed first boot must not leak the listener/socket file
+            self._listener.close()
+            if self._socket_path is not None:
+                try:
+                    os.unlink(self._socket_path)
+                except OSError:
+                    pass
+            raise
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid if self.process is not None else None
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.poll() is None
+
+    # ------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------ #
+
+    def _spawn(self) -> None:
+        boot = {
+            "protocol": rpc.RPC_PROTOCOL_VERSION,
+            "shard": self.shard,
+            "token": self._token,
+            "address": self._address,
+            "source": self._source.to_dict(),
+            "engine": self._engine_options,
+        }
+        self.process = subprocess.Popen(
+            [sys.executable, "-m", "repro.serving.worker", json.dumps(boot)],
+            env=_worker_env(),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+        )
+        _LIVE_WORKERS.add(self.process)
+        try:
+            self._listener.settimeout(self._boot_timeout)
+            try:
+                accepted, _ = self._listener.accept()
+            except socket.timeout:
+                raise rpc.RpcTransportError(
+                    f"shard {self.shard} worker did not connect within "
+                    f"{self._boot_timeout:.0f}s: {self._stderr_tail()}"
+                ) from None
+            conn = rpc.RpcConnection(accepted)
+            hello = conn.receive(timeout=self._boot_timeout)
+        except rpc.RpcTransportError:
+            self._reap()
+            raise
+        params = hello.get("params") or {}
+        if hello.get("method") == "fatal":
+            self._reap()
+            raise rpc.RpcTransportError(
+                f"shard {self.shard} worker failed to bootstrap: "
+                f"{params.get('error')}"
+            )
+        if (
+            hello.get("method") != "hello"
+            or params.get("token") != self._token
+            or params.get("shard") != self.shard
+            or params.get("protocol") != rpc.RPC_PROTOCOL_VERSION
+        ):
+            self._reap()
+            raise rpc.RpcTransportError(
+                f"shard {self.shard} worker sent a bad handshake: {hello!r}"
+            )
+        self._conn = conn
+
+    def _stderr_tail(self, limit: int = 400) -> str:
+        if self.process is None or self.process.stderr is None:
+            return "no stderr captured"
+        try:
+            self.process.kill()
+            self.process.wait(timeout=5)
+            tail = self.process.stderr.read() or b""
+        except Exception:
+            return "stderr unavailable"
+        text = tail.decode("utf-8", "replace").strip()
+        return text[-limit:] if text else "worker wrote nothing to stderr"
+
+    def _reap(self) -> None:
+        """Kill (if needed) and wait the current process; drop the
+        connection. The listener stays bound for the next spawn."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+        if self.process is not None:
+            if self.process.poll() is None:
+                self.process.kill()
+            try:
+                self.process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                pass
+            if self.process.stderr is not None:
+                try:
+                    self.process.stderr.close()
+                except OSError:
+                    pass
+            self.process = None
+
+    def restart(self) -> None:
+        """Replace a dead/undead worker with a fresh one (it re-runs
+        the source recipe, re-attaching its shard files)."""
+        with self._lock:
+            if self._closed:
+                raise rpc.RpcTransportError(
+                    f"shard {self.shard} handle is closed"
+                )
+            self._reap()
+            self.restarts += 1
+            self._spawn()
+
+    def ensure_alive(self) -> None:
+        """Respawn a worker already known to be dead (dropped
+        connection or exited process) before use. A previous request
+        exhausting *its* restart budget must not leave the shard dead
+        for every later request — each request faces a live worker and
+        its own full budget."""
+        with self._lock:
+            if self._closed:
+                raise rpc.RpcTransportError(
+                    f"shard {self.shard} handle is closed"
+                )
+            if self._conn is not None and self.alive:
+                return
+            self._reap()
+            self.restarts += 1
+            self._spawn()
+
+    def call(self, method: str, params: Mapping[str, object],
+             timeout: Optional[float]) -> object:
+        """One locked RPC round trip.
+
+        Raises :class:`~repro.serving.rpc.RpcTransportError` when the
+        transport broke (caller should restart+retry) and
+        :class:`~repro.serving.rpc.RpcRemoteError` for application
+        errors (caller must *not* retry)."""
+        with self._lock:
+            if self._closed or self._conn is None:
+                raise rpc.RpcTransportError(
+                    f"shard {self.shard} has no live worker connection"
+                )
+            try:
+                return self._conn.call(method, params, timeout=timeout)
+            except rpc.RpcRemoteError:
+                raise
+            except rpc.RpcTransportError:
+                # the stream is unusable; drop it so a racing caller
+                # fails fast instead of reading a half frame
+                self._conn.close()
+                self._conn = None
+                raise
+
+    def close(self, graceful_timeout: float = 2.0) -> None:
+        """Shut the worker down (graceful RPC first, then SIGKILL),
+        reap it, and release the listener + socket file. Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._conn is not None:
+                try:
+                    self._conn.call("shutdown", {}, timeout=graceful_timeout)
+                except (rpc.RpcTransportError, rpc.RpcRemoteError):
+                    pass
+            self._reap()
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            if self._socket_path is not None:
+                try:
+                    os.unlink(self._socket_path)
+                except OSError:
+                    pass
+
+
+@dataclass
+class ProcessGatherResult:
+    """A merged process-mode scatter/gather execution — the same
+    observable surface as thread mode's
+    :class:`~repro.engine.sharded.GatherResult`, with per-answer
+    payload records standing in for live shard graphs (the graphs live
+    in the workers; provenance reaches them over RPC)."""
+
+    #: merged node -> score of the disjoint owned fragments
+    scores: Dict[NodeId, float]
+    #: node -> payload (entity_set, key, label) shipped by the owner
+    payloads: Dict[NodeId, NodePayload]
+    #: node -> owning shard index (provenance RPC routing)
+    owner_shards: Dict[NodeId, int]
+    method: str
+    build_stats: BuildStats = field(default_factory=BuildStats)
+    graph_cached: bool = False
+    score_cached: bool = False
+    build_seconds: float = 0.0
+    rank_seconds: float = 0.0
+
+    @property
+    def nodes(self) -> int:
+        return self.build_stats.nodes
+
+    @property
+    def edges(self) -> int:
+        return self.build_stats.edges
+
+
+class ProcessShardedEngine:
+    """N shard worker processes behind one scatter/gather surface.
+
+    Mirrors :class:`~repro.engine.sharded.ShardedEngine`'s construction
+    and surface (``gather`` / ``stats_snapshot`` / ``shard_stats`` /
+    ``invalidate`` / ``close``), but each child engine lives in its own
+    process, built from ``source`` — the parent's ``router`` is used
+    for *routing and ownership bookkeeping only*; shard storage is
+    owned by the workers.
+    """
+
+    def __init__(
+        self,
+        router: ShardRouter,
+        source: WorkerSource,
+        backend: str = "compiled",
+        builder: str = "batched",
+        cache_scores: bool = True,
+        max_cached_scores: int = 1024,
+        cache_graphs: bool = True,
+        max_cached_graphs: int = 256,
+        incremental: bool = True,
+        rpc_timeout: float = 30.0,
+        worker_restarts: int = 2,
+        boot_timeout: float = 60.0,
+    ):
+        if source.shards != router.shards:
+            raise QueryError(
+                f"worker source describes {source.shards} shard(s) but the "
+                f"router has {router.shards}"
+            )
+        self.router = router
+        self.source = source
+        self.builder = builder
+        self.rpc_timeout = rpc_timeout
+        self.worker_restarts = worker_restarts
+        self._closed = False
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        self._socket_dir = tempfile.mkdtemp(prefix="repro-shards-")
+        engine_options = {
+            "backend": backend,
+            "builder": builder,
+            "cache_scores": cache_scores,
+            "max_cached_scores": max_cached_scores,
+            "cache_graphs": cache_graphs,
+            "max_cached_graphs": max_cached_graphs,
+            "incremental": incremental,
+        }
+        self.workers: List[WorkerHandle] = []
+        try:
+            for shard in range(router.shards):
+                self.workers.append(WorkerHandle(
+                    shard,
+                    source,
+                    engine_options,
+                    self._socket_dir,
+                    boot_timeout=boot_timeout,
+                ))
+        except Exception:
+            self.close()
+            raise
+        # safety net: a dropped engine must not leak OS processes
+        self._finalizer = weakref.finalize(
+            self, _finalize_workers, list(self.workers), self._socket_dir
+        )
+
+    @property
+    def shards(self) -> int:
+        return len(self.workers)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------ #
+    # supervised RPC
+    # ------------------------------------------------------------ #
+
+    def _call_supervised(
+        self, handle: WorkerHandle, method: str, params: Mapping[str, object]
+    ) -> object:
+        """Call with bounded restart-with-retry on transport failures.
+
+        Application errors pass through untouched (they are
+        deterministic — a restart cannot change them and must not mask
+        them)."""
+        failure: Optional[rpc.RpcTransportError] = None
+        for attempt in range(self.worker_restarts + 1):
+            try:
+                if attempt > 0:
+                    handle.restart()
+                else:
+                    # free respawn of a worker a *previous* request
+                    # already found dead — not charged to this budget
+                    handle.ensure_alive()
+            except rpc.RpcTransportError as exc:
+                failure = exc
+                continue
+            try:
+                return handle.call(method, params, timeout=self.rpc_timeout)
+            except rpc.RpcTransportError as exc:
+                failure = exc
+        raise QueryError(
+            f"shard {handle.shard} failed during scatter/gather after "
+            f"{self.worker_restarts} restart(s): {failure}"
+        )
+
+    # ------------------------------------------------------------ #
+    # scatter/gather execution
+    # ------------------------------------------------------------ #
+
+    def gather(
+        self,
+        query: ExploratoryQuery,
+        method: str = "reliability",
+        options: Optional[Mapping[str, object]] = None,
+        builder: Optional[str] = None,
+        max_workers: Optional[int] = None,
+        spec_dict: Optional[Mapping[str, object]] = None,
+    ) -> ProcessGatherResult:
+        """Scatter one spec to its relevant shard workers and merge the
+        owned fragments with thread-mode-identical semantics.
+
+        The wire protocol ships the full :class:`~repro.api.QuerySpec`
+        dict (``spec_dict``); the ``query``/``method``/``options``
+        arguments keep the thread-mode calling convention so the
+        session can treat both engines uniformly."""
+        self._check_open()
+        if spec_dict is None:
+            spec_dict = _spec_dict_from_query(query, method, options)
+        relevant = self.router.relevant_shards(query)
+        workers = len(relevant) if max_workers is None else max(1, max_workers)
+        params = {"spec": dict(spec_dict), "builder": builder or self.builder}
+
+        def run(shard: int) -> Tuple[str, object]:
+            handle = self.workers[shard]
+            try:
+                return "result", self._call_supervised(
+                    handle, "score_fragment", params
+                )
+            except rpc.RpcRemoteError as exc:
+                return "error", (exc.remote if exc.remote is not None else exc)
+            except QueryError as exc:
+                return "infra", exc
+
+        if workers > 1 and len(relevant) > 1:
+            if workers >= len(relevant):
+                outcomes = list(self._scatter_pool().map(run, relevant))
+            else:
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    outcomes = list(pool.map(run, relevant))
+        else:
+            outcomes = [run(shard) for shard in relevant]
+
+        return self._merge(relevant, outcomes, str(spec_dict["method"]))
+
+    def _merge(
+        self,
+        relevant: Sequence[int],
+        outcomes: Sequence[Tuple[str, object]],
+        method: str,
+    ) -> ProcessGatherResult:
+        fragments: List[Tuple[int, Dict[str, object]]] = []
+        empties: List[Tuple[int, EmptyAnswerError]] = []
+        errors: List[Tuple[int, BaseException]] = []
+        infra: List[Tuple[int, QueryError]] = []
+        build_seconds = 0.0
+        rank_seconds = 0.0
+        for shard, (tag, payload) in zip(relevant, outcomes):
+            if tag == "infra":
+                infra.append((shard, payload))  # type: ignore[arg-type]
+                continue
+            if tag == "error":
+                errors.append((shard, payload))  # type: ignore[arg-type]
+                continue
+            record = payload  # type: ignore[assignment]
+            if not isinstance(record, dict):
+                infra.append((shard, QueryError(
+                    f"shard {shard} failed during scatter/gather: "
+                    f"malformed fragment {record!r}"
+                )))
+                continue
+            build_seconds = max(build_seconds, float(record.get("build_seconds", 0.0)))
+            rank_seconds = max(rank_seconds, float(record.get("rank_seconds", 0.0)))
+            if record.get("status") == "empty":
+                empties.append((shard, EmptyAnswerError(
+                    str(record.get("message", "empty shard")),
+                    kind=str(record.get("kind", "no-answers")),
+                )))
+            else:
+                fragments.append((shard, record))
+
+        if infra:
+            # worker infrastructure trouble that bounded restarts did
+            # not cure: always a classified partial failure
+            raise infra[0][1]
+        if errors:
+            # identical deterministic failure on every shard is a
+            # query-level error: re-raise as the single engine would
+            first_shard, first_error = errors[0]
+            deterministic = len(errors) == len(relevant) and all(
+                type(err) is type(first_error) and str(err) == str(first_error)
+                for _, err in errors
+            )
+            if deterministic:
+                raise first_error
+            raise QueryError(
+                f"shard {first_shard} failed during scatter/gather: "
+                f"{first_error}"
+            ) from first_error
+
+        merged: Dict[NodeId, float] = {}
+        payloads: Dict[NodeId, NodePayload] = {}
+        owner_shards: Dict[NodeId, int] = {}
+        for shard, record in fragments:
+            owned = rpc.decode_fragment_scores(record.get("owned", []))  # type: ignore[arg-type]
+            for node, score, label in owned:
+                if node in owner_shards:
+                    raise RankingError(
+                        f"answer {node!r} gathered from two shards; the "
+                        f"partitioner is not a partition"
+                    )
+                merged[node] = score
+                owner_shards[node] = shard
+                entity_set, key = _split_node(node)
+                payloads[node] = NodePayload(
+                    entity_set=entity_set, key=key, record=None, label=label
+                )
+        if not merged:
+            if not empties:  # unreachable unless ownership is broken
+                raise QueryError("no shard produced answers")
+            _, best = max(
+                empties, key=lambda item: _EMPTY_PRIORITY[item[1].kind]
+            )
+            raise best
+
+        populated = [record for _, record in fragments]
+        return ProcessGatherResult(
+            scores=merged,
+            payloads=payloads,
+            owner_shards=owner_shards,
+            method=method,
+            build_stats=aggregate_build_stats([
+                rpc.decode_build_stats(record["build_stats"])  # type: ignore[arg-type]
+                for record in populated
+                if record.get("build_stats") is not None
+            ]),
+            graph_cached=all(bool(r.get("graph_cached")) for r in populated),
+            score_cached=all(bool(r.get("score_cached")) for r in populated),
+            build_seconds=build_seconds,
+            rank_seconds=rank_seconds,
+        )
+
+    # ------------------------------------------------------------ #
+    # answer-level provenance (RPC to the owning shard)
+    # ------------------------------------------------------------ #
+
+    def explain_answer(
+        self, shard: int, spec_dict: Mapping[str, object], node: NodeId,
+        top: int = 3,
+    ) -> str:
+        result = self._call_supervised(self.workers[shard], "explain", {
+            "spec": dict(spec_dict), "node": rpc.encode_node(node), "top": top,
+        })
+        return str(result)
+
+    def provenance(
+        self, shard: int, spec_dict: Mapping[str, object], node: NodeId,
+        top: int = 3, max_paths: int = 1000,
+    ) -> List[Dict[str, object]]:
+        result = self._call_supervised(self.workers[shard], "provenance", {
+            "spec": dict(spec_dict), "node": rpc.encode_node(node),
+            "top": top, "max_paths": max_paths,
+        })
+        return list(result)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------ #
+    # stats and lifecycle (aggregated over the workers)
+    # ------------------------------------------------------------ #
+
+    @property
+    def stats(self) -> EngineStats:
+        return self.stats_snapshot()
+
+    def stats_snapshot(self) -> EngineStats:
+        return EngineStats.aggregate(self.shard_stats())
+
+    def shard_stats(self) -> List[EngineStats]:
+        self._check_open()
+        stats = []
+        for handle in self.workers:
+            record = self._call_supervised(handle, "stats", {})
+            stats.append(rpc.decode_engine_stats(record["engine"]))  # type: ignore[index]
+        return stats
+
+    def describe_workers(self) -> List[Dict[str, object]]:
+        """Operator view: per-shard pid / restart count / liveness
+        (what the HTTP front door's ``/shard_stats`` reports)."""
+        return [
+            {
+                "shard": handle.shard,
+                "pid": handle.pid,
+                "alive": handle.alive,
+                "restarts": handle.restarts,
+            }
+            for handle in self.workers
+        ]
+
+    def reset_stats(self) -> None:
+        self._check_open()
+        for handle in self.workers:
+            self._call_supervised(handle, "reset_stats", {})
+
+    def invalidate(self) -> None:
+        self._check_open()
+        for handle in self.workers:
+            self._call_supervised(handle, "repair", {"reload": False})
+
+    def repair(self, reload: bool = True) -> None:
+        """Ask every worker to drop caches and (by default) re-resolve
+        its source recipe — the operator path after refreshing the
+        shard files on disk."""
+        self._check_open()
+        for handle in self.workers:
+            self._call_supervised(handle, "repair", {"reload": reload})
+
+    def ping(self) -> List[Dict[str, object]]:
+        self._check_open()
+        return [
+            dict(self._call_supervised(handle, "ping", {}))  # type: ignore[call-overload]
+            for handle in self.workers
+        ]
+
+    def close(self) -> None:
+        """Reap every worker (graceful shutdown RPC, then SIGKILL),
+        release sockets and the socket directory. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+        for handle in self.workers:
+            handle.close()
+        finalizer = getattr(self, "_finalizer", None)
+        if finalizer is not None:
+            finalizer.detach()
+        try:
+            os.rmdir(self._socket_dir)
+        except OSError:
+            pass
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RankingError("this process-sharded engine is closed")
+
+    def _scatter_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=max(1, self.shards),
+                    thread_name_prefix="shard-rpc",
+                )
+            return self._pool
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"<ProcessShardedEngine {state} shards={self.shards} "
+            f"source={self.source.factory!r}>"
+        )
+
+
+def _finalize_workers(handles: List[WorkerHandle], socket_dir: str) -> None:
+    """Last-resort cleanup when an engine is garbage-collected without
+    ``close()`` — OS processes must never outlive their supervisor."""
+    for handle in handles:
+        try:
+            handle.close(graceful_timeout=0.5)
+        except Exception:
+            pass
+    try:
+        os.rmdir(socket_dir)
+    except OSError:
+        pass
+
+
+def _split_node(node: NodeId) -> Tuple[str, Hashable]:
+    """Node ids are ``(entity_set, key)`` tuples everywhere the
+    integration layer builds them; tolerate anything else by echoing
+    the node as its own key."""
+    if isinstance(node, tuple) and len(node) == 2 and isinstance(node[0], str):
+        return node[0], node[1]
+    return ("", node)
+
+
+def _spec_dict_from_query(
+    query: ExploratoryQuery,
+    method: str,
+    options: Optional[Mapping[str, object]],
+) -> Dict[str, object]:
+    """A best-effort spec dict for callers that come through the
+    thread-mode calling convention without a ``QuerySpec`` (tests,
+    direct engine use). The session always passes ``spec_dict``."""
+    spec: Dict[str, object] = {
+        "entity_set": query.entity_set,
+        "attribute": query.attribute,
+        "value": query.value,
+        "outputs": list(query.outputs),
+        "method": method,
+    }
+    options = dict(options or {})
+    rng = options.pop("rng", None)
+    if isinstance(rng, int):
+        spec["seed"] = rng
+    clean = {
+        key: value
+        for key, value in options.items()
+        if key in ("strategy", "trials", "reduce", "iterations",
+                   "tolerance", "max_iterations")
+    }
+    if clean:
+        spec["options"] = clean
+    return spec

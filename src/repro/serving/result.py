@@ -1,0 +1,127 @@
+"""Result sets gathered from worker *processes*.
+
+:class:`ProcessShardedResultSet` is the process-mode sibling of
+:class:`~repro.api.result.ShardedResultSet`: scores, ordering, rank
+intervals, tie groups, pagination and export are plain
+:class:`~repro.api.result.ResultSet` behaviour over the merged score
+dict (bit-identical to thread mode and to a single engine by
+construction), while provenance and explanations dispatch over RPC to
+the worker that *owns* each answer — the sink-partitioning rule
+guarantees the owning shard holds the answer's complete ancestor
+subgraph, so the worker enumerates exactly the evidence paths an
+unsharded engine would.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Hashable, List, Mapping
+
+if TYPE_CHECKING:
+    from repro.api.spec import QuerySpec
+    from repro.serving.engine import ProcessGatherResult, ProcessShardedEngine
+
+from repro.api.result import RankedEntity, ResultSet
+from repro.core.graph import QueryGraph
+from repro.core.paths import EvidencePath
+from repro.core.ranker import RankedResult
+from repro.errors import GraphError
+from repro.serving import rpc
+
+__all__ = ["ProcessShardedResultSet"]
+
+NodeId = Hashable
+
+
+class _RemotePayloads:
+    """Node-payload access over the shipped ``[node, score, label]``
+    fragments (quacks like ``ProbabilisticEntityGraph.data`` for the
+    entity-record construction of the base class)."""
+
+    def __init__(self, payloads: Mapping[NodeId, object]) -> None:
+        self._payloads = dict(payloads)
+
+    def data(self, node: NodeId) -> object:
+        return self._payloads[node]
+
+
+class _RemoteGraph:
+    """The minimal ``QueryGraph``-shaped object behind a gathered
+    process-mode result: answers plus shipped payloads. The real graphs
+    live in the worker processes."""
+
+    def __init__(self, payloads: Mapping[NodeId, object], source: NodeId) -> None:
+        self.graph = _RemotePayloads(payloads)
+        self.source = source
+        self.targets = list(payloads.keys())
+
+
+class ProcessShardedResultSet(ResultSet):
+    """A :class:`~repro.api.result.ResultSet` gathered from worker
+    processes.
+
+    The per-answer entity payloads (entity set, key, label) were
+    shipped inside the score fragments, so ranked access needs no
+    remote round trips; :meth:`provenance` and :meth:`explain` are the
+    only methods that talk to the workers.
+    """
+
+    def __init__(
+        self,
+        gathered: "ProcessGatherResult",
+        engine: "ProcessShardedEngine",
+        spec: "QuerySpec",
+    ) -> None:
+        self._gathered = gathered
+        self._engine = engine
+        self._spec_dict = spec.to_dict()
+        ranked = RankedResult(method=gathered.method, scores=dict(gathered.scores))
+        source = ("__query__", (spec.entity_set, spec.attribute, spec.value))
+        super().__init__(ranked, _RemoteGraph(gathered.payloads, source), spec=spec)
+
+    @property
+    def graph(self) -> QueryGraph:
+        """Not available — the query graphs live in the worker
+        processes; :meth:`provenance`/:meth:`explain` dispatch to them
+        over RPC automatically."""
+        raise GraphError(
+            "a process-sharded result set has no local materialised "
+            "graph; the shard graphs live in the worker processes — "
+            "use .provenance()/.explain(), which dispatch to the owning "
+            "worker automatically"
+        )
+
+    @property
+    def owner_shards(self) -> Dict[NodeId, int]:
+        """Answer node -> shard index that owns (and can explain) it."""
+        return dict(self._gathered.owner_shards)
+
+    def _owner(self, node: NodeId) -> int:
+        if isinstance(node, RankedEntity):
+            node = node.node
+        try:
+            return self._gathered.owner_shards[node]
+        except KeyError:
+            raise GraphError(f"{node!r} is not in this result set") from None
+
+    def provenance(
+        self, node: NodeId, top: int = 3, max_paths: int = 1000
+    ) -> List[EvidencePath]:
+        shard = self._owner(node)
+        if isinstance(node, RankedEntity):
+            node = node.node
+        records = self._engine.provenance(
+            shard, self._spec_dict, node, top=top, max_paths=max_paths
+        )
+        return [
+            EvidencePath(
+                nodes=tuple(rpc.decode_node(item) for item in record["nodes"]),
+                probability=float(record["probability"]),  # type: ignore[arg-type]
+            )
+            for record in records
+        ]
+
+    def explain(self, node: NodeId, top: int = 3) -> str:
+        shard = self._owner(node)
+        if isinstance(node, RankedEntity):
+            node = node.node
+        return self._engine.explain_answer(shard, self._spec_dict, node, top=top)

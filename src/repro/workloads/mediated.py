@@ -19,9 +19,12 @@ frontier node.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:
+    from repro.serving.source import WorkerSource
 
 from repro.api import EngineConfig, QuerySpec, Session, open_session
 from repro.engine.sharded import HashPartitioner, ShardRouter
@@ -67,6 +70,11 @@ class MediatedWorkload:
     router: Optional[ShardRouter] = None
     #: the per-shard databases of the partitioned layer (``shards > 1``)
     shard_databases: tuple = ()
+    #: the exact :func:`mediated_layers` arguments that generated this
+    #: workload — the portable recipe worker processes replay (``rng``
+    #: is recorded only when it was an explicit integer seed, the one
+    #: form that regenerates byte-identically in another process)
+    generation: Dict[str, object] = field(default_factory=dict)
 
     def close(self) -> None:
         """Release the layers' storage resources (SQLite connections)."""
@@ -98,11 +106,44 @@ class MediatedWorkload:
                 "this workload was generated unsharded; regenerate with "
                 "mediated_layers(shards=N) for a sharded session"
             )
+        worker_source = None
+        if sharded and config is not None and config.shard_mode == "process":
+            worker_source = self.worker_source()
         return open_session(
             mediator=self.mediator,
             config=config,
             router=self.router if sharded else None,
+            worker_source=worker_source,
             lint=lint,
+        )
+
+    def worker_source(self) -> "WorkerSource":
+        """The :class:`~repro.serving.source.WorkerSource` recipe a
+        shard worker process replays to rebuild this workload.
+
+        Requires a sharded workload generated with an explicit integer
+        ``rng`` seed — the only form that regenerates byte-identically
+        in another process (persisted ``storage_path`` layers re-attach
+        either way, but the recipe must still resolve to the same
+        partition layout).
+        """
+        from repro.serving.source import WorkerSource
+
+        if self.shards < 2 or self.router is None:
+            raise ValidationError(
+                "worker_source() needs a sharded workload; regenerate "
+                "with mediated_layers(shards=N)"
+            )
+        if not isinstance(self.generation.get("rng"), int):
+            raise ValidationError(
+                "process-mode shard workers replay the generation recipe "
+                "in their own process, which requires an explicit integer "
+                "rng seed: regenerate with mediated_layers(..., rng=<int>)"
+            )
+        return WorkerSource(
+            factory="repro.workloads.mediated:mediated_layers",
+            kwargs=dict(self.generation),
+            shards=self.shards,
         )
 
     def spec(
@@ -512,4 +553,19 @@ def mediated_layers(
         shards=shards,
         router=router,
         shard_databases=tuple(shard_databases),
+        generation={
+            "layers": layers,
+            "width": width,
+            "fan_out": fan_out,
+            "seeds": seeds,
+            "rng": rng if isinstance(rng, int) else None,
+            "index_links": index_links,
+            "dangling_rate": dangling_rate,
+            "cyclic": cyclic,
+            "storage": storage,
+            "storage_path": (
+                str(storage_path) if storage_path is not None else None
+            ),
+            "shards": shards,
+        },
     )

@@ -1,0 +1,255 @@
+"""Property tests for the serving layer.
+
+Two halves:
+
+1. **Codec round trips** — hypothesis-driven QuerySpec / node /
+   fragment / stats / exception payloads pushed through the JSON-RPC
+   codec (including a real ``json.dumps``/``loads`` hop, exactly what
+   the wire does) must come back equal — scores bit-identically.
+2. **Observational equivalence** — on randomized mediated schemas and
+   N ∈ {1, 2, 3} shards, process-mode execution must be
+   observationally identical (entities, scores, rank intervals,
+   tie groups, pagination, JSON export, provenance) to thread-mode
+   *and* to the single-engine reference. Spawning real worker
+   processes is expensive, so this half pins a small example budget;
+   the cheap codec half runs at the profile's budget.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import EngineConfig, QuerySpec, RankingOptions, Session
+from repro.engine.ranking import EngineStats
+from repro.engine.sharded import ShardRouter
+from repro.errors import (
+    EmptyAnswerError,
+    GraphError,
+    QueryError,
+    RankingError,
+    ReproError,
+    ValidationError,
+)
+from repro.integration.builder import BuildStats
+from repro.serving import rpc
+from repro.serving.source import WorkerSource
+from repro.workloads import mediated_layers
+
+# ------------------------------------------------------------------ #
+# 1. codec round trips
+# ------------------------------------------------------------------ #
+
+_scalars = st.one_of(
+    st.text(max_size=20),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.booleans(),
+    st.none(),
+)
+_nodes = st.recursive(
+    _scalars, lambda children: st.tuples(children, children), max_leaves=6
+)
+_finite_floats = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+
+def _wire(value):
+    """One real JSON hop, exactly what the socket framing does."""
+    return json.loads(json.dumps(value))
+
+
+@given(node=_nodes)
+def test_node_codec_round_trips(node):
+    assert rpc.decode_node(_wire(rpc.encode_node(node))) == node
+
+
+@given(
+    fragment=st.lists(
+        st.tuples(_nodes, _finite_floats, st.text(max_size=20)), max_size=20
+    )
+)
+def test_fragment_scores_round_trip_bit_identically(fragment):
+    fragment = [(node, score, label) for node, score, label in fragment]
+    decoded = rpc.decode_fragment_scores(
+        _wire(rpc.encode_fragment_scores(fragment))
+    )
+    assert decoded == fragment  # == on floats: bit-identity, not closeness
+
+
+# QuerySpec validates eagerly: names must be non-empty after strip()
+_names = st.text(min_size=1, max_size=10).filter(lambda s: s.strip())
+
+spec_strategy = st.builds(
+    QuerySpec,
+    entity_set=_names,
+    attribute=_names,
+    value=st.one_of(st.booleans(), st.integers(), st.text(max_size=10)),
+    outputs=st.lists(_names, min_size=1, max_size=3, unique=True).map(tuple),
+    method=st.sampled_from(
+        ("in_edge", "path_count", "propagation", "diffusion", "reliability")
+    ),
+    seed=st.one_of(st.none(), st.integers(min_value=0, max_value=2**31)),
+    options=st.builds(
+        RankingOptions,
+        strategy=st.sampled_from((None, "closed", "mc", "exact", "auto")),
+        trials=st.one_of(st.none(), st.integers(min_value=1, max_value=1000)),
+        iterations=st.one_of(st.none(), st.integers(min_value=1, max_value=50)),
+    ),
+)
+
+
+@given(spec=spec_strategy)
+def test_query_spec_round_trips_through_the_wire(spec):
+    assert QuerySpec.from_dict(_wire(spec.to_dict())) == spec
+
+
+@given(
+    counters=st.lists(
+        st.integers(min_value=0, max_value=2**40), min_size=8, max_size=8
+    )
+)
+def test_engine_stats_round_trip(counters):
+    names = ("compile_hits", "compile_misses", "score_hits", "score_misses",
+             "graph_hits", "graph_misses", "graph_repairs", "queries_executed")
+    stats = EngineStats(**dict(zip(names, counters)))
+    decoded = rpc.decode_engine_stats(_wire(rpc.encode_engine_stats(stats)))
+    assert decoded.as_dict() == stats.as_dict()
+
+
+@given(
+    nodes=st.integers(min_value=0, max_value=10**6),
+    edges=st.integers(min_value=0, max_value=10**6),
+    dangling=st.integers(min_value=0, max_value=10**4),
+    visited=st.dictionaries(st.text(min_size=1, max_size=6),
+                            st.integers(min_value=0, max_value=10**5),
+                            max_size=5),
+)
+def test_build_stats_round_trip(nodes, edges, dangling, visited):
+    stats = BuildStats(nodes=nodes, edges=edges, dangling_links=dangling,
+                       visited_entities=visited)
+    assert rpc.decode_build_stats(_wire(rpc.encode_build_stats(stats))) == stats
+
+
+_exception_strategy = st.one_of(
+    st.builds(QueryError, st.text(max_size=60)),
+    st.builds(RankingError, st.text(max_size=60)),
+    st.builds(GraphError, st.text(max_size=60)),
+    st.builds(ValidationError, st.text(max_size=60)),
+    st.builds(
+        EmptyAnswerError,
+        st.text(max_size=60),
+        kind=st.sampled_from(("no-seeds", "dangling-seeds", "no-answers")),
+    ),
+)
+
+
+@given(exc=_exception_strategy)
+def test_exception_codec_preserves_type_message_and_kind(exc):
+    decoded = rpc.decode_exception(_wire(rpc.encode_exception(exc)))
+    assert isinstance(decoded, ReproError)
+    assert type(decoded) is type(exc)
+    assert str(decoded) == str(exc)
+    if isinstance(exc, EmptyAnswerError):
+        assert decoded.kind == exc.kind
+
+
+# ------------------------------------------------------------------ #
+# 2. process vs thread vs single-engine observational equivalence
+# ------------------------------------------------------------------ #
+
+METHODS = ("in_edge", "path_count", "propagation")
+
+serving_workload_strategy = st.fixed_dictionaries(
+    {
+        "layers": st.integers(min_value=2, max_value=3),
+        "width": st.integers(min_value=1, max_value=10),
+        "fan_out": st.integers(min_value=1, max_value=3),
+        "seeds": st.integers(min_value=1, max_value=2),
+        "dangling_rate": st.sampled_from([0.0, 0.3]),
+        "rng": st.integers(min_value=0, max_value=2**32 - 1),
+    }
+)
+
+
+def _observe(results):
+    """Everything a client can see in a ResultSet, as plain data."""
+    page = results.page(2, size=3)
+    return {
+        "entities": [
+            (e.node, e.entity_set, e.key, e.label, e.score, e.rank, e.rank_interval)
+            for e in results
+        ],
+        "tie_groups": [[e.node for e in group] for group in results.tie_groups()],
+        "page2": [e.node for e in page],
+        "page_totals": (page.total_results, page.total_pages),
+        "json": results.to_json(),
+        "provenance": [results.explain(e) for e in results.top(3)],
+    }
+
+
+def _observe_all(session, specs):
+    observed = []
+    with session:
+        for spec in specs:
+            try:
+                observed.append(_observe(session.execute(spec)))
+            except QueryError as error:
+                observed.append(f"{type(error).__name__}: {error}")
+    return observed
+
+
+def _process_session(workload, shards):
+    config = EngineConfig(
+        shards=shards, shard_mode="process", rpc_timeout=20.0, worker_restarts=2
+    )
+    if shards > 1:
+        return workload.open_session(config=config)
+    # N=1 has no pre-partitioned databases; run the other deployment
+    # mode — a single-shard scatter over partition views, with the
+    # worker rebuilding the same views from the generation recipe
+    return Session(
+        mediator=workload.mediator,
+        config=config,
+        router=ShardRouter.partition(workload.mediator, 1),
+        worker_source=WorkerSource(
+            factory="repro.workloads.mediated:mediated_layers",
+            kwargs=dict(workload.generation),
+            shards=1,
+        ),
+    )
+
+
+def _thread_session(workload, shards):
+    if shards > 1:
+        return workload.open_session(config=EngineConfig(shards=shards))
+    return Session(
+        mediator=workload.mediator,
+        router=ShardRouter.partition(workload.mediator, 1),
+    )
+
+
+@settings(max_examples=5, deadline=None)
+@given(config=serving_workload_strategy, shards=st.sampled_from([1, 2, 3]))
+def test_process_mode_is_observationally_identical(config, shards):
+    config = dict(config)
+    config["seeds"] = min(config["seeds"], config["width"])
+
+    workload = mediated_layers(shards=shards if shards > 1 else 1, **config)
+    specs = [
+        workload.spec(outputs=(layer,), method=method)
+        for method in METHODS
+        for layer in workload.entity_sets[1:]
+    ]
+    # a second pass exercises the warm worker caches over the wire
+    specs = specs + specs
+
+    try:
+        reference = _observe_all(workload.open_session(sharded=False), specs)
+        threaded = _observe_all(_thread_session(workload, shards), specs)
+        process = _observe_all(_process_session(workload, shards), specs)
+    finally:
+        workload.close()
+
+    assert threaded == reference, f"thread diverged: shards={shards} {config!r}"
+    assert process == reference, f"process diverged: shards={shards} {config!r}"

@@ -1,0 +1,67 @@
+"""Shared serving fixtures, including the worker-leak tripwire.
+
+Every test in this package runs under ``no_leaked_workers``: any shard
+worker process still alive when a test finishes is killed *and fails
+the test*. Leaked OS processes are the serving layer's equivalent of a
+forgotten file handle — this fixture is the regression test that
+``Session.close()`` / ``ProcessShardedEngine.close()`` reap everything,
+applied uniformly to every serving test for free.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import EngineConfig, RankingOptions
+from repro.serving.engine import live_worker_processes
+from repro.workloads import mediated_layers
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_workers():
+    yield
+    leaked = live_worker_processes()
+    if leaked:
+        pids = [proc.pid for proc in leaked]
+        for proc in leaked:
+            proc.kill()
+        pytest.fail(
+            f"test leaked shard worker process(es) {pids}; every "
+            f"session/engine must reap its workers on close"
+        )
+
+
+@pytest.fixture
+def workload():
+    """A small sharded mediated workload (memory storage, fixed seed)."""
+    generated = mediated_layers(layers=3, width=16, fan_out=3, rng=11, shards=2)
+    yield generated
+    generated.close()
+
+
+@pytest.fixture
+def process_config():
+    """Process-mode config with a short RPC timeout so hang tests run
+    in seconds, not the 30s production default."""
+    return EngineConfig(
+        shards=2, shard_mode="process", rpc_timeout=3.0, worker_restarts=2
+    )
+
+
+@pytest.fixture
+def specs(workload):
+    """A method mix covering the deterministic rankers plus closed-form
+    and seeded-MC reliability."""
+    return [
+        workload.spec(method="in_edge"),
+        workload.spec(method="path_count"),
+        workload.spec(method="propagation"),
+        workload.spec(
+            method="reliability", options=RankingOptions(strategy="closed")
+        ),
+        workload.spec(
+            method="reliability",
+            options=RankingOptions(strategy="mc", trials=50),
+            seed=123,
+        ),
+    ]

@@ -1,0 +1,177 @@
+"""Fault injection: crash-safety of the process-sharded gather.
+
+The acceptance bar (docs/serving.md): a SIGKILLed worker never corrupts
+a response — every query either completes after a bounded
+restart-with-retry (bit-identical to the pre-fault scores, because the
+restarted worker re-attaches its shard files / regenerates from the
+recipe) or fails with a *classified* shard error. Application errors
+never trigger restarts.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.api import EngineConfig
+from repro.errors import QueryError
+from repro.serving import rpc
+from repro.workloads import mediated_layers
+
+
+def _arm(engine, shard, mode, **params):
+    """Arm a test-only fault on the next score_fragment of one worker."""
+    engine._call_supervised(
+        engine.workers[shard], "inject_fault", {"mode": mode, **params}
+    )
+
+
+class TestCrash:
+    def test_worker_killed_mid_gather_restarts_and_answers(
+        self, workload, process_config, specs
+    ):
+        """The crash fault dies via os._exit(137) *while handling* the
+        scatter request — the mid-gather SIGKILL case. The gather must
+        restart the worker and return bit-identical scores."""
+        with workload.open_session(config=process_config) as session:
+            engine = session.process_engine
+            baselines = [dict(session.execute(spec).scores) for spec in specs]
+            for index, spec in enumerate(specs):
+                _arm(engine, index % 2, "crash")
+                assert dict(session.execute(spec).scores) == baselines[index]
+            restarts = [w["restarts"] for w in engine.describe_workers()]
+            assert sum(restarts) == len(specs)
+
+    def test_external_sigkill_mid_gather(self, workload, process_config):
+        """A real SIGKILL from outside, landing while the gather is
+        in flight (the worker is hung inside score_fragment when the
+        signal arrives)."""
+        spec = workload.spec(method="path_count")
+        with workload.open_session(config=process_config) as session:
+            engine = session.process_engine
+            baseline = dict(session.execute(spec).scores)
+            victim = engine.describe_workers()[0]["pid"]
+            _arm(engine, 0, "hang", seconds=60)
+
+            outcome = {}
+
+            def run():
+                outcome["scores"] = dict(session.execute(spec).scores)
+
+            query = threading.Thread(target=run)
+            query.start()
+            time.sleep(0.3)  # let the gather reach the hung worker
+            os.kill(victim, signal.SIGKILL)
+            query.join(timeout=30)
+            assert not query.is_alive(), "gather never completed"
+            assert outcome["scores"] == baseline
+            assert engine.describe_workers()[0]["restarts"] >= 1
+
+    def test_restarted_worker_reattaches_shard_files(
+        self, tmp_path, process_config
+    ):
+        """With persisted sqlite shards, a restarted worker re-attaches
+        the same layer<i>.shard<s>.sqlite files and serves bit-identical
+        scores (nothing is regenerated, nothing drifts)."""
+        generated = mediated_layers(
+            layers=3, width=16, fan_out=3, rng=11, shards=2,
+            storage="sqlite", storage_path=tmp_path,
+        )
+        assert (tmp_path / "layer2.shard0.sqlite").exists()
+        assert (tmp_path / "layer2.shard1.sqlite").exists()
+        spec = generated.spec(method="in_edge")
+        try:
+            with generated.open_session(config=process_config) as session:
+                engine = session.process_engine
+                baseline = dict(session.execute(spec).scores)
+                for shard in (0, 1):
+                    _arm(engine, shard, "crash")
+                assert dict(session.execute(spec).scores) == baseline
+                assert [w["restarts"] for w in engine.describe_workers()] == [1, 1]
+        finally:
+            generated.close()
+
+
+class TestHang:
+    def test_hang_past_rpc_timeout_restarts(self, workload, process_config):
+        spec = workload.spec(method="in_edge")
+        with workload.open_session(config=process_config) as session:
+            engine = session.process_engine
+            baseline = dict(session.execute(spec).scores)
+            _arm(engine, 1, "hang", seconds=60)
+            started = time.perf_counter()
+            assert dict(session.execute(spec).scores) == baseline
+            elapsed = time.perf_counter() - started
+            # one rpc_timeout expiry plus a restart — not the 60s sleep
+            assert elapsed < 30
+            assert engine.describe_workers()[1]["restarts"] == 1
+
+
+class TestGarbage:
+    def test_malformed_json_line_restarts(self, workload, process_config):
+        spec = workload.spec(method="in_edge")
+        with workload.open_session(config=process_config) as session:
+            engine = session.process_engine
+            baseline = dict(session.execute(spec).scores)
+            _arm(engine, 0, "garbage")
+            assert dict(session.execute(spec).scores) == baseline
+            assert engine.describe_workers()[0]["restarts"] == 1
+
+
+class TestClassification:
+    def test_exhausted_restart_budget_is_classified(self, workload):
+        """With a zero restart budget, a crash surfaces as the thread-
+        mode-shaped classified shard error — never a hung gather, never
+        a partial result."""
+        config = EngineConfig(
+            shards=2, shard_mode="process", rpc_timeout=3.0, worker_restarts=0
+        )
+        spec = workload.spec(method="in_edge")
+        with workload.open_session(config=config) as session:
+            engine = session.process_engine
+            baseline = dict(session.execute(spec).scores)
+            _arm(engine, 0, "crash")
+            with pytest.raises(QueryError, match=r"shard 0 failed during scatter/gather"):
+                session.execute(spec)
+            # the failure is transient infrastructure, not session
+            # poison: the next query restarts the worker and recovers
+            assert dict(session.execute(spec).scores) == baseline
+
+    def test_application_errors_never_restart(self, workload, process_config):
+        """A deterministic query error (unknown ranking method at the
+        worker) is re-raised without burning a restart."""
+        with workload.open_session(config=process_config) as session:
+            engine = session.process_engine
+            with pytest.raises(Exception, match="no-such-method"):
+                engine._call_supervised(
+                    engine.workers[0], "score_fragment",
+                    {"spec": {**workload.spec().to_dict(), "method": "no-such-method"}},
+                )
+            assert engine.describe_workers()[0]["restarts"] == 0
+
+    def test_unknown_rpc_method_is_remote_error(self, workload, process_config):
+        with workload.open_session(config=process_config) as session:
+            engine = session.process_engine
+            with pytest.raises(rpc.RpcRemoteError, match="unknown RPC method"):
+                engine.workers[0].call("no_such_rpc", {}, timeout=5)
+            assert engine.describe_workers()[0]["restarts"] == 0
+
+
+class TestBootstrap:
+    def test_bootstrap_failure_surfaces_worker_error(self, workload):
+        """A worker whose source recipe cannot resolve reports the
+        failure through the fatal notification instead of hanging the
+        parent until the boot timeout."""
+        from repro.serving.engine import ProcessShardedEngine
+        from repro.serving.source import WorkerSource
+
+        source = WorkerSource(
+            factory="repro.workloads.mediated:no_such_factory",
+            shards=2,
+        )
+        with pytest.raises(rpc.RpcTransportError, match="no attribute"):
+            ProcessShardedEngine(workload.router, source, boot_timeout=30.0)

@@ -1,0 +1,189 @@
+"""Unit tests for the newline-delimited JSON-RPC codec."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.engine.ranking import EngineStats
+from repro.errors import (
+    EmptyAnswerError,
+    GraphError,
+    QueryError,
+    RankingError,
+    ValidationError,
+)
+from repro.integration.builder import BuildStats
+from repro.serving import rpc
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = rpc.request(7, "score_fragment", {"spec": {"a": 1}})
+        assert rpc.decode_message(rpc.encode_message(message).rstrip(b"\n")) == message
+
+    def test_non_json_is_transport_error(self):
+        with pytest.raises(rpc.RpcTransportError, match="malformed JSON-RPC"):
+            rpc.decode_message(b"%% not json %%")
+
+    def test_wrong_version_is_transport_error(self):
+        with pytest.raises(rpc.RpcTransportError, match="not a JSON-RPC 2.0"):
+            rpc.decode_message(b'{"jsonrpc": "1.0", "id": 1}')
+
+    def test_non_object_is_transport_error(self):
+        with pytest.raises(rpc.RpcTransportError):
+            rpc.decode_message(b"[1, 2, 3]")
+
+
+class TestNodeCodec:
+    @pytest.mark.parametrize("node", [
+        ("E2", "E2:14"),
+        ("__query__", ("E0", "root", True)),
+        ("set", ("nested", ("deep", 3))),
+        "plain-string",
+        42,
+    ])
+    def test_round_trip(self, node):
+        assert rpc.decode_node(rpc.encode_node(node)) == node
+
+    def test_tuples_become_lists_on_the_wire(self):
+        assert rpc.encode_node(("a", ("b", 1))) == ["a", ["b", 1]]
+
+
+class TestFragmentCodec:
+    def test_scores_round_trip_bit_identically(self):
+        owned = [
+            (("E2", "E2:0"), 0.1 + 0.2, "E2:0"),  # the classic non-exact float
+            (("E2", "E2:1"), 1.7976931348623157e308, "E2:1"),
+            (("E2", "E2:2"), 5e-324, "E2:2"),
+        ]
+        import json
+
+        wire = json.loads(json.dumps(rpc.encode_fragment_scores(owned)))
+        assert rpc.decode_fragment_scores(wire) == owned
+
+
+class TestStatsCodec:
+    def test_build_stats(self):
+        stats = BuildStats(nodes=5, edges=9, dangling_links=2,
+                           visited_entities={"E0": 1, "E1": 4})
+        assert rpc.decode_build_stats(rpc.encode_build_stats(stats)) == stats
+
+    def test_engine_stats(self):
+        stats = EngineStats(compile_hits=1, compile_misses=2, score_hits=3,
+                            score_misses=4, graph_hits=5, graph_misses=6,
+                            graph_repairs=7, queries_executed=8)
+        decoded = rpc.decode_engine_stats(rpc.encode_engine_stats(stats))
+        assert decoded.as_dict() == stats.as_dict()
+
+
+class TestExceptionCodec:
+    @pytest.mark.parametrize("exc", [
+        QueryError("no answers"),
+        RankingError("bad method"),
+        GraphError("missing node"),
+        ValidationError("bad spec"),
+    ])
+    def test_known_types_reconstruct(self, exc):
+        decoded = rpc.decode_exception(rpc.encode_exception(exc))
+        assert type(decoded) is type(exc)
+        assert str(decoded) == str(exc)
+
+    def test_empty_answer_kind_survives(self):
+        for kind in ("no-seeds", "dangling-seeds", "no-answers"):
+            exc = EmptyAnswerError(f"empty ({kind})", kind=kind)
+            decoded = rpc.decode_exception(rpc.encode_exception(exc))
+            assert isinstance(decoded, EmptyAnswerError)
+            assert decoded.kind == kind
+            assert str(decoded) == str(exc)
+
+    def test_unknown_type_decays_to_query_error(self):
+        decoded = rpc.decode_exception({"type": "SomethingWeird", "message": "boom"})
+        assert isinstance(decoded, QueryError)
+        assert "SomethingWeird" in str(decoded)
+        assert "boom" in str(decoded)
+
+
+def _socket_pair():
+    server, client = socket.socketpair()
+    return rpc.RpcConnection(server), rpc.RpcConnection(client)
+
+
+class TestConnection:
+    def test_call_response(self):
+        parent, child = _socket_pair()
+
+        def answer():
+            message = child.receive(timeout=5)
+            child.send(rpc.response(message["id"], {"pong": True}))
+
+        thread = threading.Thread(target=answer)
+        thread.start()
+        assert parent.call("ping", {}, timeout=5) == {"pong": True}
+        thread.join()
+        parent.close()
+        child.close()
+
+    def test_error_object_raises_remote_error(self):
+        parent, child = _socket_pair()
+
+        def answer():
+            message = child.receive(timeout=5)
+            child.send(rpc.error_response(
+                message["id"], rpc.RPC_APPLICATION_ERROR, "no answers",
+                data=rpc.encode_exception(EmptyAnswerError("no answers", kind="no-answers")),
+            ))
+
+        thread = threading.Thread(target=answer)
+        thread.start()
+        with pytest.raises(rpc.RpcRemoteError) as excinfo:
+            parent.call("score_fragment", {}, timeout=5)
+        thread.join()
+        assert isinstance(excinfo.value.remote, EmptyAnswerError)
+        assert excinfo.value.remote.kind == "no-answers"
+        parent.close()
+        child.close()
+
+    def test_eof_is_transport_error(self):
+        parent, child = _socket_pair()
+        child.close()
+        with pytest.raises(rpc.RpcTransportError, match="closed by peer"):
+            parent.receive(timeout=5)
+        parent.close()
+
+    def test_timeout_is_transport_error(self):
+        parent, child = _socket_pair()
+        with pytest.raises(rpc.RpcTransportError, match="no response within"):
+            parent.receive(timeout=0.05)
+        parent.close()
+        child.close()
+
+    def test_garbage_line_is_transport_error(self):
+        parent, child = _socket_pair()
+        child.send_raw(b"%% this is not JSON-RPC %%\n")
+        with pytest.raises(rpc.RpcTransportError, match="malformed"):
+            parent.receive(timeout=5)
+        parent.close()
+        child.close()
+
+    def test_remote_errors_do_not_poison_the_stream(self):
+        """An application error leaves the connection usable — the
+        supervisor must not restart a worker over one."""
+        parent, child = _socket_pair()
+
+        def answer():
+            first = child.receive(timeout=5)
+            child.send(rpc.error_response(first["id"], rpc.RPC_APPLICATION_ERROR, "bad"))
+            second = child.receive(timeout=5)
+            child.send(rpc.response(second["id"], "fine"))
+
+        thread = threading.Thread(target=answer)
+        thread.start()
+        with pytest.raises(rpc.RpcRemoteError):
+            parent.call("one", {}, timeout=5)
+        assert parent.call("two", {}, timeout=5) == "fine"
+        thread.join()
+        parent.close()
+        child.close()
