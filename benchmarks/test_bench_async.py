@@ -1,0 +1,190 @@
+"""Sustained concurrent-client throughput: async core vs thread-pooled
+``execute_many``.
+
+The serving question: 128 concurrent clients each stream requests over
+a small spec pool (heavy duplication — the serving shape), against a
+cold cache each round. The pre-async baseline is the only concurrency
+primitive the sync surface offers: one thread per client, each calling
+``Session.execute_many`` on its own batch — so every wave pays 128 OS
+threads spawned, GIL-thrashed and joined. The async core runs the same
+streams as client *tasks* over one :class:`~repro.async_.AsyncSession`
+— tasks are near-free, cache-resident requests are answered inline on
+the event loop, duplicates coalesce onto in-flight executions, and
+cold builds are bounded by ``max_concurrency`` executor threads.
+
+Three claims, asserted on every benchmark-enabled run:
+
+* coalescing hit-rate — each cold round performs exactly one traversal
+  per distinct spec; every other request is a coalesced wait or a
+  cache hit (``graph_misses + graph_hits + coalesced == requests``);
+* bit-identity — async results equal the sync path's, spec by spec;
+* throughput — the async clients sustain at least the thread-pooled
+  ``execute_many`` baseline's request rate (skipped under
+  ``--benchmark-disable``, matching the other suites).
+
+The snapshot committed as ``BENCH_10.json`` (via
+``tools/bench_report.py --write --report BENCH_10.json``) records the
+measured shape.
+"""
+
+from __future__ import annotations
+
+import statistics
+import threading
+import time
+
+import pytest
+
+from repro.api import EngineConfig
+from repro.api.spec import QuerySpec
+from repro.workloads import client_streams, mediated_layers, run_async_clients
+
+#: serving-sized workload on sqlite storage: builds do real DB reads,
+#: so storage I/O genuinely overlaps scoring across executor threads
+_SHAPE = dict(layers=3, width=1000, fan_out=3, seeds=2, rng=13, storage="sqlite")
+#: 128 clients over 8 distinct traversals: every wave carries duplicates
+_CLIENTS = 128
+_REQUESTS = 4
+_POOL = 8
+
+
+@pytest.fixture(scope="module")
+def workload():
+    generated = mediated_layers(**_SHAPE)
+    yield generated
+    generated.close()
+
+
+@pytest.fixture(scope="module")
+def specs():
+    # distinct roots -> distinct traversal signatures; shared outputs
+    return [
+        QuerySpec(
+            entity_set="E0",
+            attribute="id",
+            value=f"E0:{i}",
+            outputs=("E1", "E2"),
+            method="in_edge",
+        )
+        for i in range(_POOL)
+    ]
+
+
+@pytest.fixture(scope="module")
+def streams(specs):
+    return client_streams(specs, clients=_CLIENTS, requests_per_client=_REQUESTS)
+
+
+def _run_threaded_execute_many(session, streams):
+    """The baseline: one thread per client, each thread serving its
+    stream through one ``execute_many`` batch (released together, so
+    the first wave is maximally concurrent)."""
+    barrier = threading.Barrier(len(streams))
+    outcomes = [None] * len(streams)
+
+    def client(index, stream):
+        barrier.wait()
+        outcomes[index] = session.execute_many(list(stream))
+
+    threads = [
+        threading.Thread(target=client, args=(i, stream), daemon=True)
+        for i, stream in enumerate(streams)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    seconds = time.perf_counter() - started
+    return outcomes, seconds
+
+
+@pytest.mark.benchmark(group="async-concurrent-clients")
+class TestConcurrentClients:
+    """Cold cache per round; 512 requests over 8 distinct traversals."""
+
+    def test_async_clients(self, benchmark, workload, specs, streams):
+        session = workload.open_session(config=EngineConfig())
+        reports = []
+
+        def round_():
+            session.engine.invalidate()
+            report = run_async_clients(session, streams)
+            reports.append(report)
+            return report
+
+        try:
+            report = benchmark.pedantic(
+                round_, rounds=5, iterations=1, warmup_rounds=1
+            )
+            assert report.errors == 0
+            assert report.requests == _CLIENTS * _REQUESTS
+
+            # coalescing hit-rate: one traversal per distinct spec, and
+            # every request accounted for as miss, hit, or coalesced
+            delta = report.stats_delta
+            assert delta.graph_misses == _POOL
+            assert delta.coalesced_queries > 0
+            assert (
+                delta.graph_misses + delta.graph_hits + delta.coalesced_queries
+                == report.requests
+            )
+
+            # bit-identity with the sync path, spec by spec
+            flat = [spec for stream in streams for spec in stream]
+            for spec, result in zip(flat, report.results):
+                reference = session.execute(spec)
+                assert dict(result.scores) == dict(reference.scores)
+        finally:
+            session.close()
+
+    def test_threaded_execute_many(self, benchmark, workload, streams):
+        session = workload.open_session(config=EngineConfig())
+
+        def round_():
+            session.engine.invalidate()
+            outcomes, _ = _run_threaded_execute_many(session, streams)
+            return outcomes
+
+        try:
+            outcomes = benchmark.pedantic(
+                round_, rounds=5, iterations=1, warmup_rounds=1
+            )
+            assert all(len(batch) == _REQUESTS for batch in outcomes)
+        finally:
+            session.close()
+
+
+class TestAsyncAtLeastMatchesBaseline:
+    """The acceptance bar, timed directly (assertion-only: emits no
+    benchmark record, so it is not listed in the snapshot)."""
+
+    def test_async_throughput_at_least_execute_many(
+        self, request, workload, streams
+    ):
+        if request.config.getoption("benchmark_disable", False):
+            pytest.skip("timing comparison skipped under --benchmark-disable")
+        session = workload.open_session(config=EngineConfig())
+        try:
+            def async_round():
+                session.engine.invalidate()
+                return run_async_clients(session, streams).throughput
+
+            def baseline_round():
+                session.engine.invalidate()
+                _, seconds = _run_threaded_execute_many(session, streams)
+                return (_CLIENTS * _REQUESTS) / seconds
+
+            async_round()  # warm the executor and loop machinery once
+            baseline_round()
+            async_median = statistics.median(async_round() for _ in range(5))
+            baseline_median = statistics.median(
+                baseline_round() for _ in range(5)
+            )
+            assert async_median >= baseline_median, (
+                f"async clients sustained {async_median:.0f} req/s, below "
+                f"the thread-pooled execute_many baseline's "
+                f"{baseline_median:.0f} req/s"
+            )
+        finally:
+            session.close()

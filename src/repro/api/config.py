@@ -236,6 +236,19 @@ class EngineConfig:
     #: how many times a single request may restart-and-retry a failed
     #: worker before the query fails with a classified shard error
     worker_restarts: int = 2
+    #: per-session cap on concurrently *executing* requests for the
+    #: serving surfaces (the async session's semaphore and, when
+    #: ``max_queue_depth`` engages the admission gate, the HTTP front
+    #: door); direct ``Session.execute`` calls are never gated
+    max_concurrency: int = 8
+    #: bounded admission: how many requests may *wait* for an execution
+    #: slot beyond ``max_concurrency`` before new arrivals are shed
+    #: with an ``OverloadedError`` (surfaced as HTTP 503 +
+    #: ``Retry-After``). ``None`` (the default) disables shedding —
+    #: the queue is unbounded and the sync HTTP path stays ungated
+    max_queue_depth: Optional[int] = None
+    #: the ``Retry-After`` hint (seconds) attached to shed requests
+    retry_after: float = 1.0
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -297,6 +310,23 @@ class EngineConfig:
             raise RankingError(
                 f"worker_restarts must be a non-negative integer, got "
                 f"{self.worker_restarts!r}"
+            )
+        if not isinstance(self.max_concurrency, int) or self.max_concurrency < 1:
+            raise RankingError(
+                f"max_concurrency must be a positive integer, got "
+                f"{self.max_concurrency!r}"
+            )
+        if self.max_queue_depth is not None and (
+            not isinstance(self.max_queue_depth, int) or self.max_queue_depth < 0
+        ):
+            raise RankingError(
+                f"max_queue_depth must be None (unbounded) or a "
+                f"non-negative integer, got {self.max_queue_depth!r}"
+            )
+        if not isinstance(self.retry_after, (int, float)) or not self.retry_after > 0:
+            raise RankingError(
+                f"retry_after must be a positive number of seconds, got "
+                f"{self.retry_after!r}"
             )
 
     def make_engine(self, mediator: Optional["Mediator"] = None) -> "RankingEngine":

@@ -43,6 +43,7 @@ from typing import (
 
 if TYPE_CHECKING:
     from repro.analysis.framework import AnalysisReport
+    from repro.async_.admission import AdmissionGate
     from repro.serving.engine import ProcessShardedEngine
     from repro.serving.source import WorkerSource
     from repro.storage.database import Database
@@ -209,6 +210,11 @@ class Session:
         # weakref containers are not thread-safe; execute_many's pool
         # workers probe/populate the derived-view cache concurrently
         self._derived_lock = threading.Lock()
+        # the execute_many batch pool: created lazily on the first
+        # parallel batch, reused across calls, reaped by close()
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        self._admission: Optional["AdmissionGate"] = None
         self._closed = False
 
     # -------------------------------------------------------------- #
@@ -248,6 +254,32 @@ class Session:
         """The process-mode scatter/gather engine (``None`` unless the
         session was opened with ``shard_mode="process"``)."""
         return self._process
+
+    @property
+    def admission(self) -> Optional["AdmissionGate"]:
+        """The session's bounded admission gate, or ``None`` when the
+        config leaves admission unbounded (``max_queue_depth=None``).
+
+        Built lazily from ``config.max_concurrency`` /
+        ``config.max_queue_depth`` / ``config.retry_after`` and wired to
+        the engine's queued/shed counters. The HTTP front door admits
+        every execution request through this gate; direct callers may
+        too (``with session.admission: ...``)."""
+        if self._config.max_queue_depth is None:
+            return None
+        if self._admission is None:
+            with self._pool_lock:
+                if self._admission is None:
+                    from repro.async_.admission import AdmissionGate
+
+                    self._admission = AdmissionGate(
+                        self._config.max_concurrency,
+                        self._config.max_queue_depth,
+                        retry_after=self._config.retry_after,
+                        on_queued=self._engine.note_queued,
+                        on_shed=self._engine.note_shed,
+                    )
+        return self._admission
 
     def register(self, *sources: DataSource) -> "Session":
         """Register additional data sources (chainable).
@@ -326,6 +358,31 @@ class Session:
             spec.to_exploratory(), builder=self._config.builder
         )
         return self._rank_graph(qg, spec)
+
+    def try_cached(self, spec: SpecLike) -> Optional[ResultSet]:
+        """Serve ``spec`` entirely from the engine caches, or report
+        ``None`` without executing anything.
+
+        The async session's inline fast path: a fully cache-resident
+        request is a few dictionary probes, cheap enough to answer on
+        the event loop instead of paying an executor round trip. The
+        result is bit-identical to :meth:`execute` (same cached scores,
+        same graph). Sharded sessions always report ``None`` — their
+        caches live in the shard engines (or worker processes)."""
+        self._check_open()
+        spec = self._coerce(spec)
+        if self._sharded is not None or self._process is not None:
+            return None
+        served = self._engine.serve_cached(
+            spec.to_exploratory(),
+            spec.method,
+            builder=self._config.builder,
+            **spec.options.to_kwargs(spec.method, spec.seed),
+        )
+        if served is None:
+            return None
+        qg, ranked = served
+        return ResultSet(ranked, qg, spec=spec)
 
     def _execute_sharded(
         self, spec: QuerySpec, max_workers: Optional[int] = None
@@ -431,8 +488,18 @@ class Session:
 
         workers = self._config.max_workers if max_workers is None else max_workers
         if workers > 1 and len(group_list) > 1:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                group_results = list(pool.map(self._run_group, group_list))
+            if workers == self._config.max_workers:
+                # the session's persistent pool — hoisted out of the
+                # call so repeated batches stop paying thread
+                # spawn/teardown on every invocation
+                group_results = list(
+                    self._executor().map(self._run_group, group_list)
+                )
+            else:
+                # an explicit non-default width gets a transient pool
+                # of exactly that size
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    group_results = list(pool.map(self._run_group, group_list))
         else:
             group_results = [self._run_group(group) for group in group_list]
 
@@ -445,6 +512,17 @@ class Session:
                 if isinstance(outcome, BaseException):
                     raise outcome
         return results  # type: ignore[return-value]
+
+    def _executor(self) -> ThreadPoolExecutor:
+        """The session's persistent batch pool (lazily created, sized
+        ``config.max_workers``, reaped by :meth:`close`)."""
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self._config.max_workers,
+                    thread_name_prefix="repro-batch",
+                )
+            return self._pool
 
     def _run_group(
         self, group: Sequence[QuerySpec]
@@ -670,19 +748,30 @@ class Session:
         On a sharded session this is the aggregated snapshot over every
         child engine; per-shard counters are on :meth:`shard_stats`."""
         if self._process is not None:
-            return self._process.stats_snapshot()
+            return self._merge_serving_counters(self._process.stats_snapshot())
         if self._sharded is not None:
-            return self._sharded.stats_snapshot()
+            return self._merge_serving_counters(self._sharded.stats_snapshot())
         return self._engine.stats
 
     def stats_snapshot(self) -> EngineStats:
         """A lock-consistent copy of the counters (aggregated over the
         shards when sharded)."""
         if self._process is not None:
-            return self._process.stats_snapshot()
+            return self._merge_serving_counters(self._process.stats_snapshot())
         if self._sharded is not None:
-            return self._sharded.stats_snapshot()
+            return self._merge_serving_counters(self._sharded.stats_snapshot())
         return self._engine.stats_snapshot()
+
+    def _merge_serving_counters(self, aggregate: EngineStats) -> EngineStats:
+        """Session-level admission and coalescing are recorded on the
+        *local* engine even when execution scatters across shards; fold
+        those counters into the shard aggregate so the serving surface
+        reports them in one place."""
+        local = self._engine.stats_snapshot()
+        aggregate.coalesced_queries += local.coalesced_queries
+        aggregate.queued_queries += local.queued_queries
+        aggregate.shed_queries += local.shed_queries
+        return aggregate
 
     def shard_stats(self) -> List[EngineStats]:
         """Per-shard counter snapshots (empty when unsharded)."""
@@ -716,6 +805,10 @@ class Session:
             try:
                 self._engine.invalidate()
             finally:
+                with self._pool_lock:
+                    pool, self._pool = self._pool, None
+                if pool is not None:
+                    pool.shutdown(wait=True)
                 if self._sharded is not None:
                     self._sharded.close()
                 if self._process is not None:

@@ -1,0 +1,150 @@
+"""Bounded admission control shared by the serving surfaces.
+
+:class:`AdmissionGate` is a thread-safe counting gate with two caps:
+
+* ``max_in_flight`` — how many requests may *execute* concurrently;
+* ``max_queue_depth`` — how many more may *wait* for a slot. ``None``
+  means wait without bound (no shedding); an arriving request that
+  finds the queue full is refused immediately with a typed
+  :class:`~repro.errors.OverloadedError` carrying the configured
+  ``retry_after`` hint.
+
+The sync HTTP front door (:mod:`repro.serving.server`) admits every
+execution request through the session's gate when
+``EngineConfig.max_queue_depth`` is set; the async session implements
+the same policy natively on asyncio primitives (waiting must not block
+the event loop) but shares the semantics and the counters.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+from repro.errors import OverloadedError
+
+__all__ = ["AdmissionGate"]
+
+
+def _overloaded(
+    in_flight: int,
+    queued: int,
+    max_in_flight: int,
+    max_queue_depth: int,
+    retry_after: float,
+) -> OverloadedError:
+    return OverloadedError(
+        f"session overloaded: {in_flight} request(s) in flight and "
+        f"{queued} queued (caps: max_concurrency={max_in_flight}, "
+        f"max_queue_depth={max_queue_depth}); retry after "
+        f"{retry_after:g}s",
+        retry_after=retry_after,
+    )
+
+
+class AdmissionGate:
+    """A bounded admission gate for synchronous callers.
+
+    Use as a context manager around one request's execution::
+
+        with session.admission:          # may raise OverloadedError
+            results = session.execute(spec)
+
+    ``on_queued`` / ``on_shed`` are optional callbacks (called with no
+    gate lock concerns for the caller — the gate invokes them while
+    holding its own condition, so they must not call back into the
+    gate) used to mirror outcomes onto
+    :class:`~repro.engine.EngineStats` counters.
+    """
+
+    def __init__(
+        self,
+        max_in_flight: int,
+        max_queue_depth: Optional[int] = None,
+        retry_after: float = 1.0,
+        on_queued: Optional[Callable[[], None]] = None,
+        on_shed: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if max_in_flight < 1:
+            raise ValueError(
+                f"max_in_flight must be a positive integer, got {max_in_flight!r}"
+            )
+        if max_queue_depth is not None and max_queue_depth < 0:
+            raise ValueError(
+                f"max_queue_depth must be None or >= 0, got {max_queue_depth!r}"
+            )
+        self.max_in_flight = max_in_flight
+        self.max_queue_depth = max_queue_depth
+        self.retry_after = retry_after
+        self._on_queued = on_queued
+        self._on_shed = on_shed
+        self._cond = threading.Condition()
+        self._in_flight = 0
+        self._queued = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Requests currently holding an execution slot."""
+        with self._cond:
+            return self._in_flight
+
+    @property
+    def queued(self) -> int:
+        """Requests currently waiting for a slot."""
+        with self._cond:
+            return self._queued
+
+    def acquire(self) -> None:
+        """Take one execution slot, waiting in the admission queue if
+        none is free; raises :class:`OverloadedError` when the queue is
+        full. Every successful acquire must be paired with
+        :meth:`release`."""
+        with self._cond:
+            if self._in_flight < self.max_in_flight:
+                self._in_flight += 1
+                return
+            if (
+                self.max_queue_depth is not None
+                and self._queued >= self.max_queue_depth
+            ):
+                if self._on_shed is not None:
+                    self._on_shed()
+                raise _overloaded(
+                    self._in_flight,
+                    self._queued,
+                    self.max_in_flight,
+                    self.max_queue_depth,
+                    self.retry_after,
+                )
+            self._queued += 1
+            if self._on_queued is not None:
+                self._on_queued()
+            try:
+                while self._in_flight >= self.max_in_flight:
+                    self._cond.wait()
+                self._in_flight += 1
+            finally:
+                self._queued -= 1
+
+    def release(self) -> None:
+        """Give an execution slot back and wake one queued waiter."""
+        with self._cond:
+            if self._in_flight <= 0:
+                raise RuntimeError("release() without a matching acquire()")
+            self._in_flight -= 1
+            self._cond.notify()
+
+    def __enter__(self) -> "AdmissionGate":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        with self._cond:
+            return (
+                f"<AdmissionGate in_flight={self._in_flight}/"
+                f"{self.max_in_flight} queued={self._queued}"
+                f"{'' if self.max_queue_depth is None else f'/{self.max_queue_depth}'}>"
+            )

@@ -1,0 +1,309 @@
+"""The asynchronous session facade.
+
+:class:`AsyncSession` wraps a synchronous :class:`~repro.api.Session`
+and exposes ``execute`` / ``execute_many`` / ``explain`` as
+coroutines. Blocking work (storage probes, graph builds, kernel
+scoring) runs on a dedicated executor sized to the session's
+``max_concurrency``, so storage I/O of one request overlaps kernel
+scoring of another while the event loop stays responsive.
+
+Three serving behaviors live at this layer:
+
+* **spec-keyed single-flight** — identical specs arriving while one is
+  executing await a shared :class:`asyncio.Future` instead of taking
+  an executor thread (and the engine's signature-keyed single-flight
+  coalesces whatever still reaches it, so the sync surface is covered
+  too). A failed execution propagates its error to every waiter *and*
+  evicts the pending future, so the next identical request retries
+  cold.
+* **bounded admission** — at most ``max_concurrency`` requests execute
+  concurrently; up to ``max_queue_depth`` more may wait, and beyond
+  that new leaders are shed with
+  :class:`~repro.errors.OverloadedError` (``max_queue_depth=None``
+  waits without bound).
+* **counters** — coalesced/queued/shed outcomes are recorded on the
+  underlying engine's :class:`~repro.engine.EngineStats`.
+
+Results are bit-identical to the sync path by construction: the async
+layer delegates to the very same session methods.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, Iterable, List, Optional, TypeVar, Union
+
+from repro.api.config import EngineConfig
+from repro.api.result import ResultSet
+from repro.api.session import Explanation, Session, SpecLike, open_session
+from repro.api.spec import QuerySpec
+from repro.engine.ranking import EngineStats
+from repro.errors import OverloadedError, RankingError, ReproError
+
+__all__ = ["AsyncSession", "open_async_session"]
+
+_T = TypeVar("_T")
+
+
+class AsyncSession:
+    """An asyncio facade over one :class:`~repro.api.Session`.
+
+    Construct via :func:`open_async_session` (which owns the wrapped
+    session) or directly around an existing session
+    (``AsyncSession(session)`` — the caller keeps ownership unless
+    ``own_session=True``). Use as an async context manager; closing
+    shuts the executor down and, when owned, closes the session.
+
+    One event loop per async session: the coalescing futures and the
+    admission semaphore bind to the loop of the first awaited call.
+    """
+
+    def __init__(self, session: Session, own_session: bool = False) -> None:
+        self._session = session
+        self._own_session = own_session
+        config = session.config
+        self._max_concurrency = config.max_concurrency
+        self._max_queue_depth = config.max_queue_depth
+        self._retry_after = config.retry_after
+        # sized to the concurrency cap, not config.max_workers: the
+        # executor is the async session's execution lane, while the
+        # session pool keeps its documented execute_many width
+        self._executor = ThreadPoolExecutor(
+            max_workers=config.max_concurrency,
+            thread_name_prefix="repro-async",
+        )
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._semaphore: Optional[asyncio.Semaphore] = None
+        self._in_flight = 0
+        self._queued = 0
+        #: coerced spec -> the shared future of its one pending execution
+        self._pending: Dict[QuerySpec, "asyncio.Future[ResultSet]"] = {}
+        self._closed = False
+
+    # -------------------------------------------------------------- #
+    # plumbing
+    # -------------------------------------------------------------- #
+
+    @property
+    def session(self) -> Session:
+        """The wrapped synchronous session (shared caches and stats)."""
+        return self._session
+
+    @property
+    def config(self) -> EngineConfig:
+        return self._session.config
+
+    @property
+    def in_flight(self) -> int:
+        """Requests currently holding an execution slot."""
+        return self._in_flight
+
+    @property
+    def queued(self) -> int:
+        """Requests currently waiting for an execution slot."""
+        return self._queued
+
+    def _loop_state(self) -> asyncio.Semaphore:
+        loop = asyncio.get_running_loop()
+        if self._loop is None:
+            self._loop = loop
+            self._semaphore = asyncio.Semaphore(self._max_concurrency)
+        elif loop is not self._loop:
+            raise RankingError(
+                "this AsyncSession is bound to another event loop; open "
+                "one async session per loop"
+            )
+        assert self._semaphore is not None
+        return self._semaphore
+
+    async def _run(self, fn: Callable[..., _T], *args: Any) -> _T:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._executor, lambda: fn(*args))
+
+    # -------------------------------------------------------------- #
+    # admission
+    # -------------------------------------------------------------- #
+
+    async def _admit(self) -> None:
+        """Take one execution slot; shed when the queue is full.
+
+        The no-wait fast path and the queue-full check run without an
+        intervening ``await``, so they are atomic on the event loop.
+        """
+        semaphore = self._loop_state()
+        if self._in_flight >= self._max_concurrency:
+            if (
+                self._max_queue_depth is not None
+                and self._queued >= self._max_queue_depth
+            ):
+                self._session.engine.note_shed()
+                raise OverloadedError(
+                    f"session overloaded: {self._in_flight} request(s) in "
+                    f"flight and {self._queued} queued (caps: "
+                    f"max_concurrency={self._max_concurrency}, "
+                    f"max_queue_depth={self._max_queue_depth}); retry "
+                    f"after {self._retry_after:g}s",
+                    retry_after=self._retry_after,
+                )
+            self._queued += 1
+            self._session.engine.note_queued()
+            try:
+                await semaphore.acquire()
+            finally:
+                self._queued -= 1
+        else:
+            await semaphore.acquire()
+        self._in_flight += 1
+
+    def _release(self) -> None:
+        self._in_flight -= 1
+        assert self._semaphore is not None
+        self._semaphore.release()
+
+    # -------------------------------------------------------------- #
+    # execution
+    # -------------------------------------------------------------- #
+
+    async def execute(self, spec: SpecLike) -> ResultSet:
+        """Execute one spec; identical concurrent specs share one
+        execution (and its :class:`~repro.api.ResultSet`), exactly like
+        duplicate specs in one ``execute_many`` batch."""
+        self._check_open()
+        coerced = Session._coerce(spec)
+        self._loop_state()
+        pending = self._pending.get(coerced)
+        if pending is not None:
+            # coalesced follower: no executor thread, no admission slot
+            self._session.engine.note_coalesced()
+            return await pending
+        # inline fast path: a fully cache-resident request is a few
+        # dictionary probes — answer it on the event loop rather than
+        # paying an executor round trip (and an admission slot) for it
+        fast = self._session.try_cached(coerced)
+        if fast is not None:
+            return fast
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[ResultSet]" = loop.create_future()
+        self._pending[coerced] = future
+        try:
+            await self._admit()
+            try:
+                result = await self._run(self._session.execute, coerced)
+            finally:
+                self._release()
+        except BaseException as exc:
+            # evict *before* resolving: the next identical request must
+            # retry cold rather than await a dead future — this covers
+            # shed leaders (OverloadedError) and failed traversals alike
+            if self._pending.get(coerced) is future:
+                del self._pending[coerced]
+            if not future.done():
+                if isinstance(exc, asyncio.CancelledError):
+                    future.cancel()
+                else:
+                    future.set_exception(exc)
+                    # mark retrieved so a follower-less failure does not
+                    # warn "Future exception was never retrieved"
+                    future.exception()
+            raise
+        if self._pending.get(coerced) is future:
+            del self._pending[coerced]
+        future.set_result(result)
+        return result
+
+    async def execute_many(
+        self,
+        specs: Iterable[SpecLike],
+        return_errors: bool = False,
+    ) -> List[Union[ResultSet, ReproError]]:
+        """Execute a batch concurrently (bounded by ``max_concurrency``).
+
+        Identical specs coalesce into one execution via the
+        single-flight map. Results come back in spec order; with
+        ``return_errors=True`` a failing spec yields its exception in
+        place instead of raising — the same contract as the sync
+        :meth:`~repro.api.Session.execute_many`.
+        """
+        self._check_open()
+        outcomes = await asyncio.gather(
+            *(self.execute(spec) for spec in specs), return_exceptions=True
+        )
+        results: List[Union[ResultSet, ReproError]] = []
+        for outcome in outcomes:
+            if isinstance(outcome, BaseException):
+                if not isinstance(outcome, ReproError) or not return_errors:
+                    raise outcome
+                results.append(outcome)
+            else:
+                results.append(outcome)
+        return results
+
+    async def explain(self, spec: SpecLike) -> Explanation:
+        """Async passthrough to :meth:`~repro.api.Session.explain`
+        (admission-gated; never coalesced — an explanation reports
+        *this call's* cache provenance)."""
+        self._check_open()
+        self._loop_state()
+        await self._admit()
+        try:
+            return await self._run(self._session.explain, spec)
+        finally:
+            self._release()
+
+    # -------------------------------------------------------------- #
+    # introspection and lifecycle
+    # -------------------------------------------------------------- #
+
+    def stats(self) -> EngineStats:
+        return self._session.stats()
+
+    def stats_snapshot(self) -> EngineStats:
+        return self._session.stats_snapshot()
+
+    async def close(self) -> None:
+        """Shut the executor down (waiting out in-flight work) and,
+        when owned, close the wrapped session. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        loop = asyncio.get_running_loop()
+        # shutdown(wait=True) blocks on in-flight work: run it off-loop
+        await loop.run_in_executor(
+            None, lambda: self._executor.shutdown(wait=True)
+        )
+        if self._own_session:
+            self._session.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RankingError("this async session is closed")
+
+    async def __aenter__(self) -> "AsyncSession":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"<AsyncSession {state} max_concurrency={self._max_concurrency} "
+            f"max_queue_depth={self._max_queue_depth} "
+            f"in_flight={self._in_flight} queued={self._queued}>"
+        )
+
+
+def open_async_session(*args: Any, **kwargs: Any) -> AsyncSession:
+    """Open an :class:`AsyncSession` that owns its underlying session.
+
+    Accepts exactly the arguments of :func:`repro.api.open_session`::
+
+        async with open_async_session(sources=[...], config=config) as s:
+            results = await s.execute(spec)
+    """
+    return AsyncSession(open_session(*args, **kwargs), own_session=True)

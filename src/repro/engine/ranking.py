@@ -88,6 +88,15 @@ class EngineStats:
     #: cached graphs brought current by a delta replay instead of a cold
     #: rebuild — counted as neither a graph hit nor a graph miss
     graph_repairs: int = 0
+    #: executions answered by awaiting an identical *in-flight*
+    #: traversal (single-flight coalescing) — neither a hit nor a miss:
+    #: no traversal ran for them, but the entry was not in the cache yet
+    coalesced_queries: int = 0
+    #: admissions that waited for an in-flight slot before executing
+    queued_queries: int = 0
+    #: admissions refused outright because the admission queue was full
+    #: (each surfaced to the caller as an ``OverloadedError``)
+    shed_queries: int = 0
     queries_executed: int = 0
 
     def reset(self) -> None:
@@ -98,6 +107,9 @@ class EngineStats:
         self.graph_hits = 0
         self.graph_misses = 0
         self.graph_repairs = 0
+        self.coalesced_queries = 0
+        self.queued_queries = 0
+        self.shed_queries = 0
         self.queries_executed = 0
 
     # ------------------------------------------------------------ #
@@ -154,6 +166,25 @@ class EngineStats:
             f"score {self.score_hits}/{self.score_hits + self.score_misses} "
             f"({self.score_hit_rate:.0%}))"
         )
+
+
+class _InFlightBuild:
+    """One pending traversal shared by every identical concurrent query.
+
+    The leader (the caller that registered the entry) performs the
+    traversal; coalesced followers block on :attr:`event` and read
+    either :attr:`result` or :attr:`error` once it is set. Entries are
+    evicted from the engine's in-flight map *before* the event fires,
+    so a follower arriving after completion probes the query cache
+    (success) or starts a fresh cold build (failure) instead.
+    """
+
+    __slots__ = ("event", "result", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result: Optional[Tuple[QueryGraph, BuildStats]] = None
+        self.error: Optional[BaseException] = None
 
 
 def _consumes_ir(method: str, options: Mapping[str, object]) -> bool:
@@ -233,6 +264,12 @@ class RankingEngine:
         self._graphs: "OrderedDict[Tuple, Tuple[Mediator, MediatorEpoch, QueryGraph, BuildStats, Optional[ProbeCache]]]" = (
             OrderedDict()
         )
+        #: query-cache key -> the one pending traversal for that key;
+        #: identical queries arriving while it runs await it instead of
+        #: re-traversing (single-flight). Entries live only for the
+        #: duration of one cold build and are evicted on completion or
+        #: failure — a failed build never leaves a stale entry behind.
+        self._inflight: Dict[Tuple, _InFlightBuild] = {}
 
     # -------------------------------------------------------------- #
     # query execution
@@ -251,6 +288,13 @@ class RankingEngine:
         (``graph_repairs``) rather than rebuilt; source registrations,
         confidence tuning and overflowed change logs re-materialise
         cold (``graph_misses``).
+
+        Identical queries arriving *while* a cold traversal is in
+        flight are coalesced (``coalesced_queries``): they await the
+        one shared traversal instead of re-traversing, so N concurrent
+        identical cold queries cost exactly one graph miss. A failed
+        traversal propagates its error to every coalesced waiter and
+        evicts the pending entry, so the next request retries cold.
         """
         return self.execute_with_stats(query, builder=builder)[0]
 
@@ -321,21 +365,130 @@ class RankingEngine:
                     )
                     if repaired is not None:
                         return repaired
+        # cold: join an identical in-flight traversal (single-flight),
+        # or become the leader that performs it. Registration and the
+        # stale-entry eviction are atomic under the cache lock, so for
+        # any key at most one traversal runs at a time.
         with self._lock:
-            self.stats.graph_misses += 1
-            if cached is not None and self._graphs.get(key) is cached:
-                del self._graphs[key]  # stale: sources changed since execution
-        if self.incremental and chosen_builder == "batched":
-            qg, build_stats, probe_cache = record_build(query, mediator)
-        else:
-            qg, build_stats = query.execute(mediator, builder=chosen_builder)
-            probe_cache = None
+            flight = self._inflight.get(key)
+            leader = flight is None
+            if leader:
+                flight = _InFlightBuild()
+                self._inflight[key] = flight
+                self.stats.graph_misses += 1
+                if cached is not None and self._graphs.get(key) is cached:
+                    del self._graphs[key]  # stale: sources changed since execution
+            else:
+                self.stats.coalesced_queries += 1
+        if not leader:
+            flight.event.wait()
+            if flight.error is not None:
+                raise flight.error
+            assert flight.result is not None
+            qg, build_stats = flight.result
+            return qg, build_stats, True
+        try:
+            if self.incremental and chosen_builder == "batched":
+                qg, build_stats, probe_cache = record_build(query, mediator)
+            else:
+                qg, build_stats = query.execute(mediator, builder=chosen_builder)
+                probe_cache = None
+        except BaseException as exc:
+            # evict the pending entry *before* waking the waiters: the
+            # next identical request must retry cold, and every
+            # coalesced waiter gets exactly this error
+            with self._lock:
+                if self._inflight.get(key) is flight:
+                    del self._inflight[key]
+            flight.error = exc
+            flight.event.set()
+            raise
         with self._lock:
             self.stats.queries_executed += 1
             self._graphs[key] = (mediator, snapshot, qg, build_stats, probe_cache)
             while len(self._graphs) > self.max_cached_graphs:
                 self._graphs.popitem(last=False)
+            # cache insert and in-flight eviction are atomic: a request
+            # arriving now either finds the cache entry or the flight
+            if self._inflight.get(key) is flight:
+                del self._inflight[key]
+        flight.result = (qg, build_stats)
+        flight.event.set()
         return qg, build_stats, False
+
+    def serve_cached(
+        self,
+        query: ExploratoryQuery,
+        method: str,
+        builder: Optional[str] = None,
+        backend: Optional[str] = None,
+        **options: object,
+    ) -> Optional[Tuple[QueryGraph, "RankedResult"]]:
+        """Serve ``query`` + ``method`` entirely from the caches, or
+        report ``None`` without doing any work.
+
+        This is the probe behind the async session's inline fast path:
+        a fully cache-resident request costs a few dictionary probes,
+        which is cheap enough to answer on the event loop instead of
+        paying an executor round trip. The probe only *counts* (one
+        ``graph_hit`` + one ``score_hit``) when it fully serves the
+        request — a ``None`` outcome leaves every counter untouched for
+        the ordinary path to account.
+        """
+        if (
+            self.mediator is None
+            or not self.cache_graphs
+            or not self.cache_scores
+        ):
+            return None
+        mediator = self.mediator
+        snapshot = mediator.epoch_snapshot()
+        key = (query.signature, builder or self.builder)
+        with self._lock:
+            cached = self._graphs.get(key)
+        if cached is None:
+            return None
+        entry_mediator, entry_snapshot, qg, build_stats, probe_cache = cached
+        if entry_mediator is not mediator:
+            return None
+        changes = mediator.changes_since(entry_snapshot)
+        if changes is None:
+            return None
+        if probe_cache is not None:
+            deps = probe_cache.dep_tables()
+            relevant = {
+                t: cs for t, cs in changes.items() if id(t) in deps and cs
+            }
+        else:
+            relevant = {t: cs for t, cs in changes.items() if cs}
+        if relevant:
+            return None  # repair or rebuild territory: not a fast path
+        canonical = resolve_method(method)
+        chosen_backend = backend or self.backend
+        with self._lock:
+            compiled = self._compiled.get(qg)
+        if compiled is None:
+            return None  # never compiled: scoring would be real work
+        score_key = self._cache_key(
+            compiled.fingerprint, canonical, chosen_backend, options
+        )
+        if score_key is None:
+            return None
+        with self._lock:
+            scores = self._scores.get(score_key)
+            if scores is None:
+                return None
+            self._scores.move_to_end(score_key)
+            self.stats.score_hits += 1
+            self.stats.graph_hits += 1
+            if self._graphs.get(key) is cached:
+                # same snapshot refresh as the ordinary hit path, so
+                # future probes diff the shortest change window
+                self._graphs[key] = (
+                    mediator, snapshot, qg, build_stats, probe_cache
+                )
+                self._graphs.move_to_end(key)
+            return qg, RankedResult(method=canonical, scores=dict(scores))
 
     def _repair(
         self,
@@ -411,6 +564,30 @@ class RankingEngine:
         """A lock-consistent point-in-time copy of the counters."""
         with self._lock:
             return self.stats.snapshot()
+
+    # hooks for the serving layers: admission gates and the async
+    # session's spec-keyed single-flight record their outcomes on the
+    # same counters engine-level coalescing uses, so one EngineStats
+    # tells the whole serving story
+
+    def note_coalesced(self, count: int = 1) -> None:
+        """Record ``count`` executions answered by awaiting an identical
+        in-flight request at a higher layer (e.g. the async session's
+        spec-keyed single-flight)."""
+        with self._lock:
+            self.stats.coalesced_queries += count
+
+    def note_queued(self, count: int = 1) -> None:
+        """Record ``count`` admissions that waited for an in-flight
+        slot before executing."""
+        with self._lock:
+            self.stats.queued_queries += count
+
+    def note_shed(self, count: int = 1) -> None:
+        """Record ``count`` admissions refused because the admission
+        queue was full."""
+        with self._lock:
+            self.stats.shed_queries += count
 
     def cached_fingerprint(self, qg: QueryGraph) -> Optional[str]:
         """The content fingerprint of ``qg``'s compiled form, if it has

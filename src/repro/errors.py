@@ -19,6 +19,7 @@ __all__ = [
     "QueryError",
     "EmptyAnswerError",
     "RankingError",
+    "OverloadedError",
     "AnalysisError",
 ]
 
@@ -79,6 +80,21 @@ class EmptyAnswerError(QueryError):
 
 class RankingError(ReproError):
     """A ranking method failed or was configured inconsistently."""
+
+
+class OverloadedError(ReproError):
+    """A request was shed by admission control: the session's in-flight
+    cap was reached and its admission queue was full.
+
+    Shedding is deliberate backpressure, not a failure of the query —
+    the same request retried after :attr:`retry_after` seconds (the
+    value the HTTP layer surfaces as a ``Retry-After`` header with its
+    503 response) is expected to succeed once load drains.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
 
 
 class AnalysisError(ReproError):

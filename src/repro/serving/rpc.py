@@ -21,6 +21,7 @@ like the thread-mode engine does.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import socket
 from typing import Any, Dict, Hashable, List, Mapping, Optional, Tuple
@@ -165,24 +166,19 @@ def decode_build_stats(data: Mapping[str, Any]) -> BuildStats:
 
 
 def encode_engine_stats(stats: EngineStats) -> Dict[str, object]:
-    """Counters only (the derived rates are recomputed on decode)."""
-    return {
-        "compile_hits": stats.compile_hits,
-        "compile_misses": stats.compile_misses,
-        "score_hits": stats.score_hits,
-        "score_misses": stats.score_misses,
-        "graph_hits": stats.graph_hits,
-        "graph_misses": stats.graph_misses,
-        "graph_repairs": stats.graph_repairs,
-        "queries_executed": stats.queries_executed,
-    }
+    """Counters only (the derived rates are recomputed on decode).
+    Generic over the dataclass fields so new counters (coalescing,
+    admission) cross the wire without touching the codec."""
+    return {f.name: getattr(stats, f.name) for f in dataclasses.fields(stats)}
 
 
 def decode_engine_stats(data: Mapping[str, Any]) -> EngineStats:
-    return EngineStats(**{key: int(data.get(key, 0)) for key in (
-        "compile_hits", "compile_misses", "score_hits", "score_misses",
-        "graph_hits", "graph_misses", "graph_repairs", "queries_executed",
-    )})
+    # unknown keys from a newer peer are dropped, missing keys from an
+    # older peer default to 0 — both directions stay decodable
+    return EngineStats(**{
+        f.name: int(data.get(f.name, 0))
+        for f in dataclasses.fields(EngineStats)
+    })
 
 
 def encode_exception(exc: BaseException) -> Dict[str, object]:

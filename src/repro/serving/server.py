@@ -20,9 +20,14 @@ Endpoints:
 
 Library errors map to ``400`` (the request was understood and is
 deterministically unanswerable), transport-and-infrastructure errors to
-``502``, unknown routes to ``404``, malformed JSON to ``400``, and
-anything unexpected to ``500`` — always with a JSON body carrying
-``{"error": {"type", "message"}}``.
+``502``, unknown routes to ``404``, malformed JSON to ``400``, a body
+larger than the configured cap to ``413``, and anything unexpected to
+``500`` — always with a JSON body carrying
+``{"error": {"type", "message"}}``. When the session's admission gate
+(``EngineConfig.max_queue_depth``) sheds a request, the server answers
+``503`` with a ``Retry-After`` header. Connections that go quiet are
+dropped after ``request_timeout`` seconds so a stalled client cannot
+pin a handler thread.
 
 Run it from the command line via ``python -m repro.serving`` (see
 :mod:`repro.serving.__main__`).
@@ -36,12 +41,13 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.api.session import Session
-from repro.errors import EmptyAnswerError, QueryError, ReproError
+from repro.errors import EmptyAnswerError, OverloadedError, QueryError, ReproError
 from repro.serving.rpc import RpcTransportError
 
 __all__ = ["ServingServer", "serve"]
 
 _MAX_BODY = 16 * 1024 * 1024
+_REQUEST_TIMEOUT = 30.0
 
 
 def _error_body(exc: BaseException) -> Dict[str, object]:
@@ -55,6 +61,10 @@ def _error_body(exc: BaseException) -> Dict[str, object]:
 
 
 def _status_for(exc: ReproError) -> int:
+    # a shed request is the server's state, not the query's fault:
+    # retryable, hence 503 (the handler adds Retry-After)
+    if isinstance(exc, OverloadedError):
+        return 503
     # a broken worker transport (despite bounded restarts) is upstream
     # infrastructure trouble; everything else ReproError-shaped is a
     # deterministic property of the query
@@ -71,6 +81,13 @@ class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     server_version = "repro-serving"
 
+    def setup(self) -> None:
+        # self.timeout becomes the socket timeout in the base setup();
+        # handle_one_request treats a timed-out read as a dropped
+        # connection, so a stalled client cannot pin a handler thread
+        self.timeout = getattr(self.server, "request_timeout", _REQUEST_TIMEOUT)
+        super().setup()
+
     # ------------------------------------------------------------ #
     # plumbing
     # ------------------------------------------------------------ #
@@ -82,17 +99,33 @@ class _Handler(BaseHTTPRequestHandler):
     def _session(self) -> Session:
         return self.server.session  # type: ignore[attr-defined]
 
-    def _reply(self, status: int, payload: Mapping[str, object]) -> None:
+    def _reply(
+        self,
+        status: int,
+        payload: Mapping[str, object],
+        headers: Optional[Mapping[str, str]] = None,
+    ) -> None:
         body = json.dumps(payload, default=str).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
     def _read_json(self) -> Optional[Dict[str, object]]:
         length = int(self.headers.get("Content-Length", 0) or 0)
-        if length <= 0 or length > _MAX_BODY:
+        if length > _MAX_BODY:
+            # 413, and close: the client would otherwise stream the
+            # oversized body into a connection we will not read
+            self.close_connection = True
+            self._reply(413, _error_body(QueryError(
+                f"request body of {length} bytes exceeds the "
+                f"{_MAX_BODY}-byte cap"
+            )))
+            return None
+        if length <= 0:
             self._reply(400, _error_body(QueryError(
                 f"request body must be 1..{_MAX_BODY} bytes of JSON, "
                 f"got Content-Length {length}"
@@ -146,10 +179,21 @@ class _Handler(BaseHTTPRequestHandler):
         if payload is None:
             return
         try:
-            status, reply = handler(payload)
+            gate = self._session().admission
+            if gate is None:
+                status, reply = handler(payload)
+            else:
+                # may shed with OverloadedError -> 503 + Retry-After
+                with gate:
+                    status, reply = handler(payload)
             self._reply(status, reply)
         except ReproError as exc:
-            self._reply(_status_for(exc), _error_body(exc))
+            headers: Optional[Dict[str, str]] = None
+            if isinstance(exc, OverloadedError):
+                # Retry-After takes integer seconds; round up so the
+                # hint never undershoots the configured backoff
+                headers = {"Retry-After": str(max(1, -int(-exc.retry_after // 1)))}
+            self._reply(_status_for(exc), _error_body(exc), headers)
         except Exception as exc:  # pragma: no cover - defensive
             self._reply(500, _error_body(exc))
 
@@ -227,6 +271,7 @@ class ServingServer:
         port: int = 0,
         own_session: bool = True,
         verbose: bool = False,
+        request_timeout: float = _REQUEST_TIMEOUT,
     ) -> None:
         self.session = session
         self.own_session = own_session
@@ -234,6 +279,7 @@ class ServingServer:
         self._httpd.daemon_threads = True
         self._httpd.session = session  # type: ignore[attr-defined]
         self._httpd.verbose = verbose  # type: ignore[attr-defined]
+        self._httpd.request_timeout = request_timeout  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
         self._closed = False
 
@@ -292,10 +338,12 @@ def serve(
     port: int = 0,
     own_session: bool = True,
     verbose: bool = False,
+    request_timeout: float = _REQUEST_TIMEOUT,
 ) -> ServingServer:
     """Start a :class:`ServingServer` over ``session`` on a background
     thread and return it (use as a context manager to guarantee
     shutdown)."""
     return ServingServer(
-        session, host=host, port=port, own_session=own_session, verbose=verbose
+        session, host=host, port=port, own_session=own_session,
+        verbose=verbose, request_timeout=request_timeout,
     ).start()

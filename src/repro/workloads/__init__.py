@@ -8,10 +8,28 @@ generates *abstract* workloads for stress-testing and scaling studies:
   the integration layer entirely;
 * :mod:`~repro.workloads.mediated` — layered multi-source schemas
   behind a mediator, exercising the full execution pipeline (storage
-  lookups, binding plans, graph builders) at any scale.
+  lookups, binding plans, graph builders) at any scale;
+* :mod:`~repro.workloads.concurrent` — a deterministic
+  concurrent-client driver (asyncio tasks or threads) for serving-style
+  load with overlapping identical requests.
 """
 
 from repro.workloads.synthetic import WorkloadSpec, layered_dag
 from repro.workloads.mediated import MediatedWorkload, mediated_layers
+from repro.workloads.concurrent import (
+    ConcurrentRunReport,
+    client_streams,
+    run_async_clients,
+    run_threaded_clients,
+)
 
-__all__ = ["WorkloadSpec", "layered_dag", "MediatedWorkload", "mediated_layers"]
+__all__ = [
+    "WorkloadSpec",
+    "layered_dag",
+    "MediatedWorkload",
+    "mediated_layers",
+    "ConcurrentRunReport",
+    "client_streams",
+    "run_async_clients",
+    "run_threaded_clients",
+]
